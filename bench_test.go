@@ -1,0 +1,206 @@
+// Package repro's root bench suite regenerates every table and figure of
+// the paper (run with `go test -bench=. -benchmem`). Each BenchmarkFigN /
+// BenchmarkTableN target re-executes the corresponding experiment from
+// internal/experiments; the first iteration of each prints the artifact so
+// a bench run leaves a full paper regeneration in its log. Ablation
+// benches probe the design choices called out in DESIGN.md, and the
+// kernel micro-benchmarks ground the Cb (host cycles per byte) parameters
+// the way the paper's micro-benchmarks do.
+package main
+
+import (
+	"compress/flate"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/kernels"
+)
+
+// benchOutput prints each experiment's rendered artifact exactly once per
+// bench binary run, however many times the harness re-invokes the bench.
+var benchOutput sync.Map
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var out string
+	for i := 0; i < b.N; i++ {
+		out, err = e.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, printed := benchOutput.LoadOrStore(id, true); !printed {
+		b.Logf("%s: %s\n%s", e.ID, e.Title, out)
+	}
+}
+
+// Characterization figures (§2).
+
+func BenchmarkFig1(b *testing.B)  { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)  { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)  { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)  { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)  { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)  { runExperiment(b, "fig6") }
+func BenchmarkFig7(b *testing.B)  { runExperiment(b, "fig7") }
+func BenchmarkFig8(b *testing.B)  { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)  { runExperiment(b, "fig9") }
+func BenchmarkFig10(b *testing.B) { runExperiment(b, "fig10") }
+
+// Granularity CDFs (§4-§5).
+
+func BenchmarkFig15(b *testing.B) { runExperiment(b, "fig15") }
+func BenchmarkFig19(b *testing.B) { runExperiment(b, "fig19") }
+func BenchmarkFig21(b *testing.B) { runExperiment(b, "fig21") }
+func BenchmarkFig22(b *testing.B) { runExperiment(b, "fig22") }
+
+// Case studies (§4).
+
+func BenchmarkFig16(b *testing.B) { runExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { runExperiment(b, "fig17") }
+func BenchmarkFig18(b *testing.B) { runExperiment(b, "fig18") }
+
+// Model application (§5).
+
+func BenchmarkFig20(b *testing.B) { runExperiment(b, "fig20") }
+
+// Tables.
+
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "tab4") }
+func BenchmarkTable5(b *testing.B) { runExperiment(b, "tab5") }
+func BenchmarkTable6(b *testing.B) { runExperiment(b, "tab6") }
+func BenchmarkTable7(b *testing.B) { runExperiment(b, "tab7") }
+
+// Ablations (DESIGN.md).
+
+func BenchmarkAblationSelectiveOffload(b *testing.B) { runExperiment(b, "abl1") }
+func BenchmarkAblationQueueModel(b *testing.B)       { runExperiment(b, "abl2") }
+func BenchmarkAblationOversubscription(b *testing.B) { runExperiment(b, "abl3") }
+func BenchmarkAblationPipelining(b *testing.B)       { runExperiment(b, "abl4") }
+
+// Extensions beyond the paper.
+
+func BenchmarkExtensionDesignSweep(b *testing.B)       { runExperiment(b, "ext1") }
+func BenchmarkExtensionCombinedOffload(b *testing.B)   { runExperiment(b, "ext2") }
+func BenchmarkExtensionAdvisor(b *testing.B)           { runExperiment(b, "ext3") }
+func BenchmarkExtensionCapacityPlanning(b *testing.B)  { runExperiment(b, "ext4") }
+func BenchmarkExtensionTailLatency(b *testing.B)       { runExperiment(b, "ext5") }
+func BenchmarkExtensionUncertainty(b *testing.B)       { runExperiment(b, "ext6") }
+func BenchmarkExtensionLatencyValidation(b *testing.B) { runExperiment(b, "ext7") }
+
+// Model evaluation cost: the whole point of an analytical model is that it
+// is effectively free compared to simulation.
+
+func BenchmarkModelSpeedup(b *testing.B) {
+	m := core.MustNew(core.Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, O1: 5750, A: 27})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Speedup(core.SyncOS); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Kernel micro-benchmarks grounding Cb, one per offloadable kernel the
+// paper's recommendations target. Sizes follow the fleet's typical
+// granularities (Figs 15, 19, 21, 22).
+
+func benchSizes() []int { return []int{64, 512, 4096} }
+
+func BenchmarkKernelMemoryCopy(b *testing.B) {
+	for _, size := range benchSizes() {
+		b.Run(fmt.Sprintf("g=%d", size), func(b *testing.B) {
+			src := kernels.CompressibleData(size, 1)
+			dst := make([]byte, size)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				kernels.Copy(dst, src)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelMemorySet(b *testing.B) {
+	for _, size := range benchSizes() {
+		b.Run(fmt.Sprintf("g=%d", size), func(b *testing.B) {
+			dst := make([]byte, size)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				kernels.Set(dst, byte(i))
+			}
+		})
+	}
+}
+
+func BenchmarkKernelCompression(b *testing.B) {
+	for _, size := range benchSizes() {
+		b.Run(fmt.Sprintf("g=%d", size), func(b *testing.B) {
+			src := kernels.CompressibleData(size, 1)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if _, err := kernels.Compress(src, flate.BestSpeed); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKernelEncryption(b *testing.B) {
+	c, err := kernels.NewCipher(make([]byte, 32))
+	if err != nil {
+		b.Fatal(err)
+	}
+	iv := make([]byte, 16)
+	for _, size := range benchSizes() {
+		b.Run(fmt.Sprintf("g=%d", size), func(b *testing.B) {
+			buf := kernels.CompressibleData(size, 1)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				if err := c.EncryptInPlace(iv, buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkKernelHashing(b *testing.B) {
+	for _, size := range benchSizes() {
+		b.Run(fmt.Sprintf("g=%d", size), func(b *testing.B) {
+			buf := kernels.CompressibleData(size, 1)
+			b.SetBytes(int64(size))
+			for i := 0; i < b.N; i++ {
+				kernels.Hash(buf)
+			}
+		})
+	}
+}
+
+func BenchmarkKernelAllocation(b *testing.B) {
+	for _, sized := range []bool{false, true} {
+		name := "unsized-free"
+		if sized {
+			name = "sized-free"
+		}
+		b.Run(name, func(b *testing.B) {
+			arena := kernels.NewArena()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := arena.Churn(1, 256, sized); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,111 @@
+// Command abtest replays one of the paper's three validation case studies
+// (Table 6) as a paired simulation A/B test and compares the measured
+// speedup with the Accelerometer estimate.
+//
+// Usage:
+//
+//	abtest -case aesni
+//	abtest -case encryption -requests 2000 -trials 5
+//	abtest -case inference
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/abtest"
+	"repro/internal/core"
+	"repro/internal/fleetdata"
+	"repro/internal/sim"
+	"repro/internal/textchart"
+)
+
+func main() {
+	name := flag.String("case", "aesni", "case study: aesni, encryption, or inference")
+	requests := flag.Int("requests", 1000, "requests per simulation trial")
+	trials := flag.Int("trials", 3, "paired A/B trials")
+	flag.Parse()
+
+	var cs *fleetdata.CaseStudy
+	for i := range fleetdata.CaseStudies {
+		if strings.EqualFold(fleetdata.CaseStudies[i].Name, *name) ||
+			strings.EqualFold(strings.ReplaceAll(fleetdata.CaseStudies[i].Name, "-", ""), *name) {
+			cs = &fleetdata.CaseStudies[i]
+			break
+		}
+	}
+	if cs == nil {
+		fmt.Fprintf(os.Stderr, "abtest: unknown case study %q (want aesni, encryption, or inference)\n", *name)
+		os.Exit(2)
+	}
+
+	p := cs.Params
+	kernelCycles := p.Alpha * p.C / p.N
+	nonKernel := (1 - p.Alpha) * p.C / p.N
+	bytes := uint64(kernelCycles / 5.5)
+	if bytes == 0 {
+		bytes = 1
+	}
+	wl := sim.UniformWorkload{
+		NonKernelCycles: nonKernel,
+		KernelsPerReq:   1,
+		KernelBytes:     bytes,
+		Kernel:          core.LinearKernel(kernelCycles / float64(bytes)),
+	}
+	factory := func(uint64) (sim.Workload, error) { return wl, nil }
+
+	threads := 1
+	if cs.Threading == core.SyncOS || cs.Threading == core.AsyncDistinctThread {
+		threads = 4
+	}
+	base := sim.Config{
+		Cores: 1, Threads: threads, ContextSwitch: p.O1,
+		HostHz: p.C, Requests: *requests,
+	}
+	accel := base
+	a := p.A
+	if a < 1 {
+		a = 1
+	}
+	accel.Accel = &sim.Accel{
+		Threading: cs.Threading, Strategy: cs.Strategy,
+		A: a, O0: p.O0, L: p.L, Servers: 4,
+	}
+
+	comp, err := abtest.Run(base, accel, factory, *trials)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.New(p)
+	if err != nil {
+		fatal(err)
+	}
+	est, err := m.Speedup(cs.Threading)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := abtest.Validate(est, comp)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Case study: %s for %s (%s, %s)\n\n", cs.Name, cs.Service, cs.Threading, cs.Strategy)
+	tb := textchart.NewTable("Metric", "Value")
+	tb.AddRowf("Baseline QPS", comp.BaselineQPS)
+	tb.AddRowf("Accelerated QPS", comp.AcceleratedQPS)
+	tb.AddRowf("Measured speedup %", v.MeasuredPct)
+	tb.AddRowf("Model estimate %", v.EstimatedPct)
+	tb.AddRowf("Model-vs-measured error %", v.ErrorPct)
+	tb.AddRowf("Paper estimate %", cs.EstimatedPct)
+	tb.AddRowf("Paper production speedup %", cs.RealPct)
+	tb.AddRowf("Offloads per second", comp.OffloadsPerSecond)
+	tb.AddRowf("Mean accelerator queue (cycles)", comp.MeanQueueDelay)
+	fmt.Print(tb.Render())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "abtest:", err)
+	os.Exit(1)
+}

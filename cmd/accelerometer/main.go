@@ -1,0 +1,135 @@
+// Command accelerometer mirrors the paper's artifact workflow: read model
+// parameters from a key=value configuration file and print the estimated
+// throughput speedup and per-request latency reduction for the configured
+// threading design — plus, with -all, every other design for comparison.
+//
+// Usage:
+//
+//	accelerometer -config case1.conf
+//	accelerometer -config case1.conf -all
+//	accelerometer -config case1.conf -sweep A -values 1,2,5,10,50
+//	echo 'C=2e9
+//	alpha=0.165844
+//	n=298951
+//	o0=10
+//	L=3
+//	A=6' | accelerometer -config -
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/config"
+	"repro/internal/core"
+	"repro/internal/textchart"
+)
+
+// sweepParams maps -sweep names to model parameters.
+var sweepParams = map[string]core.SweepParam{
+	"a": core.SweepA, "l": core.SweepL, "q": core.SweepQ,
+	"o1": core.SweepO1, "alpha": core.SweepAlpha, "n": core.SweepN,
+}
+
+func main() {
+	path := flag.String("config", "", "parameter file (\"-\" for stdin)")
+	all := flag.Bool("all", false, "evaluate every threading design, not just the configured one")
+	sweep := flag.String("sweep", "", "parameter to sweep (A, L, Q, o1, alpha, n)")
+	values := flag.String("values", "", "comma-separated values for -sweep")
+	flag.Parse()
+	if *path == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var in io.Reader
+	if *path == "-" {
+		in = os.Stdin
+	} else {
+		f, err := os.Open(*path)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+
+	sc, err := config.Parse(in)
+	if err != nil {
+		fatal(err)
+	}
+	m, err := core.New(sc.Params)
+	if err != nil {
+		fatal(err)
+	}
+
+	name := sc.Name
+	if name == "" {
+		name = "scenario"
+	}
+	fmt.Printf("Accelerometer estimate for %s (%s, %s)\n\n", name, sc.Threading, sc.Strategy)
+
+	if *sweep != "" {
+		if err := runSweep(m, sc, *sweep, *values); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	designs := []core.Threading{sc.Threading}
+	if *all {
+		designs = core.Threadings
+	}
+	tb := textchart.NewTable("Threading", "Speedup", "Speedup %", "Latency reduction", "Latency %")
+	for _, th := range designs {
+		s, err := m.Speedup(th)
+		if err != nil {
+			fatal(err)
+		}
+		l, err := m.LatencyReduction(th, sc.Strategy)
+		if err != nil {
+			fatal(err)
+		}
+		tb.AddRowf(th.String(), s, (s-1)*100, l, (l-1)*100)
+	}
+	fmt.Print(tb.Render())
+	fmt.Printf("\nIdeal (Amdahl) bound at alpha=%g: %.4gx\n", sc.Params.Alpha, m.IdealSpeedup())
+}
+
+// runSweep evaluates the configured design over a parameter range.
+func runSweep(m *core.Model, sc config.Scenario, param, values string) error {
+	p, ok := sweepParams[strings.ToLower(strings.TrimSpace(param))]
+	if !ok {
+		return fmt.Errorf("unknown sweep parameter %q (want A, L, Q, o1, alpha, or n)", param)
+	}
+	if values == "" {
+		return fmt.Errorf("-sweep requires -values (comma-separated numbers)")
+	}
+	var vals []float64
+	for _, raw := range strings.Split(values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			return fmt.Errorf("invalid sweep value %q", raw)
+		}
+		vals = append(vals, v)
+	}
+	points, err := m.Sweep(p, sc.Threading, sc.Strategy, vals)
+	if err != nil {
+		return err
+	}
+	tb := textchart.NewTable(p.String(), "Speedup %", "Latency reduction %")
+	for _, pt := range points {
+		tb.AddRowf(pt.Value, (pt.Speedup-1)*100, (pt.LatencyReduction-1)*100)
+	}
+	fmt.Print(tb.Render())
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "accelerometer:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,65 @@
+// Command advisor profiles a synthetic service and prints ranked
+// acceleration recommendations — the automated form of the paper's Table 4
+// findings-to-opportunities mapping.
+//
+// Usage:
+//
+//	advisor -service Cache1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/advisor"
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+	"repro/internal/services"
+)
+
+func main() {
+	name := flag.String("service", "Cache1", "service to advise on")
+	flag.Parse()
+
+	svc, err := services.New(fleetdata.Service(*name))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := svc.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		fatal(err)
+	}
+
+	scaling := map[string]float64{}
+	for _, cat := range cpuarch.Cache1LeafIPC.Categories() {
+		if f, err := cpuarch.Cache1LeafIPC.ScalingFactor(cat, cpuarch.GenA, cpuarch.GenC); err == nil {
+			scaling[cat] = f
+		}
+	}
+	recs, err := advisor.Analyze(advisor.Input{
+		Service:       svc.Name,
+		Functionality: p.FunctionalityBreakdown(profiler.NewFunctionalityBucketer()),
+		Leaf:          p.LeafBreakdown(profiler.NewLeafTagger()),
+		MemoryLeaf:    p.LeafFunctionBreakdown("mem", profiler.MemoryLabels, "Other"),
+		IPCScaling:    scaling,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("Acceleration opportunities for %s (%d findings):\n\n", svc.Name, len(recs))
+	for i, r := range recs {
+		fmt.Printf("%d. [%s] %s\n   -> %s\n", i+1, r.Severity, r.Finding, r.Opportunity)
+		if r.ProjectedSpeedupPct > 0 {
+			fmt.Printf("   projected speedup: %+.1f%%\n", r.ProjectedSpeedupPct)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "advisor:", err)
+	os.Exit(1)
+}

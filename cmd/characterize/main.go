@@ -1,0 +1,88 @@
+// Command characterize runs the synthetic fleet through the profiling
+// pipeline and prints the paper's characterization figures (Figs 1-10).
+//
+// Usage:
+//
+//	characterize                    # all characterization figures
+//	characterize -fig 9             # just Fig 9
+//	characterize -dump profiles/    # also archive raw profiles as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/cpuarch"
+	"repro/internal/experiments"
+	"repro/internal/services"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "single characterization figure to print (1-10); 0 = all")
+	dump := flag.String("dump", "", "directory to archive raw per-service profiles (JSON)")
+	flag.Parse()
+
+	if *dump != "" {
+		if err := dumpProfiles(*dump); err != nil {
+			fatal(err)
+		}
+	}
+
+	ids := []string{"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10"}
+	if *fig != 0 {
+		if *fig < 1 || *fig > 10 {
+			fmt.Fprintln(os.Stderr, "characterize: -fig must be within 1..10")
+			os.Exit(2)
+		}
+		ids = []string{fmt.Sprintf("fig%d", *fig)}
+	}
+	for _, id := range ids {
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out)
+	}
+}
+
+// dumpProfiles archives each service's GenC profile to dir as JSON.
+func dumpProfiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	fleet, err := services.Fleet()
+	if err != nil {
+		return err
+	}
+	for _, s := range fleet {
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, string(s.Name)+".json")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		if err := p.Write(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "characterize: wrote %s\n", path)
+	}
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "characterize:", err)
+	os.Exit(1)
+}

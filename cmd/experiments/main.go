@@ -1,0 +1,53 @@
+// Command experiments regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	experiments -list            # enumerate available artifacts
+//	experiments -run fig9        # regenerate one artifact
+//	experiments -run all         # regenerate everything
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list available experiments")
+	run := flag.String("run", "", "experiment id to run (or \"all\")")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+	case *run == "all":
+		out, err := experiments.RunAll()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(out)
+	case *run != "":
+		e, err := experiments.Lookup(*run)
+		if err != nil {
+			fatal(err)
+		}
+		out, err := e.Run()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("=== %s: %s ===\n%s", e.ID, e.Title, out)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

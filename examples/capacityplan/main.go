@@ -1,0 +1,93 @@
+// capacityplan walks the full decision loop a data-center operator would
+// run: profile a service, get ranked acceleration recommendations, project
+// the best one with the Accelerometer model, and turn the projection into
+// a fleet provisioning plan — servers freed, accelerator devices needed,
+// and the break-even device cost.
+//
+// Run with: go run ./examples/capacityplan
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/advisor"
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/profiler"
+	"repro/internal/services"
+)
+
+func main() {
+	// 1. Profile Feed1 and ask the advisor what to accelerate.
+	feed1, err := services.New(fleetdata.Feed1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := feed1.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recs, err := advisor.Analyze(advisor.Input{
+		Service:       feed1.Name,
+		Functionality: profile.FunctionalityBreakdown(profiler.NewFunctionalityBucketer()),
+		Leaf:          profile.LeafBreakdown(profiler.NewLeafTagger()),
+		MemoryLeaf:    profile.LeafFunctionBreakdown("mem", profiler.MemoryLabels, "Other"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Advisor findings for %s:\n", feed1.Name)
+	for _, r := range recs {
+		fmt.Printf("  [%s] %s\n", r.Severity, r.Finding)
+	}
+
+	// 2. Project the compression recommendation with the model.
+	hist, err := feed1.MeasureSizes(kernels.Compression, 100000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := hist.CDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	pr, err := core.Project(core.Workload{
+		C:          2.3e9,
+		KernelFrac: feed1.FunctionalityShare(fleetdata.FuncCompression) / 100,
+		Invocation: 15008,
+		Sizes:      sizes,
+	}, core.LinearKernel(5.6), core.Offload{
+		Strategy: core.OffChip, Thread: core.AsyncSameThread,
+		A: 27, L: 2300, SelectiveOffload: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nOff-chip Async compression projection: %+.1f%% throughput, %+.1f%% latency\n",
+		pr.SpeedupPercent(), pr.LatencyReductionPercent())
+
+	// 3. Provision a 10,000-server installed base.
+	plan, err := capacity.FromProjection(pr, 10000, 1.0e9, 0.6, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := capacity.Provision(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cost, err := capacity.BreakEvenDeviceCost(res, 10000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nFleet plan for 10,000 servers at $10k each:\n")
+	fmt.Printf("  servers after acceleration: %d (%d freed)\n", res.ServersAfter, res.ServersFreed)
+	fmt.Printf("  accelerator devices: %d per server, %d total, %.1f%% utilized\n",
+		res.DevicesPerServerNeeded, res.DevicesTotal, res.DeviceUtilization*100)
+	fmt.Printf("  the deployment pays for itself if a device costs under $%.0f\n", cost)
+	if !res.Feasible {
+		fmt.Println("  WARNING: the per-server device budget is exceeded")
+	}
+}

@@ -1,0 +1,81 @@
+// compressionsweep applies the model the way §5 does: given Feed1's
+// compression workload and its measured granularity distribution, sweep
+// the candidate acceleration designs (on-chip vs off-chip, Sync vs Sync-OS
+// vs Async), project throughput and latency for each, and pick the best
+// design that still reduces latency.
+//
+// Run with: go run ./examples/compressionsweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/services"
+)
+
+func main() {
+	feed1, err := services.New(fleetdata.Feed1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hist, err := feed1.MeasureSizes(kernels.Compression, 100000, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sizes, err := hist.CDF()
+	if err != nil {
+		log.Fatal(err)
+	}
+	workload := core.Workload{
+		C:          2.3e9,
+		KernelFrac: feed1.FunctionalityShare(fleetdata.FuncCompression) / 100,
+		Invocation: 15008,
+		Sizes:      sizes,
+	}
+	kernel := core.LinearKernel(5.6)
+
+	designs := []struct {
+		name string
+		off  core.Offload
+	}{
+		{"on-chip Sync", core.Offload{Strategy: core.OnChip, Thread: core.Sync, A: 5, SelectiveOffload: true}},
+		{"off-chip Sync", core.Offload{Strategy: core.OffChip, Thread: core.Sync, A: 27, L: 2300, SelectiveOffload: true}},
+		{"off-chip Sync-OS", core.Offload{Strategy: core.OffChip, Thread: core.SyncOS, A: 27, L: 2300, O1: 5750, SelectiveOffload: true}},
+		{"off-chip Async", core.Offload{Strategy: core.OffChip, Thread: core.AsyncSameThread, A: 27, L: 2300, SelectiveOffload: true}},
+	}
+
+	fmt.Printf("Feed1 compression: %.0f%% of cycles, %g invocations/sec, ideal bound %+.1f%%\n\n",
+		workload.KernelFrac*100, workload.Invocation,
+		100/(1-workload.KernelFrac)-100)
+
+	best := -1
+	bestSpeedup := 1.0
+	for i, d := range designs {
+		pr, err := core.Project(workload, kernel, d.off)
+		if err != nil {
+			log.Fatal(err)
+		}
+		be := "all sizes"
+		if pr.BreakEvenG > 1 {
+			be = fmt.Sprintf("g >= %.0f B (%.0f%% of offloads)",
+				math.Ceil(pr.BreakEvenG), pr.OffloadedFraction*100)
+		}
+		fmt.Printf("%-18s throughput %+6.2f%%   latency %+6.2f%%   offloads: %s\n",
+			d.name, pr.SpeedupPercent(), pr.LatencyReductionPercent(), be)
+		if pr.Speedup > bestSpeedup && pr.LatencyReduction > 1 {
+			best, bestSpeedup = i, pr.Speedup
+		}
+	}
+
+	if best >= 0 {
+		fmt.Printf("\nRecommendation: %s — the largest throughput win that also reduces latency.\n",
+			designs[best].name)
+	} else {
+		fmt.Println("\nNo design improves both throughput and latency; keep compression on the host.")
+	}
+}

@@ -1,0 +1,77 @@
+// fleetcharacterize profiles one synthetic microservice the way §2 profiles
+// the production fleet — functionality breakdown, leaf breakdown, copy-size
+// CDF — and then genuinely exercises the service's orchestration path
+// (serialize → compress → encrypt → hash → free) to show the substrate does
+// real work, not just cycle accounting.
+//
+// Run with: go run ./examples/fleetcharacterize [-service Cache1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/profiler"
+	"repro/internal/services"
+	"repro/internal/textchart"
+)
+
+func main() {
+	name := flag.String("service", "Cache1", "service to characterize (Web, Feed1, Feed2, Ads1, Ads2, Cache1, Cache2)")
+	flag.Parse()
+
+	svc, err := services.New(fleetdata.Service(*name))
+	if err != nil {
+		log.Fatal(err)
+	}
+	profile, err := svc.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Functionality breakdown (the Fig 9 view).
+	shares := profile.FunctionalityBreakdown(profiler.NewFunctionalityBucketer())
+	segs := make([]textchart.Segment, 0, len(shares))
+	for _, s := range shares {
+		if s.Percent >= 1 {
+			segs = append(segs, textchart.Segment{Label: s.Category, Fraction: s.Percent / 100})
+		}
+	}
+	bar, err := textchart.StackedBar(fmt.Sprintf("%s functionality breakdown", svc.Name), segs, 60)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(bar)
+
+	// Leaf breakdown with IPC (the Fig 2/8 view).
+	fmt.Printf("\nLeaf categories (GenC):\n")
+	for _, s := range profile.LeafBreakdown(profiler.NewLeafTagger()) {
+		if s.Percent >= 1 {
+			fmt.Printf("  %-18s %5.1f%%   IPC %.2f\n", s.Category, s.Percent, s.IPC())
+		}
+	}
+
+	// Copy-size distribution (the Fig 21 view).
+	if hist, err := svc.MeasureSizes(kernels.MemoryCopy, 50000, 1); err == nil {
+		if cdf, err := hist.CDF(); err == nil {
+			fmt.Printf("\nMemory copies under 512 B: %.0f%% (mean %.0f B)\n",
+				cdf.FractionBelow(512)*100, cdf.MeanSize())
+		}
+	}
+
+	// Execute the real orchestration path.
+	stats, err := svc.Exercise(500, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nExercised %d real requests through the RPC substrate:\n", stats.Requests)
+	fmt.Printf("  payload bytes %d -> wire bytes %d (compression %v, encryption %v)\n",
+		stats.PayloadBytes, stats.WireBytes,
+		stats.Pipeline.Compressions > 0, stats.Pipeline.Encryptions > 0)
+	fmt.Printf("  copied %d B, hashed %d B, %d allocations via the size-class arena (%d freelist hits)\n",
+		stats.BytesCopied, stats.BytesHashed, stats.Alloc.Allocs, stats.Alloc.FreeListHits)
+}

@@ -1,0 +1,54 @@
+// Quickstart: estimate the speedup from offloading a compression kernel to
+// an off-chip accelerator under the three microservice threading designs.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	// A host spending 15% of its 2.3e9 cycles/sec compressing, in 15,008
+	// invocations/sec, considering a PCIe accelerator 27x faster than the
+	// host with a 2,300-cycle transfer cost per offload and 5,750-cycle
+	// thread switches (the paper's Table 7 compression parameters).
+	m, err := core.New(core.Params{
+		C:     2.3e9,
+		Alpha: 0.15,
+		N:     15008,
+		L:     2300,
+		O1:    5750,
+		A:     27,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Off-chip compression accelerator, by threading design:")
+	for _, th := range []core.Threading{core.Sync, core.SyncOS, core.AsyncSameThread} {
+		speedup, err := m.Speedup(th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		latency, err := m.LatencyReduction(th, core.OffChip)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s throughput %+.1f%%   latency %+.1f%%\n",
+			th, (speedup-1)*100, (latency-1)*100)
+	}
+
+	// How large must an offload be to pay for itself? (eqn 2)
+	kernel := core.LinearKernel(5.6) // host cycles per compressed byte
+	g, err := m.BreakEvenThroughputG(core.Sync, kernel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nA Sync offload profits only at g >= %.0f bytes.\n", g)
+	fmt.Printf("The Amdahl bound for this kernel is %+.1f%% — no accelerator can beat it.\n",
+		(m.IdealSpeedup()-1)*100)
+}

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Integration tests: build each binary once and drive it end to end,
+// checking the output carries the paper's headline numbers.
+
+// buildBinaries compiles all commands into a temp dir and returns their
+// paths by name.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	names := []string{"accelerometer", "characterize", "experiments", "abtest", "advisor"}
+	out := make(map[string]string, len(names))
+	for _, name := range names {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		cmd.Env = os.Environ()
+		if msg, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, msg)
+		}
+		out[name] = bin
+	}
+	return out
+}
+
+func run(t *testing.T, bin string, stdin string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	if stdin != "" {
+		cmd.Stdin = strings.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds binaries")
+	}
+	bins := buildBinaries(t)
+
+	t.Run("accelerometer", func(t *testing.T) {
+		conf := "name = aesni\nC=2e9\nalpha=0.165844\nn=298951\no0=10\nL=3\nA=6\nthreading=sync\n"
+		out := run(t, bins["accelerometer"], conf, "-config", "-", "-all")
+		if !strings.Contains(out, "15.78") {
+			t.Errorf("missing the 15.78%% AES-NI estimate:\n%s", out)
+		}
+		if !strings.Contains(out, "Sync-OS") {
+			t.Errorf("-all should evaluate every design:\n%s", out)
+		}
+		// Errors exit non-zero.
+		cmd := exec.Command(bins["accelerometer"], "-config", "/nonexistent")
+		if err := cmd.Run(); err == nil {
+			t.Error("missing config file: want non-zero exit")
+		}
+
+		// Sweep mode.
+		out = run(t, bins["accelerometer"], conf, "-config", "-", "-sweep", "A", "-values", "1,6,100")
+		if !strings.Contains(out, "100") || !strings.Contains(out, "Speedup %") {
+			t.Errorf("sweep output:\n%s", out)
+		}
+		cmd = exec.Command(bins["accelerometer"], "-config", "-", "-sweep", "bogus", "-values", "1")
+		cmd.Stdin = strings.NewReader(conf)
+		if err := cmd.Run(); err == nil {
+			t.Error("bogus sweep parameter: want non-zero exit")
+		}
+	})
+
+	t.Run("experiments list and run", func(t *testing.T) {
+		out := run(t, bins["experiments"], "", "-list")
+		for _, id := range []string{"fig9", "tab6", "abl1", "ext5"} {
+			if !strings.Contains(out, id) {
+				t.Errorf("-list missing %s:\n%s", id, out)
+			}
+		}
+		out = run(t, bins["experiments"], "", "-run", "tab7")
+		if !strings.Contains(out, "compression") || !strings.Contains(out, "memory allocation") {
+			t.Errorf("tab7 output:\n%s", out)
+		}
+	})
+
+	t.Run("characterize", func(t *testing.T) {
+		out := run(t, bins["characterize"], "", "-fig", "1")
+		if !strings.Contains(out, "Orchestration") || !strings.Contains(out, "Web") {
+			t.Errorf("fig1 output:\n%s", out)
+		}
+		// Profile dump round-trips through the profiler format.
+		dir := t.TempDir()
+		run(t, bins["characterize"], "", "-fig", "1", "-dump", dir)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(entries) != 7 {
+			t.Errorf("dumped %d profiles, want 7", len(entries))
+		}
+	})
+
+	t.Run("abtest", func(t *testing.T) {
+		out := run(t, bins["abtest"], "", "-case", "aesni", "-requests", "300", "-trials", "1")
+		if !strings.Contains(out, "Model estimate %") || !strings.Contains(out, "15.78") {
+			t.Errorf("abtest output:\n%s", out)
+		}
+	})
+
+	t.Run("advisor", func(t *testing.T) {
+		out := run(t, bins["advisor"], "", "-service", "Web")
+		if !strings.Contains(out, "logs") {
+			t.Errorf("Web advice should mention logging:\n%s", out)
+		}
+		cmd := exec.Command(bins["advisor"], "-service", "Nope")
+		if err := cmd.Run(); err == nil {
+			t.Error("unknown service: want non-zero exit")
+		}
+	})
+}
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test runs examples")
+	}
+	examples := []struct{ name, needle string }{
+		{"quickstart", "Amdahl bound"},
+		{"aesni", "paper: 15.7%"},
+		{"remoteinference", "SLO"},
+		{"compressionsweep", "Recommendation"},
+		{"fleetcharacterize", "Exercised"},
+		{"capacityplan", "pays for itself"},
+	}
+	for _, ex := range examples {
+		ex := ex
+		t.Run(ex.name, func(t *testing.T) {
+			cmd := exec.Command("go", "run", "./examples/"+ex.name)
+			cmd.Env = os.Environ()
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("%s: %v\n%s", ex.name, err, out)
+			}
+			if !strings.Contains(string(out), ex.needle) {
+				t.Errorf("%s output missing %q:\n%s", ex.name, ex.needle, out)
+			}
+		})
+	}
+}

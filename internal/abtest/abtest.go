@@ -1,0 +1,138 @@
+// Package abtest reproduces the paper's validation methodology (§4): the
+// paper measured "real" speedup by A/B testing two identical production
+// servers — same hardware, same fleet, same load — differing only in
+// whether the kernel is accelerated, with throughput read from ODS. Our
+// stand-in runs paired discrete-event simulations over byte-identical
+// workload streams and reports the measured speedup with a confidence
+// interval, ready to compare against the Accelerometer estimate.
+package abtest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/dist"
+	"repro/internal/sim"
+)
+
+// WorkloadFactory builds the deterministic workload for one trial; both
+// sides of the A/B pair receive the same instance, so load is identical.
+type WorkloadFactory func(seed uint64) (sim.Workload, error)
+
+// Comparison is the outcome of a paired A/B study.
+type Comparison struct {
+	Trials            int
+	BaselineQPS       float64 // mean across trials
+	AcceleratedQPS    float64
+	Speedup           float64 // mean measured speedup factor
+	SpeedupCI         float64 // 95% half-width across trials
+	LatencyReduction  float64 // mean baseline/accelerated mean-latency ratio
+	MeanQueueDelay    float64 // accelerated side, cycles per offload
+	OffloadsPerSecond float64
+}
+
+// SpeedupPercent returns the measured gain in percent.
+func (c Comparison) SpeedupPercent() float64 { return (c.Speedup - 1) * 100 }
+
+// Run executes `trials` paired simulations. base must have Accel == nil and
+// accel must have Accel != nil; all other fields are expected to describe
+// the same machine.
+func Run(base, accel sim.Config, factory WorkloadFactory, trials int) (Comparison, error) {
+	if factory == nil {
+		return Comparison{}, errors.New("abtest: nil workload factory")
+	}
+	if trials < 1 {
+		return Comparison{}, fmt.Errorf("abtest: trials = %d, want >= 1", trials)
+	}
+	if base.Accel != nil {
+		return Comparison{}, errors.New("abtest: baseline config must not have an accelerator")
+	}
+	if accel.Accel == nil {
+		return Comparison{}, errors.New("abtest: accelerated config must have an accelerator")
+	}
+
+	speedups := make([]float64, 0, trials)
+	latRed := make([]float64, 0, trials)
+	var baseQPS, accQPS, queue, offloadRate float64
+	for trial := 0; trial < trials; trial++ {
+		wl, err := factory(uint64(trial) + 1)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("abtest: trial %d workload: %w", trial, err)
+		}
+		bSim, err := sim.New(base, wl)
+		if err != nil {
+			return Comparison{}, err
+		}
+		bRes, err := bSim.Run()
+		if err != nil {
+			return Comparison{}, fmt.Errorf("abtest: baseline trial %d: %w", trial, err)
+		}
+		aSim, err := sim.New(accel, wl)
+		if err != nil {
+			return Comparison{}, err
+		}
+		aRes, err := aSim.Run()
+		if err != nil {
+			return Comparison{}, fmt.Errorf("abtest: accelerated trial %d: %w", trial, err)
+		}
+
+		s, err := aRes.Speedup(bRes)
+		if err != nil {
+			return Comparison{}, err
+		}
+		speedups = append(speedups, s)
+		if l, err := aRes.LatencyReduction(bRes); err == nil {
+			latRed = append(latRed, l)
+		}
+		baseQPS += bRes.ThroughputQPS
+		accQPS += aRes.ThroughputQPS
+		queue += aRes.MeanQueueDelay
+		if aRes.ElapsedCycles > 0 {
+			offloadRate += float64(aRes.Offloads) / (aRes.ElapsedCycles / accel.HostHz)
+		}
+	}
+
+	mean, ci, err := dist.MeanCI(speedups)
+	if err != nil {
+		return Comparison{}, err
+	}
+	n := float64(trials)
+	comp := Comparison{
+		Trials:            trials,
+		BaselineQPS:       baseQPS / n,
+		AcceleratedQPS:    accQPS / n,
+		Speedup:           mean,
+		SpeedupCI:         ci,
+		MeanQueueDelay:    queue / n,
+		OffloadsPerSecond: offloadRate / n,
+	}
+	if len(latRed) > 0 {
+		var sum float64
+		for _, l := range latRed {
+			sum += l
+		}
+		comp.LatencyReduction = sum / float64(len(latRed))
+	}
+	return comp, nil
+}
+
+// Validation compares a model estimate with the A/B measurement, in the
+// terms the paper reports (Table 6).
+type Validation struct {
+	EstimatedPct float64 // model speedup, percent
+	MeasuredPct  float64 // A/B speedup, percent
+	ErrorPct     float64 // |estimated-measured| relative error on factors
+}
+
+// Validate computes the estimate-vs-measurement error.
+func Validate(modelSpeedup float64, measured Comparison) (Validation, error) {
+	if modelSpeedup <= 0 || measured.Speedup <= 0 {
+		return Validation{}, fmt.Errorf("abtest: non-positive speedups (model=%v measured=%v)",
+			modelSpeedup, measured.Speedup)
+	}
+	return Validation{
+		EstimatedPct: (modelSpeedup - 1) * 100,
+		MeasuredPct:  measured.SpeedupPercent(),
+		ErrorPct:     dist.RelativeError(modelSpeedup, measured.Speedup) * 100,
+	}, nil
+}

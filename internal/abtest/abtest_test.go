@@ -1,0 +1,143 @@
+package abtest
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fleetdata"
+	"repro/internal/sim"
+)
+
+// caseStudy1Factory reproduces the Table 6 AES-NI setup: one encryption per
+// request drawn from Cache1's Fig 15 size distribution.
+func caseStudy1Factory(requests int) WorkloadFactory {
+	return func(seed uint64) (sim.Workload, error) {
+		return sim.NewSampledWorkload(5581, 1, core.LinearKernel(5.5),
+			fleetdata.EncryptionSizes[fleetdata.Cache1], requests, seed)
+	}
+}
+
+func TestRunValidatesInputs(t *testing.T) {
+	base := sim.Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 10}
+	accel := base
+	accel.Accel = &sim.Accel{Threading: core.Sync, Strategy: core.OnChip, A: 6, Servers: 1}
+	factory := caseStudy1Factory(10)
+
+	if _, err := Run(base, accel, nil, 1); err == nil {
+		t.Error("nil factory: want error")
+	}
+	if _, err := Run(base, accel, factory, 0); err == nil {
+		t.Error("zero trials: want error")
+	}
+	if _, err := Run(accel, accel, factory, 1); err == nil {
+		t.Error("baseline with accelerator: want error")
+	}
+	if _, err := Run(base, base, factory, 1); err == nil {
+		t.Error("accelerated without accelerator: want error")
+	}
+	failing := func(uint64) (sim.Workload, error) { return nil, errors.New("boom") }
+	if _, err := Run(base, accel, failing, 1); err == nil {
+		t.Error("factory error must propagate")
+	}
+}
+
+// The full validation loop: A/B-measured speedup must sit within a few
+// percent of the model estimate, mirroring Table 6's ≤3.7% error.
+func TestCaseStudy1EndToEnd(t *testing.T) {
+	base := sim.Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 3000}
+	accel := base
+	accel.Accel = &sim.Accel{
+		Threading: core.Sync, Strategy: core.OnChip,
+		A: 6, O0: 10, L: 3, Servers: 1,
+	}
+	comp, err := Run(base, accel, caseStudy1Factory(3000), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Trials != 3 {
+		t.Errorf("trials = %d", comp.Trials)
+	}
+	if comp.BaselineQPS <= 0 || comp.AcceleratedQPS <= comp.BaselineQPS {
+		t.Errorf("QPS: base %v accel %v", comp.BaselineQPS, comp.AcceleratedQPS)
+	}
+
+	// Model estimate with parameters derived from the measured baseline —
+	// the paper's five-step methodology.
+	meanEncBytes := fleetdata.EncryptionSizes[fleetdata.Cache1].MeanSize()
+	kernelCycles := 5.5 * meanEncBytes
+	alpha := kernelCycles / (5581 + kernelCycles)
+	m := core.MustNew(core.Params{
+		C: 2e9, Alpha: alpha, N: comp.OffloadsPerSecond, O0: 10, L: 3, A: 6,
+	})
+	est, err := m.Speedup(core.Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := Validate(est, comp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ErrorPct > 3.7 {
+		t.Errorf("model error = %.2f%%, paper claims ≤3.7%%", v.ErrorPct)
+	}
+	// And in the paper's ballpark: ~14-16%.
+	if comp.SpeedupPercent() < 13 || comp.SpeedupPercent() > 17 {
+		t.Errorf("measured speedup = %.2f%%, expected ~15%%", comp.SpeedupPercent())
+	}
+}
+
+func TestComparisonDeterministic(t *testing.T) {
+	base := sim.Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 500}
+	accel := base
+	accel.Accel = &sim.Accel{Threading: core.Sync, Strategy: core.OnChip, A: 6, Servers: 1}
+	a, err := Run(base, accel, caseStudy1Factory(500), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(base, accel, caseStudy1Factory(500), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Speedup != b.Speedup || a.BaselineQPS != b.BaselineQPS {
+		t.Error("A/B runs are not reproducible")
+	}
+}
+
+func TestLatencyReductionReported(t *testing.T) {
+	base := sim.Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 500}
+	accel := base
+	accel.Accel = &sim.Accel{Threading: core.Sync, Strategy: core.OnChip, A: 6, Servers: 1}
+	comp, err := Run(base, accel, caseStudy1Factory(500), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.LatencyReduction <= 1 {
+		t.Errorf("Sync latency reduction = %v, want > 1", comp.LatencyReduction)
+	}
+	// For Sync, latency reduction tracks throughput speedup (CS = CL).
+	if math.Abs(comp.LatencyReduction-comp.Speedup) > 0.02 {
+		t.Errorf("Sync latency %v vs speedup %v should match", comp.LatencyReduction, comp.Speedup)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	if _, err := Validate(0, Comparison{Speedup: 1.1}); err == nil {
+		t.Error("zero model speedup: want error")
+	}
+	if _, err := Validate(1.1, Comparison{}); err == nil {
+		t.Error("zero measured speedup: want error")
+	}
+	v, err := Validate(1.157, Comparison{Speedup: 1.14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v.EstimatedPct-15.7) > 0.01 || math.Abs(v.MeasuredPct-14.0) > 0.01 {
+		t.Errorf("validation = %+v", v)
+	}
+	if want := dist.RelativeError(1.157, 1.14) * 100; math.Abs(v.ErrorPct-want) > 1e-9 {
+		t.Errorf("error pct = %v, want %v", v.ErrorPct, want)
+	}
+}

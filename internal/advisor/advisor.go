@@ -1,0 +1,230 @@
+// Package advisor automates the paper's Table 4: given a service's
+// measured functionality and leaf breakdowns (from the profiler) and its
+// offload-size distributions, it detects the findings the paper calls out
+// — dominant orchestration, heavy memory copies, expensive frees, high
+// kernel share with poor IPC scaling, logging overheads, frequent
+// synchronization — and attaches the corresponding acceleration
+// opportunity, each with an Accelerometer-projected speedup where a
+// quantitative projection is possible.
+package advisor
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+)
+
+// Severity ranks how much a finding matters for the service.
+type Severity int
+
+const (
+	// Info marks a present-but-minor overhead.
+	Info Severity = iota
+	// Notable marks a meaningful optimization opportunity.
+	Notable
+	// Critical marks a dominant overhead.
+	Critical
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Notable:
+		return "notable"
+	case Critical:
+		return "critical"
+	default:
+		return fmt.Sprintf("Severity(%d)", int(s))
+	}
+}
+
+// Recommendation is one detected finding with its opportunity.
+type Recommendation struct {
+	Finding     string
+	Opportunity string
+	Severity    Severity
+	// SharePct is the cycle share that triggered the finding.
+	SharePct float64
+	// ProjectedSpeedupPct is the Accelerometer-projected gain for the
+	// suggested acceleration, when quantifiable (0 otherwise).
+	ProjectedSpeedupPct float64
+}
+
+// Input bundles what the advisor analyzes. Leaf and functionality shares
+// come from profiler breakdowns; IPCScaling optionally maps leaf categories
+// to their GenA→GenC IPC improvement factors.
+type Input struct {
+	Service       fleetdata.Service
+	Functionality []profiler.Share
+	Leaf          []profiler.Share
+	MemoryLeaf    []profiler.Share // Fig 3-style sub-breakdown (of memory cycles)
+	IPCScaling    map[string]float64
+	// HostCycles is C for projections (cycles per second); defaults to
+	// 2.5e9 when zero.
+	HostCycles float64
+}
+
+// thresholds for the findings, in percent of total cycles.
+const (
+	orchestrationCritical = 60.0
+	ioHigh                = 30.0
+	compressionHigh       = 5.0
+	loggingHigh           = 10.0
+	kernelHigh            = 15.0
+	memoryHigh            = 20.0
+	syncHigh              = 8.0
+	threadPoolHigh        = 5.0
+	freeShareHigh         = 20.0 // of memory cycles
+	ipcPoorScaling        = 1.15
+)
+
+// Analyze produces recommendations sorted by severity (descending) then
+// share.
+func Analyze(in Input) ([]Recommendation, error) {
+	if !in.Service.Valid() {
+		return nil, fmt.Errorf("advisor: unknown service %q", in.Service)
+	}
+	if len(in.Functionality) == 0 || len(in.Leaf) == 0 {
+		return nil, fmt.Errorf("advisor: need functionality and leaf breakdowns")
+	}
+	c := in.HostCycles
+	if c == 0 {
+		c = 2.5e9
+	}
+
+	var recs []Recommendation
+	add := func(r Recommendation) { recs = append(recs, r) }
+
+	// Orchestration dominance (the paper's headline finding).
+	appLogic := profiler.ShareOf(in.Functionality, fleetdata.FuncAppLogic) +
+		profiler.ShareOf(in.Functionality, fleetdata.FuncPrediction)
+	orch := 100 - appLogic
+	if orch >= orchestrationCritical {
+		add(Recommendation{
+			Finding: fmt.Sprintf("orchestration work consumes %.0f%% of cycles; core application logic only %.0f%%", orch, appLogic),
+			Opportunity: "accelerate the orchestration (I/O, serialization, compression) rather than " +
+				"only the application logic — the Amdahl bound on app-logic acceleration is " +
+				fmt.Sprintf("%.2fx", 1/(1-appLogic/100)),
+			Severity: Critical,
+			SharePct: orch,
+		})
+	}
+
+	// I/O-heavy services: kernel-bypass style RPC optimizations.
+	if io := profiler.ShareOf(in.Functionality, fleetdata.FuncIO); io >= ioHigh {
+		add(Recommendation{
+			Finding:     fmt.Sprintf("I/O sends/receives consume %.0f%% of cycles", io),
+			Opportunity: "RPC optimizations: kernel-bypass networking, multi-queue NICs, I/O coalescing",
+			Severity:    Critical,
+			SharePct:    io,
+		})
+	}
+
+	// Compression: quantify with the Table 7-style on-chip projection.
+	if comp := profiler.ShareOf(in.Functionality, fleetdata.FuncCompression); comp >= compressionHigh {
+		m, err := core.New(core.Params{C: c, Alpha: comp / 100, N: 0, A: 5})
+		if err != nil {
+			return nil, err
+		}
+		pct, err := m.SpeedupPercent(core.Sync)
+		if err != nil {
+			return nil, err
+		}
+		add(Recommendation{
+			Finding:             fmt.Sprintf("compression consumes %.0f%% of cycles", comp),
+			Opportunity:         "dedicated compression hardware (on-chip preferred; off-chip can share an encryption device)",
+			Severity:            Notable,
+			SharePct:            comp,
+			ProjectedSpeedupPct: pct,
+		})
+	}
+
+	// Logging (the Web finding).
+	if logs := profiler.ShareOf(in.Functionality, fleetdata.FuncLogging); logs >= loggingHigh {
+		add(Recommendation{
+			Finding:     fmt.Sprintf("reading and updating logs consumes %.0f%% of cycles", logs),
+			Opportunity: "reduce log size or update frequency; few systems optimize logging",
+			Severity:    Critical,
+			SharePct:    logs,
+		})
+	}
+
+	// Thread-pool management.
+	if tp := profiler.ShareOf(in.Functionality, fleetdata.FuncThreadPool); tp >= threadPoolHigh {
+		add(Recommendation{
+			Finding:     fmt.Sprintf("thread pool management consumes %.0f%% of cycles", tp),
+			Opportunity: "intelligent thread scheduling and pool tuning",
+			Severity:    Notable,
+			SharePct:    tp,
+		})
+	}
+
+	// Kernel share and IPC scaling.
+	if kern := profiler.ShareOf(in.Leaf, fleetdata.LeafKernel); kern >= kernelHigh {
+		sev := Notable
+		finding := fmt.Sprintf("kernel functions consume %.0f%% of cycles", kern)
+		if f, ok := in.IPCScaling[fleetdata.LeafKernel]; ok && f < ipcPoorScaling {
+			sev = Critical
+			finding += fmt.Sprintf(" and kernel IPC scaled only %.2fx over two CPU generations", f)
+		}
+		add(Recommendation{
+			Finding:     finding,
+			Opportunity: "coalesce I/O, user-space drivers, in-line accelerators, kernel-bypass",
+			Severity:    sev,
+			SharePct:    kern,
+		})
+	}
+
+	// Memory: copies and frees.
+	if mem := profiler.ShareOf(in.Leaf, fleetdata.LeafMemory); mem >= memoryHigh {
+		copyShare := profiler.ShareOf(in.MemoryLeaf, fleetdata.MemCopy)
+		m, err := core.New(core.Params{C: c, Alpha: mem / 100 * copyShare / 100, N: 0, A: 4})
+		if err != nil {
+			return nil, err
+		}
+		pct, err := m.SpeedupPercent(core.Sync)
+		if err != nil {
+			return nil, err
+		}
+		add(Recommendation{
+			Finding: fmt.Sprintf("memory functions consume %.0f%% of cycles (%.0f%% of them copies)",
+				mem, copyShare),
+			Opportunity:         "dense SIMD copies, in-DRAM bulk copy, I/O DMA engines, processing in memory",
+			Severity:            Critical,
+			SharePct:            mem,
+			ProjectedSpeedupPct: pct,
+		})
+		if free := profiler.ShareOf(in.MemoryLeaf, fleetdata.MemFree); free >= freeShareHigh {
+			add(Recommendation{
+				Finding: fmt.Sprintf("memory frees consume %.0f%% of memory cycles (size-class lookups cache poorly)", free),
+				Opportunity: "sized delete (skip the size-class lookup), faster free paths, " +
+					"hardware support for page removal",
+				Severity: Notable,
+				SharePct: mem * free / 100,
+			})
+		}
+	}
+
+	// Synchronization.
+	if syn := profiler.ShareOf(in.Leaf, fleetdata.LeafSync); syn >= syncHigh {
+		add(Recommendation{
+			Finding:     fmt.Sprintf("synchronization consumes %.0f%% of cycles", syn),
+			Opportunity: "thread-pool tuning, transactional memory, I/O coalescing, spin/block hybrids",
+			Severity:    Notable,
+			SharePct:    syn,
+		})
+	}
+
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].Severity != recs[j].Severity {
+			return recs[i].Severity > recs[j].Severity
+		}
+		return recs[i].SharePct > recs[j].SharePct
+	})
+	return recs, nil
+}

@@ -1,0 +1,175 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+	"repro/internal/services"
+)
+
+// inputFor builds an advisor input from a synthesized service's profile,
+// the way cmd/characterize would.
+func inputFor(t *testing.T, name fleetdata.Service) Input {
+	t.Helper()
+	s, err := services.New(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := s.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scaling := map[string]float64{}
+	for _, cat := range cpuarch.Cache1LeafIPC.Categories() {
+		if f, err := cpuarch.Cache1LeafIPC.ScalingFactor(cat, cpuarch.GenA, cpuarch.GenC); err == nil {
+			scaling[cat] = f
+		}
+	}
+	return Input{
+		Service:       name,
+		Functionality: p.FunctionalityBreakdown(profiler.NewFunctionalityBucketer()),
+		Leaf:          p.LeafBreakdown(profiler.NewLeafTagger()),
+		MemoryLeaf:    p.LeafFunctionBreakdown("mem", profiler.MemoryLabels, "Other"),
+		IPCScaling:    scaling,
+	}
+}
+
+func findRec(recs []Recommendation, substr string) *Recommendation {
+	for i := range recs {
+		if strings.Contains(recs[i].Finding, substr) {
+			return &recs[i]
+		}
+	}
+	return nil
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(Input{Service: "Nope"}); err == nil {
+		t.Error("unknown service: want error")
+	}
+	if _, err := Analyze(Input{Service: fleetdata.Web}); err == nil {
+		t.Error("missing breakdowns: want error")
+	}
+}
+
+// Web's Table 4 findings: dominant orchestration, heavy logging, heavy
+// memory (copies).
+func TestAnalyzeWeb(t *testing.T) {
+	recs, err := Analyze(inputFor(t, fleetdata.Web))
+	if err != nil {
+		t.Fatal(err)
+	}
+	orch := findRec(recs, "orchestration work")
+	if orch == nil || orch.Severity != Critical {
+		t.Errorf("Web should have a critical orchestration finding: %+v", recs)
+	}
+	logging := findRec(recs, "logs")
+	if logging == nil {
+		t.Fatal("Web should flag its 23% logging overhead")
+	}
+	if logging.SharePct < 22.5 || logging.SharePct > 23.5 {
+		t.Errorf("logging share = %v, want ~23", logging.SharePct)
+	}
+	mem := findRec(recs, "memory functions")
+	if mem == nil {
+		t.Fatal("Web should flag its 37% memory share")
+	}
+	if mem.ProjectedSpeedupPct <= 0 {
+		t.Error("memory finding should carry a projected speedup")
+	}
+}
+
+// Cache1's findings: I/O heavy, kernel heavy with poor IPC scaling,
+// synchronization heavy, expensive frees.
+func TestAnalyzeCache1(t *testing.T) {
+	recs, err := Analyze(inputFor(t, fleetdata.Cache1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io := findRec(recs, "I/O sends")
+	if io == nil || io.Severity != Critical {
+		t.Errorf("Cache1 should have a critical I/O finding")
+	}
+	kern := findRec(recs, "kernel functions")
+	if kern == nil {
+		t.Fatal("Cache1 should flag kernel share")
+	}
+	if kern.Severity != Critical || !strings.Contains(kern.Finding, "IPC scaled only") {
+		t.Errorf("Cache1 kernel finding should note poor IPC scaling: %+v", kern)
+	}
+	if findRec(recs, "synchronization") == nil {
+		t.Error("Cache1 should flag its 19% synchronization share")
+	}
+	free := findRec(recs, "memory frees")
+	if free == nil {
+		t.Error("Cache1 should flag expensive frees (32% of memory cycles)")
+	}
+}
+
+// Feed1: compression finding with a quantified projection.
+func TestAnalyzeFeed1Compression(t *testing.T) {
+	recs, err := Analyze(inputFor(t, fleetdata.Feed1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := findRec(recs, "compression consumes")
+	if comp == nil {
+		t.Fatal("Feed1 should flag its 15% compression share")
+	}
+	// On-chip A=5 on a 15% kernel: 1/(0.85+0.03) → ~13.6%.
+	if comp.ProjectedSpeedupPct < 13 || comp.ProjectedSpeedupPct > 14 {
+		t.Errorf("compression projection = %v%%, want ~13.6%%", comp.ProjectedSpeedupPct)
+	}
+}
+
+// Recommendations come sorted critical-first.
+func TestAnalyzeSorted(t *testing.T) {
+	recs, err := Analyze(inputFor(t, fleetdata.Cache2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 2 {
+		t.Fatalf("Cache2 should produce several recommendations, got %d", len(recs))
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Severity > recs[i-1].Severity {
+			t.Errorf("recommendations not sorted by severity: %v after %v",
+				recs[i].Severity, recs[i-1].Severity)
+		}
+	}
+}
+
+// A service with tiny overheads yields no spurious findings.
+func TestAnalyzeQuietService(t *testing.T) {
+	in := Input{
+		Service: fleetdata.Ads2,
+		Functionality: []profiler.Share{
+			{Category: fleetdata.FuncAppLogic, Percent: 50},
+			{Category: fleetdata.FuncPrediction, Percent: 45},
+			{Category: fleetdata.FuncIO, Percent: 5},
+		},
+		Leaf: []profiler.Share{
+			{Category: fleetdata.LeafMath, Percent: 90},
+			{Category: fleetdata.LeafCLib, Percent: 10},
+		},
+	}
+	recs, err := Analyze(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Errorf("quiet service produced findings: %+v", recs)
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if Info.String() != "info" || Notable.String() != "notable" || Critical.String() != "critical" {
+		t.Error("severity names wrong")
+	}
+	if Severity(9).String() == "" {
+		t.Error("unknown severity must render")
+	}
+}

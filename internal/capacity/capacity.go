@@ -1,0 +1,155 @@
+// Package capacity turns Accelerometer projections into fleet-level
+// provisioning decisions. The paper motivates the model with exactly this
+// problem: deploying custom hardware requires "carefully planning capacity
+// to provision the hardware to match projected load", and a model that
+// identifies performance bounds early protects that investment (§3).
+//
+// Given a service's installed base, its projected speedup, and the
+// accelerator's characteristics, this package computes the servers freed
+// at constant load, the number of accelerator devices needed to keep
+// queuing within a utilization target, and the break-even device cost.
+package capacity
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// Plan describes one provisioning scenario.
+type Plan struct {
+	// Servers is the service's installed base running the unaccelerated
+	// binary.
+	Servers int
+	// Speedup is the projected per-server throughput speedup factor.
+	Speedup float64
+	// OffloadsPerServer is n: offloads per second on one server.
+	OffloadsPerServer float64
+	// ServiceCycles is the accelerator's per-offload execution time in
+	// accelerator cycles (αC/(A·n) in model terms).
+	ServiceCycles float64
+	// AcceleratorHz is the accelerator's clock in cycles per second.
+	AcceleratorHz float64
+	// TargetUtilization bounds each device's utilization so queuing stays
+	// acceptable (e.g. 0.6); must be in (0, 1).
+	TargetUtilization float64
+	// DevicesPerServer is how many accelerator devices one server can
+	// host (1 for a PCIe card; 0 means the accelerator is on-chip or
+	// remote and needs no per-server device accounting).
+	DevicesPerServer int
+}
+
+// Validate checks the plan.
+func (p Plan) Validate() error {
+	switch {
+	case p.Servers < 1:
+		return fmt.Errorf("capacity: servers = %d, want >= 1", p.Servers)
+	case !(p.Speedup > 0) || math.IsInf(p.Speedup, 0) || math.IsNaN(p.Speedup):
+		return fmt.Errorf("capacity: speedup = %v, want finite > 0", p.Speedup)
+	case p.OffloadsPerServer < 0:
+		return fmt.Errorf("capacity: negative offload rate %v", p.OffloadsPerServer)
+	case p.ServiceCycles < 0:
+		return fmt.Errorf("capacity: negative service time %v", p.ServiceCycles)
+	case p.OffloadsPerServer > 0 && !(p.AcceleratorHz > 0):
+		return fmt.Errorf("capacity: accelerator frequency = %v, want > 0", p.AcceleratorHz)
+	case p.OffloadsPerServer > 0 && (p.TargetUtilization <= 0 || p.TargetUtilization >= 1):
+		return fmt.Errorf("capacity: target utilization = %v, want within (0,1)", p.TargetUtilization)
+	case p.DevicesPerServer < 0:
+		return fmt.Errorf("capacity: negative devices per server %d", p.DevicesPerServer)
+	}
+	return nil
+}
+
+// Result is the provisioning outcome.
+type Result struct {
+	// ServersAfter is the installed base needed to serve the same load
+	// with acceleration: ceil(servers / speedup).
+	ServersAfter int
+	// ServersFreed is the reduction of the installed base.
+	ServersFreed int
+	// DevicesPerServerNeeded is the accelerator devices one server needs
+	// to keep per-device utilization at or below the target.
+	DevicesPerServerNeeded int
+	// DevicesTotal is devices across the post-acceleration fleet.
+	DevicesTotal int
+	// DeviceUtilization is the per-device utilization with that count.
+	DeviceUtilization float64
+	// Feasible reports whether the per-server device budget accommodates
+	// the needed devices (always true when DevicesPerServer is 0).
+	Feasible bool
+}
+
+// Provision computes the provisioning outcome for a plan.
+func Provision(p Plan) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	after := int(math.Ceil(float64(p.Servers) / p.Speedup))
+	if after < 1 {
+		after = 1
+	}
+	res := Result{
+		ServersAfter: after,
+		ServersFreed: p.Servers - after,
+		Feasible:     true,
+	}
+	if p.OffloadsPerServer == 0 || p.ServiceCycles == 0 || p.DevicesPerServer == 0 {
+		// No discrete device to provision (on-chip or remote acceleration,
+		// or an ideal accelerator).
+		return res, nil
+	}
+
+	// Each accelerated server's offload stream speeds up with it: a server
+	// doing `speedup` times the work issues `speedup·n` offloads/sec.
+	perServerRate := p.OffloadsPerServer * p.Speedup
+	perDeviceCapacity := p.AcceleratorHz / p.ServiceCycles * p.TargetUtilization
+	if perDeviceCapacity <= 0 {
+		return Result{}, fmt.Errorf("capacity: accelerator cannot serve any offloads")
+	}
+	devices := int(math.Ceil(perServerRate / perDeviceCapacity))
+	if devices < 1 {
+		devices = 1
+	}
+	res.DevicesPerServerNeeded = devices
+	res.DevicesTotal = devices * after
+	res.DeviceUtilization = perServerRate / (float64(devices) * p.AcceleratorHz / p.ServiceCycles)
+	if p.DevicesPerServer > 0 && devices > p.DevicesPerServer {
+		res.Feasible = false
+	}
+	return res, nil
+}
+
+// BreakEvenDeviceCost returns the maximum cost of one accelerator device
+// (in the same currency as serverCost) at which the deployment pays for
+// itself: the freed servers' value must cover the devices' cost.
+func BreakEvenDeviceCost(res Result, serverCost float64) (float64, error) {
+	if serverCost <= 0 {
+		return 0, fmt.Errorf("capacity: server cost = %v, want > 0", serverCost)
+	}
+	if res.DevicesTotal == 0 {
+		return math.Inf(1), nil
+	}
+	return float64(res.ServersFreed) * serverCost / float64(res.DevicesTotal), nil
+}
+
+// FromProjection builds a plan from a model projection: speedup and
+// offload rate come from the projection's effective parameters, and the
+// accelerator's per-offload service time from αC/(A·n).
+func FromProjection(pr core.Projection, servers int, acceleratorHz, targetUtil float64, devicesPerServer int) (Plan, error) {
+	p := Plan{
+		Servers:           servers,
+		Speedup:           pr.Speedup,
+		OffloadsPerServer: pr.Params.N,
+		AcceleratorHz:     acceleratorHz,
+		TargetUtilization: targetUtil,
+		DevicesPerServer:  devicesPerServer,
+	}
+	if pr.Params.N > 0 && !math.IsInf(pr.Params.A, 1) {
+		p.ServiceCycles = pr.Params.Alpha * pr.Params.C / pr.Params.A / pr.Params.N
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}

@@ -1,0 +1,195 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func validPlan() Plan {
+	return Plan{
+		Servers:           10000,
+		Speedup:           1.157, // AES-NI case study
+		OffloadsPerServer: 298951,
+		ServiceCycles:     185, // ~1109 host cycles / A=6
+		AcceleratorHz:     2.0e9,
+		TargetUtilization: 0.6,
+		DevicesPerServer:  1,
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	if err := validPlan().Validate(); err != nil {
+		t.Fatalf("valid plan rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Plan)
+	}{
+		{"zero servers", func(p *Plan) { p.Servers = 0 }},
+		{"zero speedup", func(p *Plan) { p.Speedup = 0 }},
+		{"NaN speedup", func(p *Plan) { p.Speedup = math.NaN() }},
+		{"negative rate", func(p *Plan) { p.OffloadsPerServer = -1 }},
+		{"negative service", func(p *Plan) { p.ServiceCycles = -1 }},
+		{"zero hz with offloads", func(p *Plan) { p.AcceleratorHz = 0 }},
+		{"util 0", func(p *Plan) { p.TargetUtilization = 0 }},
+		{"util 1", func(p *Plan) { p.TargetUtilization = 1 }},
+		{"negative devices", func(p *Plan) { p.DevicesPerServer = -1 }},
+	}
+	for _, tc := range cases {
+		p := validPlan()
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestProvisionServersFreed(t *testing.T) {
+	res, err := Provision(validPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 10000 / 1.157 = 8643.04… → 8644 servers after, 1356 freed.
+	if res.ServersAfter != 8644 {
+		t.Errorf("servers after = %d, want 8644", res.ServersAfter)
+	}
+	if res.ServersFreed != 1356 {
+		t.Errorf("servers freed = %d, want 1356", res.ServersFreed)
+	}
+	if !res.Feasible {
+		t.Error("AES-NI plan should be feasible")
+	}
+}
+
+func TestProvisionDeviceCount(t *testing.T) {
+	res, err := Provision(validPlan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Accelerated offload rate 298951·1.157 ≈ 345,886/sec; one device
+	// serves 2e9/185·0.6 ≈ 6.49M offloads/sec at 60% utilization — one
+	// device per server is plenty.
+	if res.DevicesPerServerNeeded != 1 {
+		t.Errorf("devices per server = %d, want 1", res.DevicesPerServerNeeded)
+	}
+	if res.DevicesTotal != res.ServersAfter {
+		t.Errorf("devices total = %d, want %d", res.DevicesTotal, res.ServersAfter)
+	}
+	if res.DeviceUtilization <= 0 || res.DeviceUtilization > 0.6 {
+		t.Errorf("device utilization = %v, want within (0, 0.6]", res.DeviceUtilization)
+	}
+}
+
+func TestProvisionNeedsMultipleDevices(t *testing.T) {
+	p := validPlan()
+	p.ServiceCycles = 20000 // much slower device
+	p.OffloadsPerServer = 200000
+	res, err := Provision(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity per device = 2e9/20000·0.6 = 60k offloads/sec; accelerated
+	// rate ≈ 231k → 4 devices, above the 1-per-server budget.
+	if res.DevicesPerServerNeeded < 2 {
+		t.Errorf("devices per server = %d, want several", res.DevicesPerServerNeeded)
+	}
+	if res.Feasible {
+		t.Error("plan exceeding the device budget must be infeasible")
+	}
+}
+
+func TestProvisionOnChip(t *testing.T) {
+	p := Plan{Servers: 1000, Speedup: 1.1}
+	res, err := Provision(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DevicesTotal != 0 || !res.Feasible {
+		t.Errorf("on-chip plan: %+v", res)
+	}
+	if res.ServersFreed != 1000-910 {
+		t.Errorf("servers freed = %d, want 90", res.ServersFreed)
+	}
+}
+
+func TestProvisionSpeedupBelowOne(t *testing.T) {
+	// A regression (speedup < 1) needs MORE servers.
+	p := Plan{Servers: 100, Speedup: 0.8}
+	res, err := Provision(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServersAfter != 125 || res.ServersFreed != -25 {
+		t.Errorf("regression provisioning = %+v", res)
+	}
+}
+
+func TestBreakEvenDeviceCost(t *testing.T) {
+	res := Result{ServersFreed: 1356, DevicesTotal: 8644}
+	cost, err := BreakEvenDeviceCost(res, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1356.0 * 10000 / 8644
+	if math.Abs(cost-want) > 1e-9 {
+		t.Errorf("break-even cost = %v, want %v", cost, want)
+	}
+	if _, err := BreakEvenDeviceCost(res, 0); err == nil {
+		t.Error("zero server cost: want error")
+	}
+	free, err := BreakEvenDeviceCost(Result{ServersFreed: 10}, 1000)
+	if err != nil || !math.IsInf(free, 1) {
+		t.Errorf("no devices: %v, %v", free, err)
+	}
+}
+
+func TestFromProjection(t *testing.T) {
+	w := core.Workload{
+		C: 2.3e9, KernelFrac: 0.15, Invocation: 15008,
+		Sizes: dist.MustCDF(dist.CompressionLayout, []float64{
+			0, 0.085, 0.08, 0.13, 0.09, 0.145, 0.18, 0.10, 0.09, 0.06, 0.03, 0.01,
+		}),
+	}
+	pr, err := core.Project(w, core.LinearKernel(5.6), core.Offload{
+		Strategy: core.OffChip, Thread: core.AsyncSameThread, A: 27, L: 2300, SelectiveOffload: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := FromProjection(pr, 5000, 1.0e9, 0.6, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Speedup != pr.Speedup || plan.OffloadsPerServer != pr.Params.N {
+		t.Errorf("plan = %+v", plan)
+	}
+	if plan.ServiceCycles <= 0 {
+		t.Errorf("service cycles = %v, want > 0", plan.ServiceCycles)
+	}
+	res, err := Provision(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ServersFreed <= 0 {
+		t.Errorf("a ~10%% speedup over 5000 servers should free servers: %+v", res)
+	}
+
+	// Ideal accelerator: no finite service time, no devices.
+	w2 := w
+	pr2, err := core.Project(w2, core.LinearKernel(5.6), core.Offload{
+		Strategy: core.OnChip, Thread: core.Sync, A: math.Inf(1),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan2, err := FromProjection(pr2, 100, 1e9, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan2.ServiceCycles != 0 {
+		t.Errorf("ideal accelerator service cycles = %v, want 0", plan2.ServiceCycles)
+	}
+}

@@ -1,0 +1,197 @@
+// Package config parses the key=value parameter files consumed by
+// cmd/accelerometer, mirroring the paper artifact's workflow: "(a) identify
+// model parameters for the accelerator under test, (b) input these model
+// parameters into a configuration file, and (c) run the Accelerometer model
+// for these model parameters to estimate speedup" (Appendix A.5).
+//
+// The file format is deliberately plain: one "key = value" pair per line,
+// '#' comments, and blank lines. Keys are the Table 5 parameter names plus
+// a threading design and an acceleration strategy:
+//
+//	# Case study 1: AES-NI for Cache1
+//	C        = 2.0e9
+//	alpha    = 0.165844
+//	n        = 298951
+//	o0       = 10
+//	Q        = 0
+//	L        = 3
+//	o1       = 0
+//	A        = 6
+//	threading = sync
+//	strategy  = on-chip
+package config
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Scenario is a fully parsed model configuration.
+type Scenario struct {
+	Name      string // optional "name = ..." entry
+	Params    core.Params
+	Threading core.Threading
+	Strategy  core.Strategy
+}
+
+// threadingNames maps config values to threading designs. Both the paper's
+// names and hyphenless aliases are accepted.
+var threadingNames = map[string]core.Threading{
+	"sync":                  core.Sync,
+	"sync-os":               core.SyncOS,
+	"syncos":                core.SyncOS,
+	"async":                 core.AsyncSameThread,
+	"async-same-thread":     core.AsyncSameThread,
+	"async-distinct-thread": core.AsyncDistinctThread,
+	"async-distinct":        core.AsyncDistinctThread,
+	"async-no-response":     core.AsyncNoResponse,
+}
+
+// strategyNames maps config values to acceleration strategies.
+var strategyNames = map[string]core.Strategy{
+	"on-chip":  core.OnChip,
+	"onchip":   core.OnChip,
+	"off-chip": core.OffChip,
+	"offchip":  core.OffChip,
+	"remote":   core.Remote,
+}
+
+// ParseThreading resolves a threading-design name.
+func ParseThreading(s string) (core.Threading, error) {
+	t, ok := threadingNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("config: unknown threading %q (want sync, sync-os, async, async-distinct-thread, or async-no-response)", s)
+	}
+	return t, nil
+}
+
+// ParseStrategy resolves an acceleration-strategy name.
+func ParseStrategy(s string) (core.Strategy, error) {
+	st, ok := strategyNames[strings.ToLower(strings.TrimSpace(s))]
+	if !ok {
+		return 0, fmt.Errorf("config: unknown strategy %q (want on-chip, off-chip, or remote)", s)
+	}
+	return st, nil
+}
+
+// Parse reads a scenario from r. Unknown keys are errors (they are almost
+// always typos of model parameters). Missing keys fall back to: Q=o0=L=o1=0,
+// A=1, threading=sync, strategy=on-chip; C, alpha, and n are required.
+func Parse(r io.Reader) (Scenario, error) {
+	sc := Scenario{
+		Params:    core.Params{A: 1},
+		Threading: core.Sync,
+		Strategy:  core.OnChip,
+	}
+	seen := map[string]bool{}
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(line, "=")
+		if !ok {
+			return Scenario{}, fmt.Errorf("config: line %d: want key = value, got %q", lineNo, line)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		value = strings.TrimSpace(value)
+		if seen[key] {
+			return Scenario{}, fmt.Errorf("config: line %d: duplicate key %q", lineNo, key)
+		}
+		seen[key] = true
+
+		var err error
+		switch key {
+		case "name":
+			sc.Name = value
+		case "c":
+			sc.Params.C, err = parseFloat(value)
+		case "alpha", "α":
+			sc.Params.Alpha, err = parseFloat(value)
+		case "n":
+			sc.Params.N, err = parseFloat(value)
+		case "o0":
+			sc.Params.O0, err = parseFloat(value)
+		case "q":
+			sc.Params.Q, err = parseFloat(value)
+		case "l":
+			sc.Params.L, err = parseFloat(value)
+		case "o1":
+			sc.Params.O1, err = parseFloat(value)
+		case "a":
+			if strings.EqualFold(value, "inf") || value == "∞" {
+				sc.Params.A = math.Inf(1)
+			} else {
+				sc.Params.A, err = parseFloat(value)
+			}
+		case "threading":
+			sc.Threading, err = ParseThreading(value)
+		case "strategy":
+			sc.Strategy, err = ParseStrategy(value)
+		default:
+			return Scenario{}, fmt.Errorf("config: line %d: unknown key %q", lineNo, key)
+		}
+		if err != nil {
+			return Scenario{}, fmt.Errorf("config: line %d: key %q: %w", lineNo, key, err)
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return Scenario{}, fmt.Errorf("config: read: %w", err)
+	}
+
+	for _, req := range []string{"c", "alpha", "n"} {
+		if !seen[req] {
+			return Scenario{}, fmt.Errorf("config: missing required key %q", req)
+		}
+	}
+	if err := sc.Params.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}
+
+// ParseString is Parse over an in-memory document.
+func ParseString(s string) (Scenario, error) {
+	return Parse(strings.NewReader(s))
+}
+
+func parseFloat(s string) (float64, error) {
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("invalid number %q", s)
+	}
+	return v, nil
+}
+
+// Render writes a scenario back out in the config format; round-trips
+// through Parse.
+func Render(sc Scenario) string {
+	var sb strings.Builder
+	if sc.Name != "" {
+		fmt.Fprintf(&sb, "name = %s\n", sc.Name)
+	}
+	p := sc.Params
+	fmt.Fprintf(&sb, "C = %g\nalpha = %g\nn = %g\no0 = %g\nQ = %g\nL = %g\no1 = %g\n",
+		p.C, p.Alpha, p.N, p.O0, p.Q, p.L, p.O1)
+	if math.IsInf(p.A, 1) {
+		sb.WriteString("A = inf\n")
+	} else {
+		fmt.Fprintf(&sb, "A = %g\n", p.A)
+	}
+	fmt.Fprintf(&sb, "threading = %s\nstrategy = %s\n",
+		strings.ToLower(sc.Threading.String()), sc.Strategy.String())
+	return sb.String()
+}

@@ -1,0 +1,198 @@
+package config
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+const caseStudy1 = `
+# Case study 1: AES-NI for Cache1
+name     = aesni-cache1
+C        = 2.0e9
+alpha    = 0.165844
+n        = 298951
+o0       = 10
+Q        = 0
+L        = 3
+A        = 6
+threading = sync
+strategy  = on-chip
+`
+
+func TestParseCaseStudy1(t *testing.T) {
+	sc, err := ParseString(caseStudy1)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Name != "aesni-cache1" {
+		t.Errorf("name = %q", sc.Name)
+	}
+	if sc.Params.C != 2.0e9 || sc.Params.Alpha != 0.165844 || sc.Params.N != 298951 {
+		t.Errorf("params = %+v", sc.Params)
+	}
+	if sc.Params.O0 != 10 || sc.Params.L != 3 || sc.Params.A != 6 {
+		t.Errorf("overheads = %+v", sc.Params)
+	}
+	if sc.Threading != core.Sync || sc.Strategy != core.OnChip {
+		t.Errorf("design = %v/%v", sc.Threading, sc.Strategy)
+	}
+
+	// The parsed scenario drives the model to the paper's 15.7% estimate.
+	m := core.MustNew(sc.Params)
+	pct, err := m.SpeedupPercent(sc.Threading)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pct < 15.6 || pct > 15.9 {
+		t.Errorf("speedup = %v%%, want ~15.7", pct)
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := ParseString("C=1e9\nalpha=0.1\nn=100\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Params.A != 1 || sc.Threading != core.Sync || sc.Strategy != core.OnChip {
+		t.Errorf("defaults = %+v %v %v", sc.Params, sc.Threading, sc.Strategy)
+	}
+	if sc.Params.O0 != 0 || sc.Params.Q != 0 || sc.Params.L != 0 || sc.Params.O1 != 0 {
+		t.Errorf("overhead defaults = %+v", sc.Params)
+	}
+}
+
+func TestParseInfiniteA(t *testing.T) {
+	sc, err := ParseString("C=1e9\nalpha=0.5\nn=1\nA=inf\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(sc.Params.A, 1) {
+		t.Errorf("A = %v, want +Inf", sc.Params.A)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+	}{
+		{"missing C", "alpha=0.1\nn=1\n"},
+		{"missing alpha", "C=1e9\nn=1\n"},
+		{"missing n", "C=1e9\nalpha=0.1\n"},
+		{"unknown key", "C=1e9\nalpha=0.1\nn=1\nbogus=3\n"},
+		{"duplicate key", "C=1e9\nC=2e9\nalpha=0.1\nn=1\n"},
+		{"no equals", "C 1e9\nalpha=0.1\nn=1\n"},
+		{"bad number", "C=abc\nalpha=0.1\nn=1\n"},
+		{"bad threading", "C=1e9\nalpha=0.1\nn=1\nthreading=magic\n"},
+		{"bad strategy", "C=1e9\nalpha=0.1\nn=1\nstrategy=quantum\n"},
+		{"invalid params", "C=1e9\nalpha=2\nn=1\n"},
+		{"A below 1", "C=1e9\nalpha=0.1\nn=1\nA=0.5\n"},
+	}
+	for _, tc := range cases {
+		if _, err := ParseString(tc.doc); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestParseCommentsAndBlankLines(t *testing.T) {
+	doc := "# full-line comment\n\nC=1e9 # trailing comment\nalpha=0.1\n\n\nn=5\n"
+	sc, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Params.C != 1e9 || sc.Params.N != 5 {
+		t.Errorf("params = %+v", sc.Params)
+	}
+}
+
+func TestParseThreadingAliases(t *testing.T) {
+	cases := map[string]core.Threading{
+		"sync":                  core.Sync,
+		"Sync-OS":               core.SyncOS,
+		"syncos":                core.SyncOS,
+		"ASYNC":                 core.AsyncSameThread,
+		"async-distinct-thread": core.AsyncDistinctThread,
+		"async-no-response":     core.AsyncNoResponse,
+	}
+	for in, want := range cases {
+		got, err := ParseThreading(in)
+		if err != nil || got != want {
+			t.Errorf("ParseThreading(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseThreading("nope"); err == nil {
+		t.Error("unknown threading: want error")
+	}
+}
+
+func TestParseStrategyAliases(t *testing.T) {
+	cases := map[string]core.Strategy{
+		"on-chip": core.OnChip, "onchip": core.OnChip,
+		"Off-Chip": core.OffChip, "remote": core.Remote,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	orig, err := ParseString(caseStudy1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := Render(orig)
+	back, err := ParseString(doc)
+	if err != nil {
+		t.Fatalf("re-parse rendered config: %v\n%s", err, doc)
+	}
+	if back != orig {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
+	}
+}
+
+func TestRenderRoundTripAllThreadings(t *testing.T) {
+	for _, th := range core.Threadings {
+		sc := Scenario{
+			Params:    core.Params{C: 1e9, Alpha: 0.2, N: 10, A: 2},
+			Threading: th,
+			Strategy:  core.OffChip,
+		}
+		back, err := ParseString(Render(sc))
+		if err != nil {
+			t.Errorf("%v: %v", th, err)
+			continue
+		}
+		if back.Threading != th {
+			t.Errorf("threading %v round-tripped to %v", th, back.Threading)
+		}
+	}
+}
+
+func TestRenderInfiniteA(t *testing.T) {
+	sc := Scenario{
+		Params:    core.Params{C: 1e9, Alpha: 0.2, N: 10, A: math.Inf(1)},
+		Threading: core.Sync,
+		Strategy:  core.OnChip,
+	}
+	doc := Render(sc)
+	if !strings.Contains(doc, "A = inf") {
+		t.Errorf("rendered doc missing A = inf:\n%s", doc)
+	}
+	back, err := ParseString(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(back.Params.A, 1) {
+		t.Errorf("A round-tripped to %v", back.Params.A)
+	}
+}

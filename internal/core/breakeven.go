@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel describes the host-side cost of the offloadable kernel as a
+// function of granularity: the host spends Cb·g^Beta cycles executing a
+// g-byte offload. Beta models kernel complexity (§3): 1 for linear kernels
+// (the paper's assumption for its case studies), <1 sub-linear, >1
+// super-linear.
+type Kernel struct {
+	Cb   float64 // host cycles per byte of offload data
+	Beta float64 // complexity exponent; 1 = linear
+}
+
+// LinearKernel returns a linear-complexity kernel with the given
+// cycles-per-byte.
+func LinearKernel(cb float64) Kernel { return Kernel{Cb: cb, Beta: 1} }
+
+// Validate checks the kernel's parameters.
+func (k Kernel) Validate() error {
+	if !(k.Cb > 0) || math.IsInf(k.Cb, 0) || math.IsNaN(k.Cb) {
+		return fmt.Errorf("core: Cb = %v, want finite > 0", k.Cb)
+	}
+	if !(k.Beta > 0) || math.IsInf(k.Beta, 0) || math.IsNaN(k.Beta) {
+		return fmt.Errorf("core: Beta = %v, want finite > 0", k.Beta)
+	}
+	return nil
+}
+
+// HostCycles returns the host cycles to execute a g-byte offload: Cb·g^β.
+func (k Kernel) HostCycles(g uint64) float64 {
+	if k.Beta == 1 {
+		return k.Cb * float64(g)
+	}
+	return k.Cb * math.Pow(float64(g), k.Beta)
+}
+
+// offloadOverhead returns the per-offload overhead cycles relevant to the
+// throughput-profitability predicate of each threading design:
+// eqn (2) Sync: o0+L+Q; eqn (4) Sync-OS: o0+L+Q+2o1; eqn (7) Async:
+// o0+L+Q (one o1 for a distinct response thread).
+func (m *Model) offloadOverhead(t Threading) (float64, error) {
+	p := m.p
+	switch t {
+	case Sync:
+		return p.O0 + p.L + p.Q, nil
+	case SyncOS:
+		return p.O0 + p.L + p.Q + 2*p.O1, nil
+	case AsyncSameThread, AsyncNoResponse:
+		return p.O0 + p.L + p.Q, nil
+	case AsyncDistinctThread:
+		return p.O0 + p.L + p.Q + p.O1, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(t))
+	}
+}
+
+// latencyOverhead returns the per-offload overhead cycles relevant to the
+// latency-profitability predicate: one o1 for Sync-OS and
+// Async-distinct-thread, none otherwise (§3).
+func (m *Model) latencyOverhead(t Threading) (float64, error) {
+	p := m.p
+	switch t {
+	case Sync, AsyncSameThread, AsyncNoResponse:
+		return p.O0 + p.L + p.Q, nil
+	case SyncOS, AsyncDistinctThread:
+		return p.O0 + p.L + p.Q + p.O1, nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(t))
+	}
+}
+
+// OffloadImprovesThroughput reports whether a single g-byte offload
+// improves throughput speedup under the threading design: equation (2) for
+// Sync — Cb·g > Cb·g/A + (o0+L+Q) — and equations (4)/(7) for Sync-OS and
+// Async, where the host does not wait and only the offload overhead must
+// be beaten.
+func (m *Model) OffloadImprovesThroughput(t Threading, k Kernel, g uint64) (bool, error) {
+	if err := k.Validate(); err != nil {
+		return false, err
+	}
+	over, err := m.offloadOverhead(t)
+	if err != nil {
+		return false, err
+	}
+	host := k.HostCycles(g)
+	switch t {
+	case Sync:
+		// The waiting host still pays the accelerator's execution time.
+		return host > host/m.p.A+over, nil
+	default:
+		return host > over, nil
+	}
+}
+
+// OffloadReducesLatency reports whether a single g-byte offload reduces
+// per-request latency: the host cycles must dominate the accelerator's
+// cycles plus the latency-path overheads (§3).
+func (m *Model) OffloadReducesLatency(t Threading, k Kernel, g uint64) (bool, error) {
+	if err := k.Validate(); err != nil {
+		return false, err
+	}
+	over, err := m.latencyOverhead(t)
+	if err != nil {
+		return false, err
+	}
+	host := k.HostCycles(g)
+	accel := host / m.p.A
+	if math.IsInf(m.p.A, 1) {
+		accel = 0
+	}
+	if t == AsyncNoResponse {
+		// No response means the accelerator's cycles only stay on the
+		// request path for non-remote strategies; callers deciding
+		// remote placement should use BreakEvenLatencyG with Remote.
+		return host > accel+over, nil
+	}
+	return host > accel+over, nil
+}
+
+// BreakEvenThroughputG returns the smallest offload size in bytes at which
+// a single offload improves throughput, solving equations (2)/(4)/(7) for
+// g. It returns +Inf when no finite size is profitable (e.g. Sync with
+// A = 1: the accelerator never beats the host plus overhead).
+func (m *Model) BreakEvenThroughputG(t Threading, k Kernel) (float64, error) {
+	if err := k.Validate(); err != nil {
+		return 0, err
+	}
+	over, err := m.offloadOverhead(t)
+	if err != nil {
+		return 0, err
+	}
+	effCb := k.Cb
+	if t == Sync {
+		// Cb·g^β (1 - 1/A) > over
+		factor := 1 - 1/m.p.A
+		if math.IsInf(m.p.A, 1) {
+			factor = 1
+		}
+		if factor <= 0 {
+			return math.Inf(1), nil
+		}
+		effCb = k.Cb * factor
+	}
+	if over == 0 {
+		// Any positive size profits; the minimum meaningful offload is one
+		// byte.
+		return 1, nil
+	}
+	return math.Pow(over/effCb, 1/k.Beta), nil
+}
+
+// BreakEvenLatencyG returns the smallest offload size in bytes at which a
+// single offload reduces per-request latency. For every design except a
+// remote response-free offload, the accelerator's cycles remain on the
+// request path, so the condition is Cb·g^β(1-1/A) > overhead; +Inf when
+// A = 1 makes that impossible.
+func (m *Model) BreakEvenLatencyG(t Threading, s Strategy, k Kernel) (float64, error) {
+	if err := k.Validate(); err != nil {
+		return 0, err
+	}
+	switch s {
+	case OnChip, OffChip, Remote:
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownStrategy, int(s))
+	}
+	over, err := m.latencyOverhead(t)
+	if err != nil {
+		return 0, err
+	}
+	factor := 1 - 1/m.p.A
+	if math.IsInf(m.p.A, 1) {
+		factor = 1
+	}
+	if t == AsyncNoResponse && s == Remote {
+		// Accelerator cycles leave the request path entirely.
+		factor = 1
+	}
+	if factor <= 0 {
+		return math.Inf(1), nil
+	}
+	if over == 0 {
+		return 1, nil
+	}
+	return math.Pow(over/(k.Cb*factor), 1/k.Beta), nil
+}

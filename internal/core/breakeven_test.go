@@ -1,0 +1,280 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelValidate(t *testing.T) {
+	if err := LinearKernel(5.6).Validate(); err != nil {
+		t.Errorf("linear kernel: %v", err)
+	}
+	bad := []Kernel{
+		{Cb: 0, Beta: 1},
+		{Cb: -1, Beta: 1},
+		{Cb: math.NaN(), Beta: 1},
+		{Cb: 1, Beta: 0},
+		{Cb: 1, Beta: -1},
+		{Cb: 1, Beta: math.Inf(1)},
+	}
+	for _, k := range bad {
+		if err := k.Validate(); err == nil {
+			t.Errorf("kernel %+v: want error", k)
+		}
+	}
+}
+
+func TestKernelHostCycles(t *testing.T) {
+	k := LinearKernel(2)
+	if got := k.HostCycles(100); got != 200 {
+		t.Errorf("linear HostCycles(100) = %v", got)
+	}
+	super := Kernel{Cb: 1, Beta: 2}
+	if got := super.HostCycles(10); got != 100 {
+		t.Errorf("quadratic HostCycles(10) = %v", got)
+	}
+	sub := Kernel{Cb: 1, Beta: 0.5}
+	if got := sub.HostCycles(100); math.Abs(got-10) > 1e-9 {
+		t.Errorf("sqrt HostCycles(100) = %v", got)
+	}
+}
+
+// §5 compression study: off-chip Sync offload breaks even at g ≥ 425 B with
+// L=2300, A=27, Cb=5.6 (eqn 2).
+func TestCompressionOffChipBreakEven(t *testing.T) {
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, A: 27})
+	k := LinearKernel(5.6)
+	g, err := m.BreakEvenThroughputG(Sync, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 420 || g > 432 {
+		t.Errorf("off-chip Sync break-even = %v B, paper reports 425 B", g)
+	}
+
+	ok, err := m.OffloadImprovesThroughput(Sync, k, 500)
+	if err != nil || !ok {
+		t.Errorf("500 B offload should improve speedup: %v, %v", ok, err)
+	}
+	ok, err = m.OffloadImprovesThroughput(Sync, k, 300)
+	if err != nil || ok {
+		t.Errorf("300 B offload should not improve speedup: %v, %v", ok, err)
+	}
+}
+
+// §5: Sync-OS must beat o0+L+Q+2·o1 (eqn 4) — a much larger break-even.
+func TestCompressionSyncOSBreakEven(t *testing.T) {
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, O1: 5750, A: 27})
+	k := LinearKernel(5.6)
+	g, err := m.BreakEvenThroughputG(SyncOS, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (2300 + 2*5750)/5.6 = 2464 B.
+	if g < 2400 || g > 2530 {
+		t.Errorf("Sync-OS break-even = %v B, want ~2464", g)
+	}
+}
+
+// §5: Async must beat o0+L+Q only (eqn 7): 2300/5.6 ≈ 411 B.
+func TestCompressionAsyncBreakEven(t *testing.T) {
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, A: 27})
+	k := LinearKernel(5.6)
+	g, err := m.BreakEvenThroughputG(AsyncSameThread, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g < 405 || g > 415 {
+		t.Errorf("Async break-even = %v B, want ~411", g)
+	}
+	// Async's break-even is below Sync's: the host no longer pays the
+	// accelerator's execution time.
+	syncG, _ := m.BreakEvenThroughputG(Sync, k)
+	if !(g < syncG) {
+		t.Errorf("Async break-even %v should be below Sync %v", g, syncG)
+	}
+}
+
+// §4 case study 1: AES-NI breaks even at tiny granularities; Cache1's
+// encryptions (all ≥ 4 B) therefore all profit.
+func TestAESNIBreakEvenTiny(t *testing.T) {
+	m := MustNew(Params{C: 2.0e9, Alpha: 0.165844, N: 298951, O0: 10, L: 3, A: 6})
+	k := LinearKernel(5.5)
+	g, err := m.BreakEvenThroughputG(Sync, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g > 4 {
+		t.Errorf("AES-NI break-even = %v B, want ≤ 4 (paper: all ≥4 B offloads profit)", g)
+	}
+	ok, err := m.OffloadImprovesThroughput(Sync, k, 4)
+	if err != nil || !ok {
+		t.Errorf("4 B AES offload should profit: %v, %v", ok, err)
+	}
+}
+
+// On-chip acceleration with no offload overhead profits at any size ≥ 1 B.
+func TestOnChipBreakEvenIsOneByte(t *testing.T) {
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, A: 5})
+	g, err := m.BreakEvenThroughputG(Sync, LinearKernel(5.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g != 1 {
+		t.Errorf("zero-overhead break-even = %v, want 1", g)
+	}
+}
+
+// A Sync offload to an A=1 accelerator can never improve throughput.
+func TestSyncNeverProfitsAtAEqualsOne(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.3, N: 100, L: 100, A: 1})
+	g, err := m.BreakEvenThroughputG(Sync, LinearKernel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g, 1) {
+		t.Errorf("Sync A=1 break-even = %v, want +Inf", g)
+	}
+	ok, err := m.OffloadImprovesThroughput(Sync, LinearKernel(2), 1<<20)
+	if err != nil || ok {
+		t.Errorf("huge Sync offload at A=1 should not profit: %v, %v", ok, err)
+	}
+	// But an Async offload to the same device can still profit — the whole
+	// point of modeling threading designs (case study 3's remote CPU).
+	g, err = m.BreakEvenThroughputG(AsyncSameThread, LinearKernel(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(g, 1) {
+		t.Error("Async break-even should be finite at A=1")
+	}
+}
+
+func TestBreakEvenLatency(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.3, N: 100, L: 1000, O1: 500, A: 10})
+	k := LinearKernel(2)
+
+	// Latency path for Sync-OS includes one o1: (1000+500)/(2*0.9)=833.
+	g, err := m.BreakEvenLatencyG(SyncOS, OffChip, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1500/(2*0.9)) > 1 {
+		t.Errorf("Sync-OS latency break-even = %v, want ~833", g)
+	}
+
+	// Sync latency path has no o1: 1000/(2*0.9) = 556.
+	g, err = m.BreakEvenLatencyG(Sync, OffChip, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g-1000/(2*0.9)) > 1 {
+		t.Errorf("Sync latency break-even = %v, want ~556", g)
+	}
+
+	// A=1 off-chip: latency can never improve.
+	m1 := MustNew(Params{C: 1e9, Alpha: 0.3, N: 100, L: 1000, A: 1})
+	g, err = m1.BreakEvenLatencyG(AsyncSameThread, OffChip, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(g, 1) {
+		t.Errorf("A=1 off-chip latency break-even = %v, want +Inf", g)
+	}
+
+	// A=1 remote response-free: accelerator cycles leave the request path,
+	// so latency improves once the host-side work beats the overhead.
+	g, err = m1.BreakEvenLatencyG(AsyncNoResponse, Remote, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(g, 1) || g > 501 {
+		t.Errorf("remote no-response latency break-even = %v, want ~500", g)
+	}
+}
+
+func TestBreakEvenErrors(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.3, N: 100, A: 2})
+	if _, err := m.BreakEvenThroughputG(Threading(99), LinearKernel(1)); err == nil {
+		t.Error("unknown threading: want error")
+	}
+	if _, err := m.BreakEvenThroughputG(Sync, Kernel{}); err == nil {
+		t.Error("invalid kernel: want error")
+	}
+	if _, err := m.BreakEvenLatencyG(Sync, Strategy(99), LinearKernel(1)); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+	if _, err := m.BreakEvenLatencyG(Threading(99), OnChip, LinearKernel(1)); err == nil {
+		t.Error("unknown threading latency: want error")
+	}
+	if _, err := m.BreakEvenLatencyG(Sync, OnChip, Kernel{}); err == nil {
+		t.Error("invalid kernel latency: want error")
+	}
+	if _, err := m.OffloadImprovesThroughput(Threading(99), LinearKernel(1), 10); err == nil {
+		t.Error("unknown threading improves: want error")
+	}
+	if _, err := m.OffloadImprovesThroughput(Sync, Kernel{}, 10); err == nil {
+		t.Error("invalid kernel improves: want error")
+	}
+	if _, err := m.OffloadReducesLatency(Threading(99), LinearKernel(1), 10); err == nil {
+		t.Error("unknown threading reduces: want error")
+	}
+	if _, err := m.OffloadReducesLatency(Sync, Kernel{}, 10); err == nil {
+		t.Error("invalid kernel reduces: want error")
+	}
+}
+
+// Property: any offload strictly above the break-even size improves
+// throughput, and any strictly below does not (linear kernels).
+func TestBreakEvenConsistency(t *testing.T) {
+	f := func(cbRaw, lRaw, o1Raw uint16, thIdx uint8) bool {
+		cb := 0.5 + float64(cbRaw%100)/10 // 0.5..10.4
+		l := float64(lRaw % 10000)
+		o1 := float64(o1Raw % 5000)
+		th := Threadings[int(thIdx)%len(Threadings)]
+		m := MustNew(Params{C: 1e9, Alpha: 0.2, N: 1000, L: l, O1: o1, A: 8})
+		k := LinearKernel(cb)
+		g, err := m.BreakEvenThroughputG(th, k)
+		if err != nil || math.IsInf(g, 1) {
+			return err == nil
+		}
+		above := uint64(math.Ceil(g)) + 1
+		below := uint64(math.Floor(g))
+		okAbove, err := m.OffloadImprovesThroughput(th, k, above)
+		if err != nil || !okAbove {
+			return false
+		}
+		if below >= 1 {
+			okBelow, err := m.OffloadImprovesThroughput(th, k, below-0)
+			if err != nil {
+				return false
+			}
+			// Exactly at or below break-even must not improve.
+			if float64(below) < g && okBelow {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: super-linear kernels have smaller break-even sizes than linear
+// ones with the same Cb (they amass host cycles faster).
+func TestBetaShrinksBreakEven(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.2, N: 1000, L: 5000, A: 10})
+	linear, err := m.BreakEvenThroughputG(AsyncSameThread, Kernel{Cb: 2, Beta: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	super, err := m.BreakEvenThroughputG(AsyncSameThread, Kernel{Cb: 2, Beta: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(super < linear) {
+		t.Errorf("super-linear break-even %v should be below linear %v", super, linear)
+	}
+}

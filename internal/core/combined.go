@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Combined offload. §5 of the paper observes that "off-chip encryption
+// accelerators can be extended to perform compression to leverage
+// improving two kernels for the price of one offload": when two kernels
+// operate on the same data in sequence (compress then encrypt an RPC
+// payload), a single accelerator can execute both with a single o0 + L + Q
+// dispatch. This file models that composition and quantifies the saving
+// over offloading the kernels separately.
+
+// KernelShare is one kernel participating in a combined offload.
+type KernelShare struct {
+	Name  string
+	Alpha float64 // fraction of host cycles in this kernel
+	A     float64 // accelerator's speedup for this kernel
+}
+
+// Validate checks the share.
+func (k KernelShare) Validate() error {
+	if math.IsNaN(k.Alpha) || k.Alpha < 0 || k.Alpha > 1 {
+		return fmt.Errorf("core: kernel %q alpha = %v, want within [0,1]", k.Name, k.Alpha)
+	}
+	if math.IsNaN(k.A) || k.A < 1 {
+		return fmt.Errorf("core: kernel %q A = %v, want >= 1 (may be +Inf)", k.Name, k.A)
+	}
+	return nil
+}
+
+// accelFrac returns alpha/A (0 for an ideal accelerator).
+func (k KernelShare) accelFrac() float64 {
+	if math.IsInf(k.A, 1) {
+		return 0
+	}
+	return k.Alpha / k.A
+}
+
+// CombinedOffload models offloading several kernels that share one
+// dispatch: the host pays o0 + L + Q once per offload (n offloads per time
+// unit), while each kernel's cycles shrink by its own acceleration factor.
+type CombinedOffload struct {
+	C       float64 // total host cycles per time unit
+	N       float64 // combined offloads per time unit
+	O0      float64
+	L       float64
+	Q       float64
+	O1      float64
+	Kernels []KernelShare
+}
+
+// Validate checks the combined offload.
+func (c CombinedOffload) Validate() error {
+	if !(c.C > 0) || math.IsInf(c.C, 0) {
+		return fmt.Errorf("core: combined C = %v, want finite > 0", c.C)
+	}
+	if math.IsNaN(c.N) || c.N < 0 || math.IsInf(c.N, 0) {
+		return fmt.Errorf("core: combined N = %v, want finite >= 0", c.N)
+	}
+	if c.O0 < 0 || c.L < 0 || c.Q < 0 || c.O1 < 0 {
+		return fmt.Errorf("core: combined overheads must be non-negative")
+	}
+	if len(c.Kernels) == 0 {
+		return fmt.Errorf("core: combined offload needs at least one kernel")
+	}
+	total := 0.0
+	for _, k := range c.Kernels {
+		if err := k.Validate(); err != nil {
+			return err
+		}
+		total += k.Alpha
+	}
+	if total > 1 {
+		return fmt.Errorf("core: combined kernel alphas sum to %v > 1", total)
+	}
+	return nil
+}
+
+// totalAlpha returns the summed kernel fraction.
+func (c CombinedOffload) totalAlpha() float64 {
+	t := 0.0
+	for _, k := range c.Kernels {
+		t += k.Alpha
+	}
+	return t
+}
+
+// Speedup returns the combined throughput speedup for the threading
+// design: the generalization of equations (1), (3), and (6) with Σαᵢ
+// removed from the host and Σαᵢ/Aᵢ (Sync only) plus one set of offload
+// overheads on the accelerated path.
+func (c CombinedOffload) Speedup(th Threading) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	alpha := c.totalAlpha()
+	perUnit := func(cycles float64) float64 { return c.N / c.C * cycles }
+	switch th {
+	case Sync:
+		wait := 0.0
+		for _, k := range c.Kernels {
+			wait += k.accelFrac()
+		}
+		return 1 / ((1 - alpha) + wait + perUnit(c.O0+c.L+c.Q)), nil
+	case SyncOS:
+		return 1 / ((1 - alpha) + perUnit(c.O0+c.L+c.Q+2*c.O1)), nil
+	case AsyncSameThread, AsyncNoResponse:
+		return 1 / ((1 - alpha) + perUnit(c.O0+c.L+c.Q)), nil
+	case AsyncDistinctThread:
+		return 1 / ((1 - alpha) + perUnit(c.O0+c.L+c.Q+c.O1)), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(th))
+	}
+}
+
+// SeparateSpeedup returns the throughput speedup when each kernel is
+// offloaded independently — each paying its own o0 + L + Q per offload
+// (and switch costs where the design incurs them).
+func (c CombinedOffload) SeparateSpeedup(th Threading) (float64, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	alpha := c.totalAlpha()
+	k := float64(len(c.Kernels))
+	perUnit := func(cycles float64) float64 { return c.N / c.C * cycles }
+	switch th {
+	case Sync:
+		wait := 0.0
+		for _, ks := range c.Kernels {
+			wait += ks.accelFrac()
+		}
+		return 1 / ((1 - alpha) + wait + perUnit(k*(c.O0+c.L+c.Q))), nil
+	case SyncOS:
+		return 1 / ((1 - alpha) + perUnit(k*(c.O0+c.L+c.Q+2*c.O1))), nil
+	case AsyncSameThread, AsyncNoResponse:
+		return 1 / ((1 - alpha) + perUnit(k*(c.O0+c.L+c.Q))), nil
+	case AsyncDistinctThread:
+		return 1 / ((1 - alpha) + perUnit(k*(c.O0+c.L+c.Q+c.O1))), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(th))
+	}
+}
+
+// CombinationGain returns combined/separate speedup — how much sharing one
+// dispatch across the kernels buys.
+func (c CombinedOffload) CombinationGain(th Threading) (float64, error) {
+	combined, err := c.Speedup(th)
+	if err != nil {
+		return 0, err
+	}
+	separate, err := c.SeparateSpeedup(th)
+	if err != nil {
+		return 0, err
+	}
+	return combined / separate, nil
+}

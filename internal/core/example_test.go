@@ -1,0 +1,72 @@
+package core_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Estimate the AES-NI case study (Table 6, case study 1).
+func ExampleModel_Speedup() {
+	m, err := core.New(core.Params{
+		C: 2.0e9, Alpha: 0.165844, N: 298951,
+		O0: 10, L: 3, A: 6,
+	})
+	if err != nil {
+		panic(err)
+	}
+	speedup, err := m.Speedup(core.Sync)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("AES-NI speedup: %.1f%%\n", (speedup-1)*100)
+	// Output: AES-NI speedup: 15.8%
+}
+
+// Compare threading designs for the same off-chip accelerator.
+func ExampleModel_LatencyReduction() {
+	m := core.MustNew(core.Params{
+		C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, O1: 5750, A: 27,
+	})
+	for _, th := range []core.Threading{core.Sync, core.SyncOS} {
+		s, _ := m.Speedup(th)
+		l, _ := m.LatencyReduction(th, core.OffChip)
+		fmt.Printf("%s: throughput %+.1f%% latency %+.1f%%\n",
+			th, (s-1)*100, (l-1)*100)
+	}
+	// Output:
+	// Sync: throughput +15.6% latency +15.6%
+	// Sync-OS: throughput +10.2% latency +12.5%
+}
+
+// Find the smallest profitable offload size (equation 2).
+func ExampleModel_BreakEvenThroughputG() {
+	m := core.MustNew(core.Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, A: 27})
+	g, err := m.BreakEvenThroughputG(core.Sync, core.LinearKernel(5.6))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("offload pays off at g >= %.0f bytes\n", g)
+	// Output: offload pays off at g >= 427 bytes
+}
+
+// Project speedup from a workload's granularity distribution — the paper's
+// five-step methodology in one call.
+func ExampleProject() {
+	sizes := dist.MustCDF(dist.CompressionLayout, []float64{
+		0, 0.085, 0.08, 0.13, 0.09, 0.145, 0.18, 0.10, 0.09, 0.06, 0.03, 0.01,
+	})
+	pr, err := core.Project(core.Workload{
+		C: 2.3e9, KernelFrac: 0.15, Invocation: 15008, Sizes: sizes,
+	}, core.LinearKernel(5.6), core.Offload{
+		Strategy: core.OffChip, Thread: core.AsyncSameThread,
+		A: 27, L: 2300, SelectiveOffload: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.0f%% of offloads profit; speedup %.1f%%\n",
+		pr.OffloadedFraction*100, pr.SpeedupPercent())
+	// Output: 65% of offloads profit; speedup 9.6%
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model evaluates the Accelerometer equations for one parameterization.
+type Model struct {
+	p Params
+}
+
+// New validates the parameters and returns a model over them.
+func New(p Params) (*Model, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Model{p: p}, nil
+}
+
+// MustNew is New that panics on invalid parameters; for tests and
+// package-level reference scenarios.
+func MustNew(p Params) *Model {
+	m, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// Params returns the model's parameters.
+func (m *Model) Params() Params { return m.p }
+
+// Speedup returns the microservice throughput speedup C/CS for the given
+// threading design: equation (1) for Sync, (3) for Sync-OS, (6) for Async
+// same-thread and response-free designs, and (3) with a single o1 for
+// Async with a distinct response thread.
+func (m *Model) Speedup(t Threading) (float64, error) {
+	p := m.p
+	base := p.overheadPerUnit(p.O0 + p.L + p.Q)
+	switch t {
+	case Sync:
+		// Eqn (1): the accelerator's cycles sit on the host's critical path.
+		return 1 / ((1 - p.Alpha) + p.accelFraction() + base), nil
+	case SyncOS:
+		// Eqn (3): the host switches away and back, paying 2·o1.
+		return 1 / ((1 - p.Alpha) + base + p.overheadPerUnit(2*p.O1)), nil
+	case AsyncSameThread, AsyncNoResponse:
+		// Eqn (6): no wait and no switch.
+		return 1 / ((1 - p.Alpha) + base), nil
+	case AsyncDistinctThread:
+		// §3: "the speedup equation is the same as (3) with only one
+		// thread switching overhead o1".
+		return 1 / ((1 - p.Alpha) + base + p.overheadPerUnit(p.O1)), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(t))
+	}
+}
+
+// LatencyReduction returns the per-request latency speedup C/CL for the
+// given threading design and acceleration strategy: equation (1) for Sync,
+// (5) for Sync-OS and Async-distinct-thread, (8) for Async same-thread, and
+// for response-free async designs equation (8) off-chip but (6) remote —
+// a remote accelerator's execution time leaves the microservice's request
+// path and shows up only in the application's end-to-end latency.
+func (m *Model) LatencyReduction(t Threading, s Strategy) (float64, error) {
+	switch s {
+	case OnChip, OffChip, Remote:
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownStrategy, int(s))
+	}
+	p := m.p
+	base := p.overheadPerUnit(p.O0 + p.L + p.Q)
+	switch t {
+	case Sync:
+		// Eqn (1): CS = CL for Sync.
+		return 1 / ((1 - p.Alpha) + p.accelFraction() + base), nil
+	case SyncOS, AsyncDistinctThread:
+		// Eqn (5): accelerator cycles plus one switch on the request path.
+		return 1 / ((1 - p.Alpha) + p.accelFraction() + base + p.overheadPerUnit(p.O1)), nil
+	case AsyncSameThread:
+		// Eqn (8).
+		return 1 / ((1 - p.Alpha) + p.accelFraction() + base), nil
+	case AsyncNoResponse:
+		if s == Remote {
+			// Remote accelerator cycles do not affect this
+			// microservice's request latency: eqn (6).
+			return 1 / ((1 - p.Alpha) + base), nil
+		}
+		// Off-chip (or on-chip) accelerator cycles remain in the request
+		// path: eqn (8).
+		return 1 / ((1 - p.Alpha) + p.accelFraction() + base), nil
+	default:
+		return 0, fmt.Errorf("%w: %d", ErrUnknownThreading, int(t))
+	}
+}
+
+// SpeedupPercent returns Speedup expressed as a percentage gain (a 1.157x
+// speedup reports 15.7), matching how the paper states results.
+func (m *Model) SpeedupPercent(t Threading) (float64, error) {
+	s, err := m.Speedup(t)
+	if err != nil {
+		return 0, err
+	}
+	return (s - 1) * 100, nil
+}
+
+// LatencyReductionPercent returns LatencyReduction as a percentage gain.
+func (m *Model) LatencyReductionPercent(t Threading, s Strategy) (float64, error) {
+	l, err := m.LatencyReduction(t, s)
+	if err != nil {
+		return 0, err
+	}
+	return (l - 1) * 100, nil
+}
+
+// IdealSpeedup returns the Amdahl bound 1/(1-α): the whole-service speedup
+// from an infinitely fast, overhead-free accelerator. The paper uses this
+// to observe that an ML service improves at most 1.49x even if inference
+// takes no time.
+func (m *Model) IdealSpeedup() float64 {
+	if m.p.Alpha >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - m.p.Alpha)
+}
+
+// ThroughputImproves reports whether net speedup exceeds 1 for the
+// threading design, i.e. the host spends more cycles without acceleration:
+// (α·C) > α·C/A + n(o0+L+Q) for Sync, and the corresponding conditions for
+// the other designs (§3).
+func (m *Model) ThroughputImproves(t Threading) (bool, error) {
+	s, err := m.Speedup(t)
+	if err != nil {
+		return false, err
+	}
+	return s > 1, nil
+}
+
+// LatencyImproves reports whether latency reduction exceeds 1.
+func (m *Model) LatencyImproves(t Threading, s Strategy) (bool, error) {
+	l, err := m.LatencyReduction(t, s)
+	if err != nil {
+		return false, err
+	}
+	return l > 1, nil
+}

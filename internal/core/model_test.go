@@ -1,0 +1,398 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// within asserts a value lies in [lo, hi].
+func within(t *testing.T, name string, got, lo, hi float64) {
+	t.Helper()
+	if math.IsNaN(got) || got < lo || got > hi {
+		t.Errorf("%s = %v, want within [%v, %v]", name, got, lo, hi)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	good := Params{C: 2e9, Alpha: 0.2, N: 100, O0: 1, Q: 2, L: 3, O1: 4, A: 5}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid params rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero C", func(p *Params) { p.C = 0 }},
+		{"negative C", func(p *Params) { p.C = -1 }},
+		{"inf C", func(p *Params) { p.C = math.Inf(1) }},
+		{"alpha > 1", func(p *Params) { p.Alpha = 1.1 }},
+		{"alpha < 0", func(p *Params) { p.Alpha = -0.1 }},
+		{"NaN alpha", func(p *Params) { p.Alpha = math.NaN() }},
+		{"negative N", func(p *Params) { p.N = -1 }},
+		{"negative O0", func(p *Params) { p.O0 = -1 }},
+		{"negative Q", func(p *Params) { p.Q = -1 }},
+		{"negative L", func(p *Params) { p.L = -1 }},
+		{"negative O1", func(p *Params) { p.O1 = -1 }},
+		{"A below 1", func(p *Params) { p.A = 0.5 }},
+		{"NaN A", func(p *Params) { p.A = math.NaN() }},
+	}
+	for _, tc := range cases {
+		p := good
+		tc.mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	// A = +Inf is the ideal accelerator and is allowed.
+	p := good
+	p.A = math.Inf(1)
+	if err := p.Validate(); err != nil {
+		t.Errorf("A=+Inf should validate: %v", err)
+	}
+}
+
+func TestNewRejectsInvalid(t *testing.T) {
+	if _, err := New(Params{}); err == nil {
+		t.Error("zero params: want error")
+	}
+}
+
+func TestThreadingStrategyStrings(t *testing.T) {
+	if Sync.String() != "Sync" || SyncOS.String() != "Sync-OS" || AsyncSameThread.String() != "Async" {
+		t.Error("threading names wrong")
+	}
+	if Threading(99).String() == "" || Strategy(99).String() == "" {
+		t.Error("unknown values must still render")
+	}
+	if OnChip.String() != "on-chip" || OffChip.String() != "off-chip" || Remote.String() != "remote" {
+		t.Error("strategy names wrong")
+	}
+}
+
+func TestUnknownThreadingErrors(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.1, N: 10, A: 2})
+	if _, err := m.Speedup(Threading(99)); err == nil {
+		t.Error("unknown threading: want error")
+	}
+	if _, err := m.LatencyReduction(Threading(99), OnChip); err == nil {
+		t.Error("unknown threading for latency: want error")
+	}
+	if _, err := m.LatencyReduction(Sync, Strategy(99)); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+	if _, err := m.SpeedupPercent(Threading(99)); err == nil {
+		t.Error("unknown threading percent: want error")
+	}
+	if _, err := m.LatencyReductionPercent(Sync, Strategy(99)); err == nil {
+		t.Error("unknown strategy percent: want error")
+	}
+	if _, err := m.ThroughputImproves(Threading(99)); err == nil {
+		t.Error("unknown threading improves: want error")
+	}
+	if _, err := m.LatencyImproves(Threading(99), OnChip); err == nil {
+		t.Error("unknown threading latency improves: want error")
+	}
+}
+
+// Table 6, case study 1: AES-NI for Cache1 (on-chip, Sync).
+// C=2.0e9, α=0.165844, n=298951, o0=10, Q=0, L=3, A=6 → estimated 15.7%.
+func TestCaseStudy1AESNI(t *testing.T) {
+	m := MustNew(Params{
+		C: 2.0e9, Alpha: 0.165844, N: 298951,
+		O0: 10, Q: 0, L: 3, A: 6,
+	})
+	pct, err := m.SpeedupPercent(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "AES-NI speedup %", pct, 15.6, 15.9)
+
+	// Sync latency reduction equals its speedup (CS = CL).
+	lat, err := m.LatencyReductionPercent(Sync, OnChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lat-pct) > 1e-9 {
+		t.Errorf("Sync latency %v != speedup %v", lat, pct)
+	}
+
+	// The real production speedup was 14%; model error must be small
+	// (paper reports 1.7% absolute difference).
+	if diff := math.Abs(pct - 14.0); diff > 2.0 {
+		t.Errorf("model vs production difference = %v pp, paper reports 1.7", diff)
+	}
+}
+
+// Table 6, case study 2: off-chip PCIe encryption for Cache3 (Async,
+// response-free). C=2.3e9, α=0.19154, n=101863, o0=0, Q=0, L=2530 →
+// estimated 8.6% (real 7.5%).
+func TestCaseStudy2OffChipEncryption(t *testing.T) {
+	m := MustNew(Params{
+		C: 2.3e9, Alpha: 0.19154, N: 101863,
+		O0: 0, Q: 0, L: 2530, A: 1, // A unused by the Async speedup path
+	})
+	pct, err := m.SpeedupPercent(AsyncNoResponse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "off-chip encryption speedup %", pct, 8.5, 8.75)
+	if diff := math.Abs(pct - 7.5); diff > 1.5 {
+		t.Errorf("model vs production difference = %v pp, paper reports 1.1", diff)
+	}
+}
+
+// Table 6, case study 3: remote CPU inference for Ads1 (distinct response
+// thread ⇒ Sync-OS speedup with a single o1). C=2.5e9, α=0.52, n=10,
+// o0=25e6, o1=12500, L+Q=0, A=1 → estimated 72.39% (real 68.69%).
+func TestCaseStudy3RemoteInference(t *testing.T) {
+	m := MustNew(Params{
+		C: 2.5e9, Alpha: 0.52, N: 10,
+		O0: 25e6, Q: 0, L: 0, O1: 12500, A: 1,
+	})
+	pct, err := m.SpeedupPercent(AsyncDistinctThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "remote inference speedup %", pct, 72.3, 72.5)
+	if diff := math.Abs(pct - 68.69); diff > 4.0 {
+		t.Errorf("model vs production difference = %v pp, paper reports 3.7", diff)
+	}
+}
+
+// Fig 20 / Table 7: compression acceleration for Feed1 with pre-filtered
+// parameters, all four bars plus the ideal bound.
+func TestFig20Compression(t *testing.T) {
+	const total = 15008.0
+
+	ideal := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 0, A: 1}).IdealSpeedup()
+	within(t, "compression ideal %", (ideal-1)*100, 17.5, 17.8)
+
+	onChip := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 0, A: 5})
+	pct, err := onChip.SpeedupPercent(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression on-chip Sync %", pct, 13.5, 13.8)
+	lat, err := onChip.LatencyReductionPercent(Sync, OnChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression on-chip latency %", lat, 13.5, 13.8)
+
+	// Off-chip Sync: n=9629 profitable offloads, α scaled by the
+	// offloaded fraction.
+	offSync := MustNew(Params{C: 2.3e9, Alpha: 0.15 * 9629 / total, N: 9629, L: 2300, A: 27})
+	pct, err = offSync.SpeedupPercent(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression off-chip Sync %", pct, 8.8, 9.3)
+
+	// Off-chip Sync-OS: n=3986, o1=5750.
+	offSyncOS := MustNew(Params{C: 2.3e9, Alpha: 0.15 * 3986 / total, N: 3986, L: 2300, O1: 5750, A: 27})
+	pct, err = offSyncOS.SpeedupPercent(SyncOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression off-chip Sync-OS %", pct, 1.5, 1.8)
+
+	// Off-chip Async: n=9769.
+	offAsync := MustNew(Params{C: 2.3e9, Alpha: 0.15 * 9769 / total, N: 9769, L: 2300, A: 27})
+	pct, err = offAsync.SpeedupPercent(AsyncSameThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression off-chip Async %", pct, 9.4, 9.8)
+	lat, err = offAsync.LatencyReductionPercent(AsyncSameThread, OffChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "compression off-chip Async latency %", lat, 9.0, 9.4)
+}
+
+// Fig 20 / Table 7: on-chip memory-copy acceleration for Ads1.
+// C=2.3e9, α=0.1512, n=1473681, L=0, A=4 → 12.7%.
+func TestFig20MemoryCopy(t *testing.T) {
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.1512, N: 1473681, L: 0, A: 4})
+	pct, err := m.SpeedupPercent(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "memory copy on-chip %", pct, 12.6, 12.9)
+}
+
+// Fig 20 / Table 7: on-chip allocation acceleration for Cache1.
+// C=2.0e9, α=0.055, n=51695, A=1.5 → 1.86%.
+func TestFig20MemoryAllocation(t *testing.T) {
+	m := MustNew(Params{C: 2.0e9, Alpha: 0.055, N: 51695, A: 1.5})
+	pct, err := m.SpeedupPercent(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	within(t, "allocation on-chip %", pct, 1.8, 1.95)
+}
+
+// §2.4: an ML microservice speeds up by only 49% even with infinitely fast
+// inference when inference is 33% of cycles (1/(1-0.33) = 1.49x), and by
+// 2.38x when inference is 58% (1/(1-0.58) = 2.38x).
+func TestInferenceAmdahlBounds(t *testing.T) {
+	low := MustNew(Params{C: 1e9, Alpha: 0.33, N: 0, A: 1}).IdealSpeedup()
+	within(t, "ML ideal speedup (33% inference)", low, 1.48, 1.50)
+	high := MustNew(Params{C: 1e9, Alpha: 0.58, N: 0, A: 1}).IdealSpeedup()
+	within(t, "ML ideal speedup (58% inference)", high, 2.36, 2.40)
+
+	if got := MustNew(Params{C: 1e9, Alpha: 1, N: 0, A: 1}).IdealSpeedup(); !math.IsInf(got, 1) {
+		t.Errorf("alpha=1 ideal speedup = %v, want +Inf", got)
+	}
+}
+
+// With zero offload overheads and an ideal accelerator, every design's
+// speedup approaches the Amdahl bound.
+func TestIdealAcceleratorConvergence(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.4, N: 1000, A: math.Inf(1)}
+	m := MustNew(p)
+	want := 1 / (1 - 0.4)
+	for _, th := range Threadings {
+		s, err := m.Speedup(th)
+		if err != nil {
+			t.Fatalf("%v: %v", th, err)
+		}
+		if math.Abs(s-want) > 1e-9 {
+			t.Errorf("%v ideal speedup = %v, want %v", th, s, want)
+		}
+	}
+}
+
+// Threading-design ordering: with identical parameters, Async ≥ Sync-OS
+// never holds trivially, but Async (no wait, no switch) must dominate
+// Sync-OS (two switches), and Sync-OS with cheap switches must dominate
+// Sync when the accelerator is slow (A close to 1).
+func TestThreadingOrdering(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.3, N: 1e5, O0: 100, L: 500, Q: 50, O1: 300, A: 1.2}
+	m := MustNew(p)
+	sync, _ := m.Speedup(Sync)
+	syncOS, _ := m.Speedup(SyncOS)
+	async, _ := m.Speedup(AsyncSameThread)
+	distinct, _ := m.Speedup(AsyncDistinctThread)
+	if !(async > distinct) {
+		t.Errorf("Async (%v) should beat Async-distinct (%v): one fewer switch", async, distinct)
+	}
+	if !(distinct > syncOS) {
+		t.Errorf("Async-distinct (%v) should beat Sync-OS (%v): one fewer switch", distinct, syncOS)
+	}
+	if !(syncOS > sync) {
+		t.Errorf("Sync-OS (%v) should beat Sync (%v) when the accelerator is slow", syncOS, sync)
+	}
+}
+
+// With a very fast accelerator and very expensive thread switches, Sync
+// beats Sync-OS — the crossover the model exists to expose.
+func TestSyncBeatsSyncOSWithExpensiveSwitches(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.3, N: 1e5, O0: 0, L: 10, Q: 0, O1: 5e4, A: 100}
+	m := MustNew(p)
+	sync, _ := m.Speedup(Sync)
+	syncOS, _ := m.Speedup(SyncOS)
+	if !(sync > syncOS) {
+		t.Errorf("Sync (%v) should beat Sync-OS (%v) with µs-scale o1", sync, syncOS)
+	}
+}
+
+// Sync-OS can gain throughput while losing latency — the paper's
+// observation that µs-scale o1 "makes it feasible to incur a throughput
+// gain at the cost of a per-request latency slowdown".
+func TestSyncOSThroughputGainLatencyLoss(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.10, N: 4e4, O0: 0, L: 100, Q: 0, O1: 1000, A: 1.05}
+	m := MustNew(p)
+	thr, err := m.ThroughputImproves(SyncOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lat, err := m.LatencyImproves(SyncOS, OffChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !thr {
+		t.Error("expected a throughput gain")
+	}
+	if lat {
+		t.Error("expected a latency loss (slow accelerator + switch cost on request path)")
+	}
+}
+
+// Remote response-free offloads keep accelerator cycles out of the request
+// latency; off-chip ones do not.
+func TestAsyncNoResponseLatencyByStrategy(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.4, N: 100, O0: 10, L: 100, Q: 0, A: 1}
+	m := MustNew(p)
+	remote, err := m.LatencyReduction(AsyncNoResponse, Remote)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offchip, err := m.LatencyReduction(AsyncNoResponse, OffChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(remote > offchip) {
+		t.Errorf("remote no-response latency (%v) should beat off-chip (%v) at A=1", remote, offchip)
+	}
+	if remote <= 1 {
+		t.Errorf("remote no-response latency reduction = %v, want > 1", remote)
+	}
+}
+
+// Speedup must degrade monotonically as per-offload overheads grow.
+func TestSpeedupMonotoneInOverheads(t *testing.T) {
+	base := Params{C: 1e9, Alpha: 0.3, N: 1e5, A: 10}
+	prev := math.Inf(1)
+	for _, l := range []float64{0, 100, 500, 2000, 10000} {
+		p := base
+		p.L = l
+		s, err := MustNew(p).Speedup(AsyncSameThread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > prev {
+			t.Errorf("speedup rose from %v to %v as L grew to %v", prev, s, l)
+		}
+		prev = s
+	}
+}
+
+// Zero-work model (α=0, n=0) must be exactly neutral for all designs.
+func TestNoKernelNoChange(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0, N: 0, A: 5})
+	for _, th := range Threadings {
+		s, err := m.Speedup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s != 1 {
+			t.Errorf("%v speedup = %v, want exactly 1", th, s)
+		}
+		for _, st := range Strategies {
+			l, err := m.LatencyReduction(th, st)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if l != 1 {
+				t.Errorf("%v/%v latency = %v, want exactly 1", th, st, l)
+			}
+		}
+	}
+}
+
+func TestParamsAccessor(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.1, N: 5, A: 2}
+	if got := MustNew(p).Params(); got != p {
+		t.Errorf("Params() = %+v, want %+v", got, p)
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with invalid params: want panic")
+		}
+	}()
+	MustNew(Params{})
+}

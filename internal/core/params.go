@@ -1,0 +1,182 @@
+// Package core implements the Accelerometer analytical model — the paper's
+// primary contribution (§3).
+//
+// Accelerometer extends LogCA to project microservice throughput speedup
+// and per-request latency reduction under hardware acceleration, accounting
+// for the offload-induced overheads of the microservice threading design:
+//
+//   - Sync: the offloading thread's core waits for the accelerator
+//     (equation 1; per-offload profitability in equation 2).
+//   - Sync-OS: threads are oversubscribed, so the host switches to another
+//     thread while the offloading thread blocks, paying 2·o1 per offload on
+//     the throughput path (equations 3 and 4) and o1 on the latency path
+//     (equation 5).
+//   - Async: the host continues without awaiting the response. If the same
+//     thread later picks up the response there is no switch cost
+//     (equations 6-8); a distinct response thread costs one o1; designs
+//     that need no response at all behave like Async for throughput, and
+//     their latency depends on whether the accelerator is off-chip (its
+//     cycles remain in the request path) or remote (they move to the
+//     application's end-to-end latency instead).
+//
+// The model is deliberately simple (Table 5): C host cycles per time unit,
+// a kernel consuming α·C of them, n offloads per time unit, per-offload
+// overheads o0 (setup), L (interface transfer), Q (queuing), o1 (thread
+// switch), and a peak accelerator speedup A.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Params holds the Accelerometer model parameters of Table 5. All cycle
+// quantities are in host cycles; N is a count per fixed time unit (the same
+// unit over which C is defined, one second in the paper's case studies).
+type Params struct {
+	// C is the total host cycles spent executing all logic in the fixed
+	// time unit; for a busy host it equals the busy frequency × unit.
+	C float64
+	// Alpha is the fraction of host cycles spent executing the kernel
+	// (0 ≤ α ≤ 1), per Amdahl's law.
+	Alpha float64
+	// N is the number of kernel offloads of profitable size in the time
+	// unit.
+	N float64
+	// O0 is the host cycles spent preparing a single offload.
+	O0 float64
+	// Q is the mean queuing delay in cycles between host and accelerator
+	// for a single offload.
+	Q float64
+	// L is the mean cycles to move one offload across the interface,
+	// including time the data spends in caches/memory.
+	L float64
+	// O1 is the cycles spent switching threads (context switch plus cache
+	// pollution) once.
+	O1 float64
+	// A is the accelerator's peak speedup factor over the host for the
+	// kernel (A ≥ 1; a remote general-purpose CPU has A = 1).
+	A float64
+}
+
+// Validate checks parameter ranges. A may be +Inf to model an ideal
+// accelerator.
+func (p Params) Validate() error {
+	switch {
+	case !(p.C > 0) || math.IsInf(p.C, 0):
+		return fmt.Errorf("core: C = %v, want finite > 0", p.C)
+	case math.IsNaN(p.Alpha) || p.Alpha < 0 || p.Alpha > 1:
+		return fmt.Errorf("core: Alpha = %v, want within [0,1]", p.Alpha)
+	case math.IsNaN(p.N) || p.N < 0 || math.IsInf(p.N, 0):
+		return fmt.Errorf("core: N = %v, want finite >= 0", p.N)
+	case math.IsNaN(p.O0) || p.O0 < 0 || math.IsInf(p.O0, 0):
+		return fmt.Errorf("core: O0 = %v, want finite >= 0", p.O0)
+	case math.IsNaN(p.Q) || p.Q < 0 || math.IsInf(p.Q, 0):
+		return fmt.Errorf("core: Q = %v, want finite >= 0", p.Q)
+	case math.IsNaN(p.L) || p.L < 0 || math.IsInf(p.L, 0):
+		return fmt.Errorf("core: L = %v, want finite >= 0", p.L)
+	case math.IsNaN(p.O1) || p.O1 < 0 || math.IsInf(p.O1, 0):
+		return fmt.Errorf("core: O1 = %v, want finite >= 0", p.O1)
+	case math.IsNaN(p.A) || p.A < 1:
+		return fmt.Errorf("core: A = %v, want >= 1 (may be +Inf)", p.A)
+	}
+	return nil
+}
+
+// overheadPerUnit returns (n/C)·cycles, the per-time-unit fractional cost of
+// a per-offload overhead.
+func (p Params) overheadPerUnit(cycles float64) float64 {
+	return p.N / p.C * cycles
+}
+
+// accelFraction returns α/A, the host-cycle fraction spent waiting on the
+// accelerator's execution; zero for an ideal accelerator (A = +Inf).
+func (p Params) accelFraction() float64 {
+	if math.IsInf(p.A, 1) {
+		return 0
+	}
+	return p.Alpha / p.A
+}
+
+// Threading identifies the microservice threading design used to offload.
+type Threading int
+
+const (
+	// Sync: one thread per core; the core blocks awaiting the response.
+	Sync Threading = iota
+	// SyncOS: synchronous offload with thread over-subscription; the OS
+	// switches to another runnable thread while the offloader blocks.
+	SyncOS
+	// AsyncSameThread: asynchronous offload whose response is picked up by
+	// the thread that issued it (no switch cost).
+	AsyncSameThread
+	// AsyncDistinctThread: asynchronous offload whose response is picked
+	// up by a dedicated response thread (one switch cost).
+	AsyncDistinctThread
+	// AsyncNoResponse: asynchronous offload needing no response at all
+	// (e.g. an encryption device that forwards directly to the next
+	// microservice).
+	AsyncNoResponse
+)
+
+// Threadings lists all threading designs in a stable order.
+var Threadings = []Threading{Sync, SyncOS, AsyncSameThread, AsyncDistinctThread, AsyncNoResponse}
+
+// String names the threading design as the paper does.
+func (t Threading) String() string {
+	switch t {
+	case Sync:
+		return "Sync"
+	case SyncOS:
+		return "Sync-OS"
+	case AsyncSameThread:
+		return "Async"
+	case AsyncDistinctThread:
+		return "Async-distinct-thread"
+	case AsyncNoResponse:
+		return "Async-no-response"
+	default:
+		return fmt.Sprintf("Threading(%d)", int(t))
+	}
+}
+
+// Strategy identifies where the accelerator sits (§3 "acceleration
+// strategies"); it affects latency modeling for response-free async designs
+// and sets expectations for the magnitude of L.
+type Strategy int
+
+const (
+	// OnChip accelerators live on the CPU die (specialized instructions,
+	// wider SIMD); offload latency is ns-scale.
+	OnChip Strategy = iota
+	// OffChip accelerators attach via PCIe or coherent interconnects;
+	// offload latency is µs-scale.
+	OffChip
+	// Remote accelerators are off-platform devices reached over the
+	// network; offload latency is ms-scale.
+	Remote
+)
+
+// Strategies lists all acceleration strategies in a stable order.
+var Strategies = []Strategy{OnChip, OffChip, Remote}
+
+// String names the strategy as the paper does.
+func (s Strategy) String() string {
+	switch s {
+	case OnChip:
+		return "on-chip"
+	case OffChip:
+		return "off-chip"
+	case Remote:
+		return "remote"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// ErrUnknownThreading reports a Threading value outside the defined set.
+var ErrUnknownThreading = errors.New("core: unknown threading design")
+
+// ErrUnknownStrategy reports a Strategy value outside the defined set.
+var ErrUnknownStrategy = errors.New("core: unknown acceleration strategy")

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Workload describes the unfiltered kernel workload of a microservice: the
+// host's total cycles, the kernel's share of them, how many kernel
+// invocations occur per time unit, and the invocation-size distribution.
+// It is the input to Project, which applies the paper's five-step
+// validation methodology (§4): find the profitable granularities, scale n
+// and α down to just those offloads, and evaluate the model.
+type Workload struct {
+	C          float64   // total host cycles per time unit
+	KernelFrac float64   // fraction of host cycles in the kernel (unfiltered α)
+	Invocation float64   // kernel invocations per time unit (unfiltered n)
+	Sizes      *dist.CDF // invocation-size distribution
+}
+
+// Validate checks the workload.
+func (w Workload) Validate() error {
+	switch {
+	case !(w.C > 0) || math.IsInf(w.C, 0):
+		return fmt.Errorf("core: workload C = %v, want finite > 0", w.C)
+	case math.IsNaN(w.KernelFrac) || w.KernelFrac < 0 || w.KernelFrac > 1:
+		return fmt.Errorf("core: workload kernel fraction = %v, want within [0,1]", w.KernelFrac)
+	case math.IsNaN(w.Invocation) || w.Invocation < 0 || math.IsInf(w.Invocation, 0):
+		return fmt.Errorf("core: workload invocations = %v, want finite >= 0", w.Invocation)
+	case w.Sizes == nil:
+		return fmt.Errorf("core: workload has no size distribution")
+	}
+	return nil
+}
+
+// AlphaWeighting selects how the kernel-cycle fraction α is scaled down
+// when only a subset of invocations is offloaded.
+type AlphaWeighting int
+
+const (
+	// WeightByInvocations scales α by the fraction of invocations
+	// offloaded — the convention the paper's application studies use
+	// (it reproduces Fig 20 exactly) — implicitly assuming kernel cycles
+	// are uniform across invocations.
+	WeightByInvocations AlphaWeighting = iota
+	// WeightByBytes scales α by the fraction of kernel *bytes* carried by
+	// the offloaded invocations, which is exact for linear-complexity
+	// kernels: large offloads hold proportionally more kernel cycles.
+	// Under this weighting, selective offload never projects below
+	// offload-all (see the ablation bench).
+	WeightByBytes
+)
+
+// String names the weighting.
+func (w AlphaWeighting) String() string {
+	switch w {
+	case WeightByInvocations:
+		return "by-invocations"
+	case WeightByBytes:
+		return "by-bytes"
+	default:
+		return fmt.Sprintf("AlphaWeighting(%d)", int(w))
+	}
+}
+
+// Offload describes the accelerator and its interface for a projection.
+type Offload struct {
+	Strategy Strategy
+	Thread   Threading
+	A        float64 // peak accelerator speedup
+	O0       float64 // setup cycles per offload
+	L        float64 // interface cycles per offload
+	Q        float64 // queuing cycles per offload
+	O1       float64 // thread-switch cycles
+	// SelectiveOffload controls whether software offloads only profitable
+	// granularities (the paper's default assumption in §4) or all
+	// invocations (case study 2's infrastructure could not filter).
+	SelectiveOffload bool
+	// Weighting selects how α scales with the offloaded subset; the zero
+	// value is the paper's invocation-count convention.
+	Weighting AlphaWeighting
+}
+
+// Projection is the result of applying the model to a workload.
+type Projection struct {
+	Params Params // the effective, filtered model parameters
+
+	// BreakEvenG is the smallest profitable offload size in bytes
+	// (equations 2/4/7); 0 when every size profits, +Inf when none does.
+	BreakEvenG float64
+	// OffloadedFraction is the fraction of kernel invocations at or above
+	// BreakEvenG (1 when offloading is unselective).
+	OffloadedFraction float64
+
+	Speedup          float64 // throughput speedup C/CS
+	LatencyReduction float64 // per-request latency speedup C/CL
+	IdealSpeedup     float64 // Amdahl bound 1/(1-unfiltered α)
+}
+
+// SpeedupPercent returns the projected throughput gain in percent.
+func (pr Projection) SpeedupPercent() float64 { return (pr.Speedup - 1) * 100 }
+
+// LatencyReductionPercent returns the projected latency gain in percent.
+func (pr Projection) LatencyReductionPercent() float64 {
+	return (pr.LatencyReduction - 1) * 100
+}
+
+// Project applies the Accelerometer model to a workload: it determines the
+// break-even granularity for the offload design, restricts n and α to the
+// profitable offloads (scaling α by the offloaded invocation fraction, as
+// the paper's application studies do), and evaluates speedup and latency
+// reduction.
+func Project(w Workload, k Kernel, off Offload) (Projection, error) {
+	if err := w.Validate(); err != nil {
+		return Projection{}, err
+	}
+	if err := k.Validate(); err != nil {
+		return Projection{}, err
+	}
+
+	// Build a trial model carrying the offload's overheads so the
+	// break-even machinery can interrogate it. Alpha/N are placeholders at
+	// this stage.
+	trial, err := New(Params{
+		C: w.C, Alpha: w.KernelFrac, N: w.Invocation,
+		O0: off.O0, L: off.L, Q: off.Q, O1: off.O1, A: off.A,
+	})
+	if err != nil {
+		return Projection{}, err
+	}
+
+	breakEven := 0.0
+	fraction := 1.0      // fraction of invocations offloaded
+	alphaFraction := 1.0 // fraction of kernel cycles offloaded
+	if off.SelectiveOffload {
+		be, err := trial.BreakEvenThroughputG(off.Thread, k)
+		if err != nil {
+			return Projection{}, err
+		}
+		breakEven = be
+		switch {
+		case math.IsInf(be, 1):
+			fraction, alphaFraction = 0, 0
+		case be <= 0:
+			fraction, alphaFraction = 1, 1
+		default:
+			g := uint64(math.Ceil(be))
+			fraction = w.Sizes.FractionAtLeast(g)
+			switch off.Weighting {
+			case WeightByBytes:
+				alphaFraction = w.Sizes.ByteFractionAtLeast(g)
+			default:
+				alphaFraction = fraction
+			}
+		}
+	}
+
+	eff := Params{
+		C:     w.C,
+		Alpha: w.KernelFrac * alphaFraction,
+		N:     w.Invocation * fraction,
+		O0:    off.O0, L: off.L, Q: off.Q, O1: off.O1, A: off.A,
+	}
+	m, err := New(eff)
+	if err != nil {
+		return Projection{}, err
+	}
+	speedup, err := m.Speedup(off.Thread)
+	if err != nil {
+		return Projection{}, err
+	}
+	latency, err := m.LatencyReduction(off.Thread, off.Strategy)
+	if err != nil {
+		return Projection{}, err
+	}
+
+	ideal := math.Inf(1)
+	if w.KernelFrac < 1 {
+		ideal = 1 / (1 - w.KernelFrac)
+	}
+	return Projection{
+		Params:            eff,
+		BreakEvenG:        breakEven,
+		OffloadedFraction: fraction,
+		Speedup:           speedup,
+		LatencyReduction:  latency,
+		IdealSpeedup:      ideal,
+	}, nil
+}
+
+// CompareStrategies projects the same workload across a set of offload
+// designs and returns the projections in input order — the workflow behind
+// Fig 20's on-chip vs off-chip comparison.
+func CompareStrategies(w Workload, k Kernel, offs []Offload) ([]Projection, error) {
+	out := make([]Projection, len(offs))
+	for i, off := range offs {
+		pr, err := Project(w, k, off)
+		if err != nil {
+			return nil, fmt.Errorf("core: projecting design %d (%v/%v): %w",
+				i, off.Strategy, off.Thread, err)
+		}
+		out[i] = pr
+	}
+	return out, nil
+}

@@ -1,0 +1,268 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// feed1CompressionCDF is the Fig 19 Feed1 compression-size distribution,
+// calibrated so the profitable-offload fractions match the paper's Table 7
+// (64.2% of compressions ≥ 425 B, 26.6% ≥ the Sync-OS break-even).
+func feed1CompressionCDF() *dist.CDF {
+	return dist.MustCDF(dist.CompressionLayout, []float64{
+		0, 0.085, 0.08, 0.13, 0.09, 0.145, 0.18, 0.10, 0.09, 0.06, 0.03, 0.01,
+	})
+}
+
+func feed1Workload() Workload {
+	return Workload{
+		C:          2.3e9,
+		KernelFrac: 0.15,
+		Invocation: 15008,
+		Sizes:      feed1CompressionCDF(),
+	}
+}
+
+func TestWorkloadValidate(t *testing.T) {
+	good := feed1Workload()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid workload rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Workload)
+	}{
+		{"zero C", func(w *Workload) { w.C = 0 }},
+		{"bad fraction", func(w *Workload) { w.KernelFrac = 1.5 }},
+		{"negative invocations", func(w *Workload) { w.Invocation = -1 }},
+		{"nil sizes", func(w *Workload) { w.Sizes = nil }},
+	}
+	for _, tc := range cases {
+		w := good
+		tc.mutate(&w)
+		if err := w.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+// Project must reproduce Fig 20's compression bars end-to-end: from the
+// unfiltered workload and the size CDF, derive break-even, filtered n/α,
+// and the final speedups.
+func TestProjectReproducesFig20Compression(t *testing.T) {
+	w := feed1Workload()
+	k := LinearKernel(5.6)
+
+	onChip := Offload{Strategy: OnChip, Thread: Sync, A: 5, SelectiveOffload: true}
+	pr, err := Project(w, k, onChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.OffloadedFraction != 1 {
+		t.Errorf("on-chip offloaded fraction = %v, want 1 (break-even 1 B)", pr.OffloadedFraction)
+	}
+	if got := pr.SpeedupPercent(); got < 13.5 || got > 13.8 {
+		t.Errorf("on-chip speedup = %v%%, paper reports 13.6%%", got)
+	}
+	if got := (pr.IdealSpeedup - 1) * 100; got < 17.5 || got > 17.8 {
+		t.Errorf("ideal = %v%%, paper reports 17.6%%", got)
+	}
+
+	offSync := Offload{Strategy: OffChip, Thread: Sync, A: 27, L: 2300, SelectiveOffload: true}
+	pr, err = Project(w, k, offSync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.BreakEvenG < 420 || pr.BreakEvenG > 432 {
+		t.Errorf("off-chip Sync break-even = %v, paper reports 425 B", pr.BreakEvenG)
+	}
+	if pr.OffloadedFraction < 0.61 || pr.OffloadedFraction > 0.67 {
+		t.Errorf("off-chip Sync fraction = %v, paper reports 64.2%%", pr.OffloadedFraction)
+	}
+	if got := pr.SpeedupPercent(); got < 8.5 || got > 9.5 {
+		t.Errorf("off-chip Sync speedup = %v%%, paper reports 9%%", got)
+	}
+
+	offSyncOS := Offload{Strategy: OffChip, Thread: SyncOS, A: 27, L: 2300, O1: 5750, SelectiveOffload: true}
+	pr, err = Project(w, k, offSyncOS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.SpeedupPercent(); got < 1.3 || got > 1.9 {
+		t.Errorf("off-chip Sync-OS speedup = %v%%, paper reports 1.6%%", got)
+	}
+
+	offAsync := Offload{Strategy: OffChip, Thread: AsyncSameThread, A: 27, L: 2300, SelectiveOffload: true}
+	pr, err = Project(w, k, offAsync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pr.SpeedupPercent(); got < 9.2 || got > 10.0 {
+		t.Errorf("off-chip Async speedup = %v%%, paper reports 9.6%%", got)
+	}
+	if got := pr.LatencyReductionPercent(); got < 8.7 || got > 9.7 {
+		t.Errorf("off-chip Async latency = %v%%, paper reports 9.2%%", got)
+	}
+}
+
+// Unselective offload (case study 2's constraint) must not filter.
+func TestProjectUnselective(t *testing.T) {
+	w := feed1Workload()
+	off := Offload{Strategy: OffChip, Thread: AsyncSameThread, A: 27, L: 2300}
+	pr, err := Project(w, LinearKernel(5.6), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.OffloadedFraction != 1 || pr.BreakEvenG != 0 {
+		t.Errorf("unselective projection filtered: fraction=%v breakEven=%v",
+			pr.OffloadedFraction, pr.BreakEvenG)
+	}
+	if pr.Params.N != w.Invocation {
+		t.Errorf("unselective N = %v, want %v", pr.Params.N, w.Invocation)
+	}
+}
+
+// Under byte-weighted α scaling (exact for linear kernels), selective
+// offload never projects below offload-all: the dropped offloads cost more
+// overhead than the kernel cycles they carried.
+func TestSelectiveBeatsUnselectiveByteWeighted(t *testing.T) {
+	w := feed1Workload()
+	k := LinearKernel(5.6)
+	off := Offload{Strategy: OffChip, Thread: SyncOS, A: 27, L: 2300, O1: 5750, Weighting: WeightByBytes}
+	all, err := Project(w, k, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off.SelectiveOffload = true
+	sel, err := Project(w, k, off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Speedup < all.Speedup {
+		t.Errorf("selective %v < unselective %v", sel.Speedup, all.Speedup)
+	}
+}
+
+// The paper's invocation-count α scaling assumes kernel cycles are uniform
+// across invocations; dropping small offloads therefore also drops their
+// (overstated) share of α, and the projection can fall below offload-all.
+// Byte weighting restores the expected ordering; both conventions must
+// agree when nothing is filtered.
+func TestAlphaWeightingConventions(t *testing.T) {
+	w := feed1Workload()
+	k := LinearKernel(5.6)
+	base := Offload{Strategy: OffChip, Thread: SyncOS, A: 27, L: 2300, O1: 5750, SelectiveOffload: true}
+
+	byInv, err := Project(w, k, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byBytes := base
+	byBytes.Weighting = WeightByBytes
+	bw, err := Project(w, k, byBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The offloaded invocations are the large ones, so their byte share
+	// strictly exceeds their count share.
+	if !(bw.Params.Alpha > byInv.Params.Alpha) {
+		t.Errorf("byte-weighted α %v should exceed invocation-weighted %v",
+			bw.Params.Alpha, byInv.Params.Alpha)
+	}
+	if !(bw.Speedup > byInv.Speedup) {
+		t.Errorf("byte-weighted speedup %v should exceed invocation-weighted %v",
+			bw.Speedup, byInv.Speedup)
+	}
+	if WeightByInvocations.String() != "by-invocations" || WeightByBytes.String() != "by-bytes" {
+		t.Error("weighting names wrong")
+	}
+	if AlphaWeighting(9).String() != "AlphaWeighting(9)" {
+		t.Error("unknown weighting must still render")
+	}
+}
+
+// A hopeless design (Sync to an A=1 accelerator, selective) offloads
+// nothing and stays exactly neutral.
+func TestProjectNothingProfitable(t *testing.T) {
+	w := feed1Workload()
+	off := Offload{Strategy: Remote, Thread: Sync, A: 1, L: 1e6, SelectiveOffload: true}
+	pr, err := Project(w, LinearKernel(5.6), off)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.OffloadedFraction != 0 {
+		t.Errorf("fraction = %v, want 0", pr.OffloadedFraction)
+	}
+	if pr.Speedup != 1 {
+		t.Errorf("speedup = %v, want exactly 1", pr.Speedup)
+	}
+	if !math.IsInf(pr.BreakEvenG, 1) {
+		t.Errorf("break-even = %v, want +Inf", pr.BreakEvenG)
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	w := feed1Workload()
+	k := LinearKernel(5.6)
+	off := Offload{Strategy: OnChip, Thread: Sync, A: 5}
+
+	bad := w
+	bad.C = 0
+	if _, err := Project(bad, k, off); err == nil {
+		t.Error("bad workload: want error")
+	}
+	if _, err := Project(w, Kernel{}, off); err == nil {
+		t.Error("bad kernel: want error")
+	}
+	badOff := off
+	badOff.A = 0
+	if _, err := Project(w, k, badOff); err == nil {
+		t.Error("bad offload A: want error")
+	}
+	badOff = off
+	badOff.Thread = Threading(99)
+	if _, err := Project(w, k, badOff); err == nil {
+		t.Error("unknown threading: want error")
+	}
+	badOff = off
+	badOff.Strategy = Strategy(99)
+	if _, err := Project(w, k, badOff); err == nil {
+		t.Error("unknown strategy: want error")
+	}
+}
+
+func TestCompareStrategies(t *testing.T) {
+	w := feed1Workload()
+	k := LinearKernel(5.6)
+	offs := []Offload{
+		{Strategy: OnChip, Thread: Sync, A: 5, SelectiveOffload: true},
+		{Strategy: OffChip, Thread: AsyncSameThread, A: 27, L: 2300, SelectiveOffload: true},
+	}
+	prs, err := CompareStrategies(w, k, offs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prs) != 2 {
+		t.Fatalf("got %d projections", len(prs))
+	}
+	// Fig 20: on-chip compression beats off-chip for Feed1.
+	if !(prs[0].Speedup > prs[1].Speedup) {
+		t.Errorf("on-chip %v should beat off-chip %v", prs[0].Speedup, prs[1].Speedup)
+	}
+	offs[1].A = 0
+	if _, err := CompareStrategies(w, k, offs); err == nil {
+		t.Error("invalid design in list: want error")
+	}
+}
+
+func TestProjectionPercentHelpers(t *testing.T) {
+	pr := Projection{Speedup: 1.157, LatencyReduction: 1.092}
+	if got := pr.SpeedupPercent(); math.Abs(got-15.7) > 1e-9 {
+		t.Errorf("SpeedupPercent = %v", got)
+	}
+	if got := pr.LatencyReductionPercent(); math.Abs(got-9.2) > 1e-9 {
+		t.Errorf("LatencyReductionPercent = %v", got)
+	}
+}

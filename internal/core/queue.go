@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Queuing support. Equation (1) uses n·Q — the mean queuing delay across n
+// offloads — and the paper notes that replacing n·Q with ΣQi models the
+// full queuing distribution, enabling projections that depend on
+// accelerator load. This file provides both: an M/M/1 helper to derive a
+// mean Q from accelerator utilization, and per-sample evaluation for
+// empirically observed queue delays.
+
+// MM1WaitCycles returns the mean queue wait (in cycles) of an M/M/1 queue
+// given the accelerator's per-offload service time in cycles and the
+// offered load λ in offloads per time unit over a time unit of unitCycles
+// host cycles: Wq = ρ/(μ−λ) with μ = 1/service. It returns an error when
+// utilization reaches or exceeds 1 (an overloaded accelerator has no
+// steady-state wait).
+func MM1WaitCycles(serviceCycles, offloadsPerUnit, unitCycles float64) (float64, error) {
+	if serviceCycles <= 0 || offloadsPerUnit < 0 || unitCycles <= 0 {
+		return 0, fmt.Errorf("core: invalid M/M/1 args (service=%v n=%v unit=%v)",
+			serviceCycles, offloadsPerUnit, unitCycles)
+	}
+	if offloadsPerUnit == 0 {
+		return 0, nil
+	}
+	// Work in cycles: arrivals per cycle λc, service rate per cycle μc.
+	lambda := offloadsPerUnit / unitCycles
+	mu := 1 / serviceCycles
+	rho := lambda / mu
+	if rho >= 1 {
+		return 0, fmt.Errorf("core: accelerator overloaded (utilization %.3f >= 1)", rho)
+	}
+	return rho / (mu - lambda), nil
+}
+
+// Utilization returns the accelerator utilization ρ for a given per-offload
+// service time and offered load over a time unit.
+func Utilization(serviceCycles, offloadsPerUnit, unitCycles float64) (float64, error) {
+	if serviceCycles <= 0 || offloadsPerUnit < 0 || unitCycles <= 0 {
+		return 0, fmt.Errorf("core: invalid utilization args (service=%v n=%v unit=%v)",
+			serviceCycles, offloadsPerUnit, unitCycles)
+	}
+	return serviceCycles * offloadsPerUnit / unitCycles, nil
+}
+
+// SpeedupWithQueueSamples evaluates the threading design's speedup using an
+// empirical queuing distribution: the n·Q term of the equations is replaced
+// by the sum of the per-offload queue delays ΣQi (§3). The number of
+// samples overrides the model's N for the offload-overhead terms.
+func (m *Model) SpeedupWithQueueSamples(t Threading, queueCycles []float64) (float64, error) {
+	if len(queueCycles) == 0 {
+		return 0, fmt.Errorf("core: no queue samples")
+	}
+	var sum float64
+	for i, q := range queueCycles {
+		if q < 0 || math.IsNaN(q) || math.IsInf(q, 0) {
+			return 0, fmt.Errorf("core: invalid queue sample %v at %d", q, i)
+		}
+		sum += q
+	}
+	p := m.p
+	p.N = float64(len(queueCycles))
+	p.Q = sum / float64(len(queueCycles))
+	sub, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	return sub.Speedup(t)
+}
+
+// SpeedupUnderLoad projects speedup as a function of accelerator load: it
+// derives the queuing delay Q from an M/M/1 model of the accelerator whose
+// per-offload service time is the accelerated kernel cost αC/(A·n), then
+// evaluates the threading design. This is the "projecting speedup based on
+// accelerator load" use case of §3.
+func (m *Model) SpeedupUnderLoad(t Threading) (float64, error) {
+	p := m.p
+	if p.N == 0 || p.Alpha == 0 {
+		return m.Speedup(t)
+	}
+	service := p.Alpha * p.C / p.A / p.N
+	if math.IsInf(p.A, 1) {
+		service = 0
+	}
+	if service <= 0 {
+		return m.Speedup(t)
+	}
+	q, err := MM1WaitCycles(service, p.N, p.C)
+	if err != nil {
+		return 0, err
+	}
+	p.Q = q
+	loaded, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	return loaded.Speedup(t)
+}

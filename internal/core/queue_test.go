@@ -1,0 +1,154 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMM1WaitCycles(t *testing.T) {
+	// Service 1000 cycles/offload, 500k offloads over 1e9 cycles:
+	// λ = 5e-4/cycle, µ = 1e-3/cycle, ρ = 0.5, Wq = 0.5/(1e-3-5e-4) = 1000.
+	w, err := MM1WaitCycles(1000, 500000, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1000) > 1e-6 {
+		t.Errorf("Wq = %v, want 1000", w)
+	}
+}
+
+func TestMM1WaitZeroLoad(t *testing.T) {
+	w, err := MM1WaitCycles(1000, 0, 1e9)
+	if err != nil || w != 0 {
+		t.Errorf("zero load: %v, %v", w, err)
+	}
+}
+
+func TestMM1Overload(t *testing.T) {
+	if _, err := MM1WaitCycles(1000, 1000001, 1e9); err == nil {
+		t.Error("ρ > 1: want error")
+	}
+	if _, err := MM1WaitCycles(1000, 1000000, 1e9); err == nil {
+		t.Error("ρ = 1: want error")
+	}
+}
+
+func TestMM1Errors(t *testing.T) {
+	if _, err := MM1WaitCycles(0, 1, 1e9); err == nil {
+		t.Error("zero service: want error")
+	}
+	if _, err := MM1WaitCycles(1, -1, 1e9); err == nil {
+		t.Error("negative load: want error")
+	}
+	if _, err := MM1WaitCycles(1, 1, 0); err == nil {
+		t.Error("zero unit: want error")
+	}
+}
+
+func TestMM1WaitGrowsWithLoad(t *testing.T) {
+	prev := -1.0
+	for _, n := range []float64{1e5, 3e5, 6e5, 9e5} {
+		w, err := MM1WaitCycles(1000, n, 1e9)
+		if err != nil {
+			t.Fatalf("n=%v: %v", n, err)
+		}
+		if w <= prev {
+			t.Errorf("wait did not grow with load at n=%v: %v <= %v", n, w, prev)
+		}
+		prev = w
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	u, err := Utilization(1000, 500000, 1e9)
+	if err != nil || math.Abs(u-0.5) > 1e-12 {
+		t.Errorf("utilization = %v, %v", u, err)
+	}
+	if _, err := Utilization(0, 1, 1); err == nil {
+		t.Error("invalid args: want error")
+	}
+}
+
+// Replacing n·Q with a queue-sample distribution of the same mean must give
+// the same speedup as the closed form.
+func TestSpeedupWithQueueSamplesMatchesMean(t *testing.T) {
+	p := Params{C: 1e9, Alpha: 0.2, N: 4, O0: 10, L: 100, A: 5, Q: 250}
+	m := MustNew(p)
+	closed, err := m.Speedup(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Four samples with mean 250.
+	sampled, err := m.SpeedupWithQueueSamples(Sync, []float64{0, 100, 400, 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sampled-closed) > 1e-12 {
+		t.Errorf("sampled %v != closed-form %v", sampled, closed)
+	}
+}
+
+func TestSpeedupWithQueueSamplesErrors(t *testing.T) {
+	m := MustNew(Params{C: 1e9, Alpha: 0.2, N: 4, A: 5})
+	if _, err := m.SpeedupWithQueueSamples(Sync, nil); err == nil {
+		t.Error("no samples: want error")
+	}
+	if _, err := m.SpeedupWithQueueSamples(Sync, []float64{-1}); err == nil {
+		t.Error("negative sample: want error")
+	}
+	if _, err := m.SpeedupWithQueueSamples(Sync, []float64{math.NaN()}); err == nil {
+		t.Error("NaN sample: want error")
+	}
+	if _, err := m.SpeedupWithQueueSamples(Threading(99), []float64{1}); err == nil {
+		t.Error("unknown threading: want error")
+	}
+}
+
+// SpeedupUnderLoad must be below the unloaded speedup (queuing only hurts)
+// and converge to it as load vanishes.
+func TestSpeedupUnderLoad(t *testing.T) {
+	p := Params{C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, A: 27}
+	m := MustNew(p)
+	unloaded, err := m.Speedup(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := m.SpeedupUnderLoad(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(loaded < unloaded) {
+		t.Errorf("loaded %v should be below unloaded %v", loaded, unloaded)
+	}
+	if (unloaded-loaded)/unloaded > 0.05 {
+		t.Errorf("at this light load the queueing penalty should be small: %v vs %v", loaded, unloaded)
+	}
+
+	// No kernel work: trivially equal.
+	idle := MustNew(Params{C: 1e9, Alpha: 0, N: 0, A: 2})
+	s, err := idle.SpeedupUnderLoad(Sync)
+	if err != nil || s != 1 {
+		t.Errorf("idle loaded speedup = %v, %v", s, err)
+	}
+
+	// Ideal accelerator: zero service time, zero queueing.
+	ideal := MustNew(Params{C: 1e9, Alpha: 0.5, N: 1000, A: math.Inf(1)})
+	li, err := ideal.SpeedupUnderLoad(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ui, _ := ideal.Speedup(Sync)
+	if li != ui {
+		t.Errorf("ideal accelerator loaded %v != unloaded %v", li, ui)
+	}
+}
+
+// An overloaded accelerator must surface as an error, not a bogus speedup.
+func TestSpeedupUnderLoadOverload(t *testing.T) {
+	// Service per offload = αC/(A·n) = 0.9*1e9/(1.01*1000) ≈ 891089 cycles;
+	// ρ = n·service/C ≈ 0.891 — fine. Push α and lower A until ρ ≥ 1.
+	m := MustNew(Params{C: 1e9, Alpha: 1.0, N: 1000, A: 1})
+	if _, err := m.SpeedupUnderLoad(Sync); err == nil {
+		t.Error("ρ = 1: want error")
+	}
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Parameter sweeps and sensitivity analysis. The paper positions
+// Accelerometer as a design-phase tool: architects sweep accelerator
+// characteristics (A, L, queue depth) before committing to hardware. This
+// file provides those sweeps plus local sensitivities, so a designer can
+// see which parameter actually bounds a proposed accelerator.
+
+// SweepPoint is one evaluated point of a parameter sweep.
+type SweepPoint struct {
+	Value            float64 // the swept parameter's value
+	Speedup          float64
+	LatencyReduction float64
+}
+
+// SweepParam names a Params field to sweep.
+type SweepParam int
+
+const (
+	// SweepA sweeps the accelerator's peak speedup factor.
+	SweepA SweepParam = iota
+	// SweepL sweeps the interface transfer cost per offload.
+	SweepL
+	// SweepQ sweeps the queuing delay per offload.
+	SweepQ
+	// SweepO1 sweeps the thread-switch cost.
+	SweepO1
+	// SweepAlpha sweeps the kernel's cycle fraction.
+	SweepAlpha
+	// SweepN sweeps the offload rate.
+	SweepN
+)
+
+// String names the swept parameter.
+func (s SweepParam) String() string {
+	switch s {
+	case SweepA:
+		return "A"
+	case SweepL:
+		return "L"
+	case SweepQ:
+		return "Q"
+	case SweepO1:
+		return "o1"
+	case SweepAlpha:
+		return "alpha"
+	case SweepN:
+		return "n"
+	default:
+		return fmt.Sprintf("SweepParam(%d)", int(s))
+	}
+}
+
+// withValue returns p with the swept field set to v.
+func (s SweepParam) withValue(p Params, v float64) (Params, error) {
+	switch s {
+	case SweepA:
+		p.A = v
+	case SweepL:
+		p.L = v
+	case SweepQ:
+		p.Q = v
+	case SweepO1:
+		p.O1 = v
+	case SweepAlpha:
+		p.Alpha = v
+	case SweepN:
+		p.N = v
+	default:
+		return p, fmt.Errorf("core: unknown sweep parameter %d", int(s))
+	}
+	return p, nil
+}
+
+// Sweep evaluates speedup and latency reduction at each value of the swept
+// parameter, holding everything else at the model's parameters.
+func (m *Model) Sweep(param SweepParam, th Threading, st Strategy, values []float64) ([]SweepPoint, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("core: empty sweep")
+	}
+	out := make([]SweepPoint, 0, len(values))
+	for _, v := range values {
+		p, err := param.withValue(m.p, v)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := New(p)
+		if err != nil {
+			return nil, fmt.Errorf("core: sweep %v=%v: %w", param, v, err)
+		}
+		s, err := sub.Speedup(th)
+		if err != nil {
+			return nil, err
+		}
+		l, err := sub.LatencyReduction(th, st)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, SweepPoint{Value: v, Speedup: s, LatencyReduction: l})
+	}
+	return out, nil
+}
+
+// MinimumA returns the smallest accelerator speedup factor A that achieves
+// the target throughput speedup under the threading design, or +Inf when
+// no finite A suffices (the overhead terms alone cap the speedup below the
+// target). For threading designs whose throughput does not depend on A
+// (Sync-OS and the async designs), it returns 1 if the target is met and
+// +Inf otherwise.
+func (m *Model) MinimumA(th Threading, target float64) (float64, error) {
+	if target <= 1 {
+		return 1, nil
+	}
+	// Check the A→∞ bound first.
+	p := m.p
+	p.A = math.Inf(1)
+	ideal, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	bound, err := ideal.Speedup(th)
+	if err != nil {
+		return 0, err
+	}
+	if bound < target {
+		return math.Inf(1), nil
+	}
+	if th != Sync {
+		// A does not appear in the other designs' throughput equations.
+		p.A = 1
+		atOne, err := New(p)
+		if err != nil {
+			return 0, err
+		}
+		s, err := atOne.Speedup(th)
+		if err != nil {
+			return 0, err
+		}
+		if s >= target {
+			return 1, nil
+		}
+		return math.Inf(1), nil
+	}
+	// Sync: 1/target = (1-α) + α/A + (n/C)(o0+L+Q)  ⇒  solve for A.
+	over := m.p.overheadPerUnit(m.p.O0 + m.p.L + m.p.Q)
+	denomBudget := 1/target - (1 - m.p.Alpha) - over
+	if denomBudget <= 0 {
+		return math.Inf(1), nil
+	}
+	a := m.p.Alpha / denomBudget
+	if a < 1 {
+		a = 1
+	}
+	return a, nil
+}
+
+// MaximumL returns the largest per-offload interface cost L that still
+// achieves the target throughput speedup, or 0 when even L = 0 misses it.
+// This is the budget a designer can spend on the interconnect.
+func (m *Model) MaximumL(th Threading, target float64) (float64, error) {
+	if target <= 1 {
+		return math.Inf(1), nil
+	}
+	p := m.p
+	p.L = 0
+	zero, err := New(p)
+	if err != nil {
+		return 0, err
+	}
+	s, err := zero.Speedup(th)
+	if err != nil {
+		return 0, err
+	}
+	if s < target {
+		return 0, nil
+	}
+	if p.N == 0 {
+		return math.Inf(1), nil
+	}
+	// All designs are linear in (n/C)·L: 1/target = base + (n/C)·L.
+	base := 1/s + 0 // 1/speedup at L=0 equals the full denominator at L=0
+	budget := 1/target - base
+	if budget <= 0 {
+		return 0, nil
+	}
+	return budget * p.C / p.N, nil
+}
+
+// Sensitivity reports d(speedup)/d(param) scaled to a 1% change of the
+// parameter (a semi-elasticity): how many percentage points of speedup a 1%
+// increase in the parameter buys (or costs). Central finite differences.
+func (m *Model) Sensitivity(param SweepParam, th Threading) (float64, error) {
+	if _, err := m.Speedup(th); err != nil {
+		return 0, err // surface unknown threading designs up front
+	}
+	cur, err := currentValue(param, m.p)
+	if err != nil {
+		return 0, err
+	}
+	if cur == 0 {
+		// Parameter is zero: use an absolute step of 1% of a natural scale
+		// instead (1 cycle for overheads; 0.01 for alpha; 1 for A/n).
+		cur = 1
+	}
+	h := cur * 0.01
+	lo, err := param.withValue(m.p, math.Max(0, cur-h))
+	if err != nil {
+		return 0, err
+	}
+	hi, err := param.withValue(m.p, cur+h)
+	if err != nil {
+		return 0, err
+	}
+	if param == SweepA && lo.A < 1 {
+		lo.A = 1
+	}
+	if param == SweepAlpha && hi.Alpha > 1 {
+		hi.Alpha = 1
+	}
+	mLo, err := New(lo)
+	if err != nil {
+		return 0, err
+	}
+	mHi, err := New(hi)
+	if err != nil {
+		return 0, err
+	}
+	sLo, err := mLo.Speedup(th)
+	if err != nil {
+		return 0, err
+	}
+	sHi, err := mHi.Speedup(th)
+	if err != nil {
+		return 0, err
+	}
+	return (sHi - sLo) / 2 * 100, nil
+}
+
+func currentValue(param SweepParam, p Params) (float64, error) {
+	switch param {
+	case SweepA:
+		return p.A, nil
+	case SweepL:
+		return p.L, nil
+	case SweepQ:
+		return p.Q, nil
+	case SweepO1:
+		return p.O1, nil
+	case SweepAlpha:
+		return p.Alpha, nil
+	case SweepN:
+		return p.N, nil
+	default:
+		return 0, fmt.Errorf("core: unknown sweep parameter %d", int(param))
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func sweepModel() *Model {
+	return MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, O1: 5750, A: 27})
+}
+
+func TestSweepParamString(t *testing.T) {
+	names := map[SweepParam]string{
+		SweepA: "A", SweepL: "L", SweepQ: "Q",
+		SweepO1: "o1", SweepAlpha: "alpha", SweepN: "n",
+	}
+	for p, want := range names {
+		if got := p.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(p), got, want)
+		}
+	}
+	if SweepParam(99).String() == "" {
+		t.Error("unknown param must render")
+	}
+}
+
+func TestSweepA(t *testing.T) {
+	m := sweepModel()
+	pts, err := m.Sweep(SweepA, Sync, OffChip, []float64{1, 2, 5, 27, 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 5 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup <= pts[i-1].Speedup {
+			t.Errorf("Sync speedup must grow with A: %v then %v", pts[i-1], pts[i])
+		}
+	}
+	// A=27 point must match the direct model.
+	want, _ := m.Speedup(Sync)
+	if math.Abs(pts[3].Speedup-want) > 1e-12 {
+		t.Errorf("sweep at A=27 = %v, direct = %v", pts[3].Speedup, want)
+	}
+}
+
+func TestSweepLDegrades(t *testing.T) {
+	m := sweepModel()
+	pts, err := m.Sweep(SweepL, AsyncSameThread, OffChip, []float64{0, 1000, 5000, 20000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Speedup >= pts[i-1].Speedup {
+			t.Errorf("speedup must fall with L: %v then %v", pts[i-1], pts[i])
+		}
+	}
+}
+
+func TestSweepErrors(t *testing.T) {
+	m := sweepModel()
+	if _, err := m.Sweep(SweepA, Sync, OffChip, nil); err == nil {
+		t.Error("empty sweep: want error")
+	}
+	if _, err := m.Sweep(SweepParam(99), Sync, OffChip, []float64{1}); err == nil {
+		t.Error("unknown param: want error")
+	}
+	if _, err := m.Sweep(SweepA, Sync, OffChip, []float64{0.5}); err == nil {
+		t.Error("invalid A value: want error")
+	}
+	if _, err := m.Sweep(SweepAlpha, Threading(99), OnChip, []float64{0.1}); err == nil {
+		t.Error("unknown threading: want error")
+	}
+}
+
+func TestMinimumA(t *testing.T) {
+	m := sweepModel()
+
+	// Target below 1 is free.
+	a, err := m.MinimumA(Sync, 0.9)
+	if err != nil || a != 1 {
+		t.Errorf("trivial target: %v, %v", a, err)
+	}
+
+	// A modest target: find A, then verify it achieves the target.
+	a, err = m.MinimumA(Sync, 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(a, 1) {
+		t.Fatal("10% should be achievable")
+	}
+	p := m.Params()
+	p.A = a
+	got, _ := MustNew(p).Speedup(Sync)
+	if math.Abs(got-1.10) > 1e-9 {
+		t.Errorf("speedup at MinimumA = %v, want 1.10", got)
+	}
+
+	// Beyond the Amdahl+overhead bound: impossible.
+	a, err = m.MinimumA(Sync, 1.50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(a, 1) {
+		t.Errorf("50%% exceeds the bound; got A = %v", a)
+	}
+
+	// Async throughput ignores A: target achievable at A=1 or never.
+	a, err = m.MinimumA(AsyncSameThread, 1.10)
+	if err != nil || a != 1 {
+		t.Errorf("async 10%%: %v, %v", a, err)
+	}
+	a, err = m.MinimumA(AsyncSameThread, 1.50)
+	if err != nil || !math.IsInf(a, 1) {
+		t.Errorf("async 50%%: %v, %v", a, err)
+	}
+}
+
+func TestMaximumL(t *testing.T) {
+	m := sweepModel()
+	budget, err := m.MaximumL(AsyncSameThread, 1.10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget <= 0 || math.IsInf(budget, 1) {
+		t.Fatalf("L budget = %v", budget)
+	}
+	// At exactly the budget the target is met.
+	p := m.Params()
+	p.L = budget
+	got, _ := MustNew(p).Speedup(AsyncSameThread)
+	if math.Abs(got-1.10) > 1e-9 {
+		t.Errorf("speedup at MaximumL = %v, want 1.10", got)
+	}
+	// Just above it, missed.
+	p.L = budget * 1.01
+	got, _ = MustNew(p).Speedup(AsyncSameThread)
+	if got >= 1.10 {
+		t.Errorf("speedup above budget = %v, should miss target", got)
+	}
+
+	// Unreachable even at L=0.
+	zero, err := m.MaximumL(AsyncSameThread, 1.50)
+	if err != nil || zero != 0 {
+		t.Errorf("unreachable target: %v, %v", zero, err)
+	}
+	// Trivial target: unlimited.
+	inf, err := m.MaximumL(Sync, 1.0)
+	if err != nil || !math.IsInf(inf, 1) {
+		t.Errorf("trivial target: %v, %v", inf, err)
+	}
+}
+
+func TestSensitivitySigns(t *testing.T) {
+	m := sweepModel()
+	sA, err := m.Sensitivity(SweepA, Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sA <= 0 {
+		t.Errorf("d(speedup)/dA = %v, want positive", sA)
+	}
+	sL, err := m.Sensitivity(SweepL, Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sL >= 0 {
+		t.Errorf("d(speedup)/dL = %v, want negative", sL)
+	}
+	sAlpha, err := m.Sensitivity(SweepAlpha, Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sAlpha <= 0 {
+		t.Errorf("d(speedup)/dalpha = %v, want positive (more kernel, more to save)", sAlpha)
+	}
+	if _, err := m.Sensitivity(SweepParam(99), Sync); err == nil {
+		t.Error("unknown param: want error")
+	}
+	// Q is zero in this model; sensitivity must still evaluate.
+	if _, err := m.Sensitivity(SweepQ, Sync); err != nil {
+		t.Errorf("zero-Q sensitivity: %v", err)
+	}
+}
+
+// For Sync at Table 7's compression point, A is nearly saturated (27x on a
+// 15% kernel): the interface cost L must matter more than A per 1% change.
+func TestSensitivityOrdering(t *testing.T) {
+	m := sweepModel()
+	sA, _ := m.Sensitivity(SweepA, Sync)
+	sL, _ := m.Sensitivity(SweepL, Sync)
+	if math.Abs(sL) <= math.Abs(sA) {
+		t.Errorf("at A=27 the design is interface-bound: |dL| (%v) should exceed |dA| (%v)",
+			math.Abs(sL), math.Abs(sA))
+	}
+}
+
+func TestCombinedOffloadValidate(t *testing.T) {
+	good := CombinedOffload{
+		C: 2.3e9, N: 9629, L: 2300,
+		Kernels: []KernelShare{
+			{Name: "compression", Alpha: 0.10, A: 27},
+			{Name: "encryption", Alpha: 0.08, A: 20},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid combined rejected: %v", err)
+	}
+	bad := good
+	bad.Kernels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("no kernels: want error")
+	}
+	bad = good
+	bad.Kernels = []KernelShare{{Alpha: 0.6, A: 2}, {Alpha: 0.6, A: 2}}
+	if err := bad.Validate(); err == nil {
+		t.Error("alphas over 1: want error")
+	}
+	bad = good
+	bad.Kernels = []KernelShare{{Alpha: 0.1, A: 0.5}}
+	if err := bad.Validate(); err == nil {
+		t.Error("A < 1: want error")
+	}
+	bad = good
+	bad.C = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero C: want error")
+	}
+	bad = good
+	bad.L = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative L: want error")
+	}
+}
+
+// The paper's suggestion: combining compression and encryption on one
+// off-chip device must beat offloading them separately, because the
+// dispatch overhead is paid once instead of twice.
+func TestCombinedBeatsSeparate(t *testing.T) {
+	c := CombinedOffload{
+		C: 2.3e9, N: 9629, O0: 100, L: 2300, O1: 5750,
+		Kernels: []KernelShare{
+			{Name: "compression", Alpha: 0.10, A: 27},
+			{Name: "encryption", Alpha: 0.08, A: 20},
+		},
+	}
+	for _, th := range Threadings {
+		gain, err := c.CombinationGain(th)
+		if err != nil {
+			t.Fatalf("%v: %v", th, err)
+		}
+		if gain <= 1 {
+			t.Errorf("%v: combination gain = %v, want > 1", th, gain)
+		}
+	}
+}
+
+// With a single kernel, combined and separate are identical.
+func TestCombinedSingleKernelNeutral(t *testing.T) {
+	c := CombinedOffload{
+		C: 2.3e9, N: 9629, L: 2300,
+		Kernels: []KernelShare{{Name: "compression", Alpha: 0.15, A: 27}},
+	}
+	for _, th := range Threadings {
+		gain, err := c.CombinationGain(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(gain-1) > 1e-12 {
+			t.Errorf("%v: single-kernel gain = %v, want exactly 1", th, gain)
+		}
+	}
+}
+
+// A combined Sync offload must match the plain model when expressed as one
+// aggregate kernel with a harmonic-mixed A.
+func TestCombinedMatchesPlainModelSync(t *testing.T) {
+	c := CombinedOffload{
+		C: 2.3e9, N: 9629, L: 2300,
+		Kernels: []KernelShare{
+			{Name: "a", Alpha: 0.10, A: 10},
+			{Name: "b", Alpha: 0.05, A: 10},
+		},
+	}
+	got, err := c.Speedup(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := MustNew(Params{C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, A: 10}).Speedup(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("combined %v != aggregate %v", got, want)
+	}
+}
+
+func TestCombinedUnknownThreading(t *testing.T) {
+	c := CombinedOffload{
+		C: 1e9, N: 10, Kernels: []KernelShare{{Alpha: 0.1, A: 2}},
+	}
+	if _, err := c.Speedup(Threading(99)); err == nil {
+		t.Error("unknown threading: want error")
+	}
+	if _, err := c.SeparateSpeedup(Threading(99)); err == nil {
+		t.Error("unknown threading separate: want error")
+	}
+	if _, err := c.CombinationGain(Threading(99)); err == nil {
+		t.Error("unknown threading gain: want error")
+	}
+}
+
+func TestCombinedIdealKernel(t *testing.T) {
+	c := CombinedOffload{
+		C: 1e9, N: 100, L: 50,
+		Kernels: []KernelShare{{Name: "x", Alpha: 0.3, A: math.Inf(1)}},
+	}
+	s, err := c.Speedup(Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 1 / (0.7 + 100.0*50/1e9)
+	if math.Abs(s-want) > 1e-12 {
+		t.Errorf("ideal combined = %v, want %v", s, want)
+	}
+}

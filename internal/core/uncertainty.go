@@ -1,0 +1,150 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Uncertainty analysis. The paper motivates Accelerometer with the
+// uncertainty inherent in capacity planning: "given the uncertainties
+// inherent in projecting customer demand, deploying diverse custom
+// hardware is risky at scale". This file quantifies that risk: jitter the
+// model's parameters within stated tolerances, Monte-Carlo the speedup,
+// and report its distribution — so an operator sees not just the point
+// estimate but how badly a deployment can miss it.
+
+// Jitter states relative uncertainties for each parameter as fractions
+// (0.1 = ±10%, sampled uniformly). Zero fields are held exact.
+type Jitter struct {
+	Alpha float64
+	N     float64
+	O0    float64
+	Q     float64
+	L     float64
+	O1    float64
+	A     float64
+}
+
+// Validate checks the jitter fractions.
+func (j Jitter) Validate() error {
+	for name, v := range map[string]float64{
+		"Alpha": j.Alpha, "N": j.N, "O0": j.O0, "Q": j.Q,
+		"L": j.L, "O1": j.O1, "A": j.A,
+	} {
+		if v < 0 || v >= 1 || math.IsNaN(v) {
+			return fmt.Errorf("core: jitter %s = %v, want within [0, 1)", name, v)
+		}
+	}
+	return nil
+}
+
+// UncertaintyResult summarizes the Monte-Carlo speedup distribution.
+type UncertaintyResult struct {
+	Samples      int
+	Point        float64 // the un-jittered estimate
+	Mean         float64
+	P5           float64 // pessimistic bound (5th percentile)
+	P50          float64
+	P95          float64 // optimistic bound (95th percentile)
+	RiskBelowOne float64 // fraction of samples where the deployment loses
+}
+
+// MonteCarlo evaluates the threading design's speedup over n parameter
+// samples drawn uniformly within the jitter tolerances.
+func (m *Model) MonteCarlo(th Threading, j Jitter, n int, rng *dist.Rand) (UncertaintyResult, error) {
+	if err := j.Validate(); err != nil {
+		return UncertaintyResult{}, err
+	}
+	if n < 2 {
+		return UncertaintyResult{}, fmt.Errorf("core: Monte Carlo needs >= 2 samples, got %d", n)
+	}
+	if rng == nil {
+		return UncertaintyResult{}, fmt.Errorf("core: nil random source")
+	}
+	point, err := m.Speedup(th)
+	if err != nil {
+		return UncertaintyResult{}, err
+	}
+
+	perturb := func(v, frac float64) float64 {
+		if frac == 0 {
+			return v
+		}
+		return v * (1 + frac*(2*rng.Float64()-1))
+	}
+	speedups := make([]float64, 0, n)
+	losses := 0
+	for i := 0; i < n; i++ {
+		p := m.p
+		p.Alpha = clamp01(perturb(p.Alpha, j.Alpha))
+		p.N = perturb(p.N, j.N)
+		p.O0 = perturb(p.O0, j.O0)
+		p.Q = perturb(p.Q, j.Q)
+		p.L = perturb(p.L, j.L)
+		p.O1 = perturb(p.O1, j.O1)
+		if !math.IsInf(p.A, 1) {
+			p.A = perturb(p.A, j.A)
+			if p.A < 1 {
+				p.A = 1
+			}
+		}
+		sub, err := New(p)
+		if err != nil {
+			return UncertaintyResult{}, fmt.Errorf("core: sample %d: %w", i, err)
+		}
+		s, err := sub.Speedup(th)
+		if err != nil {
+			return UncertaintyResult{}, err
+		}
+		speedups = append(speedups, s)
+		if s < 1 {
+			losses++
+		}
+	}
+
+	summary, err := dist.Summarize(speedups)
+	if err != nil {
+		return UncertaintyResult{}, err
+	}
+	p5 := percentile(speedups, 0.05)
+	return UncertaintyResult{
+		Samples:      n,
+		Point:        point,
+		Mean:         summary.Mean,
+		P5:           p5,
+		P50:          summary.P50,
+		P95:          summary.P95,
+		RiskBelowOne: float64(losses) / float64(n),
+	}, nil
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// percentile computes the p-quantile of an unsorted sample (copying it),
+// with linear interpolation between ranks.
+func percentile(sample []float64, p float64) float64 {
+	sorted := append([]float64(nil), sample...)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

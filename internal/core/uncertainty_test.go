@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+func TestJitterValidate(t *testing.T) {
+	if err := (Jitter{Alpha: 0.1, L: 0.5}).Validate(); err != nil {
+		t.Errorf("valid jitter: %v", err)
+	}
+	bad := []Jitter{
+		{Alpha: -0.1},
+		{N: 1.0},
+		{L: math.NaN()},
+	}
+	for _, j := range bad {
+		if err := j.Validate(); err == nil {
+			t.Errorf("jitter %+v: want error", j)
+		}
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	m := MustNew(Params{C: 2e9, Alpha: 0.15, N: 1e4, L: 2300, A: 27})
+	rng := dist.NewRand(1)
+	if _, err := m.MonteCarlo(Sync, Jitter{Alpha: -1}, 100, rng); err == nil {
+		t.Error("bad jitter: want error")
+	}
+	if _, err := m.MonteCarlo(Sync, Jitter{}, 1, rng); err == nil {
+		t.Error("one sample: want error")
+	}
+	if _, err := m.MonteCarlo(Sync, Jitter{}, 100, nil); err == nil {
+		t.Error("nil rng: want error")
+	}
+	if _, err := m.MonteCarlo(Threading(99), Jitter{}, 100, rng); err == nil {
+		t.Error("unknown threading: want error")
+	}
+}
+
+// With zero jitter every sample equals the point estimate.
+func TestMonteCarloZeroJitter(t *testing.T) {
+	m := MustNew(Params{C: 2e9, Alpha: 0.165844, N: 298951, O0: 10, L: 3, A: 6})
+	res, err := m.MonteCarlo(Sync, Jitter{}, 200, dist.NewRand(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Mean-res.Point) > 1e-12 || res.P5 != res.Point || res.P95 != res.Point {
+		t.Errorf("zero jitter must collapse to the point estimate: %+v", res)
+	}
+	if res.RiskBelowOne != 0 {
+		t.Errorf("risk = %v for a clearly winning deployment", res.RiskBelowOne)
+	}
+}
+
+// Jitter widens the band around the point estimate and keeps it ordered.
+func TestMonteCarloBands(t *testing.T) {
+	m := MustNew(Params{C: 2e9, Alpha: 0.165844, N: 298951, O0: 10, L: 3, A: 6})
+	j := Jitter{Alpha: 0.2, N: 0.2, L: 0.5, A: 0.3}
+	res, err := m.MonteCarlo(Sync, j, 5000, dist.NewRand(42))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.P5 < res.P50 && res.P50 < res.P95) {
+		t.Errorf("percentiles out of order: %+v", res)
+	}
+	if !(res.P5 < res.Point && res.Point < res.P95) {
+		t.Errorf("point estimate should sit inside the band: %+v", res)
+	}
+	if res.P95-res.P5 < 0.01 {
+		t.Errorf("20-50%% jitter should produce a visible band: %+v", res)
+	}
+	// AES-NI is robust: even pessimistic draws stay profitable.
+	if res.RiskBelowOne != 0 {
+		t.Errorf("AES-NI risk = %v, want 0", res.RiskBelowOne)
+	}
+}
+
+// A marginal deployment shows real downside risk under uncertainty.
+func TestMonteCarloRisk(t *testing.T) {
+	// Off-chip Sync-OS compression: +1.6% point estimate, easily wiped out
+	// by a worse-than-expected interface or switch cost.
+	m := MustNew(Params{C: 2.3e9, Alpha: 0.15 * 3986 / 15008, N: 3986, L: 2300, O1: 5750, A: 27})
+	res, err := m.MonteCarlo(SyncOS, Jitter{L: 0.5, O1: 0.5, N: 0.3, Alpha: 0.2}, 5000, dist.NewRand(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RiskBelowOne <= 0 {
+		t.Errorf("marginal deployment should show downside risk: %+v", res)
+	}
+	if res.RiskBelowOne >= 0.9 {
+		t.Errorf("risk = %v looks like the point estimate is wrong", res.RiskBelowOne)
+	}
+}
+
+// Determinism: the same seed reproduces the same bands.
+func TestMonteCarloDeterministic(t *testing.T) {
+	m := MustNew(Params{C: 2e9, Alpha: 0.2, N: 1e4, L: 500, A: 10})
+	j := Jitter{Alpha: 0.1, L: 0.3}
+	a, err := m.MonteCarlo(Sync, j, 1000, dist.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.MonteCarlo(Sync, j, 1000, dist.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("same seed produced different Monte-Carlo results")
+	}
+}

@@ -1,0 +1,267 @@
+// Package cpuarch models the CPU platforms the paper characterizes on.
+//
+// Table 1 of the paper describes three server generations — GenA (Intel
+// Haswell), GenB (Intel Broadwell), and GenC (Intel Skylake) — and the
+// IPC-scaling studies (Figures 8 and 10) report how per-category
+// instructions-per-cycle evolve across them. We cannot run on the paper's
+// hardware, so this package provides parametric platform descriptions and
+// per-category IPC tables calibrated to the published scaling behaviour:
+// kernel IPC is low and scales poorly, C-library IPC scales well, and most
+// categories see only a small GenB→GenC gain.
+package cpuarch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// KiB and MiB express cache capacities the way Table 1 does.
+const (
+	KiB = 1 << 10
+	MiB = 1 << 20
+)
+
+// Generation identifies one of the three CPU platforms from Table 1.
+type Generation int
+
+const (
+	// GenA is the Intel Haswell platform.
+	GenA Generation = iota
+	// GenB is the Intel Broadwell platform.
+	GenB
+	// GenC is the Intel Skylake platform (18- or 20-core variants).
+	GenC
+)
+
+// Generations lists all platforms in release order.
+var Generations = []Generation{GenA, GenB, GenC}
+
+// String returns the paper's name for the generation.
+func (g Generation) String() string {
+	switch g {
+	case GenA:
+		return "GenA"
+	case GenB:
+		return "GenB"
+	case GenC:
+		return "GenC"
+	default:
+		return fmt.Sprintf("Generation(%d)", int(g))
+	}
+}
+
+// Platform describes one CPU platform with the attributes from Table 1 plus
+// the busy-frequency figure the model's C parameter derives from.
+type Platform struct {
+	Gen            Generation
+	Microarch      string
+	CoreVariants   []int // cores per socket; GenC ships as 18- or 20-core
+	SMT            int   // hardware threads per core
+	CacheBlockSize int   // bytes
+	L1I            int   // bytes per core
+	L1D            int   // bytes per core
+	L2             int   // bytes per core (private)
+	LLCVariants    []int // bytes shared; GenC ships 24.75 or 27 MiB
+	PeakIPC        float64
+	// BusyHz is the typical busy frequency in cycles/second. The paper's
+	// case studies use C (total host cycles in one second) of 2.0-2.5e9,
+	// i.e. the host's busy frequency over a one-second unit.
+	BusyHz float64
+}
+
+// platforms holds the Table 1 data.
+var platforms = map[Generation]Platform{
+	GenA: {
+		Gen:            GenA,
+		Microarch:      "Intel Haswell",
+		CoreVariants:   []int{12},
+		SMT:            2,
+		CacheBlockSize: 64,
+		L1I:            32 * KiB,
+		L1D:            32 * KiB,
+		L2:             256 * KiB,
+		LLCVariants:    []int{30 * MiB},
+		PeakIPC:        4.0,
+		BusyHz:         2.0e9,
+	},
+	GenB: {
+		Gen:            GenB,
+		Microarch:      "Intel Broadwell",
+		CoreVariants:   []int{16},
+		SMT:            2,
+		CacheBlockSize: 64,
+		L1I:            32 * KiB,
+		L1D:            32 * KiB,
+		L2:             256 * KiB,
+		LLCVariants:    []int{24 * MiB},
+		PeakIPC:        4.0,
+		BusyHz:         2.2e9,
+	},
+	GenC: {
+		Gen:            GenC,
+		Microarch:      "Intel Skylake",
+		CoreVariants:   []int{18, 20},
+		SMT:            2,
+		CacheBlockSize: 64,
+		L1I:            32 * KiB,
+		L1D:            32 * KiB,
+		L2:             1 * MiB,
+		LLCVariants:    []int{24*MiB + 768*KiB, 27 * MiB}, // 24.75 or 27 MiB
+		PeakIPC:        4.0,
+		BusyHz:         2.5e9,
+	},
+}
+
+// Lookup returns the platform description for a generation.
+func Lookup(g Generation) (Platform, error) {
+	p, ok := platforms[g]
+	if !ok {
+		return Platform{}, fmt.Errorf("cpuarch: unknown generation %v", g)
+	}
+	return p, nil
+}
+
+// MustLookup is Lookup that panics on unknown generations.
+func MustLookup(g Generation) Platform {
+	p, err := Lookup(g)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// MaxCores returns the largest core count the platform ships with.
+func (p Platform) MaxCores() int {
+	max := 0
+	for _, c := range p.CoreVariants {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// HardwareThreads returns logical threads per socket for the largest
+// core-count variant.
+func (p Platform) HardwareThreads() int { return p.MaxCores() * p.SMT }
+
+// IPCTable maps a profiling category name to its per-core IPC on each
+// generation. Categories are free-form strings so the same machinery serves
+// both the leaf-function study (Fig 8) and the functionality study (Fig 10).
+type IPCTable struct {
+	name string
+	ipc  map[string]map[Generation]float64
+}
+
+// NewIPCTable returns an empty named table.
+func NewIPCTable(name string) *IPCTable {
+	return &IPCTable{name: name, ipc: make(map[string]map[Generation]float64)}
+}
+
+// Name returns the table's name.
+func (t *IPCTable) Name() string { return t.name }
+
+// Set records the IPC for a category on a generation. IPC must be positive
+// and no greater than the generation's theoretical peak.
+func (t *IPCTable) Set(category string, g Generation, ipc float64) error {
+	p, err := Lookup(g)
+	if err != nil {
+		return err
+	}
+	if ipc <= 0 || ipc > p.PeakIPC {
+		return fmt.Errorf("cpuarch: IPC %v for %q on %v out of (0, %v]", ipc, category, g, p.PeakIPC)
+	}
+	m, ok := t.ipc[category]
+	if !ok {
+		m = make(map[Generation]float64)
+		t.ipc[category] = m
+	}
+	m[g] = ipc
+	return nil
+}
+
+// IPC returns the recorded IPC for a category on a generation.
+func (t *IPCTable) IPC(category string, g Generation) (float64, error) {
+	m, ok := t.ipc[category]
+	if !ok {
+		return 0, fmt.Errorf("cpuarch: no IPC data for category %q", category)
+	}
+	v, ok := m[g]
+	if !ok {
+		return 0, fmt.Errorf("cpuarch: no IPC data for %q on %v", category, g)
+	}
+	return v, nil
+}
+
+// Categories returns the category names in sorted order.
+func (t *IPCTable) Categories() []string {
+	out := make([]string, 0, len(t.ipc))
+	for c := range t.ipc {
+		out = append(out, c)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ScalingFactor returns IPC(to)/IPC(from) for a category — the
+// generation-over-generation improvement the paper's scaling figures show.
+func (t *IPCTable) ScalingFactor(category string, from, to Generation) (float64, error) {
+	a, err := t.IPC(category, from)
+	if err != nil {
+		return 0, err
+	}
+	b, err := t.IPC(category, to)
+	if err != nil {
+		return 0, err
+	}
+	return b / a, nil
+}
+
+// ScalesPoorly reports whether a category's GenA→GenC IPC improvement falls
+// below the given threshold ratio (e.g. 1.15 for "<15% gain over two
+// generations"). The paper flags kernel and key-value-store IPC this way.
+func (t *IPCTable) ScalesPoorly(category string, threshold float64) (bool, error) {
+	f, err := t.ScalingFactor(category, GenA, GenC)
+	if err != nil {
+		return false, err
+	}
+	return f < threshold, nil
+}
+
+// mustTable builds a table from a category→[GenA, GenB, GenC] map, panicking
+// on invalid entries; for the package-level calibrated tables below.
+func mustTable(name string, rows map[string][3]float64) *IPCTable {
+	t := NewIPCTable(name)
+	for cat, v := range rows {
+		for i, g := range Generations {
+			if err := t.Set(cat, g, v[i]); err != nil {
+				panic(err)
+			}
+		}
+	}
+	return t
+}
+
+// Cache1LeafIPC is the Fig 8 dataset: Cache1's per-core IPC for key leaf
+// function categories across the three generations. Values are calibrated
+// to the published shape: every category is below half the theoretical
+// peak of 4.0, kernel IPC is low and nearly flat, C libraries scale well,
+// and the GenB→GenC step is small for most categories.
+var Cache1LeafIPC = mustTable("Cache1 leaf IPC (Fig 8)", map[string][3]float64{
+	"Memory":      {0.80, 0.95, 1.00},
+	"Kernel":      {0.48, 0.52, 0.54},
+	"ZSTD":        {1.00, 1.15, 1.20},
+	"SSL":         {1.15, 1.35, 1.42},
+	"C Libraries": {0.95, 1.30, 1.60},
+})
+
+// Cache1FunctionalityIPC is the Fig 10 dataset: Cache1's per-core IPC for
+// key microservice functionality categories. I/O IPC stays low across
+// generations (it is dominated by kernel functions), and application logic
+// (the key-value store) sees little improvement because it is memory bound.
+var Cache1FunctionalityIPC = mustTable("Cache1 functionality IPC (Fig 10)", map[string][3]float64{
+	"IO":                {0.35, 0.37, 0.38},
+	"IO Pre/Post":       {0.50, 0.56, 0.60},
+	"Serialization":     {0.55, 0.65, 0.70},
+	"Application Logic": {0.48, 0.51, 0.53},
+})

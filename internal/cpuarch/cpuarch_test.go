@@ -1,0 +1,214 @@
+package cpuarch
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLookupAllGenerations(t *testing.T) {
+	for _, g := range Generations {
+		p, err := Lookup(g)
+		if err != nil {
+			t.Fatalf("Lookup(%v): %v", g, err)
+		}
+		if p.Gen != g {
+			t.Errorf("platform %v reports gen %v", g, p.Gen)
+		}
+		if p.SMT != 2 {
+			t.Errorf("%v SMT = %d, want 2 (Table 1)", g, p.SMT)
+		}
+		if p.CacheBlockSize != 64 {
+			t.Errorf("%v cache block = %d, want 64", g, p.CacheBlockSize)
+		}
+		if p.L1I != 32*KiB || p.L1D != 32*KiB {
+			t.Errorf("%v L1 = %d/%d, want 32 KiB each", g, p.L1I, p.L1D)
+		}
+		if p.BusyHz <= 0 {
+			t.Errorf("%v BusyHz = %v", g, p.BusyHz)
+		}
+	}
+	if _, err := Lookup(Generation(99)); err == nil {
+		t.Error("unknown generation: want error")
+	}
+}
+
+func TestTable1Attributes(t *testing.T) {
+	a := MustLookup(GenA)
+	if a.Microarch != "Intel Haswell" || a.MaxCores() != 12 || a.L2 != 256*KiB || a.LLCVariants[0] != 30*MiB {
+		t.Errorf("GenA = %+v", a)
+	}
+	b := MustLookup(GenB)
+	if b.Microarch != "Intel Broadwell" || b.MaxCores() != 16 || b.L2 != 256*KiB || b.LLCVariants[0] != 24*MiB {
+		t.Errorf("GenB = %+v", b)
+	}
+	c := MustLookup(GenC)
+	if c.Microarch != "Intel Skylake" || c.MaxCores() != 20 || c.L2 != 1*MiB {
+		t.Errorf("GenC = %+v", c)
+	}
+	if len(c.CoreVariants) != 2 || c.CoreVariants[0] != 18 || c.CoreVariants[1] != 20 {
+		t.Errorf("GenC core variants = %v, want [18 20]", c.CoreVariants)
+	}
+	if len(c.LLCVariants) != 2 {
+		t.Errorf("GenC LLC variants = %v, want two (24.75 and 27 MiB)", c.LLCVariants)
+	}
+	if c.LLCVariants[0] != 24*MiB+768*KiB {
+		t.Errorf("GenC LLC[0] = %d, want 24.75 MiB", c.LLCVariants[0])
+	}
+}
+
+func TestHardwareThreads(t *testing.T) {
+	if got := MustLookup(GenC).HardwareThreads(); got != 40 {
+		t.Errorf("GenC hardware threads = %d, want 40", got)
+	}
+	if got := MustLookup(GenA).HardwareThreads(); got != 24 {
+		t.Errorf("GenA hardware threads = %d, want 24", got)
+	}
+}
+
+func TestGenerationString(t *testing.T) {
+	if GenA.String() != "GenA" || GenB.String() != "GenB" || GenC.String() != "GenC" {
+		t.Error("generation names wrong")
+	}
+	if Generation(7).String() != "Generation(7)" {
+		t.Errorf("unknown generation string = %q", Generation(7).String())
+	}
+}
+
+func TestIPCTableSetAndGet(t *testing.T) {
+	tbl := NewIPCTable("test")
+	if err := tbl.Set("Memory", GenA, 0.8); err != nil {
+		t.Fatalf("Set: %v", err)
+	}
+	v, err := tbl.IPC("Memory", GenA)
+	if err != nil || v != 0.8 {
+		t.Errorf("IPC = %v, %v", v, err)
+	}
+	if _, err := tbl.IPC("Memory", GenB); err == nil {
+		t.Error("missing generation: want error")
+	}
+	if _, err := tbl.IPC("Nope", GenA); err == nil {
+		t.Error("missing category: want error")
+	}
+}
+
+func TestIPCTableRejectsInvalid(t *testing.T) {
+	tbl := NewIPCTable("test")
+	if err := tbl.Set("X", GenA, 0); err == nil {
+		t.Error("zero IPC: want error")
+	}
+	if err := tbl.Set("X", GenA, -1); err == nil {
+		t.Error("negative IPC: want error")
+	}
+	if err := tbl.Set("X", GenA, 4.5); err == nil {
+		t.Error("IPC above theoretical peak: want error")
+	}
+	if err := tbl.Set("X", Generation(42), 1); err == nil {
+		t.Error("unknown generation: want error")
+	}
+}
+
+func TestScalingFactor(t *testing.T) {
+	f, err := Cache1LeafIPC.ScalingFactor("C Libraries", GenA, GenC)
+	if err != nil {
+		t.Fatalf("ScalingFactor: %v", err)
+	}
+	if math.Abs(f-1.60/0.95) > 1e-12 {
+		t.Errorf("C library scaling = %v", f)
+	}
+	if _, err := Cache1LeafIPC.ScalingFactor("Nope", GenA, GenC); err == nil {
+		t.Error("missing category: want error")
+	}
+}
+
+// The paper's Fig 8 findings: kernel IPC is low and scales poorly; C
+// libraries scale well; every category is below half the peak IPC of 4.0.
+func TestFig8Shape(t *testing.T) {
+	for _, cat := range Cache1LeafIPC.Categories() {
+		v, err := Cache1LeafIPC.IPC(cat, GenC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v >= 2.0 {
+			t.Errorf("%s GenC IPC = %v, want < half of peak 4.0", cat, v)
+		}
+	}
+	poor, err := Cache1LeafIPC.ScalesPoorly("Kernel", 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !poor {
+		t.Error("kernel should scale poorly (<15% over two generations)")
+	}
+	poor, err = Cache1LeafIPC.ScalesPoorly("C Libraries", 1.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if poor {
+		t.Error("C libraries should scale well")
+	}
+	kernelIPC, _ := Cache1LeafIPC.IPC("Kernel", GenC)
+	for _, cat := range []string{"Memory", "ZSTD", "SSL", "C Libraries"} {
+		v, _ := Cache1LeafIPC.IPC(cat, GenC)
+		if v <= kernelIPC {
+			t.Errorf("%s IPC %v should exceed kernel IPC %v", cat, v, kernelIPC)
+		}
+	}
+}
+
+// The paper's Fig 10 findings: I/O IPC stays low across generations
+// (kernel-bound), and application logic sees little improvement
+// (memory-bound key-value store).
+func TestFig10Shape(t *testing.T) {
+	io, err := Cache1FunctionalityIPC.ScalingFactor("IO", GenA, GenC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if io > 1.15 {
+		t.Errorf("IO IPC scaling = %v, want flat", io)
+	}
+	app, err := Cache1FunctionalityIPC.ScalingFactor("Application Logic", GenA, GenC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if app > 1.15 {
+		t.Errorf("application-logic IPC scaling = %v, want small", app)
+	}
+	for _, g := range Generations {
+		v, _ := Cache1FunctionalityIPC.IPC("IO", g)
+		if v >= 1.0 {
+			t.Errorf("IO IPC on %v = %v, want < 1 (Fig 10 axis)", g, v)
+		}
+	}
+}
+
+// Generation-over-generation IPC must be monotonically non-decreasing in
+// both calibrated tables: newer hardware never regresses a category.
+func TestIPCMonotonicAcrossGenerations(t *testing.T) {
+	for _, tbl := range []*IPCTable{Cache1LeafIPC, Cache1FunctionalityIPC} {
+		for _, cat := range tbl.Categories() {
+			prev := 0.0
+			for _, g := range Generations {
+				v, err := tbl.IPC(cat, g)
+				if err != nil {
+					t.Fatalf("%s/%s/%v: %v", tbl.Name(), cat, g, err)
+				}
+				if v < prev {
+					t.Errorf("%s %s regresses at %v: %v < %v", tbl.Name(), cat, g, v, prev)
+				}
+				prev = v
+			}
+		}
+	}
+}
+
+func TestCategoriesSorted(t *testing.T) {
+	cats := Cache1LeafIPC.Categories()
+	if len(cats) != 5 {
+		t.Fatalf("got %d categories, want 5", len(cats))
+	}
+	for i := 1; i < len(cats); i++ {
+		if cats[i-1] >= cats[i] {
+			t.Errorf("categories not sorted: %v", cats)
+		}
+	}
+}

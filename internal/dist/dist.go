@@ -1,0 +1,433 @@
+// Package dist provides empirical size distributions, bucketed histograms,
+// and cumulative distribution functions (CDFs) used throughout the
+// Accelerometer reproduction.
+//
+// The paper reports offload-granularity distributions as CDFs over byte-size
+// buckets (Figures 15, 19, 21, and 22). This package models those
+// distributions exactly as the paper presents them: a sequence of
+// half-open byte ranges with a fraction of events per range, from which we
+// can answer the questions the model needs — "what fraction of offloads is
+// at least g bytes?" and "how many offloads above the break-even size occur
+// per second?".
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Bucket is a half-open byte-size range [Lo, Hi). A Hi of MaxSize means the
+// bucket is unbounded above ("&gt;4K" style buckets in the paper).
+type Bucket struct {
+	Lo uint64 // inclusive lower bound in bytes
+	Hi uint64 // exclusive upper bound in bytes; MaxSize means unbounded
+}
+
+// MaxSize marks an unbounded upper edge for the final bucket of a layout.
+const MaxSize = math.MaxUint64
+
+// Contains reports whether size falls inside the bucket.
+func (b Bucket) Contains(size uint64) bool {
+	return size >= b.Lo && (b.Hi == MaxSize || size < b.Hi)
+}
+
+// Width returns the bucket width in bytes; unbounded buckets report 0.
+func (b Bucket) Width() uint64 {
+	if b.Hi == MaxSize {
+		return 0
+	}
+	return b.Hi - b.Lo
+}
+
+// String renders the bucket the way the paper labels its x-axes.
+func (b Bucket) String() string {
+	if b.Hi == MaxSize {
+		return ">" + FormatBytes(b.Lo)
+	}
+	return FormatBytes(b.Lo) + "-" + FormatBytes(b.Hi)
+}
+
+// FormatBytes renders a byte count using the paper's axis style (512, 1K,
+// 4K, 32K...). Values below 1024 print as plain integers.
+func FormatBytes(n uint64) string {
+	switch {
+	case n == MaxSize:
+		return "inf"
+	case n >= 1<<20 && n%(1<<20) == 0:
+		return fmt.Sprintf("%dM", n>>20)
+	case n >= 1<<10 && n%(1<<10) == 0:
+		return fmt.Sprintf("%dK", n>>10)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// Layout is an ordered, contiguous set of buckets covering [0, +inf).
+type Layout []Bucket
+
+// Validate checks that the layout is non-empty, contiguous, ascending, and
+// ends with an unbounded bucket.
+func (l Layout) Validate() error {
+	if len(l) == 0 {
+		return errors.New("dist: empty bucket layout")
+	}
+	if l[0].Lo != 0 {
+		return fmt.Errorf("dist: layout must start at 0, got %d", l[0].Lo)
+	}
+	for i := 0; i < len(l)-1; i++ {
+		if l[i].Hi == MaxSize {
+			return fmt.Errorf("dist: unbounded bucket %d before end of layout", i)
+		}
+		if l[i].Hi <= l[i].Lo {
+			return fmt.Errorf("dist: bucket %d has non-positive width", i)
+		}
+		if l[i].Hi != l[i+1].Lo {
+			return fmt.Errorf("dist: gap between bucket %d and %d", i, i+1)
+		}
+	}
+	if last := l[len(l)-1]; last.Hi != MaxSize {
+		return fmt.Errorf("dist: layout must end unbounded, got hi=%d", last.Hi)
+	}
+	return nil
+}
+
+// Index returns the bucket index containing size. The layout must be valid.
+func (l Layout) Index(size uint64) int {
+	// Binary search over lower bounds.
+	i := sort.Search(len(l), func(i int) bool { return l[i].Lo > size })
+	return i - 1
+}
+
+// NewLayout builds a layout from ascending interior edges. Edges are the
+// boundaries between buckets: NewLayout(4, 8) yields [0,4) [4,8) [8,inf).
+func NewLayout(edges ...uint64) (Layout, error) {
+	l := make(Layout, 0, len(edges)+1)
+	lo := uint64(0)
+	for _, e := range edges {
+		if e <= lo {
+			return nil, fmt.Errorf("dist: edges must be strictly ascending, got %d after %d", e, lo)
+		}
+		l = append(l, Bucket{Lo: lo, Hi: e})
+		lo = e
+	}
+	l = append(l, Bucket{Lo: lo, Hi: MaxSize})
+	return l, nil
+}
+
+// MustLayout is NewLayout that panics on invalid input; for package-level
+// layout constants.
+func MustLayout(edges ...uint64) Layout {
+	l, err := NewLayout(edges...)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// Paper bucket layouts. Each matches the x-axis of the corresponding figure.
+var (
+	// EncryptionLayout matches Fig 15 (bytes encrypted in Cache1):
+	// 0-4, 4-8, 8-16, ..., 2K-4K, >4K.
+	EncryptionLayout = MustLayout(4, 8, 16, 32, 64, 128, 256, 512, 1<<10, 2<<10, 4<<10)
+
+	// CompressionLayout matches Fig 19 (bytes compressed):
+	// 0, 1-64, 64-128, ..., 16K-32K, >32K.
+	CompressionLayout = MustLayout(1, 64, 128, 256, 512, 1<<10, 2<<10, 4<<10, 8<<10, 16<<10, 32<<10)
+
+	// CopyAllocLayout matches Figs 21 and 22 (bytes copied / allocated):
+	// 0, 1-64, 64-128, 128-256, 256-512, 512-1K, 1K-2K, 2K-4K, >4K.
+	CopyAllocLayout = MustLayout(1, 64, 128, 256, 512, 1<<10, 2<<10, 4<<10)
+)
+
+// Histogram counts events per size bucket. The zero value is unusable; build
+// one with NewHistogram.
+type Histogram struct {
+	layout Layout
+	counts []uint64
+	total  uint64
+	sumSz  uint64 // sum of observed sizes, for mean
+}
+
+// NewHistogram returns an empty histogram over the given layout.
+func NewHistogram(layout Layout) (*Histogram, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	return &Histogram{layout: layout, counts: make([]uint64, len(layout))}, nil
+}
+
+// MustHistogram is NewHistogram that panics on invalid layout.
+func MustHistogram(layout Layout) *Histogram {
+	h, err := NewHistogram(layout)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Observe records one event of the given size in bytes.
+func (h *Histogram) Observe(size uint64) {
+	h.counts[h.layout.Index(size)]++
+	h.total++
+	h.sumSz += size
+}
+
+// ObserveN records n events of the given size.
+func (h *Histogram) ObserveN(size uint64, n uint64) {
+	h.counts[h.layout.Index(size)] += n
+	h.total += n
+	h.sumSz += size * n
+}
+
+// Total returns the number of observed events.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// MeanSize returns the mean observed size in bytes, or 0 with no events.
+func (h *Histogram) MeanSize() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sumSz) / float64(h.total)
+}
+
+// Count returns the number of events in bucket i.
+func (h *Histogram) Count(i int) uint64 { return h.counts[i] }
+
+// Merge folds other's observations into h. The layouts must be identical.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if len(h.layout) != len(other.layout) {
+		return fmt.Errorf("dist: merging histograms with %d vs %d buckets", len(h.layout), len(other.layout))
+	}
+	for i := range h.layout {
+		if h.layout[i] != other.layout[i] {
+			return fmt.Errorf("dist: merging histograms with different layouts at bucket %d", i)
+		}
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sumSz += other.sumSz
+	return nil
+}
+
+// Layout returns the histogram's bucket layout.
+func (h *Histogram) Layout() Layout { return h.layout }
+
+// CDF converts the histogram into an empirical CDF. It returns an error if
+// the histogram is empty.
+func (h *Histogram) CDF() (*CDF, error) {
+	if h.total == 0 {
+		return nil, errors.New("dist: cannot build CDF from empty histogram")
+	}
+	fracs := make([]float64, len(h.counts))
+	for i, c := range h.counts {
+		fracs[i] = float64(c) / float64(h.total)
+	}
+	return NewCDF(h.layout, fracs)
+}
+
+// CDF is an empirical cumulative distribution over a bucket layout: the
+// fraction of events whose size falls in each bucket, with cumulative sums
+// precomputed. This is exactly the representation used by the paper's
+// granularity figures.
+type CDF struct {
+	layout Layout
+	frac   []float64 // per-bucket probability mass
+	cum    []float64 // cum[i] = P(size < layout[i].Hi); cum[last] = 1
+}
+
+// NewCDF builds a CDF from a layout and per-bucket fractions. The fractions
+// must sum to 1 within a small tolerance; they are renormalized exactly.
+func NewCDF(layout Layout, fractions []float64) (*CDF, error) {
+	if err := layout.Validate(); err != nil {
+		return nil, err
+	}
+	if len(fractions) != len(layout) {
+		return nil, fmt.Errorf("dist: %d fractions for %d buckets", len(fractions), len(layout))
+	}
+	sum := 0.0
+	for i, f := range fractions {
+		if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil, fmt.Errorf("dist: invalid fraction %v in bucket %d", f, i)
+		}
+		sum += f
+	}
+	if math.Abs(sum-1) > 0.02 {
+		return nil, fmt.Errorf("dist: fractions sum to %.4f, want 1", sum)
+	}
+	c := &CDF{
+		layout: layout,
+		frac:   make([]float64, len(fractions)),
+		cum:    make([]float64, len(fractions)),
+	}
+	run := 0.0
+	for i, f := range fractions {
+		c.frac[i] = f / sum
+		run += c.frac[i]
+		c.cum[i] = run
+	}
+	c.cum[len(c.cum)-1] = 1
+	return c, nil
+}
+
+// MustCDF is NewCDF that panics on error; for package-level reference data.
+func MustCDF(layout Layout, fractions []float64) *CDF {
+	c, err := NewCDF(layout, fractions)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Layout returns the CDF's bucket layout.
+func (c *CDF) Layout() Layout { return c.layout }
+
+// BucketFraction returns the probability mass of bucket i.
+func (c *CDF) BucketFraction(i int) float64 { return c.frac[i] }
+
+// Cumulative returns P(size < layout[i].Hi) for bucket i.
+func (c *CDF) Cumulative(i int) float64 { return c.cum[i] }
+
+// FractionAtLeast returns the fraction of events with size >= g. Within a
+// bucket, mass is assumed uniformly distributed over the bucket's width
+// (the final unbounded bucket contributes all of its mass when g <= Lo and
+// none otherwise, since it has no modeled width).
+func (c *CDF) FractionAtLeast(g uint64) float64 {
+	if g == 0 {
+		return 1
+	}
+	total := 0.0
+	for i, b := range c.layout {
+		switch {
+		case g <= b.Lo:
+			total += c.frac[i]
+		case b.Hi != MaxSize && g < b.Hi:
+			// Partial bucket: uniform interpolation.
+			span := float64(b.Hi - b.Lo)
+			total += c.frac[i] * float64(b.Hi-g) / span
+		}
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// FractionBelow returns the fraction of events with size < g.
+func (c *CDF) FractionBelow(g uint64) float64 { return 1 - c.FractionAtLeast(g) }
+
+// ByteFractionAtLeast returns the fraction of total bytes carried by events
+// of size >= g (as opposed to FractionAtLeast, which counts events). Large
+// events carry disproportionately many bytes, so this fraction is always at
+// least the event fraction. Within a bucket, mass is uniform; the unbounded
+// tail bucket contributes at its lower edge.
+func (c *CDF) ByteFractionAtLeast(g uint64) float64 {
+	total := c.MeanSize()
+	if total == 0 {
+		return 0
+	}
+	kept := 0.0
+	for i, b := range c.layout {
+		switch {
+		case g <= b.Lo:
+			if b.Hi == MaxSize {
+				kept += c.frac[i] * float64(b.Lo)
+			} else {
+				kept += c.frac[i] * (float64(b.Lo) + float64(b.Hi)) / 2
+			}
+		case b.Hi != MaxSize && g < b.Hi:
+			span := float64(b.Hi - b.Lo)
+			evFrac := c.frac[i] * float64(b.Hi-g) / span
+			kept += evFrac * (float64(g) + float64(b.Hi)) / 2
+		}
+	}
+	f := kept / total
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// Quantile returns the size s such that approximately a fraction q of events
+// have size < s, using uniform interpolation within buckets. q must be in
+// [0, 1]. For q landing in the final unbounded bucket, the bucket's lower
+// edge is returned.
+func (c *CDF) Quantile(q float64) (uint64, error) {
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return 0, fmt.Errorf("dist: quantile %v out of [0,1]", q)
+	}
+	prev := 0.0
+	for i, b := range c.layout {
+		if q <= c.cum[i] || i == len(c.layout)-1 {
+			if b.Hi == MaxSize || c.frac[i] == 0 {
+				return b.Lo, nil
+			}
+			within := (q - prev) / c.frac[i]
+			if within < 0 {
+				within = 0
+			}
+			if within > 1 {
+				within = 1
+			}
+			return b.Lo + uint64(within*float64(b.Hi-b.Lo)), nil
+		}
+		prev = c.cum[i]
+	}
+	return c.layout[len(c.layout)-1].Lo, nil
+}
+
+// MeanSize estimates the mean event size assuming uniform mass within each
+// bounded bucket and using the lower edge for the unbounded tail bucket.
+func (c *CDF) MeanSize() float64 {
+	mean := 0.0
+	for i, b := range c.layout {
+		if b.Hi == MaxSize {
+			mean += c.frac[i] * float64(b.Lo)
+			continue
+		}
+		mean += c.frac[i] * (float64(b.Lo) + float64(b.Hi)) / 2
+	}
+	return mean
+}
+
+// Scale returns a new CDF with every bucket's mass multiplied by the given
+// per-bucket weights and renormalized. Useful for "what if the workload
+// shifted" ablations. The weights slice must match the layout length.
+func (c *CDF) Scale(weights []float64) (*CDF, error) {
+	if len(weights) != len(c.frac) {
+		return nil, fmt.Errorf("dist: %d weights for %d buckets", len(weights), len(c.frac))
+	}
+	scaled := make([]float64, len(c.frac))
+	sum := 0.0
+	for i := range scaled {
+		if weights[i] < 0 {
+			return nil, fmt.Errorf("dist: negative weight %v at %d", weights[i], i)
+		}
+		scaled[i] = c.frac[i] * weights[i]
+		sum += scaled[i]
+	}
+	if sum == 0 {
+		return nil, errors.New("dist: scaling produced empty distribution")
+	}
+	for i := range scaled {
+		scaled[i] /= sum
+	}
+	return NewCDF(c.layout, scaled)
+}
+
+// String renders the CDF as "bucket cumfrac" rows, matching the paper's
+// figure axes.
+func (c *CDF) String() string {
+	var sb strings.Builder
+	for i, b := range c.layout {
+		fmt.Fprintf(&sb, "%-10s %.3f\n", b.String(), c.cum[i])
+	}
+	return sb.String()
+}

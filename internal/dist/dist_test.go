@@ -1,0 +1,340 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewLayout(t *testing.T) {
+	l, err := NewLayout(4, 8, 16)
+	if err != nil {
+		t.Fatalf("NewLayout: %v", err)
+	}
+	if len(l) != 4 {
+		t.Fatalf("got %d buckets, want 4", len(l))
+	}
+	if err := l.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	want := []Bucket{{0, 4}, {4, 8}, {8, 16}, {16, MaxSize}}
+	for i, b := range l {
+		if b != want[i] {
+			t.Errorf("bucket %d = %v, want %v", i, b, want[i])
+		}
+	}
+}
+
+func TestNewLayoutErrors(t *testing.T) {
+	if _, err := NewLayout(4, 4); err == nil {
+		t.Error("duplicate edges: want error")
+	}
+	if _, err := NewLayout(8, 4); err == nil {
+		t.Error("descending edges: want error")
+	}
+	if _, err := NewLayout(0); err == nil {
+		t.Error("zero edge: want error")
+	}
+}
+
+func TestLayoutValidateRejectsBadShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		l    Layout
+	}{
+		{"empty", Layout{}},
+		{"not starting at zero", Layout{{1, MaxSize}}},
+		{"gap", Layout{{0, 4}, {8, MaxSize}}},
+		{"bounded end", Layout{{0, 4}, {4, 8}}},
+		{"interior unbounded", Layout{{0, MaxSize}, {4, MaxSize}}},
+	}
+	for _, tc := range cases {
+		if err := tc.l.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+}
+
+func TestLayoutIndex(t *testing.T) {
+	l := MustLayout(4, 8, 16)
+	cases := []struct {
+		size uint64
+		want int
+	}{
+		{0, 0}, {3, 0}, {4, 1}, {7, 1}, {8, 2}, {15, 2}, {16, 3}, {1 << 40, 3},
+	}
+	for _, tc := range cases {
+		if got := l.Index(tc.size); got != tc.want {
+			t.Errorf("Index(%d) = %d, want %d", tc.size, got, tc.want)
+		}
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	cases := []struct {
+		b    Bucket
+		want string
+	}{
+		{Bucket{0, 4}, "0-4"},
+		{Bucket{512, 1 << 10}, "512-1K"},
+		{Bucket{1 << 10, 2 << 10}, "1K-2K"},
+		{Bucket{4 << 10, MaxSize}, ">4K"},
+		{Bucket{1 << 20, 2 << 20}, "1M-2M"},
+	}
+	for _, tc := range cases {
+		if got := tc.b.String(); got != tc.want {
+			t.Errorf("%v.String() = %q, want %q", tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramObserveAndCDF(t *testing.T) {
+	h := MustHistogram(MustLayout(4, 8))
+	h.Observe(1)
+	h.Observe(2)
+	h.Observe(5)
+	h.ObserveN(10, 2)
+	if h.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", h.Total())
+	}
+	if got, want := h.MeanSize(), (1.0+2+5+10+10)/5; got != want {
+		t.Errorf("MeanSize = %v, want %v", got, want)
+	}
+	c, err := h.CDF()
+	if err != nil {
+		t.Fatalf("CDF: %v", err)
+	}
+	if got := c.BucketFraction(0); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("frac[0] = %v, want 0.4", got)
+	}
+	if got := c.Cumulative(2); got != 1 {
+		t.Errorf("cum[last] = %v, want 1", got)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustHistogram(MustLayout(4, 8))
+	b := MustHistogram(MustLayout(4, 8))
+	a.Observe(2)
+	b.Observe(6)
+	b.ObserveN(10, 3)
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Total() != 5 {
+		t.Errorf("merged total = %d, want 5", a.Total())
+	}
+	if got, want := a.MeanSize(), (2.0+6+30)/5; got != want {
+		t.Errorf("merged mean = %v, want %v", got, want)
+	}
+	if a.Count(2) != 3 {
+		t.Errorf("tail count = %d, want 3", a.Count(2))
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge: %v", err)
+	}
+	// Mismatched layouts are rejected.
+	c := MustHistogram(MustLayout(16))
+	if err := a.Merge(c); err == nil {
+		t.Error("mismatched bucket count: want error")
+	}
+	d := MustHistogram(MustLayout(4, 16))
+	if err := a.Merge(d); err == nil {
+		t.Error("mismatched edges: want error")
+	}
+}
+
+func TestEmptyHistogramCDF(t *testing.T) {
+	h := MustHistogram(MustLayout(4))
+	if _, err := h.CDF(); err == nil {
+		t.Error("empty histogram: want error")
+	}
+}
+
+func TestNewCDFValidation(t *testing.T) {
+	l := MustLayout(4, 8)
+	if _, err := NewCDF(l, []float64{0.5, 0.5}); err == nil {
+		t.Error("wrong fraction count: want error")
+	}
+	if _, err := NewCDF(l, []float64{0.5, 0.5, 0.5}); err == nil {
+		t.Error("sum 1.5: want error")
+	}
+	if _, err := NewCDF(l, []float64{-0.1, 0.6, 0.5}); err == nil {
+		t.Error("negative fraction: want error")
+	}
+	if _, err := NewCDF(l, []float64{0.2, 0.3, 0.5}); err != nil {
+		t.Errorf("valid CDF: %v", err)
+	}
+}
+
+func TestCDFFractionAtLeast(t *testing.T) {
+	c := MustCDF(MustLayout(4, 8), []float64{0.25, 0.25, 0.5})
+	cases := []struct {
+		g    uint64
+		want float64
+	}{
+		{0, 1},
+		{4, 0.75},
+		{6, 0.625}, // half of the [4,8) bucket remains
+		{8, 0.5},
+		{100, 0}, // tail bucket has no modeled width above Lo
+	}
+	for _, tc := range cases {
+		if got := c.FractionAtLeast(tc.g); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("FractionAtLeast(%d) = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+	if got := c.FractionBelow(8); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("FractionBelow(8) = %v, want 0.5", got)
+	}
+}
+
+func TestCDFQuantile(t *testing.T) {
+	c := MustCDF(MustLayout(4, 8), []float64{0.25, 0.25, 0.5})
+	q, err := c.Quantile(0.25)
+	if err != nil {
+		t.Fatalf("Quantile: %v", err)
+	}
+	if q != 4 {
+		t.Errorf("Quantile(0.25) = %d, want 4", q)
+	}
+	q, _ = c.Quantile(0.5)
+	if q != 8 {
+		t.Errorf("Quantile(0.5) = %d, want 8", q)
+	}
+	q, _ = c.Quantile(0.99) // falls in unbounded tail bucket
+	if q != 8 {
+		t.Errorf("Quantile(0.99) = %d, want 8 (tail lower edge)", q)
+	}
+	if _, err := c.Quantile(1.5); err == nil {
+		t.Error("Quantile(1.5): want error")
+	}
+	if _, err := c.Quantile(math.NaN()); err == nil {
+		t.Error("Quantile(NaN): want error")
+	}
+}
+
+func TestByteFractionAtLeast(t *testing.T) {
+	c := MustCDF(MustLayout(4, 8), []float64{0.5, 0.5, 0})
+	// Bytes: 0.5*2 + 0.5*6 = 4 total; events >= 4 carry 3 bytes.
+	if got := c.ByteFractionAtLeast(4); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ByteFractionAtLeast(4) = %v, want 0.75", got)
+	}
+	if got := c.ByteFractionAtLeast(0); got != 1 {
+		t.Errorf("ByteFractionAtLeast(0) = %v, want 1", got)
+	}
+	// Byte fraction always dominates event fraction.
+	for _, g := range []uint64{1, 2, 4, 6, 8} {
+		if c.ByteFractionAtLeast(g)+1e-12 < c.FractionAtLeast(g) {
+			t.Errorf("byte fraction below event fraction at g=%d", g)
+		}
+	}
+	// Empty distribution (all mass at size 0): no bytes at all.
+	z := MustCDF(MustLayout(4), []float64{1, 0})
+	_ = z.ByteFractionAtLeast(1) // must not panic or divide by zero
+}
+
+func TestCDFMeanSize(t *testing.T) {
+	c := MustCDF(MustLayout(4, 8), []float64{0.5, 0.5, 0})
+	// 0.5*2 + 0.5*6 = 4
+	if got := c.MeanSize(); math.Abs(got-4) > 1e-12 {
+		t.Errorf("MeanSize = %v, want 4", got)
+	}
+}
+
+func TestCDFScale(t *testing.T) {
+	c := MustCDF(MustLayout(4, 8), []float64{0.25, 0.25, 0.5})
+	s, err := c.Scale([]float64{0, 1, 1})
+	if err != nil {
+		t.Fatalf("Scale: %v", err)
+	}
+	if got := s.BucketFraction(0); got != 0 {
+		t.Errorf("scaled frac[0] = %v, want 0", got)
+	}
+	if got := s.BucketFraction(2); math.Abs(got-2.0/3) > 1e-12 {
+		t.Errorf("scaled frac[2] = %v, want 2/3", got)
+	}
+	if _, err := c.Scale([]float64{1, 1}); err == nil {
+		t.Error("short weights: want error")
+	}
+	if _, err := c.Scale([]float64{0, 0, 0}); err == nil {
+		t.Error("all-zero weights: want error")
+	}
+	if _, err := c.Scale([]float64{-1, 1, 1}); err == nil {
+		t.Error("negative weight: want error")
+	}
+}
+
+func TestPaperLayoutsValid(t *testing.T) {
+	for _, l := range []Layout{EncryptionLayout, CompressionLayout, CopyAllocLayout} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("paper layout invalid: %v", err)
+		}
+	}
+	if len(EncryptionLayout) != 12 {
+		t.Errorf("EncryptionLayout has %d buckets, want 12 (Fig 15)", len(EncryptionLayout))
+	}
+	if len(CompressionLayout) != 12 {
+		t.Errorf("CompressionLayout has %d buckets, want 12 (Fig 19)", len(CompressionLayout))
+	}
+	if len(CopyAllocLayout) != 9 {
+		t.Errorf("CopyAllocLayout has %d buckets, want 9 (Figs 21-22)", len(CopyAllocLayout))
+	}
+}
+
+// Property: FractionAtLeast is monotonically non-increasing in g.
+func TestFractionAtLeastMonotonic(t *testing.T) {
+	c := MustCDF(CompressionLayout, []float64{0.05, 0.1, 0.1, 0.1, 0.15, 0.1, 0.1, 0.1, 0.05, 0.05, 0.05, 0.05})
+	f := func(a, b uint32) bool {
+		ga, gb := uint64(a), uint64(b)
+		if ga > gb {
+			ga, gb = gb, ga
+		}
+		return c.FractionAtLeast(ga)+1e-12 >= c.FractionAtLeast(gb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for any histogram contents, CDF cumulative ends at exactly 1 and
+// bucket fractions are non-negative.
+func TestHistogramCDFProperties(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		h := MustHistogram(CopyAllocLayout)
+		for _, s := range sizes {
+			h.Observe(uint64(s))
+		}
+		c, err := h.CDF()
+		if err != nil {
+			return false
+		}
+		for i := range c.Layout() {
+			if c.BucketFraction(i) < 0 {
+				return false
+			}
+		}
+		return c.Cumulative(len(c.Layout())-1) == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Quantile and FractionBelow approximately invert each other.
+func TestQuantileInverse(t *testing.T) {
+	c := MustCDF(MustLayout(64, 256, 1024), []float64{0.3, 0.3, 0.3, 0.1})
+	for _, q := range []float64{0.1, 0.3, 0.45, 0.6, 0.85} {
+		s, err := c.Quantile(q)
+		if err != nil {
+			t.Fatalf("Quantile(%v): %v", q, err)
+		}
+		got := c.FractionBelow(s)
+		if math.Abs(got-q) > 0.02 {
+			t.Errorf("FractionBelow(Quantile(%v)) = %v, want ~%v", q, got, q)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+)
+
+// Rand is a small, deterministic pseudo-random generator (SplitMix64) used
+// everywhere the reproduction needs randomness. Determinism matters: every
+// experiment must regenerate the same rows on every run, so all stochastic
+// components seed a Rand explicitly and nothing uses global randomness.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with the given value. Any seed,
+// including zero, is valid.
+func NewRand(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// Uint64 returns the next pseudo-random 64-bit value.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("dist: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("dist: Uint64n with zero n")
+	}
+	return r.Uint64() % n
+}
+
+// NormFloat64 returns a standard-normal value using the Box-Muller
+// transform.
+func (r *Rand) NormFloat64() float64 {
+	// Avoid log(0).
+	u1 := 1 - r.Float64()
+	u2 := r.Float64()
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Sampler draws event sizes from a CDF: it first picks a bucket according to
+// the bucket masses, then a size uniformly within the bucket. For the final
+// unbounded bucket it draws from [Lo, 2*Lo) so tail sizes remain plausible
+// without an explicit upper bound.
+type Sampler struct {
+	cdf *CDF
+	rng *Rand
+}
+
+// NewSampler returns a sampler over the CDF using the given generator.
+func NewSampler(cdf *CDF, rng *Rand) (*Sampler, error) {
+	if cdf == nil {
+		return nil, fmt.Errorf("dist: nil CDF")
+	}
+	if rng == nil {
+		return nil, fmt.Errorf("dist: nil Rand")
+	}
+	return &Sampler{cdf: cdf, rng: rng}, nil
+}
+
+// Sample returns one event size in bytes drawn from the distribution.
+func (s *Sampler) Sample() uint64 {
+	u := s.rng.Float64()
+	layout := s.cdf.Layout()
+	for i, b := range layout {
+		if u <= s.cdf.Cumulative(i) || i == len(layout)-1 {
+			if b.Hi == MaxSize {
+				if b.Lo == 0 {
+					return 0
+				}
+				return b.Lo + s.rng.Uint64n(b.Lo)
+			}
+			if w := b.Width(); w > 0 {
+				return b.Lo + s.rng.Uint64n(w)
+			}
+			return b.Lo
+		}
+	}
+	return 0
+}
+
+// SampleN draws n sizes and returns them; convenience for workload setup.
+func (s *Sampler) SampleN(n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.Sample()
+	}
+	return out
+}

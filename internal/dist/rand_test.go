@@ -1,0 +1,155 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	c := NewRand(43)
+	same := true
+	a = NewRand(42)
+	for i := 0; i < 10; i++ {
+		if a.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRandIntn(t *testing.T) {
+	r := NewRand(7)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 5 {
+		t.Errorf("Intn(5) hit %d distinct values, want 5", len(seen))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0): want panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestRandUint64nPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0): want panic")
+		}
+	}()
+	NewRand(1).Uint64n(0)
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewRand(99)
+	n := 50000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(n)
+	variance := sumSq/float64(n) - mean*mean
+	if math.Abs(mean) > 0.03 {
+		t.Errorf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestExpFloat64Mean(t *testing.T) {
+	r := NewRand(5)
+	n := 50000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("ExpFloat64 = %v < 0", v)
+		}
+		sum += v
+	}
+	if mean := sum / float64(n); math.Abs(mean-1) > 0.05 {
+		t.Errorf("exponential mean = %v, want ~1", mean)
+	}
+}
+
+func TestSamplerMatchesCDF(t *testing.T) {
+	c := MustCDF(MustLayout(64, 256), []float64{0.5, 0.3, 0.2})
+	s, err := NewSampler(c, NewRand(11))
+	if err != nil {
+		t.Fatalf("NewSampler: %v", err)
+	}
+	n := 100000
+	counts := make([]int, 3)
+	for i := 0; i < n; i++ {
+		counts[c.Layout().Index(s.Sample())]++
+	}
+	for i, want := range []float64{0.5, 0.3, 0.2} {
+		got := float64(counts[i]) / float64(n)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("bucket %d frequency = %v, want ~%v", i, got, want)
+		}
+	}
+}
+
+func TestSamplerTailBucketBounded(t *testing.T) {
+	c := MustCDF(MustLayout(1024), []float64{0, 1})
+	s, _ := NewSampler(c, NewRand(3))
+	for i := 0; i < 1000; i++ {
+		v := s.Sample()
+		if v < 1024 || v >= 2048 {
+			t.Fatalf("tail sample %d out of [1024, 2048)", v)
+		}
+	}
+}
+
+func TestSamplerErrors(t *testing.T) {
+	c := MustCDF(MustLayout(4), []float64{0.5, 0.5})
+	if _, err := NewSampler(nil, NewRand(1)); err == nil {
+		t.Error("nil CDF: want error")
+	}
+	if _, err := NewSampler(c, nil); err == nil {
+		t.Error("nil Rand: want error")
+	}
+}
+
+func TestSampleN(t *testing.T) {
+	c := MustCDF(MustLayout(4), []float64{1, 0})
+	s, _ := NewSampler(c, NewRand(1))
+	out := s.SampleN(10)
+	if len(out) != 10 {
+		t.Fatalf("SampleN returned %d values", len(out))
+	}
+	for _, v := range out {
+		if v >= 4 {
+			t.Errorf("sample %d outside only populated bucket [0,4)", v)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package dist
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Summary holds basic descriptive statistics over a sample of float64
+// observations; used by the A/B test harness and the simulator's latency
+// accounting.
+type Summary struct {
+	N      int
+	Mean   float64
+	Stddev float64
+	Min    float64
+	Max    float64
+	P50    float64
+	P95    float64
+	P99    float64
+}
+
+// Summarize computes a Summary for the sample. It returns an error for an
+// empty sample.
+func Summarize(sample []float64) (Summary, error) {
+	if len(sample) == 0 {
+		return Summary{}, errors.New("dist: empty sample")
+	}
+	sorted := make([]float64, len(sample))
+	copy(sorted, sample)
+	sort.Float64s(sorted)
+
+	sum := 0.0
+	for _, v := range sorted {
+		sum += v
+	}
+	mean := sum / float64(len(sorted))
+	varSum := 0.0
+	for _, v := range sorted {
+		d := v - mean
+		varSum += d * d
+	}
+	var sd float64
+	if len(sorted) > 1 {
+		sd = math.Sqrt(varSum / float64(len(sorted)-1))
+	}
+	return Summary{
+		N:      len(sorted),
+		Mean:   mean,
+		Stddev: sd,
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P50:    percentileSorted(sorted, 0.50),
+		P95:    percentileSorted(sorted, 0.95),
+		P99:    percentileSorted(sorted, 0.99),
+	}, nil
+}
+
+// percentileSorted returns the p-quantile of an ascending sample using
+// nearest-rank with linear interpolation.
+func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// MeanCI returns the sample mean and the half-width of its two-sided 95%
+// confidence interval (normal approximation). Used by the A/B harness to
+// decide whether a measured throughput delta is significant.
+func MeanCI(sample []float64) (mean, halfWidth float64, err error) {
+	s, err := Summarize(sample)
+	if err != nil {
+		return 0, 0, err
+	}
+	if s.N < 2 {
+		return s.Mean, math.Inf(1), nil
+	}
+	return s.Mean, 1.96 * s.Stddev / math.Sqrt(float64(s.N)), nil
+}
+
+// RelativeError returns |got-want| / |want|. It reports 0 when both are
+// zero and +Inf when only want is zero; callers use it to express
+// "model-estimated speedup differs from measured speedup by x%".
+func RelativeError(got, want float64) float64 {
+	if want == 0 {
+		if got == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,98 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSummarize(t *testing.T) {
+	s, err := Summarize([]float64{1, 2, 3, 4, 5})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("stddev = %v, want sqrt(2.5)", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(nil); err == nil {
+		t.Error("empty sample: want error")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s, err := Summarize([]float64{7})
+	if err != nil {
+		t.Fatalf("Summarize: %v", err)
+	}
+	if s.Stddev != 0 || s.P99 != 7 || s.P50 != 7 {
+		t.Errorf("single-value summary = %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	if _, err := Summarize(in); err != nil {
+		t.Fatal(err)
+	}
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestPercentiles(t *testing.T) {
+	sample := make([]float64, 100)
+	for i := range sample {
+		sample[i] = float64(i + 1) // 1..100
+	}
+	s, _ := Summarize(sample)
+	if math.Abs(s.P95-95.05) > 0.5 {
+		t.Errorf("P95 = %v, want ~95", s.P95)
+	}
+	if math.Abs(s.P99-99.01) > 0.5 {
+		t.Errorf("P99 = %v, want ~99", s.P99)
+	}
+}
+
+func TestMeanCI(t *testing.T) {
+	mean, hw, err := MeanCI([]float64{10, 10, 10, 10})
+	if err != nil {
+		t.Fatalf("MeanCI: %v", err)
+	}
+	if mean != 10 || hw != 0 {
+		t.Errorf("constant sample: mean=%v hw=%v", mean, hw)
+	}
+	_, hw, err = MeanCI([]float64{5})
+	if err != nil {
+		t.Fatalf("MeanCI single: %v", err)
+	}
+	if !math.IsInf(hw, 1) {
+		t.Errorf("single sample half-width = %v, want +Inf", hw)
+	}
+	if _, _, err := MeanCI(nil); err == nil {
+		t.Error("empty sample: want error")
+	}
+}
+
+func TestRelativeError(t *testing.T) {
+	cases := []struct {
+		got, want, expect float64
+	}{
+		{110, 100, 0.1},
+		{90, 100, 0.1},
+		{0, 0, 0},
+		{100, 100, 0},
+	}
+	for _, tc := range cases {
+		if got := RelativeError(tc.got, tc.want); math.Abs(got-tc.expect) > 1e-12 {
+			t.Errorf("RelativeError(%v,%v) = %v, want %v", tc.got, tc.want, got, tc.expect)
+		}
+	}
+	if !math.IsInf(RelativeError(1, 0), 1) {
+		t.Error("RelativeError(1,0) should be +Inf")
+	}
+}

@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fleetdata"
+	"repro/internal/sim"
+	"repro/internal/textchart"
+)
+
+// Ablations probe the design choices DESIGN.md calls out. They are
+// registered as experiments (abl1..abl4) and driven by the root bench
+// suite.
+
+func init() {
+	register(Experiment{
+		ID:    "abl1",
+		Title: "Ablation: selective offload vs offload-all",
+		Run:   runAblSelective,
+	})
+	register(Experiment{
+		ID:    "abl2",
+		Title: "Ablation: fixed-Q vs M/M/1 queue model under load",
+		Run:   runAblQueue,
+	})
+	register(Experiment{
+		ID:    "abl3",
+		Title: "Ablation: Sync-OS oversubscription ratio",
+		Run:   runAblOversubscription,
+	})
+	register(Experiment{
+		ID:    "abl4",
+		Title: "Ablation: unpipelined vs pipelined interface L",
+		Run:   runAblPipelining,
+	})
+}
+
+func runAblSelective() (string, error) {
+	w, err := feed1CompressionWorkload()
+	if err != nil {
+		return "", err
+	}
+	k := fleetdata.CaseStudyKernels["compression"]
+	tb := textchart.NewTable("Design", "Weighting", "Selective %", "Offload-all %", "Selective wins?")
+	for _, weighting := range []core.AlphaWeighting{core.WeightByInvocations, core.WeightByBytes} {
+		for _, th := range []core.Threading{core.Sync, core.SyncOS, core.AsyncSameThread} {
+			off := core.Offload{
+				Strategy: core.OffChip, Thread: th, A: 27, L: 2300, O1: 5750,
+				Weighting: weighting,
+			}
+			all, err := core.Project(w, k, off)
+			if err != nil {
+				return "", err
+			}
+			off.SelectiveOffload = true
+			sel, err := core.Project(w, k, off)
+			if err != nil {
+				return "", err
+			}
+			tb.AddRowf(th.String(), weighting.String(),
+				sel.SpeedupPercent(), all.SpeedupPercent(), sel.Speedup >= all.Speedup)
+		}
+	}
+	return tb.Render() +
+		"\nUnder byte-weighted α (exact for linear kernels) selective offload always wins;\nthe paper's invocation-count convention can undervalue it.\n", nil
+}
+
+func runAblQueue() (string, error) {
+	// Eight cores share ONE accelerator server; sweep offered load (as
+	// target accelerator utilization) and compare the Q=0 closed form, the
+	// model with an M/M/1-derived Q, and the simulator's measured queueing.
+	k := core.LinearKernel(5.6)
+	const (
+		bytesPer = 16 << 10
+		cores    = 8
+		aFactor  = 3.0
+		l        = 2300.0
+	)
+	kernelCycles := k.HostCycles(bytesPer)      // host cycles per offload
+	service := kernelCycles / aFactor           // accelerator cycles per offload
+	maxRate := 2.3e9 / service / float64(cores) // per-core rate at ρ=1
+
+	tb := textchart.NewTable("Target util", "Model Q=0 %", "Model M/M/1 %", "Sim measured %", "Sim mean Q", "M/M/1 Q")
+	for _, rho := range []float64{0.3, 0.6, 0.8, 0.95} {
+		perCoreRate := rho * maxRate // requests (= offloads) per core-second
+		perReqCycles := 2.3e9 / perCoreRate
+		nonKernel := perReqCycles - kernelCycles
+		if nonKernel <= 0 {
+			return "", fmt.Errorf("ablation: load %v leaves no host work", rho)
+		}
+		alpha := kernelCycles / perReqCycles
+
+		m, err := core.New(core.Params{C: 2.3e9, Alpha: alpha, N: perCoreRate, L: l, A: aFactor})
+		if err != nil {
+			return "", err
+		}
+		unloaded, err := m.Speedup(core.Sync)
+		if err != nil {
+			return "", err
+		}
+		// The shared accelerator sees all cores' offloads.
+		mm1Q, err := core.MM1WaitCycles(service, perCoreRate*cores, 2.3e9)
+		if err != nil {
+			return "", err
+		}
+		mQ, err := core.New(core.Params{C: 2.3e9, Alpha: alpha, N: perCoreRate, L: l, Q: mm1Q, A: aFactor})
+		if err != nil {
+			return "", err
+		}
+		loaded, err := mQ.Speedup(core.Sync)
+		if err != nil {
+			return "", err
+		}
+
+		wl := sim.UniformWorkload{
+			NonKernelCycles: nonKernel, KernelsPerReq: 1,
+			KernelBytes: bytesPer, Kernel: k,
+		}
+		baseSim, err := sim.New(sim.Config{Cores: cores, Threads: cores, HostHz: 2.3e9, Requests: 2400}, wl)
+		if err != nil {
+			return "", err
+		}
+		baseRes, err := baseSim.Run()
+		if err != nil {
+			return "", err
+		}
+		accSim, err := sim.New(sim.Config{
+			Cores: cores, Threads: cores, HostHz: 2.3e9, Requests: 2400,
+			Accel: &sim.Accel{Threading: core.Sync, Strategy: core.OffChip, A: aFactor, L: l, Servers: 1},
+		}, wl)
+		if err != nil {
+			return "", err
+		}
+		accRes, err := accSim.Run()
+		if err != nil {
+			return "", err
+		}
+		simSpeedup, err := accRes.Speedup(baseRes)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(rho, (unloaded-1)*100, (loaded-1)*100, (simSpeedup-1)*100,
+			accRes.MeanQueueDelay, mm1Q)
+	}
+	return tb.Render() +
+		"\nBelow saturation the deterministic closed-loop offload stream barely queues and\nthe Q=0 form matches the simulator. Near saturation the measured speedup\ncollapses and queueing appears; the open-arrival M/M/1 extension is a\nconservative screen — it flags the danger region early (even predicting losses)\nbecause it ignores Sync offload's self-throttling.\n", nil
+}
+
+func runAblOversubscription() (string, error) {
+	// Sweep the thread:core ratio for a Sync-OS design where the blocked
+	// window is large (a slow accelerator, A = 1.2): with one thread per
+	// core the blocked core idles through the accelerator's execution;
+	// oversubscription recovers it at the cost of switch overhead and
+	// per-request latency.
+	k := core.LinearKernel(5.6)
+	const bytesPer = 16 << 10
+	wl := sim.UniformWorkload{
+		NonKernelCycles: 150000, KernelsPerReq: 1,
+		KernelBytes: bytesPer, Kernel: k,
+	}
+	base, err := sim.New(sim.Config{Cores: 2, Threads: 2, HostHz: 2.3e9, Requests: 1200}, wl)
+	if err != nil {
+		return "", err
+	}
+	baseRes, err := base.Run()
+	if err != nil {
+		return "", err
+	}
+	tb := textchart.NewTable("Threads per core", "Speedup %", "Context swaps/offload", "Mean latency (cycles)")
+	for _, ratio := range []int{1, 2, 4, 8} {
+		acc, err := sim.New(sim.Config{
+			Cores: 2, Threads: 2 * ratio, ContextSwitch: 5750, HostHz: 2.3e9, Requests: 1200,
+			Accel: &sim.Accel{Threading: core.SyncOS, Strategy: core.OffChip, A: 1.2, L: 2300, Servers: 16},
+		}, wl)
+		if err != nil {
+			return "", err
+		}
+		res, err := acc.Run()
+		if err != nil {
+			return "", err
+		}
+		speedup, err := res.Speedup(baseRes)
+		if err != nil {
+			return "", err
+		}
+		swaps := 0.0
+		if res.Offloads > 0 {
+			swaps = float64(res.ContextSwaps) / float64(res.Offloads)
+		}
+		tb.AddRowf(ratio, (speedup-1)*100, swaps, res.MeanLatency)
+	}
+	return tb.Render() +
+		"\nWith a single thread per core the blocked core idles through the accelerator's\nexecution and Sync-OS gains almost nothing; a 2:1 oversubscription recovers the\nwait at the cost of ~2 context switches per offload, and deeper ratios only add\nper-request latency — the trade-off eqns (3) and (5) encode.\n", nil
+}
+
+func runAblPipelining() (string, error) {
+	// The paper models unpipelined offload: L grows with g (per-byte
+	// transfer). A pipelined interface makes L independent of g. Compare
+	// break-evens and speedups for both under the Feed1 workload.
+	w, err := feed1CompressionWorkload()
+	if err != nil {
+		return "", err
+	}
+	k := fleetdata.CaseStudyKernels["compression"]
+	meanG := w.Sizes.MeanSize()
+
+	tb := textchart.NewTable("Interface model", "Effective L (cycles)", "Break-even g (B)", "Speedup %")
+	// Unpipelined: L = per-byte cost × mean granularity (Table 7's 2300).
+	for _, row := range []struct {
+		name string
+		l    float64
+	}{
+		{"unpipelined (L ∝ g, at mean g)", 2300},
+		{"pipelined (L fixed, setup only)", 400},
+	} {
+		off := core.Offload{Strategy: core.OffChip, Thread: core.Sync, A: 27, L: row.l, SelectiveOffload: true}
+		pr, err := core.Project(w, k, off)
+		if err != nil {
+			return "", err
+		}
+		be := pr.BreakEvenG
+		if math.IsInf(be, 1) {
+			be = -1
+		}
+		tb.AddRowf(row.name, row.l, be, pr.SpeedupPercent())
+	}
+	var sb strings.Builder
+	sb.WriteString(tb.Render())
+	fmt.Fprintf(&sb, "\nPipelining shrinks the break-even well below the mean granularity (%.0f B),\nletting nearly every offload profit — the upside the paper leaves to future work.\n", meanG)
+	return sb.String(), nil
+}

@@ -1,0 +1,89 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named runner that produces the same
+// rows/series the paper reports, alongside the paper's reference numbers,
+// so output is directly comparable. cmd/experiments and the root bench
+// suite both drive this registry.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Experiment is one regenerable paper artifact.
+type Experiment struct {
+	ID    string // e.g. "fig9", "tab6"
+	Title string
+	Run   func() (string, error)
+}
+
+// registry is populated by the per-artifact files' init functions.
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+// All returns every experiment sorted by ID (figures first, then tables).
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders fig1 < fig2 < ... < fig22 < tab1 < ... numerically.
+func idLess(a, b string) bool {
+	pa, na := splitID(a)
+	pb, nb := splitID(b)
+	if pa != pb {
+		return pa < pb
+	}
+	if na != nb {
+		return na < nb
+	}
+	return a < b
+}
+
+func splitID(id string) (prefix string, n int) {
+	i := 0
+	for i < len(id) && (id[i] < '0' || id[i] > '9') {
+		i++
+	}
+	prefix = id[:i]
+	for _, c := range id[i:] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return prefix, n
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, error) {
+	e, ok := registry[strings.ToLower(strings.TrimSpace(id))]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown id %q (try -list)", id)
+	}
+	return e, nil
+}
+
+// RunAll executes every experiment and concatenates the outputs.
+func RunAll() (string, error) {
+	var sb strings.Builder
+	for _, e := range All() {
+		out, err := e.Run()
+		if err != nil {
+			return "", fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fmt.Fprintf(&sb, "=== %s: %s ===\n%s\n", e.ID, e.Title, out)
+	}
+	return sb.String(), nil
+}

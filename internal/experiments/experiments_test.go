@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	all := All()
+	wantIDs := []string{
+		"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
+		"fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21", "fig22",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7",
+		"abl1", "abl2", "abl3", "abl4",
+		"ext1", "ext2", "ext3", "ext4", "ext5", "ext6", "ext7",
+	}
+	got := make(map[string]bool, len(all))
+	for _, e := range all {
+		got[e.ID] = true
+		if e.Title == "" || e.Run == nil {
+			t.Errorf("%s: incomplete registration", e.ID)
+		}
+	}
+	for _, id := range wantIDs {
+		if !got[id] {
+			t.Errorf("missing experiment %q", id)
+		}
+	}
+	if len(all) != len(wantIDs) {
+		t.Errorf("registry has %d experiments, want %d", len(all), len(wantIDs))
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	all := All()
+	// Figures numerically ordered, then tables.
+	var idx = map[string]int{}
+	for i, e := range all {
+		idx[e.ID] = i
+	}
+	if !(idx["fig2"] < idx["fig10"]) {
+		t.Error("fig2 should come before fig10 (numeric ordering)")
+	}
+	if !(idx["fig22"] < idx["tab1"]) {
+		t.Error("figures should come before tables")
+	}
+}
+
+func TestLookup(t *testing.T) {
+	e, err := Lookup("fig9")
+	if err != nil || e.ID != "fig9" {
+		t.Errorf("Lookup(fig9) = %v, %v", e.ID, err)
+	}
+	e, err = Lookup(" TAB6 ")
+	if err != nil || e.ID != "tab6" {
+		t.Errorf("Lookup with spaces/case = %v, %v", e.ID, err)
+	}
+	if _, err := Lookup("fig99"); err == nil {
+		t.Error("unknown id: want error")
+	}
+}
+
+// Every experiment must run without error and produce non-trivial output.
+func TestAllExperimentsRun(t *testing.T) {
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out, err := e.Run()
+			if err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			if len(strings.TrimSpace(out)) < 40 {
+				t.Errorf("%s: suspiciously short output:\n%s", e.ID, out)
+			}
+		})
+	}
+}
+
+// Spot-check key numbers inside the rendered artifacts.
+func TestFig20Content(t *testing.T) {
+	e, err := Lookup("fig20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"On-chip", "Off-chip: Sync-OS", "paper: 13.6%", "paper: 12.7%", "paper: 1.86%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("fig20 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTab6Content(t *testing.T) {
+	e, err := Lookup("tab6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"AES-NI", "Encryption", "Inference", "15.7", "72.39"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tab6 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig9Content(t *testing.T) {
+	e, _ := Lookup("fig9")
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, svc := range []string{"Web", "Feed1", "Feed2", "Ads1", "Ads2", "Cache1", "Cache2"} {
+		if !strings.Contains(out, svc) {
+			t.Errorf("fig9 missing %s", svc)
+		}
+	}
+}
+
+func TestFig15BreakEvenMarker(t *testing.T) {
+	e, _ := Lookup("fig15")
+	out, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "min AES-NI g") {
+		t.Errorf("fig15 missing break-even marker:\n%s", out)
+	}
+}
+
+func TestRunAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("RunAll is slow")
+	}
+	out, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "=== fig1:") || !strings.Contains(out, "=== tab7:") {
+		t.Error("RunAll output missing experiment headers")
+	}
+}
+
+func TestSplitID(t *testing.T) {
+	p, n := splitID("fig15")
+	if p != "fig" || n != 15 {
+		t.Errorf("splitID(fig15) = %q, %d", p, n)
+	}
+	p, n = splitID("tab6")
+	if p != "tab" || n != 6 {
+		t.Errorf("splitID(tab6) = %q, %d", p, n)
+	}
+	p, n = splitID("noDigits")
+	if n != 0 {
+		t.Errorf("splitID(noDigits) = %q, %d", p, n)
+	}
+}

@@ -1,0 +1,392 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/advisor"
+	"repro/internal/capacity"
+	"repro/internal/core"
+	"repro/internal/cpuarch"
+	"repro/internal/dist"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/textchart"
+)
+
+// Extension experiments beyond the paper's artifacts: design-space sweeps,
+// the combined-offload composition §5 suggests, and the automated Table 4
+// advisor.
+
+func init() {
+	register(Experiment{
+		ID:    "ext1",
+		Title: "Extension: design-space sweep (speedup vs A and vs L) for Feed1 compression",
+		Run:   runExt1,
+	})
+	register(Experiment{
+		ID:    "ext2",
+		Title: "Extension: combined compression+encryption offload (two kernels, one dispatch)",
+		Run:   runExt2,
+	})
+	register(Experiment{
+		ID:    "ext3",
+		Title: "Extension: automated Table 4 — per-service acceleration advisor",
+		Run:   runExt3,
+	})
+	register(Experiment{
+		ID:    "ext4",
+		Title: "Extension: fleet capacity planning for the Fig 20 recommendations",
+		Run:   runExt4,
+	})
+	register(Experiment{
+		ID:    "ext5",
+		Title: "Extension: open-loop tail latency vs offered load, with and without AES-NI",
+		Run:   runExt5,
+	})
+	register(Experiment{
+		ID:    "ext6",
+		Title: "Extension: Monte-Carlo uncertainty bands for the Table 6 case studies",
+		Run:   runExt6,
+	})
+	register(Experiment{
+		ID:    "ext7",
+		Title: "Extension: validating the latency-reduction equations the paper could not measure",
+		Run:   runExt7,
+	})
+}
+
+func runExt1() (string, error) {
+	m, err := core.New(core.Params{C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, A: 27})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+
+	aPts, err := m.Sweep(core.SweepA, core.Sync, core.OffChip, []float64{1, 2, 5, 10, 27, 100, 1000})
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("Speedup vs accelerator factor A (off-chip Sync, L = 2300):\n")
+	for _, p := range aPts {
+		sb.WriteString(textchart.HBar(fmt.Sprintf("A = %.0f", p.Value), (p.Speedup-1)*100, 20, 40) + "\n")
+	}
+
+	lPts, err := m.Sweep(core.SweepL, core.Sync, core.OffChip, []float64{0, 1000, 2300, 5000, 10000, 20000})
+	if err != nil {
+		return "", err
+	}
+	sb.WriteString("\nSpeedup vs interface cost L (A = 27):\n")
+	for _, p := range lPts {
+		sb.WriteString(textchart.HBar(fmt.Sprintf("L = %.0f", p.Value), (p.Speedup-1)*100, 20, 40) + "\n")
+	}
+
+	minA, err := m.MinimumA(core.Sync, 1.10)
+	if err != nil {
+		return "", err
+	}
+	maxL, err := m.MaximumL(core.Sync, 1.10)
+	if err != nil {
+		return "", err
+	}
+	sA, err := m.Sensitivity(core.SweepA, core.Sync)
+	if err != nil {
+		return "", err
+	}
+	sL, err := m.Sensitivity(core.SweepL, core.Sync)
+	if err != nil {
+		return "", err
+	}
+	fmt.Fprintf(&sb, "\nTo hit +10%%: A >= %.1f suffices, or an L budget of %.0f cycles at A = 27.\n", minA, maxL)
+	fmt.Fprintf(&sb, "Local sensitivity at the Table 7 point: +1%% A buys %+.4f pp, +1%% L costs %+.4f pp\n"+
+		"— the design is interface-bound, not accelerator-bound.\n", sA, sL)
+	return sb.String(), nil
+}
+
+func runExt2() (string, error) {
+	// A Cache3-like service (case study 2's off-chip PCIe device, L = 2530,
+	// ~102k offloads/sec) whose RPC payloads are both compressed and
+	// encrypted: one device executing both kernels per offload pays the
+	// PCIe dispatch once instead of twice.
+	c := core.CombinedOffload{
+		C: 2.3e9, N: 101863, O0: 0, L: 2530,
+		Kernels: []core.KernelShare{
+			{Name: "encryption", Alpha: 0.19154, A: 20},
+			{Name: "compression", Alpha: 0.06, A: 27},
+		},
+	}
+	tb := textchart.NewTable("Threading", "Combined %", "Separate %", "Combination gain")
+	for _, th := range []core.Threading{core.Sync, core.AsyncSameThread, core.AsyncNoResponse} {
+		combined, err := c.Speedup(th)
+		if err != nil {
+			return "", err
+		}
+		separate, err := c.SeparateSpeedup(th)
+		if err != nil {
+			return "", err
+		}
+		gain, err := c.CombinationGain(th)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(th.String(), (combined-1)*100, (separate-1)*100, gain)
+	}
+	return tb.Render() +
+		"\nSharing one PCIe dispatch across compression and encryption (\"two kernels for\nthe price of one offload\", §5) pays the interface cost once: at 102k\noffloads/sec the combined design keeps most of the kernel savings, while\nseparate offloads burn nearly all of them on transfer overhead.\n", nil
+}
+
+func runExt4() (string, error) {
+	// Provision the Fig 20 winning designs across a hypothetical
+	// 10k-server installed base per service: servers freed, accelerator
+	// devices needed, and the break-even device cost at $10k/server.
+	prs, err := fig20Projections()
+	if err != nil {
+		return "", err
+	}
+	const (
+		servers    = 10000
+		serverCost = 10000.0
+	)
+	rows := []struct {
+		name, key     string
+		acceleratorHz float64
+		devicesBudget int
+	}{
+		{"Feed1 compression (on-chip)", "Feed1 compression on-chip", 2.3e9, 0},
+		{"Feed1 compression (off-chip Async)", "Feed1 compression off-chip Async", 1.0e9, 1},
+		{"Ads1 memory copy (on-chip)", "Ads1 memory copy on-chip", 2.3e9, 0},
+		{"Cache1 allocation (on-chip)", "Cache1 memory allocation on-chip", 2.0e9, 0},
+	}
+	tb := textchart.NewTable("Deployment", "Speedup %", "Servers freed / 10k",
+		"Devices", "Device util", "Break-even device cost ($)")
+	for _, r := range rows {
+		pr, ok := prs[r.key]
+		if !ok {
+			return "", fmt.Errorf("missing projection %q", r.key)
+		}
+		plan, err := capacity.FromProjection(pr, servers, r.acceleratorHz, 0.6, r.devicesBudget)
+		if err != nil {
+			return "", err
+		}
+		res, err := capacity.Provision(plan)
+		if err != nil {
+			return "", err
+		}
+		cost, err := capacity.BreakEvenDeviceCost(res, serverCost)
+		if err != nil {
+			return "", err
+		}
+		costCell := fmt.Sprintf("%.0f", cost)
+		if res.DevicesTotal == 0 {
+			costCell = "n/a (on-chip)"
+		}
+		tb.AddRowf(r.name, pr.SpeedupPercent(), res.ServersFreed,
+			res.DevicesTotal, res.DeviceUtilization, costCell)
+	}
+	return tb.Render() +
+		"\nEven single-digit speedups free hundreds of servers at 10k-server scale —\nthe fleet-wide stakes that make early performance-bound analysis worthwhile.\n", nil
+}
+
+func runExt5() (string, error) {
+	// A Cache1-like server (1 core at 2 GHz, one encryption per request)
+	// under Poisson arrivals: sweep offered load and report mean and P99
+	// latency with and without AES-NI. Acceleration both lowers the curve
+	// and extends the load a latency SLO can sustain.
+	kernel := core.LinearKernel(5.5)
+	sizes := fleetdata.EncryptionSizes[fleetdata.Cache1]
+	const (
+		nonKernel = 5581.0
+		hostHz    = 2.0e9
+		requests  = 6000
+		sloUS     = 30.0 // P99 SLO in microseconds
+	)
+	mk := func(rate float64, accel *sim.Accel) (sim.Result, error) {
+		wl, err := sim.NewSampledWorkload(nonKernel, 1, kernel, sizes, requests, 5)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		s, err := sim.New(sim.Config{
+			Cores: 1, Threads: 1, HostHz: hostHz, Requests: requests,
+			Arrivals: &sim.Arrivals{RatePerSec: rate, Seed: 11},
+			Accel:    accel,
+		}, wl)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return s.Run()
+	}
+	aesni := &sim.Accel{Threading: core.Sync, Strategy: core.OnChip, A: 6, O0: 10, L: 3, Servers: 1}
+
+	tb := textchart.NewTable("Offered load (QPS)", "Base mean (µs)", "Base P99 (µs)",
+		"AES-NI mean (µs)", "AES-NI P99 (µs)")
+	baseMax, accMax := 0.0, 0.0
+	toUS := func(cycles float64) float64 { return cycles / hostHz * 1e6 }
+	for _, rate := range []float64{100000, 200000, 260000, 290000, 320000} {
+		base, err := mk(rate, nil)
+		if err != nil {
+			return "", err
+		}
+		acc, err := mk(rate, aesni)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(rate, toUS(base.MeanLatency), toUS(base.P99Latency),
+			toUS(acc.MeanLatency), toUS(acc.P99Latency))
+		if toUS(base.P99Latency) <= sloUS && rate > baseMax {
+			baseMax = rate
+		}
+		if toUS(acc.P99Latency) <= sloUS && rate > accMax {
+			accMax = rate
+		}
+	}
+	return tb.Render() + fmt.Sprintf(
+		"\nAt a %.0f µs P99 SLO the unaccelerated server sustains %.0f QPS; AES-NI\nextends that to %.0f QPS — acceleration buys SLO headroom, not just peak\nthroughput, which is why the model tracks latency reduction separately.\n",
+		sloUS, baseMax, accMax), nil
+}
+
+func runExt6() (string, error) {
+	// The model's motivating risk question: if demand projections and
+	// measured overheads are each off by up to the stated tolerance, how
+	// wide is the speedup band, and can the deployment lose outright?
+	j := core.Jitter{Alpha: 0.15, N: 0.25, O0: 0.3, L: 0.3, O1: 0.3, A: 0.2}
+	tb := textchart.NewTable("Case study", "Point %", "P5 %", "P50 %", "P95 %", "Risk of loss %")
+	for i, cs := range fleetdata.CaseStudies {
+		m, err := core.New(cs.Params)
+		if err != nil {
+			return "", err
+		}
+		res, err := m.MonteCarlo(cs.Threading, j, 20000, dist.NewRand(uint64(i)+1))
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(cs.Name, (res.Point-1)*100, (res.P5-1)*100, (res.P50-1)*100,
+			(res.P95-1)*100, res.RiskBelowOne*100)
+	}
+
+	// A marginal design for contrast: off-chip Sync-OS compression.
+	marginal := core.MustNew(core.Params{
+		C: 2.3e9, Alpha: 0.15 * 3986 / 15008, N: 3986, L: 2300, O1: 5750, A: 27,
+	})
+	res, err := marginal.MonteCarlo(core.SyncOS, j, 20000, dist.NewRand(99))
+	if err != nil {
+		return "", err
+	}
+	tb.AddRowf("Compression Sync-OS (marginal)", (res.Point-1)*100, (res.P5-1)*100,
+		(res.P50-1)*100, (res.P95-1)*100, res.RiskBelowOne*100)
+
+	return tb.Render() +
+		"\nThe on-chip (AES-NI) and remote (inference) deployments stay profitable\nacross the whole tolerance band. The off-chip designs carry a small but\nnonzero loss probability driven by interface-cost uncertainty — exactly the\nat-scale risk the paper built the model to expose before hardware is\ncommitted.\n", nil
+}
+
+func runExt7() (string, error) {
+	// §4: "We do not compare the latency reduction since our existing
+	// production infrastructure lacks necessary support to precisely
+	// measure a microservice's per-request latency." The simulator has no
+	// such limitation: run paired A/B simulations for each threading
+	// design of an off-chip compression accelerator and compare the
+	// measured per-request latency reduction with equations (1), (5),
+	// and (8).
+	k := core.LinearKernel(5.6)
+	const bytesPer = 4 << 10
+	kernelCycles := k.HostCycles(bytesPer)
+	nonKernel := 150000.0
+	total := nonKernel + kernelCycles
+	alpha := kernelCycles / total
+	const (
+		hostHz = 2.3e9
+		l      = 2300.0
+		o1     = 5750.0
+		a      = 27.0
+	)
+
+	wl := sim.UniformWorkload{
+		NonKernelCycles: nonKernel, KernelsPerReq: 1,
+		KernelBytes: bytesPer, Kernel: k,
+	}
+	baseSim, err := sim.New(sim.Config{Cores: 1, Threads: 1, HostHz: hostHz, Requests: 2000}, wl)
+	if err != nil {
+		return "", err
+	}
+	baseRes, err := baseSim.Run()
+	if err != nil {
+		return "", err
+	}
+	n := baseRes.ThroughputQPS
+
+	tb := textchart.NewTable("Threading", "Model latency %", "Sim measured %", "Error %")
+	for _, th := range []core.Threading{core.Sync, core.SyncOS, core.AsyncSameThread} {
+		threads := 1
+		if th == core.SyncOS {
+			threads = 4
+		}
+		accSim, err := sim.New(sim.Config{
+			Cores: 1, Threads: threads, ContextSwitch: o1, HostHz: hostHz, Requests: 2000,
+			Accel: &sim.Accel{Threading: th, Strategy: core.OffChip, A: a, L: l, Servers: 8},
+		}, wl)
+		if err != nil {
+			return "", err
+		}
+		accRes, err := accSim.Run()
+		if err != nil {
+			return "", err
+		}
+		measured, err := accRes.LatencyReduction(baseRes)
+		if err != nil {
+			return "", err
+		}
+		m, err := core.New(core.Params{C: hostHz, Alpha: alpha, N: n, L: l, O1: o1, A: a})
+		if err != nil {
+			return "", err
+		}
+		want, err := m.LatencyReduction(th, core.OffChip)
+		if err != nil {
+			return "", err
+		}
+		tb.AddRowf(th.String(), (want-1)*100, (measured-1)*100,
+			dist.RelativeError(measured, want)*100)
+	}
+	return tb.Render() +
+		"\nEquations (1) and (8) validate exactly: the simulator measures precisely the\nper-request cycles the model predicts for Sync and Async. Equation (5) does\nnot: under run-to-completion scheduling an oversubscribed Sync-OS thread that\nwakes from an offload must queue behind whole requests of its peers, adding\ncore-contention latency the single-o1 equation omits. The model's own caveat —\nthat Sync-OS trades per-request latency for throughput — is, if anything,\nunderstated for non-preemptive schedulers.\n", nil
+}
+
+func runExt3() (string, error) {
+	scaling := map[string]float64{}
+	for _, cat := range cpuarch.Cache1LeafIPC.Categories() {
+		if f, err := cpuarch.Cache1LeafIPC.ScalingFactor(cat, cpuarch.GenA, cpuarch.GenC); err == nil {
+			scaling[cat] = f
+		}
+	}
+	var sb strings.Builder
+	for _, name := range fleetdata.Services {
+		svc, err := services.New(name)
+		if err != nil {
+			return "", err
+		}
+		p, err := svc.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			return "", err
+		}
+		recs, err := advisor.Analyze(advisor.Input{
+			Service:       name,
+			Functionality: p.FunctionalityBreakdown(profiler.NewFunctionalityBucketer()),
+			Leaf:          p.LeafBreakdown(profiler.NewLeafTagger()),
+			MemoryLeaf:    p.LeafFunctionBreakdown("mem", profiler.MemoryLabels, "Other"),
+			IPCScaling:    scaling,
+		})
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&sb, "%s (%d findings):\n", name, len(recs))
+		for _, r := range recs {
+			proj := ""
+			if r.ProjectedSpeedupPct > 0 {
+				proj = fmt.Sprintf(" [projected %+.1f%%]", r.ProjectedSpeedupPct)
+			}
+			fmt.Fprintf(&sb, "  [%s] %s%s\n", r.Severity, r.Finding, proj)
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String(), nil
+}

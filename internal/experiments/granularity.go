@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/services"
+	"repro/internal/textchart"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig15",
+		Title: "CDF of bytes encrypted in Cache1 with the AES-NI break-even",
+		Run:   runFig15,
+	})
+	register(Experiment{
+		ID:    "fig19",
+		Title: "CDF of bytes compressed in Feed1 and Cache1 with break-evens",
+		Run:   runFig19,
+	})
+	register(Experiment{
+		ID:    "fig21",
+		Title: "CDF of memory copies across microservices",
+		Run:   runFig21,
+	})
+	register(Experiment{
+		ID:    "fig22",
+		Title: "CDF of memory allocations across microservices",
+		Run:   runFig22,
+	})
+}
+
+// measuredCDF plays the paper's bpftrace role: sample invocation sizes from
+// the service and build the empirical CDF.
+func measuredCDF(svc fleetdata.Service, kind kernels.Kind) (*dist.CDF, error) {
+	s, err := services.New(svc)
+	if err != nil {
+		return nil, err
+	}
+	h, err := s.MeasureSizes(kind, 200000, 1)
+	if err != nil {
+		return nil, err
+	}
+	return h.CDF()
+}
+
+// cdfRows converts a CDF to textchart rows.
+func cdfRows(c *dist.CDF) []textchart.CDFRow {
+	layout := c.Layout()
+	rows := make([]textchart.CDFRow, len(layout))
+	for i, b := range layout {
+		rows[i] = textchart.CDFRow{Bucket: b.String(), Cumulative: c.Cumulative(i)}
+	}
+	return rows
+}
+
+// bucketFor returns the layout bucket label containing size g, for placing
+// break-even markers on the plots.
+func bucketFor(c *dist.CDF, g float64) string {
+	if math.IsInf(g, 1) {
+		return ""
+	}
+	layout := c.Layout()
+	idx := layout.Index(uint64(math.Ceil(g)))
+	if idx < 0 {
+		idx = 0
+	}
+	return layout[idx].String()
+}
+
+func runFig15() (string, error) {
+	c, err := measuredCDF(fleetdata.Cache1, kernels.Encryption)
+	if err != nil {
+		return "", err
+	}
+	cs := fleetdata.CaseStudies[0] // AES-NI
+	m, err := core.New(cs.Params)
+	if err != nil {
+		return "", err
+	}
+	be, err := m.BreakEvenThroughputG(cs.Threading, fleetdata.CaseStudyKernels["AES-NI"])
+	if err != nil {
+		return "", err
+	}
+	plot := textchart.CDFPlot("Cache1: range of bytes encrypted", cdfRows(c), 50,
+		bucketFor(c, be), fmt.Sprintf("min AES-NI g for speedup > 1 (%.0f B)", math.Ceil(be)))
+	return plot + fmt.Sprintf(
+		"\nGranularities under 512 B are frequently encrypted; every offload (all ≥4 B)\nclears the %.0f B break-even, so Cache1 offloads all encryptions.\n", math.Ceil(be)), nil
+}
+
+func runFig19() (string, error) {
+	feed1, err := measuredCDF(fleetdata.Feed1, kernels.Compression)
+	if err != nil {
+		return "", err
+	}
+	cache1, err := measuredCDF(fleetdata.Cache1, kernels.Compression)
+	if err != nil {
+		return "", err
+	}
+	k := fleetdata.CaseStudyKernels["compression"]
+	offChip := core.MustNew(core.Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 2300, O1: 5750, A: 27})
+	syncBE, err := offChip.BreakEvenThroughputG(core.Sync, k)
+	if err != nil {
+		return "", err
+	}
+	syncOSBE, err := offChip.BreakEvenThroughputG(core.SyncOS, k)
+	if err != nil {
+		return "", err
+	}
+	asyncBE, err := offChip.BreakEvenThroughputG(core.AsyncSameThread, k)
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	sb.WriteString(textchart.CDFPlot("Feed1: range of bytes compressed", cdfRows(feed1), 50,
+		bucketFor(feed1, syncBE), fmt.Sprintf("off-chip Sync & Async break-even (~%.0f B)", syncBE)))
+	sb.WriteString(textchart.CDFPlot("Cache1: range of bytes compressed", cdfRows(cache1), 50, "", ""))
+	fmt.Fprintf(&sb, "\nBreak-evens (off-chip, L=2300, A=27): Sync %.0f B (paper: 425 B), Async %.0f B, Sync-OS %.0f B.\n",
+		syncBE, asyncBE, syncOSBE)
+	fmt.Fprintf(&sb, "Feed1 compressions ≥ Sync break-even: %.1f%% (paper: 64.2%%). Feed1 compresses far larger\ngranularities than Cache1 (mean %.0f B vs %.0f B).\n",
+		feed1.FractionAtLeast(uint64(math.Ceil(syncBE)))*100, feed1.MeanSize(), cache1.MeanSize())
+	return sb.String(), nil
+}
+
+func runFig21() (string, error) {
+	var sb strings.Builder
+	// Ads1's on-chip break-even marker (Table 7: A=4, no offload overhead).
+	onChip := core.MustNew(core.Params{C: 2.3e9, Alpha: 0.1512, N: 1473681, A: 4})
+	be, err := onChip.BreakEvenThroughputG(core.Sync, core.LinearKernel(1.0))
+	if err != nil {
+		return "", err
+	}
+	for _, svc := range fleetdata.Services {
+		c, err := measuredCDF(svc, kernels.MemoryCopy)
+		if err != nil {
+			return "", err
+		}
+		mark, label := "", ""
+		if svc == fleetdata.Ads1 {
+			mark = bucketFor(c, be)
+			label = fmt.Sprintf("Ads1 on-chip g to break even (%.0f B)", math.Ceil(be))
+		}
+		sb.WriteString(textchart.CDFPlot(string(svc)+": bytes copied", cdfRows(c), 50, mark, label))
+	}
+	sb.WriteString("\nMost microservices frequently copy small granularities (< 512 B, below a 4K page).\n")
+	return sb.String(), nil
+}
+
+func runFig22() (string, error) {
+	var sb strings.Builder
+	onChip := core.MustNew(core.Params{C: 2.0e9, Alpha: 0.055, N: 51695, A: 1.5})
+	be, err := onChip.BreakEvenThroughputG(core.Sync, core.LinearKernel(0.35))
+	if err != nil {
+		return "", err
+	}
+	for _, svc := range fleetdata.Services {
+		c, err := measuredCDF(svc, kernels.Allocation)
+		if err != nil {
+			return "", err
+		}
+		mark, label := "", ""
+		if svc == fleetdata.Cache1 {
+			mark = bucketFor(c, be)
+			label = fmt.Sprintf("Cache1 on-chip g to break even (%.0f B)", math.Ceil(be))
+		}
+		sb.WriteString(textchart.CDFPlot(string(svc)+": bytes allocated", cdfRows(c), 50, mark, label))
+	}
+	sb.WriteString("\nMost microservices frequently allocate small granularities (typically < 512 B).\n")
+	return sb.String(), nil
+}

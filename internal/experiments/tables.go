@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/textchart"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "tab1",
+		Title: "GenA, GenB, and GenC CPU platform attributes",
+		Run:   runTab1,
+	})
+	register(Experiment{
+		ID:    "tab2",
+		Title: "Categorization of leaf functions",
+		Run:   runTab2,
+	})
+	register(Experiment{
+		ID:    "tab3",
+		Title: "Categorization of microservice functionalities",
+		Run:   runTab3,
+	})
+	register(Experiment{
+		ID:    "tab4",
+		Title: "Summary of findings and acceleration opportunities",
+		Run:   runTab4,
+	})
+	register(Experiment{
+		ID:    "tab5",
+		Title: "Accelerometer model parameters",
+		Run:   runTab5,
+	})
+}
+
+func runTab1() (string, error) {
+	tb := textchart.NewTable("Attribute", "GenA", "GenB", "GenC")
+	cells := func(f func(cpuarch.Platform) string) []interface{} {
+		row := make([]interface{}, 0, 3)
+		for _, g := range cpuarch.Generations {
+			row = append(row, f(cpuarch.MustLookup(g)))
+		}
+		return row
+	}
+	addRow := func(name string, f func(cpuarch.Platform) string) {
+		tb.AddRowf(append([]interface{}{name}, cells(f)...)...)
+	}
+	addRow("Microarchitecture", func(p cpuarch.Platform) string { return p.Microarch })
+	addRow("Cores / socket", func(p cpuarch.Platform) string {
+		parts := make([]string, len(p.CoreVariants))
+		for i, c := range p.CoreVariants {
+			parts[i] = fmt.Sprint(c)
+		}
+		return strings.Join(parts, " or ")
+	})
+	addRow("SMT", func(p cpuarch.Platform) string { return fmt.Sprint(p.SMT) })
+	addRow("Cache block size", func(p cpuarch.Platform) string { return fmt.Sprintf("%d B", p.CacheBlockSize) })
+	addRow("L1-I$ / core", func(p cpuarch.Platform) string { return fmt.Sprintf("%d KiB", p.L1I/cpuarch.KiB) })
+	addRow("L1-D$ / core", func(p cpuarch.Platform) string { return fmt.Sprintf("%d KiB", p.L1D/cpuarch.KiB) })
+	addRow("Private L2$ / core", func(p cpuarch.Platform) string {
+		if p.L2 >= cpuarch.MiB {
+			return fmt.Sprintf("%d MiB", p.L2/cpuarch.MiB)
+		}
+		return fmt.Sprintf("%d KiB", p.L2/cpuarch.KiB)
+	})
+	addRow("Shared LLC", func(p cpuarch.Platform) string {
+		parts := make([]string, len(p.LLCVariants))
+		for i, l := range p.LLCVariants {
+			parts[i] = fmt.Sprintf("%.4g MiB", float64(l)/float64(cpuarch.MiB))
+		}
+		return strings.Join(parts, " or ")
+	})
+	return tb.Render(), nil
+}
+
+func runTab2() (string, error) {
+	tb := textchart.NewTable("Leaf category", "Examples of leaf functions")
+	rows := []struct{ cat, examples string }{
+		{fleetdata.LeafMemory, "memory copy, allocation, free, compare"},
+		{fleetdata.LeafKernel, "task scheduling, interrupt handling, network communication, memory management"},
+		{fleetdata.LeafHashing, "SHA and other hash algorithms"},
+		{fleetdata.LeafSync, "user-space atomics, mutex, spin locks, CAS"},
+		{fleetdata.LeafZSTD, "compression, decompression"},
+		{fleetdata.LeafMath, "vendor math kernels, SIMD"},
+		{fleetdata.LeafSSL, "encryption, decryption"},
+		{fleetdata.LeafCLib, "search algorithms, array and string compute"},
+		{fleetdata.LeafMisc, "other assorted function types"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.cat, r.examples)
+	}
+	return tb.Render(), nil
+}
+
+func runTab3() (string, error) {
+	tb := textchart.NewTable("Functionality category", "Examples of service operations")
+	rows := []struct{ cat, examples string }{
+		{fleetdata.FuncIO, "encrypted/plain-text I/O sends and receives"},
+		{fleetdata.FuncIOPrePost, "allocations, copies, etc. before/after I/O"},
+		{fleetdata.FuncCompression, "compression/decompression logic"},
+		{fleetdata.FuncSerialization, "RPC serialization/deserialization"},
+		{fleetdata.FuncFeatureExt, "feature vector creation in ML services"},
+		{fleetdata.FuncPrediction, "ML inference algorithms"},
+		{fleetdata.FuncAppLogic, "core business logic (e.g. key-value serving)"},
+		{fleetdata.FuncLogging, "creating, reading, updating logs"},
+		{fleetdata.FuncThreadPool, "creating, deleting, synchronizing threads"},
+		{fleetdata.FuncMisc, "everything else"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r.cat, r.examples)
+	}
+	return tb.Render(), nil
+}
+
+func runTab4() (string, error) {
+	tb := textchart.NewTable("Finding", "Acceleration opportunity")
+	rows := [][2]string{
+		{"Significant orchestration overheads", "accelerate orchestration, not just application logic"},
+		{"Common orchestration overheads across services", "accelerating e.g. compression yields fleet-wide wins"},
+		{"Poor IPC scaling for several functions", "optimizations for specific leaf/service categories"},
+		{"Memory copies and allocations are significant", "dense SIMD copies, in-DRAM copy, I/O DMA engines, PIM"},
+		{"Memory frees are computationally expensive", "faster software libraries, hardware page removal"},
+		{"High kernel overhead and low IPC", "coalesce I/O, user-space drivers, kernel-bypass"},
+		{"Logging overheads can dominate (Web)", "reduce log size or number of updates"},
+		{"High compression overhead", "dedicated compression hardware"},
+		{"Cache synchronizes frequently", "thread-pool tuning, hardware TSX, spin/block hybrids"},
+		{"High event-notification overhead", "RDMA-style and hardware notifications"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1])
+	}
+	return tb.Render(), nil
+}
+
+func runTab5() (string, error) {
+	tb := textchart.NewTable("Symbol", "Parameter description", "Units")
+	rows := [][3]string{
+		{"C", "total host cycles to execute all logic in a fixed time unit", "cycles"},
+		{"g", "size of an offload", "bytes"},
+		{"n", "offloads of profitable size per time unit", "-"},
+		{"o0", "host cycles to set up a single offload", "cycles"},
+		{"Q", "average queuing cycles between host and accelerator per offload", "cycles"},
+		{"L", "average cycles to move an offload across the interface", "cycles"},
+		{"o1", "cycles per thread switch (context switch + cache pollution)", "cycles"},
+		{"A", "peak accelerator speedup", "-"},
+		{"alpha", "fraction of host cycles spent in the kernel (<= 1)", "-"},
+		{"Cb", "host cycles per byte of offload data", "cycles"},
+	}
+	for _, r := range rows {
+		tb.AddRow(r[0], r[1], r[2])
+	}
+	return tb.Render(), nil
+}

@@ -1,0 +1,142 @@
+package fleetdata
+
+import "repro/internal/core"
+
+// Reference parameters and results for the paper's model validation
+// (Table 6) and model application (Table 7, Fig 20). The experiment
+// harness evaluates the model against these and the benches regenerate the
+// corresponding tables/figures.
+
+// CaseStudy captures one Table 6 validation row.
+type CaseStudy struct {
+	Name      string
+	Service   Service
+	Kernel    string
+	Params    core.Params
+	Threading core.Threading
+	Strategy  core.Strategy
+	// EstimatedPct and RealPct are the paper's reported model estimate and
+	// measured production (A/B-test) speedup in percent.
+	EstimatedPct float64
+	RealPct      float64
+}
+
+// CaseStudies holds the three Table 6 rows.
+var CaseStudies = []CaseStudy{
+	{
+		Name:    "AES-NI",
+		Service: Cache1,
+		Kernel:  "encryption",
+		Params: core.Params{
+			C: 2.0e9, Alpha: 0.165844, N: 298951,
+			O0: 10, Q: 0, L: 3, A: 6,
+		},
+		Threading:    core.Sync,
+		Strategy:     core.OnChip,
+		EstimatedPct: 15.7,
+		RealPct:      14.0,
+	},
+	{
+		Name:    "Encryption",
+		Service: Cache3,
+		Kernel:  "encryption",
+		Params: core.Params{
+			C: 2.3e9, Alpha: 0.19154, N: 101863,
+			O0: 0, Q: 0, L: 2530, A: 1, // A is unused on the Async path
+		},
+		Threading:    core.AsyncNoResponse,
+		Strategy:     core.OffChip,
+		EstimatedPct: 8.6,
+		RealPct:      7.5,
+	},
+	{
+		Name:    "Inference",
+		Service: Ads1,
+		Kernel:  "ML inference",
+		Params: core.Params{
+			C: 2.5e9, Alpha: 0.52, N: 10,
+			O0: 25e6, Q: 0, L: 0, O1: 12500, A: 1,
+		},
+		Threading:    core.AsyncDistinctThread,
+		Strategy:     core.Remote,
+		EstimatedPct: 72.39,
+		RealPct:      68.69,
+	},
+}
+
+// Application captures one Table 7 row with the Fig 20 result it produces.
+type Application struct {
+	Name      string
+	Service   Service
+	Overhead  string // the common overhead being accelerated
+	Params    core.Params
+	Threading core.Threading
+	Strategy  core.Strategy
+	// SpeedupPct is the Fig 20 bar the parameters produce.
+	SpeedupPct float64
+	// TotalInvocations is the unfiltered n (before profitable-granularity
+	// selection); equals Params.N for on-chip rows.
+	TotalInvocations float64
+}
+
+// Applications holds the Table 7 rows. The off-chip compression rows carry
+// pre-filtered n (and their α must be scaled by n/TotalInvocations, the
+// paper's invocation-count convention).
+var Applications = []Application{
+	{
+		Name: "Compression on-chip Sync", Service: Feed1, Overhead: "compression",
+		Params:    core.Params{C: 2.3e9, Alpha: 0.15, N: 15008, L: 0, A: 5},
+		Threading: core.Sync, Strategy: core.OnChip,
+		SpeedupPct: 13.6, TotalInvocations: 15008,
+	},
+	{
+		Name: "Compression off-chip Sync", Service: Feed1, Overhead: "compression",
+		Params:    core.Params{C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, A: 27},
+		Threading: core.Sync, Strategy: core.OffChip,
+		SpeedupPct: 9.0, TotalInvocations: 15008,
+	},
+	{
+		Name: "Compression off-chip Sync-OS", Service: Feed1, Overhead: "compression",
+		Params:    core.Params{C: 2.3e9, Alpha: 0.15, N: 3986, L: 2300, O1: 5750, A: 27},
+		Threading: core.SyncOS, Strategy: core.OffChip,
+		SpeedupPct: 1.6, TotalInvocations: 15008,
+	},
+	{
+		Name: "Compression off-chip Async", Service: Feed1, Overhead: "compression",
+		Params:    core.Params{C: 2.3e9, Alpha: 0.15, N: 9769, L: 2300, A: 27},
+		Threading: core.AsyncSameThread, Strategy: core.OffChip,
+		SpeedupPct: 9.6, TotalInvocations: 15008,
+	},
+	{
+		Name: "Memory copy on-chip Sync", Service: Ads1, Overhead: "memory copy",
+		Params:    core.Params{C: 2.3e9, Alpha: 0.1512, N: 1473681, L: 0, A: 4},
+		Threading: core.Sync, Strategy: core.OnChip,
+		SpeedupPct: 12.7, TotalInvocations: 1473681,
+	},
+	{
+		Name: "Memory allocation on-chip Sync", Service: Cache1, Overhead: "memory allocation",
+		Params:    core.Params{C: 2.0e9, Alpha: 0.055, N: 51695, A: 1.5},
+		Threading: core.Sync, Strategy: core.OnChip,
+		SpeedupPct: 1.86, TotalInvocations: 51695,
+	},
+}
+
+// EffectiveParams returns the application's parameters with α scaled by the
+// offloaded-invocation fraction — the paper's convention for off-chip rows
+// where only profitable granularities are offloaded.
+func (a Application) EffectiveParams() core.Params {
+	p := a.Params
+	if a.TotalInvocations > 0 && a.Params.N < a.TotalInvocations {
+		p.Alpha = a.Params.Alpha * a.Params.N / a.TotalInvocations
+	}
+	return p
+}
+
+// CaseStudyKernels maps each case study to the kernel cost model used for
+// break-even analysis (cycles per byte on the host).
+var CaseStudyKernels = map[string]core.Kernel{
+	"AES-NI":      core.LinearKernel(5.5),
+	"Encryption":  core.LinearKernel(5.5),
+	"Inference":   core.LinearKernel(50), // feature vectors are compute-dense
+	"compression": core.LinearKernel(5.6),
+}

@@ -1,0 +1,427 @@
+package fleetdata
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestServicesValid(t *testing.T) {
+	if len(Services) != 7 {
+		t.Fatalf("got %d services, want the paper's 7", len(Services))
+	}
+	for _, s := range Services {
+		if !s.Valid() {
+			t.Errorf("service %q invalid", s)
+		}
+	}
+	if !Cache3.Valid() {
+		t.Error("Cache3 must be valid (case study 2)")
+	}
+	if Service("Nope").Valid() {
+		t.Error("unknown service must be invalid")
+	}
+}
+
+func TestAllBreakdownsSumTo100(t *testing.T) {
+	check := func(name string, b Breakdown) {
+		t.Helper()
+		if err := b.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	for s, b := range FunctionalityBreakdowns {
+		check("functionality/"+string(s), b)
+	}
+	for s, b := range LeafBreakdowns {
+		check("leaf/"+string(s), b)
+	}
+	check("leaf/google", GoogleLeafBreakdown)
+	for n, b := range SPECLeafBreakdowns {
+		check("leaf/"+n, b)
+	}
+	for s, b := range MemoryBreakdowns {
+		check("memory/"+string(s), b)
+	}
+	check("memory/google", GoogleMemoryBreakdown)
+	for n, b := range SPECMemoryBreakdowns {
+		check("memory/"+n, b)
+	}
+	for s, b := range CopyOrigins {
+		check("copyorigin/"+string(s), b)
+	}
+	for s, b := range KernelBreakdowns {
+		check("kernel/"+string(s), b)
+	}
+	check("kernel/google", GoogleKernelBreakdown)
+	for s, b := range SyncBreakdowns {
+		check("sync/"+string(s), b)
+	}
+	for s, b := range CLibBreakdowns {
+		check("clib/"+string(s), b)
+	}
+}
+
+func TestAllSevenServicesCovered(t *testing.T) {
+	for _, s := range Services {
+		for name, m := range map[string]map[Service]Breakdown{
+			"functionality": FunctionalityBreakdowns,
+			"leaf":          LeafBreakdowns,
+			"memory":        MemoryBreakdowns,
+			"copy origins":  CopyOrigins,
+			"kernel":        KernelBreakdowns,
+			"sync":          SyncBreakdowns,
+			"clib":          CLibBreakdowns,
+		} {
+			if _, ok := m[s]; !ok {
+				t.Errorf("%s breakdown missing service %s", name, s)
+			}
+		}
+		if _, ok := CopySizes[s]; !ok {
+			t.Errorf("copy sizes missing %s", s)
+		}
+		if _, ok := AllocSizes[s]; !ok {
+			t.Errorf("alloc sizes missing %s", s)
+		}
+	}
+}
+
+// Text anchors from §2.4 (Fig 9).
+func TestFunctionalityAnchors(t *testing.T) {
+	web := FunctionalityBreakdowns[Web]
+	if got := web.Share(FuncAppLogic); got != 18 {
+		t.Errorf("Web app logic = %v%%, paper states 18%%", got)
+	}
+	if got := web.Share(FuncLogging); got != 23 {
+		t.Errorf("Web logging = %v%%, paper states 23%%", got)
+	}
+	if got := FunctionalityBreakdowns[Cache2].Share(FuncIO); got != 52 {
+		t.Errorf("Cache2 IO = %v%%, paper states 52%%", got)
+	}
+	if got := FunctionalityBreakdowns[Feed1].Share(FuncCompression); got != 15 {
+		t.Errorf("Feed1 compression = %v%%, Table 7 states 15%%", got)
+	}
+	// Ads1 inference fraction matches Table 6's α = 0.52.
+	if got := FunctionalityBreakdowns[Ads1].Share(FuncPrediction); got != 52 {
+		t.Errorf("Ads1 prediction = %v%%, Table 6 α = 0.52", got)
+	}
+	// Thread-pool overhead is high for Ads1, Feed2, Cache1, Feed1 (§2.4).
+	for _, s := range []Service{Ads1, Feed2, Cache1, Feed1} {
+		if got := FunctionalityBreakdowns[s].Share(FuncThreadPool); got < 5 {
+			t.Errorf("%s thread pool = %v%%, expected high (≥5)", s, got)
+		}
+	}
+	for _, s := range []Service{Web, Ads2, Cache2} {
+		if got := FunctionalityBreakdowns[s].Share(FuncThreadPool); got >= 5 {
+			t.Errorf("%s thread pool = %v%%, expected low (<5)", s, got)
+		}
+	}
+}
+
+// §2.4: ML services spend 33-58% on inference, so ideal inference
+// acceleration improves them by 1.49x-2.38x, and orchestration (everything
+// but inference and core app logic) spans 42-67%.
+func TestMLInferenceBounds(t *testing.T) {
+	ml := []Service{Feed1, Feed2, Ads1, Ads2}
+	minBound, maxBound := math.Inf(1), 0.0
+	minOrch, maxOrch := math.Inf(1), 0.0
+	for _, s := range ml {
+		b := FunctionalityBreakdowns[s]
+		inf := b.Share(FuncPrediction)
+		if inf < 33 || inf > 58 {
+			t.Errorf("%s inference = %v%%, want within [33, 58]", s, inf)
+		}
+		bound := 1 / (1 - inf/100)
+		minBound = math.Min(minBound, bound)
+		maxBound = math.Max(maxBound, bound)
+		orch := 100 - inf - b.Share(FuncAppLogic)
+		minOrch = math.Min(minOrch, orch)
+		maxOrch = math.Max(maxOrch, orch)
+	}
+	if math.Abs(minBound-1.49) > 0.02 {
+		t.Errorf("min ideal inference speedup = %vx, paper states 1.49x", minBound)
+	}
+	if math.Abs(maxBound-2.38) > 0.02 {
+		t.Errorf("max ideal inference speedup = %vx, paper states 2.38x", maxBound)
+	}
+	if math.Abs(minOrch-42) > 1 || math.Abs(maxOrch-67) > 1 {
+		t.Errorf("orchestration range = [%v, %v]%%, paper states 42-67%%", minOrch, maxOrch)
+	}
+}
+
+// Fig 1: orchestration dominates; Web/Cache app-logic shares are small.
+func TestAppLogicShares(t *testing.T) {
+	for _, s := range Services {
+		share, err := AppLogicShare(s)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if share >= 70 {
+			t.Errorf("%s app logic = %v%%, orchestration should dominate", s, share)
+		}
+	}
+	if share, _ := AppLogicShare(Web); share != 18 {
+		t.Errorf("Web Fig 1 app logic = %v%%, want 18", share)
+	}
+	if _, err := AppLogicShare(Service("Nope")); err == nil {
+		t.Error("unknown service: want error")
+	}
+	// §2: "microservices spend as few as 18% of CPU cycles executing core
+	// application logic" — 18% must be the fleet minimum.
+	min := 100.0
+	for _, s := range Services {
+		share, _ := AppLogicShare(s)
+		min = math.Min(min, share)
+	}
+	if min != 18 {
+		t.Errorf("fleet-minimum app logic = %v%%, paper states 18%%", min)
+	}
+}
+
+// Fig 2/3 anchors.
+func TestLeafAnchors(t *testing.T) {
+	if got := LeafBreakdowns[Web].Share(LeafMemory); got != 37 {
+		t.Errorf("Web memory = %v%%, Fig 3 Net states 37%%", got)
+	}
+	if got := LeafBreakdowns[Cache1].Share(LeafSSL); got != 6 {
+		t.Errorf("Cache1 SSL = %v%%, paper states 6%%", got)
+	}
+	if got := GoogleLeafBreakdown.Share(LeafMemory); got != 13 {
+		t.Errorf("Google memory = %v%%, paper states 13%%", got)
+	}
+	// Cache tiers have the highest kernel shares (frequent context
+	// switches at high service throughput).
+	cacheMin := math.Min(LeafBreakdowns[Cache1].Share(LeafKernel), LeafBreakdowns[Cache2].Share(LeafKernel))
+	for _, s := range []Service{Web, Feed1, Feed2, Ads1, Ads2} {
+		if got := LeafBreakdowns[s].Share(LeafKernel); got >= cacheMin {
+			t.Errorf("%s kernel %v%% >= cache minimum %v%%", s, got, cacheMin)
+		}
+	}
+	// ML services spend up to 13% in math; no service exceeds it.
+	for _, s := range Services {
+		if got := LeafBreakdowns[s].Share(LeafMath); got > 13 {
+			t.Errorf("%s math = %v%% exceeds the paper's 13%% ceiling", s, got)
+		}
+	}
+	if got := LeafBreakdowns[Feed2].Share(LeafMath); got != 13 {
+		t.Errorf("Feed2 math = %v%%, want the 13%% ceiling", got)
+	}
+	// SPEC rows do not capture kernel overheads at all.
+	for n, b := range SPECLeafBreakdowns {
+		if b.Share(LeafKernel) != 0 {
+			t.Errorf("%s has kernel leaves; SPEC should not", n)
+		}
+	}
+}
+
+// Fig 3 anchors: copies dominate memory cycles in every service; Google's
+// published copy share is 5% of total (38% of its 13% memory share); gcc
+// has high memory overhead but few copies.
+func TestMemoryAnchors(t *testing.T) {
+	for s, b := range MemoryBreakdowns {
+		copyShare := b.Share(MemCopy)
+		for _, cat := range MemoryCategories[1:] {
+			if b.Share(cat) > copyShare {
+				t.Errorf("%s: %s (%v%%) exceeds copies (%v%%)", s, cat, b.Share(cat), copyShare)
+			}
+		}
+	}
+	googleCopyTotal := GoogleMemoryBreakdown.Share(MemCopy) / 100 * GoogleLeafBreakdown.Share(LeafMemory)
+	if math.Abs(googleCopyTotal-5) > 0.1 {
+		t.Errorf("Google total copy share = %v%%, paper states 5%%", googleCopyTotal)
+	}
+	if got := SPECMemoryBreakdowns["403.gcc"].Share(MemCopy); got > 2 {
+		t.Errorf("gcc copy share = %v%%, paper notes it copies very little", got)
+	}
+	// omnetpp allocates ~5% of its total cycles — the most in the suite.
+	omnetppAllocTotal := SPECMemoryBreakdowns["471.omnetpp"].Share(MemAlloc) / 100 *
+		SPECLeafBreakdowns["471.omnetpp"].Share(LeafMemory)
+	if math.Abs(omnetppAllocTotal-5) > 0.5 {
+		t.Errorf("omnetpp allocation = %v%% of total, paper states ~5%%", omnetppAllocTotal)
+	}
+}
+
+// Fig 5/6 anchors.
+func TestKernelAndSyncAnchors(t *testing.T) {
+	for _, s := range []Service{Cache1, Cache2} {
+		b := KernelBreakdowns[s]
+		if b.Share(KernSched) < 30 {
+			t.Errorf("%s scheduler share = %v%%, caches invoke the scheduler frequently", s, b.Share(KernSched))
+		}
+	}
+	if got := KernelBreakdowns[Cache2].Share(KernNetwork); got < 25 {
+		t.Errorf("Cache2 network share = %v%%, should be significant", got)
+	}
+	if GoogleKernelBreakdown.Share(KernSched) != 100 {
+		t.Error("Google kernel row should report only the scheduler")
+	}
+	// Cache implements spin locks (§2.3.3); it dominates Cache1's
+	// synchronization and no non-cache service leans on spin locks.
+	if got := SyncBreakdowns[Cache1].Share(SyncSpin); got < 50 {
+		t.Errorf("Cache1 spin-lock share = %v%%, should dominate", got)
+	}
+	for _, s := range []Service{Feed1, Feed2, Ads1, Ads2} {
+		if got := SyncBreakdowns[s].Share(SyncSpin); got > 15 {
+			t.Errorf("%s spin-lock share = %v%%, non-cache services should avoid spinning", s, got)
+		}
+	}
+}
+
+// Fig 7 anchors: vector ops dominate for the feature-vector services; Web
+// is string- and hash-table-heavy.
+func TestCLibAnchors(t *testing.T) {
+	for _, s := range []Service{Feed2, Ads1, Ads2} {
+		b := CLibBreakdowns[s]
+		if b.Share(CLibVectors) < 30 {
+			t.Errorf("%s vector share = %v%%, feature-vector services should be vector heavy", s, b.Share(CLibVectors))
+		}
+	}
+	web := CLibBreakdowns[Web]
+	if web.Share(CLibStrings)+web.Share(CLibHashTbl) < 35 {
+		t.Errorf("Web strings+hash = %v%%, should be the dominant C-library work",
+			web.Share(CLibStrings)+web.Share(CLibHashTbl))
+	}
+}
+
+// Fig 15: Cache1's encryptions are all ≥ 4 B (so AES-NI profits on every
+// offload) and mostly < 512 B.
+func TestEncryptionSizeAnchors(t *testing.T) {
+	c := EncryptionSizes[Cache1]
+	if got := c.FractionAtLeast(4); got != 1 {
+		t.Errorf("fraction ≥ 4 B = %v, want 1", got)
+	}
+	if got := c.FractionBelow(512); got < 0.7 {
+		t.Errorf("fraction < 512 B = %v, paper: <512 B frequently encrypted", got)
+	}
+}
+
+// Fig 19: 64.2% of Feed1's compressions are ≥ 425 B; Feed1 compresses
+// larger granularities than Cache1.
+func TestCompressionSizeAnchors(t *testing.T) {
+	feed1 := CompressionSizes[Feed1]
+	if got := feed1.FractionAtLeast(425); math.Abs(got-0.642) > 0.02 {
+		t.Errorf("Feed1 fraction ≥ 425 B = %v, paper states 0.642", got)
+	}
+	cache1 := CompressionSizes[Cache1]
+	if !(feed1.MeanSize() > 2*cache1.MeanSize()) {
+		t.Errorf("Feed1 mean %v should far exceed Cache1 mean %v",
+			feed1.MeanSize(), cache1.MeanSize())
+	}
+}
+
+// Figs 21/22: small granularities dominate copies and allocations.
+func TestCopyAllocSizeAnchors(t *testing.T) {
+	for s, c := range CopySizes {
+		if got := c.FractionBelow(512); got < 0.55 {
+			t.Errorf("%s copies < 512 B = %v, small copies should dominate", s, got)
+		}
+	}
+	for s, c := range AllocSizes {
+		if got := c.FractionBelow(512); got < 0.6 {
+			t.Errorf("%s allocations < 512 B = %v, small allocations should dominate", s, got)
+		}
+	}
+}
+
+// Table 6 rows must reproduce the paper's estimates through the model.
+func TestCaseStudiesReproduce(t *testing.T) {
+	if len(CaseStudies) != 3 {
+		t.Fatalf("got %d case studies, want 3", len(CaseStudies))
+	}
+	for _, cs := range CaseStudies {
+		m, err := core.New(cs.Params)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name, err)
+		}
+		pct, err := m.SpeedupPercent(cs.Threading)
+		if err != nil {
+			t.Fatalf("%s: %v", cs.Name, err)
+		}
+		if math.Abs(pct-cs.EstimatedPct) > 0.15 {
+			t.Errorf("%s: model = %.2f%%, paper estimate = %.2f%%", cs.Name, pct, cs.EstimatedPct)
+		}
+		// ≤3.7% error claim: |est - real| as relative error on the
+		// speedup factors stays within the paper's bound.
+		est := 1 + cs.EstimatedPct/100
+		real := 1 + cs.RealPct/100
+		if relErr := math.Abs(est-real) / real * 100; relErr > 3.8 {
+			t.Errorf("%s: est-vs-real error = %.2f%%, paper claims ≤3.7%%", cs.Name, relErr)
+		}
+	}
+}
+
+// Table 7 rows must reproduce Fig 20's bars through the model.
+func TestApplicationsReproduce(t *testing.T) {
+	if len(Applications) != 6 {
+		t.Fatalf("got %d applications, want 6", len(Applications))
+	}
+	for _, app := range Applications {
+		m, err := core.New(app.EffectiveParams())
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		pct, err := m.SpeedupPercent(app.Threading)
+		if err != nil {
+			t.Fatalf("%s: %v", app.Name, err)
+		}
+		if math.Abs(pct-app.SpeedupPct) > 0.15 {
+			t.Errorf("%s: model = %.2f%%, Fig 20 = %.2f%%", app.Name, pct, app.SpeedupPct)
+		}
+	}
+}
+
+func TestEffectiveParamsScaling(t *testing.T) {
+	app := Applications[1] // off-chip Sync compression, n=9629 of 15008
+	eff := app.EffectiveParams()
+	want := 0.15 * 9629 / 15008
+	if math.Abs(eff.Alpha-want) > 1e-12 {
+		t.Errorf("effective α = %v, want %v", eff.Alpha, want)
+	}
+	onchip := Applications[0].EffectiveParams()
+	if onchip.Alpha != 0.15 {
+		t.Errorf("on-chip α must stay unscaled, got %v", onchip.Alpha)
+	}
+}
+
+// Data-integrity invariant required by the fleet synthesis: for every
+// service, the copy cycles Fig 4 pins to each functionality must fit
+// inside that functionality's Fig 9 budget. Violations would make the
+// joint (functionality × leaf) distribution unsatisfiable.
+func TestCopyOriginPinningFeasible(t *testing.T) {
+	all := append(append([]Service(nil), Services...), Cache3)
+	for _, svc := range all {
+		leaf, ok := LeafBreakdowns[svc]
+		if !ok {
+			t.Fatalf("%s: no leaf breakdown", svc)
+		}
+		memTotal := leaf.Share(LeafMemory)
+		copyTotal := memTotal * MemoryBreakdowns[svc].Share(MemCopy) / 100
+		funcs := FunctionalityBreakdowns[svc]
+		for cat, pct := range CopyOrigins[svc] {
+			pinned := copyTotal * pct / 100
+			budget := funcs.Share(cat)
+			if pinned > budget+1e-9 {
+				t.Errorf("%s: %.2f%% of cycles are copies pinned to %q, but the functionality has only %.2f%%",
+					svc, pinned, cat, budget)
+			}
+		}
+	}
+}
+
+func TestBreakdownHelpers(t *testing.T) {
+	b := Breakdown{"a": 50, "b": 30, "c": 20}
+	cats := b.Categories()
+	if cats[0] != "a" || cats[1] != "b" || cats[2] != "c" {
+		t.Errorf("categories = %v, want descending by share", cats)
+	}
+	if b.Share("missing") != 0 {
+		t.Error("missing category should report 0")
+	}
+	if err := (Breakdown{"a": -1, "b": 101}).Validate(); err == nil {
+		t.Error("negative share: want error")
+	}
+	if err := (Breakdown{"a": 50}).Validate(); err == nil {
+		t.Error("sum 50: want error")
+	}
+}

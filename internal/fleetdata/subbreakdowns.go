@@ -1,0 +1,209 @@
+package fleetdata
+
+import "repro/internal/dist"
+
+// Sub-breakdowns of the leaf-function categories (Figs 3-7). Each is
+// expressed as a percentage of that category's cycles (summing to 100) so
+// it composes with the Fig 2 totals in LeafBreakdowns.
+
+// Memory sub-category names (Fig 3).
+const (
+	MemCopy    = "Memory-Copy"
+	MemFree    = "Memory-Free"
+	MemAlloc   = "Memory-Allocation"
+	MemMove    = "Memory-Move"
+	MemSet     = "Memory-Set"
+	MemCompare = "Memory-Compare"
+)
+
+// MemoryCategories lists Fig 3's sub-categories in the paper's order.
+var MemoryCategories = []string{MemCopy, MemFree, MemAlloc, MemMove, MemSet, MemCompare}
+
+// MemoryBreakdowns is the Fig 3 dataset: share of each service's memory
+// cycles per memory leaf function. Anchors: copies are by far the greatest
+// consumers everywhere; frees are expensive for several services; Cache2's
+// network stack makes it the most copy-dominated.
+var MemoryBreakdowns = map[Service]Breakdown{
+	Web:    {MemCopy: 38, MemFree: 19, MemAlloc: 24, MemMove: 8, MemSet: 6, MemCompare: 5},
+	Feed1:  {MemCopy: 49, MemFree: 12, MemAlloc: 21, MemMove: 5, MemSet: 8, MemCompare: 5},
+	Feed2:  {MemCopy: 44, MemFree: 9, MemAlloc: 26, MemMove: 6, MemSet: 9, MemCompare: 6},
+	Ads1:   {MemCopy: 42, MemFree: 19, MemAlloc: 21, MemMove: 6, MemSet: 7, MemCompare: 5},
+	Ads2:   {MemCopy: 40, MemFree: 24, MemAlloc: 17, MemMove: 7, MemSet: 7, MemCompare: 5},
+	Cache1: {MemCopy: 38, MemFree: 32, MemAlloc: 12, MemMove: 6, MemSet: 6, MemCompare: 6},
+	Cache2: {MemCopy: 73, MemFree: 9, MemAlloc: 10, MemMove: 3, MemSet: 3, MemCompare: 2},
+	Cache3: {MemCopy: 45, MemFree: 20, MemAlloc: 18, MemMove: 6, MemSet: 6, MemCompare: 5},
+}
+
+// GoogleMemoryBreakdown is Fig 3's Google reference row. Only copy and
+// allocation are published (13% of total fleet cycles combined, 5% copies),
+// i.e. copies are ~38% of the published memory cycles.
+var GoogleMemoryBreakdown = Breakdown{MemCopy: 38, MemAlloc: 62}
+
+// SPECMemoryBreakdowns holds Fig 3's SPEC reference rows; 403.gcc has high
+// memory overhead but copies very little, and 471.omnetpp is the suite's
+// biggest allocator (~5% of its total cycles).
+var SPECMemoryBreakdowns = map[string]Breakdown{
+	"400.perlbench": {MemCopy: 9, MemFree: 6, MemAlloc: 58, MemMove: 20, MemSet: 5, MemCompare: 2},
+	"403.gcc":       {MemCopy: 1, MemFree: 40, MemAlloc: 43, MemMove: 11, MemSet: 3, MemCompare: 2},
+	"471.omnetpp":   {MemCopy: 7, MemFree: 32, MemAlloc: 45, MemMove: 6, MemSet: 5, MemCompare: 5},
+	"473.astar":     {MemCopy: 12, MemFree: 15, MemAlloc: 53, MemMove: 12, MemSet: 5, MemCompare: 3},
+}
+
+// CopyOrigins is the Fig 4 dataset: which functionality invoked each
+// service's memory copies (share of the service's copy cycles). Anchors:
+// dominant origins differ per service — Web copies mostly during I/O
+// pre/post processing, Cache2 in its network protocol stack (I/O), the ML
+// feature services inside application logic.
+var CopyOrigins = map[Service]Breakdown{
+	Web:    {FuncIO: 8, FuncIOPrePost: 46, FuncSerialization: 9, FuncAppLogic: 37},
+	Feed1:  {FuncAppLogic: 100},
+	Feed2:  {FuncIOPrePost: 45, FuncSerialization: 55},
+	Ads1:   {FuncIO: 9, FuncSerialization: 46, FuncAppLogic: 45},
+	Ads2:   {FuncIO: 10, FuncIOPrePost: 20, FuncSerialization: 70},
+	Cache1: {FuncIO: 17, FuncIOPrePost: 13, FuncSerialization: 25, FuncAppLogic: 45},
+	Cache2: {FuncIO: 36, FuncIOPrePost: 11, FuncSerialization: 7, FuncAppLogic: 46},
+	Cache3: {FuncIO: 25, FuncIOPrePost: 20, FuncSerialization: 15, FuncAppLogic: 40},
+}
+
+// Kernel sub-category names (Fig 5).
+const (
+	KernSched   = "Scheduler"
+	KernEvent   = "Event Handling"
+	KernNetwork = "Network"
+	KernSync    = "Synchronization"
+	KernMemMgmt = "Memory Management"
+	KernMisc    = "Miscellaneous"
+)
+
+// KernelCategories lists Fig 5's sub-categories in the paper's order.
+var KernelCategories = []string{KernSched, KernEvent, KernNetwork, KernSync, KernMemMgmt, KernMisc}
+
+// KernelBreakdowns is the Fig 5 dataset: share of each service's kernel
+// cycles. Anchors: Cache1 and Cache2 invoke scheduler functions frequently;
+// Cache2 spends significant cycles in I/O (event handling) and network
+// interactions.
+var KernelBreakdowns = map[Service]Breakdown{
+	Web:    {KernSched: 19, KernEvent: 9, KernNetwork: 23, KernSync: 16, KernMemMgmt: 10, KernMisc: 23},
+	Feed1:  {KernSched: 14, KernEvent: 31, KernNetwork: 7, KernSync: 12, KernMemMgmt: 26, KernMisc: 10},
+	Feed2:  {KernSched: 19, KernEvent: 20, KernNetwork: 16, KernSync: 12, KernMemMgmt: 33, KernMisc: 0},
+	Ads1:   {KernSched: 47, KernEvent: 9, KernNetwork: 18, KernSync: 16, KernMemMgmt: 10, KernMisc: 0},
+	Ads2:   {KernSched: 30, KernEvent: 5, KernNetwork: 23, KernSync: 8, KernMemMgmt: 13, KernMisc: 21},
+	Cache1: {KernSched: 47, KernEvent: 19, KernNetwork: 13, KernSync: 10, KernMemMgmt: 8, KernMisc: 3},
+	Cache2: {KernSched: 32, KernEvent: 14, KernNetwork: 30, KernSync: 7, KernMemMgmt: 10, KernMisc: 7},
+	Cache3: {KernSched: 40, KernEvent: 18, KernNetwork: 22, KernSync: 8, KernMemMgmt: 9, KernMisc: 3},
+}
+
+// GoogleKernelBreakdown is Fig 5's Google row: prior work reports only the
+// scheduler share, which mirrors the Cache tiers.
+var GoogleKernelBreakdown = Breakdown{KernSched: 100}
+
+// Synchronization sub-category names (Fig 6).
+const (
+	SyncAtomics = "C++ Atomics"
+	SyncMutex   = "Mutex"
+	SyncCAS     = "Compare-Exchange-Swap"
+	SyncSpin    = "Spin Lock"
+)
+
+// SyncCategories lists Fig 6's sub-categories in the paper's order.
+var SyncCategories = []string{SyncAtomics, SyncMutex, SyncCAS, SyncSpin}
+
+// SyncBreakdowns is the Fig 6 dataset: share of each service's
+// synchronization cycles. Anchor: the µs-scale Cache tiers implement spin
+// locks to avoid thread wakeup delays, so spin locks dominate there.
+var SyncBreakdowns = map[Service]Breakdown{
+	Web:    {SyncAtomics: 6, SyncMutex: 63, SyncCAS: 20, SyncSpin: 11},
+	Feed1:  {SyncMutex: 100},
+	Feed2:  {SyncAtomics: 26, SyncMutex: 59, SyncCAS: 15, SyncSpin: 0},
+	Ads1:   {SyncAtomics: 30, SyncMutex: 70, SyncCAS: 0, SyncSpin: 0},
+	Ads2:   {SyncAtomics: 41, SyncMutex: 50, SyncCAS: 9, SyncSpin: 0},
+	Cache1: {SyncAtomics: 6, SyncMutex: 8, SyncCAS: 0, SyncSpin: 86},
+	Cache2: {SyncAtomics: 26, SyncMutex: 41, SyncCAS: 11, SyncSpin: 22},
+	Cache3: {SyncAtomics: 10, SyncMutex: 15, SyncCAS: 5, SyncSpin: 70},
+}
+
+// C-library sub-category names (Fig 7).
+const (
+	CLibStdAlgo  = "Std algorithms"
+	CLibCtors    = "Constructors/Destructors"
+	CLibStrings  = "Strings"
+	CLibHashTbl  = "Hash tables"
+	CLibVectors  = "Vectors"
+	CLibTrees    = "Trees"
+	CLibOperator = "Operator override"
+	CLibMisc     = "Miscellaneous"
+)
+
+// CLibCategories lists Fig 7's sub-categories in the paper's order.
+var CLibCategories = []string{
+	CLibStdAlgo, CLibCtors, CLibStrings, CLibHashTbl,
+	CLibVectors, CLibTrees, CLibOperator, CLibMisc,
+}
+
+// CLibBreakdowns is the Fig 7 dataset: share of each service's C-library
+// cycles. Anchors: Feed2, Ads1, and Ads2 perform many vector operations on
+// large feature vectors; Web parses/transforms strings for its many URL
+// endpoints and does frequent hash-table look-ups.
+var CLibBreakdowns = map[Service]Breakdown{
+	Web:    {CLibStdAlgo: 5, CLibCtors: 5, CLibStrings: 24, CLibHashTbl: 17, CLibVectors: 16, CLibTrees: 1, CLibOperator: 22, CLibMisc: 10},
+	Feed1:  {CLibStdAlgo: 16, CLibCtors: 6, CLibStrings: 10, CLibHashTbl: 16, CLibVectors: 18, CLibTrees: 6, CLibOperator: 22, CLibMisc: 6},
+	Feed2:  {CLibStdAlgo: 8, CLibCtors: 11, CLibStrings: 6, CLibHashTbl: 1, CLibVectors: 53, CLibTrees: 1, CLibOperator: 9, CLibMisc: 11},
+	Ads1:   {CLibStdAlgo: 19, CLibCtors: 3, CLibStrings: 13, CLibHashTbl: 6, CLibVectors: 32, CLibTrees: 5, CLibOperator: 11, CLibMisc: 11},
+	Ads2:   {CLibStdAlgo: 15, CLibCtors: 2, CLibStrings: 10, CLibHashTbl: 0, CLibVectors: 47, CLibTrees: 18, CLibOperator: 3, CLibMisc: 5},
+	Cache1: {CLibStdAlgo: 3, CLibCtors: 5, CLibStrings: 15, CLibHashTbl: 32, CLibVectors: 24, CLibTrees: 0, CLibOperator: 7, CLibMisc: 14},
+	Cache2: {CLibStdAlgo: 5, CLibCtors: 18, CLibStrings: 6, CLibHashTbl: 16, CLibVectors: 13, CLibTrees: 0, CLibOperator: 14, CLibMisc: 28},
+	Cache3: {CLibStdAlgo: 5, CLibCtors: 10, CLibStrings: 12, CLibHashTbl: 30, CLibVectors: 15, CLibTrees: 0, CLibOperator: 10, CLibMisc: 18},
+}
+
+// SizeCDFs bundles the granularity distributions of Figs 15, 19, 21, 22.
+// All are event-count CDFs over the byte-size layouts of package dist.
+
+// EncryptionSizes is the Fig 15 dataset: Cache1's encryption granularities.
+// Anchors: sizes below 512 B dominate; nothing below 4 B (so every offload
+// profits under AES-NI, whose break-even is ~1-3 B); the mean size of
+// ~203 B makes Table 6's α = 0.165844 and n = 298,951 mutually consistent
+// at 5.5 host cycles per encrypted byte.
+var EncryptionSizes = map[Service]*dist.CDF{
+	Cache1: dist.MustCDF(dist.EncryptionLayout, []float64{
+		0, 0.09, 0.13, 0.16, 0.18, 0.15, 0.12, 0.09, 0.045, 0.02, 0.01, 0.005,
+	}),
+}
+
+// CompressionSizes is the Fig 19 dataset: bytes compressed per invocation
+// for the high-compression services. Anchors: Feed1 compresses much larger
+// granularities than Cache1; 64.2% of Feed1's compressions are at or above
+// the 425 B off-chip Sync break-even, ~65% above the Async break-even
+// (411 B), and ~27% above the Sync-OS break-even (~2.5 KiB).
+var CompressionSizes = map[Service]*dist.CDF{
+	Feed1: dist.MustCDF(dist.CompressionLayout, []float64{
+		0, 0.085, 0.08, 0.13, 0.09, 0.145, 0.18, 0.10, 0.09, 0.06, 0.03, 0.01,
+	}),
+	Cache1: dist.MustCDF(dist.CompressionLayout, []float64{
+		0.02, 0.25, 0.18, 0.15, 0.12, 0.10, 0.08, 0.05, 0.03, 0.015, 0.004, 0.001,
+	}),
+}
+
+// CopySizes is the Fig 21 dataset: memory-copy granularities per service.
+// Anchor: most services frequently copy fewer than 512 B (smaller than a
+// 4K page).
+var CopySizes = map[Service]*dist.CDF{
+	Web:    dist.MustCDF(dist.CopyAllocLayout, []float64{0.02, 0.30, 0.16, 0.14, 0.12, 0.10, 0.08, 0.05, 0.03}),
+	Feed1:  dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.22, 0.15, 0.14, 0.13, 0.12, 0.11, 0.07, 0.05}),
+	Feed2:  dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.20, 0.14, 0.14, 0.13, 0.13, 0.12, 0.08, 0.05}),
+	Ads1:   dist.MustCDF(dist.CopyAllocLayout, []float64{0.02, 0.34, 0.18, 0.15, 0.11, 0.09, 0.06, 0.03, 0.02}),
+	Ads2:   dist.MustCDF(dist.CopyAllocLayout, []float64{0.02, 0.28, 0.17, 0.15, 0.12, 0.11, 0.08, 0.04, 0.03}),
+	Cache1: dist.MustCDF(dist.CopyAllocLayout, []float64{0.03, 0.38, 0.20, 0.14, 0.10, 0.07, 0.05, 0.02, 0.01}),
+	Cache2: dist.MustCDF(dist.CopyAllocLayout, []float64{0.02, 0.26, 0.17, 0.15, 0.13, 0.11, 0.09, 0.04, 0.03}),
+}
+
+// AllocSizes is the Fig 22 dataset: allocation granularities per service.
+// Anchor: most services perform small allocations, typically under 512 B.
+var AllocSizes = map[Service]*dist.CDF{
+	Web:    dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.36, 0.20, 0.16, 0.12, 0.08, 0.04, 0.02, 0.01}),
+	Feed1:  dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.30, 0.19, 0.16, 0.13, 0.10, 0.06, 0.03, 0.02}),
+	Feed2:  dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.28, 0.18, 0.16, 0.14, 0.11, 0.07, 0.03, 0.02}),
+	Ads1:   dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.33, 0.20, 0.16, 0.12, 0.09, 0.05, 0.03, 0.01}),
+	Ads2:   dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.31, 0.19, 0.16, 0.13, 0.10, 0.06, 0.03, 0.01}),
+	Cache1: dist.MustCDF(dist.CopyAllocLayout, []float64{0.02, 0.40, 0.21, 0.14, 0.10, 0.07, 0.04, 0.01, 0.01}),
+	Cache2: dist.MustCDF(dist.CopyAllocLayout, []float64{0.01, 0.34, 0.20, 0.15, 0.12, 0.09, 0.05, 0.03, 0.01}),
+}

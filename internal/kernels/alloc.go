@@ -1,0 +1,192 @@
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// This file implements a TCMalloc-style size-class allocator. The paper
+// (§2.3.1) attributes significant fleet cycles to allocation and — less
+// studied — to free(): because free() takes no size parameter, the
+// allocator performs a size-class lookup that "tends to cache poorly",
+// whereas C++11 sized delete can skip it. The Arena below reproduces that
+// asymmetry: Free must look up the size class from the block, while
+// FreeSized is told the size and skips the lookup. The allocator is the
+// concrete work the fleet's "memory allocation" functionality executes and
+// the Allocation/Free micro-benchmarks time.
+
+// defaultSizeClasses mirrors the small-object classes of production
+// allocators: fine-grained at small sizes, coarser as sizes grow.
+var defaultSizeClasses = buildSizeClasses()
+
+func buildSizeClasses() []int {
+	var classes []int
+	for s := 8; s <= 128; s += 8 { // 8..128 in steps of 8
+		classes = append(classes, s)
+	}
+	for s := 144; s <= 512; s += 16 { // 144..512 in steps of 16
+		classes = append(classes, s)
+	}
+	for s := 1 << 10; s <= 256<<10; s <<= 1 { // 1K..256K powers of two
+		classes = append(classes, s)
+	}
+	return classes
+}
+
+// ErrTooLarge is returned when an allocation exceeds the largest size class.
+var ErrTooLarge = errors.New("kernels: allocation exceeds largest size class")
+
+// AllocStats counts allocator activity; the profiler charges cycles in
+// proportion to these counters.
+type AllocStats struct {
+	Allocs        uint64 // Alloc calls
+	Frees         uint64 // Free + FreeSized calls
+	SizedFrees    uint64 // FreeSized calls (skip the class lookup)
+	ClassLookups  uint64 // size-class lookups performed on the free path
+	FreeListHits  uint64 // allocations served from a free list
+	FreeListMiss  uint64 // allocations requiring fresh memory
+	BytesLive     uint64 // bytes currently allocated (class-rounded)
+	BytesFreeList uint64 // bytes parked on free lists
+}
+
+// Arena is a size-class allocator with per-class free lists. It is not safe
+// for concurrent use; the fleet gives each simulated worker its own arena,
+// mirroring per-thread caches in production allocators.
+type Arena struct {
+	classes []int
+	free    [][][]byte // per-class LIFO free lists
+	stats   AllocStats
+}
+
+// NewArena returns an arena with the default size classes.
+func NewArena() *Arena {
+	return &Arena{
+		classes: defaultSizeClasses,
+		free:    make([][][]byte, len(defaultSizeClasses)),
+	}
+}
+
+// SizeClasses returns a copy of the arena's class sizes in ascending order.
+func (a *Arena) SizeClasses() []int {
+	return append([]int(nil), a.classes...)
+}
+
+// classIndex returns the smallest class index that fits size.
+func (a *Arena) classIndex(size int) (int, error) {
+	if size <= 0 {
+		return 0, fmt.Errorf("kernels: invalid allocation size %d", size)
+	}
+	i := sort.SearchInts(a.classes, size)
+	if i == len(a.classes) {
+		return 0, ErrTooLarge
+	}
+	return i, nil
+}
+
+// classIndexByCapacity performs the free-path lookup: given a block, find
+// its size class from its capacity. This is the work sized delete avoids.
+func (a *Arena) classIndexByCapacity(c int) (int, error) {
+	i := sort.SearchInts(a.classes, c)
+	if i == len(a.classes) || a.classes[i] != c {
+		return 0, fmt.Errorf("kernels: block capacity %d is not a size class", c)
+	}
+	return i, nil
+}
+
+// Alloc returns a zero-length slice with capacity equal to the smallest size
+// class that fits size. Reuses free-listed blocks when available.
+func (a *Arena) Alloc(size int) ([]byte, error) {
+	idx, err := a.classIndex(size)
+	if err != nil {
+		return nil, err
+	}
+	a.stats.Allocs++
+	cls := a.classes[idx]
+	if list := a.free[idx]; len(list) > 0 {
+		block := list[len(list)-1]
+		a.free[idx] = list[:len(list)-1]
+		a.stats.FreeListHits++
+		a.stats.BytesFreeList -= uint64(cls)
+		a.stats.BytesLive += uint64(cls)
+		return block[:size], nil
+	}
+	a.stats.FreeListMiss++
+	a.stats.BytesLive += uint64(cls)
+	return make([]byte, size, cls), nil
+}
+
+// Free returns a block to its free list, determining the size class from
+// the block's capacity (the expensive, un-sized free path).
+func (a *Arena) Free(block []byte) error {
+	a.stats.ClassLookups++
+	idx, err := a.classIndexByCapacity(cap(block))
+	if err != nil {
+		return err
+	}
+	a.push(idx, block)
+	return nil
+}
+
+// FreeSized returns a block of a known allocation size, skipping the class
+// lookup — the C++11 sized-delete fast path.
+func (a *Arena) FreeSized(block []byte, size int) error {
+	idx, err := a.classIndex(size)
+	if err != nil {
+		return err
+	}
+	if a.classes[idx] != cap(block) {
+		return fmt.Errorf("kernels: sized free of %d-byte block with capacity %d (class %d)",
+			size, cap(block), a.classes[idx])
+	}
+	a.stats.SizedFrees++
+	a.push(idx, block)
+	return nil
+}
+
+func (a *Arena) push(idx int, block []byte) {
+	cls := a.classes[idx]
+	a.free[idx] = append(a.free[idx], block[:0:cls])
+	a.stats.Frees++
+	a.stats.BytesLive -= uint64(cls)
+	a.stats.BytesFreeList += uint64(cls)
+}
+
+// Stats returns a snapshot of the allocator's counters.
+func (a *Arena) Stats() AllocStats { return a.stats }
+
+// Churn allocates and frees n blocks of the given size through the arena,
+// optionally using the sized-free fast path. It is the allocation kernel
+// the fleet executes and the micro-benchmark times. It returns the stats
+// delta produced by the churn.
+func (a *Arena) Churn(n int, size int, sized bool) (AllocStats, error) {
+	before := a.stats
+	for i := 0; i < n; i++ {
+		block, err := a.Alloc(size)
+		if err != nil {
+			return AllocStats{}, err
+		}
+		// Touch the block so the allocation is not dead code.
+		if size > 0 {
+			block = block[:1]
+			block[0] = byte(i)
+		}
+		if sized {
+			err = a.FreeSized(block, size)
+		} else {
+			err = a.Free(block)
+		}
+		if err != nil {
+			return AllocStats{}, err
+		}
+	}
+	after := a.stats
+	return AllocStats{
+		Allocs:       after.Allocs - before.Allocs,
+		Frees:        after.Frees - before.Frees,
+		SizedFrees:   after.SizedFrees - before.SizedFrees,
+		ClassLookups: after.ClassLookups - before.ClassLookups,
+		FreeListHits: after.FreeListHits - before.FreeListHits,
+		FreeListMiss: after.FreeListMiss - before.FreeListMiss,
+	}, nil
+}

@@ -1,0 +1,194 @@
+package kernels
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSizeClassesAscending(t *testing.T) {
+	a := NewArena()
+	classes := a.SizeClasses()
+	if len(classes) == 0 {
+		t.Fatal("no size classes")
+	}
+	if classes[0] != 8 {
+		t.Errorf("smallest class = %d, want 8", classes[0])
+	}
+	for i := 1; i < len(classes); i++ {
+		if classes[i] <= classes[i-1] {
+			t.Fatalf("classes not ascending at %d: %v", i, classes)
+		}
+	}
+	if last := classes[len(classes)-1]; last != 256<<10 {
+		t.Errorf("largest class = %d, want 256K", last)
+	}
+}
+
+func TestAllocRoundsUpToClass(t *testing.T) {
+	a := NewArena()
+	b, err := a.Alloc(10)
+	if err != nil {
+		t.Fatalf("Alloc: %v", err)
+	}
+	if len(b) != 10 {
+		t.Errorf("len = %d, want 10", len(b))
+	}
+	if cap(b) != 16 {
+		t.Errorf("cap = %d, want 16 (next class above 10)", cap(b))
+	}
+}
+
+func TestAllocExactClass(t *testing.T) {
+	a := NewArena()
+	b, err := a.Alloc(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cap(b) != 64 {
+		t.Errorf("cap = %d, want 64", cap(b))
+	}
+}
+
+func TestAllocErrors(t *testing.T) {
+	a := NewArena()
+	if _, err := a.Alloc(0); err == nil {
+		t.Error("Alloc(0): want error")
+	}
+	if _, err := a.Alloc(-5); err == nil {
+		t.Error("Alloc(-5): want error")
+	}
+	if _, err := a.Alloc(512 << 10); err != ErrTooLarge {
+		t.Errorf("huge alloc: got %v, want ErrTooLarge", err)
+	}
+}
+
+func TestFreeAndReuse(t *testing.T) {
+	a := NewArena()
+	b, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatalf("Free: %v", err)
+	}
+	c, err := a.Alloc(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.FreeListHits != 1 {
+		t.Errorf("FreeListHits = %d, want 1 (second alloc reuses)", s.FreeListHits)
+	}
+	if s.ClassLookups != 1 {
+		t.Errorf("ClassLookups = %d, want 1 (un-sized free looks up)", s.ClassLookups)
+	}
+	_ = c
+}
+
+func TestFreeSizedSkipsLookup(t *testing.T) {
+	a := NewArena()
+	b, _ := a.Alloc(100)
+	if err := a.FreeSized(b, 100); err != nil {
+		t.Fatalf("FreeSized: %v", err)
+	}
+	s := a.Stats()
+	if s.ClassLookups != 0 {
+		t.Errorf("ClassLookups = %d, want 0 (sized free skips lookup)", s.ClassLookups)
+	}
+	if s.SizedFrees != 1 {
+		t.Errorf("SizedFrees = %d, want 1", s.SizedFrees)
+	}
+}
+
+func TestFreeRejectsForeignBlock(t *testing.T) {
+	a := NewArena()
+	if err := a.Free(make([]byte, 0, 100)); err == nil {
+		t.Error("capacity 100 is not a class: want error")
+	}
+	b, _ := a.Alloc(64)
+	if err := a.FreeSized(b, 32); err == nil {
+		t.Error("wrong sized free: want error")
+	}
+}
+
+func TestByteAccounting(t *testing.T) {
+	a := NewArena()
+	b, _ := a.Alloc(64)
+	if got := a.Stats().BytesLive; got != 64 {
+		t.Errorf("BytesLive after alloc = %d, want 64", got)
+	}
+	if err := a.Free(b); err != nil {
+		t.Fatal(err)
+	}
+	s := a.Stats()
+	if s.BytesLive != 0 || s.BytesFreeList != 64 {
+		t.Errorf("after free: live=%d freelist=%d", s.BytesLive, s.BytesFreeList)
+	}
+}
+
+func TestChurn(t *testing.T) {
+	a := NewArena()
+	delta, err := a.Churn(100, 128, false)
+	if err != nil {
+		t.Fatalf("Churn: %v", err)
+	}
+	if delta.Allocs != 100 || delta.Frees != 100 {
+		t.Errorf("delta = %+v", delta)
+	}
+	if delta.ClassLookups != 100 {
+		t.Errorf("un-sized churn lookups = %d, want 100", delta.ClassLookups)
+	}
+	if delta.FreeListHits != 99 {
+		t.Errorf("FreeListHits = %d, want 99 (first alloc misses)", delta.FreeListHits)
+	}
+
+	delta, err = a.Churn(50, 128, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta.ClassLookups != 0 || delta.SizedFrees != 50 {
+		t.Errorf("sized churn delta = %+v", delta)
+	}
+}
+
+func TestChurnErrors(t *testing.T) {
+	a := NewArena()
+	if _, err := a.Churn(1, 512<<10, false); err == nil {
+		t.Error("oversized churn: want error")
+	}
+}
+
+// Property: alloc/free round-trips preserve the invariant
+// BytesLive + BytesFreeList == total class-rounded bytes ever missed.
+func TestAllocFreeInvariant(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		a := NewArena()
+		var blocks [][]byte
+		var sz []int
+		for _, raw := range sizes {
+			size := int(raw)%4096 + 1
+			b, err := a.Alloc(size)
+			if err != nil {
+				return false
+			}
+			blocks = append(blocks, b)
+			sz = append(sz, size)
+		}
+		for i, b := range blocks {
+			var err error
+			if i%2 == 0 {
+				err = a.Free(b)
+			} else {
+				err = a.FreeSized(b, sz[i])
+			}
+			if err != nil {
+				return false
+			}
+		}
+		s := a.Stats()
+		return s.BytesLive == 0 && s.Allocs == uint64(len(blocks)) && s.Frees == uint64(len(blocks))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

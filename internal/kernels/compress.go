@@ -1,0 +1,60 @@
+package kernels
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+)
+
+// Compression kernels. The fleet's production compressor is ZSTD; the
+// standard library offers DEFLATE, which exercises the same code-path shape
+// (entropy coding over an LZ match stream) and is a faithful stand-in for
+// grounding cycles-per-byte. Fig 19 and the Table 7 compression studies
+// consume only offload-size distributions and calibrated Cb/A values, so
+// the codec choice does not affect reproduced results.
+
+// Compress DEFLATE-compresses src at the given level (flate.BestSpeed..
+// flate.BestCompression) and returns the compressed bytes.
+func Compress(src []byte, level int) ([]byte, error) {
+	var buf bytes.Buffer
+	w, err := flate.NewWriter(&buf, level)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: compress: %w", err)
+	}
+	if _, err := w.Write(src); err != nil {
+		return nil, fmt.Errorf("kernels: compress write: %w", err)
+	}
+	if err := w.Close(); err != nil {
+		return nil, fmt.Errorf("kernels: compress close: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decompress inflates DEFLATE-compressed bytes.
+func Decompress(src []byte) ([]byte, error) {
+	r := flate.NewReader(bytes.NewReader(src))
+	defer r.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("kernels: decompress: %w", err)
+	}
+	return out, nil
+}
+
+// CompressibleData returns n bytes of synthetic payload with realistic
+// redundancy (repeating structured records with varying fields), so that
+// compression kernels see production-like ratios instead of incompressible
+// noise or trivially constant bytes. The seed varies the content.
+func CompressibleData(n int, seed uint64) []byte {
+	out := make([]byte, n)
+	const record = "ts=1583020800 svc=cache1 op=get key=user:%08x flags=0x%04x "
+	pos := 0
+	i := seed
+	for pos < n {
+		rec := fmt.Sprintf(record, uint32(i*2654435761), uint16(i*40503))
+		pos += copy(out[pos:], rec)
+		i++
+	}
+	return out
+}

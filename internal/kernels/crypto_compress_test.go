@@ -1,0 +1,153 @@
+package kernels
+
+import (
+	"bytes"
+	"compress/flate"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressRoundTrip(t *testing.T) {
+	src := CompressibleData(4096, 1)
+	comp, err := Compress(src, flate.DefaultCompression)
+	if err != nil {
+		t.Fatalf("Compress: %v", err)
+	}
+	if len(comp) >= len(src) {
+		t.Errorf("compressible data did not shrink: %d -> %d", len(src), len(comp))
+	}
+	out, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if !bytes.Equal(out, src) {
+		t.Error("round trip mismatch")
+	}
+}
+
+func TestCompressEmpty(t *testing.T) {
+	comp, err := Compress(nil, flate.BestSpeed)
+	if err != nil {
+		t.Fatalf("Compress(nil): %v", err)
+	}
+	out, err := Decompress(comp)
+	if err != nil {
+		t.Fatalf("Decompress: %v", err)
+	}
+	if len(out) != 0 {
+		t.Errorf("round trip of empty = %d bytes", len(out))
+	}
+}
+
+func TestCompressInvalidLevel(t *testing.T) {
+	if _, err := Compress([]byte("x"), 42); err == nil {
+		t.Error("invalid level: want error")
+	}
+}
+
+func TestDecompressGarbage(t *testing.T) {
+	if _, err := Decompress([]byte{0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("garbage input: want error")
+	}
+}
+
+func TestCompressRoundTripProperty(t *testing.T) {
+	f := func(src []byte) bool {
+		comp, err := Compress(src, flate.BestSpeed)
+		if err != nil {
+			return false
+		}
+		out, err := Decompress(comp)
+		return err == nil && bytes.Equal(out, src)
+	}
+	cfg := &quick.Config{MaxCount: 30}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressibleData(t *testing.T) {
+	d := CompressibleData(1000, 3)
+	if len(d) != 1000 {
+		t.Fatalf("len = %d", len(d))
+	}
+	other := CompressibleData(1000, 4)
+	if bytes.Equal(d, other) {
+		t.Error("different seeds yielded identical data")
+	}
+	same := CompressibleData(1000, 3)
+	if !bytes.Equal(d, same) {
+		t.Error("same seed must be deterministic")
+	}
+}
+
+func TestCipherRoundTrip(t *testing.T) {
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatalf("NewCipher: %v", err)
+	}
+	iv := make([]byte, 16)
+	plain := []byte("a secret cache value")
+	enc, err := c.Encrypt(iv, plain)
+	if err != nil {
+		t.Fatalf("Encrypt: %v", err)
+	}
+	if bytes.Equal(enc, plain) {
+		t.Error("ciphertext equals plaintext")
+	}
+	dec, err := c.Encrypt(iv, enc) // CTR is symmetric
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, plain) {
+		t.Error("decrypt mismatch")
+	}
+}
+
+func TestCipherInPlace(t *testing.T) {
+	c, _ := NewCipher(make([]byte, 16))
+	iv := make([]byte, 16)
+	buf := []byte("hello")
+	orig := append([]byte(nil), buf...)
+	if err := c.EncryptInPlace(iv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(buf, orig) {
+		t.Error("in-place encryption did nothing")
+	}
+	if err := c.EncryptInPlace(iv, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, orig) {
+		t.Error("in-place round trip mismatch")
+	}
+}
+
+func TestCipherErrors(t *testing.T) {
+	if _, err := NewCipher(make([]byte, 7)); err == nil {
+		t.Error("bad key size: want error")
+	}
+	c, _ := NewCipher(make([]byte, 16))
+	if _, err := c.Encrypt(make([]byte, 8), []byte("x")); err == nil {
+		t.Error("bad IV size: want error")
+	}
+	if err := c.EncryptInPlace(make([]byte, 8), []byte("x")); err == nil {
+		t.Error("bad IV size in place: want error")
+	}
+}
+
+func TestHashDeterministicAndSensitive(t *testing.T) {
+	a := Hash([]byte("payload"))
+	b := Hash([]byte("payload"))
+	if a != b {
+		t.Error("hash not deterministic")
+	}
+	c := Hash([]byte("payloae"))
+	if a == c {
+		t.Error("hash collision on 1-byte change")
+	}
+}

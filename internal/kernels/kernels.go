@@ -1,0 +1,87 @@
+// Package kernels implements the real, executable building-block operations
+// the paper identifies as acceleration candidates: memory copy/set/compare,
+// memory allocation and free, compression, encryption, and hashing.
+//
+// The paper's model treats a "kernel" as the unit of offload: work the host
+// spends Cb cycles per byte on, which an accelerator can do A times faster
+// (§3, Table 5). This package provides genuine implementations of those
+// kernels (built only on the standard library) so that
+//
+//   - the synthetic microservice fleet performs real work on real bytes,
+//   - micro-benchmarks can ground Cb (host cycles per byte) the same way
+//     the paper grounds its parameters with micro-benchmarks, and
+//   - the per-kernel calibration tables stay honest: they are checked
+//     against the executable implementations in the benchmark suite.
+package kernels
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Kind identifies one offloadable kernel family.
+type Kind int
+
+const (
+	// MemoryCopy is bulk byte copying (memcpy-style).
+	MemoryCopy Kind = iota
+	// MemorySet is bulk byte initialization (memset-style).
+	MemorySet
+	// MemoryCompare is bulk byte comparison (memcmp-style).
+	MemoryCompare
+	// MemoryMove is overlapping-safe copying (memmove-style).
+	MemoryMove
+	// Allocation is memory allocation through the size-class allocator.
+	Allocation
+	// Free is returning memory through the size-class allocator.
+	Free
+	// Compression is DEFLATE compression (the fleet's ZSTD stand-in).
+	Compression
+	// Decompression is DEFLATE decompression.
+	Decompression
+	// Encryption is AES-CTR encryption (the fleet's SSL stand-in).
+	Encryption
+	// Hashing is SHA-256 hashing.
+	Hashing
+	// Serialization is binary RPC encoding (implemented in internal/rpc,
+	// calibrated here).
+	Serialization
+)
+
+// kindNames maps kinds to display names used in experiment output.
+var kindNames = map[Kind]string{
+	MemoryCopy:    "memory-copy",
+	MemorySet:     "memory-set",
+	MemoryCompare: "memory-compare",
+	MemoryMove:    "memory-move",
+	Allocation:    "allocation",
+	Free:          "free",
+	Compression:   "compression",
+	Decompression: "decompression",
+	Encryption:    "encryption",
+	Hashing:       "hashing",
+	Serialization: "serialization",
+}
+
+// String returns the kernel kind's display name.
+func (k Kind) String() string {
+	if n, ok := kindNames[k]; ok {
+		return n
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns all kernel kinds in a stable order.
+func Kinds() []Kind {
+	out := make([]Kind, 0, len(kindNames))
+	for k := range kindNames {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ErrSizeMismatch is returned by fixed-size operations given mismatched
+// buffers.
+var ErrSizeMismatch = errors.New("kernels: buffer size mismatch")

@@ -1,0 +1,53 @@
+package kernels
+
+// Memory kernels. The paper finds memory copy, allocation, and free are the
+// dominant leaf overheads across the fleet (§2.3.1, Fig 3); these functions
+// are the concrete work units the synthetic fleet executes and the
+// micro-benchmarks time.
+
+// Copy copies src into dst and returns the number of bytes copied. It is the
+// memcpy-style kernel; dst and src may be different lengths, in which case
+// the shorter governs.
+func Copy(dst, src []byte) int {
+	return copy(dst, src)
+}
+
+// Set fills dst with the byte v (memset-style) and returns len(dst).
+func Set(dst []byte, v byte) int {
+	for i := range dst {
+		dst[i] = v
+	}
+	return len(dst)
+}
+
+// Compare compares a and b lexicographically (memcmp-style): -1 if a < b,
+// 0 if equal, +1 if a > b.
+func Compare(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+// Move copies src into dst handling overlap (memmove-style) and returns the
+// number of bytes moved. Go's built-in copy already handles overlap, but we
+// keep a distinct entry point so profiles attribute moves separately from
+// copies, as the paper's Fig 3 does.
+func Move(dst, src []byte) int {
+	return copy(dst, src)
+}

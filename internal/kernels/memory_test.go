@@ -1,0 +1,85 @@
+package kernels
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCopy(t *testing.T) {
+	src := []byte("hello world")
+	dst := make([]byte, len(src))
+	if n := Copy(dst, src); n != len(src) {
+		t.Errorf("Copy = %d, want %d", n, len(src))
+	}
+	if !bytes.Equal(dst, src) {
+		t.Errorf("dst = %q", dst)
+	}
+	short := make([]byte, 5)
+	if n := Copy(short, src); n != 5 {
+		t.Errorf("short Copy = %d, want 5", n)
+	}
+}
+
+func TestSet(t *testing.T) {
+	buf := make([]byte, 64)
+	if n := Set(buf, 0xAB); n != 64 {
+		t.Errorf("Set = %d", n)
+	}
+	for i, b := range buf {
+		if b != 0xAB {
+			t.Fatalf("buf[%d] = %x", i, b)
+		}
+	}
+	if n := Set(nil, 1); n != 0 {
+		t.Errorf("Set(nil) = %d", n)
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"abc", "abc", 0},
+		{"abc", "abd", -1},
+		{"abd", "abc", 1},
+		{"ab", "abc", -1},
+		{"abc", "ab", 1},
+		{"", "", 0},
+	}
+	for _, tc := range cases {
+		if got := Compare([]byte(tc.a), []byte(tc.b)); got != tc.want {
+			t.Errorf("Compare(%q,%q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestCompareMatchesBytesCompare(t *testing.T) {
+	f := func(a, b []byte) bool {
+		return Compare(a, b) == bytes.Compare(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoveOverlapping(t *testing.T) {
+	buf := []byte("abcdefgh")
+	Move(buf[2:], buf[:6]) // overlapping shift right
+	if string(buf) != "ababcdef" {
+		t.Errorf("overlapping move = %q", buf)
+	}
+}
+
+// Property: Copy then Compare yields equality for any payload.
+func TestCopyCompareRoundTrip(t *testing.T) {
+	f := func(src []byte) bool {
+		dst := make([]byte, len(src))
+		Copy(dst, src)
+		return Compare(dst, src) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,296 @@
+// Package profiler reproduces the paper's two-stage characterization
+// pipeline (§2.2): a Strobelight-like collector gathers function call
+// traces with cycle and instruction counts, then internal tools (1) tag
+// each leaf function with a Table 2 category and aggregate cycles per leaf
+// category, and (2) bucket each call trace into a Table 3 microservice
+// functionality and aggregate cycles per functionality.
+//
+// Frames follow the "domain.function" naming convention of package trace.
+// The leaf tagger dispatches on the leaf frame's domain; the functionality
+// bucketer scans a stack from leaf to root for the innermost "func.*"
+// marker frame, mirroring how the paper's tool assigns a whole trace (e.g.
+// clone → ... → memcpy) to the functionality that invoked it.
+package profiler
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/fleetdata"
+	"repro/internal/trace"
+)
+
+// LeafTagger assigns Table 2 leaf categories to leaf functions by frame
+// domain.
+type LeafTagger struct {
+	byDomain map[string]string
+	fallback string
+}
+
+// NewLeafTagger returns a tagger with the reproduction's default rules:
+//
+//	mem.*    → Memory        kernel.* → Kernel      hash.* → Hashing
+//	sync.*   → Synchronization  zstd.* → ZSTD       math.* → Math
+//	ssl.*    → SSL           clib.*   → C Libraries
+//
+// and every other domain → Miscellaneous.
+func NewLeafTagger() *LeafTagger {
+	return &LeafTagger{
+		byDomain: map[string]string{
+			"mem":    fleetdata.LeafMemory,
+			"kernel": fleetdata.LeafKernel,
+			"hash":   fleetdata.LeafHashing,
+			"sync":   fleetdata.LeafSync,
+			"zstd":   fleetdata.LeafZSTD,
+			"math":   fleetdata.LeafMath,
+			"ssl":    fleetdata.LeafSSL,
+			"clib":   fleetdata.LeafCLib,
+		},
+		fallback: fleetdata.LeafMisc,
+	}
+}
+
+// AddRule maps an additional frame domain to a category; it overrides any
+// existing rule for the domain.
+func (t *LeafTagger) AddRule(domain, category string) error {
+	if domain == "" || category == "" {
+		return fmt.Errorf("profiler: empty domain or category")
+	}
+	t.byDomain[domain] = category
+	return nil
+}
+
+// Tag returns the leaf category for a frame.
+func (t *LeafTagger) Tag(f trace.Frame) string {
+	if cat, ok := t.byDomain[f.Domain()]; ok {
+		return cat
+	}
+	return t.fallback
+}
+
+// FunctionalityBucketer assigns Table 3 functionality categories to whole
+// call traces via "func.<key>" marker frames.
+type FunctionalityBucketer struct {
+	byKey    map[string]string
+	fallback string
+}
+
+// NewFunctionalityBucketer returns a bucketer with the reproduction's
+// default markers:
+//
+//	func.io → Secure + Insecure IO     func.ioprep  → IO Pre/Post Processing
+//	func.compression → Compression     func.serialization → Serialization/…
+//	func.feature → Feature Extraction  func.prediction → Prediction/Ranking
+//	func.app → Application Logic       func.logging → Logging
+//	func.threadpool → Thread Pool Management
+func NewFunctionalityBucketer() *FunctionalityBucketer {
+	return &FunctionalityBucketer{
+		byKey: map[string]string{
+			"io":            fleetdata.FuncIO,
+			"ioprep":        fleetdata.FuncIOPrePost,
+			"compression":   fleetdata.FuncCompression,
+			"serialization": fleetdata.FuncSerialization,
+			"feature":       fleetdata.FuncFeatureExt,
+			"prediction":    fleetdata.FuncPrediction,
+			"app":           fleetdata.FuncAppLogic,
+			"logging":       fleetdata.FuncLogging,
+			"threadpool":    fleetdata.FuncThreadPool,
+		},
+		fallback: fleetdata.FuncMisc,
+	}
+}
+
+// Bucket returns the functionality category for a stack: the innermost
+// func.* marker wins, so a serialization routine called from the I/O path
+// attributes to serialization, as the paper's trace bucketing does.
+func (b *FunctionalityBucketer) Bucket(s trace.Stack) string {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i].Domain() != "func" {
+			continue
+		}
+		if cat, ok := b.byKey[s[i].Function()]; ok {
+			return cat
+		}
+	}
+	return b.fallback
+}
+
+// Share is one row of an aggregated breakdown.
+type Share struct {
+	Category     string
+	Cycles       uint64
+	Instructions uint64
+	Percent      float64 // of total cycles in the profile
+}
+
+// IPC returns the share's instructions per cycle (0 with no cycles).
+func (s Share) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Profile is a collected sample set for one service.
+type Profile struct {
+	Service fleetdata.Service
+	Samples *trace.Set
+}
+
+// NewProfile returns an empty profile for a service.
+func NewProfile(svc fleetdata.Service) *Profile {
+	return &Profile{Service: svc, Samples: trace.NewSet()}
+}
+
+// Add records one sampled call trace.
+func (p *Profile) Add(s trace.Sample) error { return p.Samples.Add(s) }
+
+// TotalCycles returns the profile's total cycles.
+func (p *Profile) TotalCycles() uint64 { return p.Samples.TotalCycles() }
+
+// sharesFromTotals converts per-category totals to sorted Shares.
+func sharesFromTotals(cycles map[string]uint64, instrs map[string]uint64, total uint64) []Share {
+	out := make([]Share, 0, len(cycles))
+	for cat, c := range cycles {
+		sh := Share{Category: cat, Cycles: c, Instructions: instrs[cat]}
+		if total > 0 {
+			sh.Percent = float64(c) / float64(total) * 100
+		}
+		out = append(out, sh)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Category < out[j].Category
+	})
+	return out
+}
+
+// LeafBreakdown aggregates the profile by leaf category (the Fig 2
+// analysis).
+func (p *Profile) LeafBreakdown(tagger *LeafTagger) []Share {
+	cycles := make(map[string]uint64)
+	instrs := make(map[string]uint64)
+	for leaf, s := range p.Samples.LeafSamples() {
+		cat := tagger.Tag(leaf)
+		cycles[cat] += s.Cycles
+		instrs[cat] += s.Instructions
+	}
+	return sharesFromTotals(cycles, instrs, p.TotalCycles())
+}
+
+// FunctionalityBreakdown aggregates the profile by functionality category
+// (the Fig 9 analysis).
+func (p *Profile) FunctionalityBreakdown(b *FunctionalityBucketer) []Share {
+	cycles := make(map[string]uint64)
+	instrs := make(map[string]uint64)
+	for _, s := range p.Samples.Samples() {
+		cat := b.Bucket(s.Stack)
+		cycles[cat] += s.Cycles
+		instrs[cat] += s.Instructions
+	}
+	return sharesFromTotals(cycles, instrs, p.TotalCycles())
+}
+
+// LeafFunctionBreakdown aggregates cycles within one leaf domain by
+// function name, as a percentage of the domain's cycles — the Figs 3, 5,
+// 6, 7 sub-breakdowns. labels maps function names to display labels;
+// unmapped functions aggregate under fallback.
+func (p *Profile) LeafFunctionBreakdown(domain string, labels map[string]string, fallback string) []Share {
+	cycles := make(map[string]uint64)
+	instrs := make(map[string]uint64)
+	var domainTotal uint64
+	for leaf, s := range p.Samples.LeafSamples() {
+		if leaf.Domain() != domain {
+			continue
+		}
+		label, ok := labels[leaf.Function()]
+		if !ok {
+			label = fallback
+		}
+		cycles[label] += s.Cycles
+		instrs[label] += s.Instructions
+		domainTotal += s.Cycles
+	}
+	return sharesFromTotals(cycles, instrs, domainTotal)
+}
+
+// CopyOrigins attributes the cycles of one leaf function (e.g. "mem.copy")
+// to the functionality that invoked it — the Fig 4 analysis. Percentages
+// are of that leaf's total cycles.
+func (p *Profile) CopyOrigins(leaf trace.Frame, b *FunctionalityBucketer) []Share {
+	cycles := make(map[string]uint64)
+	instrs := make(map[string]uint64)
+	var total uint64
+	for _, s := range p.Samples.Samples() {
+		l, err := s.Stack.Leaf()
+		if err != nil || l != leaf {
+			continue
+		}
+		cat := b.Bucket(s.Stack)
+		cycles[cat] += s.Cycles
+		instrs[cat] += s.Instructions
+		total += s.Cycles
+	}
+	return sharesFromTotals(cycles, instrs, total)
+}
+
+// ShareOf returns the percentage for a category within shares (0 when
+// absent).
+func ShareOf(shares []Share, category string) float64 {
+	for _, s := range shares {
+		if s.Category == category {
+			return s.Percent
+		}
+	}
+	return 0
+}
+
+// IPCOf returns the IPC for a category within shares (0 when absent).
+func IPCOf(shares []Share, category string) float64 {
+	for _, s := range shares {
+		if s.Category == category {
+			return s.IPC()
+		}
+	}
+	return 0
+}
+
+// MemoryLabels maps mem.* function names to Fig 3 display labels.
+var MemoryLabels = map[string]string{
+	"copy":    fleetdata.MemCopy,
+	"free":    fleetdata.MemFree,
+	"alloc":   fleetdata.MemAlloc,
+	"move":    fleetdata.MemMove,
+	"set":     fleetdata.MemSet,
+	"compare": fleetdata.MemCompare,
+}
+
+// KernelLabels maps kernel.* function names to Fig 5 display labels.
+var KernelLabels = map[string]string{
+	"sched": fleetdata.KernSched,
+	"event": fleetdata.KernEvent,
+	"net":   fleetdata.KernNetwork,
+	"sync":  fleetdata.KernSync,
+	"mm":    fleetdata.KernMemMgmt,
+}
+
+// SyncLabels maps sync.* function names to Fig 6 display labels.
+var SyncLabels = map[string]string{
+	"atomics": fleetdata.SyncAtomics,
+	"mutex":   fleetdata.SyncMutex,
+	"cas":     fleetdata.SyncCAS,
+	"spin":    fleetdata.SyncSpin,
+}
+
+// CLibLabels maps clib.* function names to Fig 7 display labels.
+var CLibLabels = map[string]string{
+	"stdalgo":   fleetdata.CLibStdAlgo,
+	"ctor":      fleetdata.CLibCtors,
+	"strings":   fleetdata.CLibStrings,
+	"hashtable": fleetdata.CLibHashTbl,
+	"vectors":   fleetdata.CLibVectors,
+	"trees":     fleetdata.CLibTrees,
+	"operator":  fleetdata.CLibOperator,
+}

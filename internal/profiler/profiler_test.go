@@ -1,0 +1,212 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleetdata"
+	"repro/internal/trace"
+)
+
+func addSample(t *testing.T, p *Profile, stack trace.Stack, cycles, instrs uint64) {
+	t.Helper()
+	if err := p.Add(trace.Sample{Stack: stack, Cycles: cycles, Instructions: instrs}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLeafTaggerDefaults(t *testing.T) {
+	tg := NewLeafTagger()
+	cases := map[trace.Frame]string{
+		"mem.copy":       fleetdata.LeafMemory,
+		"kernel.sched":   fleetdata.LeafKernel,
+		"hash.sha256":    fleetdata.LeafHashing,
+		"sync.spin":      fleetdata.LeafSync,
+		"zstd.compress":  fleetdata.LeafZSTD,
+		"math.gemm":      fleetdata.LeafMath,
+		"ssl.encrypt":    fleetdata.LeafSSL,
+		"clib.strings":   fleetdata.LeafCLib,
+		"whatever.thing": fleetdata.LeafMisc,
+	}
+	for frame, want := range cases {
+		if got := tg.Tag(frame); got != want {
+			t.Errorf("Tag(%q) = %q, want %q", frame, got, want)
+		}
+	}
+}
+
+func TestLeafTaggerAddRule(t *testing.T) {
+	tg := NewLeafTagger()
+	if err := tg.AddRule("simd", fleetdata.LeafMath); err != nil {
+		t.Fatal(err)
+	}
+	if got := tg.Tag("simd.fma"); got != fleetdata.LeafMath {
+		t.Errorf("custom rule not applied: %q", got)
+	}
+	if err := tg.AddRule("", "x"); err == nil {
+		t.Error("empty domain: want error")
+	}
+	if err := tg.AddRule("x", ""); err == nil {
+		t.Error("empty category: want error")
+	}
+}
+
+func TestBucketerInnermostMarkerWins(t *testing.T) {
+	b := NewFunctionalityBucketer()
+	s := trace.Stack{"thread.worker", "func.io", "func.serialization", "mem.copy"}
+	if got := b.Bucket(s); got != fleetdata.FuncSerialization {
+		t.Errorf("Bucket = %q, want innermost marker (serialization)", got)
+	}
+	plain := trace.Stack{"thread.worker", "mem.copy"}
+	if got := b.Bucket(plain); got != fleetdata.FuncMisc {
+		t.Errorf("unmarked stack = %q, want Miscellaneous", got)
+	}
+	unknown := trace.Stack{"func.warp", "mem.copy"}
+	if got := b.Bucket(unknown); got != fleetdata.FuncMisc {
+		t.Errorf("unknown marker = %q, want Miscellaneous", got)
+	}
+}
+
+func TestLeafBreakdown(t *testing.T) {
+	p := NewProfile(fleetdata.Cache1)
+	addSample(t, p, trace.Stack{"func.io", "kernel.net"}, 40, 20)
+	addSample(t, p, trace.Stack{"func.app", "mem.copy"}, 30, 24)
+	addSample(t, p, trace.Stack{"func.app", "mem.alloc"}, 20, 10)
+	addSample(t, p, trace.Stack{"func.io", "ssl.encrypt"}, 10, 12)
+
+	shares := p.LeafBreakdown(NewLeafTagger())
+	if got := ShareOf(shares, fleetdata.LeafMemory); math.Abs(got-50) > 1e-9 {
+		t.Errorf("memory share = %v%%, want 50", got)
+	}
+	if got := ShareOf(shares, fleetdata.LeafKernel); math.Abs(got-40) > 1e-9 {
+		t.Errorf("kernel share = %v%%, want 40", got)
+	}
+	if got := ShareOf(shares, fleetdata.LeafSSL); math.Abs(got-10) > 1e-9 {
+		t.Errorf("ssl share = %v%%, want 10", got)
+	}
+	// Shares sorted descending by cycles.
+	for i := 1; i < len(shares); i++ {
+		if shares[i].Cycles > shares[i-1].Cycles {
+			t.Errorf("shares not sorted: %v", shares)
+		}
+	}
+}
+
+func TestFunctionalityBreakdown(t *testing.T) {
+	p := NewProfile(fleetdata.Web)
+	addSample(t, p, trace.Stack{"thread.worker", "func.io", "kernel.net"}, 52, 20)
+	addSample(t, p, trace.Stack{"thread.worker", "func.app", "clib.strings"}, 18, 20)
+	addSample(t, p, trace.Stack{"thread.worker", "func.logging", "mem.copy"}, 23, 10)
+	addSample(t, p, trace.Stack{"thread.worker", "misc.x"}, 7, 7)
+
+	shares := p.FunctionalityBreakdown(NewFunctionalityBucketer())
+	if got := ShareOf(shares, fleetdata.FuncIO); math.Abs(got-52) > 1e-9 {
+		t.Errorf("IO share = %v%%", got)
+	}
+	if got := ShareOf(shares, fleetdata.FuncLogging); math.Abs(got-23) > 1e-9 {
+		t.Errorf("logging share = %v%%", got)
+	}
+	if got := ShareOf(shares, fleetdata.FuncMisc); math.Abs(got-7) > 1e-9 {
+		t.Errorf("misc share = %v%%", got)
+	}
+}
+
+func TestLeafFunctionBreakdown(t *testing.T) {
+	p := NewProfile(fleetdata.Ads1)
+	addSample(t, p, trace.Stack{"func.app", "mem.copy"}, 60, 30)
+	addSample(t, p, trace.Stack{"func.app", "mem.free"}, 30, 12)
+	addSample(t, p, trace.Stack{"func.app", "mem.exotic"}, 10, 5)
+	addSample(t, p, trace.Stack{"func.app", "kernel.sched"}, 500, 100) // other domain ignored
+
+	shares := p.LeafFunctionBreakdown("mem", MemoryLabels, "Other")
+	if got := ShareOf(shares, fleetdata.MemCopy); math.Abs(got-60) > 1e-9 {
+		t.Errorf("copy share = %v%%, want 60 (of memory cycles only)", got)
+	}
+	if got := ShareOf(shares, fleetdata.MemFree); math.Abs(got-30) > 1e-9 {
+		t.Errorf("free share = %v%%", got)
+	}
+	if got := ShareOf(shares, "Other"); math.Abs(got-10) > 1e-9 {
+		t.Errorf("unmapped function share = %v%%", got)
+	}
+}
+
+func TestCopyOrigins(t *testing.T) {
+	p := NewProfile(fleetdata.Cache2)
+	addSample(t, p, trace.Stack{"func.io", "mem.copy"}, 36, 10)
+	addSample(t, p, trace.Stack{"func.ioprep", "mem.copy"}, 18, 10)
+	addSample(t, p, trace.Stack{"func.app", "mem.copy"}, 46, 10)
+	addSample(t, p, trace.Stack{"func.app", "mem.free"}, 1000, 10) // not a copy
+
+	shares := p.CopyOrigins("mem.copy", NewFunctionalityBucketer())
+	if got := ShareOf(shares, fleetdata.FuncIO); math.Abs(got-36) > 1e-9 {
+		t.Errorf("IO copy origin = %v%%", got)
+	}
+	if got := ShareOf(shares, fleetdata.FuncAppLogic); math.Abs(got-46) > 1e-9 {
+		t.Errorf("app copy origin = %v%%", got)
+	}
+	total := 0.0
+	for _, s := range shares {
+		total += s.Percent
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Errorf("copy origins sum to %v%%", total)
+	}
+}
+
+func TestShareIPC(t *testing.T) {
+	s := Share{Cycles: 100, Instructions: 48}
+	if got := s.IPC(); got != 0.48 {
+		t.Errorf("IPC = %v", got)
+	}
+	if got := (Share{}).IPC(); got != 0 {
+		t.Errorf("zero-cycle IPC = %v", got)
+	}
+}
+
+func TestIPCOfAndShareOfMissing(t *testing.T) {
+	if IPCOf(nil, "x") != 0 || ShareOf(nil, "x") != 0 {
+		t.Error("missing category should report 0")
+	}
+}
+
+func TestCategoryIPCFlowsThroughBreakdown(t *testing.T) {
+	p := NewProfile(fleetdata.Cache1)
+	addSample(t, p, trace.Stack{"func.io", "kernel.sched"}, 100, 50) // kernel IPC 0.5
+	addSample(t, p, trace.Stack{"func.app", "clib.vectors"}, 100, 160)
+
+	shares := p.LeafBreakdown(NewLeafTagger())
+	if got := IPCOf(shares, fleetdata.LeafKernel); got != 0.5 {
+		t.Errorf("kernel IPC = %v", got)
+	}
+	if got := IPCOf(shares, fleetdata.LeafCLib); got != 1.6 {
+		t.Errorf("clib IPC = %v", got)
+	}
+}
+
+func TestLabelsCoverPaperCategories(t *testing.T) {
+	if len(MemoryLabels) != 6 {
+		t.Errorf("memory labels = %d, want 6 (Fig 3)", len(MemoryLabels))
+	}
+	if len(KernelLabels) != 5 {
+		t.Errorf("kernel labels = %d, want 5 + misc (Fig 5)", len(KernelLabels))
+	}
+	if len(SyncLabels) != 4 {
+		t.Errorf("sync labels = %d, want 4 (Fig 6)", len(SyncLabels))
+	}
+	if len(CLibLabels) != 7 {
+		t.Errorf("clib labels = %d, want 7 + misc (Fig 7)", len(CLibLabels))
+	}
+}
+
+func TestIdenticalStacksMerge(t *testing.T) {
+	p := NewProfile(fleetdata.Web)
+	for i := 0; i < 10; i++ {
+		addSample(t, p, trace.Stack{"func.app", "mem.copy"}, 5, 2)
+	}
+	if p.Samples.Len() != 1 {
+		t.Errorf("distinct stacks = %d, want 1", p.Samples.Len())
+	}
+	if p.TotalCycles() != 50 {
+		t.Errorf("total cycles = %d, want 50", p.TotalCycles())
+	}
+}

@@ -1,0 +1,88 @@
+package profiler
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/fleetdata"
+	"repro/internal/trace"
+)
+
+// Profile serialization: collected profiles round-trip through a stable
+// JSON format so characterization runs can be archived and re-analyzed
+// offline, the way the paper's tooling feeds stored Strobelight traces to
+// its categorization tools.
+
+// profileDoc is the on-disk representation.
+type profileDoc struct {
+	Version int         `json:"version"`
+	Service string      `json:"service"`
+	Samples []sampleDoc `json:"samples"`
+}
+
+type sampleDoc struct {
+	Stack        string `json:"stack"` // semicolon-joined frames
+	Cycles       uint64 `json:"cycles"`
+	Instructions uint64 `json:"instructions"`
+}
+
+// formatVersion guards against future layout changes.
+const formatVersion = 1
+
+// Write serializes the profile to w in a stable order (sorted by stack
+// key), so identical profiles produce identical bytes.
+func (p *Profile) Write(w io.Writer) error {
+	samples := p.Samples.Samples()
+	docs := make([]sampleDoc, len(samples))
+	for i, s := range samples {
+		docs[i] = sampleDoc{
+			Stack:        s.Stack.Key(),
+			Cycles:       s.Cycles,
+			Instructions: s.Instructions,
+		}
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Stack < docs[j].Stack })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(profileDoc{
+		Version: formatVersion,
+		Service: string(p.Service),
+		Samples: docs,
+	}); err != nil {
+		return fmt.Errorf("profiler: write profile: %w", err)
+	}
+	return nil
+}
+
+// Read deserializes a profile written by Write.
+func Read(r io.Reader) (*Profile, error) {
+	var doc profileDoc
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profiler: read profile: %w", err)
+	}
+	if doc.Version != formatVersion {
+		return nil, fmt.Errorf("profiler: unsupported profile version %d (want %d)", doc.Version, formatVersion)
+	}
+	svc := fleetdata.Service(doc.Service)
+	if !svc.Valid() {
+		return nil, fmt.Errorf("profiler: unknown service %q in profile", doc.Service)
+	}
+	p := NewProfile(svc)
+	for i, s := range doc.Samples {
+		stack, err := trace.ParseStack(s.Stack)
+		if err != nil {
+			return nil, fmt.Errorf("profiler: sample %d: %w", i, err)
+		}
+		if err := p.Add(trace.Sample{
+			Stack:        stack,
+			Cycles:       s.Cycles,
+			Instructions: s.Instructions,
+		}); err != nil {
+			return nil, fmt.Errorf("profiler: sample %d: %w", i, err)
+		}
+	}
+	return p, nil
+}

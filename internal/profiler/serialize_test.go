@@ -1,0 +1,84 @@
+package profiler
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/fleetdata"
+	"repro/internal/trace"
+)
+
+func TestProfileWriteReadRoundTrip(t *testing.T) {
+	p := NewProfile(fleetdata.Cache1)
+	addSample(t, p, trace.Stack{"func.io", "ssl.encrypt"}, 100, 140)
+	addSample(t, p, trace.Stack{"func.app", "mem.copy"}, 200, 200)
+	addSample(t, p, trace.Stack{"func.app", "clib.hashtable"}, 50, 80)
+
+	var buf bytes.Buffer
+	if err := p.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if back.Service != fleetdata.Cache1 {
+		t.Errorf("service = %q", back.Service)
+	}
+	if back.TotalCycles() != p.TotalCycles() {
+		t.Errorf("cycles = %d, want %d", back.TotalCycles(), p.TotalCycles())
+	}
+	if back.Samples.Len() != p.Samples.Len() {
+		t.Errorf("samples = %d, want %d", back.Samples.Len(), p.Samples.Len())
+	}
+	// Breakdowns survive the round trip exactly.
+	origShares := p.LeafBreakdown(NewLeafTagger())
+	backShares := back.LeafBreakdown(NewLeafTagger())
+	for _, s := range origShares {
+		if got := ShareOf(backShares, s.Category); got != s.Percent {
+			t.Errorf("%s share = %v, want %v", s.Category, got, s.Percent)
+		}
+	}
+}
+
+func TestProfileWriteDeterministic(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		p := NewProfile(fleetdata.Web)
+		addSample(t, p, trace.Stack{"func.app", "zzz.last"}, 1, 1)
+		addSample(t, p, trace.Stack{"func.app", "aaa.first"}, 2, 2)
+		var buf bytes.Buffer
+		if err := p.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	if !bytes.Equal(mk().Bytes(), mk().Bytes()) {
+		t.Error("serialization is not deterministic")
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"garbage":         "not json at all",
+		"bad version":     `{"version": 99, "service": "Web", "samples": []}`,
+		"unknown service": `{"version": 1, "service": "Mystery", "samples": []}`,
+		"empty stack":     `{"version": 1, "service": "Web", "samples": [{"stack": "", "cycles": 1}]}`,
+		"empty frame":     `{"version": 1, "service": "Web", "samples": [{"stack": "a;;b", "cycles": 1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Read(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: want error", name)
+		}
+	}
+}
+
+func TestReadEmptyProfile(t *testing.T) {
+	p, err := Read(strings.NewReader(`{"version": 1, "service": "Cache2", "samples": []}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TotalCycles() != 0 || p.Service != fleetdata.Cache2 {
+		t.Errorf("empty profile = %+v", p)
+	}
+}

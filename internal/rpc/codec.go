@@ -1,0 +1,242 @@
+// Package rpc is the reproduction's RPC substrate: a binary message codec
+// with optional compression and encryption layers, length-prefixed framing,
+// and a minimal client/server.
+//
+// The paper's thesis is that hyperscale microservices spend most of their
+// cycles orchestrating RPCs — serializing, compressing, encrypting, and
+// moving bytes — rather than in application logic. The synthetic fleet
+// therefore runs on a real RPC path: every simulated request is genuinely
+// serialized (this package), optionally DEFLATE-compressed and AES-CTR
+// encrypted (internal/kernels), and framed over a transport, so the
+// profiler attributes cycles to the same operations the paper measures.
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"sort"
+)
+
+// Message is one RPC request or response.
+type Message struct {
+	Method  string
+	Headers map[string]string
+	Payload []byte
+}
+
+// Wire format (all integers little-endian):
+//
+//	magic   uint16 = 0xACC3
+//	version uint8  = 1
+//	flags   uint8  (bit 0: compressed, bit 1: encrypted)
+//	method  uint16 length + bytes
+//	headers uint16 count, then per header: uint16 len + bytes (key),
+//	        uint32 len + bytes (value)
+//	payload uint32 length + bytes
+//	crc32   uint32 over everything before it
+const (
+	wireMagic   uint16 = 0xACC3
+	wireVersion byte   = 1
+
+	flagCompressed byte = 1 << 0
+	flagEncrypted  byte = 1 << 1
+)
+
+// Limits defending against corrupt frames.
+const (
+	maxMethodLen  = 1 << 10
+	maxHeaders    = 1 << 10
+	maxHeaderVal  = 1 << 16
+	maxPayloadLen = 64 << 20
+)
+
+// Codec marshals and unmarshals Messages. The zero value is ready to use.
+type Codec struct{}
+
+// ErrCorrupt reports a frame that failed structural validation or its
+// checksum.
+var ErrCorrupt = errors.New("rpc: corrupt message")
+
+// Marshal encodes a message. The flags byte is zero; layered transforms
+// (compression, encryption) are applied by Pipeline and recorded there.
+func (Codec) Marshal(m Message) ([]byte, error) {
+	return marshalWithFlags(m, 0)
+}
+
+func marshalWithFlags(m Message, flags byte) ([]byte, error) {
+	if len(m.Method) > maxMethodLen {
+		return nil, fmt.Errorf("rpc: method name %d bytes exceeds %d", len(m.Method), maxMethodLen)
+	}
+	if len(m.Headers) > maxHeaders {
+		return nil, fmt.Errorf("rpc: %d headers exceed %d", len(m.Headers), maxHeaders)
+	}
+	if len(m.Payload) > maxPayloadLen {
+		return nil, fmt.Errorf("rpc: payload %d bytes exceeds %d", len(m.Payload), maxPayloadLen)
+	}
+
+	size := 2 + 1 + 1 + 2 + len(m.Method) + 2
+	keys := make([]string, 0, len(m.Headers))
+	for k, v := range m.Headers {
+		if len(k) > maxMethodLen || len(v) > maxHeaderVal {
+			return nil, fmt.Errorf("rpc: oversized header %q", k)
+		}
+		size += 2 + len(k) + 4 + len(v)
+		keys = append(keys, k)
+	}
+	sort.Strings(keys) // deterministic encoding
+	size += 4 + len(m.Payload) + 4
+
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
+	buf = append(buf, wireVersion, flags)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Method)))
+	buf = append(buf, m.Method...)
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(k)))
+		buf = append(buf, k...)
+		v := m.Headers[k]
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+		buf = append(buf, v...)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
+	buf = append(buf, m.Payload...)
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	return buf, nil
+}
+
+// Unmarshal decodes a message produced by Marshal.
+func (Codec) Unmarshal(data []byte) (Message, error) {
+	m, flags, err := unmarshalWithFlags(data)
+	if err != nil {
+		return Message{}, err
+	}
+	if flags != 0 {
+		return Message{}, fmt.Errorf("%w: transformed frame given to bare codec (flags %#x)", ErrCorrupt, flags)
+	}
+	return m, nil
+}
+
+func unmarshalWithFlags(data []byte) (Message, byte, error) {
+	r := reader{data: data}
+	if len(data) < 14 {
+		return Message{}, 0, fmt.Errorf("%w: frame too short (%d bytes)", ErrCorrupt, len(data))
+	}
+	// Checksum first.
+	body := data[:len(data)-4]
+	want := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(body) != want {
+		return Message{}, 0, fmt.Errorf("%w: checksum mismatch", ErrCorrupt)
+	}
+	r.data = body
+
+	if magic, err := r.u16(); err != nil || magic != wireMagic {
+		return Message{}, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	ver, err := r.u8()
+	if err != nil || ver != wireVersion {
+		return Message{}, 0, fmt.Errorf("%w: unsupported version %d", ErrCorrupt, ver)
+	}
+	flags, err := r.u8()
+	if err != nil {
+		return Message{}, 0, ErrCorrupt
+	}
+
+	mlen, err := r.u16()
+	if err != nil || int(mlen) > maxMethodLen {
+		return Message{}, 0, fmt.Errorf("%w: bad method length", ErrCorrupt)
+	}
+	method, err := r.bytes(int(mlen))
+	if err != nil {
+		return Message{}, 0, ErrCorrupt
+	}
+
+	hcount, err := r.u16()
+	if err != nil || int(hcount) > maxHeaders {
+		return Message{}, 0, fmt.Errorf("%w: bad header count", ErrCorrupt)
+	}
+	var headers map[string]string
+	if hcount > 0 {
+		headers = make(map[string]string, hcount)
+	}
+	for i := 0; i < int(hcount); i++ {
+		klen, err := r.u16()
+		if err != nil {
+			return Message{}, 0, ErrCorrupt
+		}
+		k, err := r.bytes(int(klen))
+		if err != nil {
+			return Message{}, 0, ErrCorrupt
+		}
+		vlen, err := r.u32()
+		if err != nil || vlen > maxHeaderVal {
+			return Message{}, 0, ErrCorrupt
+		}
+		v, err := r.bytes(int(vlen))
+		if err != nil {
+			return Message{}, 0, ErrCorrupt
+		}
+		headers[string(k)] = string(v)
+	}
+
+	plen, err := r.u32()
+	if err != nil || plen > maxPayloadLen {
+		return Message{}, 0, fmt.Errorf("%w: bad payload length", ErrCorrupt)
+	}
+	payload, err := r.bytes(int(plen))
+	if err != nil {
+		return Message{}, 0, ErrCorrupt
+	}
+	if r.remaining() != 0 {
+		return Message{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
+	}
+
+	m := Message{Method: string(method), Headers: headers}
+	if len(payload) > 0 {
+		m.Payload = append([]byte(nil), payload...)
+	}
+	return m, flags, nil
+}
+
+// reader is a bounds-checked cursor over a byte slice.
+type reader struct {
+	data []byte
+	pos  int
+}
+
+func (r *reader) remaining() int { return len(r.data) - r.pos }
+
+func (r *reader) bytes(n int) ([]byte, error) {
+	if n < 0 || r.remaining() < n {
+		return nil, ErrCorrupt
+	}
+	out := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return out, nil
+}
+
+func (r *reader) u8() (byte, error) {
+	b, err := r.bytes(1)
+	if err != nil {
+		return 0, err
+	}
+	return b[0], nil
+}
+
+func (r *reader) u16() (uint16, error) {
+	b, err := r.bytes(2)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint16(b), nil
+}
+
+func (r *reader) u32() (uint32, error) {
+	b, err := r.bytes(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}

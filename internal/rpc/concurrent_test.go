@@ -1,0 +1,146 @@
+package rpc
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// The server must handle many concurrent connections, each with its own
+// pipeline state, without cross-talk.
+func TestServerConcurrentClients(t *testing.T) {
+	key := make([]byte, 16)
+	newPipe := func() (*Pipeline, error) {
+		return NewPipeline(WithCompression(flate.BestSpeed), WithEncryption(key))
+	}
+	srv, err := NewServer(func(req Message) (Message, error) {
+		// Echo the client id back so cross-talk is detectable.
+		return Message{
+			Method:  req.Method,
+			Headers: map[string]string{"client": req.Headers["client"]},
+			Payload: req.Payload,
+		}, nil
+	}, newPipe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+
+	const clients = 8
+	const callsPerClient = 20
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			conn, err := net.Dial("tcp", lis.Addr().String())
+			if err != nil {
+				errs <- err
+				return
+			}
+			p, err := newPipe()
+			if err != nil {
+				errs <- err
+				return
+			}
+			client, err := NewClient(conn, p)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer client.Close()
+			payload := bytes.Repeat([]byte{byte(id)}, 512)
+			for i := 0; i < callsPerClient; i++ {
+				resp, err := client.Call(Message{
+					Method:  "echo",
+					Headers: map[string]string{"client": fmt.Sprint(id)},
+					Payload: payload,
+				})
+				if err != nil {
+					errs <- fmt.Errorf("client %d call %d: %w", id, i, err)
+					return
+				}
+				if resp.Headers["client"] != fmt.Sprint(id) || !bytes.Equal(resp.Payload, payload) {
+					errs <- fmt.Errorf("client %d: cross-talk detected", id)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve: %v", err)
+	}
+}
+
+// Closing the server must be idempotent-safe for Serve and reject reuse.
+func TestServerCloseSemantics(t *testing.T) {
+	srv, _ := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(lis) }()
+	// Complete one call so Serve is definitely accepting before Close.
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := client.Call(Message{Method: "ping"}); err != nil {
+		t.Fatalf("warm-up call: %v", err)
+	}
+	client.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("Serve after Close: %v", err)
+	}
+	// A closed server refuses to serve again.
+	lis2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis2.Close()
+	if err := srv.Serve(lis2); err == nil {
+		t.Error("Serve on closed server: want error")
+	}
+}
+
+// A server connection fed garbage frames must drop the connection rather
+// than crash or hang.
+func TestServerDropsCorruptConnection(t *testing.T) {
+	srv, _ := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serverConn)
+	if err := WriteFrame(clientConn, []byte("definitely not a message")); err != nil {
+		t.Fatal(err)
+	}
+	// The server should close the connection; the next read must fail.
+	buf := make([]byte, 4)
+	if _, err := clientConn.Read(buf); err == nil {
+		t.Error("expected connection to be dropped after corrupt frame")
+	}
+	clientConn.Close()
+}

@@ -1,0 +1,213 @@
+package rpc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// Framing: each wire message is a 4-byte little-endian length prefix
+// followed by the pipeline-encoded bytes.
+
+// maxFrame bounds a frame so a corrupt peer cannot force huge allocations.
+const maxFrame = 80 << 20
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, data []byte) error {
+	if len(data) > maxFrame {
+		return fmt.Errorf("rpc: frame %d bytes exceeds %d", len(data), maxFrame)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("rpc: write frame header: %w", err)
+	}
+	if _, err := w.Write(data); err != nil {
+		return fmt.Errorf("rpc: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err // io.EOF passes through for clean shutdown
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("rpc: frame length %d exceeds %d", n, maxFrame)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, fmt.Errorf("rpc: read frame body: %w", err)
+	}
+	return buf, nil
+}
+
+// Handler processes one request message and returns the response.
+type Handler func(Message) (Message, error)
+
+// Server serves the RPC protocol over accepted connections. Each
+// connection gets its own pipeline configuration (compression/encryption
+// settings must match the client's).
+type Server struct {
+	handler     Handler
+	newPipeline func() (*Pipeline, error)
+
+	mu     sync.Mutex
+	closed bool
+	lis    net.Listener
+	wg     sync.WaitGroup
+}
+
+// NewServer returns a server that decodes with pipelines from newPipeline
+// and dispatches to handler.
+func NewServer(handler Handler, newPipeline func() (*Pipeline, error)) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil handler")
+	}
+	if newPipeline == nil {
+		newPipeline = func() (*Pipeline, error) { return NewPipeline() }
+	}
+	return &Server{handler: handler, newPipeline: newPipeline}, nil
+}
+
+// Serve accepts connections until the listener closes. It returns nil on
+// clean shutdown via Close.
+func (s *Server) Serve(lis net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errors.New("rpc: server already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return fmt.Errorf("rpc: accept: %w", err)
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ServeConn handles a single pre-established connection (e.g. one end of
+// net.Pipe) until it closes.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.wg.Add(1)
+	defer s.wg.Done()
+	s.serveConn(conn)
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	pipeline, err := s.newPipeline()
+	if err != nil {
+		return
+	}
+	for {
+		frame, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		req, err := pipeline.Decode(frame)
+		if err != nil {
+			return
+		}
+		resp, err := s.handler(req)
+		if err != nil {
+			resp = Message{
+				Method:  req.Method,
+				Headers: map[string]string{"error": err.Error()},
+			}
+		}
+		out, err := pipeline.Encode(resp)
+		if err != nil {
+			return
+		}
+		if err := WriteFrame(conn, out); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and waits for in-flight connections to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.mu.Unlock()
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Client issues requests over one connection. It is safe for sequential
+// use; callers needing concurrency should pool clients.
+type Client struct {
+	conn     net.Conn
+	pipeline *Pipeline
+}
+
+// NewClient wraps a connection with a pipeline.
+func NewClient(conn net.Conn, pipeline *Pipeline) (*Client, error) {
+	if conn == nil {
+		return nil, errors.New("rpc: nil connection")
+	}
+	if pipeline == nil {
+		var err error
+		pipeline, err = NewPipeline()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Client{conn: conn, pipeline: pipeline}, nil
+}
+
+// Call sends a request and waits for the response. A response carrying an
+// "error" header is surfaced as an error.
+func (c *Client) Call(req Message) (Message, error) {
+	data, err := c.pipeline.Encode(req)
+	if err != nil {
+		return Message{}, err
+	}
+	if err := WriteFrame(c.conn, data); err != nil {
+		return Message{}, err
+	}
+	frame, err := ReadFrame(c.conn)
+	if err != nil {
+		return Message{}, fmt.Errorf("rpc: read response: %w", err)
+	}
+	resp, err := c.pipeline.Decode(frame)
+	if err != nil {
+		return Message{}, err
+	}
+	if msg, ok := resp.Headers["error"]; ok {
+		return resp, fmt.Errorf("rpc: remote error: %s", msg)
+	}
+	return resp, nil
+}
+
+// Close closes the underlying connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Stats returns the client pipeline's counters.
+func (c *Client) Stats() PipelineStats { return c.pipeline.Stats() }

@@ -1,0 +1,46 @@
+package services
+
+import (
+	"testing"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+)
+
+// Cache3 (case study 2) must synthesize like the seven characterized
+// services, with its encryption-heavy profile intact.
+func TestCache3Synthesizes(t *testing.T) {
+	s, err := New(fleetdata.Cache3)
+	if err != nil {
+		t.Fatalf("New(Cache3): %v", err)
+	}
+	p, err := s.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := p.FunctionalityBreakdown(profiler.NewFunctionalityBucketer())
+	if got := profiler.ShareOf(shares, fleetdata.FuncIO); got < 44 || got > 46 {
+		t.Errorf("Cache3 IO share = %v%%, want ~45", got)
+	}
+	leaf := p.LeafBreakdown(profiler.NewLeafTagger())
+	if got := profiler.ShareOf(leaf, fleetdata.LeafSSL); got < 7 || got > 9 {
+		t.Errorf("Cache3 SSL share = %v%%, want ~8", got)
+	}
+	if got := profiler.ShareOf(leaf, fleetdata.LeafZSTD); got != 0 {
+		t.Errorf("Cache3 has no compression tier; ZSTD share = %v%%", got)
+	}
+	// Cache3 encrypts but is excluded from the seven-service fleet.
+	if !usesEncryption(fleetdata.Cache3) {
+		t.Error("Cache3 must encrypt")
+	}
+	fleet, err := Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range fleet {
+		if f.Name == fleetdata.Cache3 {
+			t.Error("Fleet() must contain only the seven characterized services")
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package services_test
+
+import (
+	"fmt"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/profiler"
+	"repro/internal/services"
+)
+
+// Synthesize Cache1 and run the paper's two-stage characterization
+// pipeline over it.
+func Example() {
+	cache1, err := services.New(fleetdata.Cache1)
+	if err != nil {
+		panic(err)
+	}
+	profile, err := cache1.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		panic(err)
+	}
+
+	functionality := profile.FunctionalityBreakdown(profiler.NewFunctionalityBucketer())
+	fmt.Printf("I/O: %.0f%% of cycles\n", profiler.ShareOf(functionality, fleetdata.FuncIO))
+
+	leaves := profile.LeafBreakdown(profiler.NewLeafTagger())
+	fmt.Printf("kernel leaves: %.0f%% of cycles at IPC %.2f\n",
+		profiler.ShareOf(leaves, fleetdata.LeafKernel),
+		profiler.IPCOf(leaves, fleetdata.LeafKernel))
+	// Output:
+	// I/O: 38% of cycles
+	// kernel leaves: 22% of cycles at IPC 0.54
+}

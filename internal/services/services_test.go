@@ -1,0 +1,313 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cpuarch"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/profiler"
+)
+
+func mustService(t *testing.T, name fleetdata.Service) *Service {
+	t.Helper()
+	s, err := New(name)
+	if err != nil {
+		t.Fatalf("New(%s): %v", name, err)
+	}
+	return s
+}
+
+func TestNewUnknownService(t *testing.T) {
+	if _, err := New(fleetdata.Service("Nope")); err == nil {
+		t.Error("unknown service: want error")
+	}
+}
+
+func TestFleetSynthesizesAllSeven(t *testing.T) {
+	fleet, err := Fleet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fleet) != 7 {
+		t.Fatalf("fleet size = %d, want 7", len(fleet))
+	}
+	for i, s := range fleet {
+		if s.Name != fleetdata.Services[i] {
+			t.Errorf("fleet[%d] = %s, want %s", i, s.Name, fleetdata.Services[i])
+		}
+	}
+}
+
+// The synthesized profile's functionality breakdown must reproduce Fig 9
+// within rounding — the characterization pipeline must not distort the
+// reference marginals.
+func TestProfileReproducesFunctionalityBreakdown(t *testing.T) {
+	bucketer := profiler.NewFunctionalityBucketer()
+	for _, name := range fleetdata.Services {
+		s := mustService(t, name)
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shares := p.FunctionalityBreakdown(bucketer)
+		want := fleetdata.FunctionalityBreakdowns[name]
+		for cat, pct := range want {
+			got := profiler.ShareOf(shares, cat)
+			if math.Abs(got-pct) > 0.6 {
+				t.Errorf("%s %s = %.2f%%, fleetdata says %.2f%%", name, cat, got, pct)
+			}
+		}
+	}
+}
+
+// The same profile's leaf breakdown must simultaneously reproduce Fig 2.
+func TestProfileReproducesLeafBreakdown(t *testing.T) {
+	tagger := profiler.NewLeafTagger()
+	for _, name := range fleetdata.Services {
+		s := mustService(t, name)
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		shares := p.LeafBreakdown(tagger)
+		want := fleetdata.LeafBreakdowns[name]
+		for cat, pct := range want {
+			got := profiler.ShareOf(shares, cat)
+			if math.Abs(got-pct) > 0.6 {
+				t.Errorf("%s %s = %.2f%%, fleetdata says %.2f%%", name, cat, got, pct)
+			}
+		}
+	}
+}
+
+// Memory sub-breakdown (Fig 3) must survive the pipeline.
+func TestProfileReproducesMemoryBreakdown(t *testing.T) {
+	for _, name := range []fleetdata.Service{fleetdata.Web, fleetdata.Cache1, fleetdata.Cache2} {
+		s := mustService(t, name)
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := p.LeafFunctionBreakdown("mem", profiler.MemoryLabels, "Other")
+		want := fleetdata.MemoryBreakdowns[name]
+		for cat, pct := range want {
+			got := profiler.ShareOf(shares, cat)
+			if math.Abs(got-pct) > 1.5 {
+				t.Errorf("%s %s = %.2f%% of memory cycles, fleetdata says %.2f%%", name, cat, got, pct)
+			}
+		}
+	}
+}
+
+// The kernel, synchronization, and C-library sub-breakdowns (Figs 5-7)
+// must also survive the pipeline for every service.
+func TestProfileReproducesAllSubBreakdowns(t *testing.T) {
+	cases := []struct {
+		domain   string
+		labels   map[string]string
+		fallback string
+		ref      map[fleetdata.Service]fleetdata.Breakdown
+	}{
+		{"kernel", profiler.KernelLabels, fleetdata.KernMisc, fleetdata.KernelBreakdowns},
+		{"sync", profiler.SyncLabels, "Other", fleetdata.SyncBreakdowns},
+		{"clib", profiler.CLibLabels, fleetdata.CLibMisc, fleetdata.CLibBreakdowns},
+	}
+	for _, name := range fleetdata.Services {
+		s := mustService(t, name)
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range cases {
+			shares := p.LeafFunctionBreakdown(tc.domain, tc.labels, tc.fallback)
+			for cat, pct := range tc.ref[name] {
+				got := profiler.ShareOf(shares, cat)
+				if math.Abs(got-pct) > 2.0 {
+					t.Errorf("%s %s/%s = %.2f%%, fleetdata says %.2f%%", name, tc.domain, cat, got, pct)
+				}
+			}
+		}
+	}
+}
+
+// Copy origins (Fig 4) are pinned exactly in the joint; the profiler's
+// attribution must recover them.
+func TestProfileReproducesCopyOrigins(t *testing.T) {
+	bucketer := profiler.NewFunctionalityBucketer()
+	for _, name := range fleetdata.Services {
+		s := mustService(t, name)
+		p, err := s.Profile(cpuarch.GenC, 1e9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shares := p.CopyOrigins("mem.copy", bucketer)
+		want := fleetdata.CopyOrigins[name]
+		for cat, pct := range want {
+			got := profiler.ShareOf(shares, cat)
+			if math.Abs(got-pct) > 1.5 {
+				t.Errorf("%s copies from %s = %.2f%%, fleetdata says %.2f%%", name, cat, got, pct)
+			}
+		}
+	}
+}
+
+// Kernel IPC must be the lowest leaf-category IPC in Cache1's profile and
+// must scale poorly across generations (Fig 8's finding).
+func TestProfileIPCShape(t *testing.T) {
+	s := mustService(t, fleetdata.Cache1)
+	tagger := profiler.NewLeafTagger()
+
+	genC, err := s.Profile(cpuarch.GenC, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharesC := genC.LeafBreakdown(tagger)
+	kernelIPC := profiler.IPCOf(sharesC, fleetdata.LeafKernel)
+	for _, cat := range []string{fleetdata.LeafMemory, fleetdata.LeafZSTD, fleetdata.LeafSSL, fleetdata.LeafCLib} {
+		if got := profiler.IPCOf(sharesC, cat); got <= kernelIPC {
+			t.Errorf("%s IPC %v should exceed kernel IPC %v", cat, got, kernelIPC)
+		}
+	}
+
+	genA, err := s.Profile(cpuarch.GenA, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharesA := genA.LeafBreakdown(tagger)
+	kernelScaling := kernelIPC / profiler.IPCOf(sharesA, fleetdata.LeafKernel)
+	clibScaling := profiler.IPCOf(sharesC, fleetdata.LeafCLib) / profiler.IPCOf(sharesA, fleetdata.LeafCLib)
+	if kernelScaling > 1.2 {
+		t.Errorf("kernel IPC scaling = %v, should be poor", kernelScaling)
+	}
+	if clibScaling < 1.3 {
+		t.Errorf("C-library IPC scaling = %v, should be strong", clibScaling)
+	}
+}
+
+func TestProfileZeroCycles(t *testing.T) {
+	s := mustService(t, fleetdata.Web)
+	if _, err := s.Profile(cpuarch.GenC, 0); err == nil {
+		t.Error("zero cycles: want error")
+	}
+}
+
+func TestSizeCDFs(t *testing.T) {
+	cache1 := mustService(t, fleetdata.Cache1)
+	if _, err := cache1.SizeCDF(kernels.Encryption); err != nil {
+		t.Errorf("Cache1 encryption CDF: %v", err)
+	}
+	if _, err := cache1.SizeCDF(kernels.Compression); err != nil {
+		t.Errorf("Cache1 compression CDF: %v", err)
+	}
+	web := mustService(t, fleetdata.Web)
+	if _, err := web.SizeCDF(kernels.Encryption); err == nil {
+		t.Error("Web has no published encryption CDF: want error")
+	}
+	if _, err := web.SizeCDF(kernels.Hashing); err == nil {
+		t.Error("no hashing CDF exists: want error")
+	}
+}
+
+// MeasureSizes (the bpftrace stand-in) must recover the published CDF.
+func TestMeasureSizesMatchesPublishedCDF(t *testing.T) {
+	s := mustService(t, fleetdata.Feed1)
+	h, err := s.MeasureSizes(kernels.Compression, 200000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := h.CDF()
+	if err != nil {
+		t.Fatal(err)
+	}
+	published, _ := s.SizeCDF(kernels.Compression)
+	got := measured.FractionAtLeast(425)
+	want := published.FractionAtLeast(425)
+	if math.Abs(got-want) > 0.01 {
+		t.Errorf("measured fraction ≥ 425 B = %v, published = %v", got, want)
+	}
+	if _, err := s.MeasureSizes(kernels.Compression, 0, 1); err == nil {
+		t.Error("zero samples: want error")
+	}
+}
+
+func TestFunctionalityShare(t *testing.T) {
+	s := mustService(t, fleetdata.Feed1)
+	if got := s.FunctionalityShare(fleetdata.FuncCompression); got != 15 {
+		t.Errorf("Feed1 compression share = %v, want 15", got)
+	}
+}
+
+// Exercise must genuinely run the orchestration path: compression shrinks
+// wire bytes for compressing services, encryption hides plaintext, the
+// allocator round-trips every block.
+func TestExerciseRunsRealWork(t *testing.T) {
+	for _, name := range []fleetdata.Service{fleetdata.Web, fleetdata.Cache1} {
+		s := mustService(t, name)
+		stats, err := s.Exercise(200, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if stats.Requests != 200 {
+			t.Errorf("%s requests = %d", name, stats.Requests)
+		}
+		if stats.Pipeline.Serialized != 200 || stats.Pipeline.Deserialized != 0 {
+			// Sender serializes; the receiver pipeline deserializes but we
+			// report the sender's stats.
+			t.Errorf("%s pipeline stats = %+v", name, stats.Pipeline)
+		}
+		if stats.Alloc.Allocs != 200 || stats.Alloc.Frees != 200 {
+			t.Errorf("%s allocator stats = %+v", name, stats.Alloc)
+		}
+		if stats.Alloc.ClassLookups != 0 {
+			t.Errorf("%s used un-sized frees: %+v", name, stats.Alloc)
+		}
+		if stats.BytesCopied == 0 || stats.BytesHashed == 0 {
+			t.Errorf("%s did no real work: %+v", name, stats)
+		}
+	}
+
+	web := mustService(t, fleetdata.Web)
+	stats, _ := web.Exercise(200, 7)
+	if stats.Pipeline.Compressions != 200 {
+		t.Errorf("Web should compress every request, got %d", stats.Pipeline.Compressions)
+	}
+	if stats.Pipeline.Encryptions != 0 {
+		t.Errorf("Web should not encrypt, got %d", stats.Pipeline.Encryptions)
+	}
+
+	cache1 := mustService(t, fleetdata.Cache1)
+	stats, _ = cache1.Exercise(200, 7)
+	if stats.Pipeline.Encryptions != 200 {
+		t.Errorf("Cache1 should encrypt every request, got %d", stats.Pipeline.Encryptions)
+	}
+	// Compressible payloads + compression ⇒ wire bytes below payload
+	// bytes despite framing overhead.
+	if stats.WireBytes >= stats.PayloadBytes {
+		t.Errorf("Cache1 wire bytes %d should be below payload bytes %d (compression)",
+			stats.WireBytes, stats.PayloadBytes)
+	}
+}
+
+func TestExerciseErrors(t *testing.T) {
+	s := mustService(t, fleetdata.Web)
+	if _, err := s.Exercise(0, 1); err == nil {
+		t.Error("zero requests: want error")
+	}
+}
+
+func TestExerciseDeterministic(t *testing.T) {
+	s := mustService(t, fleetdata.Cache2)
+	a, err := s.Exercise(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Exercise(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PayloadBytes != b.PayloadBytes || a.BytesCopied != b.BytesCopied {
+		t.Error("same seed produced different work")
+	}
+}

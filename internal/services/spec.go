@@ -1,0 +1,328 @@
+// Package services synthesizes the paper's microservice fleet: Web, Feed1,
+// Feed2, Ads1, Ads2, Cache1, Cache2 (and Cache3 for case study 2).
+//
+// Each service is generated from the reference datasets in
+// internal/fleetdata. A service's CPU time is modeled as a joint
+// distribution over (functionality, leaf function) pairs whose marginals
+// reproduce the paper's published breakdowns simultaneously:
+//
+//   - row sums match the Fig 9 functionality breakdown,
+//   - column sums match the Fig 2 leaf-category breakdown, refined to leaf
+//     functions by the Figs 3/5/6/7 sub-breakdowns,
+//   - the memory-copy column is pinned to the Fig 4 copy-origin
+//     attribution exactly.
+//
+// The joint is found by iterative proportional fitting (IPF) from an
+// affinity-seeded initial matrix: plausible pairings (e.g. zstd leaves
+// under the Compression functionality, kernel network leaves under I/O)
+// start with high affinity, implausible ones with low-but-positive
+// affinity so IPF always converges. The fitted joint is then emitted as a
+// set of call traces with cycle and instruction weights, which the
+// profiler ingests exactly as it would ingest Strobelight data.
+package services
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/fleetdata"
+)
+
+// leafFunc is one concrete leaf function with its frame name and Table 2
+// category.
+type leafFunc struct {
+	frame    string // e.g. "mem.copy"
+	category string // Table 2 category
+}
+
+// leafInventory expands a service's Fig 2 leaf-category breakdown into
+// per-leaf-function weights (percent of total cycles) using the Figs 3, 5,
+// 6, 7 sub-breakdowns and fixed intra-category splits for the categories
+// the paper does not subdivide.
+func leafInventory(svc fleetdata.Service) (map[leafFunc]float64, error) {
+	leaf, ok := fleetdata.LeafBreakdowns[svc]
+	if !ok {
+		return nil, fmt.Errorf("services: no leaf breakdown for %q", svc)
+	}
+	out := make(map[leafFunc]float64)
+	add := func(frame, category string, pct float64) {
+		if pct > 0 {
+			out[leafFunc{frame: frame, category: category}] += pct
+		}
+	}
+
+	// Memory per Fig 3.
+	memTotal := leaf.Share(fleetdata.LeafMemory)
+	mem := fleetdata.MemoryBreakdowns[svc]
+	memFrames := map[string]string{
+		fleetdata.MemCopy:    "mem.copy",
+		fleetdata.MemFree:    "mem.free",
+		fleetdata.MemAlloc:   "mem.alloc",
+		fleetdata.MemMove:    "mem.move",
+		fleetdata.MemSet:     "mem.set",
+		fleetdata.MemCompare: "mem.compare",
+	}
+	for label, frame := range memFrames {
+		add(frame, fleetdata.LeafMemory, memTotal*mem.Share(label)/100)
+	}
+
+	// Kernel per Fig 5.
+	kernTotal := leaf.Share(fleetdata.LeafKernel)
+	kern := fleetdata.KernelBreakdowns[svc]
+	kernFrames := map[string]string{
+		fleetdata.KernSched:   "kernel.sched",
+		fleetdata.KernEvent:   "kernel.event",
+		fleetdata.KernNetwork: "kernel.net",
+		fleetdata.KernSync:    "kernel.sync",
+		fleetdata.KernMemMgmt: "kernel.mm",
+		fleetdata.KernMisc:    "kernel.misc",
+	}
+	for label, frame := range kernFrames {
+		add(frame, fleetdata.LeafKernel, kernTotal*kern.Share(label)/100)
+	}
+
+	// Synchronization per Fig 6.
+	syncTotal := leaf.Share(fleetdata.LeafSync)
+	syn := fleetdata.SyncBreakdowns[svc]
+	synFrames := map[string]string{
+		fleetdata.SyncAtomics: "sync.atomics",
+		fleetdata.SyncMutex:   "sync.mutex",
+		fleetdata.SyncCAS:     "sync.cas",
+		fleetdata.SyncSpin:    "sync.spin",
+	}
+	for label, frame := range synFrames {
+		add(frame, fleetdata.LeafSync, syncTotal*syn.Share(label)/100)
+	}
+
+	// C libraries per Fig 7.
+	clibTotal := leaf.Share(fleetdata.LeafCLib)
+	clib := fleetdata.CLibBreakdowns[svc]
+	clibFrames := map[string]string{
+		fleetdata.CLibStdAlgo:  "clib.stdalgo",
+		fleetdata.CLibCtors:    "clib.ctor",
+		fleetdata.CLibStrings:  "clib.strings",
+		fleetdata.CLibHashTbl:  "clib.hashtable",
+		fleetdata.CLibVectors:  "clib.vectors",
+		fleetdata.CLibTrees:    "clib.trees",
+		fleetdata.CLibOperator: "clib.operator",
+		fleetdata.CLibMisc:     "clib.misc",
+	}
+	for label, frame := range clibFrames {
+		add(frame, fleetdata.LeafCLib, clibTotal*clib.Share(label)/100)
+	}
+
+	// Categories the paper does not subdivide get fixed, representative
+	// splits.
+	add("zstd.compress", fleetdata.LeafZSTD, leaf.Share(fleetdata.LeafZSTD)*0.7)
+	add("zstd.decompress", fleetdata.LeafZSTD, leaf.Share(fleetdata.LeafZSTD)*0.3)
+	add("ssl.encrypt", fleetdata.LeafSSL, leaf.Share(fleetdata.LeafSSL)*0.7)
+	add("ssl.decrypt", fleetdata.LeafSSL, leaf.Share(fleetdata.LeafSSL)*0.3)
+	add("hash.sha256", fleetdata.LeafHashing, leaf.Share(fleetdata.LeafHashing))
+	add("math.mkl", fleetdata.LeafMath, leaf.Share(fleetdata.LeafMath)*0.6)
+	add("math.avx", fleetdata.LeafMath, leaf.Share(fleetdata.LeafMath)*0.4)
+	add("misc.other", fleetdata.LeafMisc, leaf.Share(fleetdata.LeafMisc))
+	return out, nil
+}
+
+// funcKeys maps Table 3 categories to the func.* marker frame keys the
+// profiler's bucketer understands.
+var funcKeys = map[string]string{
+	fleetdata.FuncIO:            "io",
+	fleetdata.FuncIOPrePost:     "ioprep",
+	fleetdata.FuncCompression:   "compression",
+	fleetdata.FuncSerialization: "serialization",
+	fleetdata.FuncFeatureExt:    "feature",
+	fleetdata.FuncPrediction:    "prediction",
+	fleetdata.FuncAppLogic:      "app",
+	fleetdata.FuncLogging:       "logging",
+	fleetdata.FuncThreadPool:    "threadpool",
+	fleetdata.FuncMisc:          "misc",
+}
+
+// affinity scores how plausible it is for a leaf function to execute under
+// a functionality. Values only shape the IPF starting point; every pair
+// stays positive so fitting always converges.
+func affinity(funcCat string, lf leafFunc) float64 {
+	const (
+		high = 10.0
+		mid  = 2.0
+		low  = 0.05
+	)
+	frame := lf.frame
+	switch {
+	case strings.HasPrefix(frame, "zstd."):
+		if funcCat == fleetdata.FuncCompression {
+			return 100 // compression leaves live in the Compression bucket
+		}
+		return 0.001
+	case strings.HasPrefix(frame, "ssl."):
+		if funcCat == fleetdata.FuncIO {
+			return 100 // encryption is the secure half of I/O
+		}
+		return 0.001
+	case frame == "kernel.net" || frame == "kernel.event":
+		if funcCat == fleetdata.FuncIO {
+			return high
+		}
+		if funcCat == fleetdata.FuncIOPrePost {
+			return mid
+		}
+		return low
+	case frame == "kernel.sched" || frame == "kernel.sync":
+		if funcCat == fleetdata.FuncThreadPool || funcCat == fleetdata.FuncIO {
+			return high
+		}
+		return low
+	case frame == "kernel.mm":
+		if funcCat == fleetdata.FuncIOPrePost || funcCat == fleetdata.FuncAppLogic {
+			return high
+		}
+		return low
+	case strings.HasPrefix(frame, "sync."):
+		if funcCat == fleetdata.FuncThreadPool {
+			return high
+		}
+		if funcCat == fleetdata.FuncAppLogic || funcCat == fleetdata.FuncIO {
+			return mid
+		}
+		return low
+	case strings.HasPrefix(frame, "math."):
+		if funcCat == fleetdata.FuncPrediction {
+			return high
+		}
+		if funcCat == fleetdata.FuncFeatureExt {
+			return mid
+		}
+		return low
+	case frame == "clib.vectors":
+		if funcCat == fleetdata.FuncFeatureExt || funcCat == fleetdata.FuncPrediction {
+			return high
+		}
+		return low
+	case frame == "clib.strings" || frame == "clib.hashtable":
+		if funcCat == fleetdata.FuncAppLogic || funcCat == fleetdata.FuncLogging ||
+			funcCat == fleetdata.FuncSerialization {
+			return high
+		}
+		return low
+	case strings.HasPrefix(frame, "mem."):
+		if funcCat == fleetdata.FuncIOPrePost || funcCat == fleetdata.FuncAppLogic ||
+			funcCat == fleetdata.FuncSerialization {
+			return high
+		}
+		return mid
+	case frame == "misc.other":
+		if funcCat == fleetdata.FuncMisc {
+			return high
+		}
+		return mid
+	default:
+		return mid
+	}
+}
+
+// fitJoint runs IPF to find a joint cycle distribution matching the row
+// (functionality) and column (leaf function) targets, with the mem.copy
+// column pinned to the Fig 4 origins.
+func fitJoint(svc fleetdata.Service) (map[string]map[leafFunc]float64, error) {
+	rows, ok := fleetdata.FunctionalityBreakdowns[svc]
+	if !ok {
+		return nil, fmt.Errorf("services: no functionality breakdown for %q", svc)
+	}
+	cols, err := leafInventory(svc)
+	if err != nil {
+		return nil, err
+	}
+
+	// Pin the memory-copy column: its mass distributes across
+	// functionalities per Fig 4, and the pinned mass is removed from both
+	// target vectors before fitting the remainder.
+	copyLeaf := leafFunc{frame: "mem.copy", category: fleetdata.LeafMemory}
+	copyTotal := cols[copyLeaf]
+	origins := fleetdata.CopyOrigins[svc]
+	pinned := make(map[string]float64) // funcCat → copy cycles
+	for cat, pct := range origins {
+		pinned[cat] = copyTotal * pct / 100
+	}
+
+	rowTarget := make(map[string]float64)
+	for cat, pct := range rows {
+		t := pct - pinned[cat]
+		if t < 0 {
+			return nil, fmt.Errorf("services: %s: pinned copies (%v%%) exceed functionality %q (%v%%)",
+				svc, pinned[cat], cat, pct)
+		}
+		rowTarget[cat] = t
+	}
+	colTarget := make(map[leafFunc]float64)
+	for lf, pct := range cols {
+		if lf == copyLeaf {
+			continue
+		}
+		colTarget[lf] = pct
+	}
+
+	// Seed and fit.
+	joint := make(map[string]map[leafFunc]float64)
+	for cat := range rowTarget {
+		joint[cat] = make(map[leafFunc]float64)
+		for lf := range colTarget {
+			joint[cat][lf] = affinity(cat, lf)
+		}
+	}
+	const iterations = 400
+	for iter := 0; iter < iterations; iter++ {
+		// Scale rows.
+		for cat, row := range joint {
+			sum := 0.0
+			for _, v := range row {
+				sum += v
+			}
+			if sum == 0 {
+				continue
+			}
+			f := rowTarget[cat] / sum
+			for lf := range row {
+				row[lf] *= f
+			}
+		}
+		// Scale columns.
+		for lf, target := range colTarget {
+			sum := 0.0
+			for cat := range joint {
+				sum += joint[cat][lf]
+			}
+			if sum == 0 {
+				continue
+			}
+			f := target / sum
+			for cat := range joint {
+				joint[cat][lf] *= f
+			}
+		}
+	}
+
+	// Verify convergence.
+	for cat, want := range rowTarget {
+		got := 0.0
+		for _, v := range joint[cat] {
+			got += v
+		}
+		if math.Abs(got-want) > 0.25 {
+			return nil, fmt.Errorf("services: %s: IPF row %q converged to %v, want %v", svc, cat, got, want)
+		}
+	}
+
+	// Re-insert the pinned copy column.
+	for cat, cycles := range pinned {
+		if cycles <= 0 {
+			continue
+		}
+		if joint[cat] == nil {
+			joint[cat] = make(map[leafFunc]float64)
+		}
+		joint[cat][copyLeaf] = cycles
+	}
+	return joint, nil
+}

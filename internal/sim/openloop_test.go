@@ -1,0 +1,111 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func openLoopConfig(rate float64, accel *Accel) Config {
+	return Config{
+		Cores: 2, Threads: 2, HostHz: 1e9, Requests: 4000,
+		Arrivals: &Arrivals{RatePerSec: rate, Seed: 9},
+		Accel:    accel,
+	}
+}
+
+func TestArrivalsValidate(t *testing.T) {
+	if err := (Arrivals{RatePerSec: 100}).Validate(); err != nil {
+		t.Errorf("valid arrivals: %v", err)
+	}
+	for _, rate := range []float64{0, -1, math.Inf(1)} {
+		if err := (Arrivals{RatePerSec: rate}).Validate(); err == nil {
+			t.Errorf("rate %v: want error", rate)
+		}
+	}
+	cfg := openLoopConfig(0, nil)
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid arrivals in config: want error")
+	}
+}
+
+// At light load an open-loop run completes everything, latency is close to
+// the bare service time, and throughput equals the offered rate.
+func TestOpenLoopLightLoad(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 10000}    // 10 µs at 1 GHz
+	res := runSim(t, openLoopConfig(10000, nil), wl) // ρ = 0.1 over 2 cores
+	if res.Completed != 4000 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if math.Abs(res.ThroughputQPS-10000) > 500 {
+		t.Errorf("throughput = %v, want ~offered 10000", res.ThroughputQPS)
+	}
+	if res.MeanLatency < 10000 || res.MeanLatency > 11000 {
+		t.Errorf("mean latency = %v, want ~service time 10000", res.MeanLatency)
+	}
+}
+
+// As offered load approaches saturation, queueing inflates the tail far
+// more than the mean — the classic open-loop latency curve.
+func TestOpenLoopTailGrowsWithLoad(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 10000}
+	light := runSim(t, openLoopConfig(20000, nil), wl)  // ρ = 0.1
+	heavy := runSim(t, openLoopConfig(170000, nil), wl) // ρ = 0.85
+	if !(heavy.MeanLatency > light.MeanLatency) {
+		t.Errorf("mean latency should grow with load: %v vs %v", light.MeanLatency, heavy.MeanLatency)
+	}
+	if !(heavy.P99Latency > 2*light.P99Latency) {
+		t.Errorf("P99 should inflate near saturation: %v vs %v", light.P99Latency, heavy.P99Latency)
+	}
+	lightTail := light.P99Latency / light.MeanLatency
+	heavyTail := heavy.P99Latency / heavy.MeanLatency
+	if !(heavyTail > lightTail) {
+		t.Errorf("tail/mean ratio should widen under load: %v vs %v", lightTail, heavyTail)
+	}
+}
+
+// Latency includes the wait for a free thread: with one thread and bursts,
+// P99 exceeds the service time substantially even at moderate load.
+func TestOpenLoopLatencyIncludesQueueWait(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 10000}
+	res := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 1e9, Requests: 4000,
+		Arrivals: &Arrivals{RatePerSec: 70000, Seed: 3}, // ρ = 0.7
+	}, wl)
+	if !(res.P99Latency > 3*10000) {
+		t.Errorf("P99 = %v, want well above the 10k service time (queueing)", res.P99Latency)
+	}
+}
+
+// Acceleration shifts the whole latency-vs-load curve: at identical offered
+// load, the accelerated instance has lower mean and P99 latency.
+func TestOpenLoopAccelerationLowersLatency(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 6000,
+		KernelsPerReq:   1,
+		KernelBytes:     800,
+		Kernel:          core.LinearKernel(5), // 4000 kernel cycles
+	}
+	const rate = 140000 // ρ = 0.7 at 10k cycles/request over 2 cores
+	base := runSim(t, openLoopConfig(rate, nil), wl)
+	acc := runSim(t, openLoopConfig(rate, &Accel{
+		Threading: core.Sync, Strategy: core.OnChip, A: 8, Servers: 4,
+	}), wl)
+	if !(acc.MeanLatency < base.MeanLatency) {
+		t.Errorf("accelerated mean %v should beat baseline %v", acc.MeanLatency, base.MeanLatency)
+	}
+	if !(acc.P99Latency < base.P99Latency) {
+		t.Errorf("accelerated P99 %v should beat baseline %v", acc.P99Latency, base.P99Latency)
+	}
+}
+
+// Paired A/B open-loop runs see identical arrival streams.
+func TestOpenLoopDeterministicArrivals(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 5000}
+	a := runSim(t, openLoopConfig(50000, nil), wl)
+	b := runSim(t, openLoopConfig(50000, nil), wl)
+	if a.MeanLatency != b.MeanLatency || a.ElapsedCycles != b.ElapsedCycles {
+		t.Error("same seed produced different open-loop runs")
+	}
+}

@@ -1,0 +1,512 @@
+// Package sim is a discrete-event simulator of the paper's host /
+// interface / accelerator abstraction (§3, Figs 11-14). It executes the
+// offload timelines the Accelerometer model approximates in closed form —
+// Sync (the core waits), Sync-OS (the OS switches to another runnable
+// thread, paying context switches), and the Async variants — including
+// accelerator queuing, so it serves as the reproduction's independent
+// "measured" ground truth for model validation, standing in for the
+// paper's production A/B tests (§4).
+//
+// The simulator is a closed-loop system: a fixed set of worker threads
+// process requests back to back on a fixed set of cores. Time is counted
+// in host cycles. Each request consists of non-kernel host work plus zero
+// or more kernel invocations; with acceleration configured, kernel
+// invocations are offloaded according to the threading design, with the
+// per-offload overheads o0 (setup), L (interface transfer), queuing at the
+// accelerator, and o1 (context switch) arising from the simulated
+// mechanics rather than being summed analytically.
+//
+// Granularity note: threads yield to the event loop at request boundaries
+// (and at Sync-OS blocking points), so cross-thread accelerator contention
+// is resolved at request granularity. This bounds causality error by one
+// request's span — negligible for the fleet-scale workloads simulated
+// here — while keeping the engine simple.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// Accel configures the accelerator and the offload design.
+type Accel struct {
+	Threading core.Threading
+	Strategy  core.Strategy
+	A         float64 // peak accelerator speedup over the host
+	O0        float64 // host cycles to set up one offload
+	L         float64 // interface cycles per offload
+	Servers   int     // accelerator-side parallelism (≥1)
+	// SelectiveMinG, when > 0, offloads only kernel invocations of at
+	// least this many bytes; smaller invocations run on the host.
+	SelectiveMinG uint64
+}
+
+// Validate checks the accelerator configuration.
+func (a Accel) Validate() error {
+	switch a.Threading {
+	case core.Sync, core.SyncOS, core.AsyncSameThread, core.AsyncDistinctThread, core.AsyncNoResponse:
+	default:
+		return fmt.Errorf("sim: unknown threading %d", int(a.Threading))
+	}
+	switch a.Strategy {
+	case core.OnChip, core.OffChip, core.Remote:
+	default:
+		return fmt.Errorf("sim: unknown strategy %d", int(a.Strategy))
+	}
+	if a.A < 1 || math.IsNaN(a.A) {
+		return fmt.Errorf("sim: A = %v, want >= 1", a.A)
+	}
+	if a.O0 < 0 || a.L < 0 {
+		return fmt.Errorf("sim: negative offload overheads (o0=%v L=%v)", a.O0, a.L)
+	}
+	if a.Servers < 1 {
+		return fmt.Errorf("sim: accelerator servers = %d, want >= 1", a.Servers)
+	}
+	return nil
+}
+
+// Arrivals configures open-loop request arrivals. When nil, the simulator
+// runs closed-loop: every thread processes requests back to back (peak
+// load, the paper's measurement condition). With Arrivals set, requests
+// arrive as a Poisson process and per-request latency includes the time a
+// request waits for a free thread — enabling tail-latency-vs-load studies.
+type Arrivals struct {
+	RatePerSec float64 // offered load λ in requests per second
+	Seed       uint64  // interarrival randomness seed
+}
+
+// Validate checks the arrival process.
+func (a Arrivals) Validate() error {
+	if !(a.RatePerSec > 0) || math.IsInf(a.RatePerSec, 0) {
+		return fmt.Errorf("sim: arrival rate = %v, want finite > 0", a.RatePerSec)
+	}
+	return nil
+}
+
+// Config configures one simulation run.
+type Config struct {
+	Cores         int       // host cores
+	Threads       int       // worker threads (= Cores for Sync; > Cores for Sync-OS)
+	ContextSwitch float64   // o1: cycles per thread switch
+	HostHz        float64   // host busy frequency, cycles per second
+	Accel         *Accel    // nil simulates the unaccelerated baseline
+	Requests      int       // requests to complete before stopping
+	Arrivals      *Arrivals // nil = closed loop at peak load
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("sim: cores = %d, want >= 1", c.Cores)
+	}
+	if c.Threads < c.Cores {
+		return fmt.Errorf("sim: threads = %d, want >= cores (%d)", c.Threads, c.Cores)
+	}
+	if c.ContextSwitch < 0 {
+		return fmt.Errorf("sim: negative context switch cost %v", c.ContextSwitch)
+	}
+	if !(c.HostHz > 0) {
+		return fmt.Errorf("sim: host frequency = %v, want > 0", c.HostHz)
+	}
+	if c.Requests < 1 {
+		return fmt.Errorf("sim: requests = %d, want >= 1", c.Requests)
+	}
+	if c.Arrivals != nil {
+		if err := c.Arrivals.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.Accel != nil {
+		return c.Accel.Validate()
+	}
+	return nil
+}
+
+// Invocation is one kernel invocation within a request.
+type Invocation struct {
+	Bytes      uint64  // offload granularity g
+	HostCycles float64 // cycles the host would spend executing it (Cb·g^β)
+}
+
+// Request is one unit of work: non-kernel host cycles plus kernel
+// invocations.
+type Request struct {
+	NonKernelCycles float64
+	Kernels         []Invocation
+}
+
+// Workload supplies the request stream. Implementations must be
+// deterministic for a given construction so A/B runs see identical load.
+type Workload interface {
+	// Request returns the i-th request (0-based).
+	Request(i int) Request
+}
+
+// Result reports a simulation run's measurements.
+type Result struct {
+	Completed      int
+	ElapsedCycles  float64
+	ThroughputQPS  float64 // completed requests per second at HostHz
+	MeanLatency    float64 // cycles per request, arrival to completion
+	P50Latency     float64
+	P95Latency     float64
+	P99Latency     float64
+	MaxLatency     float64
+	Offloads       int
+	MeanQueueDelay float64 // mean accelerator queuing cycles per offload
+	ContextSwaps   int     // o1 charges incurred
+	AccelBusy      float64 // accelerator busy cycles (all servers)
+}
+
+// Speedup returns the throughput ratio of this result over a baseline.
+func (r Result) Speedup(baseline Result) (float64, error) {
+	if baseline.ThroughputQPS <= 0 {
+		return 0, errors.New("sim: baseline throughput is zero")
+	}
+	return r.ThroughputQPS / baseline.ThroughputQPS, nil
+}
+
+// LatencyReduction returns the mean-latency ratio baseline/this.
+func (r Result) LatencyReduction(baseline Result) (float64, error) {
+	if r.MeanLatency <= 0 {
+		return 0, errors.New("sim: accelerated latency is zero")
+	}
+	return baseline.MeanLatency / r.MeanLatency, nil
+}
+
+// event is a scheduled callback in the simulation.
+type event struct {
+	at  float64
+	seq int64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// thread is one simulated worker.
+type thread struct {
+	id        int
+	reqIndex  int     // request currently being processed (-1: finished)
+	segCursor int     // next kernel invocation within the request
+	inFlight  bool    // a request is underway (reqStart valid)
+	reqStart  float64 // latency-clock start of the current request
+	arrival   float64 // open-loop arrival time of the current request
+	asyncDone float64 // latest async offload completion for this request
+	woke      bool    // just woken from an offload block (owes a switch-in)
+}
+
+// Sim runs one configuration against a workload.
+type Sim struct {
+	cfg Config
+	wl  Workload
+
+	events eventHeap
+	seq    int64
+	now    float64
+
+	readyQ    []*thread
+	idleCores []int // stack of free core ids
+
+	accelFree []float64 // per-server next-free time
+
+	arrivalTimes []float64 // open-loop arrival time per request index
+
+	nextReq   int
+	completed int
+	latencies []float64
+
+	offloads     int
+	queueDelay   float64
+	contextSwaps int
+	accelBusy    float64
+}
+
+// New builds a simulator. The workload must not be nil.
+func New(cfg Config, wl Workload) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if wl == nil {
+		return nil, errors.New("sim: nil workload")
+	}
+	s := &Sim{cfg: cfg, wl: wl}
+	for i := 0; i < cfg.Cores; i++ {
+		s.idleCores = append(s.idleCores, i)
+	}
+	if cfg.Accel != nil {
+		s.accelFree = make([]float64, cfg.Accel.Servers)
+	}
+	if cfg.Arrivals != nil {
+		// Pre-draw the Poisson arrival times so paired A/B runs see the
+		// same offered stream.
+		rng := dist.NewRand(cfg.Arrivals.Seed)
+		cyclesPerArrival := cfg.HostHz / cfg.Arrivals.RatePerSec
+		s.arrivalTimes = make([]float64, cfg.Requests)
+		at := 0.0
+		for i := range s.arrivalTimes {
+			at += rng.ExpFloat64() * cyclesPerArrival
+			s.arrivalTimes[i] = at
+		}
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the measurements.
+func (s *Sim) Run() (Result, error) {
+	for i := 0; i < s.cfg.Threads; i++ {
+		th := &thread{id: i}
+		if !s.assignNextRequest(th) {
+			break
+		}
+		s.readyQ = append(s.readyQ, th)
+	}
+	s.dispatch()
+
+	for s.events.Len() > 0 {
+		e := heap.Pop(&s.events).(*event)
+		if e.at < s.now {
+			return Result{}, fmt.Errorf("sim: time went backwards (%v < %v)", e.at, s.now)
+		}
+		s.now = e.at
+		e.fn()
+	}
+
+	if s.completed < s.cfg.Requests {
+		return Result{}, fmt.Errorf("sim: deadlock: completed %d of %d requests", s.completed, s.cfg.Requests)
+	}
+	res := Result{
+		Completed:     s.completed,
+		ElapsedCycles: s.now,
+		Offloads:      s.offloads,
+		ContextSwaps:  s.contextSwaps,
+		AccelBusy:     s.accelBusy,
+	}
+	if s.now > 0 {
+		res.ThroughputQPS = float64(s.completed) / (s.now / s.cfg.HostHz)
+	}
+	if len(s.latencies) > 0 {
+		summary, err := dist.Summarize(s.latencies)
+		if err != nil {
+			return Result{}, err
+		}
+		res.MeanLatency = summary.Mean
+		res.P50Latency = summary.P50
+		res.P95Latency = summary.P95
+		res.P99Latency = summary.P99
+		res.MaxLatency = summary.Max
+	}
+	if s.offloads > 0 {
+		res.MeanQueueDelay = s.queueDelay / float64(s.offloads)
+	}
+	return res, nil
+}
+
+// schedule queues fn to run at time at.
+func (s *Sim) schedule(at float64, fn func()) {
+	s.seq++
+	heap.Push(&s.events, &event{at: at, seq: s.seq, fn: fn})
+}
+
+// assignNextRequest points the thread at the next workload request; false
+// when the target count is exhausted.
+func (s *Sim) assignNextRequest(th *thread) bool {
+	if s.nextReq >= s.cfg.Requests {
+		th.reqIndex = -1
+		return false
+	}
+	th.reqIndex = s.nextReq
+	s.nextReq++
+	th.segCursor = 0
+	th.asyncDone = 0
+	th.inFlight = false
+	th.arrival = 0
+	if s.arrivalTimes != nil {
+		th.arrival = s.arrivalTimes[th.reqIndex]
+	}
+	return true
+}
+
+// dispatch hands ready threads to idle cores at the current time.
+func (s *Sim) dispatch() {
+	for len(s.idleCores) > 0 && len(s.readyQ) > 0 {
+		th := s.readyQ[0]
+		s.readyQ = s.readyQ[1:]
+		coreID := s.idleCores[len(s.idleCores)-1]
+		s.idleCores = s.idleCores[:len(s.idleCores)-1]
+		s.runOnCore(coreID, th)
+	}
+}
+
+// freeCore returns a core to the idle pool and dispatches pending threads.
+func (s *Sim) freeCore(coreID int) {
+	s.idleCores = append(s.idleCores, coreID)
+	s.dispatch()
+}
+
+// runOnCore executes th on coreID from the current simulation time until
+// the thread blocks (Sync-OS) or finishes its current request; in the
+// latter case a continuation event keeps the thread on the core for its
+// next request, yielding to the event loop so concurrent threads interleave
+// in time order.
+func (s *Sim) runOnCore(coreID int, th *thread) {
+	now := s.now
+	// A thread resuming after an offload block pays the switch-in cost —
+	// the second o1 of the model's 2·o1 per Sync-OS offload (the first is
+	// charged at the switch-away when the thread blocked).
+	if th.woke {
+		th.woke = false
+		now += s.cfg.ContextSwitch
+		s.contextSwaps++
+	}
+
+	if th.reqIndex < 0 {
+		s.freeCore(coreID)
+		return
+	}
+	if !th.inFlight && th.arrival > now {
+		// Open loop: the next request has not arrived yet; release the
+		// core and come back at the arrival time.
+		s.freeCore(coreID)
+		s.schedule(th.arrival, func() {
+			s.readyQ = append(s.readyQ, th)
+			s.dispatch()
+		})
+		return
+	}
+	req := s.wl.Request(th.reqIndex)
+	if !th.inFlight {
+		th.inFlight = true
+		th.reqStart = now
+		if s.arrivalTimes != nil {
+			// The latency clock starts at arrival, including any wait for
+			// a free thread.
+			th.reqStart = th.arrival
+		}
+		now += req.NonKernelCycles
+	}
+
+	for th.segCursor < len(req.Kernels) {
+		inv := req.Kernels[th.segCursor]
+		th.segCursor++
+		if s.cfg.Accel == nil || (s.cfg.Accel.SelectiveMinG > 0 && inv.Bytes < s.cfg.Accel.SelectiveMinG) {
+			now += inv.HostCycles // execute on the host
+			continue
+		}
+		completion, blocks := s.offloadAt(th, inv, &now)
+		if blocks {
+			// Sync-OS: the thread blocks awaiting the response. The core
+			// pays the switch-away o1 before the next thread can run, and
+			// the blocked thread pays the switch-in o1 when re-dispatched.
+			s.contextSwaps++
+			s.schedule(now+s.cfg.ContextSwitch, func() { s.freeCore(coreID) })
+			wake := completion
+			if wake < now {
+				wake = now
+			}
+			s.schedule(wake, func() {
+				th.woke = true
+				s.readyQ = append(s.readyQ, th)
+				s.dispatch()
+			})
+			return
+		}
+	}
+
+	// Request complete; determine its latency endpoint.
+	end := now
+	if s.cfg.Accel != nil {
+		switch s.cfg.Accel.Threading {
+		case core.AsyncSameThread, core.AsyncDistinctThread:
+			if th.asyncDone > end {
+				end = th.asyncDone
+			}
+		case core.AsyncNoResponse:
+			// Off-chip: the accelerator's execution stays in the request's
+			// latency (eqn 8); remote moves it to the application's
+			// end-to-end latency instead (eqn 6).
+			if s.cfg.Accel.Strategy != core.Remote && th.asyncDone > end {
+				end = th.asyncDone
+			}
+		}
+	}
+	s.completed++
+	s.latencies = append(s.latencies, end-th.reqStart)
+
+	if s.assignNextRequest(th) {
+		// Yield to the event loop between requests so concurrent cores
+		// interleave; the thread keeps its core (no switch charge).
+		s.schedule(now, func() { s.runOnCore(coreID, th) })
+		return
+	}
+	s.schedule(now, func() { s.freeCore(coreID) })
+}
+
+// offloadAt dispatches one kernel invocation to the accelerator at *now,
+// advancing *now by the host-side costs. For Sync, *now advances across
+// the accelerator's execution (the core waits). Sync-OS reports blocks =
+// true with the completion time. Async designs record the completion on
+// the thread and return immediately.
+func (s *Sim) offloadAt(th *thread, inv Invocation, now *float64) (completion float64, blocks bool) {
+	a := s.cfg.Accel
+	*now += a.O0 + a.L
+	svc := inv.HostCycles / a.A
+
+	best := 0
+	for i, t := range s.accelFree {
+		if t < s.accelFree[best] {
+			best = i
+		}
+	}
+	grant := *now
+	if s.accelFree[best] > grant {
+		grant = s.accelFree[best]
+	}
+	q := grant - *now
+	s.accelFree[best] = grant + svc
+	s.offloads++
+	s.queueDelay += q
+	s.accelBusy += svc
+	completion = grant + svc
+
+	switch a.Threading {
+	case core.Sync:
+		*now = completion
+		return completion, false
+	case core.SyncOS:
+		return completion, true
+	case core.AsyncDistinctThread:
+		// A dedicated response thread burns one switch per response.
+		*now += s.cfg.ContextSwitch
+		s.contextSwaps++
+		fallthrough
+	case core.AsyncSameThread, core.AsyncNoResponse:
+		if completion > th.asyncDone {
+			th.asyncDone = completion
+		}
+		return completion, false
+	default:
+		return completion, false
+	}
+}

@@ -1,0 +1,457 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// caseStudy1Workload builds a sim workload matching the paper's Table 6
+// AES-NI parameters on a single core: one 1109-cycle encryption per
+// 6690-cycle request gives α ≈ 0.1658 and n ≈ 298,951 offloads/sec on a
+// 2.0 GHz host.
+func caseStudy1Workload() UniformWorkload {
+	return UniformWorkload{
+		NonKernelCycles: 5581,
+		KernelsPerReq:   1,
+		KernelBytes:     202, // 202 B at 5.5 cycles/B ≈ 1111 host cycles
+		Kernel:          core.LinearKernel(5.5),
+	}
+}
+
+func runSim(t *testing.T, cfg Config, wl Workload) Result {
+	t.Helper()
+	s, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Cores: 2, Threads: 4, HostHz: 2e9, Requests: 10}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"zero cores", func(c *Config) { c.Cores = 0 }},
+		{"threads below cores", func(c *Config) { c.Threads = 1 }},
+		{"negative switch", func(c *Config) { c.ContextSwitch = -1 }},
+		{"zero hz", func(c *Config) { c.HostHz = 0 }},
+		{"zero requests", func(c *Config) { c.Requests = 0 }},
+		{"bad accel A", func(c *Config) { c.Accel = &Accel{Threading: core.Sync, Strategy: core.OnChip, A: 0.5, Servers: 1} }},
+		{"bad accel servers", func(c *Config) { c.Accel = &Accel{Threading: core.Sync, Strategy: core.OnChip, A: 2, Servers: 0} }},
+		{"bad accel threading", func(c *Config) {
+			c.Accel = &Accel{Threading: core.Threading(99), Strategy: core.OnChip, A: 2, Servers: 1}
+		}},
+		{"bad accel strategy", func(c *Config) {
+			c.Accel = &Accel{Threading: core.Sync, Strategy: core.Strategy(99), A: 2, Servers: 1}
+		}},
+		{"negative overheads", func(c *Config) {
+			c.Accel = &Accel{Threading: core.Sync, Strategy: core.OnChip, A: 2, Servers: 1, L: -1}
+		}},
+	}
+	for _, tc := range cases {
+		c := good
+		tc.mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: want error", tc.name)
+		}
+	}
+	if _, err := New(good, nil); err == nil {
+		t.Error("nil workload: want error")
+	}
+}
+
+func TestBaselineThroughputExact(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 1000, KernelsPerReq: 1, KernelBytes: 100, Kernel: core.LinearKernel(10)}
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Each request costs exactly 2000 cycles on the host.
+	res := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 2e6, Requests: 100}, wl)
+	if res.Completed != 100 {
+		t.Fatalf("completed = %d", res.Completed)
+	}
+	if math.Abs(res.ElapsedCycles-200000) > 1e-6 {
+		t.Errorf("elapsed = %v cycles, want 200000", res.ElapsedCycles)
+	}
+	if math.Abs(res.ThroughputQPS-1000) > 1e-6 {
+		t.Errorf("throughput = %v QPS, want 1000", res.ThroughputQPS)
+	}
+	if math.Abs(res.MeanLatency-2000) > 1e-6 {
+		t.Errorf("mean latency = %v, want 2000", res.MeanLatency)
+	}
+	if res.P50Latency != 2000 || res.P99Latency != 2000 || res.MaxLatency != 2000 {
+		t.Errorf("uniform workload percentiles: p50=%v p99=%v max=%v, want all 2000",
+			res.P50Latency, res.P99Latency, res.MaxLatency)
+	}
+	if res.Offloads != 0 || res.ContextSwaps != 0 {
+		t.Errorf("baseline side effects: %+v", res)
+	}
+}
+
+func TestMultiCoreScalesThroughput(t *testing.T) {
+	wl := UniformWorkload{NonKernelCycles: 2000}
+	one := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 1e6, Requests: 400}, wl)
+	four := runSim(t, Config{Cores: 4, Threads: 4, HostHz: 1e6, Requests: 400}, wl)
+	ratio := four.ThroughputQPS / one.ThroughputQPS
+	if math.Abs(ratio-4) > 0.05 {
+		t.Errorf("4-core throughput ratio = %v, want ~4", ratio)
+	}
+}
+
+// The simulator must reproduce the model's Sync speedup (case study 1:
+// AES-NI, 15.7%) within a small tolerance — the reproduction's analog of
+// the paper's ≤3.7% validation error.
+func TestSyncMatchesModelCaseStudy1(t *testing.T) {
+	wl := caseStudy1Workload()
+	hostCyclesPerKernel := wl.Kernel.HostCycles(wl.KernelBytes)
+	totalPerReq := wl.NonKernelCycles + hostCyclesPerKernel
+
+	base := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 2000}, wl)
+	acc := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 2e9, Requests: 2000,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OnChip, A: 6, O0: 10, L: 3, Servers: 1},
+	}, wl)
+
+	speedup, err := acc.Speedup(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	alpha := hostCyclesPerKernel / totalPerReq
+	n := base.ThroughputQPS // one offload per request
+	m := core.MustNew(core.Params{C: 2e9, Alpha: alpha, N: n, O0: 10, L: 3, A: 6})
+	want, err := m.Speedup(core.Sync)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := dist.RelativeError(speedup, want); e > 0.01 {
+		t.Errorf("sim speedup %v vs model %v: error %.2f%%", speedup, want, e*100)
+	}
+	// Close to the paper's 15.7% too.
+	if pct := (speedup - 1) * 100; pct < 15.0 || pct > 16.5 {
+		t.Errorf("measured speedup = %.2f%%, paper's case study 1 ≈ 15.7%%", pct)
+	}
+	// Sync never context switches.
+	if acc.ContextSwaps != 0 {
+		t.Errorf("Sync context swaps = %d, want 0", acc.ContextSwaps)
+	}
+	if acc.Offloads != 2000 {
+		t.Errorf("offloads = %d, want one per request", acc.Offloads)
+	}
+}
+
+// Async (response-free, off-chip) must reproduce the model's eqn (6)
+// speedup — case study 2's design.
+func TestAsyncNoResponseMatchesModel(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 4000,
+		KernelsPerReq:   1,
+		KernelBytes:     180,
+		Kernel:          core.LinearKernel(5.5),
+	}
+	kernelCycles := wl.Kernel.HostCycles(wl.KernelBytes) // 990
+	total := wl.NonKernelCycles + kernelCycles
+
+	base := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 2.3e9, Requests: 2000}, wl)
+	acc := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 2.3e9, Requests: 2000,
+		Accel: &Accel{Threading: core.AsyncNoResponse, Strategy: core.OffChip, A: 8, L: 2530, Servers: 4},
+	}, wl)
+
+	speedup, _ := acc.Speedup(base)
+	alpha := kernelCycles / total
+	m := core.MustNew(core.Params{C: 2.3e9, Alpha: alpha, N: base.ThroughputQPS, L: 2530, A: 8})
+	want, _ := m.Speedup(core.AsyncNoResponse)
+	if e := dist.RelativeError(speedup, want); e > 0.01 {
+		t.Errorf("sim %v vs model %v: error %.2f%%", speedup, want, e*100)
+	}
+}
+
+// Sync-OS with oversubscribed threads must approach the model's eqn (3):
+// the 2·o1 switch cost per offload arises from the scheduler mechanics.
+func TestSyncOSMatchesModel(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 20000,
+		KernelsPerReq:   1,
+		KernelBytes:     2000,
+		Kernel:          core.LinearKernel(3),
+	}
+	kernelCycles := wl.Kernel.HostCycles(wl.KernelBytes) // 6000
+	total := wl.NonKernelCycles + kernelCycles
+	const o1 = 1500.0
+
+	base := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 4000}, wl)
+	acc := runSim(t, Config{
+		Cores: 1, Threads: 4, ContextSwitch: o1, HostHz: 2e9, Requests: 4000,
+		Accel: &Accel{Threading: core.SyncOS, Strategy: core.OffChip, A: 10, L: 800, Servers: 8},
+	}, wl)
+
+	speedup, _ := acc.Speedup(base)
+	alpha := kernelCycles / total
+	m := core.MustNew(core.Params{C: 2e9, Alpha: alpha, N: base.ThroughputQPS, L: 800, O1: o1, A: 10})
+	want, _ := m.Speedup(core.SyncOS)
+	if e := dist.RelativeError(speedup, want); e > 0.04 {
+		t.Errorf("sim %v vs model %v: error %.2f%%", speedup, want, e*100)
+	}
+	// Roughly two switches per offload.
+	swapsPerOffload := float64(acc.ContextSwaps) / float64(acc.Offloads)
+	if swapsPerOffload < 1.5 || swapsPerOffload > 2.5 {
+		t.Errorf("context swaps per offload = %v, want ~2", swapsPerOffload)
+	}
+}
+
+// Async with a distinct response thread must reproduce eqn (3) with a
+// single o1 — case study 3's design.
+func TestAsyncDistinctThreadMatchesModel(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 30000,
+		KernelsPerReq:   1,
+		KernelBytes:     2000,
+		Kernel:          core.LinearKernel(5),
+	}
+	kernelCycles := wl.Kernel.HostCycles(wl.KernelBytes) // 10000
+	total := wl.NonKernelCycles + kernelCycles
+	const o1 = 2000.0
+
+	base := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 2e9, Requests: 2000}, wl)
+	acc := runSim(t, Config{
+		Cores: 1, Threads: 1, ContextSwitch: o1, HostHz: 2e9, Requests: 2000,
+		Accel: &Accel{Threading: core.AsyncDistinctThread, Strategy: core.Remote, A: 1, O0: 500, Servers: 8},
+	}, wl)
+	speedup, _ := acc.Speedup(base)
+	alpha := kernelCycles / total
+	m := core.MustNew(core.Params{C: 2e9, Alpha: alpha, N: base.ThroughputQPS, O0: 500, O1: o1, A: 1})
+	want, _ := m.Speedup(core.AsyncDistinctThread)
+	if e := dist.RelativeError(speedup, want); e > 0.01 {
+		t.Errorf("sim %v vs model %v: error %.2f%%", speedup, want, e*100)
+	}
+	if acc.ContextSwaps != 2000 {
+		t.Errorf("distinct-thread swaps = %d, want one per offload", acc.ContextSwaps)
+	}
+}
+
+// Requests with several kernel invocations offload each one.
+func TestMultiKernelRequests(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 1000,
+		KernelsPerReq:   3,
+		KernelBytes:     100,
+		Kernel:          core.LinearKernel(10),
+	}
+	res := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 1e9, Requests: 100,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OnChip, A: 2, Servers: 1},
+	}, wl)
+	if res.Offloads != 300 {
+		t.Errorf("offloads = %d, want 3 per request", res.Offloads)
+	}
+	// Per request: 1000 + 3·(1000/2) = 2500 cycles.
+	if math.Abs(res.MeanLatency-2500) > 1e-6 {
+		t.Errorf("mean latency = %v, want 2500", res.MeanLatency)
+	}
+}
+
+// Async same-thread speedup beats Sync under a slow accelerator and its
+// latency endpoint includes the accelerator completion.
+func TestAsyncVsSyncOrdering(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 10000,
+		KernelsPerReq:   1,
+		KernelBytes:     1000,
+		Kernel:          core.LinearKernel(5),
+	}
+	mk := func(th core.Threading) Result {
+		return runSim(t, Config{
+			Cores: 1, Threads: 1, HostHz: 1e9, Requests: 1000,
+			Accel: &Accel{Threading: th, Strategy: core.OffChip, A: 1, L: 100, Servers: 1},
+		}, wl)
+	}
+	sync := mk(core.Sync)
+	async := mk(core.AsyncSameThread)
+	if !(async.ThroughputQPS > sync.ThroughputQPS) {
+		t.Errorf("async throughput %v should beat sync %v at A=1", async.ThroughputQPS, sync.ThroughputQPS)
+	}
+	if async.MeanLatency <= wl.NonKernelCycles {
+		t.Errorf("async latency %v must include accelerator completion", async.MeanLatency)
+	}
+}
+
+// A remote response-free offload removes the accelerator from the request
+// latency path; an off-chip one does not.
+func TestNoResponseLatencyStrategy(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 1000,
+		KernelsPerReq:   1,
+		KernelBytes:     10000,
+		Kernel:          core.LinearKernel(10), // kernel dominates: 100k cycles
+	}
+	mk := func(st core.Strategy) Result {
+		return runSim(t, Config{
+			Cores: 1, Threads: 1, HostHz: 1e9, Requests: 200,
+			Accel: &Accel{Threading: core.AsyncNoResponse, Strategy: st, A: 1, L: 50, Servers: 1},
+		}, wl)
+	}
+	remote := mk(core.Remote)
+	offchip := mk(core.OffChip)
+	if !(remote.MeanLatency < offchip.MeanLatency/10) {
+		t.Errorf("remote latency %v should exclude the 100k-cycle kernel; off-chip %v includes it",
+			remote.MeanLatency, offchip.MeanLatency)
+	}
+	// Throughput is identical: the host work is the same.
+	if math.Abs(remote.ThroughputQPS-offchip.ThroughputQPS) > remote.ThroughputQPS*1e-9 {
+		t.Errorf("throughput differs: %v vs %v", remote.ThroughputQPS, offchip.ThroughputQPS)
+	}
+}
+
+// A single shared accelerator saturates: queuing delays appear when many
+// cores offload concurrently, and adding servers removes them.
+func TestAcceleratorQueueing(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 100,
+		KernelsPerReq:   1,
+		KernelBytes:     1000,
+		Kernel:          core.LinearKernel(10), // 10k cycles per kernel
+	}
+	congested := runSim(t, Config{
+		Cores: 8, Threads: 8, HostHz: 1e9, Requests: 800,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OffChip, A: 2, L: 10, Servers: 1},
+	}, wl)
+	if congested.MeanQueueDelay <= 0 {
+		t.Error("8 cores on one accelerator server must queue")
+	}
+	roomy := runSim(t, Config{
+		Cores: 8, Threads: 8, HostHz: 1e9, Requests: 800,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OffChip, A: 2, L: 10, Servers: 8},
+	}, wl)
+	if !(roomy.MeanQueueDelay < congested.MeanQueueDelay/4) {
+		t.Errorf("8 servers queue delay %v should be far below 1 server's %v",
+			roomy.MeanQueueDelay, congested.MeanQueueDelay)
+	}
+	if !(roomy.ThroughputQPS > congested.ThroughputQPS) {
+		t.Error("removing queueing must raise throughput")
+	}
+}
+
+// Selective offload: invocations below SelectiveMinG run on the host.
+func TestSelectiveOffload(t *testing.T) {
+	// Alternating small/large kernels via a sampled workload over a CDF
+	// with two spikes.
+	cdf := dist.MustCDF(dist.MustLayout(64, 4096), []float64{0.5, 0, 0.5})
+	wl, err := NewSampledWorkload(1000, 1, core.LinearKernel(5), cdf, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 1e9, Requests: 1000,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OffChip, A: 10, L: 500, Servers: 1},
+	}, wl)
+	selective := runSim(t, Config{
+		Cores: 1, Threads: 1, HostHz: 1e9, Requests: 1000,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OffChip, A: 10, L: 500, Servers: 1, SelectiveMinG: 200},
+	}, wl)
+	if selective.Offloads >= all.Offloads {
+		t.Errorf("selective offloads %d should be below offload-all %d", selective.Offloads, all.Offloads)
+	}
+	// Small offloads (≤64 B at 5 c/B = ≤320 host cycles vs 500+ cycles
+	// overhead) are unprofitable; filtering them must improve throughput.
+	if !(selective.ThroughputQPS > all.ThroughputQPS) {
+		t.Errorf("selective %v QPS should beat offload-all %v QPS",
+			selective.ThroughputQPS, all.ThroughputQPS)
+	}
+}
+
+func TestSampledWorkloadDeterminism(t *testing.T) {
+	cdf := dist.MustCDF(dist.MustLayout(64, 256), []float64{0.3, 0.4, 0.3})
+	a, err := NewSampledWorkload(100, 2, core.LinearKernel(2), cdf, 50, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := NewSampledWorkload(100, 2, core.LinearKernel(2), cdf, 50, 42)
+	for i := 0; i < 100; i++ { // includes wrap-around beyond the horizon
+		ra, rb := a.Request(i), b.Request(i)
+		if len(ra.Kernels) != 2 || len(rb.Kernels) != 2 {
+			t.Fatalf("kernels per request wrong at %d", i)
+		}
+		for j := range ra.Kernels {
+			if ra.Kernels[j] != rb.Kernels[j] {
+				t.Fatalf("same seed diverged at request %d", i)
+			}
+		}
+	}
+	if a.MeanKernelCycles() <= 0 {
+		t.Error("mean kernel cycles should be positive")
+	}
+}
+
+func TestSampledWorkloadErrors(t *testing.T) {
+	cdf := dist.MustCDF(dist.MustLayout(64), []float64{1, 0})
+	if _, err := NewSampledWorkload(-1, 1, core.LinearKernel(1), cdf, 10, 1); err == nil {
+		t.Error("negative non-kernel: want error")
+	}
+	if _, err := NewSampledWorkload(1, 1, core.Kernel{}, cdf, 10, 1); err == nil {
+		t.Error("invalid kernel: want error")
+	}
+	if _, err := NewSampledWorkload(1, 1, core.LinearKernel(1), nil, 10, 1); err == nil {
+		t.Error("nil CDF: want error")
+	}
+	if _, err := NewSampledWorkload(1, 1, core.LinearKernel(1), cdf, 0, 1); err == nil {
+		t.Error("zero requests: want error")
+	}
+	// Zero kernels per request needs no CDF.
+	w, err := NewSampledWorkload(10, 0, core.Kernel{}, nil, 5, 1)
+	if err != nil {
+		t.Fatalf("zero-kernel workload: %v", err)
+	}
+	if len(w.Request(0).Kernels) != 0 {
+		t.Error("zero-kernel workload produced kernels")
+	}
+	if w.MeanKernelCycles() != 0 {
+		t.Error("zero-kernel mean should be 0")
+	}
+}
+
+func TestUniformWorkloadValidate(t *testing.T) {
+	if err := (UniformWorkload{NonKernelCycles: -1}).Validate(); err == nil {
+		t.Error("negative cycles: want error")
+	}
+	if err := (UniformWorkload{KernelsPerReq: -1}).Validate(); err == nil {
+		t.Error("negative kernels: want error")
+	}
+	if err := (UniformWorkload{KernelsPerReq: 1}).Validate(); err == nil {
+		t.Error("kernel without cost model: want error")
+	}
+	if err := (UniformWorkload{}).Validate(); err != nil {
+		t.Errorf("empty workload should validate: %v", err)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	a := Result{ThroughputQPS: 110, MeanLatency: 90}
+	b := Result{ThroughputQPS: 100, MeanLatency: 100}
+	s, err := a.Speedup(b)
+	if err != nil || math.Abs(s-1.1) > 1e-12 {
+		t.Errorf("Speedup = %v, %v", s, err)
+	}
+	l, err := a.LatencyReduction(b)
+	if err != nil || math.Abs(l-100.0/90) > 1e-12 {
+		t.Errorf("LatencyReduction = %v, %v", l, err)
+	}
+	if _, err := a.Speedup(Result{}); err == nil {
+		t.Error("zero baseline: want error")
+	}
+	if _, err := (Result{}).LatencyReduction(b); err == nil {
+		t.Error("zero latency: want error")
+	}
+}

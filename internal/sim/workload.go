@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+// UniformWorkload issues identical requests: NonKernelCycles of host work
+// plus KernelsPerReq kernel invocations of KernelBytes each, costing the
+// host Kernel.HostCycles(KernelBytes) cycles apiece.
+type UniformWorkload struct {
+	NonKernelCycles float64
+	KernelsPerReq   int
+	KernelBytes     uint64
+	Kernel          core.Kernel
+}
+
+// Validate checks the workload's parameters.
+func (w UniformWorkload) Validate() error {
+	if w.NonKernelCycles < 0 {
+		return fmt.Errorf("sim: negative non-kernel cycles %v", w.NonKernelCycles)
+	}
+	if w.KernelsPerReq < 0 {
+		return fmt.Errorf("sim: negative kernels per request %d", w.KernelsPerReq)
+	}
+	if w.KernelsPerReq > 0 {
+		return w.Kernel.Validate()
+	}
+	return nil
+}
+
+// Request implements Workload.
+func (w UniformWorkload) Request(int) Request {
+	req := Request{NonKernelCycles: w.NonKernelCycles}
+	if w.KernelsPerReq > 0 {
+		inv := Invocation{Bytes: w.KernelBytes, HostCycles: w.Kernel.HostCycles(w.KernelBytes)}
+		req.Kernels = make([]Invocation, w.KernelsPerReq)
+		for i := range req.Kernels {
+			req.Kernels[i] = inv
+		}
+	}
+	return req
+}
+
+// SampledWorkload issues requests whose kernel-invocation sizes are drawn
+// from a granularity CDF. Sizes are pre-sampled at construction so that
+// paired A/B runs (baseline vs accelerated) see byte-identical request
+// streams, mirroring the paper's A/B testing of identical servers under
+// identical load.
+type SampledWorkload struct {
+	nonKernel float64
+	perReq    int
+	kernel    core.Kernel
+	sizes     []uint64
+}
+
+// NewSampledWorkload pre-samples sizes for `requests` requests with
+// kernelsPerReq invocations each.
+func NewSampledWorkload(nonKernelCycles float64, kernelsPerReq int, k core.Kernel,
+	sizeCDF *dist.CDF, requests int, seed uint64) (*SampledWorkload, error) {
+	if nonKernelCycles < 0 {
+		return nil, fmt.Errorf("sim: negative non-kernel cycles %v", nonKernelCycles)
+	}
+	if kernelsPerReq < 0 || requests < 1 {
+		return nil, fmt.Errorf("sim: invalid shape (kernels=%d requests=%d)", kernelsPerReq, requests)
+	}
+	if kernelsPerReq > 0 {
+		if err := k.Validate(); err != nil {
+			return nil, err
+		}
+		if sizeCDF == nil {
+			return nil, errors.New("sim: nil size CDF")
+		}
+	}
+	w := &SampledWorkload{nonKernel: nonKernelCycles, perReq: kernelsPerReq, kernel: k}
+	if kernelsPerReq > 0 {
+		sampler, err := dist.NewSampler(sizeCDF, dist.NewRand(seed))
+		if err != nil {
+			return nil, err
+		}
+		w.sizes = sampler.SampleN(kernelsPerReq * requests)
+	}
+	return w, nil
+}
+
+// Request implements Workload; indices beyond the pre-sampled horizon wrap
+// around, keeping the stream deterministic for any request count.
+func (w *SampledWorkload) Request(i int) Request {
+	req := Request{NonKernelCycles: w.nonKernel}
+	if w.perReq == 0 {
+		return req
+	}
+	req.Kernels = make([]Invocation, w.perReq)
+	for j := 0; j < w.perReq; j++ {
+		size := w.sizes[(i*w.perReq+j)%len(w.sizes)]
+		req.Kernels[j] = Invocation{Bytes: size, HostCycles: w.kernel.HostCycles(size)}
+	}
+	return req
+}
+
+// MeanKernelCycles returns the average host cycles per kernel invocation
+// across the pre-sampled stream; useful for deriving the model's α from a
+// sim workload.
+func (w *SampledWorkload) MeanKernelCycles() float64 {
+	if len(w.sizes) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, size := range w.sizes {
+		sum += w.kernel.HostCycles(size)
+	}
+	return sum / float64(len(w.sizes))
+}

@@ -1,0 +1,205 @@
+// Package textchart renders the reproduction's tables and figures as plain
+// text: aligned tables, horizontal percentage bars for the paper's stacked
+// breakdown figures, and CDF plots for the granularity figures. Every
+// experiment binary and bench prints through this package so output stays
+// uniform and diffable.
+package textchart
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table accumulates rows and renders them with aligned columns.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// AddRow appends a row. Short rows are padded; long rows extend the table.
+func (t *Table) AddRow(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+// AddRowf appends a row of formatted cells; each argument is rendered with
+// %v unless it is a float64, which renders with 4 significant digits.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "inf"
+	case math.IsInf(v, -1):
+		return "-inf"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.4g", v)
+	}
+}
+
+// Render returns the aligned table.
+func (t *Table) Render() string {
+	cols := len(t.headers)
+	for _, r := range t.rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	measure := func(r []string) {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	measure(t.headers)
+	for _, r := range t.rows {
+		measure(r)
+	}
+
+	var sb strings.Builder
+	writeRow := func(r []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(r) {
+				cell = r[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteString("\n")
+	}
+	if len(t.headers) > 0 {
+		writeRow(t.headers)
+		total := 0
+		for i, w := range widths {
+			if i > 0 {
+				total += 2
+			}
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total))
+		sb.WriteString("\n")
+	}
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Segment is one labeled portion of a stacked bar; Fraction is in [0, 1].
+type Segment struct {
+	Label    string
+	Fraction float64
+}
+
+// StackedBar renders one horizontal stacked bar of the given total width,
+// with a legend of "label fraction%" entries — the form of the paper's
+// breakdown figures (Figs 1-7, 9, 16-18). Segments with negative fractions
+// are an error; fractions need not sum exactly to 1.
+func StackedBar(name string, segments []Segment, width int) (string, error) {
+	if width < len(segments) {
+		width = len(segments)
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n  |", name)
+	glyphs := []byte("#=+-:*%@o.")
+	used := 0
+	for i, seg := range segments {
+		if seg.Fraction < 0 || math.IsNaN(seg.Fraction) {
+			return "", fmt.Errorf("textchart: segment %q has invalid fraction %v", seg.Label, seg.Fraction)
+		}
+		n := int(math.Round(seg.Fraction * float64(width)))
+		if used+n > width {
+			n = width - used
+		}
+		sb.Write(byteRepeat(glyphs[i%len(glyphs)], n))
+		used += n
+	}
+	sb.Write(byteRepeat(' ', width-used))
+	sb.WriteString("|\n")
+	for i, seg := range segments {
+		fmt.Fprintf(&sb, "  %c %-28s %5.1f%%\n", glyphs[i%len(glyphs)], seg.Label, seg.Fraction*100)
+	}
+	return sb.String(), nil
+}
+
+func byteRepeat(b byte, n int) []byte {
+	if n < 0 {
+		n = 0
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = b
+	}
+	return out
+}
+
+// HBar renders a simple labeled horizontal bar row: "label |#### | 42.0".
+// value is clamped to [0, max].
+func HBar(label string, value, max float64, width int) string {
+	if max <= 0 {
+		max = 1
+	}
+	v := value
+	if v < 0 {
+		v = 0
+	}
+	if v > max {
+		v = max
+	}
+	n := int(math.Round(v / max * float64(width)))
+	return fmt.Sprintf("%-28s |%s%s| %s", label,
+		strings.Repeat("#", n), strings.Repeat(" ", width-n), formatFloat(value))
+}
+
+// CDFRow is one bucket of a rendered CDF.
+type CDFRow struct {
+	Bucket     string
+	Cumulative float64
+}
+
+// CDFPlot renders a CDF as ascending bars, optionally marking a break-even
+// granularity annotation after the bucket whose label equals markAt. Pass
+// an empty markAt for no marker. This is the shape of Figs 15, 19, 21, 22.
+func CDFPlot(name string, rows []CDFRow, width int, markAt, markLabel string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s (CDF)\n", name)
+	for _, r := range rows {
+		n := int(math.Round(r.Cumulative * float64(width)))
+		if n > width {
+			n = width
+		}
+		if n < 0 {
+			n = 0
+		}
+		marker := ""
+		if markAt != "" && r.Bucket == markAt {
+			marker = "  <-- " + markLabel
+		}
+		fmt.Fprintf(&sb, "  %-10s |%s%s| %.3f%s\n", r.Bucket,
+			strings.Repeat("#", n), strings.Repeat(" ", width-n), r.Cumulative, marker)
+	}
+	return sb.String()
+}

@@ -1,0 +1,151 @@
+package textchart
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Service", "Speedup")
+	tb.AddRow("Cache1", "15.7%")
+	tb.AddRow("Ads1", "72.39%")
+	out := tb.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Service") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "---") {
+		t.Errorf("separator = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "Cache1") || !strings.Contains(lines[2], "15.7%") {
+		t.Errorf("row = %q", lines[2])
+	}
+	// Columns align: "Speedup" starts at the same offset in all rows.
+	idx := strings.Index(lines[0], "Speedup")
+	if got := strings.Index(lines[2], "15.7%"); got != idx {
+		t.Errorf("column misaligned: header at %d, cell at %d", idx, got)
+	}
+}
+
+func TestTableAddRowf(t *testing.T) {
+	tb := NewTable("k", "v")
+	tb.AddRowf("pi", 3.14159)
+	tb.AddRowf("n", 15008.0)
+	tb.AddRowf("inf", math.Inf(1))
+	tb.AddRowf("int", 42)
+	out := tb.Render()
+	for _, want := range []string{"3.142", "15008", "inf", "42"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("a")
+	tb.AddRow("1", "2", "3")
+	tb.AddRow()
+	out := tb.Render()
+	if !strings.Contains(out, "3") {
+		t.Errorf("long row truncated:\n%s", out)
+	}
+}
+
+func TestStackedBar(t *testing.T) {
+	out, err := StackedBar("Cache1", []Segment{
+		{"Secure IO", 0.30},
+		{"Application Logic", 0.50},
+		{"Other", 0.20},
+	}, 50)
+	if err != nil {
+		t.Fatalf("StackedBar: %v", err)
+	}
+	if !strings.Contains(out, "Cache1") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "Secure IO") || !strings.Contains(out, "30.0%") {
+		t.Errorf("missing legend entries:\n%s", out)
+	}
+	// Bar body is exactly the requested width between pipes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  |") {
+			body := line[3 : len(line)-1]
+			if len(body) != 50 {
+				t.Errorf("bar width = %d, want 50", len(body))
+			}
+		}
+	}
+}
+
+func TestStackedBarInvalid(t *testing.T) {
+	if _, err := StackedBar("x", []Segment{{"neg", -0.1}}, 10); err == nil {
+		t.Error("negative fraction: want error")
+	}
+	if _, err := StackedBar("x", []Segment{{"nan", math.NaN()}}, 10); err == nil {
+		t.Error("NaN fraction: want error")
+	}
+}
+
+func TestStackedBarOverflowClamped(t *testing.T) {
+	out, err := StackedBar("x", []Segment{{"a", 0.8}, {"b", 0.8}}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "  |") {
+			if len(line) != 3+20+1 {
+				t.Errorf("overflowing segments must clamp to width: %q", line)
+			}
+		}
+	}
+}
+
+func TestHBar(t *testing.T) {
+	out := HBar("Memory", 0.8, 2.0, 10)
+	if !strings.Contains(out, "Memory") {
+		t.Error("missing label")
+	}
+	if !strings.Contains(out, "####") {
+		t.Errorf("bar missing: %q", out)
+	}
+	if !strings.Contains(out, "0.8") {
+		t.Errorf("value missing: %q", out)
+	}
+	// Clamps.
+	if !strings.Contains(HBar("x", 5, 2, 10), "##########") {
+		t.Error("over-max should fill the bar")
+	}
+	if strings.Contains(HBar("x", -1, 2, 10), "#") {
+		t.Error("negative should draw empty")
+	}
+	_ = HBar("x", 1, 0, 10) // max<=0 must not panic
+}
+
+func TestCDFPlot(t *testing.T) {
+	rows := []CDFRow{
+		{"0-4", 0.0},
+		{"4-8", 0.3},
+		{">4K", 1.0},
+	}
+	out := CDFPlot("Cache1 encryption", rows, 20, "4-8", "min AES-NI g")
+	if !strings.Contains(out, "Cache1 encryption") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "<-- min AES-NI g") {
+		t.Errorf("missing marker:\n%s", out)
+	}
+	if !strings.Contains(out, "1.000") {
+		t.Errorf("missing final cumulative:\n%s", out)
+	}
+	// No marker requested.
+	plain := CDFPlot("x", rows, 20, "", "")
+	if strings.Contains(plain, "<--") {
+		t.Error("unexpected marker")
+	}
+	// Out-of-range cumulative values clamp instead of panicking.
+	_ = CDFPlot("x", []CDFRow{{"b", 1.5}, {"c", -0.5}}, 10, "", "")
+}

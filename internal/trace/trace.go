@@ -1,0 +1,250 @@
+// Package trace represents sampled function call traces with cycle and
+// instruction weights — the raw material of the paper's characterization.
+//
+// The paper's methodology (§2.2) collects, with Strobelight, (1) leaf
+// functions with their cycle counts and (2) whole function call traces with
+// cycles and instructions, then feeds both to internal tools that tag each
+// leaf with a category (Table 2) and bucket each trace into a microservice
+// functionality (Table 3). This package is the interchange format between
+// our synthetic fleet (which emits traces) and the profiler (which tags and
+// aggregates them).
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Frame is one function in a call trace, identified by name. Names follow a
+// "domain.function" convention (e.g. "libc.memcpy", "kernel.schedule",
+// "zstd.compress") that the profiler's taggers pattern-match on.
+type Frame string
+
+// Domain returns the portion of the frame name before the first dot, or the
+// whole name if there is no dot.
+func (f Frame) Domain() string {
+	if i := strings.IndexByte(string(f), '.'); i >= 0 {
+		return string(f)[:i]
+	}
+	return string(f)
+}
+
+// Function returns the portion after the first dot, or the whole name.
+func (f Frame) Function() string {
+	if i := strings.IndexByte(string(f), '.'); i >= 0 {
+		return string(f)[i+1:]
+	}
+	return string(f)
+}
+
+// Stack is a call trace ordered from root (index 0) to leaf (last index),
+// e.g. a sequence starting with cloning a thread and ending in memcpy.
+type Stack []Frame
+
+// Leaf returns the innermost frame. It returns an error on an empty stack.
+func (s Stack) Leaf() (Frame, error) {
+	if len(s) == 0 {
+		return "", errors.New("trace: empty stack has no leaf")
+	}
+	return s[len(s)-1], nil
+}
+
+// Root returns the outermost frame. It returns an error on an empty stack.
+func (s Stack) Root() (Frame, error) {
+	if len(s) == 0 {
+		return "", errors.New("trace: empty stack has no root")
+	}
+	return s[0], nil
+}
+
+// Contains reports whether any frame in the stack equals f.
+func (s Stack) Contains(f Frame) bool {
+	for _, fr := range s {
+		if fr == f {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsDomain reports whether any frame's domain equals d.
+func (s Stack) ContainsDomain(d string) bool {
+	for _, fr := range s {
+		if fr.Domain() == d {
+			return true
+		}
+	}
+	return false
+}
+
+// Key returns a canonical string for the stack, usable as a map key when
+// merging samples.
+func (s Stack) Key() string {
+	parts := make([]string, len(s))
+	for i, f := range s {
+		parts[i] = string(f)
+	}
+	return strings.Join(parts, ";")
+}
+
+// ParseStack inverts Key: it splits a semicolon-joined trace back into a
+// Stack. Empty input yields an error.
+func ParseStack(key string) (Stack, error) {
+	if key == "" {
+		return nil, errors.New("trace: empty stack key")
+	}
+	parts := strings.Split(key, ";")
+	s := make(Stack, len(parts))
+	for i, p := range parts {
+		if p == "" {
+			return nil, fmt.Errorf("trace: empty frame at position %d in %q", i, key)
+		}
+		s[i] = Frame(p)
+	}
+	return s, nil
+}
+
+// Sample is one aggregated observation of a call trace: the cycles and
+// instructions attributed to it during a profiling window.
+type Sample struct {
+	Stack        Stack
+	Cycles       uint64
+	Instructions uint64
+}
+
+// IPC returns the sample's instructions-per-cycle ratio, or 0 when no cycles
+// were recorded.
+func (s Sample) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instructions) / float64(s.Cycles)
+}
+
+// Set is a collection of samples keyed by stack. Adding a sample with a
+// stack already present merges the weights, mirroring how a profiler
+// aggregates identical traces across a collection window.
+type Set struct {
+	byKey map[string]*Sample
+	order []string // insertion order of first occurrence, for stable output
+}
+
+// NewSet returns an empty sample set.
+func NewSet() *Set {
+	return &Set{byKey: make(map[string]*Sample)}
+}
+
+// Add merges a sample into the set. Samples with empty stacks are rejected.
+func (st *Set) Add(s Sample) error {
+	if len(s.Stack) == 0 {
+		return errors.New("trace: cannot add sample with empty stack")
+	}
+	k := s.Stack.Key()
+	if existing, ok := st.byKey[k]; ok {
+		existing.Cycles += s.Cycles
+		existing.Instructions += s.Instructions
+		return nil
+	}
+	cp := s
+	cp.Stack = append(Stack(nil), s.Stack...)
+	st.byKey[k] = &cp
+	st.order = append(st.order, k)
+	return nil
+}
+
+// Merge folds all samples of other into st.
+func (st *Set) Merge(other *Set) error {
+	if other == nil {
+		return nil
+	}
+	for _, s := range other.Samples() {
+		if err := st.Add(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Len returns the number of distinct stacks.
+func (st *Set) Len() int { return len(st.byKey) }
+
+// TotalCycles returns the cycles summed over all samples.
+func (st *Set) TotalCycles() uint64 {
+	var total uint64
+	for _, s := range st.byKey {
+		total += s.Cycles
+	}
+	return total
+}
+
+// TotalInstructions returns the instructions summed over all samples.
+func (st *Set) TotalInstructions() uint64 {
+	var total uint64
+	for _, s := range st.byKey {
+		total += s.Instructions
+	}
+	return total
+}
+
+// Samples returns copies of all samples in first-insertion order.
+func (st *Set) Samples() []Sample {
+	out := make([]Sample, 0, len(st.order))
+	for _, k := range st.order {
+		s := st.byKey[k]
+		out = append(out, Sample{
+			Stack:        append(Stack(nil), s.Stack...),
+			Cycles:       s.Cycles,
+			Instructions: s.Instructions,
+		})
+	}
+	return out
+}
+
+// TopByCycles returns up to n samples with the highest cycle counts, in
+// descending cycle order (ties broken by stack key for determinism).
+func (st *Set) TopByCycles(n int) []Sample {
+	all := st.Samples()
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Cycles != all[j].Cycles {
+			return all[i].Cycles > all[j].Cycles
+		}
+		return all[i].Stack.Key() < all[j].Stack.Key()
+	})
+	if n < len(all) {
+		all = all[:n]
+	}
+	return all
+}
+
+// LeafCycles aggregates cycles by leaf function across all samples. It is
+// the "leaf function breakdown" input of §2.3.
+func (st *Set) LeafCycles() map[Frame]uint64 {
+	out := make(map[Frame]uint64)
+	for _, s := range st.byKey {
+		leaf, err := s.Stack.Leaf()
+		if err != nil {
+			continue
+		}
+		out[leaf] += s.Cycles
+	}
+	return out
+}
+
+// LeafSamples aggregates both cycles and instructions by leaf function.
+func (st *Set) LeafSamples() map[Frame]Sample {
+	out := make(map[Frame]Sample)
+	for _, s := range st.byKey {
+		leaf, err := s.Stack.Leaf()
+		if err != nil {
+			continue
+		}
+		agg := out[leaf]
+		agg.Stack = Stack{leaf}
+		agg.Cycles += s.Cycles
+		agg.Instructions += s.Instructions
+		out[leaf] = agg
+	}
+	return out
+}

@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFrameDomainFunction(t *testing.T) {
+	cases := []struct {
+		f        Frame
+		domain   string
+		function string
+	}{
+		{"libc.memcpy", "libc", "memcpy"},
+		{"kernel.sched.switch", "kernel", "sched.switch"},
+		{"bare", "bare", "bare"},
+	}
+	for _, tc := range cases {
+		if got := tc.f.Domain(); got != tc.domain {
+			t.Errorf("%q.Domain() = %q, want %q", tc.f, got, tc.domain)
+		}
+		if got := tc.f.Function(); got != tc.function {
+			t.Errorf("%q.Function() = %q, want %q", tc.f, got, tc.function)
+		}
+	}
+}
+
+func TestStackLeafRoot(t *testing.T) {
+	s := Stack{"thread.clone", "rpc.recv", "libc.memcpy"}
+	leaf, err := s.Leaf()
+	if err != nil || leaf != "libc.memcpy" {
+		t.Errorf("Leaf = %q, %v", leaf, err)
+	}
+	root, err := s.Root()
+	if err != nil || root != "thread.clone" {
+		t.Errorf("Root = %q, %v", root, err)
+	}
+	var empty Stack
+	if _, err := empty.Leaf(); err == nil {
+		t.Error("empty stack Leaf: want error")
+	}
+	if _, err := empty.Root(); err == nil {
+		t.Error("empty stack Root: want error")
+	}
+}
+
+func TestStackContains(t *testing.T) {
+	s := Stack{"rpc.recv", "ssl.encrypt", "libc.memcpy"}
+	if !s.Contains("ssl.encrypt") {
+		t.Error("Contains(ssl.encrypt) = false")
+	}
+	if s.Contains("zstd.compress") {
+		t.Error("Contains(zstd.compress) = true")
+	}
+	if !s.ContainsDomain("ssl") {
+		t.Error("ContainsDomain(ssl) = false")
+	}
+	if s.ContainsDomain("zstd") {
+		t.Error("ContainsDomain(zstd) = true")
+	}
+}
+
+func TestStackKeyParseRoundTrip(t *testing.T) {
+	s := Stack{"a.b", "c.d", "e"}
+	parsed, err := ParseStack(s.Key())
+	if err != nil {
+		t.Fatalf("ParseStack: %v", err)
+	}
+	if parsed.Key() != s.Key() {
+		t.Errorf("round trip: %q != %q", parsed.Key(), s.Key())
+	}
+	if _, err := ParseStack(""); err == nil {
+		t.Error("empty key: want error")
+	}
+	if _, err := ParseStack("a;;b"); err == nil {
+		t.Error("empty frame: want error")
+	}
+}
+
+func TestSampleIPC(t *testing.T) {
+	s := Sample{Cycles: 100, Instructions: 80}
+	if got := s.IPC(); got != 0.8 {
+		t.Errorf("IPC = %v, want 0.8", got)
+	}
+	if got := (Sample{}).IPC(); got != 0 {
+		t.Errorf("zero-cycle IPC = %v, want 0", got)
+	}
+}
+
+func TestSetAddMerges(t *testing.T) {
+	st := NewSet()
+	stack := Stack{"rpc.recv", "libc.memcpy"}
+	must(t, st.Add(Sample{Stack: stack, Cycles: 10, Instructions: 8}))
+	must(t, st.Add(Sample{Stack: stack, Cycles: 5, Instructions: 4}))
+	if st.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (identical stacks merge)", st.Len())
+	}
+	got := st.Samples()[0]
+	if got.Cycles != 15 || got.Instructions != 12 {
+		t.Errorf("merged sample = %+v", got)
+	}
+}
+
+func TestSetAddRejectsEmptyStack(t *testing.T) {
+	if err := NewSet().Add(Sample{}); err == nil {
+		t.Error("empty stack: want error")
+	}
+}
+
+func TestSetTotals(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"a"}, Cycles: 10, Instructions: 5}))
+	must(t, st.Add(Sample{Stack: Stack{"b"}, Cycles: 20, Instructions: 30}))
+	if st.TotalCycles() != 30 {
+		t.Errorf("TotalCycles = %d", st.TotalCycles())
+	}
+	if st.TotalInstructions() != 35 {
+		t.Errorf("TotalInstructions = %d", st.TotalInstructions())
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a, b := NewSet(), NewSet()
+	must(t, a.Add(Sample{Stack: Stack{"x"}, Cycles: 1}))
+	must(t, b.Add(Sample{Stack: Stack{"x"}, Cycles: 2}))
+	must(t, b.Add(Sample{Stack: Stack{"y"}, Cycles: 3}))
+	must(t, a.Merge(b))
+	if a.Len() != 2 || a.TotalCycles() != 6 {
+		t.Errorf("after merge: len=%d cycles=%d", a.Len(), a.TotalCycles())
+	}
+	must(t, a.Merge(nil)) // nil merge is a no-op
+	if a.Len() != 2 {
+		t.Error("nil merge changed the set")
+	}
+}
+
+func TestSamplesAreCopies(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"a", "b"}, Cycles: 1}))
+	out := st.Samples()
+	out[0].Stack[0] = "mutated"
+	out[0].Cycles = 999
+	fresh := st.Samples()[0]
+	if fresh.Stack[0] != "a" || fresh.Cycles != 1 {
+		t.Error("Samples exposed internal state")
+	}
+}
+
+func TestTopByCycles(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"low"}, Cycles: 1}))
+	must(t, st.Add(Sample{Stack: Stack{"high"}, Cycles: 100}))
+	must(t, st.Add(Sample{Stack: Stack{"mid"}, Cycles: 50}))
+	top := st.TopByCycles(2)
+	if len(top) != 2 {
+		t.Fatalf("TopByCycles(2) returned %d", len(top))
+	}
+	if top[0].Stack.Key() != "high" || top[1].Stack.Key() != "mid" {
+		t.Errorf("top order: %v, %v", top[0].Stack, top[1].Stack)
+	}
+	if got := st.TopByCycles(10); len(got) != 3 {
+		t.Errorf("TopByCycles(10) returned %d, want all 3", len(got))
+	}
+}
+
+func TestTopByCyclesTieBreak(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"zz"}, Cycles: 5}))
+	must(t, st.Add(Sample{Stack: Stack{"aa"}, Cycles: 5}))
+	top := st.TopByCycles(2)
+	if top[0].Stack.Key() != "aa" {
+		t.Errorf("tie break should be lexicographic, got %v first", top[0].Stack)
+	}
+}
+
+func TestLeafCycles(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"rpc.recv", "libc.memcpy"}, Cycles: 10}))
+	must(t, st.Add(Sample{Stack: Stack{"app.serve", "libc.memcpy"}, Cycles: 7}))
+	must(t, st.Add(Sample{Stack: Stack{"app.serve", "ssl.encrypt"}, Cycles: 3}))
+	lc := st.LeafCycles()
+	if lc["libc.memcpy"] != 17 {
+		t.Errorf("memcpy leaf cycles = %d, want 17", lc["libc.memcpy"])
+	}
+	if lc["ssl.encrypt"] != 3 {
+		t.Errorf("encrypt leaf cycles = %d, want 3", lc["ssl.encrypt"])
+	}
+}
+
+func TestLeafSamples(t *testing.T) {
+	st := NewSet()
+	must(t, st.Add(Sample{Stack: Stack{"a", "leaf"}, Cycles: 10, Instructions: 5}))
+	must(t, st.Add(Sample{Stack: Stack{"b", "leaf"}, Cycles: 10, Instructions: 15}))
+	ls := st.LeafSamples()
+	got := ls["leaf"]
+	if got.Cycles != 20 || got.Instructions != 20 {
+		t.Errorf("leaf sample = %+v", got)
+	}
+	if got.IPC() != 1.0 {
+		t.Errorf("leaf IPC = %v", got.IPC())
+	}
+}
+
+// Property: merging two sets preserves total cycles and instructions.
+func TestMergePreservesTotals(t *testing.T) {
+	f := func(cyclesA, cyclesB []uint8) bool {
+		a, b := NewSet(), NewSet()
+		var want uint64
+		for i, c := range cyclesA {
+			_ = a.Add(Sample{Stack: Stack{Frame(byte('a' + i%20))}, Cycles: uint64(c)})
+			want += uint64(c)
+		}
+		for i, c := range cyclesB {
+			_ = b.Add(Sample{Stack: Stack{Frame(byte('a' + i%20))}, Cycles: uint64(c)})
+			want += uint64(c)
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		return a.TotalCycles() == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Key/ParseStack round-trips for any stack of non-empty
+// semicolon-free frames.
+func TestKeyRoundTripProperty(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		s := make(Stack, len(raw))
+		for i, b := range raw {
+			s[i] = Frame("f" + string(rune('a'+b%26)))
+		}
+		parsed, err := ParseStack(s.Key())
+		return err == nil && parsed.Key() == s.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func must(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
