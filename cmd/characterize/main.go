@@ -70,11 +70,11 @@ func dumpProfiles(dir string) error {
 		if err != nil {
 			return err
 		}
-		if err := p.Write(f); err != nil {
-			f.Close()
-			return err
+		err = p.Write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
 		}
-		if err := f.Close(); err != nil {
+		if err != nil {
 			return err
 		}
 		fmt.Fprintf(os.Stderr, "characterize: wrote %s\n", path)

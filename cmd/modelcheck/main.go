@@ -1,0 +1,80 @@
+// Command modelcheck runs the repository's domain-aware static-analysis
+// suite (internal/analysis) over the module and reports findings with
+// file:line positions. It exits 1 when any finding survives the
+// //modelcheck:ignore directives, making it suitable as a CI gate
+// alongside go vet and go test -race (see scripts/check.sh).
+//
+// Usage:
+//
+//	modelcheck ./...                 # whole module (the CI gate)
+//	modelcheck ./internal/rpc/...    # a subtree
+//	modelcheck -list                 # describe the analyzers
+//	modelcheck -run floatcmp ./...   # a subset of the suite
+//	modelcheck -json ./...           # machine-readable findings
+//	modelcheck -tests ./...          # include in-package _test.go files
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
+		list    = flag.Bool("list", false, "list analyzers and exit")
+		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		tests   = flag.Bool("tests", false, "also analyze in-package _test.go files")
+		dir     = flag.String("C", ".", "directory inside the module to analyze from")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	analyzers, err := analysis.ByName(*run)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir, IncludeTests: *tests}, flag.Args()...)
+	if err != nil {
+		fatal(err)
+	}
+	if len(pkgs) == 0 {
+		fatal(fmt.Errorf("modelcheck: no packages match %v", flag.Args()))
+	}
+
+	findings := analysis.RunAnalyzers(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+		fmt.Fprintf(os.Stderr, "modelcheck: %d package(s), %d finding(s)\n", len(pkgs), len(findings))
+	}
+	if len(findings) > 0 {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(2)
+}

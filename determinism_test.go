@@ -1,0 +1,62 @@
+package main
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+// The characterization pipeline promises byte-identical output for a fixed
+// seed: every stochastic component draws from an explicitly seeded
+// dist.Rand and nothing touches math/rand global state (enforced by the
+// seedhygiene analyzer in internal/analysis). These tests pin that promise
+// for both binaries' code paths: cmd/experiments (RunAll) and
+// cmd/characterize (per-figure Lookup/Run).
+
+func TestExperimentsRunAllDeterministic(t *testing.T) {
+	first, err := experiments.RunAll()
+	if err != nil {
+		t.Fatalf("first RunAll: %v", err)
+	}
+	second, err := experiments.RunAll()
+	if err != nil {
+		t.Fatalf("second RunAll: %v", err)
+	}
+	if first != second {
+		t.Fatalf("RunAll output differs between runs:\n%s", firstDiff(first, second))
+	}
+}
+
+func TestCharacterizationFiguresDeterministic(t *testing.T) {
+	for i := 1; i <= 10; i++ {
+		id := fmt.Sprintf("fig%d", i)
+		e, err := experiments.Lookup(id)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", id, err)
+		}
+		first, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s first run: %v", id, err)
+		}
+		second, err := e.Run()
+		if err != nil {
+			t.Fatalf("%s second run: %v", id, err)
+		}
+		if first != second {
+			t.Errorf("%s output differs between runs:\n%s", id, firstDiff(first, second))
+		}
+	}
+}
+
+// firstDiff points at the first line where two outputs diverge.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  run1: %q\n  run2: %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

@@ -93,7 +93,7 @@ func Analyze(in Input) ([]Recommendation, error) {
 		return nil, fmt.Errorf("advisor: need functionality and leaf breakdowns")
 	}
 	c := in.HostCycles
-	if c == 0 {
+	if c <= 0 {
 		c = 2.5e9
 	}
 

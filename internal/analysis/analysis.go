@@ -1,0 +1,273 @@
+// Package analysis is a small, dependency-free static-analysis framework
+// for this repository, built directly on go/ast, go/parser, and go/types.
+//
+// The Accelerometer reproduction lives or dies on a handful of invariants
+// that ordinary Go tooling does not check: float comparisons must go
+// through epsilon helpers so model projections are stable, parameter
+// structs must be validated before they reach the model, randomness must
+// flow through the seeded generator in internal/dist so characterization
+// runs are reproducible, and the concurrent rpc/sim layers must follow
+// strict lock discipline. Each invariant is encoded as an Analyzer; the
+// cmd/modelcheck runner loads every package in the module, type-checks it,
+// and reports findings with file:line positions.
+//
+// Deliberate exceptions are annotated in source with a directive comment:
+//
+//	//modelcheck:ignore floatcmp          — suppress one analyzer
+//	//modelcheck:ignore floatcmp,errdrop  — suppress several
+//	//modelcheck:ignore                   — suppress all analyzers
+//
+// A directive suppresses findings on its own line (trailing comment) or,
+// when it stands alone on a line, findings on the line directly below it.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Severity ranks a finding. Every finding fails the modelcheck gate; the
+// severity is informational, separating invariant violations (SeverityError)
+// from style-level drift (SeverityWarning).
+type Severity string
+
+const (
+	SeverityError   Severity = "error"
+	SeverityWarning Severity = "warning"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"-"`
+	File     string         `json:"file"`
+	Line     int            `json:"line"`
+	Column   int            `json:"column"`
+	Severity Severity       `json:"severity"`
+	Message  string         `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: [%s] %s", f.File, f.Line, f.Column, f.Severity, f.Analyzer, f.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+	PkgPath string
+
+	analyzer string
+	findings []Finding
+}
+
+// Reportf records a finding at the given node's position.
+func (p *Pass) Reportf(node ast.Node, sev Severity, format string, args ...interface{}) {
+	pos := p.Fset.Position(node.Pos())
+	p.findings = append(p.findings, Finding{
+		Analyzer: p.analyzer,
+		Pos:      pos,
+		File:     pos.Filename,
+		Line:     pos.Line,
+		Column:   pos.Column,
+		Severity: sev,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// All returns the full analyzer suite in a stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		ErrDrop,
+		ParamValidate,
+		SeedHygiene,
+		LockCheck,
+	}
+}
+
+// ByName resolves a comma-separated analyzer selection; an empty selection
+// means the full suite.
+func ByName(selection string) ([]*Analyzer, error) {
+	if strings.TrimSpace(selection) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(selection, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analysis: unknown analyzer %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// ignoreDirective matches "//modelcheck:ignore" with an optional analyzer
+// list, optionally followed by a dash-separated explanation:
+//
+//	//modelcheck:ignore floatcmp — why this exact comparison is deliberate
+var ignoreDirective = regexp.MustCompile(`^//\s*modelcheck:ignore(?:[ \t]+([A-Za-z0-9_, \t]*[A-Za-z0-9_]))?(?:[ \t]*(?:—|–|--|-)[^\n]*)?[ \t]*$`)
+
+// ignoreSet maps file name → line → analyzer names suppressed on that line
+// (the empty string key means "all analyzers").
+type ignoreSet map[string]map[int]map[string]bool
+
+// buildIgnores scans a package's comments for modelcheck:ignore directives.
+// A directive covers its own line; a directive that is the only thing on
+// its line additionally covers the following line.
+func buildIgnores(fset *token.FileSet, files []*ast.File) ignoreSet {
+	set := ignoreSet{}
+	add := func(file string, line int, names []string) {
+		byLine := set[file]
+		if byLine == nil {
+			byLine = map[int]map[string]bool{}
+			set[file] = byLine
+		}
+		byName := byLine[line]
+		if byName == nil {
+			byName = map[string]bool{}
+			byLine[line] = byName
+		}
+		if len(names) == 0 {
+			byName[""] = true
+		}
+		for _, n := range names {
+			byName[n] = true
+		}
+	}
+	for _, f := range files {
+		for _, group := range f.Comments {
+			for _, c := range group.List {
+				m := ignoreDirective.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				var names []string
+				for _, n := range strings.Split(m[1], ",") {
+					if n = strings.TrimSpace(n); n != "" {
+						names = append(names, n)
+					}
+				}
+				pos := fset.Position(c.Pos())
+				add(pos.Filename, pos.Line, names)
+				// A standalone directive (nothing but the comment on its
+				// line) also covers the next source line.
+				if pos.Column == 1 || onlyCommentOnLine(fset, f, c) {
+					add(pos.Filename, pos.Line+1, names)
+				}
+			}
+		}
+	}
+	return set
+}
+
+// onlyCommentOnLine reports whether no non-comment token of the file starts
+// on the comment's line before the comment itself.
+func onlyCommentOnLine(fset *token.FileSet, f *ast.File, c *ast.Comment) bool {
+	line := fset.Position(c.Pos()).Line
+	only := true
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !only {
+			return false
+		}
+		if fset.Position(n.End()).Line < line || fset.Position(n.Pos()).Line > line {
+			// Subtrees entirely above or below the line need no visit,
+			// but their siblings might span it, so keep walking.
+			return true
+		}
+		switch n.(type) {
+		case *ast.Comment, *ast.CommentGroup, *ast.File:
+			return true
+		default:
+			if fset.Position(n.Pos()).Line == line && n.Pos() < c.Pos() {
+				only = false
+				return false
+			}
+		}
+		return true
+	})
+	return only
+}
+
+// suppressed reports whether a finding is covered by an ignore directive.
+func (s ignoreSet) suppressed(f Finding) bool {
+	byLine := s[f.File]
+	if byLine == nil {
+		return false
+	}
+	byName := byLine[f.Line]
+	if byName == nil {
+		return false
+	}
+	return byName[""] || byName[f.Analyzer]
+}
+
+// RunAnalyzers applies each analyzer to each loaded package, filters
+// findings through the ignore directives, and returns the survivors sorted
+// by position.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignores := buildIgnores(pkg.Fset, pkg.Files)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				PkgPath:  pkg.Path,
+				analyzer: a.Name,
+			}
+			a.Run(pass)
+			for _, f := range pass.findings {
+				if !ignores.suppressed(f) {
+					findings = append(findings, f)
+				}
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings
+}
+
+// errorType is the universe error interface, used by analyzers to spot
+// error-typed results.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the built-in error type.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}

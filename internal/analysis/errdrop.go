@@ -1,0 +1,210 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags discarded error returns: a call used as a bare statement
+// whose result tuple contains an error, a blank identifier assigned an
+// error value (`_ = f()`, `v, _ := f()`), and deferred error-returning
+// calls. A short allowlist covers calls that cannot meaningfully fail:
+// writes to strings.Builder and bytes.Buffer (documented to never return a
+// non-nil error), fmt printing to stdout/stderr, and `defer x.Close()` on
+// read paths where the error has nowhere to go.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flags discarded error returns from non-allowlisted calls",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := node.X.(*ast.CallExpr); ok {
+					checkDroppedCall(pass, call, false)
+				}
+			case *ast.DeferStmt:
+				checkDroppedCall(pass, node.Call, true)
+			case *ast.GoStmt:
+				// Errors from a goroutine body are the body's problem; the
+				// spawned call itself returning an error is still a drop.
+				checkDroppedCall(pass, node.Call, false)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, node)
+			}
+			return true
+		})
+	}
+}
+
+// checkDroppedCall flags a call statement whose results include an error.
+func checkDroppedCall(pass *Pass, call *ast.CallExpr, deferred bool) {
+	if !resultsIncludeError(pass, call) {
+		return
+	}
+	if callAllowlisted(pass, call, deferred) {
+		return
+	}
+	pass.Reportf(call, SeverityError,
+		"result of %s includes an error that is discarded; handle it or annotate with //modelcheck:ignore errdrop",
+		calleeLabel(pass, call))
+}
+
+// checkBlankAssign flags blank identifiers that swallow an error value.
+func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
+	// Form 1: x, _ := f() — one call, several results.
+	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
+		call, ok := assign.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		tuple, ok := pass.Info.TypeOf(call).(*types.Tuple)
+		if !ok || callAllowlisted(pass, call, false) {
+			return
+		}
+		for i, lhs := range assign.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && isErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs, SeverityError,
+					"error result of %s is assigned to the blank identifier; handle it or annotate with //modelcheck:ignore errdrop",
+					calleeLabel(pass, call))
+			}
+		}
+		return
+	}
+	// Form 2: _ = f(), a, _ = f(), g() — element-wise assignment.
+	if len(assign.Rhs) != len(assign.Lhs) {
+		return
+	}
+	for i, lhs := range assign.Lhs {
+		if !isBlank(lhs) {
+			continue
+		}
+		rhs := assign.Rhs[i]
+		if !isErrorType(pass.Info.TypeOf(rhs)) {
+			continue
+		}
+		if call, ok := rhs.(*ast.CallExpr); ok && callAllowlisted(pass, call, false) {
+			continue
+		}
+		pass.Reportf(lhs, SeverityError,
+			"error value is assigned to the blank identifier; handle it or annotate with //modelcheck:ignore errdrop")
+	}
+}
+
+// resultsIncludeError reports whether the call's results contain an error.
+func resultsIncludeError(pass *Pass, call *ast.CallExpr) bool {
+	t := pass.Info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if isErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return isErrorType(t)
+}
+
+// callAllowlisted reports whether dropping the call's error is accepted.
+func callAllowlisted(pass *Pass, call *ast.CallExpr, deferred bool) bool {
+	obj := calleeObject(pass, call)
+	if obj == nil {
+		return false
+	}
+	name := obj.Name()
+	// defer x.Close() is idiomatic on read paths; write paths should check
+	// Close explicitly, which this cannot distinguish — those stay the
+	// author's responsibility (and the repo's write paths do check).
+	if deferred && name == "Close" {
+		return true
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+			if infallibleWriter(recv.Type()) {
+				return true
+			}
+		}
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			switch name {
+			case "Print", "Printf", "Println":
+				return true
+			case "Fprint", "Fprintf", "Fprintln":
+				if len(call.Args) > 0 && allowlistedWriterArg(pass, call.Args[0]) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// infallibleWriter reports whether the receiver is a writer documented to
+// never return a non-nil error.
+func infallibleWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// allowlistedWriterArg reports whether an fmt.Fprint* destination makes the
+// dropped error acceptable: stdout/stderr or an infallible writer.
+func allowlistedWriterArg(pass *Pass, arg ast.Expr) bool {
+	if infallibleWriter(pass.Info.TypeOf(arg)) {
+		return true
+	}
+	sel, ok := arg.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pass.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+// calleeObject resolves the called function's object, if any.
+func calleeObject(pass *Pass, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// calleeLabel names the callee for diagnostics.
+func calleeLabel(pass *Pass, call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if x, ok := fun.X.(*ast.Ident); ok {
+			return x.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import "testing"
+
+func TestErrDrop(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "bare call dropping an error",
+			src: `package fixture
+import "os"
+func f() {
+	os.Remove("x") // line 4: flagged
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "blank assignment of a lone error",
+			src: `package fixture
+import "os"
+func f() {
+	_ = os.Remove("x") // line 4: flagged
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "blank in the error slot of a multi-return",
+			src: `package fixture
+import "os"
+func f() string {
+	wd, _ := os.Getwd() // line 4: flagged
+	return wd
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "handled errors are fine",
+			src: `package fixture
+import "os"
+func f() error {
+	if err := os.Remove("x"); err != nil {
+		return err
+	}
+	_, err := os.Getwd()
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "comma-ok map reads are not errors",
+			src: `package fixture
+func f(m map[string]int) int {
+	v, _ := m["k"]
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "infallible writers are allowlisted",
+			src: `package fixture
+import (
+	"bytes"
+	"fmt"
+	"strings"
+)
+func f() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	var buf bytes.Buffer
+	buf.WriteByte('y')
+	fmt.Println("to stdout")
+	return b.String() + buf.String()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "fmt.Fprintf to stderr is allowlisted, to a file is not",
+			src: `package fixture
+import (
+	"fmt"
+	"os"
+)
+func f(dst *os.File) {
+	fmt.Fprintln(os.Stderr, "warn")
+	fmt.Fprintln(dst, "data") // line 8: flagged
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "deferred Close is allowlisted, deferred Flush is not",
+			src: `package fixture
+import (
+	"bufio"
+	"os"
+)
+func f(f *os.File, w *bufio.Writer) {
+	defer f.Close()
+	defer w.Flush() // line 8: flagged
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "ignore directive suppresses",
+			src: `package fixture
+import "os"
+func f() {
+	os.Remove("x") //modelcheck:ignore errdrop — best-effort cleanup
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, ErrDrop, "fixture.go", tc.src), tc.want...)
+		})
+	}
+}

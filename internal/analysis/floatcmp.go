@@ -1,0 +1,84 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// epsilonPackage is the one package allowed to compare floats exactly and
+// use raw randomness primitives: it hosts the epsilon helpers
+// (dist.AlmostEqual, dist.WithinRel) and the seeded generator everything
+// else is expected to use. Matched by suffix so the module prefix does not
+// matter.
+const epsilonPackage = "internal/dist"
+
+// FloatCmp flags == and != between floating-point operands, and switch
+// statements whose tag is floating-point. Exact float equality is almost
+// never what the model code means: projections accumulate rounding, so
+// comparisons must either go through the epsilon helpers in internal/dist
+// or be annotated as deliberate sentinel checks.
+//
+// Comparisons where both operands are compile-time constants are exempt
+// (they are folded exactly), as is the epsilon package itself.
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags exact ==/!= and switch on floating-point values outside internal/dist epsilon helpers",
+	Run:  runFloatCmp,
+}
+
+func runFloatCmp(pass *Pass) {
+	if pkgPathHasSuffix(pass.PkgPath, epsilonPackage) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.BinaryExpr:
+				if node.Op != token.EQL && node.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.Info.TypeOf(node.X)) && !isFloat(pass.Info.TypeOf(node.Y)) {
+					return true
+				}
+				if isConstExpr(pass, node.X) && isConstExpr(pass, node.Y) {
+					return true
+				}
+				pass.Reportf(node, SeverityError,
+					"exact float comparison (%s); use dist.AlmostEqual/dist.WithinRel, or annotate a deliberate sentinel check with //modelcheck:ignore floatcmp",
+					node.Op)
+			case *ast.SwitchStmt:
+				if node.Tag == nil || !isFloat(pass.Info.TypeOf(node.Tag)) {
+					return true
+				}
+				pass.Reportf(node, SeverityError,
+					"switch on floating-point value compares exactly; restructure with epsilon comparisons from dist")
+			}
+			return true
+		})
+	}
+}
+
+// isFloat reports whether t's underlying type is a floating-point basic
+// type (including untyped float constants).
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isConstExpr reports whether the expression has a compile-time value.
+func isConstExpr(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// pkgPathHasSuffix matches a package path against a short suffix form like
+// "internal/dist" regardless of module prefix; used by analyzers that scope
+// to repo areas.
+func pkgPathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}

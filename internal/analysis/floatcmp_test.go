@@ -1,0 +1,111 @@
+package analysis
+
+import "testing"
+
+func TestFloatCmp(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want []int // lines with findings
+	}{
+		{
+			name: "flags equality and inequality on float64",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float64) bool {
+	if a == b { // line 3: flagged
+		return true
+	}
+	return a != b // line 6: flagged
+}
+`,
+			want: []int{3, 6},
+		},
+		{
+			name: "flags switch on float tag",
+			file: "fixture.go",
+			src: `package fixture
+func f(v float64) int {
+	switch v { // line 3: flagged
+	case 1:
+		return 1
+	}
+	return 0
+}
+`,
+			want: []int{3},
+		},
+		{
+			name: "ordered comparisons and ints are fine",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float64, i, j int) bool {
+	return a < b || a >= b || i == j || i != j
+}
+`,
+			want: nil,
+		},
+		{
+			name: "constant folding is exempt",
+			file: "fixture.go",
+			src: `package fixture
+const eps = 1e-9
+var ok = eps == 1e-9
+`,
+			want: nil,
+		},
+		{
+			name: "float32 is covered too",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float32) bool { return a == b }
+`,
+			want: []int{2},
+		},
+		{
+			name: "internal/dist hosts the epsilon helpers and is exempt",
+			file: "internal/dist/fixture.go",
+			src: `package dist
+func AlmostEqual(a, b, eps float64) bool { return a == b }
+`,
+			want: nil,
+		},
+		{
+			name: "trailing ignore directive suppresses",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float64) bool {
+	return a == b //modelcheck:ignore floatcmp — deliberate exact sentinel
+}
+`,
+			want: nil,
+		},
+		{
+			name: "standalone ignore directive covers the next line",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float64) bool {
+	//modelcheck:ignore floatcmp
+	return a == b
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive for a different analyzer does not suppress",
+			file: "fixture.go",
+			src: `package fixture
+func f(a, b float64) bool {
+	return a == b //modelcheck:ignore errdrop
+}
+`,
+			want: []int{3},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, FloatCmp, tc.file, tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/types"
+)
+
+// LockCheck enforces lock discipline in the concurrent layers:
+//
+//   - sync primitives (Mutex, RWMutex, WaitGroup, Once, Cond) must never be
+//     copied: not passed or returned by value, not copy-assigned, not bound
+//     by value in a range clause;
+//   - a Lock()/RLock() must be released: either the very next statement is
+//     the matching `defer Unlock()`, or a matching explicit Unlock exists
+//     somewhere in the same function (the common lock-compute-unlock
+//     pattern); a Lock with no release in its function is a leak;
+//   - `defer mu.Lock()` is flagged outright — it acquires at function exit
+//     and deadlocks the next caller.
+//
+// The release check is intentionally function-scoped: it catches forgotten
+// unlocks, not early-return leaks between Lock and Unlock (that remains a
+// go-test -race / review concern; see ROADMAP).
+var LockCheck = &Analyzer{
+	Name: "lockcheck",
+	Doc:  "flags copied sync primitives and Lock() calls with no release in the same function",
+	Run:  runLockCheck,
+}
+
+func runLockCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkLockCopies(pass, fn)
+			if fn.Body != nil {
+				checkLockRelease(pass, fn)
+			}
+		}
+	}
+	for _, file := range pass.Files {
+		checkFuncLitSignatures(pass, file)
+	}
+}
+
+// --- copy detection -------------------------------------------------------
+
+// syncPrimitives are the sync types that must not be copied after first use.
+var syncPrimitives = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true, "Cond": true,
+}
+
+// containsSyncPrimitive reports whether t holds a sync primitive by value,
+// directly or through struct fields and arrays.
+func containsSyncPrimitive(t types.Type) bool {
+	return containsSyncPrim(t, map[types.Type]bool{})
+}
+
+func containsSyncPrim(t types.Type, seen map[types.Type]bool) bool {
+	if t == nil || seen[t] {
+		return false
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == "sync" && syncPrimitives[named.Obj().Name()] {
+			return true
+		}
+		return containsSyncPrim(named.Underlying(), seen)
+	}
+	switch u := t.(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsSyncPrim(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsSyncPrim(u.Elem(), seen)
+	}
+	return false
+}
+
+// checkLockCopies flags by-value transfer of sync primitives.
+func checkLockCopies(pass *Pass, fn *ast.FuncDecl) {
+	checkFieldList(pass, fn.Type.Params, "parameter")
+	checkFieldList(pass, fn.Type.Results, "result")
+	if fn.Recv != nil {
+		checkFieldList(pass, fn.Recv, "receiver")
+	}
+	if fn.Body == nil {
+		return
+	}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.AssignStmt:
+			if len(node.Lhs) != len(node.Rhs) {
+				return true
+			}
+			for _, rhs := range node.Rhs {
+				if !isValueRead(rhs) {
+					continue
+				}
+				if containsSyncPrimitive(pass.Info.TypeOf(rhs)) {
+					pass.Reportf(rhs, SeverityError,
+						"assignment copies a value containing a sync primitive; share it by pointer")
+				}
+			}
+		case *ast.RangeStmt:
+			if node.Value != nil && containsSyncPrimitive(pass.Info.TypeOf(node.Value)) {
+				pass.Reportf(node.Value, SeverityError,
+					"range clause copies a value containing a sync primitive per iteration; range over indices or pointers")
+			}
+		}
+		return true
+	})
+}
+
+// checkFuncLitSignatures applies the parameter/result copy rules to
+// function literals too.
+func checkFuncLitSignatures(pass *Pass, file *ast.File) {
+	ast.Inspect(file, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		checkFieldList(pass, lit.Type.Params, "parameter")
+		checkFieldList(pass, lit.Type.Results, "result")
+		return true
+	})
+}
+
+// checkFieldList flags non-pointer fields whose type carries a sync
+// primitive.
+func checkFieldList(pass *Pass, fields *ast.FieldList, kind string) {
+	if fields == nil {
+		return
+	}
+	for _, field := range fields.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if _, isPtr := t.(*types.Pointer); isPtr {
+			continue
+		}
+		if containsSyncPrimitive(t) {
+			pass.Reportf(field, SeverityError,
+				"%s passes a sync primitive by value; use a pointer", kind)
+		}
+	}
+}
+
+// isValueRead reports whether the expression reads an existing value (as
+// opposed to constructing a fresh one, which is a legal way to obtain a
+// zero-valued lock).
+func isValueRead(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name != "_" // plain variable read
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	default:
+		return false
+	}
+}
+
+// --- release discipline ---------------------------------------------------
+
+// lockOp is one Lock/Unlock-family call found in a function body.
+type lockOp struct {
+	call     *ast.CallExpr
+	recv     string // canonical receiver text, e.g. "s.mu"
+	name     string // Lock, RLock, Unlock, RUnlock
+	deferred bool
+	block    *ast.BlockStmt
+	index    int // statement index within block (-1 if not a direct statement)
+}
+
+// checkLockRelease enforces the Lock/Unlock pairing rules for one function.
+func checkLockRelease(pass *Pass, fn *ast.FuncDecl) {
+	ops := collectLockOps(pass, fn.Body)
+	for _, op := range ops {
+		if op.deferred && (op.name == "Lock" || op.name == "RLock") {
+			pass.Reportf(op.call, SeverityError,
+				"defer %s.%s() acquires the lock at function exit; this deadlocks the next user", op.recv, op.name)
+			continue
+		}
+		if op.deferred || (op.name != "Lock" && op.name != "RLock") {
+			continue
+		}
+		want := "Unlock"
+		if op.name == "RLock" {
+			want = "RUnlock"
+		}
+		if nextStmtIsDeferredUnlock(pass, op, want, ops) {
+			continue
+		}
+		if anyExplicitUnlock(op, want, ops) {
+			continue
+		}
+		pass.Reportf(op.call, SeverityError,
+			"%s.%s() has no matching %s in this function; the lock leaks on every path", op.recv, op.name, want)
+	}
+}
+
+// collectLockOps finds all mutex method calls in the body, recording where
+// each sits so sibling statements can be examined.
+func collectLockOps(pass *Pass, body *ast.BlockStmt) []lockOp {
+	var ops []lockOp
+	seen := map[*ast.CallExpr]bool{}
+	record := func(call *ast.CallExpr, deferred bool, block *ast.BlockStmt, index int) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || seen[call] {
+			return
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
+		default:
+			return
+		}
+		if !isSyncLockMethod(pass, sel) {
+			return
+		}
+		seen[call] = true
+		ops = append(ops, lockOp{
+			call: call, recv: exprText(pass, sel.X), name: name,
+			deferred: deferred, block: block, index: index,
+		})
+	}
+	var walkBlocks func(n ast.Node)
+	walkBlocks = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			block, ok := m.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			for i, stmt := range block.List {
+				switch s := stmt.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						record(call, false, block, i)
+					}
+				case *ast.DeferStmt:
+					record(s.Call, true, block, i)
+				}
+			}
+			return true
+		})
+	}
+	walkBlocks(body)
+	// Sweep for lock calls in other positions (e.g. inside expressions or
+	// go statements) so pairing still sees them.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			record(call, false, nil, -1)
+		}
+		return true
+	})
+	return ops
+}
+
+// isSyncLockMethod reports whether the selector resolves to a sync package
+// lock method (covers embedded mutexes and sync.Locker values).
+func isSyncLockMethod(pass *Pass, sel *ast.SelectorExpr) bool {
+	if s, ok := pass.Info.Selections[sel]; ok {
+		if fn, ok := s.Obj().(*types.Func); ok {
+			return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
+		}
+	}
+	// Fallback: receiver type is (pointer to) a sync primitive.
+	t := pass.Info.TypeOf(sel.X)
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		pkg := named.Obj().Pkg()
+		return pkg != nil && pkg.Path() == "sync"
+	}
+	return false
+}
+
+// nextStmtIsDeferredUnlock reports whether the statement directly after the
+// Lock is `defer recv.want()`.
+func nextStmtIsDeferredUnlock(pass *Pass, op lockOp, want string, ops []lockOp) bool {
+	if op.block == nil || op.index < 0 || op.index+1 >= len(op.block.List) {
+		return false
+	}
+	next, ok := op.block.List[op.index+1].(*ast.DeferStmt)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(next.Call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return sel.Sel.Name == want && exprText(pass, sel.X) == op.recv
+}
+
+// anyExplicitUnlock reports whether some op releases the same receiver.
+func anyExplicitUnlock(op lockOp, want string, ops []lockOp) bool {
+	for _, other := range ops {
+		if other.name == want && other.recv == op.recv {
+			return true
+		}
+	}
+	return false
+}
+
+// exprText canonicalizes a receiver expression for matching Lock/Unlock
+// pairs.
+func exprText(pass *Pass, e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+		return ""
+	}
+	return buf.String()
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import "testing"
+
+func TestLockCheck(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "lock with no release leaks",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock() // line 5: flagged
+}
+`,
+			want: []int{5},
+		},
+		{
+			name: "lock with deferred unlock is fine",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock()
+	defer mu.Unlock()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "lock compute unlock is fine",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f() int {
+	mu.Lock()
+	v := n
+	mu.Unlock()
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "deferred Lock is a deadlock",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+func f() {
+	defer mu.Lock() // line 5: flagged
+}
+`,
+			want: []int{5},
+		},
+		{
+			name: "RLock must pair with RUnlock, not Unlock",
+			src: `package fixture
+import "sync"
+var mu sync.RWMutex
+func f() {
+	mu.RLock() // line 5: flagged (only Unlock follows)
+	mu.Unlock()
+}
+`,
+			want: []int{5},
+		},
+		{
+			name: "embedded mutex via field is tracked",
+			src: `package fixture
+import "sync"
+type S struct{ mu sync.Mutex }
+func (s *S) bad() {
+	s.mu.Lock() // line 5: flagged
+}
+func (s *S) good() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+}
+`,
+			want: []int{5},
+		},
+		{
+			name: "mutex passed by value is a copy",
+			src: `package fixture
+import "sync"
+func f(mu sync.Mutex) {} // line 3: flagged
+func g(mu *sync.Mutex) {}
+`,
+			want: []int{3},
+		},
+		{
+			name: "struct containing a mutex copied by assignment",
+			src: `package fixture
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func f(s *S) int {
+	cp := *s // line 8: flagged
+	return cp.n
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "range copying lock-bearing values",
+			src: `package fixture
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func f(ss []S) int {
+	total := 0
+	for _, s := range ss { // line 9: flagged
+		total += s.n
+	}
+	return total
+}
+`,
+			want: []int{9},
+		},
+		{
+			name: "pointers everywhere is fine",
+			src: `package fixture
+import "sync"
+type S struct{ mu sync.Mutex }
+func f(ss []*S) {
+	for _, s := range ss {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+func f() {
+	mu.Lock() //modelcheck:ignore lockcheck — released by the caller
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, LockCheck, "fixture.go", tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,424 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// paramPackages are the packages whose exported structs carry model
+// invariants enforced by a Validate() error method (core.Params,
+// core.Kernel, config.ServiceConfig, ...). Matched by path suffix.
+var paramPackages = []string{"internal/core", "internal/config"}
+
+// ParamValidate enforces the validation contract around parameter structs
+// (any struct declared in internal/core or internal/config that has a
+// `Validate() error` method). Two rules:
+//
+//  1. Inside those packages, every exported function or method taking such
+//     a struct must validate it: either call param.Validate() or forward
+//     the param (or a copy) to another call that does. Methods on the
+//     watched struct itself are exempt — they are the invariant's home.
+//
+//  2. Everywhere else, a composite literal of a watched type must reach a
+//     Validate() call on some local path: directly, via the variable it is
+//     assigned to, by being passed into a core/config call (rule 1
+//     guarantees those validate), or by being embedded in another watched
+//     literal whose Validate cascades. Literals that are returned are the
+//     caller's responsibility.
+//
+// The check is function-scoped and flow-insensitive by design: it will not
+// chase a struct across function boundaries, but combined with rule 1 it
+// pins the invariant where it matters — the model entry points.
+var ParamValidate = &Analyzer{
+	Name: "paramvalidate",
+	Doc:  "flags parameter structs that can reach the model without a Validate() call",
+	Run:  runParamValidate,
+}
+
+func isParamPkgPath(path string) bool {
+	for _, p := range paramPackages {
+		if pkgPathHasSuffix(path, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// isWatchedStruct reports whether t (or *t) is a named struct from a param
+// package with a Validate() error method.
+func isWatchedStruct(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if !isParamPkgPath(named.Obj().Pkg().Path()) {
+		return false
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return false
+	}
+	obj, _, _ := types.LookupFieldOrMethod(named, true, named.Obj().Pkg(), "Validate")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 && isErrorType(sig.Results().At(0).Type())
+}
+
+func runParamValidate(pass *Pass) {
+	inParamPkg := isParamPkgPath(pass.PkgPath)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if inParamPkg {
+				checkEntryPoint(pass, fn)
+			} else {
+				checkConstructions(pass, fn)
+			}
+		}
+	}
+}
+
+// checkEntryPoint implements rule 1 for one function declaration.
+func checkEntryPoint(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() {
+		return
+	}
+	// Methods on a watched struct maintain the invariant themselves.
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if isWatchedStruct(pass.Info.TypeOf(fn.Recv.List[0].Type)) {
+			return
+		}
+	}
+	if fn.Type.Params == nil {
+		return
+	}
+	for _, field := range fn.Type.Params.List {
+		if !isWatchedStruct(pass.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil || name.Name == "_" {
+				continue
+			}
+			if !paramHandled(pass, fn.Body, obj) {
+				pass.Reportf(name, SeverityError,
+					"exported %s takes %s but neither calls its Validate() nor forwards it to a call that does",
+					fn.Name.Name, name.Name)
+			}
+		}
+	}
+}
+
+// paramHandled reports whether the watched parameter obj is validated in
+// body: p.Validate() is called, p (or &p, or a direct copy of p) is passed
+// as a call argument, or p is embedded in another watched literal.
+func paramHandled(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	// Track direct copies: q := p.
+	tracked := map[types.Object]bool{obj: true}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			if id, ok := ast.Unparen(rhs).(*ast.Ident); ok && tracked[pass.Info.Uses[id]] {
+				if lhsID, ok := assign.Lhs[i].(*ast.Ident); ok {
+					if def := pass.Info.Defs[lhsID]; def != nil {
+						tracked[def] = true
+					} else if use := pass.Info.Uses[lhsID]; use != nil {
+						tracked[use] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	usesTracked := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return tracked[pass.Info.Uses[e]]
+		case *ast.UnaryExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				return tracked[pass.Info.Uses[id]]
+			}
+		}
+		return false
+	}
+	handled := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if handled {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Validate" && usesTracked(sel.X) {
+					handled = true
+					return false
+				}
+			}
+			for _, arg := range node.Args {
+				if usesTracked(arg) {
+					handled = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if isWatchedStruct(pass.Info.TypeOf(node)) {
+				for _, elt := range node.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if usesTracked(v) {
+						handled = true
+						return false
+					}
+				}
+			}
+		}
+		return true
+	})
+	return handled
+}
+
+// checkConstructions implements rule 2 for one function declaration.
+func checkConstructions(pass *Pass, fn *ast.FuncDecl) {
+	// First pass: classify every watched composite literal's immediate
+	// context; collect variables holding watched literals.
+	type pending struct {
+		lit *ast.CompositeLit
+		obj types.Object // variable the literal is assigned to, if any
+	}
+	var pendings []pending
+
+	// parentOf maps each node to its parent for context classification.
+	parentOf := map[ast.Node]ast.Node{}
+	for _, root := range []ast.Node{fn.Body} {
+		var stack []ast.Node
+		ast.Inspect(root, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return false
+			}
+			if len(stack) > 0 {
+				parentOf[n] = stack[len(stack)-1]
+			}
+			stack = append(stack, n)
+			return true
+		})
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.CompositeLit)
+		if !ok || !isWatchedStruct(pass.Info.TypeOf(lit)) {
+			return true
+		}
+		ctx := parentOf[lit]
+		if u, ok := ctx.(*ast.UnaryExpr); ok { // &T{...}
+			ctx = parentOf[u]
+		}
+		switch ctxNode := ctx.(type) {
+		case *ast.ReturnStmt:
+			return true // caller's responsibility
+		case *ast.KeyValueExpr, *ast.CompositeLit:
+			// Embedded in another literal: if the parent literal is watched
+			// its Validate cascades; if not, fall through to flag.
+			p := ctx
+			for {
+				if kv, ok := p.(*ast.KeyValueExpr); ok {
+					p = parentOf[kv]
+					continue
+				}
+				break
+			}
+			if plit, ok := p.(*ast.CompositeLit); ok {
+				t := pass.Info.TypeOf(plit)
+				if isWatchedStruct(t) || insideWatchedLiteral(pass, parentOf, plit) {
+					return true
+				}
+			}
+			pass.Reportf(lit, SeverityError,
+				"%s constructed inside a non-validating literal; call Validate() before use", litName(pass, lit))
+			return true
+		case *ast.CallExpr:
+			if callReachesValidation(pass, ctxNode, lit) {
+				return true
+			}
+			pass.Reportf(lit, SeverityError,
+				"%s passed to %s which is outside internal/core·config; validate it first or let a core/config entry point receive it",
+				litName(pass, lit), calleeLabel(pass, ctxNode))
+			return true
+		case *ast.SelectorExpr:
+			// T{...}.Validate() or field read; the Validate case is fine,
+			// a bare field read means the struct is used unvalidated.
+			if ctxNode.Sel.Name == "Validate" {
+				return true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range ctxNode.Rhs {
+				r := ast.Unparen(rhs)
+				if u, ok := r.(*ast.UnaryExpr); ok {
+					r = ast.Unparen(u.X)
+				}
+				if r == ast.Expr(lit) && i < len(ctxNode.Lhs) {
+					if id, ok := ctxNode.Lhs[i].(*ast.Ident); ok {
+						obj := pass.Info.Defs[id]
+						if obj == nil {
+							obj = pass.Info.Uses[id]
+						}
+						if obj != nil {
+							pendings = append(pendings, pending{lit: lit, obj: obj})
+							return true
+						}
+					}
+				}
+			}
+		case *ast.ValueSpec: // var p = T{...}
+			for i, v := range ctxNode.Values {
+				r := ast.Unparen(v)
+				if u, ok := r.(*ast.UnaryExpr); ok {
+					r = ast.Unparen(u.X)
+				}
+				if r == ast.Expr(lit) && i < len(ctxNode.Names) {
+					if obj := pass.Info.Defs[ctxNode.Names[i]]; obj != nil {
+						pendings = append(pendings, pending{lit: lit, obj: obj})
+						return true
+					}
+				}
+			}
+		}
+		pass.Reportf(lit, SeverityError,
+			"%s constructed without reaching a Validate() call in this function", litName(pass, lit))
+		return true
+	})
+
+	// Second pass: resolve variables holding watched literals.
+	for _, p := range pendings {
+		if !variableValidated(pass, fn.Body, p.obj) {
+			pass.Reportf(p.lit, SeverityError,
+				"%s assigned to %s but no path in this function calls %s.Validate() or hands it to a core/config entry point",
+				litName(pass, p.lit), p.obj.Name(), p.obj.Name())
+		}
+	}
+}
+
+// insideWatchedLiteral walks up through nested composite literals looking
+// for a watched ancestor.
+func insideWatchedLiteral(pass *Pass, parentOf map[ast.Node]ast.Node, n ast.Node) bool {
+	for cur := parentOf[n]; cur != nil; cur = parentOf[cur] {
+		switch c := cur.(type) {
+		case *ast.CompositeLit:
+			if isWatchedStruct(pass.Info.TypeOf(c)) {
+				return true
+			}
+		case *ast.BlockStmt, *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// callReachesValidation reports whether passing the literal to this call
+// satisfies the contract: the callee lives in a param package (rule 1 makes
+// those validate) or is itself named Validate.
+func callReachesValidation(pass *Pass, call *ast.CallExpr, lit *ast.CompositeLit) bool {
+	obj := calleeObject(pass, call)
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	return isParamPkgPath(obj.Pkg().Path())
+}
+
+// variableValidated reports whether the variable obj reaches validation
+// within body: obj.Validate() is called, obj (or &obj) is an argument to a
+// param-package call, or obj is embedded in a watched literal.
+func variableValidated(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
+	usesObj := func(e ast.Expr) bool {
+		switch e := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return pass.Info.Uses[e] == obj
+		case *ast.UnaryExpr:
+			if id, ok := ast.Unparen(e.X).(*ast.Ident); ok {
+				return pass.Info.Uses[id] == obj
+			}
+		}
+		return false
+	}
+	validated := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if validated {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Validate" && usesObj(sel.X) {
+					validated = true
+					return false
+				}
+			}
+			callee := calleeObject(pass, node)
+			calleeValidates := callee != nil && callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path())
+			if calleeValidates {
+				for _, arg := range node.Args {
+					if usesObj(arg) {
+						validated = true
+						return false
+					}
+				}
+				// Method call on the variable itself, e.g. cfg.Apply().
+				if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && usesObj(sel.X) {
+					validated = true
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			if isWatchedStruct(pass.Info.TypeOf(node)) {
+				for _, elt := range node.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					if usesObj(v) {
+						validated = true
+						return false
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if usesObj(res) {
+					validated = true // caller's responsibility
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return validated
+}
+
+// litName renders the literal's type for diagnostics.
+func litName(pass *Pass, lit *ast.CompositeLit) string {
+	t := pass.Info.TypeOf(lit)
+	if t == nil {
+		return "parameter struct"
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj().Pkg().Name() + "." + named.Obj().Name()
+	}
+	return t.String()
+}

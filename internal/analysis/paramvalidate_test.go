@@ -1,0 +1,208 @@
+package analysis
+
+import "testing"
+
+// coreFixture declares a watched parameter struct the way internal/core
+// does: a named struct with a Validate() error method.
+const coreFixture = `package core
+
+import "errors"
+
+type Params struct {
+	C     float64
+	Alpha float64
+}
+
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("core: C must be positive")
+	}
+	return nil
+}
+
+// New is the model entry point: it validates.
+func New(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C * p.Alpha, nil
+}
+
+// MustNew forwards to a validating call.
+func MustNew(p Params) float64 {
+	v, err := New(p)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+`
+
+func TestParamValidateEntryPoints(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "entry point reading params without validating is flagged",
+			src: `package core
+import "errors"
+type Params struct{ C float64 }
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("bad")
+	}
+	return nil
+}
+func Throughput(p Params) float64 { // line 10: flagged (p never validated)
+	return p.C * 2
+}
+func Checked(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C * 2, nil
+}
+func Forwarded(p Params) (float64, error) {
+	return Checked(p)
+}
+func ForwardedCopy(p Params) (float64, error) {
+	q := p
+	q.C += 1
+	return Checked(q)
+}
+`,
+			want: []int{10},
+		},
+		{
+			name: "unexported helpers and methods on the struct are exempt",
+			src: `package core
+import "errors"
+type Params struct{ C float64 }
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("bad")
+	}
+	return nil
+}
+func (p Params) Halved() float64 { return p.C / 2 }
+func scale(p Params, f float64) float64 { return p.C * f }
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			src: `package core
+import "errors"
+type Params struct{ C float64 }
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("bad")
+	}
+	return nil
+}
+//modelcheck:ignore paramvalidate
+func Raw(p Params) float64 { return p.C }
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, ParamValidate, "internal/core/fixture.go", tc.src), tc.want...)
+		})
+	}
+}
+
+func TestParamValidateConstructions(t *testing.T) {
+	cases := []struct {
+		name     string
+		consumer string
+		want     []int // finding lines within app/app.go
+	}{
+		{
+			name: "literal handed to a core entry point is fine",
+			consumer: `package app
+import "fixturemod/internal/core"
+func Run() (float64, error) {
+	p := core.Params{C: 1, Alpha: 0.5}
+	return core.New(p)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "literal validated explicitly is fine",
+			consumer: `package app
+import "fixturemod/internal/core"
+func Run() (float64, error) {
+	p := core.Params{C: 1}
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C, nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "returned literal is the caller's responsibility",
+			consumer: `package app
+import "fixturemod/internal/core"
+func Defaults() core.Params {
+	return core.Params{C: 2.5e9, Alpha: 0.1}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "literal used raw without any validation path is flagged",
+			consumer: `package app
+import "fixturemod/internal/core"
+func Run() float64 {
+	p := core.Params{C: -1} // line 4: flagged
+	return p.C * 2
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "direct literal argument to a non-core call is flagged",
+			consumer: `package app
+import "fixturemod/internal/core"
+func use(p core.Params) float64 { return p.C }
+func Run() float64 {
+	return use(core.Params{C: -1}) // line 5: flagged
+}
+`,
+			want: []int{5},
+		},
+		{
+			name: "ignore directive suppresses",
+			consumer: `package app
+import "fixturemod/internal/core"
+func Run() float64 {
+	p := core.Params{C: -1} //modelcheck:ignore paramvalidate — invalid on purpose for an error-path test
+	return p.C * 2
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs := loadTempModule(t, map[string]string{
+				"internal/core/core.go": coreFixture,
+				"app/app.go":            tc.consumer,
+			})
+			var appFindings []Finding
+			for _, f := range RunAnalyzers(pkgs, []*Analyzer{ParamValidate}) {
+				if pkgPathHasSuffix(f.File, "app/app.go") {
+					appFindings = append(appFindings, f)
+				}
+			}
+			sameLines(t, appFindings, tc.want...)
+		})
+	}
+}

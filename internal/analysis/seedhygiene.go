@@ -1,0 +1,65 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// SeedHygiene flags use of math/rand's (and math/rand/v2's) package-level
+// functions outside internal/dist. Those functions draw from process-global
+// state, so any call site makes characterization output depend on what else
+// ran before it — breaking the byte-identical reruns the experiment
+// pipeline promises. All randomness must flow through dist.Rand, seeded
+// explicitly by the caller.
+//
+// Constructors (rand.New, rand.NewSource, rand.NewZipf) are not flagged:
+// they are only as nondeterministic as the seed handed to them, and
+// seedhygiene is about hidden global state, not seed policy.
+var SeedHygiene = &Analyzer{
+	Name: "seedhygiene",
+	Doc:  "flags math/rand global-state use outside internal/dist (breaks run-to-run determinism)",
+	Run:  runSeedHygiene,
+}
+
+// seedExemptFuncs are math/rand package-level names that do not touch the
+// global source.
+var seedExemptFuncs = map[string]bool{
+	"New":       true,
+	"NewSource": true,
+	"NewZipf":   true,
+	"NewPCG":    true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+func runSeedHygiene(pass *Pass) {
+	if pkgPathHasSuffix(pass.PkgPath, epsilonPackage) {
+		return
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pkgName, ok := pass.Info.Uses[ident].(*types.PkgName)
+			if !ok {
+				return true
+			}
+			imported := pkgName.Imported().Path()
+			if imported != "math/rand" && imported != "math/rand/v2" {
+				return true
+			}
+			if seedExemptFuncs[sel.Sel.Name] {
+				return true
+			}
+			pass.Reportf(sel, SeverityError,
+				"%s.%s uses math/rand global state; seed a dist.Rand explicitly so runs stay reproducible",
+				ident.Name, sel.Sel.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,75 @@
+package analysis
+
+import "testing"
+
+func TestSeedHygiene(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want []int
+	}{
+		{
+			name: "global rand functions are flagged",
+			file: "fixture.go",
+			src: `package fixture
+import "math/rand"
+func f() float64 {
+	rand.Seed(42)        // line 4: flagged
+	n := rand.Intn(10)   // line 5: flagged
+	return rand.Float64() + float64(n) // line 6: flagged
+}
+`,
+			want: []int{4, 5, 6},
+		},
+		{
+			name: "seeded instances are fine",
+			file: "fixture.go",
+			src: `package fixture
+import "math/rand"
+func f() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64() * float64(r.Intn(10))
+}
+`,
+			want: nil,
+		},
+		{
+			name: "internal/dist may wrap raw randomness",
+			file: "internal/dist/fixture.go",
+			src: `package dist
+import "math/rand"
+func f() float64 { return rand.Float64() }
+`,
+			want: nil,
+		},
+		{
+			name: "a local package named rand is not math/rand",
+			file: "fixture.go",
+			src: `package fixture
+type randT struct{}
+func (randT) Float64() float64 { return 0.5 }
+var rand randT
+func f() float64 { return rand.Float64() }
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			file: "fixture.go",
+			src: `package fixture
+import "math/rand"
+func f() int {
+	//modelcheck:ignore seedhygiene — jitter here is intentionally unseeded
+	return rand.Intn(3)
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, SeedHygiene, tc.file, tc.src), tc.want...)
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// runOnSource runs one analyzer over a single-file fixture and returns the
+// surviving findings.
+func runOnSource(t *testing.T, a *Analyzer, filename, src string) []Finding {
+	t.Helper()
+	pkg, err := LoadSource(filename, src)
+	if err != nil {
+		t.Fatalf("LoadSource(%s): %v", filename, err)
+	}
+	return RunAnalyzers([]*Package{pkg}, []*Analyzer{a})
+}
+
+// findingLines projects findings onto their line numbers for compact
+// assertions.
+func findingLines(fs []Finding) []int {
+	out := make([]int, len(fs))
+	for i, f := range fs {
+		out[i] = f.Line
+	}
+	return out
+}
+
+// sameLines compares a findings slice against the expected line numbers.
+func sameLines(t *testing.T, fs []Finding, want ...int) {
+	t.Helper()
+	got := findingLines(fs)
+	if len(got) != len(want) {
+		t.Fatalf("got %d finding(s) on lines %v, want lines %v\n%v", len(got), got, want, fs)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("finding %d on line %d, want line %d\n%v", i, got[i], want[i], fs)
+		}
+	}
+}
+
+// writeFixtureModule materializes files (path → contents) as a throwaway
+// module rooted at dir.
+func writeFixtureModule(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	files["go.mod"] = "module fixturemod\n\ngo 1.22\n"
+	for rel, src := range files {
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// loadTempModule materializes files as a throwaway module and loads every
+// package in it.
+func loadTempModule(t *testing.T, files map[string]string) []*Package {
+	t.Helper()
+	dir := t.TempDir()
+	writeFixtureModule(t, dir, files)
+	pkgs, err := Load(LoadConfig{Dir: dir}, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkgs
+}

@@ -94,7 +94,7 @@ func Provision(p Plan) (Result, error) {
 		ServersFreed: p.Servers - after,
 		Feasible:     true,
 	}
-	if p.OffloadsPerServer == 0 || p.ServiceCycles == 0 || p.DevicesPerServer == 0 {
+	if p.OffloadsPerServer <= 0 || p.ServiceCycles <= 0 || p.DevicesPerServer == 0 {
 		// No discrete device to provision (on-chip or remote acceleration,
 		// or an ideal accelerator).
 		return res, nil

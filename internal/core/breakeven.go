@@ -32,6 +32,7 @@ func (k Kernel) Validate() error {
 
 // HostCycles returns the host cycles to execute a g-byte offload: Cb·g^β.
 func (k Kernel) HostCycles(g uint64) float64 {
+	//modelcheck:ignore floatcmp — exact fast path for the common β=1 kernel
 	if k.Beta == 1 {
 		return k.Cb * float64(g)
 	}
@@ -145,7 +146,7 @@ func (m *Model) BreakEvenThroughputG(t Threading, k Kernel) (float64, error) {
 		}
 		effCb = k.Cb * factor
 	}
-	if over == 0 {
+	if over <= 0 {
 		// Any positive size profits; the minimum meaningful offload is one
 		// byte.
 		return 1, nil
@@ -182,7 +183,7 @@ func (m *Model) BreakEvenLatencyG(t Threading, s Strategy, k Kernel) (float64, e
 	if factor <= 0 {
 		return math.Inf(1), nil
 	}
-	if over == 0 {
+	if over <= 0 {
 		return 1, nil
 	}
 	return math.Pow(over/(k.Cb*factor), 1/k.Beta), nil

@@ -23,7 +23,7 @@ func MM1WaitCycles(serviceCycles, offloadsPerUnit, unitCycles float64) (float64,
 		return 0, fmt.Errorf("core: invalid M/M/1 args (service=%v n=%v unit=%v)",
 			serviceCycles, offloadsPerUnit, unitCycles)
 	}
-	if offloadsPerUnit == 0 {
+	if offloadsPerUnit <= 0 {
 		return 0, nil
 	}
 	// Work in cycles: arrivals per cycle λc, service rate per cycle μc.
@@ -78,7 +78,7 @@ func (m *Model) SpeedupWithQueueSamples(t Threading, queueCycles []float64) (flo
 // accelerator load" use case of §3.
 func (m *Model) SpeedupUnderLoad(t Threading) (float64, error) {
 	p := m.p
-	if p.N == 0 || p.Alpha == 0 {
+	if p.N <= 0 || p.Alpha <= 0 {
 		return m.Speedup(t)
 	}
 	service := p.Alpha * p.C / p.A / p.N

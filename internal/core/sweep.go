@@ -179,7 +179,7 @@ func (m *Model) MaximumL(th Threading, target float64) (float64, error) {
 	if s < target {
 		return 0, nil
 	}
-	if p.N == 0 {
+	if p.N <= 0 {
 		return math.Inf(1), nil
 	}
 	// All designs are linear in (n/C)·L: 1/target = base + (n/C)·L.
@@ -202,7 +202,7 @@ func (m *Model) Sensitivity(param SweepParam, th Threading) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if cur == 0 {
+	if cur <= 0 {
 		// Parameter is zero: use an absolute step of 1% of a natural scale
 		// instead (1 cycle for overheads; 0.01 for alpha; 1 for A/n).
 		cur = 1

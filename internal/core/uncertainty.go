@@ -70,7 +70,7 @@ func (m *Model) MonteCarlo(th Threading, j Jitter, n int, rng *dist.Rand) (Uncer
 	}
 
 	perturb := func(v, frac float64) float64 {
-		if frac == 0 {
+		if frac <= 0 {
 			return v
 		}
 		return v * (1 + frac*(2*rng.Float64()-1))

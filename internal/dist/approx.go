@@ -1,0 +1,47 @@
+package dist
+
+import "math"
+
+// Epsilon comparison helpers. Exact float equality is banned throughout the
+// repository (enforced by the floatcmp analyzer in internal/analysis);
+// model code compares through these instead so projections stay stable
+// under rounding and re-association.
+
+// DefaultEps is the absolute/relative tolerance used when a caller has no
+// domain-specific one. It is generous enough for accumulated float64 model
+// arithmetic and far finer than any quantity the paper reports.
+const DefaultEps = 1e-9
+
+// AlmostEqual reports whether a and b are equal within eps, using an
+// absolute comparison near zero and a relative one elsewhere. NaN is never
+// almost-equal to anything; equal infinities are.
+func AlmostEqual(a, b, eps float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return false
+	}
+	if a == b { //modelcheck:ignore floatcmp — the exact fast path, incl. infinities
+		return true
+	}
+	diff := math.Abs(a - b)
+	if math.IsInf(diff, 0) {
+		return false
+	}
+	norm := math.Max(math.Abs(a), math.Abs(b))
+	if norm <= 1 {
+		return diff <= eps
+	}
+	return diff <= eps*norm
+}
+
+// WithinRel reports whether got is within relative tolerance rel of want;
+// it is the boolean companion of RelativeError and follows its zero/Inf
+// conventions.
+func WithinRel(got, want, rel float64) bool {
+	return RelativeError(got, want) <= rel
+}
+
+// IsZero reports whether x is within DefaultEps of zero — the idiomatic
+// replacement for `x == 0` sentinel checks on computed values.
+func IsZero(x float64) bool {
+	return math.Abs(x) <= DefaultEps
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAlmostEqual(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"identical", 1.5, 1.5, DefaultEps, true},
+		{"within absolute eps near zero", 1e-12, -1e-12, 1e-9, true},
+		{"outside absolute eps near zero", 1e-6, 0, 1e-9, false},
+		{"relative tolerance on large values", 1e15, 1e15 * (1 + 1e-12), 1e-9, true},
+		{"outside relative tolerance", 100, 101, 1e-9, false},
+		{"accumulated rounding", 0.1 + 0.2, 0.3, DefaultEps, true},
+		{"equal infinities", math.Inf(1), math.Inf(1), DefaultEps, true},
+		{"opposite infinities", math.Inf(1), math.Inf(-1), DefaultEps, false},
+		{"infinity vs finite", math.Inf(1), 1e300, DefaultEps, false},
+		{"nan never equal", math.NaN(), math.NaN(), DefaultEps, false},
+		{"nan vs value", math.NaN(), 1, DefaultEps, false},
+	}
+	for _, tc := range cases {
+		if got := AlmostEqual(tc.a, tc.b, tc.eps); got != tc.want {
+			t.Errorf("%s: AlmostEqual(%v, %v, %v) = %v, want %v", tc.name, tc.a, tc.b, tc.eps, got, tc.want)
+		}
+	}
+}
+
+func TestWithinRel(t *testing.T) {
+	if !WithinRel(101, 100, 0.02) {
+		t.Error("101 should be within 2% of 100")
+	}
+	if WithinRel(103, 100, 0.02) {
+		t.Error("103 should not be within 2% of 100")
+	}
+	if !WithinRel(0, 0, 0) {
+		t.Error("both zero should be within any tolerance")
+	}
+	if WithinRel(1, 0, 0.5) {
+		t.Error("nonzero vs zero want should never be within a relative tolerance")
+	}
+}
+
+func TestIsZero(t *testing.T) {
+	if !IsZero(0) || !IsZero(1e-12) || !IsZero(-1e-12) {
+		t.Error("values within DefaultEps of zero should report zero")
+	}
+	if IsZero(1e-6) || IsZero(math.Inf(1)) || IsZero(math.NaN()) {
+		t.Error("values beyond DefaultEps of zero should not report zero")
+	}
+}

@@ -73,6 +73,7 @@ func (b Breakdown) Categories() []string {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//modelcheck:ignore floatcmp — sort comparator needs exact ordering to stay strict-weak
 		if b[out[i]] != b[out[j]] {
 			return b[out[i]] > b[out[j]]
 		}

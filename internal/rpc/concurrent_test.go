@@ -5,8 +5,10 @@ import (
 	"compress/flate"
 	"fmt"
 	"net"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 // The server must handle many concurrent connections, each with its own
@@ -143,4 +145,69 @@ func TestServerDropsCorruptConnection(t *testing.T) {
 		t.Error("expected connection to be dropped after corrupt frame")
 	}
 	clientConn.Close()
+}
+
+// Hammering Close while clients are still connecting must never race the
+// connection WaitGroup (Add-after-Wait) or leak served connections past
+// Close's return. Run under -race this exercises the track()/Close
+// handshake; scripts/check.sh keeps it in the standing gate.
+func TestServerCloseDuringConnectStorm(t *testing.T) {
+	for round := 0; round < 6; round++ {
+		srv, err := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(lis) }()
+
+		var wg sync.WaitGroup
+		stop := make(chan struct{})
+		for c := 0; c < 4; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					conn, err := net.Dial("tcp", lis.Addr().String())
+					if err != nil {
+						return // listener closed; storm is over
+					}
+					// A connection can land in the accept backlog right as
+					// the listener closes and then never be served; the
+					// deadline keeps such calls from blocking forever.
+					if err := conn.SetDeadline(time.Now().Add(500 * time.Millisecond)); err != nil {
+						conn.Close()
+						return
+					}
+					client, err := NewClient(conn, nil)
+					if err != nil {
+						conn.Close()
+						return
+					}
+					// Calls may fail mid-shutdown; only the race matters.
+					_, callErr := client.Call(Message{Method: "ping"})
+					_ = callErr //modelcheck:ignore errdrop — failures expected once Close lands
+					client.Close()
+				}
+			}()
+		}
+		if err := srv.Close(); err != nil {
+			t.Fatalf("round %d: Close: %v", round, err)
+		}
+		// Serve returns nil on clean shutdown, or the already-closed error
+		// when Close won the race before Serve entered its accept loop.
+		if err := <-done; err != nil && !strings.Contains(err.Error(), "already closed") {
+			t.Fatalf("round %d: Serve: %v", round, err)
+		}
+		close(stop)
+		wg.Wait()
+	}
 }

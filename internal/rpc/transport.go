@@ -98,7 +98,12 @@ func (s *Server) Serve(lis net.Listener) error {
 			}
 			return fmt.Errorf("rpc: accept: %w", err)
 		}
-		s.wg.Add(1)
+		if !s.track() {
+			// Close() raced with Accept: it may already be draining the
+			// WaitGroup, so this connection must not be added to it.
+			conn.Close() //modelcheck:ignore errdrop — connection abandoned during shutdown
+			return nil
+		}
 		go func() {
 			defer s.wg.Done()
 			s.serveConn(conn)
@@ -109,9 +114,25 @@ func (s *Server) Serve(lis net.Listener) error {
 // ServeConn handles a single pre-established connection (e.g. one end of
 // net.Pipe) until it closes.
 func (s *Server) ServeConn(conn net.Conn) {
-	s.wg.Add(1)
+	if !s.track() {
+		conn.Close() //modelcheck:ignore errdrop — connection abandoned during shutdown
+		return
+	}
 	defer s.wg.Done()
 	s.serveConn(conn)
+}
+
+// track registers one in-flight connection with the WaitGroup. It reports
+// false once the server is closed: Close sets closed under mu before it
+// waits, so a successful Add here can never race a concurrent Wait.
+func (s *Server) track() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.wg.Add(1)
+	return true
 }
 
 func (s *Server) serveConn(conn net.Conn) {

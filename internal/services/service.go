@@ -66,8 +66,8 @@ func categoryIPC(svc fleetdata.Service, category string, gen cpuarch.Generation)
 	if v, err := cpuarch.Cache1LeafIPC.IPC(category, gen); err == nil && svc == fleetdata.Cache1 {
 		return v
 	}
-	base := defaultIPC[category]
-	if base == 0 {
+	base, ok := defaultIPC[category]
+	if !ok {
 		base = 1.0
 	}
 	// Scale by the published Cache1 factor when the category is covered;

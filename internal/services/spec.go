@@ -279,7 +279,7 @@ func fitJoint(svc fleetdata.Service) (map[string]map[leafFunc]float64, error) {
 			for _, v := range row {
 				sum += v
 			}
-			if sum == 0 {
+			if sum <= 0 {
 				continue
 			}
 			f := rowTarget[cat] / sum
@@ -293,7 +293,7 @@ func fitJoint(svc fleetdata.Service) (map[string]map[leafFunc]float64, error) {
 			for cat := range joint {
 				sum += joint[cat][lf]
 			}
-			if sum == 0 {
+			if sum <= 0 {
 				continue
 			}
 			f := target / sum

@@ -190,6 +190,7 @@ type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
+	//modelcheck:ignore floatcmp — heap ordering must compare timestamps exactly
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}

@@ -48,6 +48,7 @@ func formatFloat(v float64) string {
 		return "inf"
 	case math.IsInf(v, -1):
 		return "-inf"
+	//modelcheck:ignore floatcmp — exact integrality test chooses the float's print format
 	case v == math.Trunc(v) && math.Abs(v) < 1e15:
 		return fmt.Sprintf("%.0f", v)
 	default:

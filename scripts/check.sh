@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# check.sh — the standing correctness gate for this repository.
+#
+# Runs, in order:
+#   1. go build ./...            (everything compiles)
+#   2. go vet ./...              (stock static analysis)
+#   3. modelcheck ./...          (domain-aware suite: floatcmp, errdrop,
+#                                 paramvalidate, seedhygiene, lockcheck)
+#   4. modelcheck self-test      (the suite must still flag a known-bad file)
+#   5. go test -race ./...       (unit + integration tests under the race
+#                                 detector; covers the concurrent rpc/sim
+#                                 layers)
+#
+# Any failure exits non-zero. CI runs exactly this script (.github/workflows/ci.yml).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> modelcheck ./..."
+go run ./cmd/modelcheck ./...
+
+echo "==> modelcheck self-test (must flag a known-bad fixture)"
+selftest="$(mktemp -d)"
+trap 'rm -rf "$selftest"' EXIT
+cat > "$selftest/go.mod" <<'EOF'
+module selftest
+
+go 1.22
+EOF
+cat > "$selftest/bad.go" <<'EOF'
+package selftest
+
+import (
+	"math/rand"
+	"os"
+	"sync"
+)
+
+var mu sync.Mutex
+
+func Bad(a, b float64) bool {
+	mu.Lock()
+	os.Remove("x")
+	return a == b && rand.Float64() > 0.5
+}
+EOF
+if go run ./cmd/modelcheck -C "$selftest" ./... > /dev/null 2>&1; then
+    echo "FATAL: modelcheck exited 0 on a fixture with known findings" >&2
+    exit 1
+fi
+echo "    ok: suite flags the bad fixture"
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+echo "==> all gates green"
