@@ -11,12 +11,16 @@ package main
 import (
 	"compress/flate"
 	"fmt"
+	"net"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/kernels"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // benchOutput prints each experiment's rendered artifact exactly once per
@@ -202,5 +206,83 @@ func BenchmarkKernelAllocation(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// Telemetry overhead: an instrumented Call (span + stage children + stage
+// histograms) versus the same Call with no Instrumentation attached. The
+// disabled path must stay within noise of the pre-telemetry substrate —
+// the nil-sink instruments are allocation-free (see
+// telemetry.TestDisabledPathAllocationFree). scripts/bench.sh captures the
+// pair into BENCH_telemetry.json.
+
+func benchEchoClient(b *testing.B, ins *rpc.Instrumentation) *rpc.Client {
+	b.Helper()
+	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serverConn)
+	client, err := rpc.NewClient(clientConn, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if ins != nil {
+		client.Instrument(ins)
+	}
+	b.Cleanup(func() {
+		if err := client.Close(); err != nil {
+			b.Errorf("client close: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+	})
+	return client
+}
+
+func benchCall(b *testing.B, client *rpc.Client) {
+	b.Helper()
+	req := rpc.Message{Method: "echo", Payload: []byte("accelerometer")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallDisabled(b *testing.B) {
+	benchCall(b, benchEchoClient(b, nil))
+}
+
+func BenchmarkCallInstrumented(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	mx, err := rpc.NewMetrics(reg, "bench_rpc")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tracer := telemetry.NewTracer("bench")
+	benchCall(b, benchEchoClient(b, &rpc.Instrumentation{Tracer: tracer, Metrics: mx}))
+}
+
+// BenchmarkTelemetryDisabledSinks measures the pure instrumentation calls
+// with nil sinks — what every Call pays when telemetry is off. Must report
+// 0 B/op, 0 allocs/op (also asserted by telemetry.TestDisabledPathAllocationFree).
+func BenchmarkTelemetryDisabledSinks(b *testing.B) {
+	var (
+		tr *telemetry.Tracer
+		c  *telemetry.Counter
+		h  *telemetry.Histogram
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := tr.Start("call")
+		sp.ChildDone("stage", time.Time{}, 0)
+		c.Inc()
+		h.Record(1.0)
+		sp.End()
 	}
 }

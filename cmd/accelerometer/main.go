@@ -23,9 +23,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 	"repro/internal/textchart"
 )
 
@@ -40,10 +42,42 @@ func main() {
 	all := flag.Bool("all", false, "evaluate every threading design, not just the configured one")
 	sweep := flag.String("sweep", "", "parameter to sweep (A, L, Q, o1, alpha, n)")
 	values := flag.String("values", "", "comma-separated values for -sweep")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (\"-\" for stdout; load in Perfetto)")
 	flag.Parse()
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Telemetry is optional: without the export flags both sinks stay nil
+	// and the instrumented paths cost one nil check.
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	var evalTime *telemetry.Histogram
+	var evals *telemetry.Counter
+	if *metricsOut != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer("accelerometer")
+		var terr error
+		if evalTime, terr = reg.Histogram("accelerometer_eval_seconds", "wall time per design evaluation"); terr != nil {
+			fatal(terr)
+		}
+		if evals, terr = reg.Counter("accelerometer_evals_total", "design evaluations performed"); terr != nil {
+			fatal(terr)
+		}
+		defer func() {
+			if *metricsOut != "" {
+				if err := telemetry.WriteMetricsFile(*metricsOut, reg); err != nil {
+					fatal(err)
+				}
+			}
+			if *traceOut != "" {
+				if err := telemetry.WriteTraceFile(*traceOut, tracer.Spans()); err != nil {
+					fatal(err)
+				}
+			}
+		}()
 	}
 
 	var in io.Reader
@@ -74,7 +108,10 @@ func main() {
 	fmt.Printf("Accelerometer estimate for %s (%s, %s)\n\n", name, sc.Threading, sc.Strategy)
 
 	if *sweep != "" {
-		if err := runSweep(m, sc, *sweep, *values); err != nil {
+		sp := tracer.Start("sweep/" + *sweep)
+		err := runSweep(m, sc, *sweep, *values)
+		sp.End()
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -86,6 +123,8 @@ func main() {
 	}
 	tb := textchart.NewTable("Threading", "Speedup", "Speedup %", "Latency reduction", "Latency %")
 	for _, th := range designs {
+		sp := tracer.Start("evaluate/" + th.String())
+		t0 := time.Now()
 		s, err := m.Speedup(th)
 		if err != nil {
 			fatal(err)
@@ -94,6 +133,9 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		evalTime.Record(time.Since(t0).Seconds())
+		evals.Inc()
+		sp.End()
 		tb.AddRowf(th.String(), s, (s-1)*100, l, (l-1)*100)
 	}
 	fmt.Print(tb.Render())

@@ -11,14 +11,56 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	run := flag.String("run", "", "experiment id to run (or \"all\")")
+	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
+	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (\"-\" for stdout; load in Perfetto)")
 	flag.Parse()
+
+	// With either export flag set, each experiment's run is wrapped in a
+	// span and timed into a runtime histogram; the artifact output itself
+	// is byte-identical to the uninstrumented path (pinned by
+	// determinism_test.go, asserted against the flagged path in the root
+	// telemetry integration test).
+	var reg *telemetry.Registry
+	var tracer *telemetry.Tracer
+	var runtimeHist *telemetry.Histogram
+	if *metricsOut != "" || *traceOut != "" {
+		reg = telemetry.NewRegistry()
+		tracer = telemetry.NewTracer("experiments")
+		var terr error
+		if runtimeHist, terr = reg.Histogram("experiment_runtime_seconds", "wall time per experiment artifact"); terr != nil {
+			fatal(terr)
+		}
+	}
+	flush := func() {
+		if *metricsOut != "" {
+			if err := telemetry.WriteMetricsFile(*metricsOut, reg); err != nil {
+				fatal(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := telemetry.WriteTraceFile(*traceOut, tracer.Spans()); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	runOne := func(e experiments.Experiment) (string, error) {
+		sp := tracer.Start("experiment/" + e.ID)
+		t0 := time.Now()
+		out, err := e.Run()
+		runtimeHist.Record(time.Since(t0).Seconds())
+		sp.End()
+		return out, err
+	}
 
 	switch {
 	case *list:
@@ -26,21 +68,26 @@ func main() {
 			fmt.Printf("%-6s %s\n", e.ID, e.Title)
 		}
 	case *run == "all":
-		out, err := experiments.RunAll()
-		if err != nil {
-			fatal(err)
+		// Same rendering as experiments.RunAll, with per-experiment spans.
+		for _, e := range experiments.All() {
+			out, err := runOne(e)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", e.ID, err))
+			}
+			fmt.Printf("=== %s: %s ===\n%s\n", e.ID, e.Title, out)
 		}
-		fmt.Print(out)
+		flush()
 	case *run != "":
 		e, err := experiments.Lookup(*run)
 		if err != nil {
 			fatal(err)
 		}
-		out, err := e.Run()
+		out, err := runOne(e)
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("=== %s: %s ===\n%s", e.ID, e.Title, out)
+		flush()
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -98,6 +98,7 @@ func All() []*Analyzer {
 		ParamValidate,
 		SeedHygiene,
 		LockCheck,
+		Shadow,
 	}
 }
 

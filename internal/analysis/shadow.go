@@ -1,0 +1,154 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Shadow flags `:=` declarations that shadow an error-typed `err` from an
+// enclosing scope when the outer `err` is still read after the shadowing
+// block closes. That pattern almost always means a nested block intended
+// to assign the outer variable —
+//
+//	err := setup()
+//	if retry {
+//		_, err := attempt() // shadows; the outer err keeps setup()'s value
+//		...
+//	}
+//	if err != nil { ... } // checks the wrong error
+//
+// — so the later check silently tests a stale error. Shadows whose outer
+// variable is never read again are harmless and not reported, as is a read
+// with an intervening write (`x, err := f()` or `err = f()` between the
+// block and the read refreshes the value, so nothing stale survives), and
+// the idiomatic `if err := f(); err != nil { ... }` form is exempt: its
+// scope cannot leak and the init-clause declaration is deliberate. Writes
+// are matched to reads by source position, not control flow — precise
+// enough in practice for a straight-line error-handling style.
+var Shadow = &Analyzer{
+	Name: "shadow",
+	Doc:  "flags := shadowing of an error-typed err whose outer value is read after the inner scope closes",
+	Run:  runShadow,
+}
+
+func runShadow(pass *Pass) {
+	for _, file := range pass.Files {
+		reads, writes := collectAccesses(pass, file)
+		initAssigns := collectInitAssigns(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			assign, ok := n.(*ast.AssignStmt)
+			if !ok || assign.Tok != token.DEFINE || initAssigns[assign] {
+				return true
+			}
+			for _, lhs := range assign.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name != "err" {
+					continue
+				}
+				// Defs is non-nil only when this := mints a new object (a
+				// mixed := reusing an outer err has no Defs entry).
+				obj := pass.Info.Defs[id]
+				if obj == nil || !isErrorType(obj.Type()) {
+					continue
+				}
+				inner := obj.Parent()
+				if inner == nil || inner.Parent() == nil {
+					continue
+				}
+				outerScope, outer := inner.Parent().LookupParent("err", id.Pos())
+				if outer == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+					continue
+				}
+				if !isErrorType(outer.Type()) || outer.Pos() >= id.Pos() {
+					continue
+				}
+				// Dangerous only if the outer err is read again once the
+				// shadowing scope has closed AND no write refreshes it
+				// first — such a read sees the stale pre-block value.
+				if staleReadAfter(inner.End(), reads[outer], writes[outer]) {
+					pass.Reportf(id, SeverityError,
+						"err shadows an error declared at line %d that is read after this block; the outer check will see a stale error",
+						pass.Fset.Position(outer.Pos()).Line)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// collectAccesses splits each object's uses into read and write positions.
+// A use on the left-hand side of an assignment is a write — whether `err =
+// f()` or a mixed `x, err := f()` that re-assigns an existing variable.
+func collectAccesses(pass *Pass, file *ast.File) (reads, writes map[types.Object][]token.Pos) {
+	assigned := map[*ast.Ident]bool{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || (assign.Tok != token.ASSIGN && assign.Tok != token.DEFINE) {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			if id, ok := lhs.(*ast.Ident); ok {
+				assigned[id] = true
+			}
+		}
+		return true
+	})
+	reads = map[types.Object][]token.Pos{}
+	writes = map[types.Object][]token.Pos{}
+	for id, obj := range pass.Info.Uses {
+		if assigned[id] {
+			writes[obj] = append(writes[obj], id.Pos())
+		} else {
+			reads[obj] = append(reads[obj], id.Pos())
+		}
+	}
+	return reads, writes
+}
+
+// staleReadAfter reports whether some read past end has no write between
+// end and itself — i.e. it observes the value the variable held before the
+// shadowing block ran.
+func staleReadAfter(end token.Pos, reads, writes []token.Pos) bool {
+	for _, r := range reads {
+		if r <= end {
+			continue
+		}
+		refreshed := false
+		for _, w := range writes {
+			if w > end && w < r {
+				refreshed = true
+				break
+			}
+		}
+		if !refreshed {
+			return true
+		}
+	}
+	return false
+}
+
+// collectInitAssigns gathers := statements that are the init clause of an
+// if/for/switch — scoped-by-construction declarations the analyzer exempts.
+func collectInitAssigns(file *ast.File) map[*ast.AssignStmt]bool {
+	set := map[*ast.AssignStmt]bool{}
+	mark := func(stmt ast.Stmt) {
+		if a, ok := stmt.(*ast.AssignStmt); ok {
+			set[a] = true
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.IfStmt:
+			mark(s.Init)
+		case *ast.ForStmt:
+			mark(s.Init)
+		case *ast.SwitchStmt:
+			mark(s.Init)
+		case *ast.TypeSwitchStmt:
+			mark(s.Init)
+		}
+		return true
+	})
+	return set
+}

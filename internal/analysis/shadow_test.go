@@ -1,0 +1,188 @@
+package analysis
+
+import "testing"
+
+func TestShadow(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		src  string
+		want []int
+	}{
+		{
+			name: "nested block shadow with later read is flagged",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error   { return nil }
+func attempt() (int, error) { return 0, nil }
+func f(retry bool) error {
+	err := setup()
+	if retry {
+		_, err := attempt() // line 7: flagged
+		_ = err
+	}
+	return err
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "if-init scoped err is idiomatic",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error { return nil }
+func g() error     { return nil }
+func f() error {
+	err := setup()
+	if err := g(); err != nil {
+		return err
+	}
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "outer err never read after the block",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error { return nil }
+func g() error     { return nil }
+func f() {
+	err := setup()
+	_ = err
+	{
+		err := g()
+		_ = err
+	}
+}
+`,
+			want: nil,
+		},
+		{
+			name: "outer err only overwritten after the block",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error { return nil }
+func g() error     { return nil }
+func f() {
+	err := setup()
+	_ = err
+	{
+		err := g()
+		_ = err
+	}
+	err = setup()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "intervening refresh clears the later read",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error   { return nil }
+func attempt() (int, error) { return 0, nil }
+func f(retry bool) error {
+	err := setup()
+	if retry {
+		_, err := attempt() // refresh below kills the staleness
+		_ = err
+	}
+	_, err = attempt()
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "mixed := refresh also clears the later read",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error   { return nil }
+func attempt() (int, error) { return 0, nil }
+func f(retry bool) error {
+	err := setup()
+	if retry {
+		_, err := attempt()
+		_ = err
+	}
+	n, err := attempt() // := reusing the outer err is a write
+	_ = n
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "read after overwrite still flags the shadow",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error { return nil }
+func g() error     { return nil }
+func f() error {
+	err := setup()
+	{
+		err := g() // line 7: flagged
+		_ = err
+	}
+	return err
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "fresh err without an outer declaration",
+			file: "fixture.go",
+			src: `package fixture
+func g() error { return nil }
+func f() error {
+	if true {
+		err := g()
+		return err
+	}
+	return nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "non-error err is not this analyzer's business",
+			file: "fixture.go",
+			src: `package fixture
+func f() int {
+	err := 1
+	{
+		err := 2
+		_ = err
+	}
+	return err
+}
+`,
+			want: nil,
+		},
+		{
+			name: "ignore directive suppresses",
+			file: "fixture.go",
+			src: `package fixture
+func setup() error   { return nil }
+func attempt() (int, error) { return 0, nil }
+func f(retry bool) error {
+	err := setup()
+	if retry {
+		//modelcheck:ignore shadow — inner attempt error is deliberately local
+		_, err := attempt()
+		_ = err
+	}
+	return err
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, Shadow, tc.file, tc.src), tc.want...)
+		})
+	}
+}

@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"fmt"
 	"net"
 	"strings"
@@ -180,21 +181,20 @@ func TestServerCloseDuringConnectStorm(t *testing.T) {
 					if err != nil {
 						return // listener closed; storm is over
 					}
-					// A connection can land in the accept backlog right as
-					// the listener closes and then never be served; the
-					// deadline keeps such calls from blocking forever.
-					if err := conn.SetDeadline(time.Now().Add(500 * time.Millisecond)); err != nil {
-						conn.Close()
-						return
-					}
 					client, err := NewClient(conn, nil)
 					if err != nil {
 						conn.Close()
 						return
 					}
-					// Calls may fail mid-shutdown; only the race matters.
-					_, callErr := client.Call(Message{Method: "ping"})
+					// A connection can land in the accept backlog right as
+					// the listener closes and then never be served; the
+					// context deadline keeps such calls from blocking
+					// forever. Calls may fail mid-shutdown; only the race
+					// matters.
+					ctx, cancel := context.WithTimeout(context.Background(), 500*time.Millisecond)
+					_, callErr := client.CallContext(ctx, Message{Method: "ping"})
 					_ = callErr //modelcheck:ignore errdrop — failures expected once Close lands
+					cancel()
 					client.Close()
 				}
 			}()

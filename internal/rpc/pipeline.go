@@ -5,8 +5,10 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"time"
 
 	"repro/internal/kernels"
+	"repro/internal/telemetry"
 )
 
 // Pipeline encodes messages through the full orchestration path the paper
@@ -21,6 +23,7 @@ type Pipeline struct {
 	iv            []byte
 
 	stats PipelineStats
+	mx    *Metrics // optional stage histograms; nil leaves stages untimed
 }
 
 // PipelineStats counts the work done by each stage.
@@ -79,6 +82,12 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 // Stats returns a snapshot of the pipeline's counters.
 func (p *Pipeline) Stats() PipelineStats { return p.stats }
 
+// Instrument attaches stage-latency histograms to the pipeline. Pass nil
+// to detach. Client.Instrument and Server.Instrument call this for the
+// pipelines they own; standalone pipelines (e.g. services.Exercise) attach
+// directly.
+func (p *Pipeline) Instrument(mx *Metrics) { p.mx = mx }
+
 // nextIV derives a fresh IV from the encryption counter.
 func (p *Pipeline) nextIV() []byte {
 	binary.LittleEndian.PutUint64(p.iv, p.stats.Encryptions+p.stats.Decryptions+1)
@@ -89,7 +98,16 @@ func (p *Pipeline) nextIV() []byte {
 
 // Encode runs a message through serialize → compress → encrypt and returns
 // the wire bytes.
-func (p *Pipeline) Encode(m Message) ([]byte, error) {
+func (p *Pipeline) Encode(m Message) ([]byte, error) { return p.EncodeSpan(m, nil) }
+
+// EncodeSpan is Encode with per-stage observability: each stage's latency
+// is recorded as a child span of sp (when non-nil) and into the attached
+// stage histograms (when Instrument was called). With neither attached it
+// is identical to Encode.
+func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
+	obs := p.mx != nil || sp != nil
+	var t0 time.Time
+
 	var flags byte
 	if p.compress {
 		flags |= flagCompressed
@@ -97,22 +115,37 @@ func (p *Pipeline) Encode(m Message) ([]byte, error) {
 	if p.cipher != nil {
 		flags |= flagEncrypted
 	}
+	if obs {
+		t0 = time.Now()
+	}
 	data, err := marshalWithFlags(m, flags)
 	if err != nil {
 		return nil, err
+	}
+	if obs {
+		observeStage(p.mx.stageHist(stageSerialize), sp, "serialize", t0)
 	}
 	p.stats.Serialized++
 	p.stats.BytesIn += uint64(len(data))
 
 	if p.compress {
+		if obs {
+			t0 = time.Now()
+		}
 		data, err = kernels.Compress(data, p.compressLevel)
 		if err != nil {
 			return nil, err
+		}
+		if obs {
+			observeStage(p.mx.stageHist(stageCompress), sp, "compress", t0)
 		}
 		p.stats.Compressions++
 	}
 	if p.cipher != nil {
 		// The IV must be carried on the wire; prepend it.
+		if obs {
+			t0 = time.Now()
+		}
 		iv := p.nextIV()
 		enc, err := p.cipher.Encrypt(iv, data)
 		if err != nil {
@@ -120,16 +153,28 @@ func (p *Pipeline) Encode(m Message) ([]byte, error) {
 		}
 		p.stats.Encryptions++
 		data = append(append(make([]byte, 0, len(iv)+len(enc)), iv...), enc...)
+		if obs {
+			observeStage(p.mx.stageHist(stageEncrypt), sp, "encrypt", t0)
+		}
 	}
 	p.stats.BytesOut += uint64(len(data))
 	return data, nil
 }
 
 // Decode inverts Encode: decrypt → decompress → deserialize.
-func (p *Pipeline) Decode(data []byte) (Message, error) {
+func (p *Pipeline) Decode(data []byte) (Message, error) { return p.DecodeSpan(data, nil) }
+
+// DecodeSpan is Decode with per-stage observability; see EncodeSpan.
+func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) {
+	obs := p.mx != nil || sp != nil
+	var t0 time.Time
+
 	if p.cipher != nil {
 		if len(data) < 16 {
 			return Message{}, fmt.Errorf("%w: encrypted frame too short", ErrCorrupt)
+		}
+		if obs {
+			t0 = time.Now()
 		}
 		iv, body := data[:16], data[16:]
 		dec, err := p.cipher.Encrypt(iv, body) // CTR is symmetric
@@ -138,18 +183,33 @@ func (p *Pipeline) Decode(data []byte) (Message, error) {
 		}
 		p.stats.Decryptions++
 		data = dec
+		if obs {
+			observeStage(p.mx.stageHist(stageDecrypt), sp, "decrypt", t0)
+		}
 	}
 	if p.compress {
+		if obs {
+			t0 = time.Now()
+		}
 		out, err := kernels.Decompress(data)
 		if err != nil {
 			return Message{}, fmt.Errorf("%w: decompression failed: %v", ErrCorrupt, err)
 		}
 		p.stats.Decompression++
 		data = out
+		if obs {
+			observeStage(p.mx.stageHist(stageDecompress), sp, "decompress", t0)
+		}
+	}
+	if obs {
+		t0 = time.Now()
 	}
 	m, flags, err := unmarshalWithFlags(data)
 	if err != nil {
 		return Message{}, err
+	}
+	if obs {
+		observeStage(p.mx.stageHist(stageDeserialize), sp, "deserialize", t0)
 	}
 	wantFlags := byte(0)
 	if p.compress {

@@ -1,12 +1,16 @@
 package rpc
 
 import (
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Framing: each wire message is a 4-byte little-endian length prefix
@@ -57,12 +61,19 @@ type Handler func(Message) (Message, error)
 type Server struct {
 	handler     Handler
 	newPipeline func() (*Pipeline, error)
+	ins         *Instrumentation
 
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
 	wg     sync.WaitGroup
 }
+
+// Instrument attaches telemetry to the server: each handled request
+// produces a handler span joined to the caller's trace (when the request
+// carries trace headers) and per-stage decode/encode histograms. Call
+// before Serve.
+func (s *Server) Instrument(ins *Instrumentation) { s.ins = ins }
 
 // NewServer returns a server that decodes with pipelines from newPipeline
 // and dispatches to handler.
@@ -141,6 +152,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	if err != nil {
 		return
 	}
+	ins := s.ins
+	if ins != nil {
+		pipeline.Instrument(ins.Metrics)
+	}
 	for {
 		frame, err := ReadFrame(conn)
 		if err != nil {
@@ -150,18 +165,54 @@ func (s *Server) serveConn(conn net.Conn) {
 		if err != nil {
 			return
 		}
+
+		// Join the caller's trace (decode happens before the trace IDs are
+		// known, so decode stages are visible in the stage histograms but
+		// not as children of this span).
+		var sp *telemetry.Span
+		var t0 time.Time
+		obs := ins.enabled()
+		if obs {
+			if ins.Tracer != nil {
+				traceID, parentID := traceContext(req)
+				sp = ins.Tracer.Join("rpc.Server/"+req.Method, traceID, parentID, time.Now())
+			}
+			t0 = time.Now()
+		}
 		resp, err := s.handler(req)
+		if obs {
+			var h *telemetry.Histogram
+			if ins.Metrics != nil {
+				h = ins.Metrics.Handler
+			}
+			observeStage(h, sp, "handler", t0)
+		}
 		if err != nil {
 			resp = Message{
 				Method:  req.Method,
 				Headers: map[string]string{"error": err.Error()},
 			}
 		}
-		out, err := pipeline.Encode(resp)
+		out, err := pipeline.EncodeSpan(resp, sp)
 		if err != nil {
+			sp.End()
 			return
 		}
-		if err := WriteFrame(conn, out); err != nil {
+		if obs {
+			t0 = time.Now()
+		}
+		werr := WriteFrame(conn, out)
+		if obs {
+			var h *telemetry.Histogram
+			if ins.Metrics != nil {
+				h = ins.Metrics.FrameWrite
+				ins.Metrics.BytesSent.Add(uint64(len(out)))
+				ins.Metrics.BytesRecv.Add(uint64(len(frame)))
+			}
+			observeStage(h, sp, "frame-write", t0)
+		}
+		sp.End()
+		if werr != nil {
 			return
 		}
 	}
@@ -186,6 +237,19 @@ func (s *Server) Close() error {
 type Client struct {
 	conn     net.Conn
 	pipeline *Pipeline
+	ins      *Instrumentation
+}
+
+// Instrument attaches telemetry to the client: each Call produces a span
+// with child spans per pipeline stage, stage and call-latency histograms,
+// and trace-context headers on outgoing requests. Pass nil to detach.
+func (c *Client) Instrument(ins *Instrumentation) {
+	c.ins = ins
+	if ins != nil {
+		c.pipeline.Instrument(ins.Metrics)
+	} else {
+		c.pipeline.Instrument(nil)
+	}
 }
 
 // NewClient wraps a connection with a pipeline.
@@ -204,20 +268,116 @@ func NewClient(conn net.Conn, pipeline *Pipeline) (*Client, error) {
 }
 
 // Call sends a request and waits for the response. A response carrying an
-// "error" header is surfaced as an error.
+// "error" header is surfaced as an error. It blocks until the server
+// responds or the connection breaks; use CallContext to bound the wait.
 func (c *Client) Call(req Message) (Message, error) {
-	data, err := c.pipeline.Encode(req)
+	return c.call(req)
+}
+
+// CallContext is Call with context deadline and cancellation support: the
+// context's deadline bounds the whole exchange, and cancellation unblocks
+// an in-flight read or write, so a vanished server cannot block the caller
+// forever. The connection's I/O deadline is restored on return, leaving
+// the client reusable after a deadline-free follow-up call.
+func (c *Client) CallContext(ctx context.Context, req Message) (Message, error) {
+	if err := ctx.Err(); err != nil {
+		return Message{}, fmt.Errorf("rpc: call aborted: %w", err)
+	}
+	if deadline, ok := ctx.Deadline(); ok {
+		if err := c.conn.SetDeadline(deadline); err != nil {
+			return Message{}, fmt.Errorf("rpc: set deadline: %w", err)
+		}
+		//modelcheck:ignore errdrop — best-effort deadline reset on a conn that may already be dead
+		defer func() { _ = c.conn.SetDeadline(time.Time{}) }()
+	}
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, func() {
+			// Force any in-flight read/write to fail immediately.
+			//modelcheck:ignore errdrop — best-effort wakeup; the blocked I/O surfaces the error
+			_ = c.conn.SetDeadline(time.Unix(1, 0))
+		})
+		defer stop()
+	}
+	resp, err := c.call(req)
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return Message{}, fmt.Errorf("rpc: call aborted: %w", ctxErr)
+		}
+	}
+	return resp, err
+}
+
+// call runs one request/response exchange, instrumented when telemetry is
+// attached. The uninstrumented path performs no extra work beyond nil
+// checks.
+func (c *Client) call(req Message) (Message, error) {
+	ins := c.ins
+	obs := ins.enabled()
+	var sp *telemetry.Span
+	var callStart time.Time
+	if obs {
+		if ins.Tracer != nil {
+			sp = ins.Tracer.Start("rpc.Call/" + req.Method)
+			req = withTraceContext(req, sp)
+		}
+		if ins.Metrics != nil {
+			ins.Metrics.Calls.Inc()
+		}
+		callStart = time.Now()
+	}
+
+	resp, err := c.exchange(req, ins, sp, obs)
+
+	if obs {
+		if ins.Metrics != nil {
+			ins.Metrics.CallLatency.Record(time.Since(callStart).Seconds())
+			if err != nil {
+				ins.Metrics.CallErrors.Inc()
+			}
+		}
+		sp.End()
+	}
+	return resp, err
+}
+
+// exchange performs encode → frame-write → net-wait → decode.
+func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span, obs bool) (Message, error) {
+	data, err := c.pipeline.EncodeSpan(req, sp)
 	if err != nil {
 		return Message{}, err
+	}
+
+	var t0 time.Time
+	if obs {
+		t0 = time.Now()
 	}
 	if err := WriteFrame(c.conn, data); err != nil {
 		return Message{}, err
 	}
+	if obs {
+		var h *telemetry.Histogram
+		if ins.Metrics != nil {
+			h = ins.Metrics.FrameWrite
+			ins.Metrics.BytesSent.Add(uint64(len(data)))
+		}
+		observeStage(h, sp, "frame-write", t0)
+		t0 = time.Now()
+	}
+
 	frame, err := ReadFrame(c.conn)
 	if err != nil {
 		return Message{}, fmt.Errorf("rpc: read response: %w", err)
 	}
-	resp, err := c.pipeline.Decode(frame)
+	if obs {
+		var h *telemetry.Histogram
+		if ins.Metrics != nil {
+			h = ins.Metrics.NetWait
+			ins.Metrics.BytesRecv.Add(uint64(len(frame)))
+		}
+		observeStage(h, sp, "net-wait", t0)
+	}
+
+	resp, err := c.pipeline.DecodeSpan(frame, sp)
 	if err != nil {
 		return Message{}, err
 	}

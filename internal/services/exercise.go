@@ -3,11 +3,13 @@ package services
 import (
 	"compress/flate"
 	"fmt"
+	"time"
 
 	"repro/internal/dist"
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
 	"repro/internal/rpc"
+	"repro/internal/telemetry"
 )
 
 // This file makes the synthetic fleet execute real work: each service can
@@ -28,6 +30,23 @@ type ExerciseStats struct {
 	PayloadBytes uint64
 }
 
+// metricPrefix maps a service name to a metric-name prefix (lowercase,
+// [a-z0-9_] only) for the per-service RPC instrument bundle.
+func metricPrefix(name fleetdata.Service) string {
+	b := []byte("svc_" + string(name))
+	for i := 4; i < len(b); i++ {
+		c := b[i]
+		switch {
+		case c >= 'A' && c <= 'Z':
+			b[i] = c - 'A' + 'a'
+		case c >= 'a' && c <= 'z', c >= '0' && c <= '9', c == '_':
+		default:
+			b[i] = '_'
+		}
+	}
+	return string(b)
+}
+
 // usesCompression reports whether the service compresses RPC payloads
 // (Fig 9: Web, Feed1, Feed2, Ads1, Ads2, Cache1 have compression cycles).
 func usesCompression(name fleetdata.Service) bool {
@@ -45,6 +64,15 @@ func usesEncryption(name fleetdata.Service) bool {
 // published (falling back to allocation sizes). The returned stats expose
 // the concrete work performed.
 func (s *Service) Exercise(n int, seed uint64) (ExerciseStats, error) {
+	return s.ExerciseInstrumented(n, seed, nil, nil)
+}
+
+// ExerciseInstrumented is Exercise with optional telemetry: with a registry
+// attached, the sender pipeline's per-stage latencies feed
+// <service>_stage_* histograms, and with a tracer each request becomes a
+// span with child spans per pipeline stage. Either may be nil; with both
+// nil it is Exercise.
+func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Registry, tracer *telemetry.Tracer) (ExerciseStats, error) {
 	if n <= 0 {
 		return ExerciseStats{}, fmt.Errorf("services: request count %d, want > 0", n)
 	}
@@ -80,6 +108,14 @@ func (s *Service) Exercise(n int, seed uint64) (ExerciseStats, error) {
 	if err != nil {
 		return ExerciseStats{}, err
 	}
+	if reg != nil {
+		mx, err := rpc.NewMetrics(reg, metricPrefix(s.Name))
+		if err != nil {
+			return ExerciseStats{}, err
+		}
+		sender.Instrument(mx)
+		receiver.Instrument(mx)
+	}
 
 	arena := kernels.NewArena()
 	stats := ExerciseStats{Requests: n}
@@ -112,20 +148,31 @@ func (s *Service) Exercise(n int, seed uint64) (ExerciseStats, error) {
 			Headers: map[string]string{"seq": fmt.Sprint(i)},
 			Payload: block,
 		}
-		wire, err := sender.Encode(msg)
+		sp := tracer.Start(string(s.Name) + ".request")
+		wire, err := sender.EncodeSpan(msg, sp)
 		if err != nil {
+			sp.End()
 			return ExerciseStats{}, err
 		}
 		stats.WireBytes += uint64(len(wire))
-		decoded, err := receiver.Decode(wire)
+		decoded, err := receiver.DecodeSpan(wire, sp)
 		if err != nil {
+			sp.End()
 			return ExerciseStats{}, err
 		}
 
 		// Application logic stand-in: hash the payload (key-value digest).
+		var t0 time.Time
+		if sp != nil {
+			t0 = time.Now()
+		}
 		sum := kernels.Hash(decoded.Payload)
+		if sp != nil {
+			sp.ChildDone("hash", t0, time.Since(t0))
+		}
 		stats.BytesHashed += uint64(len(decoded.Payload))
 		scratch[0] = sum[0] // keep the hash live
+		sp.End()
 
 		// IO post-processing: return the buffer.
 		if err := arena.FreeSized(block, int(size)); err != nil {

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
 	"repro/internal/profiler"
+	"repro/internal/telemetry"
 )
 
 func mustService(t *testing.T, name fleetdata.Service) *Service {
@@ -294,6 +295,53 @@ func TestExerciseErrors(t *testing.T) {
 	s := mustService(t, fleetdata.Web)
 	if _, err := s.Exercise(0, 1); err == nil {
 		t.Error("zero requests: want error")
+	}
+}
+
+// ExerciseInstrumented must populate per-service stage histograms and one
+// span per request with pipeline-stage children, without changing the
+// work performed.
+func TestExerciseInstrumented(t *testing.T) {
+	s := mustService(t, fleetdata.Web)
+	plain, err := s.Exercise(50, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	tracer := telemetry.NewTracer("web")
+	instrumented, err := s.ExerciseInstrumented(50, 7, reg, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != instrumented {
+		t.Errorf("instrumentation changed the work:\nplain        %+v\ninstrumented %+v", plain, instrumented)
+	}
+	// Web compresses but does not encrypt: serialize/compress on the send
+	// side, decompress/deserialize on the receive side, 50 each.
+	for _, name := range []string{"serialize", "compress", "decompress", "deserialize"} {
+		h, err := reg.Histogram("svc_web_stage_"+name+"_seconds", "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.Count(); got != 50 {
+			t.Errorf("stage %s count = %d, want 50", name, got)
+		}
+	}
+	spans := tracer.Spans()
+	roots, children := 0, 0
+	for _, sp := range spans {
+		if sp.ParentID == 0 {
+			roots++
+		} else {
+			children++
+		}
+	}
+	if roots != 50 {
+		t.Errorf("root spans = %d, want 50", roots)
+	}
+	// Per request: serialize, compress, decompress, deserialize, hash.
+	if children != 250 {
+		t.Errorf("child spans = %d, want 250", children)
 	}
 }
 

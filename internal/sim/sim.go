@@ -31,6 +31,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dist"
+	"repro/internal/telemetry"
 )
 
 // Accel configures the accelerator and the offload design.
@@ -97,6 +98,16 @@ type Config struct {
 	Accel         *Accel    // nil simulates the unaccelerated baseline
 	Requests      int       // requests to complete before stopping
 	Arrivals      *Arrivals // nil = closed loop at peak load
+
+	// Telemetry, when non-nil, registers the run's instruments there:
+	// sim_request_latency_cycles (histogram), sim_queue_delay_cycles
+	// (histogram), and the offload-phase gauges sim_accel_queued /
+	// sim_accel_executing, updated in simulated-time order as the event
+	// loop advances. Latency accounting itself is always on (the Result
+	// histogram); the registry only adds the export path. Gauge events do
+	// not mutate simulation state, so attaching telemetry never changes a
+	// run's Result.
+	Telemetry *telemetry.Registry
 }
 
 // Validate checks the configuration.
@@ -147,7 +158,9 @@ type Workload interface {
 	Request(i int) Request
 }
 
-// Result reports a simulation run's measurements.
+// Result reports a simulation run's measurements. Latency quantiles are
+// read from LatencyHistogram, so P50/P95/P99/P999 carry the histogram's
+// telemetry.QuantileRelError bound (~2.2%); Mean and Max are exact.
 type Result struct {
 	Completed      int
 	ElapsedCycles  float64
@@ -156,11 +169,16 @@ type Result struct {
 	P50Latency     float64
 	P95Latency     float64
 	P99Latency     float64
+	P999Latency    float64
 	MaxLatency     float64
 	Offloads       int
 	MeanQueueDelay float64 // mean accelerator queuing cycles per offload
 	ContextSwaps   int     // o1 charges incurred
 	AccelBusy      float64 // accelerator busy cycles (all servers)
+
+	// LatencyHistogram is the full request-latency distribution in host
+	// cycles (populated buckets only), for export or finer quantiles.
+	LatencyHistogram telemetry.HistogramSnapshot
 }
 
 // Speedup returns the throughput ratio of this result over a baseline.
@@ -236,12 +254,19 @@ type Sim struct {
 
 	nextReq   int
 	completed int
-	latencies []float64
+	latHist   *telemetry.Histogram // request latency, cycles
 
 	offloads     int
 	queueDelay   float64
 	contextSwaps int
 	accelBusy    float64
+
+	// Optional registry-backed instruments (nil-safe when Telemetry is
+	// unset; latHist is always live).
+	queueDelayHist *telemetry.Histogram
+	queuedGauge    *telemetry.Gauge
+	execGauge      *telemetry.Gauge
+	gaugeEvents    bool // schedule phase-gauge events (Telemetry attached)
 }
 
 // New builds a simulator. The workload must not be nil.
@@ -253,6 +278,24 @@ func New(cfg Config, wl Workload) (*Sim, error) {
 		return nil, errors.New("sim: nil workload")
 	}
 	s := &Sim{cfg: cfg, wl: wl}
+	if reg := cfg.Telemetry; reg != nil {
+		var err error
+		if s.latHist, err = reg.Histogram("sim_request_latency_cycles", "request latency, arrival to completion, host cycles"); err != nil {
+			return nil, err
+		}
+		if s.queueDelayHist, err = reg.Histogram("sim_queue_delay_cycles", "accelerator queuing delay per offload, host cycles"); err != nil {
+			return nil, err
+		}
+		if s.queuedGauge, err = reg.Gauge("sim_accel_queued", "offloads waiting for an accelerator server"); err != nil {
+			return nil, err
+		}
+		if s.execGauge, err = reg.Gauge("sim_accel_executing", "offloads executing on accelerator servers"); err != nil {
+			return nil, err
+		}
+		s.gaugeEvents = true
+	} else {
+		s.latHist = telemetry.NewHistogram("sim_request_latency_cycles", "")
+	}
 	for i := 0; i < cfg.Cores; i++ {
 		s.idleCores = append(s.idleCores, i)
 	}
@@ -307,16 +350,15 @@ func (s *Sim) Run() (Result, error) {
 	if s.now > 0 {
 		res.ThroughputQPS = float64(s.completed) / (s.now / s.cfg.HostHz)
 	}
-	if len(s.latencies) > 0 {
-		summary, err := dist.Summarize(s.latencies)
-		if err != nil {
-			return Result{}, err
-		}
-		res.MeanLatency = summary.Mean
-		res.P50Latency = summary.P50
-		res.P95Latency = summary.P95
-		res.P99Latency = summary.P99
-		res.MaxLatency = summary.Max
+	snap := s.latHist.Snapshot()
+	res.LatencyHistogram = snap
+	if snap.Count > 0 {
+		res.MeanLatency = snap.Mean()
+		res.P50Latency = snap.Quantile(0.5)
+		res.P95Latency = snap.Quantile(0.95)
+		res.P99Latency = snap.Quantile(0.99)
+		res.P999Latency = snap.Quantile(0.999)
+		res.MaxLatency = snap.Max
 	}
 	if s.offloads > 0 {
 		res.MeanQueueDelay = s.queueDelay / float64(s.offloads)
@@ -453,7 +495,7 @@ func (s *Sim) runOnCore(coreID int, th *thread) {
 		}
 	}
 	s.completed++
-	s.latencies = append(s.latencies, end-th.reqStart)
+	s.latHist.Record(end - th.reqStart)
 
 	if s.assignNextRequest(th) {
 		// Yield to the event loop between requests so concurrent cores
@@ -490,6 +532,19 @@ func (s *Sim) offloadAt(th *thread, inv Invocation, now *float64) (completion fl
 	s.queueDelay += q
 	s.accelBusy += svc
 	completion = grant + svc
+	s.queueDelayHist.Record(q)
+	if s.gaugeEvents {
+		// Trace the offload's phases in simulated-time order. These events
+		// only touch gauges, never simulation state, so telemetry cannot
+		// perturb the run.
+		s.queuedGauge.Add(1)
+		grantAt, doneAt := grant, completion
+		s.schedule(grantAt, func() {
+			s.queuedGauge.Add(-1)
+			s.execGauge.Add(1)
+		})
+		s.schedule(doneAt, func() { s.execGauge.Add(-1) })
+	}
 
 	switch a.Threading {
 	case core.Sync:

@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Attaching a telemetry registry must not change the simulation's result,
+// and must expose the latency/queue instruments with consistent totals.
+func TestTelemetryDoesNotPerturbResult(t *testing.T) {
+	wl := UniformWorkload{
+		NonKernelCycles: 100,
+		KernelsPerReq:   1,
+		KernelBytes:     1000,
+		Kernel:          core.LinearKernel(10),
+	}
+	cfg := Config{
+		Cores: 8, Threads: 8, HostHz: 1e9, Requests: 400,
+		Accel: &Accel{Threading: core.Sync, Strategy: core.OffChip, A: 2, L: 10, Servers: 1},
+	}
+	plain := runSim(t, cfg, wl)
+
+	reg := telemetry.NewRegistry()
+	cfg.Telemetry = reg
+	instrumented := runSim(t, cfg, wl)
+
+	if plain.ThroughputQPS != instrumented.ThroughputQPS || //modelcheck:ignore floatcmp — identical runs must agree bit-for-bit
+		plain.MeanLatency != instrumented.MeanLatency || //modelcheck:ignore floatcmp — identical runs must agree bit-for-bit
+		plain.P99Latency != instrumented.P99Latency || //modelcheck:ignore floatcmp — identical runs must agree bit-for-bit
+		plain.Offloads != instrumented.Offloads ||
+		plain.ContextSwaps != instrumented.ContextSwaps {
+		t.Errorf("telemetry perturbed the run:\nplain        %+v\ninstrumented %+v", plain, instrumented)
+	}
+
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, metric := range []string{
+		"sim_request_latency_cycles", "sim_queue_delay_cycles",
+		"sim_accel_queued", "sim_accel_executing",
+	} {
+		if !strings.Contains(out, metric) {
+			t.Errorf("exported metrics missing %s:\n%s", metric, out)
+		}
+	}
+	// All offloads drained: both phase gauges must be back to zero.
+	checkGauge := func(name string) {
+		t.Helper()
+		g, err := reg.Gauge(name, "")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Value() != 0 {
+			t.Errorf("%s = %d after run, want 0", name, g.Value())
+		}
+	}
+	checkGauge("sim_accel_queued")
+	checkGauge("sim_accel_executing")
+
+	qd, err := reg.Histogram("sim_queue_delay_cycles", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := qd.Count(); got != uint64(instrumented.Offloads) {
+		t.Errorf("queue-delay observations = %d, want one per offload (%d)", got, instrumented.Offloads)
+	}
+	if mean := qd.Sum() / float64(qd.Count()); math.Abs(mean-instrumented.MeanQueueDelay) > 1e-9*instrumented.MeanQueueDelay {
+		t.Errorf("queue-delay histogram mean %v vs result %v", mean, instrumented.MeanQueueDelay)
+	}
+}
+
+// Result latency quantiles come from the histogram and must sit within its
+// documented relative-error bound of the exact order statistics; the full
+// distribution must ride along on the Result.
+func TestResultQuantilesWithinBound(t *testing.T) {
+	// Two latency classes: 2000-cycle requests with an occasional
+	// 22000-cycle giant (every 10th), so p50 and p999 differ.
+	wl := mixedWorkload{}
+	res := runSim(t, Config{Cores: 1, Threads: 1, HostHz: 1e9, Requests: 1000}, wl)
+	if res.LatencyHistogram.Count != 1000 {
+		t.Fatalf("histogram count = %d, want 1000", res.LatencyHistogram.Count)
+	}
+	tol := 2 * telemetry.QuantileRelError
+	check := func(name string, got, exact float64) {
+		t.Helper()
+		if math.Abs(got-exact) > exact*tol {
+			t.Errorf("%s = %v, want within %.1f%% of %v", name, got, tol*100, exact)
+		}
+	}
+	check("p50", res.P50Latency, 2000)
+	check("p95", res.P95Latency, 22000)
+	check("p999", res.P999Latency, 22000)
+	if res.MaxLatency != 22000 { //modelcheck:ignore floatcmp — max is exact by construction
+		t.Errorf("max = %v, want exact 22000", res.MaxLatency)
+	}
+	if res.P999Latency < res.P50Latency {
+		t.Error("p999 below p50")
+	}
+}
+
+// mixedWorkload: every 10th request carries a 10x kernel.
+type mixedWorkload struct{}
+
+func (mixedWorkload) Request(i int) Request {
+	r := Request{NonKernelCycles: 1000, Kernels: []Invocation{{Bytes: 100, HostCycles: 1000}}}
+	if i%10 == 9 {
+		r.Kernels[0] = Invocation{Bytes: 2100, HostCycles: 21000}
+	}
+	return r
+}

@@ -1,0 +1,223 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/textchart"
+)
+
+// This file holds the three exporters: Prometheus text exposition
+// (WritePrometheus), Chrome trace-event JSON (WriteChromeTrace — loadable
+// in Perfetto or chrome://tracing), and a terminal histogram summary
+// (HistogramText).
+
+// WritePrometheus renders every registered metric in the Prometheus text
+// exposition format. Histograms export as summaries with p50/p95/p99/p999
+// quantile samples plus _sum and _count.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, m := range r.metrics() {
+		if err := m.writeProm(w); err != nil {
+			return fmt.Errorf("telemetry: write %s: %w", m.metricName(), err)
+		}
+	}
+	return nil
+}
+
+func writeHeader(w io.Writer, name, help, kind string) error {
+	if help != "" {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "# TYPE %s %s\n", name, kind)
+	return err
+}
+
+func (c *Counter) writeProm(w io.Writer) error {
+	if err := writeHeader(w, c.name, c.help, "counter"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+	return err
+}
+
+func (g *Gauge) writeProm(w io.Writer) error {
+	if err := writeHeader(w, g.name, g.help, "gauge"); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s %d\n", g.name, g.Value())
+	return err
+}
+
+// promQuantiles are the summary quantiles every histogram exports.
+var promQuantiles = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.50}, {"0.95", 0.95}, {"0.99", 0.99}, {"0.999", 0.999},
+}
+
+func (h *Histogram) writeProm(w io.Writer) error {
+	if err := writeHeader(w, h.name, h.help, "summary"); err != nil {
+		return err
+	}
+	s := h.Snapshot()
+	for _, pq := range promQuantiles {
+		if _, err := fmt.Fprintf(w, "%s{quantile=%q} %g\n", h.name, pq.label, s.Quantile(pq.q)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %g\n", h.name, s.Sum); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count %d\n", h.name, s.Count)
+	return err
+}
+
+// traceEvent is one Chrome trace-event ("X" = complete span, "M" =
+// metadata). Timestamps and durations are microseconds.
+type traceEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  uint64            `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// chromeTrace is the JSON-object trace container both Perfetto and
+// chrome://tracing accept.
+type chromeTrace struct {
+	TraceEvents []traceEvent `json:"traceEvents"`
+}
+
+// WriteChromeTrace renders spans (typically the concatenation of the
+// client- and server-side tracers' Spans) as Chrome trace-event JSON.
+// Each distinct Process label becomes a pid; each trace ID becomes a tid,
+// so one RPC call's spans nest on one timeline row.
+func WriteChromeTrace(w io.Writer, spans []SpanData) error {
+	ordered := make([]SpanData, len(spans))
+	copy(ordered, spans)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Start.Before(ordered[j].Start) })
+
+	pids := map[string]int{}
+	var events []traceEvent
+	for _, sd := range ordered {
+		pid, ok := pids[sd.Process]
+		if !ok {
+			pid = len(pids) + 1
+			pids[sd.Process] = pid
+			events = append(events, traceEvent{
+				Name: "process_name", Ph: "M", Pid: pid,
+				Args: map[string]string{"name": sd.Process},
+			})
+		}
+		events = append(events, traceEvent{
+			Name: sd.Name,
+			Cat:  sd.Process,
+			Ph:   "X",
+			Ts:   float64(sd.Start.UnixNano()) / 1e3,
+			Dur:  float64(sd.Duration.Nanoseconds()) / 1e3,
+			Pid:  pid,
+			Tid:  sd.TraceID & 0x7fffffff,
+			Args: map[string]string{
+				"trace":  strconv.FormatUint(sd.TraceID, 16),
+				"span":   strconv.FormatUint(sd.SpanID, 16),
+				"parent": strconv.FormatUint(sd.ParentID, 16),
+			},
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeTrace{TraceEvents: events})
+}
+
+// WriteMetricsFile writes the registry's Prometheus text exposition to
+// path ("-" for stdout). The CLI -metrics-out flags funnel through here.
+func WriteMetricsFile(path string, r *Registry) error {
+	return writeFile(path, r.WritePrometheus)
+}
+
+// WriteTraceFile writes spans as Chrome trace-event JSON to path ("-" for
+// stdout). The CLI -trace-out flags funnel through here.
+func WriteTraceFile(path string, spans []SpanData) error {
+	return writeFile(path, func(w io.Writer) error { return WriteChromeTrace(w, spans) })
+}
+
+func writeFile(path string, render func(io.Writer) error) error {
+	if path == "-" {
+		return render(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	if err := render(f); err != nil {
+		f.Close() //modelcheck:ignore errdrop — the render error is the one to surface
+		return err
+	}
+	return f.Close()
+}
+
+// HistogramText renders a terminal summary of a histogram snapshot: one
+// bar per power-of-two bin between the observed extrema plus a quantile
+// line, in the style of the repository's other textchart output.
+func HistogramText(name string, s HistogramSnapshot, width int) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s: n=%d mean=%.4g min=%.4g max=%.4g\n", name, s.Count, s.Mean(), s.Min, s.Max)
+	if s.Count == 0 {
+		return sb.String()
+	}
+	// Coarsen the log buckets to powers of two for display.
+	type bin struct {
+		lo, hi float64
+		n      uint64
+	}
+	byExp := map[int]*bin{}
+	var exps []int
+	for _, b := range s.Buckets {
+		e := 0 // the zero bucket
+		if b.Hi > 0 {
+			e = bucketIndex(b.Lo)/histSub + 1
+		}
+		bb := byExp[e]
+		if bb == nil {
+			bb = &bin{lo: b.Lo, hi: b.Hi}
+			byExp[e] = bb
+			exps = append(exps, e)
+		}
+		if b.Lo < bb.lo {
+			bb.lo = b.Lo
+		}
+		if b.Hi > bb.hi {
+			bb.hi = b.Hi
+		}
+		bb.n += b.Count
+	}
+	sort.Ints(exps)
+	maxN := uint64(0)
+	for _, e := range exps {
+		if byExp[e].n > maxN {
+			maxN = byExp[e].n
+		}
+	}
+	for _, e := range exps {
+		bb := byExp[e]
+		label := fmt.Sprintf("[%.3g, %.3g)", bb.lo, bb.hi)
+		if bb.hi <= 0 {
+			label = "zero"
+		}
+		sb.WriteString(textchart.HBar(label, float64(bb.n), float64(maxN), width) + "\n")
+	}
+	fmt.Fprintf(&sb, "p50=%.4g p95=%.4g p99=%.4g p999=%.4g (quantile rel. error <= %.2g)\n",
+		s.Quantile(0.50), s.Quantile(0.95), s.Quantile(0.99), s.Quantile(0.999), QuantileRelError)
+	return sb.String()
+}

@@ -1,0 +1,297 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct {
+	name, help string
+	v          atomic.Uint64
+}
+
+// Inc adds one. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n. No-op on a nil counter.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count; 0 on a nil counter.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) metricName() string { return c.name }
+
+// Gauge is an instantaneous atomic level (queue depth, in-flight requests).
+type Gauge struct {
+	name, help string
+	v          atomic.Int64
+}
+
+// Set stores an absolute level. No-op on a nil gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the level by delta (negative to decrease). No-op on nil.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Value returns the current level; 0 on a nil gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+func (g *Gauge) metricName() string { return g.name }
+
+// Histogram bucket geometry: histSub buckets per power of two, covering
+// [2^histMinExp, 2^histMaxExp). A recorded value v lands in the bucket
+// floor(log2(v)·histSub); a quantile is estimated as its bucket's geometric
+// midpoint, so the estimate is off from the true sample value by at most a
+// factor of 2^(1/(2·histSub)) — the QuantileRelError bound below. Values
+// outside the covered range clamp to the edge buckets; the range spans
+// sub-nanosecond seconds to ~5·10^14 cycles, far beyond what the rpc and
+// sim layers record.
+const (
+	histSub     = 16
+	histMinExp  = -40 // 2^-40 s ≈ 0.9 ps
+	histMaxExp  = 49  // 2^49 ≈ 5.6e14
+	histBuckets = (histMaxExp - histMinExp) * histSub
+)
+
+// QuantileRelError bounds the relative error of histogram quantile
+// estimates against the true sample order statistic: with histSub = 16
+// buckets per power of two, 2^(1/32) - 1 ≈ 2.19%. Exact for samples that
+// clamp at Min/Max (the estimate is clipped to the observed range).
+var QuantileRelError = math.Exp2(1/(2.0*histSub)) - 1
+
+// Histogram is a lock-free log-bucketed distribution of non-negative
+// float64 observations. Record is safe for concurrent use; Snapshot and
+// Quantile may run concurrently with recorders and observe a consistent
+// enough view (bucket totals may trail the count by in-flight updates).
+type Histogram struct {
+	name, help string
+	count      atomic.Uint64
+	zero       atomic.Uint64 // observations ≤ 0 or NaN, clamped to 0
+	sumBits    atomic.Uint64
+	minBits    atomic.Uint64 // +Inf until first Record
+	maxBits    atomic.Uint64 // -Inf until first Record
+	buckets    [histBuckets]atomic.Uint64
+}
+
+// NewHistogram returns a standalone histogram (not attached to a
+// Registry); internal/sim uses this for its always-on latency accounting.
+func NewHistogram(name, help string) *Histogram {
+	h := &Histogram{name: name, help: help}
+	h.minBits.Store(math.Float64bits(math.Inf(1)))
+	h.maxBits.Store(math.Float64bits(math.Inf(-1)))
+	return h
+}
+
+func (h *Histogram) metricName() string { return h.name }
+
+// bucketIndex maps a positive value to its bucket, clamping at the edges.
+func bucketIndex(v float64) int {
+	idx := int(math.Floor(math.Log2(v)*histSub)) - histMinExp*histSub
+	if idx < 0 {
+		return 0
+	}
+	if idx >= histBuckets {
+		return histBuckets - 1
+	}
+	return idx
+}
+
+// bucketMid returns the geometric midpoint of bucket idx.
+func bucketMid(idx int) float64 {
+	return math.Exp2((float64(idx+histMinExp*histSub) + 0.5) / histSub)
+}
+
+// Record adds one observation. Non-positive and NaN observations count as
+// exact zeros. No-op on a nil histogram.
+func (h *Histogram) Record(v float64) {
+	if h == nil {
+		return
+	}
+	if math.IsNaN(v) || v <= 0 {
+		v = 0
+		h.zero.Add(1)
+	} else {
+		h.buckets[bucketIndex(v)].Add(1)
+	}
+	h.count.Add(1)
+	addFloat(&h.sumBits, v)
+	casMin(&h.minBits, v)
+	casMax(&h.maxBits, v)
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the exact sum of observations; 0 on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) within QuantileRelError of
+// the true order statistic. It returns 0 for an empty or nil histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Bucket is one populated histogram bucket: Count observations fell in
+// [Lo, Hi) (the zero bucket has Lo = Hi = 0).
+type Bucket struct {
+	Lo, Hi float64
+	Count  uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram: exact count,
+// sum and extrema plus the populated buckets, small enough to embed in
+// result structs (only non-empty buckets are kept).
+type HistogramSnapshot struct {
+	Count uint64
+	Sum   float64
+	Min   float64 // +Inf when empty
+	Max   float64 // -Inf when empty
+	Buckets []Bucket
+}
+
+// Snapshot copies the current state. A nil histogram yields an empty
+// snapshot.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+	if h == nil {
+		return s
+	}
+	s.Count = h.count.Load()
+	s.Sum = math.Float64frombits(h.sumBits.Load())
+	s.Min = math.Float64frombits(h.minBits.Load())
+	s.Max = math.Float64frombits(h.maxBits.Load())
+	if z := h.zero.Load(); z > 0 {
+		s.Buckets = append(s.Buckets, Bucket{Count: z})
+	}
+	for i := range h.buckets {
+		if n := h.buckets[i].Load(); n > 0 {
+			lo := math.Exp2(float64(i+histMinExp*histSub) / histSub)
+			hi := math.Exp2(float64(i+1+histMinExp*histSub) / histSub)
+			s.Buckets = append(s.Buckets, Bucket{Lo: lo, Hi: hi, Count: n})
+		}
+	}
+	return s
+}
+
+// Mean returns the exact sample mean, or 0 when empty.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Quantile estimates the q-quantile within QuantileRelError of the true
+// order statistic (nearest-rank). Estimates clip to the exact observed
+// [Min, Max], so Quantile(0) and Quantile(1) are exact.
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	total := uint64(0)
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total == 0 {
+		return 0
+	}
+	if math.IsNaN(q) {
+		return math.NaN()
+	}
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank <= 1 {
+		return s.Min // the rank-1 order statistic is the exact minimum
+	}
+	if rank >= total {
+		return s.Max
+	}
+	cum := uint64(0)
+	for _, b := range s.Buckets {
+		cum += b.Count
+		if cum >= rank {
+			//modelcheck:ignore floatcmp — the zero bucket is tagged by exact sentinel bounds
+			if b.Lo == 0 && b.Hi == 0 {
+				return 0
+			}
+			est := math.Sqrt(b.Lo * b.Hi) // geometric midpoint
+			if est < s.Min {
+				est = s.Min
+			}
+			if est > s.Max {
+				est = s.Max
+			}
+			return est
+		}
+	}
+	return s.Max
+}
+
+// addFloat atomically adds v to the float64 stored in bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		val := math.Float64frombits(old) + v
+		if bits.CompareAndSwap(old, math.Float64bits(val)) {
+			return
+		}
+	}
+}
+
+// casMin lowers the stored float64 to v if v is smaller.
+func casMin(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v >= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// casMax raises the stored float64 to v if v is larger.
+func casMax(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		if v <= math.Float64frombits(old) {
+			return
+		}
+		if bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

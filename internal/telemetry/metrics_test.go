@@ -1,0 +1,222 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// exactQuantile is the nearest-rank order statistic histogram quantiles
+// are measured against.
+func exactQuantile(sorted []float64, q float64) float64 {
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// The documented contract: quantile estimates stay within QuantileRelError
+// of the exact sorted-sample quantile, for arbitrary samples across the
+// histogram's range.
+func TestHistogramQuantileErrorBound(t *testing.T) {
+	quantiles := []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1}
+	property := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := NewHistogram("prop", "")
+		sample := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			// Map arbitrary inputs into the histogram's covered range,
+			// keeping some exact zeros in the mix.
+			v = math.Abs(v)
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			for v > 1e9 {
+				v /= 1e9
+			}
+			sample = append(sample, v)
+			h.Record(v)
+		}
+		sorted := append([]float64(nil), sample...)
+		sort.Float64s(sorted)
+		for _, q := range quantiles {
+			want := exactQuantile(sorted, q)
+			got := h.Quantile(q)
+			if want == 0 { //modelcheck:ignore floatcmp — exact zeros land in the exact zero bucket
+				if got != 0 { //modelcheck:ignore floatcmp — see above
+					t.Logf("q=%v: want exact 0, got %v", q, got)
+					return false
+				}
+				continue
+			}
+			if rel := math.Abs(got-want) / want; rel > QuantileRelError+1e-12 {
+				t.Logf("q=%v: want %v, got %v, rel err %v > %v", q, want, got, rel, QuantileRelError)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramExactAggregates(t *testing.T) {
+	h := NewHistogram("agg", "")
+	values := []float64{3, 1, 4, 1, 5, 9, 2.5, 6, 0}
+	sum := 0.0
+	for _, v := range values {
+		h.Record(v)
+		sum += v
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(values)) {
+		t.Errorf("count = %d, want %d", s.Count, len(values))
+	}
+	if math.Abs(s.Sum-sum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", s.Sum, sum)
+	}
+	if s.Min != 0 || s.Max != 9 {
+		t.Errorf("min/max = %v/%v, want 0/9", s.Min, s.Max)
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("p0 = %v, want exact min 0", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("p100 = %v, want exact max 9", got)
+	}
+	if m := s.Mean(); math.Abs(m-sum/float64(len(values))) > 1e-9 {
+		t.Errorf("mean = %v", m)
+	}
+}
+
+// Concurrent recorders must not lose observations (run under -race via
+// scripts/check.sh).
+func TestHistogramConcurrentRecorders(t *testing.T) {
+	h := NewHistogram("stress", "")
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Record(float64(g*perG+i+1) * 1e-6)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	total := uint64(0)
+	for _, b := range h.Snapshot().Buckets {
+		total += b.Count
+	}
+	if total != goroutines*perG {
+		t.Fatalf("bucket total = %d, want %d", total, goroutines*perG)
+	}
+	// The exact sum of 1e-6 * (1 + 2 + ... + N).
+	n := float64(goroutines * perG)
+	want := 1e-6 * n * (n + 1) / 2
+	if rel := math.Abs(h.Sum()-want) / want; rel > 1e-9 {
+		t.Fatalf("sum = %v, want %v", h.Sum(), want)
+	}
+}
+
+func TestRegistryReuseAndConflicts(t *testing.T) {
+	r := NewRegistry()
+	c1, err := r.Counter("requests_total", "requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := r.Counter("requests_total", "requests")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1 != c2 {
+		t.Error("same name should return the same counter")
+	}
+	if _, err := r.Gauge("requests_total", ""); err == nil {
+		t.Error("kind conflict should fail")
+	}
+	if _, err := r.Counter("bad name!", ""); err == nil {
+		t.Error("invalid name should fail")
+	}
+	var nilReg *Registry
+	if _, err := nilReg.Counter("x", ""); err == nil {
+		t.Error("nil registry should fail, not panic")
+	}
+}
+
+func TestWritePrometheusFormat(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("calls_total", "total calls")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := r.Gauge("queue_depth", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := r.Histogram("latency_seconds", "call latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Add(3)
+	g.Set(-2)
+	h.Record(0.5)
+	h.Record(1.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"# TYPE calls_total counter", "calls_total 3",
+		"# TYPE queue_depth gauge", "queue_depth -2",
+		"# TYPE latency_seconds summary",
+		`latency_seconds{quantile="0.5"}`,
+		"latency_seconds_sum 2", "latency_seconds_count 2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("prometheus output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Nil-sink instruments must be allocation-free so disabled telemetry adds
+// no pressure to the rpc hot path.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var (
+		tr *Tracer
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+	)
+	allocs := testing.AllocsPerRun(1000, func() {
+		sp := tr.Start("call")
+		child := sp.Child("stage")
+		child.End()
+		sp.ChildDone("stage2", time.Time{}, 0)
+		sp.End()
+		c.Inc()
+		g.Add(1)
+		h.Record(1.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled telemetry path allocates %v per op, want 0", allocs)
+	}
+}

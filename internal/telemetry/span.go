@@ -1,0 +1,185 @@
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SpanData is one completed span: a named, timed segment of a request,
+// linked to its trace and parent span. Spans cross process boundaries via
+// the trace/parent IDs carried in rpc.Message headers.
+type SpanData struct {
+	TraceID  uint64
+	SpanID   uint64
+	ParentID uint64 // 0 for a root span
+	Name     string
+	Process  string // owning tracer's process label
+	Start    time.Time
+	Duration time.Duration
+}
+
+// maxRetainedSpans bounds a tracer's buffer so an always-on tracer cannot
+// grow without limit; spans beyond the cap are counted in Dropped.
+const maxRetainedSpans = 1 << 16
+
+// tracerSeq partitions span-ID space between tracers in one process so
+// client- and server-side tracers never collide.
+var tracerSeq atomic.Uint64
+
+// Tracer collects completed spans for one process (or one side of an RPC
+// exchange). All methods are safe for concurrent use and are no-ops on a
+// nil tracer, so instrumented code paths need no enablement checks.
+type Tracer struct {
+	process string
+	base    uint64
+	ids     atomic.Uint64
+	dropped atomic.Uint64
+
+	mu    sync.Mutex
+	spans []SpanData
+}
+
+// NewTracer returns a tracer whose spans carry the given process label in
+// trace exports.
+func NewTracer(process string) *Tracer {
+	return &Tracer{process: process, base: tracerSeq.Add(1) << 40}
+}
+
+// nextID mints a process-unique span ID.
+func (t *Tracer) nextID() uint64 { return t.base | t.ids.Add(1) }
+
+// Start begins a new root span (a fresh trace). Returns nil on a nil
+// tracer.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	id := t.nextID()
+	return &Span{
+		tracer: t,
+		data:   SpanData{TraceID: id, SpanID: id, Name: name, Start: time.Now()},
+	}
+}
+
+// Join begins a span that continues a remote trace: the server side of an
+// RPC call adopts the trace and parent IDs carried in the request headers.
+// A zero traceID starts a fresh trace instead. Returns nil on a nil tracer.
+func (t *Tracer) Join(name string, traceID, parentID uint64, start time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	if traceID == 0 {
+		traceID = t.nextID()
+	}
+	return &Span{
+		tracer: t,
+		data: SpanData{
+			TraceID: traceID, SpanID: t.nextID(), ParentID: parentID,
+			Name: name, Start: start,
+		},
+	}
+}
+
+// record appends a completed span, dropping past the retention cap.
+func (t *Tracer) record(d SpanData) {
+	d.Process = t.process
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.spans) >= maxRetainedSpans {
+		t.dropped.Add(1)
+		return
+	}
+	t.spans = append(t.spans, d)
+}
+
+// Spans returns a copy of the completed spans recorded so far; nil on a
+// nil tracer.
+func (t *Tracer) Spans() []SpanData {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanData, len(t.spans))
+	copy(out, t.spans)
+	return out
+}
+
+// Dropped reports spans discarded past the retention cap.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
+}
+
+// Reset discards all recorded spans.
+func (t *Tracer) Reset() {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = t.spans[:0]
+	t.dropped.Store(0)
+}
+
+// Span is an in-progress span. A nil *Span is a valid no-op sink, which is
+// what a nil tracer hands out: the disabled path costs one nil check and
+// zero allocations.
+type Span struct {
+	tracer *Tracer
+	data   SpanData
+}
+
+// TraceID returns the owning trace's ID; 0 on a nil span.
+func (s *Span) TraceID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.TraceID
+}
+
+// SpanID returns this span's ID; 0 on a nil span.
+func (s *Span) SpanID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.SpanID
+}
+
+// Child begins a nested span. Returns nil on a nil span.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{
+		tracer: s.tracer,
+		data: SpanData{
+			TraceID: s.data.TraceID, SpanID: s.tracer.nextID(), ParentID: s.data.SpanID,
+			Name: name, Start: time.Now(),
+		},
+	}
+}
+
+// ChildDone records an already-completed nested span — used by pipeline
+// stages that time themselves with a single time.Now pair. No-op on nil.
+func (s *Span) ChildDone(name string, start time.Time, d time.Duration) {
+	if s == nil {
+		return
+	}
+	s.tracer.record(SpanData{
+		TraceID: s.data.TraceID, SpanID: s.tracer.nextID(), ParentID: s.data.SpanID,
+		Name: name, Start: start, Duration: d,
+	})
+}
+
+// End completes the span and publishes it to the tracer. No-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.data.Duration = time.Since(s.data.Start)
+	s.tracer.record(s.data)
+}

@@ -1,0 +1,139 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanHierarchyAndIDs(t *testing.T) {
+	tr := NewTracer("client")
+	root := tr.Start("rpc.Call/echo")
+	if root.TraceID() == 0 || root.SpanID() != root.TraceID() {
+		t.Fatalf("root span ids: trace=%d span=%d", root.TraceID(), root.SpanID())
+	}
+	child := root.Child("serialize")
+	time.Sleep(time.Millisecond)
+	child.End()
+	root.ChildDone("frame-write", time.Now(), 42*time.Microsecond)
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("recorded %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+		if s.TraceID != root.TraceID() {
+			t.Errorf("%s: trace id %d, want %d", s.Name, s.TraceID, root.TraceID())
+		}
+		if s.Process != "client" {
+			t.Errorf("%s: process %q", s.Name, s.Process)
+		}
+	}
+	for _, name := range []string{"serialize", "frame-write"} {
+		if byName[name].ParentID != root.SpanID() {
+			t.Errorf("%s parent = %d, want %d", name, byName[name].ParentID, root.SpanID())
+		}
+	}
+	if byName["serialize"].Duration < time.Millisecond {
+		t.Errorf("serialize duration = %v, want >= 1ms", byName["serialize"].Duration)
+	}
+}
+
+func TestJoinContinuesRemoteTrace(t *testing.T) {
+	client := NewTracer("client")
+	server := NewTracer("server")
+	call := client.Start("rpc.Call/get")
+	handler := server.Join("rpc.Server/get", call.TraceID(), call.SpanID(), time.Now())
+	handler.End()
+	call.End()
+
+	ss := server.Spans()
+	if len(ss) != 1 {
+		t.Fatalf("server spans = %d", len(ss))
+	}
+	if ss[0].TraceID != call.TraceID() || ss[0].ParentID != call.SpanID() {
+		t.Errorf("joined span not linked: %+v vs trace=%d parent=%d", ss[0], call.TraceID(), call.SpanID())
+	}
+	if ss[0].SpanID == call.SpanID() {
+		t.Error("joined span must mint its own span id")
+	}
+}
+
+func TestWriteChromeTraceParses(t *testing.T) {
+	client := NewTracer("client")
+	server := NewTracer("server")
+	call := client.Start("rpc.Call/echo")
+	call.ChildDone("serialize", call.data.Start, time.Microsecond)
+	h := server.Join("rpc.Server/echo", call.TraceID(), call.SpanID(), time.Now())
+	h.End()
+	call.End()
+
+	var buf bytes.Buffer
+	all := append(client.Spans(), server.Spans()...)
+	if err := WriteChromeTrace(&buf, all); err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &parsed); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	names := map[string]bool{}
+	pids := map[int]bool{}
+	for _, e := range parsed.TraceEvents {
+		names[e.Name] = true
+		if e.Ph == "X" {
+			pids[e.Pid] = true
+		}
+	}
+	for _, want := range []string{"rpc.Call/echo", "serialize", "rpc.Server/echo", "process_name"} {
+		if !names[want] {
+			t.Errorf("trace missing event %q", want)
+		}
+	}
+	if len(pids) != 2 {
+		t.Errorf("expected 2 pids (client, server), got %v", pids)
+	}
+}
+
+func TestTracerRetentionCap(t *testing.T) {
+	tr := NewTracer("capped")
+	for i := 0; i < maxRetainedSpans+10; i++ {
+		tr.Start("s").End()
+	}
+	if got := len(tr.Spans()); got != maxRetainedSpans {
+		t.Fatalf("retained %d spans, want cap %d", got, maxRetainedSpans)
+	}
+	if tr.Dropped() != 10 {
+		t.Fatalf("dropped = %d, want 10", tr.Dropped())
+	}
+	tr.Reset()
+	if len(tr.Spans()) != 0 || tr.Dropped() != 0 {
+		t.Error("Reset should clear spans and drop count")
+	}
+}
+
+func TestHistogramText(t *testing.T) {
+	h := NewHistogram("lat", "")
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i))
+	}
+	out := HistogramText("lat", h.Snapshot(), 30)
+	if !strings.Contains(out, "n=100") || !strings.Contains(out, "p99=") {
+		t.Errorf("summary missing fields:\n%s", out)
+	}
+	if len(strings.Split(out, "\n")) < 4 {
+		t.Errorf("expected bucket bars:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math"
+	"net"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// The ISSUE payoff: drive an instrumented RPC service whose handler does a
+// known number of synthetic work units, "accelerate" it by replacing the
+// kernel portion with the modeled offload cost, and check that the measured
+// p50 latency shift (from the telemetry histograms) agrees with the
+// Accelerometer model's predicted latency reduction for the same parameters.
+//
+// Work is counted in abstract spin units so the model maps directly:
+//
+//	baseline    = nonKernel + kernel                   (nk + k)
+//	accelerated = nonKernel + o0 + L + kernel/A        (eqn (1), Sync)
+//	null        = 0 units — measures pure RPC overhead, subtracted from
+//	              both so only the handler shift is compared.
+
+const (
+	spinNonKernel = 100 // nk: work units outside the kernel
+	spinKernel    = 400 // k: kernel work units (alpha = 400/500)
+	spinO0        = 10  // offload preparation, in work units
+	spinL         = 10  // interface cost, in work units
+	spinA         = 8   // accelerator speedup
+)
+
+// spinSink defeats dead-code elimination of the spin loop.
+var spinSink uint64
+
+// spin burns a deterministic amount of CPU proportional to units.
+func spin(units int) {
+	x := uint64(2463534242)
+	for i := 0; i < units*5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink += x
+}
+
+// measureP50 runs calls round trips against a handler that spins for the
+// given unit count and returns the client-side p50 call latency in seconds.
+func measureP50(t *testing.T, units, calls int) float64 {
+	t.Helper()
+	reg := telemetry.NewRegistry()
+	mx, err := rpc.NewMetrics(reg, "bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) {
+		spin(units)
+		return m, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serverConn)
+	client, err := rpc.NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Instrument(&rpc.Instrumentation{Metrics: mx})
+
+	req := rpc.Message{Method: "work", Payload: []byte("x")}
+	for i := 0; i < 3; i++ { // warm up scheduler and code paths
+		if _, err := client.Call(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snapBefore := mx.CallLatency.Snapshot()
+	for i := 0; i < calls; i++ {
+		if _, err := client.Call(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := mx.CallLatency.Snapshot()
+	if snap.Count != snapBefore.Count+uint64(calls) {
+		t.Fatalf("histogram count = %d, want %d", snap.Count, snapBefore.Count+uint64(calls))
+	}
+	return snap.Quantile(0.5)
+}
+
+func TestMeasuredLatencyShiftMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive measurement")
+	}
+	const calls = 40
+	total := float64(spinNonKernel + spinKernel)
+	m := core.MustNew(core.Params{
+		C:     total,
+		Alpha: float64(spinKernel) / total,
+		N:     1,
+		O0:    spinO0,
+		L:     spinL,
+		A:     spinA,
+	})
+	predicted, err := m.LatencyReduction(core.Sync, core.OffChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	accelUnits := spinNonKernel + spinO0 + spinL + spinKernel/spinA
+	p50Null := measureP50(t, 0, calls)
+	p50Base := measureP50(t, spinNonKernel+spinKernel, calls)
+	p50Accel := measureP50(t, accelUnits, calls)
+
+	if p50Base <= p50Null || p50Accel <= p50Null {
+		t.Fatalf("handler work does not dominate RPC overhead: null=%.3gs base=%.3gs accel=%.3gs",
+			p50Null, p50Base, p50Accel)
+	}
+	measured := (p50Base - p50Null) / (p50Accel - p50Null)
+
+	relErr := math.Abs(measured-predicted) / predicted
+	t.Logf("p50 null=%.4gs base=%.4gs accel=%.4gs; measured reduction %.3fx, model predicts %.3fx (rel err %.1f%%)",
+		p50Null, p50Base, p50Accel, measured, predicted, relErr*100)
+	if relErr > 0.35 {
+		t.Errorf("measured latency reduction %.3fx disagrees with model prediction %.3fx (rel err %.1f%% > 35%%)",
+			measured, predicted, relErr)
+	}
+}

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# bench.sh — telemetry overhead benchmark, captured as JSON.
+#
+# Runs the instrumented-vs-disabled RPC Call benchmark pair from
+# bench_test.go and writes BENCH_telemetry.json with ns/op, B/op, and
+# allocs/op for each, so the cost of the telemetry layer is tracked as an
+# artifact. Override the iteration budget with BENCHTIME (default 100x;
+# use e.g. BENCHTIME=2s locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_telemetry.json}"
+raw="$(go test -run '^$' -bench '^(BenchmarkCall(Disabled|Instrumented)|BenchmarkTelemetryDisabledSinks)$' \
+    -benchmem -benchtime "${BENCHTIME:-100x}" .)"
+echo "$raw"
+
+echo "$raw" | awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, $3, $5, $7
+}
+BEGIN { print "[" }
+END {
+    if (n == 0) { print "no benchmark lines parsed" > "/dev/stderr"; exit 1 }
+    print "\n]"
+}
+' > "$out"
+
+echo "wrote $out"

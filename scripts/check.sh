@@ -5,7 +5,8 @@
 #   1. go build ./...            (everything compiles)
 #   2. go vet ./...              (stock static analysis)
 #   3. modelcheck ./...          (domain-aware suite: floatcmp, errdrop,
-#                                 paramvalidate, seedhygiene, lockcheck)
+#                                 paramvalidate, seedhygiene, lockcheck,
+#                                 shadow)
 #   4. modelcheck self-test      (the suite must still flag a known-bad file)
 #   5. go test -race ./...       (unit + integration tests under the race
 #                                 detector; covers the concurrent rpc/sim

@@ -1,0 +1,216 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// End-to-end telemetry integration: the CLI export flags must emit valid
+// Prometheus text and Perfetto-loadable Chrome traces without changing the
+// artifact output, and an instrumented RPC exchange must export a trace
+// whose pipeline-stage events nest under their call span.
+
+func buildBinary(t *testing.T, name string) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Env = os.Environ()
+	if msg, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, msg)
+	}
+	return bin
+}
+
+// chromeTraceFile is the exported trace shape the assertions read back.
+type chromeTraceFile struct {
+	TraceEvents []struct {
+		Name string            `json:"name"`
+		Ph   string            `json:"ph"`
+		Pid  int               `json:"pid"`
+		Args map[string]string `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func readTrace(t *testing.T, path string) chromeTraceFile {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed chromeTraceFile
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("%s is not valid Chrome trace JSON: %v", path, err)
+	}
+	if len(parsed.TraceEvents) == 0 {
+		t.Fatalf("%s has no trace events", path)
+	}
+	return parsed
+}
+
+func TestExperimentsTelemetryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds binaries")
+	}
+	bin := buildBinary(t, "experiments")
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	trace := filepath.Join(dir, "trace.json")
+
+	plain := run(t, bin, "", "-run", "tab7")
+	flagged := run(t, bin, "", "-run", "tab7", "-metrics-out", metrics, "-trace-out", trace)
+	if plain != flagged {
+		t.Errorf("telemetry flags changed the artifact output:\nplain:\n%s\nflagged:\n%s", plain, flagged)
+	}
+
+	mtext, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# TYPE experiment_runtime_seconds summary",
+		`experiment_runtime_seconds{quantile="0.5"}`,
+		"experiment_runtime_seconds_count 1",
+	} {
+		if !strings.Contains(string(mtext), want) {
+			t.Errorf("metrics file missing %q:\n%s", want, mtext)
+		}
+	}
+
+	parsed := readTrace(t, trace)
+	found := false
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "experiment/tab7" && e.Ph == "X" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("trace missing experiment/tab7 span: %+v", parsed.TraceEvents)
+	}
+}
+
+func TestAccelerometerTelemetryFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test builds binaries")
+	}
+	bin := buildBinary(t, "accelerometer")
+	dir := t.TempDir()
+	metrics := filepath.Join(dir, "metrics.txt")
+	trace := filepath.Join(dir, "trace.json")
+	conf := "name = aesni\nC=2e9\nalpha=0.165844\nn=298951\no0=10\nL=3\nA=6\nthreading=sync\n"
+
+	out := run(t, bin, conf, "-config", "-", "-all",
+		"-metrics-out", metrics, "-trace-out", trace)
+	if !strings.Contains(out, "15.78") {
+		t.Errorf("instrumented run lost the estimate:\n%s", out)
+	}
+	mtext, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// -all evaluates all five threading designs.
+	if !strings.Contains(string(mtext), "accelerometer_evals_total 5") {
+		t.Errorf("metrics file missing eval counter:\n%s", mtext)
+	}
+	parsed := readTrace(t, trace)
+	evalSpans := 0
+	for _, e := range parsed.TraceEvents {
+		if strings.HasPrefix(e.Name, "evaluate/") {
+			evalSpans++
+		}
+	}
+	if evalSpans != 5 {
+		t.Errorf("trace has %d evaluate spans, want 5", evalSpans)
+	}
+}
+
+// An instrumented client/server exchange, exported as a Chrome trace, must
+// carry the pipeline-stage events nested under their call span (parent span
+// linkage preserved through the export) across both process timelines.
+func TestChromeTraceExportNestsStageSpans(t *testing.T) {
+	clientTr := telemetry.NewTracer("client")
+	serverTr := telemetry.NewTracer("server")
+	reg := telemetry.NewRegistry()
+	mx, err := rpc.NewMetrics(reg, "rpc_client")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.Instrument(&rpc.Instrumentation{Tracer: serverTr})
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serverConn)
+	client, err := rpc.NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client.Instrument(&rpc.Instrumentation{Tracer: clientTr, Metrics: mx})
+	if _, err := client.Call(rpc.Message{Method: "echo", Payload: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	// Close the conn, then wait for the serve goroutine so the server-side
+	// spans are fully recorded before collecting them.
+	if err := client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join(t.TempDir(), "trace.json")
+	spans := append(clientTr.Spans(), serverTr.Spans()...)
+	if err := telemetry.WriteTraceFile(path, spans); err != nil {
+		t.Fatal(err)
+	}
+	parsed := readTrace(t, path)
+
+	var callSpan string
+	for _, e := range parsed.TraceEvents {
+		if e.Name == "rpc.Call/echo" {
+			callSpan = e.Args["span"]
+		}
+	}
+	if callSpan == "" {
+		t.Fatal("trace missing the rpc.Call/echo root span")
+	}
+	nested := map[string]bool{}
+	pids := map[int]bool{}
+	for _, e := range parsed.TraceEvents {
+		if e.Ph == "X" {
+			pids[e.Pid] = true
+		}
+		if e.Args["parent"] == callSpan {
+			nested[e.Name] = true
+		}
+	}
+	for _, stage := range []string{"serialize", "frame-write", "net-wait", "deserialize"} {
+		if !nested[stage] {
+			t.Errorf("stage %q not nested under the call span; nested = %v", stage, nested)
+		}
+	}
+	// The server handler joins the same trace as a child of the call span.
+	if !nested["rpc.Server/echo"] {
+		t.Errorf("server handler span not parented on the client call span; nested = %v", nested)
+	}
+	if len(pids) != 2 {
+		t.Errorf("expected client+server pids, got %v", pids)
+	}
+	// And the metrics side saw the call.
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "rpc_client_calls_total 1") {
+		t.Errorf("prometheus export missing call counter:\n%s", sb.String())
+	}
+}
