@@ -1,0 +1,155 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/rpc"
+)
+
+// Batched measured-vs-modeled validation, the batching counterpart of
+// measured_model_test.go: coalescing B requests into one batched exchange
+// amortizes the fixed per-exchange cost F (encode + frame + round trip)
+// across the batch, so a round of B requests drops from B·(F + W) to
+// F + B·W, where W is per-request handler work. The same amortization in
+// the model is core.Model.Batched: with A = 1 (no accelerator, pure
+// overhead amortization) and O0 calibrated to F, the model's
+// BatchSpeedupGain predicts exactly B·(F+W)/(F+B·W). The measured round
+// ratio must agree within the same 35% tolerance regime as
+// measured_model_test.go.
+const (
+	batchB     = 8  // requests coalesced per batch
+	batchWork  = 1  // W: spin units of handler work per request (keeps F/W large enough to amortize)
+	batchRound = 25 // timing rounds; the minimum is compared
+)
+
+// minRoundTime runs rounds of fn and returns the fastest wall time. The
+// minimum is the noise-floor estimator: systematic costs (framing, spin
+// work, race instrumentation) survive it, scheduler preemption does not.
+func minRoundTime(t *testing.T, rounds int, fn func()) float64 {
+	t.Helper()
+	fn() // warm up scheduler and code paths
+	best := math.Inf(1)
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		fn()
+		if d := time.Since(t0).Seconds(); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// batchModelClient serves a mutex-serialized spin handler (serialization
+// keeps batched handler work additive, matching the model's single-core
+// framing) and returns a connected client.
+func batchModelClient(t *testing.T, units int) *rpc.Client {
+	t.Helper()
+	var mu sync.Mutex
+	srv, err := rpc.NewServer(func(_ context.Context, m rpc.Message) (rpc.Message, error) {
+		mu.Lock()
+		spin(units)
+		mu.Unlock()
+		return m, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(context.Background(), serverConn)
+	client, err := rpc.NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// measureRounds returns the noise-floor unbatched and batched round times for a
+// handler doing units of work: an unbatched round is B sequential calls,
+// a batched round one CallBatch of the same B requests.
+func measureRounds(t *testing.T, units int) (unbatched, batched float64) {
+	t.Helper()
+	client := batchModelClient(t, units)
+	reqs := make([]rpc.Message, batchB)
+	for i := range reqs {
+		reqs[i] = rpc.Message{Method: fmt.Sprintf("work/%d", i), Payload: []byte("x")}
+	}
+	unbatched = minRoundTime(t, batchRound, func() {
+		for _, req := range reqs {
+			if _, err := client.Call(req); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+	batched = minRoundTime(t, batchRound, func() {
+		_, errs, err := client.CallBatch(reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, e := range errs {
+			if e != nil {
+				t.Fatalf("batched req %d: %v", i, e)
+			}
+		}
+	})
+	return unbatched, batched
+}
+
+func TestBatchedMeasuredSpeedupMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive measurement")
+	}
+
+	// Calibrate from the null (zero-work) rounds and the unbatched work
+	// round; the batched work round is the held-out measurement the model
+	// must predict. A null unbatched round is B·(F + r): F the fixed cost
+	// batching amortizes, r the per-member cost it cannot (decode, handler
+	// dispatch — inflated under -race). A null batched round is F + B·r,
+	// so the two null rounds separate the split: F = Δnull/(B−1).
+	nullRound, nullBatched := measureRounds(t, 0)
+	workRound, batchedRound := measureRounds(t, batchWork)
+	perCall := nullRound / batchB
+	amort := (nullRound - nullBatched) / (batchB - 1)
+	if amort > perCall {
+		amort = perCall // timing jitter; the whole exchange cost amortizes
+	}
+	resid := perCall - amort
+	work := (workRound - nullRound) / batchB
+	if work <= 0 || amort <= 0 {
+		t.Fatalf("calibration degenerate: F=%.3gs r=%.3gs W=%.3gs", amort, resid, work)
+	}
+
+	// Model: N = B offloads of amortizable overhead O0 = F against
+	// C = B·(W + r) serial work; A = 1 makes the alpha split irrelevant,
+	// so the batching gain isolates overhead amortization.
+	m := core.MustNew(core.Params{
+		C:     batchB * (work + resid),
+		Alpha: 0.5,
+		N:     batchB,
+		O0:    amort,
+		A:     1,
+	})
+	predicted, err := m.BatchSpeedupGain(core.Sync, batchB)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	measured := workRound / batchedRound
+	relErr := math.Abs(measured-predicted) / predicted
+	t.Logf("rounds: null=%.4gs/%.4gs unbatched=%.4gs batched=%.4gs (F=%.3gs, r=%.3gs, W=%.3gs); measured gain %.3fx, model predicts %.3fx (rel err %.1f%%)",
+		nullRound, nullBatched, workRound, batchedRound, amort, resid, work, measured, predicted, relErr*100)
+	if relErr > 0.35 {
+		t.Errorf("measured batching gain %.3fx disagrees with model prediction %.3fx (rel err %.1f%% > 35%%)",
+			measured, predicted, relErr*100)
+	}
+	if measured <= 1 {
+		t.Errorf("batching gained nothing: unbatched %.4gs vs batched %.4gs", workRound, batchedRound)
+	}
+}

@@ -10,6 +10,7 @@ package main
 
 import (
 	"compress/flate"
+	"context"
 	"fmt"
 	"net"
 	"sync"
@@ -218,12 +219,12 @@ func BenchmarkKernelAllocation(b *testing.B) {
 
 func benchEchoClient(b *testing.B, ins *rpc.Instrumentation) *rpc.Client {
 	b.Helper()
-	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
+	srv, err := rpc.NewServer(func(_ context.Context, m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 	client, err := rpc.NewClient(clientConn, nil)
 	if err != nil {
 		b.Fatal(err)
@@ -266,6 +267,96 @@ func BenchmarkCallInstrumented(b *testing.B) {
 	}
 	tracer := telemetry.NewTracer("bench")
 	benchCall(b, benchEchoClient(b, &rpc.Instrumentation{Tracer: tracer, Metrics: mx}))
+}
+
+// Batching throughput: sequential small calls versus the same messages
+// coalesced through the batch envelope, over a real TCP loopback so the
+// per-exchange fixed cost (frame round trip + pipeline pass) is genuine.
+// The 64-byte payload sits far below the fleet's break-even granularities
+// (§2.4/Fig 15: most Copy/Alloc operations are this small), which is
+// exactly the regime where the batched-offload model predicts the win.
+// scripts/bench_batching.sh captures the pair into BENCH_batching.json and
+// fails CI if the batched path is not ≥ 2× the unbatched one.
+
+func benchTCPEchoClient(b *testing.B) *rpc.Client {
+	b.Helper()
+	srv, err := rpc.NewServer(func(_ context.Context, m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(context.Background(), lis) }()
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := rpc.NewClient(conn, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := client.Close(); err != nil {
+			b.Errorf("client close: %v", err)
+		}
+		if err := srv.Close(); err != nil {
+			b.Errorf("server close: %v", err)
+		}
+		if err := <-done; err != nil {
+			b.Errorf("serve: %v", err)
+		}
+	})
+	return client
+}
+
+const benchBatchSize = 16
+
+func benchSmallReq() rpc.Message {
+	return rpc.Message{Method: "echo", Payload: kernels.CompressibleData(64, 1)}
+}
+
+func BenchmarkCallSmallUnbatched(b *testing.B) {
+	client := benchTCPEchoClient(b)
+	req := benchSmallReq()
+	b.SetBytes(int64(len(req.Payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.Call(req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCallSmallBatched16(b *testing.B) {
+	client := benchTCPEchoClient(b)
+	reqs := make([]rpc.Message, benchBatchSize)
+	for i := range reqs {
+		reqs[i] = benchSmallReq()
+	}
+	b.SetBytes(int64(len(reqs[0].Payload)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	// b.N counts messages, not batches, so ns/op is directly comparable to
+	// the unbatched benchmark.
+	for sent := 0; sent < b.N; sent += benchBatchSize {
+		n := benchBatchSize
+		if rest := b.N - sent; rest < n {
+			n = rest
+		}
+		_, errs, err := client.CallBatch(reqs[:n])
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, e := range errs {
+			if e != nil {
+				b.Fatal(e)
+			}
+		}
+	}
 }
 
 // BenchmarkTelemetryDisabledSinks measures the pure instrumentation calls

@@ -26,7 +26,11 @@ func main() {
 	name := flag.String("case", "aesni", "case study: aesni, encryption, or inference")
 	requests := flag.Int("requests", 1000, "requests per simulation trial")
 	trials := flag.Int("trials", 3, "paired A/B trials")
+	batch := flag.Float64("batch", 1, "rpc batch factor b >= 1: replay the case study with fixed per-offload costs amortized across b requests")
 	flag.Parse()
+	if err := core.ValidateBatch(*batch); err != nil {
+		fatal(err)
+	}
 
 	var cs *fleetdata.CaseStudy
 	for i := range fleetdata.CaseStudies {
@@ -71,7 +75,7 @@ func main() {
 	}
 	accel.Accel = &sim.Accel{
 		Threading: cs.Threading, Strategy: cs.Strategy,
-		A: a, O0: p.O0, L: p.L, Servers: 4,
+		A: a, O0: p.O0 / *batch, L: p.L / *batch, Servers: 4,
 	}
 
 	comp, err := abtest.Run(base, accel, factory, *trials)
@@ -82,6 +86,13 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *batch > 1 {
+		// Compare the simulator's batched replay against the batched model,
+		// so measured and modeled amortization stay paired.
+		if m, err = m.Batched(*batch); err != nil {
+			fatal(err)
+		}
+	}
 	est, err := m.Speedup(cs.Threading)
 	if err != nil {
 		fatal(err)
@@ -91,7 +102,11 @@ func main() {
 		fatal(err)
 	}
 
-	fmt.Printf("Case study: %s for %s (%s, %s)\n\n", cs.Name, cs.Service, cs.Threading, cs.Strategy)
+	fmt.Printf("Case study: %s for %s (%s, %s)", cs.Name, cs.Service, cs.Threading, cs.Strategy)
+	if *batch > 1 {
+		fmt.Printf(", batch b=%g", *batch)
+	}
+	fmt.Print("\n\n")
 	tb := textchart.NewTable("Metric", "Value")
 	tb.AddRowf("Baseline QPS", comp.BaselineQPS)
 	tb.AddRowf("Accelerated QPS", comp.AcceleratedQPS)

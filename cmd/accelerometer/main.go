@@ -7,6 +7,7 @@
 //
 //	accelerometer -config case1.conf
 //	accelerometer -config case1.conf -all
+//	accelerometer -config case1.conf -batch 8
 //	accelerometer -config case1.conf -sweep A -values 1,2,5,10,50
 //	echo 'C=2e9
 //	alpha=0.165844
@@ -14,6 +15,13 @@
 //	o0=10
 //	L=3
 //	A=6' | accelerometer -config -
+//
+// With -fleet it instead drives the sharded synthetic-fleet simulation
+// (internal/fleet): the eight characterized services run across -shards
+// workers, optionally with the batched offload path (-batch), and the
+// per-service plus aggregate results are printed:
+//
+//	accelerometer -fleet -shards 4 -batch 8 -fleet-requests 200 -seed 42
 package main
 
 import (
@@ -27,6 +35,8 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/fleet"
+	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/textchart"
 )
@@ -44,7 +54,18 @@ func main() {
 	values := flag.String("values", "", "comma-separated values for -sweep")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (\"-\" for stdout; load in Perfetto)")
+	batch := flag.Float64("batch", 1, "rpc batch factor b >= 1: amortize fixed per-offload costs across b coalesced requests")
+	fleetMode := flag.Bool("fleet", false, "simulate the sharded synthetic fleet instead of evaluating a -config model")
+	shards := flag.Int("shards", 1, "fleet worker shards (with -fleet)")
+	fleetRequests := flag.Int("fleet-requests", 200, "requests per service (with -fleet)")
+	seed := flag.Uint64("seed", 42, "base workload seed (with -fleet)")
 	flag.Parse()
+	if *fleetMode {
+		if err := runFleet(*shards, *batch, *fleetRequests, *seed, *metricsOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *path == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -140,6 +161,69 @@ func main() {
 	}
 	fmt.Print(tb.Render())
 	fmt.Printf("\nIdeal (Amdahl) bound at alpha=%g: %.4gx\n", sc.Params.Alpha, m.IdealSpeedup())
+
+	if *batch > 1 {
+		bm, err := m.Batched(*batch)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\nWith rpc batching at b=%g (fixed per-offload costs amortized):\n", *batch)
+		bt := textchart.NewTable("Threading", "Speedup", "Speedup %", "Batching gain")
+		for _, th := range designs {
+			s, err := bm.Speedup(th)
+			if err != nil {
+				fatal(err)
+			}
+			gain, err := m.BatchSpeedupGain(th, *batch)
+			if err != nil {
+				fatal(err)
+			}
+			bt.AddRowf(th.String(), s, (s-1)*100, gain)
+		}
+		fmt.Print(bt.Render())
+	}
+}
+
+// runFleet drives the sharded synthetic-fleet simulation.
+func runFleet(shards int, batch float64, requests int, seed uint64, metricsOut string) error {
+	var reg *telemetry.Registry
+	if metricsOut != "" {
+		reg = telemetry.NewRegistry()
+	}
+	cfg := fleet.Config{
+		Shards:             shards,
+		Seed:               seed,
+		RequestsPerService: requests,
+		Batch:              batch,
+		Accel: &sim.Accel{
+			Threading: core.Sync,
+			Strategy:  core.OffChip,
+			A:         10,
+			O0:        500,
+			L:         300,
+			Servers:   2,
+		},
+		Telemetry: reg,
+	}
+	r, err := fleet.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Sharded fleet simulation: %d services, %d shards, batch b=%g, seed %d\n\n",
+		len(r.Services), r.Shards, r.Batch, seed)
+	tb := textchart.NewTable("Service", "Kernel", "Shard", "QPS", "p50 cycles", "p99 cycles", "Offloads")
+	for _, sr := range r.Services {
+		tb.AddRowf(string(sr.Service), sr.Kind.String(), sr.Shard,
+			sr.Result.ThroughputQPS, sr.Result.P50Latency, sr.Result.P99Latency, sr.Result.Offloads)
+	}
+	fmt.Print(tb.Render())
+	a := r.Aggregate
+	fmt.Printf("\nFleet aggregate: %d requests, %.4g QPS, p50 %.4g / p95 %.4g / p99 %.4g cycles, %d offloads\n",
+		a.Completed, a.ThroughputQPS, a.P50Latency, a.P95Latency, a.P99Latency, a.Offloads)
+	if metricsOut != "" {
+		return telemetry.WriteMetricsFile(metricsOut, reg)
+	}
+	return nil
 }
 
 // runSweep evaluates the configured design over a parameter range.

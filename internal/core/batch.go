@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Batched-offload variant of the Accelerometer model. The granularity CDFs
+// of §2.4 show most offload candidates carry payloads far below the
+// break-even size g from equations (2)/(4)/(7): the fixed per-offload
+// interface cost (o0 + L, plus queuing and any switch charges) dominates
+// the kernel cycles the accelerator saves. Coalescing b such offloads into
+// one batched exchange leaves the kernel work α·C and the per-byte
+// payload movement unchanged, but pays the fixed costs once per batch:
+// the effective granularity of an offload event becomes the batch's
+// summed payload (g' = Σ g_i) while the per-request amortized overhead
+// falls to (o0 + Q + o1)/b — equivalently, the same n offloads per time
+// unit each cost 1/b of the fixed overheads. Both views yield the same
+// equations; this file takes the amortized-overhead form so the existing
+// Speedup/LatencyReduction/break-even machinery applies unchanged.
+//
+// The mirror of this in the measured system is rpc.Batcher: one envelope
+// frame carries b messages through serialization, compression, encryption,
+// framing, and the network round trip.
+
+// ValidateBatch checks a batch factor: finite and at least 1 (b = 1 is the
+// unbatched model).
+func ValidateBatch(b float64) error {
+	if math.IsNaN(b) || math.IsInf(b, 0) || b < 1 {
+		return fmt.Errorf("core: batch factor = %v, want finite >= 1", b)
+	}
+	return nil
+}
+
+// Batched returns the model with per-offload fixed costs amortized over
+// batches of b offloads: O0, L, Q, and O1 each fall to 1/b of their
+// unbatched value while C, Alpha, N, and A are untouched. L is included
+// because the per-offload interface transfer's fixed portion (descriptor
+// setup, doorbell, cache-line round trips) batches away; a payload-
+// proportional L component should be folded into the kernel instead.
+func (m *Model) Batched(b float64) (*Model, error) {
+	if err := ValidateBatch(b); err != nil {
+		return nil, err
+	}
+	p := m.p
+	p.O0 /= b
+	p.L /= b
+	p.Q /= b
+	p.O1 /= b
+	return New(p)
+}
+
+// BatchSpeedupGain returns the ratio of batched to unbatched throughput
+// speedup for the threading design — the additional factor batching buys
+// on top of acceleration alone. It exceeds 1 whenever fixed overheads are
+// nonzero and b > 1.
+func (m *Model) BatchSpeedupGain(t Threading, b float64) (float64, error) {
+	batched, err := m.Batched(b)
+	if err != nil {
+		return 0, err
+	}
+	unb, err := m.Speedup(t)
+	if err != nil {
+		return 0, err
+	}
+	bat, err := batched.Speedup(t)
+	if err != nil {
+		return 0, err
+	}
+	return bat / unb, nil
+}
+
+// BatchLatencyGain returns the ratio of batched to unbatched latency
+// reduction for the threading design and strategy. Note batching trades
+// linger time for this gain: the model captures only the cycle
+// accounting, not the queueing delay a caller spends waiting for its
+// batch to fill.
+func (m *Model) BatchLatencyGain(t Threading, s Strategy, b float64) (float64, error) {
+	batched, err := m.Batched(b)
+	if err != nil {
+		return 0, err
+	}
+	unb, err := m.LatencyReduction(t, s)
+	if err != nil {
+		return 0, err
+	}
+	bat, err := batched.LatencyReduction(t, s)
+	if err != nil {
+		return 0, err
+	}
+	return bat / unb, nil
+}
+
+// BatchedBreakEvenThroughputG returns the smallest per-request offload
+// size that improves throughput when requests ride in batches of b — the
+// amortized counterpart of BreakEvenThroughputG. Batching divides the
+// fixed overhead each request must beat by b, so the break-even size
+// shrinks roughly by b^(1/β): small-payload offloads that equations
+// (2)/(4)/(7) reject become profitable inside a batch.
+func (m *Model) BatchedBreakEvenThroughputG(t Threading, k Kernel, b float64) (float64, error) {
+	batched, err := m.Batched(b)
+	if err != nil {
+		return 0, err
+	}
+	return batched.BreakEvenThroughputG(t, k)
+}
+
+// BatchedBreakEvenLatencyG is the amortized counterpart of
+// BreakEvenLatencyG.
+func (m *Model) BatchedBreakEvenLatencyG(t Threading, s Strategy, k Kernel, b float64) (float64, error) {
+	batched, err := m.Batched(b)
+	if err != nil {
+		return 0, err
+	}
+	return batched.BreakEvenLatencyG(t, s, k)
+}

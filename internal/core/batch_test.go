@@ -1,0 +1,156 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func batchTestModel(t *testing.T) *Model {
+	t.Helper()
+	// Small-granularity regime: fixed overheads comparable to the kernel
+	// work, where batching matters.
+	return MustNew(Params{C: 2e9, Alpha: 0.2, N: 2e5, O0: 800, L: 500, Q: 200, O1: 300, A: 10})
+}
+
+func TestBatchedAmortizesFixedOverheads(t *testing.T) {
+	m := batchTestModel(t)
+	b, err := m.Batched(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, bp := m.Params(), b.Params()
+	if bp.O0 != p.O0/4 || bp.L != p.L/4 || bp.Q != p.Q/4 || bp.O1 != p.O1/4 {
+		t.Errorf("batched params = %+v, want fixed costs at 1/4 of %+v", bp, p)
+	}
+	if bp.C != p.C || bp.Alpha != p.Alpha || bp.N != p.N || bp.A != p.A {
+		t.Errorf("batching must not touch C/Alpha/N/A: %+v vs %+v", bp, p)
+	}
+}
+
+func TestBatchFactorOneIsIdentity(t *testing.T) {
+	m := batchTestModel(t)
+	b, err := m.Batched(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range Threadings {
+		want, err := m.Speedup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.Speedup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%v: Batched(1) speedup %v != unbatched %v", th, got, want)
+		}
+	}
+}
+
+func TestBatchedRejectsBadFactors(t *testing.T) {
+	m := batchTestModel(t)
+	for _, b := range []float64{0, 0.5, -1, math.NaN(), math.Inf(1)} {
+		if _, err := m.Batched(b); err == nil {
+			t.Errorf("Batched(%v): want error", b)
+		}
+	}
+}
+
+// Speedup gain must be monotone in the batch factor and approach the
+// overhead-free limit as b → ∞.
+func TestBatchSpeedupGainMonotone(t *testing.T) {
+	m := batchTestModel(t)
+	for _, th := range Threadings {
+		prev := 1.0
+		for _, b := range []float64{1, 2, 4, 8, 16, 64} {
+			gain, err := m.BatchSpeedupGain(th, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gain < prev {
+				t.Errorf("%v: gain(%v) = %v < gain at smaller batch %v", th, b, gain, prev)
+			}
+			prev = gain
+		}
+		// The b→∞ limit: a model with zero fixed overheads.
+		p := m.Params()
+		p.O0, p.L, p.Q, p.O1 = 0, 0, 0, 0
+		free := MustNew(p)
+		limit, err := free.Speedup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		unb, err := m.Speedup(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev > limit/unb*(1+1e-12) {
+			t.Errorf("%v: gain(64) = %v exceeds overhead-free limit %v", th, prev, limit/unb)
+		}
+	}
+}
+
+// Batching must shrink the break-even granularity: requests too small to
+// offload alone become profitable inside a batch (the ISSUE's effective
+// g = Σ payload view).
+func TestBatchedBreakEvenShrinks(t *testing.T) {
+	m := batchTestModel(t)
+	k := LinearKernel(5.5)
+	for _, th := range Threadings {
+		unb, err := m.BreakEvenThroughputG(th, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bat, err := m.BatchedBreakEvenThroughputG(th, k, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !(bat < unb) {
+			t.Errorf("%v: batched break-even %v not below unbatched %v", th, bat, unb)
+		}
+		// Linear kernel: the fixed overhead divides by 8, so break-even g
+		// does too (Sync includes the A-factor on both sides, so the ratio
+		// still holds exactly for β=1).
+		if ratio := unb / bat; math.Abs(ratio-8) > 1e-9 {
+			t.Errorf("%v: break-even shrink ratio = %v, want 8 for a linear kernel", th, ratio)
+		}
+	}
+	lat, err := m.BatchedBreakEvenLatencyG(Sync, OffChip, k, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbLat, err := m.BreakEvenLatencyG(Sync, OffChip, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lat < unbLat) {
+		t.Errorf("latency break-even %v not below unbatched %v", lat, unbLat)
+	}
+}
+
+// Property: for any valid parameterization with nonzero fixed overheads,
+// batching never hurts modeled throughput or latency.
+func TestBatchGainNeverBelowOneProperty(t *testing.T) {
+	m := batchTestModel(t)
+	f := func(rawB float64, thPick uint8) bool {
+		b := 1 + math.Mod(math.Abs(rawB), 1000) // batch factor in [1, 1001)
+		if math.IsNaN(b) {
+			return true
+		}
+		th := Threadings[int(thPick)%len(Threadings)]
+		sg, err := m.BatchSpeedupGain(th, b)
+		if err != nil {
+			return false
+		}
+		lg, err := m.BatchLatencyGain(th, OffChip, b)
+		if err != nil {
+			return false
+		}
+		return sg >= 1-1e-12 && lg >= 1-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package fleet drives the paper's synthetic microservice fleet through
+// the simulator as one sharded run: the eight characterized services
+// (the seven of §2.1 plus Cache3 from case study 2) are assigned
+// round-robin to N worker shards, every shard simulates its services
+// independently, and the per-service Results are merged — in the fixed
+// service order, never the completion order — into one fleet-level
+// aggregate via sim.MergeResults.
+//
+// Determinism is the load-bearing property: a service's workload depends
+// only on (base seed, service index), and aggregation order depends only
+// on the service list, so the aggregate Result is byte-identical across
+// runs and across shard counts. Shards change wall-clock parallelism of
+// the driver itself, nothing else. The golden test in fleet_test.go and
+// EXPERIMENTS.md pin this down.
+//
+// The Batch factor models the client-side rpc.Batcher: coalescing b
+// requests into one offload exchange amortizes the fixed per-offload
+// costs, so the simulated o0 and L scale by 1/b (the simulator analog of
+// core.Model.Batched, which divides o0/L/q/o1 in the closed-form model).
+package fleet
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/services"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// FleetServices lists the simulated fleet in fixed aggregation order: the
+// paper's seven characterized services plus the Cache3 tier of case
+// study 2 (eight total).
+var FleetServices = append(append([]fleetdata.Service{}, fleetdata.Services...), fleetdata.Cache3)
+
+// kindPreference orders the kernel kinds a service may offload; each
+// service uses the first kind it publishes a granularity CDF for
+// (encryption and compression are the paper's case-study kernels, memory
+// copy and allocation the fleet-wide ones of Figs 21-22).
+var kindPreference = []kernels.Kind{
+	kernels.Encryption, kernels.Compression, kernels.MemoryCopy, kernels.Allocation,
+}
+
+// kindCb maps kernel kinds to host cycles per byte for the simulated
+// kernel. Encryption's 5.5 c/B is the paper's Table 6 calibration; the
+// others are the reproduction's stand-in costs (compression is an order
+// of magnitude costlier per byte than bulk copies).
+var kindCb = map[kernels.Kind]float64{
+	kernels.Encryption:  5.5,
+	kernels.Compression: 8,
+	kernels.MemoryCopy:  1,
+	kernels.Allocation:  2,
+}
+
+// Config configures one sharded fleet run.
+type Config struct {
+	Shards             int     // worker shards (≥1); services are assigned service-index mod Shards
+	Seed               uint64  // base seed; service i derives its workload seed from (Seed, i)
+	RequestsPerService int     // requests each service completes
+	Batch              float64 // rpc batch factor b ≥ 1 (0 means 1); scales o0 and L by 1/b
+
+	// Per-service simulator sizing. Zero values take the defaults:
+	// 2 cores, 2 threads, 2 GHz, 20000 non-kernel cycles, 4 kernel
+	// invocations per request.
+	Cores           int
+	Threads         int
+	HostHz          float64
+	NonKernelCycles float64
+	KernelsPerReq   int
+
+	// Accel configures the accelerator every service offloads to. Nil
+	// simulates the unaccelerated fleet. Batch scaling applies to a copy;
+	// the caller's struct is never mutated.
+	Accel *sim.Accel
+
+	// Telemetry, when non-nil, registers fleet-level instruments:
+	// fleet_requests_total, fleet_offloads_total, and
+	// fleet_service_latency_cycles (per-service mean latencies).
+	Telemetry *telemetry.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Batch == 0 { //modelcheck:ignore floatcmp — zero-value means unset; negatives must reach Validate
+		c.Batch = 1
+	}
+	if c.Cores == 0 {
+		c.Cores = 2
+	}
+	if c.Threads == 0 {
+		c.Threads = c.Cores
+	}
+	if c.HostHz == 0 { //modelcheck:ignore floatcmp — zero-value means unset; negatives must reach Validate
+		c.HostHz = 2e9
+	}
+	if c.NonKernelCycles == 0 { //modelcheck:ignore floatcmp — zero-value means unset; negatives must reach Validate
+		c.NonKernelCycles = 20000
+	}
+	if c.KernelsPerReq == 0 {
+		c.KernelsPerReq = 4
+	}
+	if c.RequestsPerService == 0 {
+		c.RequestsPerService = 200
+	}
+	return c
+}
+
+// Validate checks the resolved configuration.
+func (c Config) Validate() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("fleet: shards = %d, want >= 1", c.Shards)
+	}
+	if err := core.ValidateBatch(c.Batch); err != nil {
+		return err
+	}
+	if c.RequestsPerService < 1 {
+		return fmt.Errorf("fleet: requests per service = %d, want >= 1", c.RequestsPerService)
+	}
+	return nil
+}
+
+// ServiceResult is one service's simulation outcome.
+type ServiceResult struct {
+	Service fleetdata.Service
+	Kind    kernels.Kind // offloaded kernel kind
+	Shard   int          // shard that ran it
+	Result  sim.Result
+}
+
+// Result is the outcome of a sharded fleet run.
+type Result struct {
+	Shards    int
+	Batch     float64
+	Aggregate sim.Result      // merge of all services, in FleetServices order
+	PerShard  []sim.Result    // merge of each shard's services, in shard order
+	Services  []ServiceResult // per-service results, in FleetServices order
+}
+
+// serviceKind resolves the kernel kind and granularity CDF a service
+// offloads. Cache3 publishes no CDF of its own; as an encryption-heavy
+// cache tier (its case-study kernel is encryption at α = 0.19154) it
+// borrows Cache1's Fig 15 encryption distribution.
+func serviceKind(svc *services.Service) (kernels.Kind, *dist.CDF, error) {
+	for _, k := range kindPreference {
+		if cdf, err := svc.SizeCDF(k); err == nil {
+			return k, cdf, nil
+		}
+	}
+	if svc.Name == fleetdata.Cache3 {
+		return kernels.Encryption, fleetdata.EncryptionSizes[fleetdata.Cache1], nil
+	}
+	return 0, nil, fmt.Errorf("fleet: %s publishes no granularity distribution", svc.Name)
+}
+
+// seedFor derives service i's workload seed from the base seed. The mix
+// constant is the splitmix64 increment, so nearby service indices get
+// well-separated streams.
+func seedFor(base uint64, i int) uint64 {
+	return base + uint64(i+1)*0x9e3779b97f4a7c15
+}
+
+// Run simulates the fleet across cfg.Shards worker shards and returns the
+// per-service, per-shard, and aggregate results. The aggregate is
+// independent of the shard count (see the package comment).
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	type job struct {
+		index int
+		svc   *services.Service
+		kind  kernels.Kind
+		cdf   *dist.CDF
+	}
+	jobs := make([]job, 0, len(FleetServices))
+	for i, name := range FleetServices {
+		svc, err := services.New(name)
+		if err != nil {
+			return nil, err
+		}
+		kind, cdf, err := serviceKind(svc)
+		if err != nil {
+			return nil, err
+		}
+		jobs = append(jobs, job{index: i, svc: svc, kind: kind, cdf: cdf})
+	}
+
+	// Amortize the fixed per-offload costs over the batch factor. Copy
+	// the accel so the caller's struct is untouched.
+	var accel *sim.Accel
+	if cfg.Accel != nil {
+		a := *cfg.Accel
+		a.O0 /= cfg.Batch
+		a.L /= cfg.Batch
+		accel = &a
+	}
+
+	out := &Result{
+		Shards:   cfg.Shards,
+		Batch:    cfg.Batch,
+		Services: make([]ServiceResult, len(jobs)),
+		PerShard: make([]sim.Result, cfg.Shards),
+	}
+	errs := make([]error, cfg.Shards)
+
+	var wg sync.WaitGroup
+	for shard := 0; shard < cfg.Shards; shard++ {
+		wg.Add(1)
+		go func(shard int) {
+			defer wg.Done()
+			for _, j := range jobs {
+				if j.index%cfg.Shards != shard {
+					continue
+				}
+				cb, ok := kindCb[j.kind]
+				if !ok {
+					errs[shard] = fmt.Errorf("fleet: no per-byte cost for kind %v", j.kind)
+					return
+				}
+				wl, err := sim.NewSampledWorkload(cfg.NonKernelCycles, cfg.KernelsPerReq,
+					core.LinearKernel(cb), j.cdf, cfg.RequestsPerService, seedFor(cfg.Seed, j.index))
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				s, err := sim.New(sim.Config{
+					Cores:    cfg.Cores,
+					Threads:  cfg.Threads,
+					HostHz:   cfg.HostHz,
+					Requests: cfg.RequestsPerService,
+					Accel:    accel,
+				}, wl)
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				res, err := s.Run()
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				out.Services[j.index] = ServiceResult{
+					Service: j.svc.Name, Kind: j.kind, Shard: shard, Result: res,
+				}
+			}
+		}(shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	// Aggregate in fixed service order so the result is identical for
+	// every shard count; per-shard merges likewise follow service order
+	// within the shard.
+	all := make([]sim.Result, len(out.Services))
+	for i, sr := range out.Services {
+		all[i] = sr.Result
+	}
+	agg, err := sim.MergeResults(all)
+	if err != nil {
+		return nil, err
+	}
+	out.Aggregate = agg
+	for shard := 0; shard < cfg.Shards; shard++ {
+		var members []sim.Result
+		for _, sr := range out.Services {
+			if sr.Shard == shard {
+				members = append(members, sr.Result)
+			}
+		}
+		if len(members) > 0 {
+			m, err := sim.MergeResults(members)
+			if err != nil {
+				return nil, err
+			}
+			out.PerShard[shard] = m
+		}
+	}
+
+	if cfg.Telemetry != nil {
+		if err := exportTelemetry(cfg.Telemetry, out); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// exportTelemetry registers and populates fleet-level instruments.
+func exportTelemetry(reg *telemetry.Registry, r *Result) error {
+	req, err := reg.Counter("fleet_requests_total", "requests completed across the fleet")
+	if err != nil {
+		return err
+	}
+	off, err := reg.Counter("fleet_offloads_total", "kernel offloads across the fleet")
+	if err != nil {
+		return err
+	}
+	lat, err := reg.Histogram("fleet_service_latency_cycles", "per-service mean request latency")
+	if err != nil {
+		return err
+	}
+	req.Add(uint64(r.Aggregate.Completed))
+	off.Add(uint64(r.Aggregate.Offloads))
+	for _, sr := range r.Services {
+		lat.Record(sr.Result.MeanLatency)
+	}
+	return nil
+}

@@ -1,0 +1,173 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+func testAccel() *sim.Accel {
+	return &sim.Accel{
+		Threading: core.Sync,
+		Strategy:  core.OffChip,
+		A:         10,
+		O0:        500,
+		L:         300,
+		Servers:   2,
+	}
+}
+
+func testConfig(shards int, batch float64) Config {
+	return Config{
+		Shards:             shards,
+		Seed:               42,
+		RequestsPerService: 120,
+		Batch:              batch,
+		Accel:              testAccel(),
+	}
+}
+
+// Golden determinism property: the same seed and shard count must yield a
+// byte-identical aggregated Result, goroutine scheduling notwithstanding.
+func TestFleetDeterminismGolden(t *testing.T) {
+	first, err := Run(testConfig(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(first.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		again, err := Run(testConfig(3, 1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := json.Marshal(again.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("run %d: aggregate bytes diverged:\n got %s\nwant %s", i, got, want)
+		}
+		if !reflect.DeepEqual(again.Services, first.Services) {
+			t.Fatalf("run %d: per-service results diverged", i)
+		}
+	}
+}
+
+// The aggregate must not depend on how services are sharded: shards only
+// change driver parallelism.
+func TestFleetShardCountIndependence(t *testing.T) {
+	base, err := Run(testConfig(1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(base.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 5, 8, 13} {
+		r, err := Run(testConfig(shards, 1))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		got, err := json.Marshal(r.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("shards=%d: aggregate differs from shards=1:\n got %s\nwant %s", shards, got, want)
+		}
+		for i := range r.Services {
+			if r.Services[i].Service != base.Services[i].Service {
+				t.Fatalf("shards=%d: service order changed at %d", shards, i)
+			}
+			if !reflect.DeepEqual(r.Services[i].Result, base.Services[i].Result) {
+				t.Errorf("shards=%d: %s result differs from shards=1 run",
+					shards, r.Services[i].Service)
+			}
+		}
+	}
+}
+
+func TestFleetCoversEightServices(t *testing.T) {
+	r, err := Run(testConfig(4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Services) != 8 {
+		t.Fatalf("fleet ran %d services, want 8", len(r.Services))
+	}
+	seen := map[int]int{}
+	for _, sr := range r.Services {
+		if sr.Result.Completed != 120 {
+			t.Errorf("%s completed %d requests, want 120", sr.Service, sr.Result.Completed)
+		}
+		seen[sr.Shard]++
+	}
+	if len(seen) != 4 {
+		t.Errorf("round-robin used %d shards, want all 4", len(seen))
+	}
+	if r.Aggregate.Completed != 8*120 {
+		t.Errorf("aggregate completed %d, want %d", r.Aggregate.Completed, 8*120)
+	}
+}
+
+// Batching amortizes fixed offload costs, so fleet throughput must not
+// drop and should strictly rise in this overhead-dominated regime.
+func TestFleetBatchAmortizes(t *testing.T) {
+	unb, err := Run(testConfig(2, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bat, err := Run(testConfig(2, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(bat.Aggregate.ThroughputQPS > unb.Aggregate.ThroughputQPS) {
+		t.Errorf("batched fleet QPS %v not above unbatched %v",
+			bat.Aggregate.ThroughputQPS, unb.Aggregate.ThroughputQPS)
+	}
+	if bat.Aggregate.Completed != unb.Aggregate.Completed {
+		t.Errorf("batching changed completed count: %d vs %d",
+			bat.Aggregate.Completed, unb.Aggregate.Completed)
+	}
+}
+
+func TestFleetRejectsBadConfig(t *testing.T) {
+	if _, err := Run(Config{Shards: -1}); err == nil {
+		t.Error("negative shards: want error")
+	}
+	if _, err := Run(Config{Batch: 0.5}); err == nil {
+		t.Error("fractional batch: want error")
+	}
+}
+
+func TestFleetTelemetryExport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	cfg := testConfig(2, 1)
+	cfg.Telemetry = reg
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fleet_requests_total", "fleet_offloads_total", "fleet_service_latency_cycles"} {
+		if !bytes.Contains(buf.Bytes(), []byte(want)) {
+			t.Errorf("telemetry export missing %q:\n%s", want, out)
+		}
+	}
+	if r.Aggregate.Completed == 0 {
+		t.Error("aggregate empty with telemetry attached")
+	}
+}

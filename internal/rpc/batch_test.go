@@ -1,0 +1,552 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestBatchPayloadRoundTrip(t *testing.T) {
+	msgs := []Message{
+		{Method: "cache.get", Headers: map[string]string{"key": "user:42"}},
+		{Method: "cache.put", Payload: []byte("value")},
+		{},
+	}
+	payload, err := encodeBatchPayload(msgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := decodeBatchPayload(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, msgs) {
+		t.Errorf("round trip:\n got %+v\nwant %+v", got, msgs)
+	}
+}
+
+func TestBatchPayloadRejectsCorrupt(t *testing.T) {
+	if _, err := encodeBatchPayload(nil); err == nil {
+		t.Error("empty batch: want encode error")
+	}
+	if _, err := decodeBatchPayload([]byte{0, 0, 0, 0}); err == nil {
+		t.Error("zero count: want error")
+	}
+	if _, err := decodeBatchPayload([]byte{1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff}); err == nil {
+		t.Error("member length beyond payload: want error")
+	}
+	good, err := encodeBatchPayload([]Message{{Method: "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := decodeBatchPayload(append(good, 0x00)); err == nil {
+		t.Error("trailing bytes: want error")
+	}
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, err := decodeBatchPayload(flipped); err == nil {
+		t.Error("corrupt member checksum: want error")
+	}
+}
+
+// echoBatchServer serves an echo handler that fails methods with a "fail"
+// prefix; the returned client is connected over net.Pipe.
+func echoBatchServer(t *testing.T) *Client {
+	t.Helper()
+	srv, err := NewServer(batchTestHandler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(context.Background(), serverConn)
+	client, err := NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return client
+}
+
+// batchTestHandler is the deterministic handler the equivalence tests are
+// written against: "fail/..." methods error, everything else echoes the
+// payload back reversed.
+func batchTestHandler(_ context.Context, req Message) (Message, error) {
+	if strings.HasPrefix(req.Method, "fail/") {
+		return Message{}, fmt.Errorf("boom:%s", req.Method)
+	}
+	rev := make([]byte, len(req.Payload))
+	for i, b := range req.Payload {
+		rev[len(rev)-1-i] = b
+	}
+	return Message{Method: req.Method, Payload: rev}, nil
+}
+
+func TestCallBatchEcho(t *testing.T) {
+	client := echoBatchServer(t)
+	reqs := make([]Message, 5)
+	for i := range reqs {
+		reqs[i] = Message{Method: fmt.Sprintf("m%d", i), Payload: []byte{byte(i), byte(i + 1)}}
+	}
+	resps, errs, err := client.CallBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, resp := range resps {
+		if errs[i] != nil {
+			t.Errorf("req %d: unexpected error %v", i, errs[i])
+		}
+		want := []byte{byte(i + 1), byte(i)}
+		if resp.Method != reqs[i].Method || !bytes.Equal(resp.Payload, want) {
+			t.Errorf("req %d: resp = %+v, want method %q payload %v", i, resp, reqs[i].Method, want)
+		}
+	}
+}
+
+func TestCallBatchErrorIsolation(t *testing.T) {
+	client := echoBatchServer(t)
+	reqs := []Message{
+		{Method: "ok/0", Payload: []byte("a")},
+		{Method: "fail/1"},
+		{Method: "ok/2", Payload: []byte("b")},
+	}
+	resps, errs, err := client.CallBatch(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs[0] != nil || errs[2] != nil {
+		t.Errorf("healthy siblings errored: %v, %v", errs[0], errs[2])
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "boom:fail/1") {
+		t.Errorf("errs[1] = %v, want remote boom", errs[1])
+	}
+	if string(resps[0].Payload) != "a" || string(resps[2].Payload) != "b" {
+		t.Errorf("sibling responses corrupted: %+v", resps)
+	}
+}
+
+func TestCallBatchEmpty(t *testing.T) {
+	client := echoBatchServer(t)
+	if _, _, err := client.CallBatch(nil); err == nil {
+		t.Error("empty batch: want error")
+	}
+}
+
+// Satellite property: a batch of N requests must be observationally
+// equivalent to N sequential calls — same responses, same per-request
+// error mapping, and each server handler span parented on its own
+// caller's span.
+func TestBatchEquivalenceProperty(t *testing.T) {
+	srv, err := NewServer(batchTestHandler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientTr := telemetry.NewTracer("client")
+	serverTr := telemetry.NewTracer("server")
+	srv.Instrument(&Instrumentation{Tracer: serverTr})
+
+	seqClient := echoBatchServer(t)
+
+	batConn, batServerConn := net.Pipe()
+	go srv.ServeConn(context.Background(), batServerConn)
+	batClient, err := NewClient(batConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batClient.Close()
+	batClient.Instrument(&Instrumentation{Tracer: clientTr})
+
+	iter := 0
+	f := func(payloads [][]byte, failMask uint8) bool {
+		iter++
+		if len(payloads) == 0 {
+			payloads = [][]byte{nil}
+		}
+		if len(payloads) > 8 {
+			payloads = payloads[:8]
+		}
+		clientTr.Reset()
+		serverTr.Reset()
+		reqs := make([]Message, len(payloads))
+		for i, p := range payloads {
+			method := fmt.Sprintf("ok/%d.%d", iter, i)
+			if failMask&(1<<i) != 0 {
+				method = fmt.Sprintf("fail/%d.%d", iter, i)
+			}
+			reqs[i] = Message{Method: method, Payload: p}
+		}
+
+		// Batched side: concurrent callers coalesced by a Batcher sized to
+		// the request count, so everything rides one envelope.
+		b, err := NewBatcher(batClient, BatcherConfig{MaxBatch: len(reqs), Linger: 2 * time.Millisecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		resps := make([]Message, len(reqs))
+		errs := make([]error, len(reqs))
+		var wg sync.WaitGroup
+		for i := range reqs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resps[i], errs[i] = b.CallContext(context.Background(), reqs[i])
+			}(i)
+		}
+		wg.Wait()
+		if err := b.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		for i, req := range reqs {
+			seqResp, seqErr := seqClient.Call(req)
+			if (errs[i] == nil) != (seqErr == nil) {
+				t.Logf("req %d: batched err %v, sequential err %v", i, errs[i], seqErr)
+				return false
+			}
+			if seqErr != nil {
+				if errs[i].Error() != seqErr.Error() {
+					t.Logf("req %d: error text diverged: %q vs %q", i, errs[i], seqErr)
+					return false
+				}
+				continue
+			}
+			if resps[i].Method != seqResp.Method || !bytes.Equal(resps[i].Payload, seqResp.Payload) {
+				t.Logf("req %d: batched %+v, sequential %+v", i, resps[i], seqResp)
+				return false
+			}
+		}
+
+		// Trace linkage: every member's server span must be parented on
+		// that member's own client call span — batching must not collapse
+		// or cross-wire the per-request traces.
+		clientSpans := map[string]telemetry.SpanData{}
+		for _, sd := range clientTr.Spans() {
+			clientSpans[sd.Name] = sd
+		}
+		serverSpans := map[string]telemetry.SpanData{}
+		for _, sd := range serverTr.Spans() {
+			serverSpans[sd.Name] = sd
+		}
+		for _, req := range reqs {
+			call, ok := clientSpans["rpc.Call/"+req.Method]
+			if !ok {
+				t.Logf("no client span for %q", req.Method)
+				return false
+			}
+			sd, ok := serverSpans["rpc.Server/"+req.Method]
+			if !ok {
+				t.Logf("no server span for %q", req.Method)
+				return false
+			}
+			if sd.TraceID != call.TraceID || sd.ParentID != call.SpanID {
+				t.Logf("span linkage broken for %q: server %+v, caller %+v", req.Method, sd, call)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Per-request spans must link server handler spans to each member's own
+// client-side call span, even when the Batcher coalesced them into one
+// envelope exchange.
+func TestBatcherTraceParentLinkage(t *testing.T) {
+	srv, err := NewServer(batchTestHandler, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientTr := telemetry.NewTracer("client")
+	serverTr := telemetry.NewTracer("server")
+	srv.Instrument(&Instrumentation{Tracer: serverTr})
+
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(context.Background(), serverConn)
+	client, err := NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	client.Instrument(&Instrumentation{Tracer: clientTr})
+
+	const n = 4
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: n, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.CallContext(context.Background(), Message{Method: fmt.Sprintf("ok/%d", i)}); err != nil {
+				t.Errorf("call %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	clientSpans := map[string]telemetry.SpanData{}
+	for _, sd := range clientTr.Spans() {
+		clientSpans[sd.Name] = sd
+	}
+	serverSpans := map[string]telemetry.SpanData{}
+	for _, sd := range serverTr.Spans() {
+		serverSpans[sd.Name] = sd
+	}
+	for i := 0; i < n; i++ {
+		call, ok := clientSpans[fmt.Sprintf("rpc.Call/ok/%d", i)]
+		if !ok {
+			t.Fatalf("missing client span for call %d; have %v", i, clientSpans)
+		}
+		srvSp, ok := serverSpans[fmt.Sprintf("rpc.Server/ok/%d", i)]
+		if !ok {
+			t.Fatalf("missing server span for call %d", i)
+		}
+		if srvSp.TraceID != call.TraceID {
+			t.Errorf("call %d: server span in trace %x, caller trace %x", i, srvSp.TraceID, call.TraceID)
+		}
+		if srvSp.ParentID != call.SpanID {
+			t.Errorf("call %d: server span parent %x, caller span %x", i, srvSp.ParentID, call.SpanID)
+		}
+	}
+}
+
+func TestBatcherFlushOnMaxBatch(t *testing.T) {
+	client := echoBatchServer(t)
+	const n = 4
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: n, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := []byte{byte(i), 0xAA}
+			resp, err := b.CallContext(context.Background(), Message{Method: "ok/x", Payload: payload})
+			if err != nil {
+				t.Errorf("call %d: %v", i, err)
+				return
+			}
+			if want := []byte{0xAA, byte(i)}; !bytes.Equal(resp.Payload, want) {
+				t.Errorf("call %d: payload %v, want %v", i, resp.Payload, want)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestBatcherLingerFlush(t *testing.T) {
+	client := echoBatchServer(t)
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: 1000, Linger: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// A lone caller must not wait for a full batch.
+	resp, err := b.CallContext(context.Background(), Message{Method: "ok/solo", Payload: []byte("xy")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "yx" {
+		t.Errorf("payload = %q", resp.Payload)
+	}
+}
+
+func TestBatcherFlushOnMaxBytes(t *testing.T) {
+	client := echoBatchServer(t)
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: 1000, MaxBytes: 8, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	// One 8-byte payload crosses MaxBytes alone, so it flushes without
+	// waiting for the hour-long linger.
+	resp, err := b.CallContext(context.Background(), Message{Method: "ok/big", Payload: []byte("12345678")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp.Payload) != "87654321" {
+		t.Errorf("payload = %q", resp.Payload)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	client := echoBatchServer(t)
+	b, err := NewBatcher(client, BatcherConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+	if _, err := b.CallContext(context.Background(), Message{Method: "ok/late"}); err != ErrBatcherClosed {
+		t.Errorf("call after close: %v, want ErrBatcherClosed", err)
+	}
+}
+
+// A request cancelled while still queued is dropped from its batch; the
+// server never sees it and its siblings proceed.
+func TestBatcherCancelledQueuedCallDropped(t *testing.T) {
+	var served sync.Map
+	srv, err := NewServer(func(_ context.Context, req Message) (Message, error) {
+		served.Store(req.Method, true)
+		return Message{Method: req.Method, Payload: req.Payload}, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(context.Background(), serverConn)
+	client, err := NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: 2, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := b.CallContext(ctx, Message{Method: "doomed"})
+		errc <- err
+	}()
+	// Wait for the doomed call to be queued, then cancel it while the
+	// batch is still one short of flushing.
+	waitFor(t, time.Second, func() bool {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		return len(b.pending) == 1
+	})
+	cancel()
+	if err := <-errc; err == nil || !strings.Contains(err.Error(), context.Canceled.Error()) {
+		t.Fatalf("cancelled call returned %v, want context.Canceled", err)
+	}
+
+	// The second call fills the batch and flushes it; only it reaches the
+	// server.
+	resp, err := b.CallContext(context.Background(), Message{Method: "survivor"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Method != "survivor" {
+		t.Errorf("resp = %+v", resp)
+	}
+	if _, ok := served.Load("doomed"); ok {
+		t.Error("cancelled queued request reached the server")
+	}
+	if _, ok := served.Load("survivor"); !ok {
+		t.Error("surviving request never reached the server")
+	}
+}
+
+// Satellite regression (ROADMAP deferred item): cancelling the context
+// passed to Serve must propagate to in-flight connections and unblock
+// batched handlers blocked inside the handler.
+func TestServeContextCancelUnblocksBatchedHandlers(t *testing.T) {
+	const n = 3
+	started := make(chan struct{}, n)
+	srv, err := NewServer(func(ctx context.Context, req Message) (Message, error) {
+		started <- struct{}{}
+		<-ctx.Done() // block until serve-context cancellation propagates
+		return Message{}, ctx.Err()
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ctx, lis) }()
+
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := NewClient(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: n, Linger: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	callErrs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			_, err := b.CallContext(context.Background(), Message{Method: fmt.Sprintf("block/%d", i)})
+			callErrs <- err
+		}(i)
+	}
+	// All members of the batch must be inside the handler before we cancel.
+	for i := 0; i < n; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatalf("only %d/%d handlers started", i, n)
+		}
+	}
+	cancel()
+
+	for i := 0; i < n; i++ {
+		select {
+		case err := <-callErrs:
+			if err == nil {
+				t.Error("batched call succeeded across a cancelled serve context")
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("batched call still blocked after serve-context cancellation")
+		}
+	}
+	select {
+	case err := <-serveDone:
+		if err != context.Canceled {
+			t.Errorf("Serve returned %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after cancellation")
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("condition not reached in time")
+}

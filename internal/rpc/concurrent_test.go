@@ -19,7 +19,7 @@ func TestServerConcurrentClients(t *testing.T) {
 	newPipe := func() (*Pipeline, error) {
 		return NewPipeline(WithCompression(flate.BestSpeed), WithEncryption(key))
 	}
-	srv, err := NewServer(func(req Message) (Message, error) {
+	srv, err := NewServer(func(_ context.Context, req Message) (Message, error) {
 		// Echo the client id back so cross-talk is detectable.
 		return Message{
 			Method:  req.Method,
@@ -35,7 +35,7 @@ func TestServerConcurrentClients(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(lis) }()
+	go func() { done <- srv.Serve(context.Background(), lis) }()
 
 	const clients = 8
 	const callsPerClient = 20
@@ -94,13 +94,13 @@ func TestServerConcurrentClients(t *testing.T) {
 
 // Closing the server must be idempotent-safe for Serve and reject reuse.
 func TestServerCloseSemantics(t *testing.T) {
-	srv, _ := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+	srv, _ := NewServer(func(_ context.Context, m Message) (Message, error) { return m, nil }, nil)
 	lis, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(lis) }()
+	go func() { done <- srv.Serve(context.Background(), lis) }()
 	// Complete one call so Serve is definitely accepting before Close.
 	conn, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {
@@ -126,7 +126,7 @@ func TestServerCloseSemantics(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer lis2.Close()
-	if err := srv.Serve(lis2); err == nil {
+	if err := srv.Serve(context.Background(), lis2); err == nil {
 		t.Error("Serve on closed server: want error")
 	}
 }
@@ -134,9 +134,9 @@ func TestServerCloseSemantics(t *testing.T) {
 // A server connection fed garbage frames must drop the connection rather
 // than crash or hang.
 func TestServerDropsCorruptConnection(t *testing.T) {
-	srv, _ := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+	srv, _ := NewServer(func(_ context.Context, m Message) (Message, error) { return m, nil }, nil)
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 	if err := WriteFrame(clientConn, []byte("definitely not a message")); err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +154,7 @@ func TestServerDropsCorruptConnection(t *testing.T) {
 // handshake; scripts/check.sh keeps it in the standing gate.
 func TestServerCloseDuringConnectStorm(t *testing.T) {
 	for round := 0; round < 6; round++ {
-		srv, err := NewServer(func(m Message) (Message, error) { return m, nil }, nil)
+		srv, err := NewServer(func(_ context.Context, m Message) (Message, error) { return m, nil }, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -163,7 +163,7 @@ func TestServerCloseDuringConnectStorm(t *testing.T) {
 			t.Fatal(err)
 		}
 		done := make(chan error, 1)
-		go func() { done <- srv.Serve(lis) }()
+		go func() { done <- srv.Serve(context.Background(), lis) }()
 
 		var wg sync.WaitGroup
 		stop := make(chan struct{})

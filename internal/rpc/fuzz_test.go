@@ -1,0 +1,141 @@
+package rpc
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+)
+
+// Fuzz layer: the codec, the framing, and the batch envelope are the three
+// parsers facing untrusted bytes. Each target checks the invariant that
+// matters for that layer — accepted inputs must round-trip exactly, and no
+// input may panic or over-allocate. Seed corpora live in
+// testdata/fuzz/<Target>/ so `go test` exercises them on every run, and
+// scripts/check.sh gives each target a short -fuzztime smoke.
+
+// mustMarshal is a test helper for building seed inputs.
+func mustMarshal(f *testing.F, m Message) []byte {
+	f.Helper()
+	data, err := Codec{}.Marshal(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzReadFrame checks the framing layer: whatever ReadFrame accepts,
+// WriteFrame must reproduce byte-identically from the consumed prefix, and
+// the returned frame must respect the size bound.
+func FuzzReadFrame(f *testing.F) {
+	frame := func(payload []byte) []byte {
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, payload); err != nil {
+			f.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	f.Add(frame(nil))
+	f.Add(frame([]byte("hello")))
+	f.Add(frame(mustMarshal(f, Message{Method: "cache.get", Payload: []byte("k")})))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // length exceeds maxFrame
+	f.Add([]byte{5, 0, 0, 0, 'a', 'b'})   // truncated body
+	f.Add([]byte{1, 0})                   // truncated header
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadFrame(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(got) > maxFrame {
+			t.Fatalf("accepted frame of %d bytes beyond maxFrame", len(got))
+		}
+		var buf bytes.Buffer
+		if err := WriteFrame(&buf, got); err != nil {
+			t.Fatalf("re-framing accepted frame: %v", err)
+		}
+		consumed := data[:4+len(got)]
+		if !bytes.Equal(buf.Bytes(), consumed) {
+			t.Errorf("re-framed bytes differ from consumed prefix:\n got %x\nwant %x", buf.Bytes(), consumed)
+		}
+	})
+}
+
+// FuzzCodecRoundTrip checks the message codec: any frame unmarshalWithFlags
+// accepts must survive a marshal/unmarshal cycle semantically unchanged,
+// and re-marshaling must be a fixed point (deterministic encoding).
+func FuzzCodecRoundTrip(f *testing.F) {
+	f.Add(mustMarshal(f, Message{}))
+	f.Add(mustMarshal(f, Message{Method: "cache.get", Payload: []byte("payload")}))
+	f.Add(mustMarshal(f, Message{
+		Method:  "feed.rank",
+		Headers: map[string]string{"x-trace-id": "abc123", "tier": "feed1"},
+		Payload: bytes.Repeat([]byte("z"), 100),
+	}))
+	f.Add([]byte("not a frame"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, flags, err := unmarshalWithFlags(data)
+		if err != nil {
+			return
+		}
+		re, err := marshalWithFlags(m, flags)
+		if err != nil {
+			t.Fatalf("re-marshaling accepted message: %v", err)
+		}
+		m2, flags2, err := unmarshalWithFlags(re)
+		if err != nil {
+			t.Fatalf("decoding re-marshaled message: %v", err)
+		}
+		if flags2 != flags || !reflect.DeepEqual(m2, m) {
+			t.Errorf("round trip changed message:\n got %+v flags %#x\nwant %+v flags %#x", m2, flags2, m, flags)
+		}
+		// Deterministic encoding is a fixed point after one canonicalizing
+		// marshal (the input itself may order headers differently).
+		re2, err := marshalWithFlags(m2, flags2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(re2, re) {
+			t.Error("marshal is not a fixed point on its own output")
+		}
+	})
+}
+
+// FuzzBatchPayloadRoundTrip checks the batch envelope parser: any payload
+// decodeBatchPayload accepts must re-encode into an envelope that decodes
+// to the same messages.
+func FuzzBatchPayloadRoundTrip(f *testing.F) {
+	seed := func(msgs ...Message) []byte {
+		p, err := encodeBatchPayload(msgs)
+		if err != nil {
+			f.Fatal(err)
+		}
+		return p
+	}
+	f.Add(seed(Message{Method: "echo", Payload: []byte("one")}))
+	f.Add(seed(
+		Message{Method: "cache.get", Headers: map[string]string{"key": "user:42"}},
+		Message{Method: "cache.put", Payload: []byte("value")},
+		Message{},
+	))
+	f.Add([]byte{0, 0, 0, 0})       // zero count
+	f.Add([]byte{1, 0, 0, 0, 0xff}) // bad member length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msgs, err := decodeBatchPayload(data)
+		if err != nil {
+			return
+		}
+		if len(msgs) == 0 || len(msgs) > maxBatchMessages {
+			t.Fatalf("accepted batch of %d messages", len(msgs))
+		}
+		re, err := encodeBatchPayload(msgs)
+		if err != nil {
+			t.Fatalf("re-encoding accepted batch: %v", err)
+		}
+		msgs2, err := decodeBatchPayload(re)
+		if err != nil {
+			t.Fatalf("decoding re-encoded batch: %v", err)
+		}
+		if !reflect.DeepEqual(msgs2, msgs) {
+			t.Errorf("batch round trip changed messages:\n got %+v\nwant %+v", msgs2, msgs)
+		}
+	})
+}

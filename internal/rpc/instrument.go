@@ -61,6 +61,11 @@ type Metrics struct {
 	BytesSent   *telemetry.Counter
 	BytesRecv   *telemetry.Counter
 
+	// Batching instruments: flush count and coalescing factor per batched
+	// exchange (client side counts flushes sent, server side batches served).
+	BatchFlushes *telemetry.Counter
+	BatchSize    *telemetry.Histogram // requests coalesced per batched exchange
+
 	stages [numStages]*telemetry.Histogram
 }
 
@@ -113,6 +118,8 @@ func NewMetrics(reg *telemetry.Registry, prefix string) (*Metrics, error) {
 	hist(&m.Handler, "handler_seconds", "server handler execution time")
 	counter(&m.BytesSent, "bytes_sent_total", "wire bytes written")
 	counter(&m.BytesRecv, "bytes_received_total", "wire bytes read")
+	counter(&m.BatchFlushes, "batch_flushes_total", "batched exchanges")
+	hist(&m.BatchSize, "batch_size_requests", "requests coalesced per batched exchange")
 	for i := range m.stages {
 		hist(&m.stages[i], "stage_"+stageNames[i]+"_seconds", "pipeline stage latency: "+stageNames[i])
 	}
@@ -162,7 +169,7 @@ func traceContext(m Message) (traceID, parentID uint64) {
 	if m.Headers == nil {
 		return 0, 0
 	}
-	traceID, _ = strconv.ParseUint(m.Headers[HeaderTraceID], 16, 64) //modelcheck:ignore errdrop — malformed ids degrade to a fresh trace
+	traceID, _ = strconv.ParseUint(m.Headers[HeaderTraceID], 16, 64)     //modelcheck:ignore errdrop — malformed ids degrade to a fresh trace
 	parentID, _ = strconv.ParseUint(m.Headers[HeaderParentSpan], 16, 64) //modelcheck:ignore errdrop — malformed ids degrade to a fresh trace
 	return traceID, parentID
 }

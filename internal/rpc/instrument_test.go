@@ -16,7 +16,7 @@ import (
 func startEchoServer(t *testing.T, handler Handler, ins *Instrumentation, opts ...PipelineOption) (*Client, func()) {
 	t.Helper()
 	if handler == nil {
-		handler = func(m Message) (Message, error) { return m, nil }
+		handler = func(_ context.Context, m Message) (Message, error) { return m, nil }
 	}
 	newPipe := func() (*Pipeline, error) { return NewPipeline(opts...) }
 	srv, err := NewServer(handler, newPipe)
@@ -31,7 +31,7 @@ func startEchoServer(t *testing.T, handler Handler, ins *Instrumentation, opts .
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(lis) }()
+	go func() { done <- srv.Serve(context.Background(), lis) }()
 	conn, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {
 		t.Fatal(err)
@@ -57,7 +57,7 @@ func startEchoServer(t *testing.T, handler Handler, ins *Instrumentation, opts .
 
 func TestCallContextHonorsCancellation(t *testing.T) {
 	block := make(chan struct{})
-	client, shutdown := startEchoServer(t, func(m Message) (Message, error) {
+	client, shutdown := startEchoServer(t, func(_ context.Context, m Message) (Message, error) {
 		<-block
 		return m, nil
 	}, nil)
@@ -84,7 +84,7 @@ func TestCallContextHonorsCancellation(t *testing.T) {
 
 func TestCallContextHonorsDeadline(t *testing.T) {
 	block := make(chan struct{})
-	client, shutdown := startEchoServer(t, func(m Message) (Message, error) {
+	client, shutdown := startEchoServer(t, func(_ context.Context, m Message) (Message, error) {
 		<-block
 		return m, nil
 	}, nil)
@@ -234,7 +234,7 @@ func TestInstrumentedCallErrorCounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	client, shutdown := startEchoServer(t, func(m Message) (Message, error) {
+	client, shutdown := startEchoServer(t, func(_ context.Context, m Message) (Message, error) {
 		return Message{}, errors.New("boom")
 	}, nil)
 	defer shutdown()
@@ -251,7 +251,7 @@ func TestInstrumentedCallErrorCounting(t *testing.T) {
 // and instrumented requests must not mutate the caller's header map.
 func TestTraceContextHeaderHygiene(t *testing.T) {
 	var seen map[string]string
-	client, shutdown := startEchoServer(t, func(m Message) (Message, error) {
+	client, shutdown := startEchoServer(t, func(_ context.Context, m Message) (Message, error) {
 		seen = m.Headers
 		return m, nil
 	}, nil)

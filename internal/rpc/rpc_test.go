@@ -3,6 +3,7 @@ package rpc
 import (
 	"bytes"
 	"compress/flate"
+	"context"
 	"net"
 	"reflect"
 	"strings"
@@ -285,7 +286,7 @@ func TestReadFrameRejectsHuge(t *testing.T) {
 }
 
 func TestClientServerOverPipe(t *testing.T) {
-	srv, err := NewServer(func(req Message) (Message, error) {
+	srv, err := NewServer(func(_ context.Context, req Message) (Message, error) {
 		return Message{
 			Method:  req.Method,
 			Payload: append([]byte("echo:"), req.Payload...),
@@ -295,7 +296,7 @@ func TestClientServerOverPipe(t *testing.T) {
 		t.Fatal(err)
 	}
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 
 	client, err := NewClient(clientConn, nil)
 	if err != nil {
@@ -320,7 +321,7 @@ func TestClientServerEncryptedOverTCP(t *testing.T) {
 	newPipe := func() (*Pipeline, error) {
 		return NewPipeline(WithCompression(flate.BestSpeed), WithEncryption(key))
 	}
-	srv, err := NewServer(func(req Message) (Message, error) {
+	srv, err := NewServer(func(_ context.Context, req Message) (Message, error) {
 		return Message{Method: req.Method, Payload: req.Payload}, nil
 	}, newPipe)
 	if err != nil {
@@ -331,7 +332,7 @@ func TestClientServerEncryptedOverTCP(t *testing.T) {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- srv.Serve(lis) }()
+	go func() { done <- srv.Serve(context.Background(), lis) }()
 
 	conn, err := net.Dial("tcp", lis.Addr().String())
 	if err != nil {
@@ -365,11 +366,11 @@ func TestClientServerEncryptedOverTCP(t *testing.T) {
 }
 
 func TestServerHandlerError(t *testing.T) {
-	srv, _ := NewServer(func(req Message) (Message, error) {
+	srv, _ := NewServer(func(_ context.Context, req Message) (Message, error) {
 		return Message{}, errFromString("boom")
 	}, nil)
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 	client, _ := NewClient(clientConn, nil)
 	defer client.Close()
 	_, err := client.Call(Message{Method: "x"})

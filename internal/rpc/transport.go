@@ -52,8 +52,11 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	return buf, nil
 }
 
-// Handler processes one request message and returns the response.
-type Handler func(Message) (Message, error)
+// Handler processes one request message and returns the response. The
+// context is the connection's serve context: it is cancelled when the
+// serve context passed to Serve/ServeConn is cancelled, so long-running
+// handlers can abort instead of stranding the shutdown.
+type Handler func(ctx context.Context, req Message) (Message, error)
 
 // Server serves the RPC protocol over accepted connections. Each
 // connection gets its own pipeline configuration (compression/encryption
@@ -66,6 +69,7 @@ type Server struct {
 	mu     sync.Mutex
 	closed bool
 	lis    net.Listener
+	conns  map[net.Conn]context.CancelFunc
 	wg     sync.WaitGroup
 }
 
@@ -87,9 +91,18 @@ func NewServer(handler Handler, newPipeline func() (*Pipeline, error)) (*Server,
 	return &Server{handler: handler, newPipeline: newPipeline}, nil
 }
 
-// Serve accepts connections until the listener closes. It returns nil on
-// clean shutdown via Close.
-func (s *Server) Serve(lis net.Listener) error {
+// Serve accepts connections until the listener closes, the server is
+// Closed, or ctx is cancelled. Cancellation is forceful and propagates to
+// in-flight connections: every connection's handler context is cancelled
+// and its conn closed, unblocking blocked reads and in-flight (including
+// batched) handlers. Close, by contrast, stays graceful — it stops
+// accepting and lets existing connections finish naturally. Serve waits
+// for in-flight connections to drain before returning; it returns nil
+// after Close and ctx's error after cancellation.
+func (s *Server) Serve(ctx context.Context, lis net.Listener) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -98,56 +111,114 @@ func (s *Server) Serve(lis net.Listener) error {
 	s.lis = lis
 	s.mu.Unlock()
 
+	if ctx.Done() != nil {
+		stop := context.AfterFunc(ctx, s.cancelConns)
+		defer stop()
+	}
 	for {
 		conn, err := lis.Accept()
 		if err != nil {
 			s.mu.Lock()
 			closed := s.closed
 			s.mu.Unlock()
-			if closed {
-				return nil
+			if !closed {
+				return fmt.Errorf("rpc: accept: %w", err)
 			}
-			return fmt.Errorf("rpc: accept: %w", err)
+			s.wg.Wait()
+			return ctx.Err()
 		}
-		if !s.track() {
-			// Close() raced with Accept: it may already be draining the
-			// WaitGroup, so this connection must not be added to it.
+		connCtx, ok := s.trackConn(ctx, conn)
+		if !ok {
+			// Close() or cancellation raced with Accept: the WaitGroup may
+			// already be draining, so this connection must not be added.
 			conn.Close() //modelcheck:ignore errdrop — connection abandoned during shutdown
-			return nil
+			s.wg.Wait()
+			return ctx.Err()
 		}
 		go func() {
 			defer s.wg.Done()
-			s.serveConn(conn)
+			s.serveConn(connCtx, conn)
 		}()
 	}
 }
 
 // ServeConn handles a single pre-established connection (e.g. one end of
-// net.Pipe) until it closes.
-func (s *Server) ServeConn(conn net.Conn) {
-	if !s.track() {
+// net.Pipe) until it closes or ctx is cancelled.
+func (s *Server) ServeConn(ctx context.Context, conn net.Conn) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	connCtx, ok := s.trackConn(ctx, conn)
+	if !ok {
 		conn.Close() //modelcheck:ignore errdrop — connection abandoned during shutdown
 		return
 	}
 	defer s.wg.Done()
-	s.serveConn(conn)
+	s.serveConn(connCtx, conn)
 }
 
-// track registers one in-flight connection with the WaitGroup. It reports
-// false once the server is closed: Close sets closed under mu before it
-// waits, so a successful Add here can never race a concurrent Wait.
-func (s *Server) track() bool {
+// trackConn registers one in-flight connection: it joins the WaitGroup and
+// derives the connection's handler context from parent. It reports false
+// once the server is closed: Close sets closed under mu before it waits,
+// so a successful Add here can never race a concurrent Wait.
+func (s *Server) trackConn(parent context.Context, conn net.Conn) (context.Context, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return false
+		return nil, false
 	}
+	ctx, cancel := context.WithCancel(parent)
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]context.CancelFunc)
+	}
+	s.conns[conn] = cancel
 	s.wg.Add(1)
-	return true
+	return ctx, true
 }
 
-func (s *Server) serveConn(conn net.Conn) {
+// forgetConn drops a finished connection and releases its context.
+func (s *Server) forgetConn(conn net.Conn) {
+	s.mu.Lock()
+	cancel := s.conns[conn]
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// cancelConns is the forceful-shutdown path taken when a Serve context is
+// cancelled: stop accepting, then cancel every in-flight connection's
+// context. Each connection's AfterFunc closes its conn, so blocked reads
+// return immediately.
+func (s *Server) cancelConns() {
+	s.mu.Lock()
+	s.closed = true
+	lis := s.lis
+	s.lis = nil
+	cancels := make([]context.CancelFunc, 0, len(s.conns))
+	for _, cancel := range s.conns {
+		cancels = append(cancels, cancel)
+	}
+	s.mu.Unlock()
+	if lis != nil {
+		lis.Close() //modelcheck:ignore errdrop — best-effort listener teardown on cancellation
+	}
+	for _, cancel := range cancels {
+		cancel()
+	}
+}
+
+func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
+	defer s.forgetConn(conn)
 	defer conn.Close()
+	// trackConn always derives a cancellable context, so a cancelled serve
+	// context (or forgetConn itself, harmlessly, on the way out) closes the
+	// conn and unblocks a ReadFrame in progress.
+	stop := context.AfterFunc(ctx, func() {
+		conn.Close() //modelcheck:ignore errdrop — forced close on cancellation
+	})
+	defer stop()
 	pipeline, err := s.newPipeline()
 	if err != nil {
 		return
@@ -166,38 +237,20 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 
-		// Join the caller's trace (decode happens before the trace IDs are
-		// known, so decode stages are visible in the stage histograms but
-		// not as children of this span).
+		var resp Message
 		var sp *telemetry.Span
-		var t0 time.Time
-		obs := ins.enabled()
-		if obs {
-			if ins.Tracer != nil {
-				traceID, parentID := traceContext(req)
-				sp = ins.Tracer.Join("rpc.Server/"+req.Method, traceID, parentID, time.Now())
-			}
-			t0 = time.Now()
-		}
-		resp, err := s.handler(req)
-		if obs {
-			var h *telemetry.Histogram
-			if ins.Metrics != nil {
-				h = ins.Metrics.Handler
-			}
-			observeStage(h, sp, "handler", t0)
-		}
-		if err != nil {
-			resp = Message{
-				Method:  req.Method,
-				Headers: map[string]string{"error": err.Error()},
-			}
+		if req.Method == BatchMethod {
+			resp = s.handleBatch(ctx, req)
+		} else {
+			resp, sp = s.handleOne(ctx, req)
 		}
 		out, err := pipeline.EncodeSpan(resp, sp)
 		if err != nil {
 			sp.End()
 			return
 		}
+		obs := ins.enabled()
+		var t0 time.Time
 		if obs {
 			t0 = time.Now()
 		}
@@ -218,11 +271,51 @@ func (s *Server) serveConn(conn net.Conn) {
 	}
 }
 
+// handleOne dispatches one request to the handler: it joins the caller's
+// trace, times the handler, and maps a handler error onto an error-header
+// response (error isolation — a failing request never tears down the
+// connection or, in a batch, its siblings). The returned span is still
+// open so the caller can attribute response encoding to it; the caller
+// must End it. (Decode happens before the trace IDs are known, so decode
+// stages are visible in the stage histograms but not as span children.)
+func (s *Server) handleOne(ctx context.Context, req Message) (Message, *telemetry.Span) {
+	ins := s.ins
+	var sp *telemetry.Span
+	var t0 time.Time
+	obs := ins.enabled()
+	if obs {
+		if ins.Tracer != nil {
+			traceID, parentID := traceContext(req)
+			sp = ins.Tracer.Join("rpc.Server/"+req.Method, traceID, parentID, time.Now())
+		}
+		t0 = time.Now()
+	}
+	resp, err := s.handler(ctx, req)
+	if obs {
+		var h *telemetry.Histogram
+		if ins.Metrics != nil {
+			h = ins.Metrics.Handler
+		}
+		observeStage(h, sp, "handler", t0)
+	}
+	if err != nil {
+		resp = Message{
+			Method:  req.Method,
+			Headers: map[string]string{"error": err.Error()},
+		}
+	}
+	return resp, sp
+}
+
 // Close stops accepting and waits for in-flight connections to finish.
+// Close is graceful: existing connections run to completion with their
+// handler contexts intact. Cancel the Serve context instead to force
+// in-flight work to abort.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
 	lis := s.lis
+	s.lis = nil
 	s.mu.Unlock()
 	var err error
 	if lis != nil {
@@ -233,7 +326,8 @@ func (s *Server) Close() error {
 }
 
 // Client issues requests over one connection. It is safe for sequential
-// use; callers needing concurrency should pool clients.
+// use; callers needing concurrency should pool clients or attach a
+// Batcher, which coalesces concurrent callers into batched exchanges.
 type Client struct {
 	conn     net.Conn
 	pipeline *Pipeline

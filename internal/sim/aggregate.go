@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/telemetry"
+)
+
+// MergeResults combines per-service (or per-shard) Results into one
+// fleet-level Result, as if the runs executed side by side on disjoint
+// hardware: counts sum, elapsed time is the wall clock of the slowest
+// member, throughput sums, the latency distribution is the merged
+// histogram with quantiles recomputed from it, and the mean queue delay
+// is weighted by each member's offload count. Merging in a fixed input
+// order is fully deterministic, so aggregates built this way are
+// byte-identical across runs (the fleet driver relies on this for its
+// golden tests).
+func MergeResults(results []Result) (Result, error) {
+	if len(results) == 0 {
+		return Result{}, errors.New("sim: no results to merge")
+	}
+	var out Result
+	snap := telemetry.HistogramSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+	var queueDelay float64
+	for _, r := range results {
+		out.Completed += r.Completed
+		out.Offloads += r.Offloads
+		out.ContextSwaps += r.ContextSwaps
+		out.AccelBusy += r.AccelBusy
+		out.ThroughputQPS += r.ThroughputQPS
+		if r.ElapsedCycles > out.ElapsedCycles {
+			out.ElapsedCycles = r.ElapsedCycles
+		}
+		queueDelay += r.MeanQueueDelay * float64(r.Offloads)
+		snap = snap.Merge(r.LatencyHistogram)
+	}
+	out.LatencyHistogram = snap
+	if snap.Count > 0 {
+		out.MeanLatency = snap.Mean()
+		out.P50Latency = snap.Quantile(0.50)
+		out.P95Latency = snap.Quantile(0.95)
+		out.P99Latency = snap.Quantile(0.99)
+		out.P999Latency = snap.Quantile(0.999)
+		out.MaxLatency = snap.Max
+	}
+	if out.Offloads > 0 {
+		out.MeanQueueDelay = queueDelay / float64(out.Offloads)
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+)
+
+func runAggSim(t *testing.T, requests int, seed uint64) Result {
+	t.Helper()
+	cdf := dist.MustCDF(dist.MustLayout(64, 512), []float64{0.75, 0, 0.25})
+	wl, err := NewSampledWorkload(20000, 4, core.LinearKernel(5.5), cdf, requests, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Cores:    2,
+		Threads:  2,
+		HostHz:   2e9,
+		Requests: requests,
+		Accel: &Accel{
+			Threading: core.Sync,
+			Strategy:  core.OffChip,
+			A:         10,
+			O0:        500,
+			L:         300,
+			Servers:   1,
+		},
+	}
+	s, err := New(cfg, wl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestMergeResultsSingleIsIdentityish(t *testing.T) {
+	r := runAggSim(t, 200, 7)
+	got, err := MergeResults([]Result{r})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, r) {
+		t.Errorf("single-result merge diverged:\n got %+v\nwant %+v", got, r)
+	}
+}
+
+func TestMergeResultsCombines(t *testing.T) {
+	a := runAggSim(t, 150, 1)
+	b := runAggSim(t, 250, 2)
+	m, err := MergeResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Completed != a.Completed+b.Completed {
+		t.Errorf("Completed = %d, want %d", m.Completed, a.Completed+b.Completed)
+	}
+	if m.Offloads != a.Offloads+b.Offloads {
+		t.Errorf("Offloads = %d, want %d", m.Offloads, a.Offloads+b.Offloads)
+	}
+	if m.ThroughputQPS != a.ThroughputQPS+b.ThroughputQPS {
+		t.Errorf("ThroughputQPS = %v, want sum %v", m.ThroughputQPS, a.ThroughputQPS+b.ThroughputQPS)
+	}
+	if want := a.ElapsedCycles; b.ElapsedCycles > want {
+		want = b.ElapsedCycles
+	} else if m.ElapsedCycles != want {
+		t.Errorf("ElapsedCycles = %v, want max %v", m.ElapsedCycles, want)
+	}
+	if m.LatencyHistogram.Count != a.LatencyHistogram.Count+b.LatencyHistogram.Count {
+		t.Errorf("histogram count = %d, want %d",
+			m.LatencyHistogram.Count, a.LatencyHistogram.Count+b.LatencyHistogram.Count)
+	}
+	// The merged p50 must lie within the members' latency range.
+	lo, hi := a.LatencyHistogram.Min, a.LatencyHistogram.Max
+	if b.LatencyHistogram.Min < lo {
+		lo = b.LatencyHistogram.Min
+	}
+	if b.LatencyHistogram.Max > hi {
+		hi = b.LatencyHistogram.Max
+	}
+	if m.P50Latency < lo || m.P50Latency > hi {
+		t.Errorf("merged p50 %v outside member range [%v, %v]", m.P50Latency, lo, hi)
+	}
+	// Mean is exact: weighted by counts.
+	wantMean := (a.LatencyHistogram.Sum + b.LatencyHistogram.Sum) /
+		float64(a.LatencyHistogram.Count+b.LatencyHistogram.Count)
+	if m.MeanLatency != wantMean {
+		t.Errorf("MeanLatency = %v, want %v", m.MeanLatency, wantMean)
+	}
+}
+
+func TestMergeResultsDeterministic(t *testing.T) {
+	a := runAggSim(t, 150, 1)
+	b := runAggSim(t, 250, 2)
+	first, err := MergeResults([]Result{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		again, err := MergeResults([]Result{a, b})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(first, again) {
+			t.Fatalf("merge is not deterministic: run %d diverged", i)
+		}
+	}
+}
+
+func TestMergeResultsEmpty(t *testing.T) {
+	if _, err := MergeResults(nil); err == nil {
+		t.Error("empty merge: want error")
+	}
+}

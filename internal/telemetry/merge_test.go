@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"math"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// Merging two snapshots must be indistinguishable from recording all
+// observations into one histogram.
+func TestSnapshotMergeEqualsCombinedRecording(t *testing.T) {
+	a := NewHistogram("a", "")
+	b := NewHistogram("b", "")
+	all := NewHistogram("all", "")
+	va := []float64{0.001, 0.5, 3, 3, 250, 0}
+	vb := []float64{0.002, 0.5, 7, 1e6, -4}
+	for _, v := range va {
+		a.Record(v)
+		all.Record(v)
+	}
+	for _, v := range vb {
+		b.Record(v)
+		all.Record(v)
+	}
+	got := a.Snapshot().Merge(b.Snapshot())
+	want := all.Snapshot()
+	if got.Count != want.Count || got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max {
+		t.Errorf("merged scalars = %+v, want %+v", got, want)
+	}
+	if !reflect.DeepEqual(got.Buckets, want.Buckets) {
+		t.Errorf("merged buckets:\n got %+v\nwant %+v", got.Buckets, want.Buckets)
+	}
+	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
+		if gq, wq := got.Quantile(q), want.Quantile(q); gq != wq {
+			t.Errorf("q=%v: merged %v != combined %v", q, gq, wq)
+		}
+	}
+}
+
+func TestSnapshotMergeEmpty(t *testing.T) {
+	var empty HistogramSnapshot
+	empty.Min = math.Inf(1)
+	empty.Max = math.Inf(-1)
+
+	h := NewHistogram("h", "")
+	h.Record(2)
+	h.Record(8)
+	snap := h.Snapshot()
+
+	if got := snap.Merge(empty); !reflect.DeepEqual(got, snap) {
+		t.Errorf("merge with empty changed the snapshot:\n got %+v\nwant %+v", got, snap)
+	}
+	if got := empty.Merge(snap); !reflect.DeepEqual(got, snap) {
+		t.Errorf("empty.Merge(x) != x:\n got %+v\nwant %+v", got, snap)
+	}
+	both := empty.Merge(empty)
+	if both.Count != 0 || !math.IsInf(both.Min, 1) || !math.IsInf(both.Max, -1) || both.Buckets != nil {
+		t.Errorf("empty merge = %+v, want empty", both)
+	}
+}
+
+// Property: merge is commutative on everything but float summation order,
+// and the merged count always equals the sum of parts.
+func TestSnapshotMergeCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		a := NewHistogram("a", "")
+		b := NewHistogram("b", "")
+		for _, v := range xs {
+			a.Record(math.Abs(v))
+		}
+		for _, v := range ys {
+			b.Record(math.Abs(v))
+		}
+		ab := a.Snapshot().Merge(b.Snapshot())
+		ba := b.Snapshot().Merge(a.Snapshot())
+		if ab.Count != uint64(len(xs)+len(ys)) {
+			return false
+		}
+		if ab.Count != ba.Count || ab.Min != ba.Min || ab.Max != ba.Max {
+			return false
+		}
+		return reflect.DeepEqual(ab.Buckets, ba.Buckets)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

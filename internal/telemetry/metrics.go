@@ -178,10 +178,10 @@ type Bucket struct {
 // sum and extrema plus the populated buckets, small enough to embed in
 // result structs (only non-empty buckets are kept).
 type HistogramSnapshot struct {
-	Count uint64
-	Sum   float64
-	Min   float64 // +Inf when empty
-	Max   float64 // -Inf when empty
+	Count   uint64
+	Sum     float64
+	Min     float64 // +Inf when empty
+	Max     float64 // -Inf when empty
 	Buckets []Bucket
 }
 
@@ -207,6 +207,49 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 		}
 	}
 	return s
+}
+
+// Merge returns the combination of two snapshots taken from histograms
+// with the standard bucket geometry, as if every observation had been
+// recorded into one histogram: counts and sums add, extrema combine, and
+// per-bucket counts merge by bucket bounds, so quantiles of the merged
+// snapshot carry the same QuantileRelError bound. Merging in a fixed
+// order is deterministic (float summation order is the only source of
+// asymmetry). The sharded fleet driver uses this to aggregate per-shard
+// latency distributions.
+func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{
+		Count: s.Count + o.Count,
+		Sum:   s.Sum + o.Sum,
+		Min:   math.Min(s.Min, o.Min),
+		Max:   math.Max(s.Max, o.Max),
+	}
+	// Bucket lists are sorted ascending by Lo with the zero bucket first;
+	// merge like sorted lists, summing buckets with equal bounds.
+	out.Buckets = make([]Bucket, 0, len(s.Buckets)+len(o.Buckets))
+	i, j := 0, 0
+	for i < len(s.Buckets) && j < len(o.Buckets) {
+		a, b := s.Buckets[i], o.Buckets[j]
+		switch {
+		//modelcheck:ignore floatcmp — bucket bounds are exact powers of two shared by construction
+		case a.Lo == b.Lo:
+			out.Buckets = append(out.Buckets, Bucket{Lo: a.Lo, Hi: a.Hi, Count: a.Count + b.Count})
+			i++
+			j++
+		case a.Lo < b.Lo:
+			out.Buckets = append(out.Buckets, a)
+			i++
+		default:
+			out.Buckets = append(out.Buckets, b)
+			j++
+		}
+	}
+	out.Buckets = append(out.Buckets, s.Buckets[i:]...)
+	out.Buckets = append(out.Buckets, o.Buckets[j:]...)
+	if len(out.Buckets) == 0 {
+		out.Buckets = nil
+	}
+	return out
 }
 
 // Mean returns the exact sample mean, or 0 when empty.

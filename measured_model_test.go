@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"math"
 	"net"
 	"testing"
@@ -54,7 +55,7 @@ func measureP50(t *testing.T, units, calls int) float64 {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) {
+	srv, err := rpc.NewServer(func(_ context.Context, m rpc.Message) (rpc.Message, error) {
 		spin(units)
 		return m, nil
 	}, nil)
@@ -62,7 +63,7 @@ func measureP50(t *testing.T, units, calls int) float64 {
 		t.Fatal(err)
 	}
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 	client, err := rpc.NewClient(clientConn, nil)
 	if err != nil {
 		t.Fatal(err)

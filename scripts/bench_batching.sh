@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_batching.sh — batched-vs-unbatched RPC throughput, captured as JSON.
+#
+# Runs the sub-break-even-payload Call benchmark pair from bench_test.go
+# (small compressible messages where the per-exchange cost dominates) and
+# writes BENCH_batching.json with ns/op, B/op, and allocs/op for each plus
+# the derived per-message speedup. Fails if batching does not reach
+# MIN_BATCH_SPEEDUP (default 2x) — the break-even claim the batching layer
+# exists to satisfy. Override the iteration budget with BENCHTIME (default
+# 200x; use e.g. BENCHTIME=2s locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_batching.json}"
+min="${MIN_BATCH_SPEEDUP:-2}"
+raw="$(go test -run '^$' -bench '^BenchmarkCallSmall(Unbatched|Batched16)$' \
+    -benchmem -benchtime "${BENCHTIME:-200x}" .)"
+echo "$raw"
+
+echo "$raw" | awk -v min="$min" '
+/^Benchmark/ {
+    # These benchmarks SetBytes, so an MB/s column shifts the layout;
+    # locate each value by the unit label to its right.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    ns[name] = nsop
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, nsop, bop, aop
+}
+BEGIN { print "[" }
+END {
+    if (n != 2) { print "expected 2 benchmark lines, parsed " n > "/dev/stderr"; exit 1 }
+    un = ns["BenchmarkCallSmallUnbatched"]
+    ba = ns["BenchmarkCallSmallBatched16"]
+    if (un == "" || ba == "" || ba + 0 == 0) {
+        print "missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    speedup = un / ba
+    printf ",\n  {\"name\": \"speedup_batched_over_unbatched\", \"value\": %.3f, \"min_required\": %s}\n]\n",
+        speedup, min
+    printf "batching speedup: %.2fx (floor %sx)\n", speedup, min > "/dev/stderr"
+    if (speedup < min) {
+        printf "FATAL: batched throughput %.2fx below required %sx\n", speedup, min > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"

@@ -11,6 +11,9 @@
 #   5. go test -race ./...       (unit + integration tests under the race
 #                                 detector; covers the concurrent rpc/sim
 #                                 layers)
+#   6. fuzz smoke                (each internal/rpc fuzz target runs for a
+#                                 short -fuzztime beyond its checked-in
+#                                 corpus; FUZZTIME overrides, default 3s)
 #
 # Any failure exits non-zero. CI runs exactly this script (.github/workflows/ci.yml).
 set -euo pipefail
@@ -58,5 +61,11 @@ echo "    ok: suite flags the bad fixture"
 
 echo "==> go test -race ./..."
 go test -race ./...
+
+echo "==> fuzz smoke (internal/rpc, ${FUZZTIME:-3s} per target)"
+for target in FuzzReadFrame FuzzCodecRoundTrip FuzzBatchPayloadRoundTrip; do
+    echo "    fuzzing $target"
+    go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME:-3s}" ./internal/rpc > /dev/null
+done
 
 echo "==> all gates green"

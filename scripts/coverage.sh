@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# coverage.sh — statement-coverage floor for the rpc package.
+#
+# The batching/fuzz/soak PR measured internal/rpc at 88.6% statement
+# coverage before it landed; this gate fails if coverage ever drops below
+# that pre-PR baseline, so new rpc surface area must arrive with tests.
+# Raise the floor (never lower it) when coverage durably improves.
+#
+# Usage: scripts/coverage.sh            (gate internal/rpc)
+#        RPC_COVER_MIN=90 scripts/coverage.sh   (override the floor)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+floor="${RPC_COVER_MIN:-88.6}"
+
+out="$(go test -count=1 -cover ./internal/rpc/)"
+echo "$out"
+
+pct="$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')"
+if [ -z "$pct" ]; then
+    echo "FATAL: could not parse coverage percentage from go test output" >&2
+    exit 1
+fi
+
+awk -v pct="$pct" -v floor="$floor" 'BEGIN {
+    if (pct + 0 < floor + 0) {
+        printf "FATAL: internal/rpc coverage %.1f%% below the %.1f%% floor\n", pct, floor > "/dev/stderr"
+        exit 1
+    }
+    printf "internal/rpc coverage %.1f%% >= %.1f%% floor\n", pct, floor
+}'

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"net"
 	"os"
@@ -143,13 +144,13 @@ func TestChromeTraceExportNestsStageSpans(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv, err := rpc.NewServer(func(m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
+	srv, err := rpc.NewServer(func(_ context.Context, m rpc.Message) (rpc.Message, error) { return m, nil }, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv.Instrument(&rpc.Instrumentation{Tracer: serverTr})
 	clientConn, serverConn := net.Pipe()
-	go srv.ServeConn(serverConn)
+	go srv.ServeConn(context.Background(), serverConn)
 	client, err := rpc.NewClient(clientConn, nil)
 	if err != nil {
 		t.Fatal(err)
