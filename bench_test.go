@@ -245,11 +245,12 @@ func benchEchoClient(b *testing.B, ins *rpc.Instrumentation) *rpc.Client {
 
 func benchCall(b *testing.B, client *rpc.Client) {
 	b.Helper()
+	ctx := context.Background()
 	req := rpc.Message{Method: "echo", Payload: []byte("accelerometer")}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := client.Call(req); err != nil {
+		if _, err := client.CallContext(ctx, req); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -57,11 +57,12 @@ func main() {
 	batch := flag.Float64("batch", 1, "rpc batch factor b >= 1: amortize fixed per-offload costs across b coalesced requests")
 	fleetMode := flag.Bool("fleet", false, "simulate the sharded synthetic fleet instead of evaluating a -config model")
 	shards := flag.Int("shards", 1, "fleet worker shards (with -fleet)")
+	workers := flag.Int("workers", 0, "max goroutines running fleet shards; 0 = min(GOMAXPROCS, shards), 1 = sequential (with -fleet)")
 	fleetRequests := flag.Int("fleet-requests", 200, "requests per service (with -fleet)")
 	seed := flag.Uint64("seed", 42, "base workload seed (with -fleet)")
 	flag.Parse()
 	if *fleetMode {
-		if err := runFleet(*shards, *batch, *fleetRequests, *seed, *metricsOut); err != nil {
+		if err := runFleet(*shards, *workers, *batch, *fleetRequests, *seed, *metricsOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -185,13 +186,14 @@ func main() {
 }
 
 // runFleet drives the sharded synthetic-fleet simulation.
-func runFleet(shards int, batch float64, requests int, seed uint64, metricsOut string) error {
+func runFleet(shards, workers int, batch float64, requests int, seed uint64, metricsOut string) error {
 	var reg *telemetry.Registry
 	if metricsOut != "" {
 		reg = telemetry.NewRegistry()
 	}
 	cfg := fleet.Config{
 		Shards:             shards,
+		MaxWorkers:         workers,
 		Seed:               seed,
 		RequestsPerService: requests,
 		Batch:              batch,

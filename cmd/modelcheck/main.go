@@ -30,6 +30,7 @@ func main() {
 		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
 		tests   = flag.Bool("tests", false, "also analyze in-package _test.go files")
 		dir     = flag.String("C", ".", "directory inside the module to analyze from")
+		nocache = flag.Bool("nocache", false, "bypass the .modelcheck-cache export-data cache and type-check the stdlib from source")
 	)
 	flag.Parse()
 
@@ -44,7 +45,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir, IncludeTests: *tests}, flag.Args()...)
+	pkgs, err := analysis.Load(analysis.LoadConfig{Dir: *dir, IncludeTests: *tests, NoCache: *nocache}, flag.Args()...)
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,222 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Export-data cache. The source importer re-type-checks the standard
+// library from source on every modelcheck invocation — seconds of work
+// whose inputs change only when the toolchain does. This file caches the
+// compiler's export data (the .a type summaries `go list -export` points
+// into the build cache) under <module root>/.modelcheck-cache/ and feeds it
+// to the binary ("gc") importer, which deserializes types instead of
+// re-checking them.
+//
+// Correctness over speed: a manifest records the Go version and the
+// size+sha256 of every cached file, and the cache is rebuilt from `go
+// list` whenever anything mismatches. The cache is all-or-nothing — if
+// even one import the module needs is missing from a freshly rebuilt
+// manifest, Load falls back to the source importer for everything, because
+// mixing gc-imported and source-imported packages would split type
+// identities (two distinct types.Package for "fmt") and produce phantom
+// type errors.
+
+// cacheDirName is the cache directory under the module root. discover()
+// skips dot-directories, so the cache never shadows real packages.
+const cacheDirName = ".modelcheck-cache"
+
+// manifestName is the index file inside the cache directory.
+const manifestName = "manifest.json"
+
+// exportEntry locates and pins one package's cached export data.
+type exportEntry struct {
+	File   string `json:"file"` // filename within the cache directory
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// cacheManifest indexes the cache: it is valid only for the exact Go
+// version that produced the export data.
+type cacheManifest struct {
+	GoVersion string                 `json:"go_version"`
+	Exports   map[string]exportEntry `json:"exports"` // import path → entry
+}
+
+// newExportImporter returns a binary importer backed by the on-disk export
+// cache, (re)building the cache as needed. needed is the set of non-module
+// import paths the module's sources mention; if any of them is not covered
+// after a rebuild, an error is returned and the caller must use the source
+// importer for the whole load.
+func newExportImporter(fset *token.FileSet, root string, needed map[string]bool) (types.Importer, error) {
+	cacheDir := filepath.Join(root, cacheDirName)
+	m, err := loadManifest(cacheDir)
+	if err != nil || !manifestCovers(m, needed) {
+		m, err = rebuildCache(root, cacheDir)
+		if err != nil {
+			return nil, err
+		}
+		if !manifestCovers(m, needed) {
+			return nil, fmt.Errorf("analysis: export cache cannot cover all imports")
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		e, ok := m.Exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no cached export data for %q", path)
+		}
+		return os.Open(filepath.Join(cacheDir, e.File))
+	}
+	return importer.ForCompiler(fset, "gc", lookup), nil
+}
+
+// loadManifest reads and verifies the cache: the Go version must match the
+// running toolchain and every cached file must exist with its recorded
+// size and sha256. Any discrepancy invalidates the whole cache.
+func loadManifest(cacheDir string) (*cacheManifest, error) {
+	data, err := os.ReadFile(filepath.Join(cacheDir, manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var m cacheManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("analysis: corrupt cache manifest: %w", err)
+	}
+	if m.GoVersion != runtime.Version() {
+		return nil, fmt.Errorf("analysis: cache built with %s, running %s", m.GoVersion, runtime.Version())
+	}
+	for path, e := range m.Exports {
+		full := filepath.Join(cacheDir, e.File)
+		fi, err := os.Stat(full)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: cached export for %q: %w", path, err)
+		}
+		if fi.Size() != e.Size {
+			return nil, fmt.Errorf("analysis: cached export for %q: size %d, manifest says %d", path, fi.Size(), e.Size)
+		}
+		sum, err := fileSHA256(full)
+		if err != nil {
+			return nil, err
+		}
+		if sum != e.SHA256 {
+			return nil, fmt.Errorf("analysis: cached export for %q: checksum mismatch", path)
+		}
+	}
+	return &m, nil
+}
+
+// manifestCovers reports whether every needed import path has cached
+// export data. "unsafe" has no export data by design — the gc importer
+// resolves it to types.Unsafe without consulting the lookup function.
+func manifestCovers(m *cacheManifest, needed map[string]bool) bool {
+	if m == nil {
+		return false
+	}
+	for path := range needed {
+		if path == "unsafe" {
+			continue
+		}
+		if _, ok := m.Exports[path]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildCache asks the go tool for export data of every dependency of the
+// module (tests included, so "testing" and friends are covered), copies the
+// files into the cache directory, and writes a fresh manifest.
+func rebuildCache(root, cacheDir string) (*cacheManifest, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-test",
+		"-f", "{{.ImportPath}}\t{{.Export}}", "./...")
+	cmd.Dir = root
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list -export: %w", err)
+	}
+	if err := os.MkdirAll(cacheDir, 0o755); err != nil {
+		return nil, err
+	}
+	m := &cacheManifest{GoVersion: runtime.Version(), Exports: map[string]exportEntry{}}
+	for _, line := range strings.Split(string(out), "\n") {
+		path, export, ok := strings.Cut(strings.TrimSpace(line), "\t")
+		if !ok || export == "" {
+			continue // packages compiled without export data (test binaries, main)
+		}
+		// Test variants ("pkg [pkg.test]") duplicate their base package
+		// under a decorated path the type-checker never asks for.
+		if strings.Contains(path, " ") {
+			continue
+		}
+		name := exportFileName(path)
+		sum, size, err := copyExport(export, filepath.Join(cacheDir, name))
+		if err != nil {
+			return nil, err
+		}
+		m.Exports[path] = exportEntry{File: name, Size: size, SHA256: sum}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, manifestName), data, 0o644); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// exportFileName maps an import path to a flat cache filename; the short
+// path hash disambiguates paths that sanitize to the same string.
+func exportFileName(path string) string {
+	h := sha256.Sum256([]byte(path))
+	sanitized := strings.NewReplacer("/", "_", ".", "_").Replace(path)
+	return fmt.Sprintf("%s-%s.a", sanitized, hex.EncodeToString(h[:4]))
+}
+
+// copyExport copies one export-data file into the cache, returning its
+// sha256 and size.
+func copyExport(src, dst string) (sum string, size int64, err error) {
+	in, err := os.Open(src)
+	if err != nil {
+		return "", 0, fmt.Errorf("analysis: export data: %w", err)
+	}
+	defer in.Close()
+	out, err := os.Create(dst)
+	if err != nil {
+		return "", 0, err
+	}
+	h := sha256.New()
+	size, err = io.Copy(io.MultiWriter(out, h), in)
+	if cerr := out.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return "", 0, fmt.Errorf("analysis: caching export data: %w", err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), size, nil
+}
+
+// fileSHA256 hashes one file.
+func fileSHA256(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "", err
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}

@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// writeCacheModule lays down a minimal module for cache tests: one package
+// importing a couple of stdlib packages, in its own temp dir so cache
+// rebuilds never touch the real repository.
+func writeCacheModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module cachetest\n\ngo 1.21\n",
+		"main.go": `package main
+
+import (
+	"fmt"
+	"strings"
+)
+
+func main() { fmt.Println(strings.ToUpper("hi")) }
+`,
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// loadOnce runs a full cached Load over the module and returns the
+// packages, failing the test on error.
+func loadOnce(t *testing.T, dir string) []*Package {
+	t.Helper()
+	pkgs, err := Load(LoadConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "cachetest" {
+		t.Fatalf("loaded %d packages, want the one cachetest package", len(pkgs))
+	}
+	return pkgs
+}
+
+// TestExportCacheBuildsAndCovers checks the happy path: a cached load
+// populates .modelcheck-cache with a manifest covering the module's
+// stdlib imports, and a second load verifies it cleanly.
+func TestExportCacheBuildsAndCovers(t *testing.T) {
+	dir := writeCacheModule(t)
+	loadOnce(t, dir)
+
+	cacheDir := filepath.Join(dir, cacheDirName)
+	m, err := loadManifest(cacheDir)
+	if err != nil {
+		t.Fatalf("manifest after cached load: %v", err)
+	}
+	if m.GoVersion != runtime.Version() {
+		t.Errorf("manifest go version %q, want %q", m.GoVersion, runtime.Version())
+	}
+	for _, path := range []string{"fmt", "strings"} {
+		if _, ok := m.Exports[path]; !ok {
+			t.Errorf("manifest does not cover %q", path)
+		}
+	}
+	loadOnce(t, dir) // warm-cache load must verify and succeed
+}
+
+// TestExportCacheInvalidatesTamperedFile checks stale-cache invalidation:
+// corrupting a cached export file must fail verification, and the next
+// load must rebuild the cache — never feed corrupt bytes to the importer.
+func TestExportCacheInvalidatesTamperedFile(t *testing.T) {
+	dir := writeCacheModule(t)
+	loadOnce(t, dir)
+
+	cacheDir := filepath.Join(dir, cacheDirName)
+	m, err := loadManifest(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry, ok := m.Exports["fmt"]
+	if !ok {
+		t.Fatal("manifest does not cover fmt")
+	}
+	// Flip one byte, preserving the size so only the checksum can notice.
+	full := filepath.Join(cacheDir, entry.File)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(full, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := loadManifest(cacheDir); err == nil {
+		t.Fatal("tampered export file passed manifest verification")
+	}
+	loadOnce(t, dir) // must rebuild, not crash on corrupt export data
+	if _, err := loadManifest(cacheDir); err != nil {
+		t.Fatalf("manifest not rebuilt after tampering: %v", err)
+	}
+}
+
+// TestExportCacheInvalidatesGoVersion checks that a manifest written by a
+// different toolchain version is rejected and rebuilt: export data is not
+// portable across compiler versions.
+func TestExportCacheInvalidatesGoVersion(t *testing.T) {
+	dir := writeCacheModule(t)
+	loadOnce(t, dir)
+
+	cacheDir := filepath.Join(dir, cacheDirName)
+	m, err := loadManifest(cacheDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m.GoVersion = "go0.0-stale"
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(cacheDir, manifestName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := loadManifest(cacheDir); err == nil {
+		t.Fatal("stale-version manifest passed verification")
+	}
+	loadOnce(t, dir)
+	m2, err := loadManifest(cacheDir)
+	if err != nil {
+		t.Fatalf("manifest not rebuilt after version mismatch: %v", err)
+	}
+	if m2.GoVersion != runtime.Version() {
+		t.Errorf("rebuilt manifest version %q, want %q", m2.GoVersion, runtime.Version())
+	}
+}
+
+// TestExportCacheMatchesSourceImporter checks the equivalence that makes
+// the cache safe to enable by default: cached and source-imported loads
+// must agree on the type-checked API of the loaded package.
+func TestExportCacheMatchesSourceImporter(t *testing.T) {
+	dir := writeCacheModule(t)
+	cached := loadOnce(t, dir)
+	plain, err := Load(LoadConfig{Dir: dir, NoCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain) != 1 {
+		t.Fatalf("NoCache load returned %d packages, want 1", len(plain))
+	}
+	a, b := cached[0].Types.Scope(), plain[0].Types.Scope()
+	if got, want := len(a.Names()), len(b.Names()); got != want {
+		t.Fatalf("cached scope has %d names, source scope %d", got, want)
+	}
+	for _, name := range a.Names() {
+		if b.Lookup(name) == nil {
+			t.Errorf("name %q present with cache, absent without", name)
+		}
+	}
+}
+
+// TestManifestCoversUnsafe checks the unsafe special case: the gc importer
+// resolves "unsafe" internally, so coverage must not demand export data
+// for it.
+func TestManifestCoversUnsafe(t *testing.T) {
+	m := &cacheManifest{Exports: map[string]exportEntry{"fmt": {}}}
+	if !manifestCovers(m, map[string]bool{"fmt": true, "unsafe": true}) {
+		t.Error("unsafe must not require export data")
+	}
+	if manifestCovers(m, map[string]bool{"net/http": true}) {
+		t.Error("uncovered import must fail coverage")
+	}
+	if manifestCovers(nil, map[string]bool{}) {
+		t.Error("nil manifest must never cover")
+	}
+}

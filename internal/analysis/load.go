@@ -32,6 +32,10 @@ type LoadConfig struct {
 	// (package foo_test) are never loaded; they exist to exercise the
 	// public API and routinely make deliberate exact comparisons.
 	IncludeTests bool
+	// NoCache disables the on-disk export-data cache (.modelcheck-cache/)
+	// and type-checks the standard library from source instead. The cache
+	// only changes load time, never findings; see cache.go.
+	NoCache bool
 }
 
 // Load parses and type-checks every package of the module that matches one
@@ -58,11 +62,22 @@ func Load(cfg LoadConfig, patterns ...string) ([]*Package, error) {
 		return nil, err
 	}
 
-	// One shared source importer caches type-checked stdlib packages
-	// across the whole load.
+	// Non-module imports resolve through the export-data cache when it
+	// covers every import the sources mention (deserializing compiled type
+	// summaries instead of re-type-checking the stdlib from source), and
+	// through one shared source importer otherwise. Never a mix: the two
+	// importers produce distinct types.Package identities.
+	var fallback types.Importer
+	if !cfg.NoCache {
+		//modelcheck:ignore errdrop — a failed cache (no go tool, uncovered import) falls back to the source importer by design
+		fallback, _ = newExportImporter(fset, root, externalImports(nodes))
+	}
+	if fallback == nil {
+		fallback = importer.ForCompiler(fset, "source", nil)
+	}
 	imp := &moduleImporter{
 		local:    map[string]*types.Package{},
-		fallback: importer.ForCompiler(fset, "source", nil),
+		fallback: fallback,
 	}
 
 	var pkgs []*Package
@@ -245,6 +260,27 @@ func discover(fset *token.FileSet, root, modPath string, includeTests bool) (map
 		})
 	}
 	return nodes, nil
+}
+
+// externalImports collects every non-module import path mentioned by the
+// discovered sources — the set the export cache must cover.
+func externalImports(nodes map[string]*pkgNode) map[string]bool {
+	out := map[string]bool{}
+	for _, node := range nodes {
+		for _, f := range node.files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if p == "C" {
+					continue // cgo pseudo-import; the module has none
+				}
+				out[p] = true
+			}
+		}
+		for _, p := range node.imports {
+			delete(out, p) // module-internal: resolved locally, not via cache
+		}
+	}
+	return out
 }
 
 // topoSort orders packages so every package follows its local imports.

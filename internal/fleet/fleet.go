@@ -21,6 +21,7 @@ package fleet
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"repro/internal/core"
@@ -62,6 +63,13 @@ type Config struct {
 	Seed               uint64  // base seed; service i derives its workload seed from (Seed, i)
 	RequestsPerService int     // requests each service completes
 	Batch              float64 // rpc batch factor b ≥ 1 (0 means 1); scales o0 and L by 1/b
+
+	// MaxWorkers bounds the goroutines executing shards concurrently.
+	// 0 picks min(GOMAXPROCS, Shards) — enough to saturate the cores
+	// without oversubscribing them; 1 degrades to sequential execution.
+	// The aggregate Result is identical for every value (see the package
+	// comment); only driver wall-clock changes.
+	MaxWorkers int
 
 	// Per-service simulator sizing. Zero values take the defaults:
 	// 2 cores, 2 threads, 2 GHz, 20000 non-kernel cycles, 4 kernel
@@ -121,6 +129,9 @@ func (c Config) Validate() error {
 	}
 	if c.RequestsPerService < 1 {
 		return fmt.Errorf("fleet: requests per service = %d, want >= 1", c.RequestsPerService)
+	}
+	if c.MaxWorkers < 0 {
+		return fmt.Errorf("fleet: max workers = %d, want >= 0", c.MaxWorkers)
 	}
 	return nil
 }
@@ -211,48 +222,74 @@ func Run(cfg Config) (*Result, error) {
 	}
 	errs := make([]error, cfg.Shards)
 
-	var wg sync.WaitGroup
-	for shard := 0; shard < cfg.Shards; shard++ {
-		wg.Add(1)
-		go func(shard int) {
-			defer wg.Done()
-			for _, j := range jobs {
-				if j.index%cfg.Shards != shard {
-					continue
-				}
-				cb, ok := kindCb[j.kind]
-				if !ok {
-					errs[shard] = fmt.Errorf("fleet: no per-byte cost for kind %v", j.kind)
-					return
-				}
-				wl, err := sim.NewSampledWorkload(cfg.NonKernelCycles, cfg.KernelsPerReq,
-					core.LinearKernel(cb), j.cdf, cfg.RequestsPerService, seedFor(cfg.Seed, j.index))
-				if err != nil {
-					errs[shard] = err
-					return
-				}
-				s, err := sim.New(sim.Config{
-					Cores:    cfg.Cores,
-					Threads:  cfg.Threads,
-					HostHz:   cfg.HostHz,
-					Requests: cfg.RequestsPerService,
-					Accel:    accel,
-				}, wl)
-				if err != nil {
-					errs[shard] = err
-					return
-				}
-				res, err := s.Run()
-				if err != nil {
-					errs[shard] = err
-					return
-				}
-				out.Services[j.index] = ServiceResult{
-					Service: j.svc.Name, Kind: j.kind, Shard: shard, Result: res,
-				}
+	// runShard simulates every service assigned to one shard. Each shard
+	// writes only its own errs slot and its own Services indices (service
+	// index mod Shards == shard), so concurrent shards never share a slot.
+	runShard := func(shard int) {
+		for _, j := range jobs {
+			if j.index%cfg.Shards != shard {
+				continue
 			}
-		}(shard)
+			cb, ok := kindCb[j.kind]
+			if !ok {
+				errs[shard] = fmt.Errorf("fleet: no per-byte cost for kind %v", j.kind)
+				return
+			}
+			wl, err := sim.NewSampledWorkload(cfg.NonKernelCycles, cfg.KernelsPerReq,
+				core.LinearKernel(cb), j.cdf, cfg.RequestsPerService, seedFor(cfg.Seed, j.index))
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			s, err := sim.New(sim.Config{
+				Cores:    cfg.Cores,
+				Threads:  cfg.Threads,
+				HostHz:   cfg.HostHz,
+				Requests: cfg.RequestsPerService,
+				Accel:    accel,
+			}, wl)
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			res, err := s.Run()
+			if err != nil {
+				errs[shard] = err
+				return
+			}
+			out.Services[j.index] = ServiceResult{
+				Service: j.svc.Name, Kind: j.kind, Shard: shard, Result: res,
+			}
+		}
 	}
+
+	// Shards drain through a bounded worker pool: at most MaxWorkers
+	// (default min(GOMAXPROCS, Shards)) goroutines execute shards at once,
+	// so a high shard count parallelizes across the available cores without
+	// oversubscribing them, and MaxWorkers=1 reproduces sequential
+	// execution exactly.
+	workers := cfg.MaxWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Shards {
+		workers = cfg.Shards
+	}
+	shardCh := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shard := range shardCh {
+				runShard(shard)
+			}
+		}()
+	}
+	for shard := 0; shard < cfg.Shards; shard++ {
+		shardCh <- shard
+	}
+	close(shardCh)
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {

@@ -1,0 +1,97 @@
+package fleet
+
+import (
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestFleetWorkerCountIndependence checks the load-bearing property of the
+// worker pool: the aggregate Result is byte-identical whether shards run
+// sequentially (MaxWorkers=1), with the automatic bound (0), or wildly
+// oversubscribed — parallelism changes wall-clock only.
+func TestFleetWorkerCountIndependence(t *testing.T) {
+	base := Config{Shards: 8, Seed: 99, RequestsPerService: 50, MaxWorkers: 1}
+	first, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := json.Marshal(first.Aggregate)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 8, 64} {
+		cfg := base
+		cfg.MaxWorkers = workers
+		r, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("MaxWorkers=%d: %v", workers, err)
+		}
+		got, err := json.Marshal(r.Aggregate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("MaxWorkers=%d: aggregate diverges from sequential run", workers)
+		}
+	}
+}
+
+// TestFleetRejectsNegativeWorkers checks Validate's MaxWorkers bound.
+func TestFleetRejectsNegativeWorkers(t *testing.T) {
+	if _, err := Run(Config{Shards: 1, MaxWorkers: -1}); err == nil {
+		t.Fatal("MaxWorkers=-1: want error, got nil")
+	}
+}
+
+// TestFleetParallelSpeedup is the wall-clock smoke test: with 8 shards and
+// at least 4 cores, the pooled run must beat the sequential one by ≥1.5×.
+// Scheduling noise makes a single timing unreliable, so each attempt times
+// both modes back to back and any one attempt clearing the bar passes.
+// Skipped in -short mode and on small machines, where the speedup cannot
+// physically materialize.
+func TestFleetParallelSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test skipped in -short mode")
+	}
+	if ncpu := runtime.GOMAXPROCS(0); ncpu < 4 {
+		t.Skipf("need >= 4 usable cores for a 1.5x bar, have %d", ncpu)
+	}
+
+	// Enough per-service work that each shard runs for tens of
+	// milliseconds — long enough to dwarf pool setup and scheduler jitter.
+	cfg := Config{Shards: 8, Seed: 7, RequestsPerService: 4000}
+
+	const (
+		attempts = 3
+		wantGain = 1.5
+	)
+	var best float64
+	for i := 0; i < attempts; i++ {
+		seqStart := time.Now()
+		cfg.MaxWorkers = 1
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		seq := time.Since(seqStart)
+
+		parStart := time.Now()
+		cfg.MaxWorkers = 0 // min(GOMAXPROCS, Shards)
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		par := time.Since(parStart)
+
+		gain := float64(seq) / float64(par)
+		if gain > best {
+			best = gain
+		}
+		t.Logf("attempt %d: sequential %v, parallel %v, speedup %.2fx", i, seq, par, gain)
+		if gain >= wantGain {
+			return
+		}
+	}
+	t.Errorf("parallel fleet never reached %.1fx over sequential (best %.2fx in %d attempts)",
+		wantGain, best, attempts)
+}

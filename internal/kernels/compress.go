@@ -1,10 +1,7 @@
 package kernels
 
 import (
-	"bytes"
-	"compress/flate"
 	"fmt"
-	"io"
 )
 
 // Compression kernels. The fleet's production compressor is ZSTD; the
@@ -15,31 +12,18 @@ import (
 // the codec choice does not affect reproduced results.
 
 // Compress DEFLATE-compresses src at the given level (flate.BestSpeed..
-// flate.BestCompression) and returns the compressed bytes.
+// flate.BestCompression) and returns the compressed bytes in a fresh
+// slice. It delegates to CompressAppend, which reuses pooled encoder
+// state; callers that can recycle the destination should use
+// CompressAppend directly.
 func Compress(src []byte, level int) ([]byte, error) {
-	var buf bytes.Buffer
-	w, err := flate.NewWriter(&buf, level)
-	if err != nil {
-		return nil, fmt.Errorf("kernels: compress: %w", err)
-	}
-	if _, err := w.Write(src); err != nil {
-		return nil, fmt.Errorf("kernels: compress write: %w", err)
-	}
-	if err := w.Close(); err != nil {
-		return nil, fmt.Errorf("kernels: compress close: %w", err)
-	}
-	return buf.Bytes(), nil
+	return CompressAppend(nil, src, level)
 }
 
-// Decompress inflates DEFLATE-compressed bytes.
+// Decompress inflates DEFLATE-compressed bytes into a fresh slice. It
+// delegates to DecompressAppend, which reuses pooled decoder state.
 func Decompress(src []byte) ([]byte, error) {
-	r := flate.NewReader(bytes.NewReader(src))
-	defer r.Close()
-	out, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("kernels: decompress: %w", err)
-	}
-	return out, nil
+	return DecompressAppend(nil, src)
 }
 
 // CompressibleData returns n bytes of synthetic payload with realistic
@@ -48,13 +32,21 @@ func Decompress(src []byte) ([]byte, error) {
 // noise or trivially constant bytes. The seed varies the content.
 func CompressibleData(n int, seed uint64) []byte {
 	out := make([]byte, n)
+	FillCompressible(out, seed)
+	return out
+}
+
+// FillCompressible fills dst with the same synthetic record stream as
+// CompressibleData without allocating the destination, so callers staging
+// payloads in a reused (e.g. GetScratch) buffer skip the per-invocation
+// allocation.
+func FillCompressible(dst []byte, seed uint64) {
 	const record = "ts=1583020800 svc=cache1 op=get key=user:%08x flags=0x%04x "
 	pos := 0
 	i := seed
-	for pos < n {
+	for pos < len(dst) {
 		rec := fmt.Sprintf(record, uint32(i*2654435761), uint16(i*40503))
-		pos += copy(out[pos:], rec)
+		pos += copy(dst[pos:], rec)
 		i++
 	}
-	return out
 }

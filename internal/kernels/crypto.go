@@ -40,6 +40,21 @@ func (c *Cipher) Encrypt(iv, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// EncryptTo CTR-encrypts src into dst (they may not overlap unless equal),
+// letting callers reuse a pooled destination instead of allocating one per
+// message. dst must be at least len(src) bytes. CTR is symmetric, so the
+// same call decrypts.
+func (c *Cipher) EncryptTo(dst, iv, src []byte) error {
+	if len(iv) != aes.BlockSize {
+		return fmt.Errorf("kernels: IV length %d, want %d", len(iv), aes.BlockSize)
+	}
+	if len(dst) < len(src) {
+		return fmt.Errorf("kernels: encrypt destination %d bytes, need %d", len(dst), len(src))
+	}
+	cipher.NewCTR(c.block, iv).XORKeyStream(dst[:len(src)], src)
+	return nil
+}
+
 // EncryptInPlace CTR-encrypts buf in place, avoiding the output allocation.
 func (c *Cipher) EncryptInPlace(iv, buf []byte) error {
 	if len(iv) != aes.BlockSize {

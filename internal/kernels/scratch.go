@@ -1,0 +1,164 @@
+package kernels
+
+import (
+	"bytes"
+	"compress/flate"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Pooled kernel scratch. The paper's whole argument is that orchestration
+// overheads — allocation among them (§2.3.1, Table 2) — dominate cycles at
+// hyperscale; a flate.Writer alone drags ~600 KB of window and Huffman
+// state into existence per NewWriter. This file keeps that state in
+// sync.Pools so repeated kernel invocations within a service run reuse it:
+// CompressAppend/DecompressAppend are the allocation-lean entry points the
+// RPC pipeline and the fleet drive, and the historical Compress/Decompress
+// wrappers now delegate to them.
+//
+// Ownership: the dst slice passed in is appended to and returned like
+// append(); the pooled flate state never escapes a call.
+
+// flateLevels spans flate.HuffmanOnly (-2) .. flate.BestCompression (9).
+const flateLevels = flate.BestCompression - flate.HuffmanOnly + 1
+
+// compressor bundles a flate.Writer with the slice sink it writes into, so
+// one pool Get restores both without allocating.
+type compressor struct {
+	w    *flate.Writer
+	sink sliceWriter
+}
+
+// sliceWriter appends writes to a byte slice.
+type sliceWriter struct{ buf []byte }
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	s.buf = append(s.buf, p...)
+	return len(p), nil
+}
+
+// compressorPools holds one pool per flate level (index level - HuffmanOnly).
+var compressorPools [flateLevels]sync.Pool
+
+// CompressAppend DEFLATE-compresses src at the given level, appends the
+// compressed bytes to dst, and returns the extended slice (append
+// semantics: the result may alias dst's backing array). The flate encoder
+// state is pooled per level, so steady-state compression allocates only
+// when dst needs to grow.
+func CompressAppend(dst, src []byte, level int) ([]byte, error) {
+	if level < flate.HuffmanOnly || level > flate.BestCompression {
+		return nil, fmt.Errorf("kernels: compress: invalid level %d", level)
+	}
+	pool := &compressorPools[level-flate.HuffmanOnly]
+	c, _ := pool.Get().(*compressor)
+	if c == nil {
+		w, err := flate.NewWriter(io.Discard, level)
+		if err != nil {
+			return nil, fmt.Errorf("kernels: compress: %w", err)
+		}
+		c = &compressor{w: w}
+	}
+	c.sink.buf = dst
+	c.w.Reset(&c.sink)
+	if _, err := c.w.Write(src); err != nil {
+		return nil, fmt.Errorf("kernels: compress write: %w", err)
+	}
+	if err := c.w.Close(); err != nil {
+		return nil, fmt.Errorf("kernels: compress close: %w", err)
+	}
+	out := c.sink.buf
+	c.sink.buf = nil // never retain caller memory in the pool
+	pool.Put(c)
+	return out, nil
+}
+
+// decompressor bundles a flate reader with the bytes.Reader feeding it.
+type decompressor struct {
+	br bytes.Reader
+	fr io.ReadCloser
+}
+
+var decompressorPool sync.Pool
+
+// DecompressAppend inflates DEFLATE-compressed src, appends the plaintext
+// to dst, and returns the extended slice (append semantics). The flate
+// decoder state is pooled, so steady-state decompression allocates only
+// when dst needs to grow.
+func DecompressAppend(dst, src []byte) ([]byte, error) {
+	d, _ := decompressorPool.Get().(*decompressor)
+	if d == nil {
+		d = &decompressor{}
+		d.br.Reset(nil)
+		d.fr = flate.NewReader(&d.br)
+	}
+	d.br.Reset(src)
+	if err := d.fr.(flate.Resetter).Reset(&d.br, nil); err != nil {
+		return nil, fmt.Errorf("kernels: decompress reset: %w", err)
+	}
+	for {
+		if len(dst) == cap(dst) {
+			dst = append(dst, 0)[:len(dst)] // grow without exposing the byte
+		}
+		n, err := d.fr.Read(dst[len(dst):cap(dst)])
+		dst = dst[:len(dst)+n]
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("kernels: decompress: %w", err)
+		}
+	}
+	d.br.Reset(nil) // never retain caller memory in the pool
+	decompressorPool.Put(d)
+	return dst, nil
+}
+
+// scratchPool recycles the staging buffers handed out by GetScratch; see
+// putScratch's cap filter.
+var scratchPool sync.Pool
+
+// maxScratch bounds the staging buffers the pool retains (1 MiB).
+const maxScratch = 1 << 20
+
+// GetScratch returns a zero-length staging buffer with cap >= n for
+// memcpy-style kernels (payload staging, copy destinations). Pair with
+// PutScratch when the bytes are dead; losing a buffer is safe, the GC
+// reclaims it.
+func GetScratch(n int) []byte {
+	if v := scratchPool.Get(); v != nil {
+		s := v.(*scratchBuf)
+		b := s.b
+		s.b = nil
+		emptyScratch.Put(s)
+		if cap(b) >= n {
+			return b[:0]
+		}
+	}
+	if n < 512 {
+		n = 512
+	}
+	return make([]byte, 0, n)
+}
+
+// PutScratch returns a staging buffer to the pool. The buffer must not be
+// used afterwards. Oversized buffers are dropped so one huge request does
+// not pin memory.
+func PutScratch(b []byte) {
+	if cap(b) == 0 || cap(b) > maxScratch {
+		return
+	}
+	s, _ := emptyScratch.Get().(*scratchBuf)
+	if s == nil {
+		s = new(scratchBuf)
+	}
+	s.b = b
+	scratchPool.Put(s)
+}
+
+// scratchBuf is the pooled container; pooling it separately from the bytes
+// keeps Get/PutScratch allocation-free (a bare []byte in a sync.Pool would
+// box the slice header on every put).
+type scratchBuf struct{ b []byte }
+
+var emptyScratch sync.Pool

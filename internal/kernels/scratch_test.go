@@ -1,0 +1,202 @@
+package kernels
+
+import (
+	"bytes"
+	"compress/flate"
+	"sync"
+	"testing"
+)
+
+// TestCompressAppendRoundTrip checks that the pooled compress/decompress
+// pair inverts exactly at every flate level, including repeated calls that
+// exercise the pooled encoder/decoder state.
+func TestCompressAppendRoundTrip(t *testing.T) {
+	src := CompressibleData(8<<10, 7)
+	for level := flate.HuffmanOnly; level <= flate.BestCompression; level++ {
+		for rep := 0; rep < 3; rep++ { // rep > 0 hits pooled state
+			comp, err := CompressAppend(nil, src, level)
+			if err != nil {
+				t.Fatalf("level %d rep %d: compress: %v", level, rep, err)
+			}
+			got, err := DecompressAppend(nil, comp)
+			if err != nil {
+				t.Fatalf("level %d rep %d: decompress: %v", level, rep, err)
+			}
+			if !bytes.Equal(got, src) {
+				t.Fatalf("level %d rep %d: round trip mismatch (%d bytes, want %d)",
+					level, rep, len(got), len(src))
+			}
+		}
+	}
+}
+
+// TestCompressAppendToExistingDst checks append semantics: both directions
+// must extend a non-empty dst without disturbing the prefix.
+func TestCompressAppendToExistingDst(t *testing.T) {
+	src := CompressibleData(4<<10, 3)
+	prefix := []byte("hdr:")
+
+	comp, err := CompressAppend(append([]byte(nil), prefix...), src, flate.BestSpeed)
+	if err != nil {
+		t.Fatalf("compress: %v", err)
+	}
+	if !bytes.HasPrefix(comp, prefix) {
+		t.Fatalf("compress clobbered the dst prefix: %q", comp[:len(prefix)])
+	}
+
+	plain, err := DecompressAppend(append([]byte(nil), prefix...), comp[len(prefix):])
+	if err != nil {
+		t.Fatalf("decompress: %v", err)
+	}
+	if !bytes.HasPrefix(plain, prefix) {
+		t.Fatalf("decompress clobbered the dst prefix: %q", plain[:len(prefix)])
+	}
+	if !bytes.Equal(plain[len(prefix):], src) {
+		t.Fatal("round trip through prefixed dst mismatch")
+	}
+}
+
+// TestCompressAppendInvalidLevel checks level validation.
+func TestCompressAppendInvalidLevel(t *testing.T) {
+	for _, level := range []int{flate.HuffmanOnly - 1, flate.BestCompression + 1} {
+		if _, err := CompressAppend(nil, []byte("x"), level); err == nil {
+			t.Errorf("level %d: want error, got nil", level)
+		}
+	}
+}
+
+// TestDecompressAppendCorrupt checks that garbage input surfaces an error
+// and does not poison the pooled decoder for the next caller.
+func TestDecompressAppendCorrupt(t *testing.T) {
+	if _, err := DecompressAppend(nil, []byte{0xff, 0x00, 0xba, 0xad}); err == nil {
+		t.Fatal("corrupt input: want error, got nil")
+	}
+	// The pool must still serve valid streams afterwards.
+	comp, err := CompressAppend(nil, []byte("recovery"), flate.BestSpeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecompressAppend(nil, comp)
+	if err != nil {
+		t.Fatalf("decompress after corrupt call: %v", err)
+	}
+	if string(got) != "recovery" {
+		t.Fatalf("got %q, want %q", got, "recovery")
+	}
+}
+
+// TestEncryptToMatchesEncrypt checks that the pooled-destination variant
+// produces exactly the bytes of the allocating one, and that CTR symmetry
+// holds through EncryptTo (the pipeline decrypts with it).
+func TestEncryptToMatchesEncrypt(t *testing.T) {
+	key := bytes.Repeat([]byte{0x42}, 32)
+	c, err := NewCipher(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv := bytes.Repeat([]byte{7}, 16)
+	src := CompressibleData(1000, 9)
+
+	want, err := c.Encrypt(iv, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]byte, len(src)+5) // longer than src is allowed
+	if err := c.EncryptTo(dst, iv, src); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dst[:len(src)], want) {
+		t.Fatal("EncryptTo output differs from Encrypt")
+	}
+
+	dec := make([]byte, len(src))
+	if err := c.EncryptTo(dec, iv, dst[:len(src)]); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(dec, src) {
+		t.Fatal("EncryptTo(EncryptTo(x)) != x — CTR symmetry broken")
+	}
+}
+
+// TestEncryptToValidation checks the defensive checks: wrong IV size and a
+// too-short destination must fail before touching dst.
+func TestEncryptToValidation(t *testing.T) {
+	c, err := NewCipher(make([]byte, 16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.EncryptTo(make([]byte, 8), make([]byte, 15), make([]byte, 8)); err == nil {
+		t.Error("short IV: want error, got nil")
+	}
+	if err := c.EncryptTo(make([]byte, 7), make([]byte, 16), make([]byte, 8)); err == nil {
+		t.Error("short dst: want error, got nil")
+	}
+}
+
+// TestFillCompressibleMatchesCompressibleData pins the two payload
+// generators to the same byte stream, so pooled-staging callers see
+// identical content to allocating ones (fleet determinism depends on it).
+func TestFillCompressibleMatchesCompressibleData(t *testing.T) {
+	for _, n := range []int{1, 63, 1024, 64 << 10} {
+		for _, seed := range []uint64{0, 1, 12345} {
+			want := CompressibleData(n, seed)
+			got := make([]byte, n)
+			for i := range got {
+				got[i] = 0xee // prove every byte is overwritten
+			}
+			FillCompressible(got, seed)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("n=%d seed=%d: FillCompressible diverges from CompressibleData", n, seed)
+			}
+		}
+	}
+}
+
+// TestScratchPool checks the GetScratch/PutScratch contract: zero length,
+// sufficient capacity, tolerance of degenerate puts, and reuse across the
+// put/get cycle.
+func TestScratchPool(t *testing.T) {
+	for _, n := range []int{0, 1, 512, 64 << 10, maxScratch, maxScratch + 1} {
+		b := GetScratch(n)
+		if len(b) != 0 {
+			t.Errorf("GetScratch(%d): len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("GetScratch(%d): cap = %d, want >= %d", n, cap(b), n)
+		}
+		PutScratch(b)
+	}
+	PutScratch(nil)                           // must not panic
+	PutScratch(make([]byte, 0, 2*maxScratch)) // oversized: dropped
+	if b := GetScratch(16); cap(b) < 16 {     // pool still functional
+		t.Errorf("GetScratch(16) after degenerate puts: cap = %d", cap(b))
+	}
+}
+
+// TestScratchPoolConcurrent hammers the scratch pool under the race
+// detector with per-goroutine byte patterns, catching any aliasing between
+// concurrently-owned buffers.
+func TestScratchPoolConcurrent(t *testing.T) {
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := 256 << (i % 4)
+				b := GetScratch(n)[:n]
+				for j := range b {
+					b[j] = id
+				}
+				for j := range b {
+					if b[j] != id {
+						t.Errorf("goroutine %d: scratch aliased at byte %d", id, j)
+						return
+					}
+				}
+				PutScratch(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

@@ -39,7 +39,12 @@ const BatchMethod = "rpc.batch"
 // allocations or unbounded handler fan-out.
 const maxBatchMessages = 4096
 
-// encodeBatchPayload packs messages into an envelope payload.
+// encodeBatchPayload packs messages into an envelope payload. Each member
+// is marshaled directly into the envelope — the length prefix is reserved
+// and backfilled — so no per-member intermediate buffer or join copy
+// exists. The returned buffer comes from the package buffer pool; the
+// caller owns it and may release it with putBuf once the envelope has been
+// copied onward (CallBatch and the server batch path do).
 func encodeBatchPayload(msgs []Message) ([]byte, error) {
 	if len(msgs) == 0 {
 		return nil, errors.New("rpc: empty batch")
@@ -47,14 +52,24 @@ func encodeBatchPayload(msgs []Message) ([]byte, error) {
 	if len(msgs) > maxBatchMessages {
 		return nil, fmt.Errorf("rpc: batch of %d messages exceeds %d", len(msgs), maxBatchMessages)
 	}
-	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(msgs)))
+	size := 4
 	for _, m := range msgs {
-		sub, err := marshalWithFlags(m, 0)
+		n, err := wireSize(m)
 		if err != nil {
 			return nil, err
 		}
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(sub)))
-		buf = append(buf, sub...)
+		size += 4 + n
+	}
+	buf := binary.LittleEndian.AppendUint32(getBuf(size), uint32(len(msgs)))
+	for _, m := range msgs {
+		lenAt := len(buf)
+		buf = append(buf, 0, 0, 0, 0) // length prefix, backfilled below
+		var err error
+		buf, err = appendMessage(buf, m, 0)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(buf[lenAt:], uint32(len(buf)-lenAt-4))
 	}
 	return buf, nil
 }
@@ -103,6 +118,7 @@ func (s *Server) handleBatch(ctx context.Context, env Message) Message {
 		return Message{Method: BatchMethod, Headers: map[string]string{"error": err.Error()}}
 	}
 	subs, err := decodeBatchPayload(env.Payload)
+	putBuf(env.Payload) // the members own fresh copies; the envelope is dead
 	if err != nil {
 		return batchErr(err)
 	}
@@ -160,11 +176,13 @@ func (c *Client) CallBatch(reqs []Message) ([]Message, []error, error) {
 	}
 	env := Message{Method: BatchMethod, Payload: payload}
 	resp, err := c.exchange(env, ins, sp, obs)
+	putBuf(payload) // the exchange serialized the envelope; it is dead
 	sp.End()
 	if err != nil {
 		return nil, nil, err
 	}
 	subs, err := decodeBatchPayload(resp.Payload)
+	putBuf(resp.Payload) // the members own fresh copies; the envelope is dead
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,0 +1,99 @@
+package rpc
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Size-classed buffer pool for the RPC hot path. The paper's Table 2 puts
+// memory allocation among the dominant "kernel" overheads at hyperscale,
+// and its §5 case study models accelerating exactly this size-class lookup
+// + free-list discipline; here the measurement harness applies the same
+// cure to itself so steady-state Call/CallBatch traffic allocates nothing
+// for framing, serialization, or the compression/encryption staging
+// buffers (see BenchmarkCallDisabled and scripts/bench_alloc.sh).
+//
+// Ownership rules (documented for every hot-path call site and in the
+// README's "Performance: pooling & parallel fleet" section):
+//
+//   - getBuf(n) returns a zero-length slice with cap >= n. The caller owns
+//     it exclusively until it calls putBuf.
+//   - putBuf(b) ends ownership; b must not be referenced afterwards. It is
+//     always safe to NOT return a buffer — it is then reclaimed by the GC
+//     like any other slice — so public APIs (Pipeline.Encode, ReadFrame)
+//     may hand pooled buffers to callers that never release them.
+//   - A buffer is released only after every view of it is dead: frames
+//     after Decode copies out (Message owns fresh payload/string memory),
+//     encode outputs after the frame write flushes, batch envelopes after
+//     the member messages are re-marshaled or copied.
+//
+// Buffers of class c always have cap >= 1<<c, so a recycled buffer never
+// shrinks a later request's capacity. Oversized buffers (beyond maxPooled)
+// are never retained: a corrupt peer forcing one maxFrame read must not
+// pin 80 MB in the pool.
+
+const (
+	// minPoolShift..maxPoolShift bound the pooled size classes:
+	// 64 B .. 1 MiB in powers of two. Smaller requests round up to 64 B;
+	// larger ones fall through to plain make.
+	minPoolShift = 6
+	maxPoolShift = 20
+	numClasses   = maxPoolShift - minPoolShift + 1
+
+	// maxPooled is the largest capacity putBuf will retain.
+	maxPooled = 1 << maxPoolShift
+)
+
+// pooledBuf is the container sync.Pool stores. Pooling the container
+// separately from the bytes keeps getBuf/putBuf allocation-free: putting a
+// bare []byte into a sync.Pool would box the three-word slice header into
+// an interface (one allocation per put, defeating the pool).
+type pooledBuf struct{ b []byte }
+
+var (
+	// bufClasses[i] holds *pooledBuf whose b has cap >= 1<<(minPoolShift+i).
+	bufClasses [numClasses]sync.Pool
+	// emptyBufs recycles spent containers (b == nil) between put and get.
+	emptyBufs = sync.Pool{New: func() any { return new(pooledBuf) }}
+)
+
+// classFor returns the class index whose buffers can hold n bytes.
+func classFor(n int) int {
+	if n <= 1<<minPoolShift {
+		return 0
+	}
+	return bits.Len(uint(n-1)) - minPoolShift
+}
+
+// getBuf returns a zero-length buffer with cap >= n, recycled when a
+// buffer of a suitable class is pooled. See the ownership rules above.
+func getBuf(n int) []byte {
+	if n > maxPooled {
+		return make([]byte, 0, n)
+	}
+	cls := classFor(n)
+	if v := bufClasses[cls].Get(); v != nil {
+		pb := v.(*pooledBuf)
+		b := pb.b
+		pb.b = nil
+		emptyBufs.Put(pb)
+		return b[:0]
+	}
+	return make([]byte, 0, 1<<(minPoolShift+cls))
+}
+
+// putBuf returns a buffer to its size class. The buffer must not be used
+// after this call. Undersized or oversized buffers are dropped (the GC
+// reclaims them), so any []byte — pooled origin or not — is acceptable.
+func putBuf(b []byte) {
+	c := cap(b)
+	if c < 1<<minPoolShift || c > maxPooled {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a get on
+	// that class never receives a too-small buffer.
+	cls := bits.Len(uint(c)) - 1 - minPoolShift
+	pb := emptyBufs.Get().(*pooledBuf)
+	pb.b = b
+	bufClasses[cls].Put(pb)
+}

@@ -1,0 +1,131 @@
+package rpc
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestClassFor pins the size-class mapping: gets round a request up to the
+// smallest class that holds it, so a pooled buffer can never come back too
+// small for the request that received it.
+func TestClassFor(t *testing.T) {
+	cases := []struct {
+		n, class int
+	}{
+		{0, 0},
+		{1, 0},
+		{63, 0},
+		{64, 0},
+		{65, 1},
+		{128, 1},
+		{129, 2},
+		{4096, 6},
+		{4097, 7},
+		{1 << 20, maxPoolShift - minPoolShift},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+		if c.n > 0 && 1<<(minPoolShift+classFor(c.n)) < c.n {
+			t.Errorf("classFor(%d): class capacity %d is smaller than the request",
+				c.n, 1<<(minPoolShift+classFor(c.n)))
+		}
+	}
+}
+
+// TestGetBufCapacity checks getBuf's contract: zero length, capacity at
+// least the request, for sizes spanning every class plus the oversize
+// escape hatch.
+func TestGetBufCapacity(t *testing.T) {
+	for _, n := range []int{0, 1, 64, 65, 100, 4096, 64 << 10, 1 << 20, maxPooled + 1, 3 << 20} {
+		b := getBuf(n)
+		if len(b) != 0 {
+			t.Errorf("getBuf(%d): len = %d, want 0", n, len(b))
+		}
+		if cap(b) < n {
+			t.Errorf("getBuf(%d): cap = %d, want >= %d", n, cap(b), n)
+		}
+		putBuf(b)
+	}
+}
+
+// TestPutBufFloorClass checks that a buffer whose capacity is not an exact
+// class size is filed under the class it can actually satisfy: after
+// putBuf(cap=100), a getBuf(100) must not hand that 100-byte buffer back,
+// because class(100) promises 128 bytes.
+func TestPutBufFloorClass(t *testing.T) {
+	odd := make([]byte, 0, 100)
+	putBuf(odd)
+	got := getBuf(100)
+	if cap(got) < 100 {
+		t.Errorf("getBuf(100) after putBuf(cap=100): cap = %d, want >= 100", cap(got))
+	}
+	putBuf(got)
+}
+
+// TestPutBufRejectsOutOfRange checks that undersized and oversized buffers
+// are dropped rather than pooled (and that passing them is safe): pooling a
+// >1MiB buffer would pin large memory forever, and a sub-minimum buffer
+// could never satisfy any class.
+func TestPutBufRejectsOutOfRange(t *testing.T) {
+	putBuf(nil)
+	putBuf(make([]byte, 0, 8))
+	putBuf(make([]byte, 0, maxPooled*2))
+	// The pool must still behave after the rejects.
+	b := getBuf(512)
+	if cap(b) < 512 {
+		t.Errorf("getBuf(512): cap = %d, want >= 512", cap(b))
+	}
+	putBuf(b)
+}
+
+// TestBufPoolReuse checks that a released buffer is actually recycled: the
+// point of the pool. sync.Pool may drop entries under GC pressure, so the
+// test retries a few times before declaring failure.
+func TestBufPoolReuse(t *testing.T) {
+	const size = 1 << 14 // a class unlikely to see concurrent traffic from other tests
+	for attempt := 0; attempt < 8; attempt++ {
+		b := getBuf(size)
+		b = append(b, 0xab)
+		first := &b[:cap(b)][cap(b)-1]
+		putBuf(b)
+		c := getBuf(size)
+		same := cap(c) == cap(b) && &c[:cap(c)][cap(c)-1] == first
+		putBuf(c)
+		if same {
+			return
+		}
+	}
+	t.Skip("pool never returned the released buffer (GC cleared it); reuse is best-effort")
+}
+
+// TestBufPoolConcurrent hammers get/put from many goroutines under the race
+// detector: each goroutine writes a distinct byte pattern and verifies it
+// before release, so any aliasing between concurrently-owned buffers is
+// caught as a data race or a corrupted pattern.
+func TestBufPoolConcurrent(t *testing.T) {
+	sizes := []int{63, 64, 65, 512, 4096, 4097, 64 << 10}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(id byte) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				n := sizes[i%len(sizes)]
+				b := getBuf(n)[:n]
+				for j := range b {
+					b[j] = id
+				}
+				for j := range b {
+					if b[j] != id {
+						t.Errorf("goroutine %d: buffer aliased, byte %d = %#x", id, j, b[j])
+						return
+					}
+				}
+				putBuf(b)
+			}
+		}(byte(g))
+	}
+	wg.Wait()
+}

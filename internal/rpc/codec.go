@@ -66,29 +66,49 @@ func (Codec) Marshal(m Message) ([]byte, error) {
 }
 
 func marshalWithFlags(m Message, flags byte) ([]byte, error) {
+	size, err := wireSize(m)
+	if err != nil {
+		return nil, err
+	}
+	return appendMessage(make([]byte, 0, size), m, flags)
+}
+
+// wireSize computes the encoded size of m, validating the per-field limits
+// on the way.
+func wireSize(m Message) (int, error) {
 	if len(m.Method) > maxMethodLen {
-		return nil, fmt.Errorf("rpc: method name %d bytes exceeds %d", len(m.Method), maxMethodLen)
+		return 0, fmt.Errorf("rpc: method name %d bytes exceeds %d", len(m.Method), maxMethodLen)
 	}
 	if len(m.Headers) > maxHeaders {
-		return nil, fmt.Errorf("rpc: %d headers exceed %d", len(m.Headers), maxHeaders)
+		return 0, fmt.Errorf("rpc: %d headers exceed %d", len(m.Headers), maxHeaders)
 	}
 	if len(m.Payload) > maxPayloadLen {
-		return nil, fmt.Errorf("rpc: payload %d bytes exceeds %d", len(m.Payload), maxPayloadLen)
+		return 0, fmt.Errorf("rpc: payload %d bytes exceeds %d", len(m.Payload), maxPayloadLen)
 	}
-
 	size := 2 + 1 + 1 + 2 + len(m.Method) + 2
-	keys := make([]string, 0, len(m.Headers))
 	for k, v := range m.Headers {
 		if len(k) > maxMethodLen || len(v) > maxHeaderVal {
-			return nil, fmt.Errorf("rpc: oversized header %q", k)
+			return 0, fmt.Errorf("rpc: oversized header %q", k)
 		}
 		size += 2 + len(k) + 4 + len(v)
+	}
+	return size + 4 + len(m.Payload) + 4, nil
+}
+
+// appendMessage appends m's wire encoding to buf and returns the extended
+// slice. The pooled hot paths pass a buffer pre-sized with wireSize so the
+// appends never reallocate; an undersized buf still encodes correctly.
+func appendMessage(buf []byte, m Message, flags byte) ([]byte, error) {
+	if _, err := wireSize(m); err != nil {
+		return nil, err
+	}
+	keys := make([]string, 0, len(m.Headers))
+	for k := range m.Headers {
 		keys = append(keys, k)
 	}
 	sort.Strings(keys) // deterministic encoding
-	size += 4 + len(m.Payload) + 4
 
-	buf := make([]byte, 0, size)
+	start := len(buf)
 	buf = binary.LittleEndian.AppendUint16(buf, wireMagic)
 	buf = append(buf, wireVersion, flags)
 	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(m.Method)))
@@ -103,7 +123,7 @@ func marshalWithFlags(m Message, flags byte) ([]byte, error) {
 	}
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Payload)))
 	buf = append(buf, m.Payload...)
-	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+	buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf[start:]))
 	return buf, nil
 }
 
@@ -120,6 +140,44 @@ func (Codec) Unmarshal(data []byte) (Message, error) {
 }
 
 func unmarshalWithFlags(data []byte) (Message, byte, error) {
+	return unmarshalInterned(data, nil)
+}
+
+// methodCache interns method-name strings so steady-state decoding of a
+// connection's (small, repeating) method vocabulary allocates no string per
+// message. It is not safe for concurrent use; each Pipeline — per-client or
+// per-connection, both single-goroutine — owns one. The size cap keeps an
+// adversarial peer streaming unique method names from growing it without
+// bound: once full, extra methods fall back to a plain string copy.
+type methodCache struct{ m map[string]string }
+
+// maxInternedMethods bounds one cache; a service's method vocabulary is
+// tiny, so the cap only matters under hostile traffic.
+const maxInternedMethods = 256
+
+// intern returns a string equal to b, reusing a prior copy when cached.
+// The map lookup with a string(b) key compiles to a no-allocation probe.
+func (c *methodCache) intern(b []byte) string {
+	if c == nil {
+		return string(b)
+	}
+	if s, ok := c.m[string(b)]; ok {
+		return s
+	}
+	if len(c.m) >= maxInternedMethods {
+		return string(b)
+	}
+	if c.m == nil {
+		c.m = make(map[string]string, 8)
+	}
+	s := string(b)
+	c.m[s] = s
+	return s
+}
+
+// unmarshalInterned is unmarshalWithFlags with an optional method-name
+// intern cache (nil skips interning).
+func unmarshalInterned(data []byte, mc *methodCache) (Message, byte, error) {
 	r := reader{data: data}
 	if len(data) < 14 {
 		return Message{}, 0, fmt.Errorf("%w: frame too short (%d bytes)", ErrCorrupt, len(data))
@@ -193,7 +251,7 @@ func unmarshalWithFlags(data []byte) (Message, byte, error) {
 		return Message{}, 0, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, r.remaining())
 	}
 
-	m := Message{Method: string(method), Headers: headers}
+	m := Message{Method: mc.intern(method), Headers: headers}
 	if len(payload) > 0 {
 		m.Payload = append([]byte(nil), payload...)
 	}

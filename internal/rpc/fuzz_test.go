@@ -37,6 +37,11 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(frame(nil))
 	f.Add(frame([]byte("hello")))
 	f.Add(frame(mustMarshal(f, Message{Method: "cache.get", Payload: []byte("k")})))
+	// Buffer-pool class boundaries: frames landing exactly on, and one byte
+	// past, a size class exercise getBuf's round-up and putBuf's floor.
+	f.Add(frame(bytes.Repeat([]byte{0xc1}, 64)))
+	f.Add(frame(bytes.Repeat([]byte{0xc2}, 65)))
+	f.Add(frame(bytes.Repeat([]byte{0xc3}, 4096)))
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff}) // length exceeds maxFrame
 	f.Add([]byte{5, 0, 0, 0, 'a', 'b'})   // truncated body
 	f.Add([]byte{1, 0})                   // truncated header
@@ -71,6 +76,11 @@ func FuzzCodecRoundTrip(f *testing.F) {
 		Payload: bytes.Repeat([]byte("z"), 100),
 	}))
 	f.Add([]byte("not a frame"))
+	// Pooled encode/decode boundaries: payloads sized to the buffer pool's
+	// class edges drive appendMessage and the interned unmarshal through
+	// exact-fit and spill-to-next-class buffers.
+	f.Add(mustMarshal(f, Message{Method: "pool.fit", Payload: bytes.Repeat([]byte{0xd1}, 64)}))
+	f.Add(mustMarshal(f, Message{Method: "pool.spill", Payload: bytes.Repeat([]byte{0xd2}, 4097)}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, flags, err := unmarshalWithFlags(data)
 		if err != nil {
@@ -118,6 +128,14 @@ func FuzzBatchPayloadRoundTrip(f *testing.F) {
 	))
 	f.Add([]byte{0, 0, 0, 0})       // zero count
 	f.Add([]byte{1, 0, 0, 0, 0xff}) // bad member length
+	// Members straddling buffer-pool class boundaries: the envelope encoder
+	// backfills length prefixes inside one pooled buffer, so members that
+	// force mid-envelope growth across a class edge are the risky shape.
+	f.Add(seed(
+		Message{Method: "pool.a", Payload: bytes.Repeat([]byte{0xe1}, 63)},
+		Message{Method: "pool.b", Payload: bytes.Repeat([]byte{0xe2}, 65)},
+		Message{Method: "pool.c", Payload: bytes.Repeat([]byte{0xe3}, 4096)},
+	))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		msgs, err := decodeBatchPayload(data)
 		if err != nil {

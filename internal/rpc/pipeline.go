@@ -22,8 +22,9 @@ type Pipeline struct {
 	cipher        *kernels.Cipher
 	iv            []byte
 
-	stats PipelineStats
-	mx    *Metrics // optional stage histograms; nil leaves stages untimed
+	stats   PipelineStats
+	mx      *Metrics    // optional stage histograms; nil leaves stages untimed
+	methods methodCache // interned method names for allocation-free decode
 }
 
 // PipelineStats counts the work done by each stage.
@@ -98,6 +99,11 @@ func (p *Pipeline) nextIV() []byte {
 
 // Encode runs a message through serialize → compress → encrypt and returns
 // the wire bytes.
+//
+// The returned slice comes from the package buffer pool: the caller owns
+// it exclusively and may release it with putBuf once the bytes are dead
+// (the client/server hot paths do, after the frame write flushes). Callers
+// that never release simply forgo reuse — the GC reclaims the buffer.
 func (p *Pipeline) Encode(m Message) ([]byte, error) { return p.EncodeSpan(m, nil) }
 
 // EncodeSpan is Encode with per-stage observability: each stage's latency
@@ -118,7 +124,16 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 	if obs {
 		t0 = time.Now()
 	}
-	data, err := marshalWithFlags(m, flags)
+	size, err := wireSize(m)
+	if err != nil {
+		return nil, err
+	}
+	// Every intermediate below is pooled and owned by this call: each stage
+	// appends into a fresh pooled buffer and releases its input, so one
+	// message in steady state recycles the serialize, compress, and encrypt
+	// staging instead of allocating them (the paper's Table 2 allocation +
+	// memcpy taxes, removed from the harness's own hot path).
+	data, err := appendMessage(getBuf(size), m, flags)
 	if err != nil {
 		return nil, err
 	}
@@ -132,27 +147,36 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 		if obs {
 			t0 = time.Now()
 		}
-		data, err = kernels.Compress(data, p.compressLevel)
+		out, err := kernels.CompressAppend(getBuf(len(data)+64), data, p.compressLevel)
 		if err != nil {
+			putBuf(data)
 			return nil, err
 		}
+		putBuf(data)
+		data = out
 		if obs {
 			observeStage(p.mx.stageHist(stageCompress), sp, "compress", t0)
 		}
 		p.stats.Compressions++
 	}
 	if p.cipher != nil {
-		// The IV must be carried on the wire; prepend it.
+		// The IV must be carried on the wire. IV and ciphertext are written
+		// into one pooled buffer: the IV occupies the first 16 bytes and the
+		// ciphertext is produced directly behind it, so the encrypt path
+		// performs no join copy and no per-message output allocation.
 		if obs {
 			t0 = time.Now()
 		}
 		iv := p.nextIV()
-		enc, err := p.cipher.Encrypt(iv, data)
-		if err != nil {
+		out := getBuf(len(iv) + len(data))[:len(iv)+len(data)]
+		copy(out, iv)
+		if err := p.cipher.EncryptTo(out[len(iv):], iv, data); err != nil {
+			putBuf(data)
 			return nil, err
 		}
 		p.stats.Encryptions++
-		data = append(append(make([]byte, 0, len(iv)+len(enc)), iv...), enc...)
+		putBuf(data)
+		data = out
 		if obs {
 			observeStage(p.mx.stageHist(stageEncrypt), sp, "encrypt", t0)
 		}
@@ -161,13 +185,26 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 	return data, nil
 }
 
-// Decode inverts Encode: decrypt → decompress → deserialize.
+// Decode inverts Encode: decrypt → decompress → deserialize. The input is
+// only read, never retained: the returned Message owns fresh memory, so a
+// pooled frame buffer may be released as soon as Decode returns.
 func (p *Pipeline) Decode(data []byte) (Message, error) { return p.DecodeSpan(data, nil) }
 
 // DecodeSpan is Decode with per-stage observability; see EncodeSpan.
 func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) {
 	obs := p.mx != nil || sp != nil
 	var t0 time.Time
+
+	// owned tracks the newest intermediate this call drew from the buffer
+	// pool (never the caller's input); each stage releases its predecessor,
+	// and the final deserialize releases the last one after copying out.
+	var owned []byte
+	release := func() {
+		if owned != nil {
+			putBuf(owned)
+			owned = nil
+		}
+	}
 
 	if p.cipher != nil {
 		if len(data) < 16 {
@@ -177,12 +214,13 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 			t0 = time.Now()
 		}
 		iv, body := data[:16], data[16:]
-		dec, err := p.cipher.Encrypt(iv, body) // CTR is symmetric
-		if err != nil {
+		dec := getBuf(len(body))[:len(body)]
+		if err := p.cipher.EncryptTo(dec, iv, body); err != nil { // CTR is symmetric
+			putBuf(dec)
 			return Message{}, err
 		}
 		p.stats.Decryptions++
-		data = dec
+		owned, data = dec, dec
 		if obs {
 			observeStage(p.mx.stageHist(stageDecrypt), sp, "decrypt", t0)
 		}
@@ -191,12 +229,14 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 		if obs {
 			t0 = time.Now()
 		}
-		out, err := kernels.Decompress(data)
+		out, err := kernels.DecompressAppend(getBuf(2*len(data)), data)
 		if err != nil {
+			release()
 			return Message{}, fmt.Errorf("%w: decompression failed: %v", ErrCorrupt, err)
 		}
+		release()
 		p.stats.Decompression++
-		data = out
+		owned, data = out, out
 		if obs {
 			observeStage(p.mx.stageHist(stageDecompress), sp, "decompress", t0)
 		}
@@ -204,7 +244,8 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 	if obs {
 		t0 = time.Now()
 	}
-	m, flags, err := unmarshalWithFlags(data)
+	m, flags, err := unmarshalInterned(data, &p.methods)
+	release() // the Message copied everything it keeps
 	if err != nil {
 		return Message{}, err
 	}

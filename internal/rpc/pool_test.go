@@ -1,0 +1,171 @@
+package rpc
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Pool-safety tests: many goroutines drive pooled Call/CallBatch paths at
+// once and verify every payload byte-exactly. A double release, a buffer
+// handed to two owners, or a decode that aliases pooled memory shows up
+// either as a -race report or as a corrupted payload here.
+
+// poolPayload builds a deterministic payload for (goroutine, iteration):
+// the size walks the pool's class boundaries (so adjacent size classes are
+// in flight simultaneously) and every byte encodes its owner and position.
+func poolPayload(g, i int) []byte {
+	sizes := []int{1, 63, 64, 65, 512, 4095, 4096, 4097, 16 << 10}
+	n := sizes[(g+i)%len(sizes)]
+	p := make([]byte, n)
+	for j := range p {
+		p[j] = byte(g*31 + i*7 + j)
+	}
+	return p
+}
+
+// TestPoolSafetyConcurrentCalls runs several clients (each on its own
+// connection — a Client is sequential by contract) against one server,
+// each looping echo calls with class-boundary payloads. The server and all
+// clients share the package-level buffer pools, so cross-goroutine buffer
+// reuse is constant; any aliasing corrupts a payload.
+func TestPoolSafetyConcurrentCalls(t *testing.T) {
+	echo := func(_ context.Context, req Message) (Message, error) { return req, nil }
+	srv, err := NewServer(echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 8
+	const iters = 60
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		clientConn, serverConn := net.Pipe()
+		go srv.ServeConn(context.Background(), serverConn)
+		client, err := NewClient(clientConn, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { client.Close() })
+
+		wg.Add(1)
+		go func(g int, client *Client) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				want := poolPayload(g, i)
+				resp, err := client.CallContext(ctx, Message{Method: fmt.Sprintf("echo/%d", g), Payload: want})
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(resp.Payload, want) {
+					t.Errorf("goroutine %d iter %d: payload corrupted (%d bytes, want %d)",
+						g, i, len(resp.Payload), len(want))
+					return
+				}
+			}
+		}(g, client)
+	}
+	wg.Wait()
+}
+
+// TestPoolSafetyConcurrentBatch drives the batch envelope's pooled path
+// from concurrent callers coalesced by a Batcher: batch encode reserves and
+// backfills length prefixes inside one pooled buffer, and batch decode
+// hands sub-message views out of another, so this covers the pool's
+// multi-owner choreography end to end.
+func TestPoolSafetyConcurrentBatch(t *testing.T) {
+	echo := func(_ context.Context, req Message) (Message, error) { return req, nil }
+	srv, err := NewServer(echo, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(context.Background(), serverConn)
+	client, err := NewClient(clientConn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+
+	b, err := NewBatcher(client, BatcherConfig{MaxBatch: 8, Linger: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				want := poolPayload(g, i)
+				resp, err := b.CallContext(ctx, Message{Method: fmt.Sprintf("echo/%d", g), Payload: want})
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(resp.Payload, want) {
+					t.Errorf("goroutine %d iter %d: batched payload corrupted", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// TestPoolSafetyPipelineStages runs the full compress+encrypt pipeline
+// concurrently on per-goroutine Pipelines (a Pipeline is single-owner) so
+// the shared kernels pools — flate writers, flate readers, and the rpc
+// buffer classes — see concurrent traffic from every stage at once.
+func TestPoolSafetyPipelineStages(t *testing.T) {
+	key := bytes.Repeat([]byte{9}, 32)
+	const goroutines = 8
+	const iters = 40
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			enc, err := NewPipeline(WithCompression(6), WithEncryption(key))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			dec, err := NewPipeline(WithCompression(6), WithEncryption(key))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for i := 0; i < iters; i++ {
+				want := poolPayload(g, i)
+				wire, err := enc.Encode(Message{Method: "m", Payload: want})
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: encode: %v", g, i, err)
+					return
+				}
+				m, err := dec.Decode(wire)
+				putBuf(wire)
+				if err != nil {
+					t.Errorf("goroutine %d iter %d: decode: %v", g, i, err)
+					return
+				}
+				if !bytes.Equal(m.Payload, want) {
+					t.Errorf("goroutine %d iter %d: pipeline payload corrupted", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

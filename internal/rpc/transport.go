@@ -21,10 +21,18 @@ const maxFrame = 80 << 20
 
 // WriteFrame writes one length-prefixed frame.
 func WriteFrame(w io.Writer, data []byte) error {
+	var hdr [4]byte
+	return writeFrame(w, data, &hdr)
+}
+
+// writeFrame is WriteFrame with caller-owned header scratch. Passing hdr[:]
+// to an io.Writer forces the array to the heap, so the hot loops hand in a
+// header that lives for the whole connection — one escape per connection
+// instead of one per frame.
+func writeFrame(w io.Writer, data []byte, hdr *[4]byte) error {
 	if len(data) > maxFrame {
 		return fmt.Errorf("rpc: frame %d bytes exceeds %d", len(data), maxFrame)
 	}
-	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(data)))
 	if _, err := w.Write(hdr[:]); err != nil {
 		return fmt.Errorf("rpc: write frame header: %w", err)
@@ -35,9 +43,18 @@ func WriteFrame(w io.Writer, data []byte) error {
 	return nil
 }
 
-// ReadFrame reads one length-prefixed frame.
+// ReadFrame reads one length-prefixed frame. The returned slice comes from
+// the package buffer pool; the caller owns it and may release it with
+// putBuf once every view of it is dead (the client/server loops do, right
+// after pipeline decode copies the message out). Callers that keep the
+// frame simply forgo reuse.
 func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [4]byte
+	return readFrame(r, &hdr)
+}
+
+// readFrame is ReadFrame with caller-owned header scratch; see writeFrame.
+func readFrame(r io.Reader, hdr *[4]byte) ([]byte, error) {
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err // io.EOF passes through for clean shutdown
 	}
@@ -45,8 +62,9 @@ func ReadFrame(r io.Reader) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("rpc: frame length %d exceeds %d", n, maxFrame)
 	}
-	buf := make([]byte, n)
+	buf := getBuf(int(n))[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
+		putBuf(buf)
 		return nil, fmt.Errorf("rpc: read frame body: %w", err)
 	}
 	return buf, nil
@@ -227,12 +245,15 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	if ins != nil {
 		pipeline.Instrument(ins.Metrics)
 	}
+	var hdr [4]byte // frame-header scratch, reused across the connection
 	for {
-		frame, err := ReadFrame(conn)
+		frame, err := readFrame(conn, &hdr)
 		if err != nil {
 			return
 		}
+		frameLen := len(frame)
 		req, err := pipeline.Decode(frame)
+		putBuf(frame) // Decode copied the message out; the frame is dead
 		if err != nil {
 			return
 		}
@@ -245,6 +266,11 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			resp, sp = s.handleOne(ctx, req)
 		}
 		out, err := pipeline.EncodeSpan(resp, sp)
+		if req.Method == BatchMethod {
+			// The batch-envelope payload is pooled by handleBatch and was
+			// copied into the encoded frame (or is dead on error).
+			putBuf(resp.Payload)
+		}
 		if err != nil {
 			sp.End()
 			return
@@ -254,13 +280,15 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		if obs {
 			t0 = time.Now()
 		}
-		werr := WriteFrame(conn, out)
+		outLen := len(out)
+		werr := writeFrame(conn, out, &hdr)
+		putBuf(out) // the frame write flushed; the encode buffer is dead
 		if obs {
 			var h *telemetry.Histogram
 			if ins.Metrics != nil {
 				h = ins.Metrics.FrameWrite
-				ins.Metrics.BytesSent.Add(uint64(len(out)))
-				ins.Metrics.BytesRecv.Add(uint64(len(frame)))
+				ins.Metrics.BytesSent.Add(uint64(outLen))
+				ins.Metrics.BytesRecv.Add(uint64(frameLen))
 			}
 			observeStage(h, sp, "frame-write", t0)
 		}
@@ -332,6 +360,7 @@ type Client struct {
 	conn     net.Conn
 	pipeline *Pipeline
 	ins      *Instrumentation
+	hdr      [4]byte // frame-header scratch, reused across calls
 }
 
 // Instrument attaches telemetry to the client: each Call produces a span
@@ -397,6 +426,13 @@ func (c *Client) CallContext(ctx context.Context, req Message) (Message, error) 
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return Message{}, fmt.Errorf("rpc: call aborted: %w", ctxErr)
 		}
+		// The connection deadline is enforced by the runtime poller, which
+		// can fire marginally before the context's own timer marks ctx
+		// expired; classify by the deadline itself so the caller always
+		// sees DeadlineExceeded for a deadline-bounded call that ran out.
+		if deadline, ok := ctx.Deadline(); ok && !time.Now().Before(deadline) {
+			return Message{}, fmt.Errorf("rpc: call aborted: %w", context.DeadlineExceeded)
+		}
 	}
 	return resp, err
 }
@@ -434,7 +470,9 @@ func (c *Client) call(req Message) (Message, error) {
 	return resp, err
 }
 
-// exchange performs encode → frame-write → net-wait → decode.
+// exchange performs encode → frame-write → net-wait → decode. Pooled
+// buffer ownership: the encode output is released once the frame write
+// flushes, and the response frame once decode has copied the message out.
 func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span, obs bool) (Message, error) {
 	data, err := c.pipeline.EncodeSpan(req, sp)
 	if err != nil {
@@ -445,20 +483,23 @@ func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span,
 	if obs {
 		t0 = time.Now()
 	}
-	if err := WriteFrame(c.conn, data); err != nil {
-		return Message{}, err
+	dataLen := len(data)
+	werr := writeFrame(c.conn, data, &c.hdr)
+	putBuf(data) // the frame write flushed; the encode buffer is dead
+	if werr != nil {
+		return Message{}, werr
 	}
 	if obs {
 		var h *telemetry.Histogram
 		if ins.Metrics != nil {
 			h = ins.Metrics.FrameWrite
-			ins.Metrics.BytesSent.Add(uint64(len(data)))
+			ins.Metrics.BytesSent.Add(uint64(dataLen))
 		}
 		observeStage(h, sp, "frame-write", t0)
 		t0 = time.Now()
 	}
 
-	frame, err := ReadFrame(c.conn)
+	frame, err := readFrame(c.conn, &c.hdr)
 	if err != nil {
 		return Message{}, fmt.Errorf("rpc: read response: %w", err)
 	}
@@ -472,6 +513,7 @@ func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span,
 	}
 
 	resp, err := c.pipeline.DecodeSpan(frame, sp)
+	putBuf(frame) // decode copied the message out; the frame is dead
 	if err != nil {
 		return Message{}, err
 	}

@@ -119,24 +119,31 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 
 	arena := kernels.NewArena()
 	stats := ExerciseStats{Requests: n}
-	scratch := make([]byte, 64<<10)
+	// Payload staging draws from the kernels scratch pool: one buffer per
+	// run in steady state instead of a fresh CompressibleData slice per
+	// request, matching the allocation discipline of the RPC hot path.
+	const maxPayload = 64 << 10
+	staging := kernels.GetScratch(maxPayload)[:maxPayload]
+	defer kernels.PutScratch(staging)
 
 	for i := 0; i < n; i++ {
 		size := sampler.Sample()
 		if size == 0 {
 			size = 1
 		}
-		if size > uint64(len(scratch)) {
-			size = uint64(len(scratch))
+		if size > maxPayload {
+			size = maxPayload
 		}
 
 		// IO pre-processing: allocate a buffer through the size-class
-		// allocator and fill it with a realistic payload.
+		// allocator and fill it with a realistic payload staged in the
+		// pooled buffer.
 		block, err := arena.Alloc(int(size))
 		if err != nil {
 			return ExerciseStats{}, err
 		}
-		payload := kernels.CompressibleData(int(size), seed+uint64(i))
+		payload := staging[:size]
+		kernels.FillCompressible(payload, seed+uint64(i))
 		block = block[:size]
 		stats.BytesCopied += uint64(kernels.Copy(block, payload))
 		stats.PayloadBytes += size
@@ -171,7 +178,7 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 			sp.ChildDone("hash", t0, time.Since(t0))
 		}
 		stats.BytesHashed += uint64(len(decoded.Payload))
-		scratch[0] = sum[0] // keep the hash live
+		staging[0] = sum[0] // keep the hash live; overwritten by the next fill
 		sp.End()
 
 		// IO post-processing: return the buffer.

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# bench_alloc.sh — allocation budget for the RPC hot path, captured as JSON.
+#
+# Runs the pooled hot-path benchmarks (unencrypted CallContext, batched
+# CallBatch, and the kernel micro-benchmarks) and writes BENCH_alloc.json
+# with ns/op, B/op, and allocs/op for each. Fails if the unencrypted Call
+# path exceeds MAX_CALL_ALLOCS allocs/op (default 4) — the zero-allocation
+# regression gate: the only steady-state allocations left on that path are
+# the two payload copies the Message contract requires, so any growth means
+# a pooled buffer or interned string started escaping again. Override the
+# iteration budget with BENCHTIME (default 200x; use e.g. BENCHTIME=2s
+# locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_alloc.json}"
+max_call_allocs="${MAX_CALL_ALLOCS:-4}"
+raw="$(go test -run '^$' \
+    -bench '^(BenchmarkCallDisabled|BenchmarkCallSmallBatched16|BenchmarkKernel(MemoryCopy|MemorySet|Compression|Encryption|Hashing|Allocation))' \
+    -benchmem -benchtime "${BENCHTIME:-200x}" .)"
+echo "$raw"
+
+echo "$raw" | awk -v max="$max_call_allocs" '
+/^Benchmark/ {
+    # Kernel benchmarks SetBytes, so an MB/s column shifts the layout;
+    # locate each value by the unit label to its right.
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (name == "BenchmarkCallDisabled") call_allocs = aop
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, nsop, bop, aop
+}
+BEGIN { print "[" }
+END {
+    if (n < 3) { print "expected >= 3 benchmark lines, parsed " n > "/dev/stderr"; exit 1 }
+    if (call_allocs == "" || call_allocs == "null") {
+        print "missing BenchmarkCallDisabled allocs/op" > "/dev/stderr"; exit 1
+    }
+    printf ",\n  {\"name\": \"call_allocs_budget\", \"allocs_per_op\": %s, \"max_allowed\": %s}\n]\n",
+        call_allocs, max
+    printf "unencrypted Call path: %s allocs/op (budget %s)\n", call_allocs, max > "/dev/stderr"
+    if (call_allocs + 0 > max + 0) {
+        printf "FATAL: Call path allocates %s/op, budget is %s/op\n", call_allocs, max > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"
