@@ -22,9 +22,25 @@
 // per-service plus aggregate results are printed:
 //
 //	accelerometer -fleet -shards 4 -batch 8 -fleet-requests 200 -seed 42
+//
+// With -live it measures instead of simulating: the named services burn
+// real CPU work shaped by their calibrated Table 3 weights while a labeled
+// CPU profile is collected in-process, and the measured functionality and
+// leaf breakdowns are compared against the calibrated fleetdata weights
+// (drift report on stdout; -drift-json for machine-readable output,
+// -profile-out to keep the raw pprof profile):
+//
+//	accelerometer -live -live-services Cache1,Cache2 -drift-json drift.json
+//
+// Any mode accepts -debug-addr to expose the observability endpoint
+// (/metrics, /healthz, /debug/pprof/*, and a plain-text dashboard at /)
+// for the duration of the run:
+//
+//	accelerometer -fleet -fleet-requests 100000 -debug-addr localhost:6060
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,7 +51,12 @@ import (
 
 	"repro/internal/config"
 	"repro/internal/core"
+	"repro/internal/debugserver"
 	"repro/internal/fleet"
+	"repro/internal/fleetdata"
+	"repro/internal/liveprof"
+	"repro/internal/pprofx"
+	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/textchart"
@@ -60,9 +81,43 @@ func main() {
 	workers := flag.Int("workers", 0, "max goroutines running fleet shards; 0 = min(GOMAXPROCS, shards), 1 = sequential (with -fleet)")
 	fleetRequests := flag.Int("fleet-requests", 200, "requests per service (with -fleet)")
 	seed := flag.Uint64("seed", 42, "base workload seed (with -fleet)")
+	debugAddr := flag.String("debug-addr", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address for the run")
+	liveMode := flag.Bool("live", false, "measure live CPU attribution of real burner execution instead of simulating")
+	liveServices := flag.String("live-services", "", "comma-separated services to measure (with -live; default: all)")
+	liveDuration := flag.Duration("live-duration", 1500*time.Millisecond, "wall-time burn budget per service (with -live)")
+	liveHz := flag.Int("live-hz", 500, "CPU profile sampling rate in Hz (with -live; 0 = runtime default)")
+	driftJSON := flag.String("drift-json", "", "write the measured-vs-calibrated drift report as JSON to this file (\"-\" for stdout; with -live)")
+	profileOut := flag.String("profile-out", "", "write the raw collected CPU profile to this file (with -live)")
 	flag.Parse()
+
+	// The debug endpoint is opt-in and mode-independent: it serves the
+	// run's registry when one exists and shuts down gracefully when the
+	// chosen mode returns.
+	var dbgReg *telemetry.Registry
+	if *debugAddr != "" {
+		dbgReg = telemetry.NewRegistry()
+		dbg, err := debugserver.Start(debugserver.Config{Addr: *debugAddr, Registry: dbgReg})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "accelerometer: debug endpoint on %s\n", dbg.URL())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := dbg.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "accelerometer: debug shutdown:", err)
+			}
+		}()
+	}
+
+	if *liveMode {
+		if err := runLive(*liveServices, *liveDuration, *liveHz, *seed, *driftJSON, *profileOut); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *fleetMode {
-		if err := runFleet(*shards, *workers, *batch, *fleetRequests, *seed, *metricsOut); err != nil {
+		if err := runFleet(*shards, *workers, *batch, *fleetRequests, *seed, *metricsOut, dbgReg); err != nil {
 			fatal(err)
 		}
 		return
@@ -78,8 +133,11 @@ func main() {
 	var tracer *telemetry.Tracer
 	var evalTime *telemetry.Histogram
 	var evals *telemetry.Counter
-	if *metricsOut != "" || *traceOut != "" {
-		reg = telemetry.NewRegistry()
+	if *metricsOut != "" || *traceOut != "" || dbgReg != nil {
+		reg = dbgReg
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
 		tracer = telemetry.NewTracer("accelerometer")
 		var terr error
 		if evalTime, terr = reg.Histogram("accelerometer_eval_seconds", "wall time per design evaluation"); terr != nil {
@@ -185,10 +243,76 @@ func main() {
 	}
 }
 
+// runLive measures live CPU attribution: the selected services burn real
+// CPU work shaped by their calibrated Table 3 weights under an in-process
+// labeled CPU profile, and the measured breakdowns are compared against
+// the calibrated fleetdata weights.
+func runLive(svcList string, duration time.Duration, hz int, seed uint64, driftJSON, profileOut string) error {
+	var names []fleetdata.Service
+	if strings.TrimSpace(svcList) == "" {
+		names = fleetdata.Services
+	} else {
+		for _, raw := range strings.Split(svcList, ",") {
+			names = append(names, fleetdata.Service(strings.TrimSpace(raw)))
+		}
+	}
+	svcs := make([]*services.Service, 0, len(names))
+	for _, n := range names {
+		svc, err := services.New(n)
+		if err != nil {
+			return err
+		}
+		svcs = append(svcs, svc)
+	}
+
+	fmt.Printf("Live CPU attribution: %d services, %s burn each, %d Hz sampling\n\n",
+		len(svcs), duration, hz)
+	raw, err := liveprof.CollectBytes(hz, func() {
+		for _, svc := range svcs {
+			_, err := svc.Burn(context.Background(), services.BurnConfig{Duration: duration, Seed: seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "accelerometer: burn %s: %v\n", svc.Name, err)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if profileOut != "" {
+		if err := os.WriteFile(profileOut, raw, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "accelerometer: wrote raw CPU profile to %s (%d bytes)\n", profileOut, len(raw))
+	}
+	p, err := pprofx.Parse(raw)
+	if err != nil {
+		return err
+	}
+	attr, err := liveprof.Attribute(p)
+	if err != nil {
+		return err
+	}
+	report, err := liveprof.BuildReport(attr)
+	if err != nil {
+		return err
+	}
+	if err := report.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if driftJSON != "" {
+		if err := report.WriteJSONFile(driftJSON); err != nil {
+			return err
+		}
+		if driftJSON != "-" {
+			fmt.Fprintf(os.Stderr, "accelerometer: wrote drift report to %s\n", driftJSON)
+		}
+	}
+	return nil
+}
+
 // runFleet drives the sharded synthetic-fleet simulation.
-func runFleet(shards, workers int, batch float64, requests int, seed uint64, metricsOut string) error {
-	var reg *telemetry.Registry
-	if metricsOut != "" {
+func runFleet(shards, workers int, batch float64, requests int, seed uint64, metricsOut string, reg *telemetry.Registry) error {
+	if reg == nil && metricsOut != "" {
 		reg = telemetry.NewRegistry()
 	}
 	cfg := fleet.Config{

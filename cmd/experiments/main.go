@@ -8,11 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
+	"repro/internal/debugserver"
 	"repro/internal/experiments"
 	"repro/internal/telemetry"
 )
@@ -22,7 +24,25 @@ func main() {
 	run := flag.String("run", "", "experiment id to run (or \"all\")")
 	metricsOut := flag.String("metrics-out", "", "write Prometheus text metrics to this file (\"-\" for stdout)")
 	traceOut := flag.String("trace-out", "", "write a Chrome trace-event JSON file (\"-\" for stdout; load in Perfetto)")
+	debugAddr := flag.String("debug-addr", "", "serve the observability endpoint (/metrics, /healthz, /debug/pprof/) on this address for the run")
 	flag.Parse()
+
+	var dbgReg *telemetry.Registry
+	if *debugAddr != "" {
+		dbgReg = telemetry.NewRegistry()
+		dbg, err := debugserver.Start(debugserver.Config{Addr: *debugAddr, Registry: dbgReg})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "experiments: debug endpoint on %s\n", dbg.URL())
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := dbg.Shutdown(ctx); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: debug shutdown:", err)
+			}
+		}()
+	}
 
 	// With either export flag set, each experiment's run is wrapped in a
 	// span and timed into a runtime histogram; the artifact output itself
@@ -32,8 +52,11 @@ func main() {
 	var reg *telemetry.Registry
 	var tracer *telemetry.Tracer
 	var runtimeHist *telemetry.Histogram
-	if *metricsOut != "" || *traceOut != "" {
-		reg = telemetry.NewRegistry()
+	if *metricsOut != "" || *traceOut != "" || dbgReg != nil {
+		reg = dbgReg
+		if reg == nil {
+			reg = telemetry.NewRegistry()
+		}
 		tracer = telemetry.NewTracer("experiments")
 		var terr error
 		if runtimeHist, terr = reg.Histogram("experiment_runtime_seconds", "wall time per experiment artifact"); terr != nil {

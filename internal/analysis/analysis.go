@@ -6,8 +6,9 @@
 // through epsilon helpers so model projections are stable, parameter
 // structs must be validated before they reach the model, randomness must
 // flow through the seeded generator in internal/dist so characterization
-// runs are reproducible, and the concurrent rpc/sim layers must follow
-// strict lock discipline. Each invariant is encoded as an Analyzer; the
+// runs are reproducible, the concurrent rpc/sim layers must follow
+// strict lock discipline, and code that accepts a context.Context must
+// actually honor cancellation. Each invariant is encoded as an Analyzer; the
 // cmd/modelcheck runner loads every package in the module, type-checks it,
 // and reports findings with file:line positions.
 //
@@ -99,6 +100,7 @@ func All() []*Analyzer {
 		SeedHygiene,
 		LockCheck,
 		Shadow,
+		CtxCheck,
 	}
 }
 

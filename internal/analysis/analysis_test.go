@@ -8,8 +8,8 @@ import (
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 6", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 7", len(all), err)
 	}
 	subset, err := ByName("floatcmp, lockcheck")
 	if err != nil || len(subset) != 2 || subset[0].Name != "floatcmp" || subset[1].Name != "lockcheck" {
@@ -76,8 +76,8 @@ func f(a, b float64) bool { return a == b }
 
 func TestLoadModulePatterns(t *testing.T) {
 	files := map[string]string{
-		"internal/a/a.go": "package a\n\nfunc A() int { return 1 }\n",
-		"internal/b/b.go": "package b\n\nimport \"fixturemod/internal/a\"\n\nfunc B() int { return a.A() }\n",
+		"internal/a/a.go":  "package a\n\nfunc A() int { return 1 }\n",
+		"internal/b/b.go":  "package b\n\nimport \"fixturemod/internal/a\"\n\nfunc B() int { return a.A() }\n",
 		"cmd/tool/main.go": "package main\n\nimport \"fixturemod/internal/b\"\n\nfunc main() { _ = b.B() }\n",
 	}
 	pkgs := loadTempModule(t, files)

@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxCheck flags functions and function literals that accept a named
+// context.Context parameter but neither consult it (ctx.Done, ctx.Err,
+// ctx.Deadline, ctx.Value) nor forward it (as a call argument, return
+// value, assignment source, composite-literal element, or channel send).
+// Such a signature promises cancellation support that the body does not
+// deliver: callers racing a deadline believe the work will stop, and in
+// the rpc/fleet layers that silent promise turns a cancelled request into
+// a full-length one. A parameter that is deliberately unused should be
+// named _ — that reads as an explicit opt-out and is not reported. Uses
+// that neither consult nor forward (e.g. a nil comparison alone) do not
+// count as honoring the context.
+var CtxCheck = &Analyzer{
+	Name: "ctxcheck",
+	Doc:  "flags functions accepting a context.Context that neither consult nor forward it",
+	Run:  runCtxCheck,
+}
+
+func runCtxCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.FuncDecl:
+				checkCtxParams(pass, node.Type, node.Body, "function "+node.Name.Name)
+			case *ast.FuncLit:
+				checkCtxParams(pass, node.Type, node.Body, "function literal")
+			}
+			return true
+		})
+	}
+}
+
+// checkCtxParams reports each named context.Context parameter that the
+// body neither consults nor forwards.
+func checkCtxParams(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt, label string) {
+	if body == nil || ftype.Params == nil {
+		return
+	}
+	for _, field := range ftype.Params.List {
+		if !isContextType(pass.Info.TypeOf(field.Type)) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj, ok := pass.Info.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			if !ctxHonored(pass, body, obj) {
+				pass.Reportf(name, SeverityError,
+					"%s accepts context.Context %q but neither consults ctx.Done/ctx.Err nor forwards it; honor cancellation, forward the context, or rename the parameter to _",
+					label, name.Name)
+			}
+		}
+	}
+}
+
+// ctxHonored reports whether the body consults the context parameter
+// (selecting any of its methods) or forwards it onward.
+func ctxHonored(pass *Pass, body *ast.BlockStmt, obj *types.Var) bool {
+	honored := false
+	isParam := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && pass.Info.Uses[id] == obj
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if honored {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SelectorExpr:
+			// context.Context's only methods are Done, Err, Deadline, and
+			// Value — any selection on the parameter is a consultation
+			// (method values included).
+			if isParam(node.X) {
+				honored = true
+			}
+		case *ast.CallExpr:
+			for _, arg := range node.Args {
+				if isParam(arg) {
+					honored = true
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range node.Results {
+				if isParam(res) {
+					honored = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, rhs := range node.Rhs {
+				if isParam(rhs) {
+					honored = true
+				}
+			}
+		case *ast.ValueSpec:
+			for _, v := range node.Values {
+				if isParam(v) {
+					honored = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if isParam(elt) {
+					honored = true
+				}
+			}
+		case *ast.SendStmt:
+			if isParam(node.Value) {
+				honored = true
+			}
+		}
+		return !honored
+	})
+	return honored
+}
+
+// isContextType reports whether t is exactly context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

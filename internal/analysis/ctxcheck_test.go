@@ -1,0 +1,134 @@
+package analysis
+
+import "testing"
+
+func TestCtxCheckFlagsIgnoredContext(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func ignored(ctx context.Context, n int) int { // line 5: ctx never touched
+	return n * 2
+}
+
+func nilCompareOnly(ctx context.Context) bool { // line 9: comparison is not honoring
+	return ctx == nil
+}
+`
+	fs := runOnSource(t, CtxCheck, "fix.go", src)
+	sameLines(t, fs, 5, 9)
+}
+
+func TestCtxCheckAcceptsHonoredContext(t *testing.T) {
+	src := `package fix
+
+import (
+	"context"
+	"time"
+)
+
+func polls(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+func errOnly(ctx context.Context) error {
+	return ctx.Err()
+}
+
+func forwards(ctx context.Context) error {
+	return polls(ctx)
+}
+
+func derives(ctx context.Context) {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = c.Err()
+}
+
+func stores(ctx context.Context) {
+	type holder struct{ c context.Context }
+	h := holder{c: ctx}
+	_ = h
+}
+
+func assigns(ctx context.Context) {
+	saved := ctx
+	_ = saved.Err()
+}
+
+func returned(ctx context.Context) context.Context {
+	return ctx
+}
+
+func methodValue(ctx context.Context) func() <-chan struct{} {
+	return ctx.Done
+}
+
+func sends(ctx context.Context, ch chan context.Context) {
+	ch <- ctx
+}
+`
+	fs := runOnSource(t, CtxCheck, "fix.go", src)
+	sameLines(t, fs)
+}
+
+func TestCtxCheckSkipsDiscardsAndBodilessFuncs(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+// Unnamed and blank parameters are explicit opt-outs.
+func discardUnnamed(context.Context, int) {}
+
+func discardBlank(_ context.Context) {}
+
+// Interface methods and function types have no body to check.
+type Runner interface {
+	Run(ctx context.Context) error
+}
+
+type handler func(ctx context.Context) error
+
+func extern(ctx context.Context) int
+`
+	fs := runOnSource(t, CtxCheck, "fix.go", src)
+	sameLines(t, fs)
+}
+
+func TestCtxCheckFuncLiterals(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+func run(f func(context.Context)) { f(context.Background()) }
+
+func launch(ctx context.Context) {
+	// The literal's own ctx shadows the outer one and is unused: flagged.
+	run(func(ctx context.Context) {}) // line 9
+	// Forwarding the outer ctx into the literal still honors the outer
+	// parameter; the literal itself discards explicitly.
+	run(func(_ context.Context) { _ = ctx.Err() })
+}
+`
+	fs := runOnSource(t, CtxCheck, "fix.go", src)
+	sameLines(t, fs, 9)
+}
+
+func TestCtxCheckIgnoreDirective(t *testing.T) {
+	src := `package fix
+
+import "context"
+
+//modelcheck:ignore ctxcheck — interface conformance; body is a stub
+func stub(ctx context.Context) error {
+	return nil
+}
+`
+	fs := runOnSource(t, CtxCheck, "fix.go", src)
+	sameLines(t, fs)
+}

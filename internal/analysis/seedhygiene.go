@@ -24,10 +24,10 @@ var SeedHygiene = &Analyzer{
 // seedExemptFuncs are math/rand package-level names that do not touch the
 // global source.
 var seedExemptFuncs = map[string]bool{
-	"New":       true,
-	"NewSource": true,
-	"NewZipf":   true,
-	"NewPCG":    true, // math/rand/v2
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
 	"NewChaCha8": true, // math/rand/v2
 }
 

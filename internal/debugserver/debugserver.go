@@ -1,0 +1,241 @@
+// Package debugserver is the repository's opt-in observability endpoint:
+// a private HTTP server exposing the telemetry registry in Prometheus text
+// form (/metrics), the standard Go profiling handlers (/debug/pprof/*) with
+// CPU-attribution labels enabled for the duration of a CPU profile, a
+// liveness probe (/healthz), and a plain-text live dashboard (/). The fleet
+// binaries wire it behind a -debug-addr flag, off by default — the paper's
+// always-on observability (Strobelight scraping production hosts, §2.2)
+// mapped onto Go's native equivalents.
+//
+// The server owns nothing it serves: it reads a telemetry.Registry
+// maintained by the workload and reports process-level runtime stats, so
+// starting it perturbs the measured system only when something scrapes it.
+package debugserver
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/proflabel"
+	"repro/internal/telemetry"
+)
+
+// Config configures a debug server.
+type Config struct {
+	// Addr is the listen address (e.g. "localhost:6060"; ":0" picks a free
+	// port, reported by Server.Addr).
+	Addr string
+	// Registry backs /metrics and the dashboard's metric listing. Optional:
+	// with no registry, /metrics serves an empty exposition.
+	Registry *telemetry.Registry
+	// Healthy backs /healthz. Optional: with no callback the probe always
+	// reports healthy while the server runs.
+	Healthy func() bool
+	// Dashboard, when set, appends workload-specific lines to the
+	// plain-text dashboard at /.
+	Dashboard func(w io.Writer)
+}
+
+// Server is a running debug endpoint.
+type Server struct {
+	cfg      Config
+	ln       net.Listener
+	srv      *http.Server
+	baseCtx  context.Context
+	cancel   context.CancelFunc
+	start    time.Time
+	served   atomic.Uint64 // requests served, shown on the dashboard
+	shutdown atomic.Bool
+	done     chan error // Serve's exit status
+}
+
+// Start listens on cfg.Addr and serves the debug mux in a background
+// goroutine until Shutdown.
+func Start(cfg Config) (*Server, error) {
+	if cfg.Addr == "" {
+		return nil, fmt.Errorf("debugserver: empty listen address")
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("debugserver: listen %s: %w", cfg.Addr, err)
+	}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		ln:      ln,
+		baseCtx: baseCtx,
+		cancel:  cancel,
+		start:   time.Now(),
+		done:    make(chan error, 1),
+	}
+	s.srv = &http.Server{
+		Handler: s.mux(),
+		// Request contexts derive from baseCtx so Shutdown can release
+		// in-flight handlers (a blocked scrape must not wedge shutdown).
+		BaseContext:       func(net.Listener) context.Context { return baseCtx },
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	go func() {
+		err := s.srv.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		s.done <- err
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (resolves ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// URL returns "http://<addr>".
+func (s *Server) URL() string { return "http://" + s.Addr() }
+
+// Shutdown stops the server: it signals every in-flight request through
+// its context, closes the listener, and waits (bounded by ctx) for
+// handlers and the serve loop to finish.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if !s.shutdown.CompareAndSwap(false, true) {
+		return nil
+	}
+	// Release handlers first: dashboards and scrapes are fast, but a
+	// streaming CPU profile (/debug/pprof/profile?seconds=30) blocks its
+	// handler and would hold graceful shutdown for the full window.
+	s.cancel()
+	err := s.srv.Shutdown(ctx)
+	select {
+	case serveErr := <-s.done:
+		if err == nil {
+			err = serveErr
+		}
+	case <-ctx.Done():
+		if err == nil {
+			err = ctx.Err()
+		}
+	}
+	return err
+}
+
+// counted wraps a handler to tally served requests for the dashboard.
+func (s *Server) counted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		s.served.Add(1)
+		h(w, r)
+	}
+}
+
+func (s *Server) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.counted(s.handleHealthz))
+	mux.HandleFunc("/metrics", s.counted(s.handleMetrics))
+	mux.HandleFunc("/", s.counted(s.handleDashboard))
+	// The standard pprof handlers on the private mux (net/http/pprof's
+	// init only touches http.DefaultServeMux, which this server never
+	// serves). The CPU profile handler additionally enables attribution
+	// labels for its collection window so scraped profiles carry
+	// service/functionality/kernel labels.
+	mux.HandleFunc("/debug/pprof/", s.counted(pprof.Index))
+	mux.HandleFunc("/debug/pprof/cmdline", s.counted(pprof.Cmdline))
+	mux.HandleFunc("/debug/pprof/profile", s.counted(s.labeledCPUProfile))
+	mux.HandleFunc("/debug/pprof/symbol", s.counted(pprof.Symbol))
+	mux.HandleFunc("/debug/pprof/trace", s.counted(pprof.Trace))
+	return mux
+}
+
+func (s *Server) labeledCPUProfile(w http.ResponseWriter, r *http.Request) {
+	// Overlapping scrapes are fine: labels stay on until the last window
+	// ends only if toggled per-request naively; keep it simple — enable
+	// for the window, restore the prior state after.
+	wasEnabled := proflabel.Enabled()
+	proflabel.Enable()
+	defer func() {
+		if !wasEnabled {
+			proflabel.Disable()
+		}
+	}()
+	pprof.Profile(w, r)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.cfg.Healthy != nil && !s.cfg.Healthy() {
+		http.Error(w, "unhealthy", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n") //modelcheck:ignore errdrop — a failed probe write means the prober is gone
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if s.cfg.Registry == nil {
+		return
+	}
+	if err := s.cfg.Registry.WritePrometheus(w); err != nil {
+		// Headers are gone; all we can do is abort the body.
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+
+	// The page is assembled in memory (infallible writes) and flushed in
+	// one shot: a dashboard reader that disconnects mid-render is not an
+	// error worth plumbing.
+	var out strings.Builder
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	fmt.Fprintf(&out, "accelerometer debug endpoint\n")
+	fmt.Fprintf(&out, "uptime       %s\n", time.Since(s.start).Round(time.Second))
+	fmt.Fprintf(&out, "goroutines   %d\n", runtime.NumGoroutine())
+	fmt.Fprintf(&out, "heap         %.1f MiB in use, %d GC cycles\n",
+		float64(ms.HeapInuse)/(1<<20), ms.NumGC)
+	fmt.Fprintf(&out, "labels       enabled=%v\n", proflabel.Enabled())
+	fmt.Fprintf(&out, "requests     %d served by this endpoint\n", s.served.Load())
+	fmt.Fprintf(&out, "\nendpoints: /metrics /healthz /debug/pprof/\n")
+
+	if s.cfg.Registry != nil {
+		var sb strings.Builder
+		if err := s.cfg.Registry.WritePrometheus(&sb); err == nil {
+			names := metricNames(sb.String())
+			fmt.Fprintf(&out, "\nmetrics (%d): %s\n", len(names), strings.Join(names, " "))
+		}
+	}
+	if s.cfg.Dashboard != nil {
+		fmt.Fprintln(&out)
+		s.cfg.Dashboard(&out)
+	}
+	io.WriteString(w, out.String()) //modelcheck:ignore errdrop — client disconnects are not actionable here
+}
+
+// metricNames extracts the distinct metric names from a Prometheus text
+// exposition (the TYPE headers).
+func metricNames(exposition string) []string {
+	seen := map[string]bool{}
+	var names []string
+	for _, line := range strings.Split(exposition, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 3 && !seen[fields[2]] {
+			seen[fields[2]] = true
+			names = append(names, fields[2])
+		}
+	}
+	sort.Strings(names)
+	return names
+}

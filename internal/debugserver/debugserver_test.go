@@ -1,0 +1,289 @@
+package debugserver_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/debugserver"
+	"repro/internal/fleetdata"
+	"repro/internal/pprofx"
+	"repro/internal/proflabel"
+	"repro/internal/services"
+	"repro/internal/telemetry"
+)
+
+// client returns an HTTP client whose idle connections the test closes
+// before goroutine accounting.
+func client(t *testing.T) *http.Client {
+	t.Helper()
+	tr := &http.Transport{}
+	t.Cleanup(tr.CloseIdleConnections)
+	return &http.Client{Transport: tr, Timeout: 30 * time.Second}
+}
+
+func get(t *testing.T, c *http.Client, url string) (int, string) {
+	t.Helper()
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func startServer(t *testing.T, cfg debugserver.Config) *debugserver.Server {
+	t.Helper()
+	if cfg.Addr == "" {
+		cfg.Addr = "127.0.0.1:0"
+	}
+	s, err := debugserver.Start(cfg)
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Shutdown(ctx); err != nil {
+			t.Errorf("Shutdown: %v", err)
+		}
+	})
+	return s
+}
+
+// TestMetricsMatchFileExport is the endpoint's proof of equivalence: while
+// a service is serving real requests, /healthz answers 200, and once the
+// workload settles, /metrics serves byte-for-byte what the -metrics-out
+// file export writes from the same registry.
+func TestMetricsMatchFileExport(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	s := startServer(t, debugserver.Config{Registry: reg})
+	c := client(t)
+
+	svc, err := services.New(fleetdata.Cache1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serving := make(chan error, 1)
+	go func() {
+		_, err := svc.ExerciseInstrumented(400, 7, reg, nil)
+		serving <- err
+	}()
+
+	// Liveness while the fleet is doing real work.
+	code, body := get(t, c, s.URL()+"/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz during serving = %d %q, want 200 ok", code, body)
+	}
+	if err := <-serving; err != nil {
+		t.Fatalf("Exercise: %v", err)
+	}
+
+	// Registry is now quiescent: scrape and file export must agree.
+	code, scraped := get(t, c, s.URL()+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics = %d", code)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := telemetry.WriteMetricsFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	fileOut, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scraped != string(fileOut) {
+		t.Errorf("/metrics and WriteMetricsFile diverge:\nscrape %d bytes, file %d bytes", len(scraped), len(fileOut))
+	}
+	if !strings.Contains(scraped, "svc_cache1") {
+		t.Errorf("/metrics missing service stage metrics:\n%.400s", scraped)
+	}
+}
+
+func TestHealthzUnhealthy(t *testing.T) {
+	s := startServer(t, debugserver.Config{Healthy: func() bool { return false }})
+	code, _ := get(t, client(t), s.URL()+"/healthz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz = %d, want 503", code)
+	}
+}
+
+func TestDashboard(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	ctr, err := reg.Counter("demo_total", "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Inc()
+	s := startServer(t, debugserver.Config{
+		Registry:  reg,
+		Dashboard: func(w io.Writer) { fmt.Fprintln(w, "fleet: 8 services") },
+	})
+	code, body := get(t, client(t), s.URL()+"/")
+	if code != http.StatusOK {
+		t.Fatalf("/ = %d", code)
+	}
+	for _, want := range []string{"uptime", "goroutines", "demo_total", "fleet: 8 services", "/debug/pprof/"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+	if code, _ := get(t, client(t), s.URL()+"/nope"); code != http.StatusNotFound {
+		t.Errorf("unknown path = %d, want 404", code)
+	}
+}
+
+// TestCPUProfileEndpointLabeled scrapes a real 1-second CPU profile while
+// a service burns labeled work, and checks the profile parses with pprofx
+// and carries attribution labels — the full live pipeline over HTTP.
+func TestCPUProfileEndpointLabeled(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1s profile scrape in -short mode")
+	}
+	s := startServer(t, debugserver.Config{})
+	c := client(t)
+
+	svc, err := services.New(fleetdata.Cache2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	burning := make(chan error, 1)
+	go func() {
+		_, err := svc.Burn(ctx, services.BurnConfig{Duration: 10 * time.Second})
+		burning <- err
+	}()
+
+	code, body := get(t, c, s.URL()+"/debug/pprof/profile?seconds=1")
+	cancel()
+	if err := <-burning; err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	if code != http.StatusOK {
+		t.Fatalf("/debug/pprof/profile = %d: %.200s", code, body)
+	}
+	if proflabel.Enabled() {
+		t.Error("labels still enabled after profile scrape ended")
+	}
+
+	p, err := pprofx.Parse([]byte(body))
+	if err != nil {
+		t.Fatalf("scraped profile does not parse: %v", err)
+	}
+	var labeled bool
+	for _, smp := range p.Samples {
+		if smp.Labels[proflabel.KeyService] == string(fleetdata.Cache2) {
+			labeled = true
+			break
+		}
+	}
+	if !labeled {
+		t.Error("scraped CPU profile carries no service labels")
+	}
+}
+
+// TestShutdownUnblocksInFlightAndLeaksNoGoroutines is the leak regression
+// test: across repeated start/serve/shutdown cycles — including one with a
+// long CPU-profile scrape still in flight — the process goroutine count
+// returns to its baseline, and shutdown never waits out the scrape window.
+func TestShutdownUnblocksInFlightAndLeaksNoGoroutines(t *testing.T) {
+	tr := &http.Transport{}
+	c := &http.Client{Transport: tr, Timeout: 2 * time.Minute}
+
+	// settle polls until the goroutine count drops to target (or the
+	// deadline passes) so transient teardown goroutines don't flake the
+	// delta check.
+	settle := func(target int) int {
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			tr.CloseIdleConnections()
+			n := runtime.NumGoroutine()
+			if n <= target || time.Now().After(deadline) {
+				return n
+			}
+			time.Sleep(50 * time.Millisecond)
+		}
+	}
+	tr.CloseIdleConnections()
+	baseline := runtime.NumGoroutine()
+
+	for round := 0; round < 3; round++ {
+		s, err := debugserver.Start(debugserver.Config{Addr: "127.0.0.1:0"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if code, _ := get(t, c, s.URL()+"/healthz"); code != http.StatusOK {
+			t.Fatalf("round %d: healthz = %d", round, code)
+		}
+
+		// Leave a 60-second profile scrape in flight; shutdown must cancel
+		// it through the request context rather than wait for it.
+		scrapeDone := make(chan struct{})
+		go func() {
+			resp, err := c.Get(s.URL() + "/debug/pprof/profile?seconds=60")
+			if err == nil {
+				io.Copy(io.Discard, resp.Body) //modelcheck:ignore errdrop — draining a cancelled scrape
+				resp.Body.Close()
+			}
+			close(scrapeDone)
+		}()
+		time.Sleep(150 * time.Millisecond) // let the scrape reach its sampling window
+
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		t0 := time.Now()
+		err = s.Shutdown(ctx)
+		elapsed := time.Since(t0)
+		cancel()
+		if err != nil {
+			t.Fatalf("round %d: Shutdown: %v", round, err)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("round %d: shutdown took %v; in-flight scrape was not unblocked", round, elapsed)
+		}
+		select {
+		case <-scrapeDone:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: in-flight scrape still blocked after shutdown", round)
+		}
+	}
+
+	final := settle(baseline)
+	if final > baseline {
+		t.Errorf("goroutine leak: baseline %d, after 3 cycles %d", baseline, final)
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	if _, err := debugserver.Start(debugserver.Config{}); err == nil {
+		t.Error("empty addr should fail")
+	}
+	if _, err := debugserver.Start(debugserver.Config{Addr: "127.0.0.1:999999"}); err == nil {
+		t.Error("invalid port should fail")
+	}
+}
+
+func TestShutdownIdempotent(t *testing.T) {
+	s, err := debugserver.Start(debugserver.Config{Addr: "127.0.0.1:0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("second Shutdown: %v", err)
+	}
+}

@@ -20,6 +20,7 @@
 package fleet
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/dist"
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
+	"repro/internal/proflabel"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -186,10 +188,11 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	type job struct {
-		index int
-		svc   *services.Service
-		kind  kernels.Kind
-		cdf   *dist.CDF
+		index  int
+		svc    *services.Service
+		kind   kernels.Kind
+		cdf    *dist.CDF
+		labels proflabel.Set // {service, kernel} CPU-attribution labels
 	}
 	jobs := make([]job, 0, len(FleetServices))
 	for i, name := range FleetServices {
@@ -201,7 +204,10 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, err
 		}
-		jobs = append(jobs, job{index: i, svc: svc, kind: kind, cdf: cdf})
+		jobs = append(jobs, job{index: i, svc: svc, kind: kind, cdf: cdf,
+			labels: proflabel.Labels(
+				proflabel.KeyService, string(name),
+				proflabel.KeyKernel, kind.String())})
 	}
 
 	// Amortize the fixed per-offload costs over the batch factor. Copy
@@ -225,40 +231,48 @@ func Run(cfg Config) (*Result, error) {
 	// runShard simulates every service assigned to one shard. Each shard
 	// writes only its own errs slot and its own Services indices (service
 	// index mod Shards == shard), so concurrent shards never share a slot.
+	// Each service's simulation runs under its {service, kernel} CPU
+	// labels, so a profile of a fleet run attributes worker cycles to the
+	// service being simulated.
 	runShard := func(shard int) {
 		for _, j := range jobs {
 			if j.index%cfg.Shards != shard {
 				continue
 			}
-			cb, ok := kindCb[j.kind]
-			if !ok {
-				errs[shard] = fmt.Errorf("fleet: no per-byte cost for kind %v", j.kind)
+			proflabel.Do(context.Background(), j.labels, func(context.Context) {
+				cb, ok := kindCb[j.kind]
+				if !ok {
+					errs[shard] = fmt.Errorf("fleet: no per-byte cost for kind %v", j.kind)
+					return
+				}
+				wl, err := sim.NewSampledWorkload(cfg.NonKernelCycles, cfg.KernelsPerReq,
+					core.LinearKernel(cb), j.cdf, cfg.RequestsPerService, seedFor(cfg.Seed, j.index))
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				s, err := sim.New(sim.Config{
+					Cores:    cfg.Cores,
+					Threads:  cfg.Threads,
+					HostHz:   cfg.HostHz,
+					Requests: cfg.RequestsPerService,
+					Accel:    accel,
+				}, wl)
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				res, err := s.Run()
+				if err != nil {
+					errs[shard] = err
+					return
+				}
+				out.Services[j.index] = ServiceResult{
+					Service: j.svc.Name, Kind: j.kind, Shard: shard, Result: res,
+				}
+			})
+			if errs[shard] != nil {
 				return
-			}
-			wl, err := sim.NewSampledWorkload(cfg.NonKernelCycles, cfg.KernelsPerReq,
-				core.LinearKernel(cb), j.cdf, cfg.RequestsPerService, seedFor(cfg.Seed, j.index))
-			if err != nil {
-				errs[shard] = err
-				return
-			}
-			s, err := sim.New(sim.Config{
-				Cores:    cfg.Cores,
-				Threads:  cfg.Threads,
-				HostHz:   cfg.HostHz,
-				Requests: cfg.RequestsPerService,
-				Accel:    accel,
-			}, wl)
-			if err != nil {
-				errs[shard] = err
-				return
-			}
-			res, err := s.Run()
-			if err != nil {
-				errs[shard] = err
-				return
-			}
-			out.Services[j.index] = ServiceResult{
-				Service: j.svc.Name, Kind: j.kind, Shard: shard, Result: res,
 			}
 		}
 	}

@@ -1,0 +1,38 @@
+package kernels
+
+import (
+	"context"
+
+	"repro/internal/proflabel"
+)
+
+// CPU-attribution labels for the kernel entry points. Each offloadable
+// kernel family has one precomputed {kernel: <kind>} label set, built at
+// package init so labeling a kernel invocation costs nothing beyond the
+// proflabel gate check. The rpc pipeline stages and services.Exercise wrap
+// their kernel calls in these regions (merged with the caller's service
+// and functionality labels), so a CPU profile collected while
+// proflabel.Enable is in effect attributes every sampled kernel cycle to
+// its family — the live counterpart of the Table 2 leaf attribution.
+
+// kindLabels indexes precomputed label sets by Kind. Built eagerly for the
+// kinds the hot paths label; unknown kinds get an empty set (no labels).
+var kindLabels = func() map[Kind]proflabel.Set {
+	m := make(map[Kind]proflabel.Set, len(kindNames))
+	for k, name := range kindNames {
+		m[k] = proflabel.Labels(proflabel.KeyKernel, name)
+	}
+	return m
+}()
+
+// KindLabels returns the precomputed {kernel: <kind>} label set for k. The
+// zero Set (labels nothing) is returned for unnamed kinds.
+func KindLabels(k Kind) proflabel.Set {
+	return kindLabels[k]
+}
+
+// Labeled runs f under k's kernel label (merged with any labels already on
+// ctx) when profiling labels are enabled; disabled, it is a direct call.
+func Labeled(ctx context.Context, k Kind, f func()) {
+	proflabel.Do(ctx, kindLabels[k], func(context.Context) { f() })
+}

@@ -1,0 +1,348 @@
+// Package liveprof closes the loop between the repository's calibrated
+// model and real execution: it collects a CPU profile of the running fleet
+// with pprof labels enabled, parses it with internal/pprofx, and attributes
+// the sampled cycles to the paper's Table 2 leaf categories and Table 3
+// functionality categories using the same profiler rules the synthetic
+// pipeline uses. The result is a *measured* per-service breakdown,
+// comparable number-for-number against the calibrated fleetdata weights —
+// the reproduction's stand-in for pointing Strobelight (§2.2) at
+// production hosts and checking the model against it.
+package liveprof
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+
+	"repro/internal/fleetdata"
+	"repro/internal/pprofx"
+	"repro/internal/profiler"
+	"repro/internal/proflabel"
+	"repro/internal/textchart"
+	"repro/internal/trace"
+)
+
+// Collect runs f under CPU profiling with attribution labels enabled and
+// returns the parsed profile. hz > 0 requests a non-default sampling rate
+// (the runtime's default is 100 Hz; short collection windows want more —
+// the rate must be set before profiling starts, which makes the runtime
+// print one benign "cannot set cpu profile rate" notice to stderr).
+// Collect is not reentrant: the runtime supports one CPU profile at a
+// time, and a concurrent profile makes it fail cleanly.
+func Collect(hz int, f func()) (*pprofx.Profile, error) {
+	raw, err := CollectBytes(hz, f)
+	if err != nil {
+		return nil, err
+	}
+	return pprofx.Parse(raw)
+}
+
+// CollectBytes is Collect without the parse step: it returns the raw
+// gzipped profile.proto bytes, for callers that also want to persist the
+// profile for offline `go tool pprof` inspection.
+func CollectBytes(hz int, f func()) ([]byte, error) {
+	if f == nil {
+		return nil, fmt.Errorf("liveprof: nil collect function")
+	}
+	proflabel.Enable()
+	defer proflabel.Disable()
+
+	if hz > 0 {
+		runtime.SetCPUProfileRate(hz)
+	}
+	var buf writerBuffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		if hz > 0 {
+			runtime.SetCPUProfileRate(0)
+		}
+		return nil, fmt.Errorf("liveprof: start profile: %w", err)
+	}
+	f()
+	pprof.StopCPUProfile()
+	return buf.data, nil
+}
+
+// writerBuffer is a minimal io.Writer accumulating the profile bytes.
+type writerBuffer struct{ data []byte }
+
+func (w *writerBuffer) Write(p []byte) (int, error) {
+	w.data = append(w.data, p...)
+	return len(p), nil
+}
+
+// ServiceAttribution is the measured breakdown for one labeled service.
+type ServiceAttribution struct {
+	Service  string
+	CPUNanos int64
+	// Functionality is the measured Table 3 breakdown (percent of the
+	// service's labeled cycles).
+	Functionality fleetdata.Breakdown
+	// Leaf is the measured Table 2 breakdown (percent of the service's
+	// labeled cycles, by symbol-mapped leaf category).
+	Leaf fleetdata.Breakdown
+}
+
+// Attribution aggregates a parsed profile by service label.
+type Attribution struct {
+	// Services maps service label values to their measured breakdowns.
+	Services map[string]*ServiceAttribution
+	// TotalCPUNanos counts all samples in the profile; LabeledCPUNanos
+	// counts only those carrying a service label (the coverage ratio says
+	// how much of the process the instrumentation explains).
+	TotalCPUNanos   int64
+	LabeledCPUNanos int64
+}
+
+// Coverage returns the fraction of profiled CPU time carrying a service
+// label, in [0, 1].
+func (a *Attribution) Coverage() float64 {
+	if a.TotalCPUNanos <= 0 {
+		return 0
+	}
+	return float64(a.LabeledCPUNanos) / float64(a.TotalCPUNanos)
+}
+
+// Service returns the attribution for a service label, or nil.
+func (a *Attribution) Service(name string) *ServiceAttribution {
+	return a.Services[name]
+}
+
+// Attribute buckets a parsed CPU profile's labeled samples into measured
+// Table 2 and Table 3 breakdowns per service, applying the identical
+// profiler rules (LeafTagger domains, FunctionalityBucketer markers) the
+// synthetic pipeline uses — only the sample source differs.
+func Attribute(p *pprofx.Profile) (*Attribution, error) {
+	cpuIdx, err := p.ValueIndex("cpu")
+	if err != nil {
+		return nil, err
+	}
+	tagger := profiler.NewLeafTagger()
+	bucketer := profiler.NewFunctionalityBucketer()
+
+	type totals struct {
+		cpu  int64
+		fn   map[string]int64
+		leaf map[string]int64
+	}
+	perSvc := make(map[string]*totals)
+	out := &Attribution{Services: make(map[string]*ServiceAttribution)}
+
+	// Marker stacks are tiny and repeated; build each once.
+	markerStacks := make(map[string]trace.Stack)
+	for _, s := range p.Samples {
+		if cpuIdx >= len(s.Values) {
+			continue
+		}
+		ns := s.Values[cpuIdx]
+		out.TotalCPUNanos += ns
+		svc := s.Labels[proflabel.KeyService]
+		if svc == "" {
+			continue
+		}
+		out.LabeledCPUNanos += ns
+		t := perSvc[svc]
+		if t == nil {
+			t = &totals{fn: make(map[string]int64), leaf: make(map[string]int64)}
+			perSvc[svc] = t
+		}
+		t.cpu += ns
+
+		// Table 3: the functionality label is the measured equivalent of
+		// the synthetic traces' func.* marker frame; unlabeled or unknown
+		// markers fall through to the bucketer's Miscellaneous fallback.
+		marker := s.Labels[proflabel.KeyFunctionality]
+		stack, ok := markerStacks[marker]
+		if !ok {
+			if marker != "" {
+				stack = trace.Stack{trace.Frame("func." + marker)}
+			}
+			markerStacks[marker] = stack
+		}
+		t.fn[bucketer.Bucket(stack)] += ns
+
+		// Table 2: innermost recognizable symbol defines the leaf category.
+		t.leaf[tagger.Tag(LeafFrame(s.Stack))] += ns
+	}
+
+	for svc, t := range perSvc {
+		sa := &ServiceAttribution{
+			Service:       svc,
+			CPUNanos:      t.cpu,
+			Functionality: make(fleetdata.Breakdown, len(t.fn)),
+			Leaf:          make(fleetdata.Breakdown, len(t.leaf)),
+		}
+		for cat, ns := range t.fn {
+			sa.Functionality[cat] = 100 * float64(ns) / float64(t.cpu)
+		}
+		for cat, ns := range t.leaf {
+			sa.Leaf[cat] = 100 * float64(ns) / float64(t.cpu)
+		}
+		out.Services[svc] = sa
+	}
+	return out, nil
+}
+
+// CategoryDrift is one category's measured-vs-calibrated comparison.
+type CategoryDrift struct {
+	Category   string  `json:"category"`
+	Measured   float64 `json:"measured_pct"`
+	Calibrated float64 `json:"calibrated_pct"`
+	Delta      float64 `json:"delta_pct"` // measured − calibrated
+}
+
+// Drift compares one service's measured functionality breakdown against
+// its calibrated fleetdata weights.
+type Drift struct {
+	Service    string          `json:"service"`
+	CPUNanos   int64           `json:"cpu_nanos"`
+	Categories []CategoryDrift `json:"categories"`
+	MaxAbs     float64         `json:"max_abs_delta_pct"`
+	MeanAbs    float64         `json:"mean_abs_delta_pct"`
+	// TopMatch reports whether the measured ranking reproduces the
+	// calibrated top-3 categories (with tie tolerance; see TopKContained).
+	TopMatch bool `json:"top3_rank_match"`
+}
+
+// CompareFunctionality builds the drift report for one measured service
+// against its calibrated Table 3 weights.
+func CompareFunctionality(sa *ServiceAttribution) (*Drift, error) {
+	if sa == nil {
+		return nil, fmt.Errorf("liveprof: nil service attribution")
+	}
+	calibrated := fleetdata.FunctionalityBreakdowns[fleetdata.Service(sa.Service)]
+	if len(calibrated) == 0 {
+		return nil, fmt.Errorf("liveprof: no calibrated functionality breakdown for service %q", sa.Service)
+	}
+	return newDrift(sa.Service, sa.CPUNanos, sa.Functionality, calibrated), nil
+}
+
+// CompareLeaf builds the drift report for one measured service's Table 2
+// leaf breakdown against its calibrated fleetdata weights.
+func CompareLeaf(sa *ServiceAttribution) (*Drift, error) {
+	if sa == nil {
+		return nil, fmt.Errorf("liveprof: nil service attribution")
+	}
+	calibrated := fleetdata.LeafBreakdowns[fleetdata.Service(sa.Service)]
+	if len(calibrated) == 0 {
+		return nil, fmt.Errorf("liveprof: no calibrated leaf breakdown for service %q", sa.Service)
+	}
+	return newDrift(sa.Service, sa.CPUNanos, sa.Leaf, calibrated), nil
+}
+
+func newDrift(service string, cpuNanos int64, measured, calibrated fleetdata.Breakdown) *Drift {
+	d := &Drift{Service: service, CPUNanos: cpuNanos}
+
+	// Union of categories, ordered by calibrated share descending (the
+	// calibrated order is the paper's presentation order).
+	seen := make(map[string]bool, len(calibrated))
+	for _, cat := range calibrated.Categories() {
+		seen[cat] = true
+		d.Categories = append(d.Categories, CategoryDrift{
+			Category:   cat,
+			Measured:   measured.Share(cat),
+			Calibrated: calibrated.Share(cat),
+		})
+	}
+	extra := make([]string, 0, 2)
+	for cat := range measured {
+		if !seen[cat] {
+			extra = append(extra, cat)
+		}
+	}
+	sort.Strings(extra)
+	for _, cat := range extra {
+		d.Categories = append(d.Categories, CategoryDrift{
+			Category: cat,
+			Measured: measured.Share(cat),
+		})
+	}
+
+	for i := range d.Categories {
+		c := &d.Categories[i]
+		c.Delta = c.Measured - c.Calibrated
+		abs := c.Delta
+		if abs < 0 {
+			abs = -abs
+		}
+		if abs > d.MaxAbs {
+			d.MaxAbs = abs
+		}
+		d.MeanAbs += abs
+	}
+	if n := len(d.Categories); n > 0 {
+		d.MeanAbs /= float64(n)
+	}
+	d.TopMatch = TopKContained(measured, calibrated, 3, 2.0)
+	return d
+}
+
+// TopKContained reports whether every one of calibrated's top-k categories
+// ranks within measured's top k, counting measured categories within tol
+// percentage points of the k-th measured value as tied for k-th place.
+// The tolerance keeps the check meaningful when a service's calibrated
+// weights place two categories within sampling noise of each other.
+func TopKContained(measured, calibrated fleetdata.Breakdown, k int, tol float64) bool {
+	calTop := calibrated.Categories()
+	if len(calTop) > k {
+		calTop = calTop[:k]
+	}
+	meas := measured.Categories()
+	if len(meas) == 0 {
+		return false
+	}
+	// Threshold: the k-th highest measured share (or the lowest, for
+	// fewer than k measured categories) minus the tie tolerance.
+	idx := k - 1
+	if idx >= len(meas) {
+		idx = len(meas) - 1
+	}
+	threshold := measured.Share(meas[idx]) - tol
+	for _, cat := range calTop {
+		if measured.Share(cat) < threshold {
+			return false
+		}
+	}
+	return true
+}
+
+// WriteText renders the drift report as an aligned textchart table with a
+// signed drift bar per category, suitable for experiment logs.
+func (d *Drift) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: measured vs calibrated (top-3 rank match: %v)\n",
+		d.Service, d.TopMatch); err != nil {
+		return err
+	}
+	tbl := textchart.NewTable("category", "measured", "calibrated", "drift", "")
+	for _, c := range d.Categories {
+		tbl.AddRow(c.Category,
+			fmt.Sprintf("%5.1f%%", c.Measured),
+			fmt.Sprintf("%5.1f%%", c.Calibrated),
+			fmt.Sprintf("%+5.1f", c.Delta),
+			driftBar(c.Delta))
+	}
+	if _, err := io.WriteString(w, tbl.Render()); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "max |drift| %.1f pts, mean |drift| %.1f pts\n", d.MaxAbs, d.MeanAbs)
+	return err
+}
+
+// driftBar renders a signed magnitude bar: '<' for measured below
+// calibrated, '>' for above, one glyph per 2 percentage points (cap 15).
+func driftBar(delta float64) string {
+	n := int(delta / 2)
+	glyph := byte('>')
+	if n < 0 {
+		n, glyph = -n, '<'
+	}
+	if n > 15 {
+		n = 15
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = glyph
+	}
+	return string(b)
+}

@@ -1,0 +1,345 @@
+package liveprof_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fleetdata"
+	"repro/internal/liveprof"
+	"repro/internal/pprofx"
+	"repro/internal/services"
+	"repro/internal/trace"
+)
+
+func TestLeafFrame(t *testing.T) {
+	cases := []struct {
+		stack []string
+		want  trace.Frame
+	}{
+		{[]string{"runtime.memmove", "main.f"}, "mem.copy"},
+		{[]string{"runtime.memclrNoHeapPointers"}, "mem.set"},
+		{[]string{"runtime.mallocgc", "runtime.makeslice"}, "mem.alloc"},
+		{[]string{"runtime.gcBgMarkWorker.func2"}, "mem.free"},
+		{[]string{"crypto/internal/fips140/aes.ctrBlocks8", "crypto/cipher.(*ctr).XORKeyStream"}, "ssl.aes"},
+		{[]string{"crypto/sha256.block"}, "hash.sha256"},
+		{[]string{"runtime.aeshash64"}, "hash.map"},
+		{[]string{"compress/flate.(*compressor).deflate"}, "zstd.compress"},
+		{[]string{"compress/flate.(*decompressor).huffmanBlock"}, "zstd.decompress"},
+		{[]string{"sync.(*Mutex).Lock"}, "sync.mutex"},
+		{[]string{"sync/atomic.AddUint64"}, "sync.atomics"},
+		{[]string{"runtime.chansend1"}, "sync.mutex"},
+		{[]string{"math.Sqrt"}, "math.fp"},
+		{[]string{"math/rand.Float64"}, "clib.stdalgo"},
+		{[]string{"syscall.Syscall6"}, "kernel.sys"},
+		{[]string{"runtime.netpollblock"}, "kernel.net"},
+		{[]string{"fmt.Fprintf", "main.log"}, "clib.strings"},
+		{[]string{"sort.Ints"}, "clib.stdalgo"},
+		// Leaf-first: the innermost mapped symbol wins even when outer
+		// frames would also match.
+		{[]string{"runtime.memmove", "crypto/sha256.Sum256"}, "mem.copy"},
+		// Unmapped leaf, mapped caller: walk outward.
+		{[]string{"main.helper", "compress/flate.(*compressor).deflate"}, "zstd.compress"},
+		// Nothing recognizable.
+		{[]string{"main.main", "repro/internal/services.burnPrediction"}, liveprof.MiscFrame},
+		{nil, liveprof.MiscFrame},
+	}
+	for _, tc := range cases {
+		if got := liveprof.LeafFrame(tc.stack); got != tc.want {
+			t.Errorf("LeafFrame(%v) = %s, want %s", tc.stack, got, tc.want)
+		}
+	}
+}
+
+// synthetic builds a profile with hand-placed labels covering the
+// attribution branches.
+func synthetic() *pprofx.Profile {
+	web := func(fn string) map[string]string {
+		m := map[string]string{"service": "Web"}
+		if fn != "" {
+			m["functionality"] = fn
+		}
+		return m
+	}
+	return &pprofx.Profile{
+		SampleTypes: []pprofx.ValueType{{Type: "samples", Unit: "count"}, {Type: "cpu", Unit: "nanoseconds"}},
+		Samples: []pprofx.Sample{
+			{Stack: []string{"runtime.memmove", "main.f"}, Values: []int64{4, 40}, Labels: web("ioprep")},
+			{Stack: []string{"crypto/internal/fips140/aes.ctrBlocks8"}, Values: []int64{3, 30}, Labels: web("io")},
+			{Stack: []string{"main.app"}, Values: []int64{2, 20}, Labels: web("misc")},
+			{Stack: []string{"main.app2"}, Values: []int64{1, 10}, Labels: web("")},
+			{Stack: []string{"main.unlabeled"}, Values: []int64{5, 100}},
+		},
+	}
+}
+
+func TestAttributeSynthetic(t *testing.T) {
+	a, err := liveprof.Attribute(synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalCPUNanos != 200 || a.LabeledCPUNanos != 100 {
+		t.Fatalf("total/labeled = %d/%d, want 200/100", a.TotalCPUNanos, a.LabeledCPUNanos)
+	}
+	if c := a.Coverage(); math.Abs(c-0.5) > 1e-9 {
+		t.Fatalf("coverage = %v, want 0.5", c)
+	}
+	web := a.Service("Web")
+	if web == nil {
+		t.Fatal("no Web attribution")
+	}
+	if web.CPUNanos != 100 {
+		t.Fatalf("Web CPU = %d, want 100", web.CPUNanos)
+	}
+	wantFn := map[string]float64{
+		fleetdata.FuncIOPrePost: 40,
+		fleetdata.FuncIO:        30,
+		fleetdata.FuncMisc:      30, // "misc" marker + missing marker both fall back
+	}
+	for cat, want := range wantFn {
+		if got := web.Functionality.Share(cat); math.Abs(got-want) > 1e-9 {
+			t.Errorf("functionality %q = %v, want %v", cat, got, want)
+		}
+	}
+	wantLeaf := map[string]float64{
+		fleetdata.LeafMemory: 40,
+		fleetdata.LeafSSL:    30,
+		fleetdata.LeafMisc:   30,
+	}
+	for cat, want := range wantLeaf {
+		if got := web.Leaf.Share(cat); math.Abs(got-want) > 1e-9 {
+			t.Errorf("leaf %q = %v, want %v", cat, got, want)
+		}
+	}
+}
+
+func TestAttributeRequiresCPUDimension(t *testing.T) {
+	p := &pprofx.Profile{SampleTypes: []pprofx.ValueType{{Type: "samples", Unit: "count"}}}
+	if _, err := liveprof.Attribute(p); err == nil {
+		t.Fatal("Attribute without a cpu dimension should fail")
+	}
+}
+
+func TestCompareFunctionalityDrift(t *testing.T) {
+	sa := &liveprof.ServiceAttribution{
+		Service:  string(fleetdata.Cache2),
+		CPUNanos: 1000,
+		// Calibrated Cache2: IO 52, IOPrePost 21, AppLogic 18, Ser 4, TP 4, Misc 1.
+		Functionality: fleetdata.Breakdown{
+			fleetdata.FuncIO:        50,
+			fleetdata.FuncIOPrePost: 25,
+			fleetdata.FuncAppLogic:  15,
+			fleetdata.FuncMisc:      10,
+		},
+	}
+	d, err := liveprof.CompareFunctionality(sa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.TopMatch {
+		t.Error("top-3 should match")
+	}
+	var io *liveprof.CategoryDrift
+	for i := range d.Categories {
+		if d.Categories[i].Category == fleetdata.FuncIO {
+			io = &d.Categories[i]
+		}
+	}
+	if io == nil || math.Abs(io.Delta-(-2)) > 1e-9 {
+		t.Fatalf("IO drift = %+v, want delta -2", io)
+	}
+	if d.MaxAbs < 9-1e-9 {
+		t.Errorf("MaxAbs = %v, want >= 9 (Misc drifted +9)", d.MaxAbs)
+	}
+
+	var text bytes.Buffer
+	if err := d.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"measured", "calibrated", fleetdata.FuncIO} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("text report missing %q:\n%s", want, text.String())
+		}
+	}
+
+	if _, err := liveprof.CompareFunctionality(nil); err == nil {
+		t.Error("nil attribution should fail")
+	}
+	if _, err := liveprof.CompareFunctionality(&liveprof.ServiceAttribution{Service: "nope"}); err == nil {
+		t.Error("unknown service should fail")
+	}
+}
+
+func TestTopKContained(t *testing.T) {
+	cal := fleetdata.Breakdown{"a": 50, "b": 30, "c": 15, "d": 5}
+	if !liveprof.TopKContained(fleetdata.Breakdown{"a": 45, "b": 35, "c": 15, "d": 5}, cal, 3, 2) {
+		t.Error("exact top-3 should match")
+	}
+	// c (calibrated 3rd) measured well below the measured 3rd place.
+	if liveprof.TopKContained(fleetdata.Breakdown{"a": 45, "b": 35, "d": 18, "c": 2}, cal, 3, 2) {
+		t.Error("c displaced by 16 points should not match")
+	}
+	// c within tolerance of 3rd place counts as tied.
+	if !liveprof.TopKContained(fleetdata.Breakdown{"a": 45, "b": 34, "d": 11, "c": 10}, cal, 3, 2) {
+		t.Error("c within tie tolerance should match")
+	}
+	if liveprof.TopKContained(fleetdata.Breakdown{}, cal, 3, 2) {
+		t.Error("empty measured should not match")
+	}
+}
+
+func TestBuildReportJSONAndText(t *testing.T) {
+	a, err := liveprof.Attribute(synthetic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Add an uncalibrated label to exercise Skipped.
+	a.Services["harness"] = &liveprof.ServiceAttribution{Service: "harness", CPUNanos: 1}
+	r, err := liveprof.BuildReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Services) != 1 || r.Services[0].Service != "Web" {
+		t.Fatalf("report services = %+v, want [Web]", r.Services)
+	}
+	if len(r.Skipped) != 1 || r.Skipped[0] != "harness" {
+		t.Fatalf("skipped = %v, want [harness]", r.Skipped)
+	}
+	if r.Services[0].Functionality == nil || r.Services[0].Leaf == nil {
+		t.Fatal("report missing functionality or leaf drift")
+	}
+
+	path := filepath.Join(t.TempDir(), "drift.json")
+	if err := r.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back liveprof.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.CoveragePct != r.CoveragePct || len(back.Services) != 1 {
+		t.Fatalf("round-tripped report mismatch: %+v", back)
+	}
+
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"[Table 3]", "[Table 2]", "Web", "harness"} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("report text missing %q", want)
+		}
+	}
+
+	if err := r.WriteJSONFile(filepath.Join(t.TempDir(), "no/such/dir.json")); err == nil {
+		t.Error("WriteJSONFile to a missing directory should fail")
+	}
+	if _, err := liveprof.BuildReport(nil); err == nil {
+		t.Error("BuildReport(nil) should fail")
+	}
+}
+
+// TestLiveAttributionEndToEnd is the acceptance check for the live
+// pipeline: run two services' real burners under CPU profiling, parse the
+// profile with pprofx, attribute by label, and require the measured
+// functionality breakdown to rank the same top-3 categories as the
+// calibrated fleetdata weights. Cache1 and Cache2 are used because their
+// calibrated top-3 are well separated from fourth place, keeping the check
+// robust to sampling noise (the burner's wall-time budgeting keeps shares
+// stable under -race and loaded machines).
+func TestLiveAttributionEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live profiling run in -short mode")
+	}
+	targets := []fleetdata.Service{fleetdata.Cache1, fleetdata.Cache2}
+	burn := time.Duration(1200) * time.Millisecond
+
+	profile, err := liveprof.Collect(500, func() {
+		for _, name := range targets {
+			s, err := services.New(name)
+			if err != nil {
+				t.Errorf("New(%s): %v", name, err)
+				return
+			}
+			if _, err := s.Burn(context.Background(), services.BurnConfig{Duration: burn, Seed: 42}); err != nil {
+				t.Errorf("Burn(%s): %v", name, err)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatalf("Collect: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	a, err := liveprof.Attribute(profile)
+	if err != nil {
+		t.Fatalf("Attribute: %v", err)
+	}
+	if cov := a.Coverage(); cov < 0.3 {
+		t.Errorf("label coverage %.2f, want >= 0.3 of profiled CPU", cov)
+	}
+
+	for _, name := range targets {
+		sa := a.Service(string(name))
+		if sa == nil {
+			t.Fatalf("no attribution for %s (services: %v)", name, len(a.Services))
+		}
+		d, err := liveprof.CompareFunctionality(sa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !d.TopMatch {
+			var text bytes.Buffer
+			_ = d.WriteText(&text)
+			t.Errorf("%s: measured top-3 does not rank the calibrated top-3:\n%s", name, text.String())
+		}
+	}
+
+	// The drift report must emit as both JSON and textchart.
+	r, err := liveprof.BuildReport(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "live_drift.json")
+	if err := r.WriteJSONFile(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back liveprof.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("emitted drift JSON invalid: %v", err)
+	}
+	if len(back.Services) < len(targets) {
+		t.Fatalf("drift JSON covers %d services, want >= %d", len(back.Services), len(targets))
+	}
+	var text bytes.Buffer
+	if err := r.WriteText(&text); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text.String(), "[Table 3]") || !strings.Contains(text.String(), string(fleetdata.Cache1)) {
+		t.Errorf("drift textchart incomplete:\n%s", text.String())
+	}
+	t.Logf("live attribution report:\n%s", text.String())
+}
+
+func TestCollectNilFunc(t *testing.T) {
+	if _, err := liveprof.Collect(0, nil); err == nil {
+		t.Fatal("Collect(nil) should fail")
+	}
+}

@@ -1,0 +1,121 @@
+package liveprof
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/fleetdata"
+)
+
+// ServiceReport pairs one service's measured Table 3 and Table 2 drift
+// reports.
+type ServiceReport struct {
+	Service       string `json:"service"`
+	Functionality *Drift `json:"functionality"`
+	Leaf          *Drift `json:"leaf"`
+}
+
+// Report is the full measured-vs-calibrated comparison for one collected
+// profile: per-service drift for every labeled service that has calibrated
+// weights, plus label coverage of the whole profile.
+type Report struct {
+	TotalCPUNanos   int64           `json:"total_cpu_nanos"`
+	LabeledCPUNanos int64           `json:"labeled_cpu_nanos"`
+	CoveragePct     float64         `json:"labeled_coverage_pct"`
+	Services        []ServiceReport `json:"services"`
+	// Skipped lists service label values with no calibrated breakdown
+	// (test harnesses, ad-hoc labels); their samples count toward coverage
+	// but produce no drift rows.
+	Skipped []string `json:"skipped_labels,omitempty"`
+}
+
+// BuildReport compares every attributed service against its calibrated
+// weights. Services without calibrated fleetdata weights are listed in
+// Skipped rather than failing the report.
+func BuildReport(a *Attribution) (*Report, error) {
+	if a == nil {
+		return nil, fmt.Errorf("liveprof: nil attribution")
+	}
+	r := &Report{
+		TotalCPUNanos:   a.TotalCPUNanos,
+		LabeledCPUNanos: a.LabeledCPUNanos,
+		CoveragePct:     100 * a.Coverage(),
+	}
+	names := make([]string, 0, len(a.Services))
+	for name := range a.Services {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		sa := a.Services[name]
+		if len(fleetdata.FunctionalityBreakdowns[fleetdata.Service(name)]) == 0 {
+			r.Skipped = append(r.Skipped, name)
+			continue
+		}
+		fn, err := CompareFunctionality(sa)
+		if err != nil {
+			return nil, err
+		}
+		leaf, err := CompareLeaf(sa)
+		if err != nil {
+			return nil, err
+		}
+		r.Services = append(r.Services, ServiceReport{Service: name, Functionality: fn, Leaf: leaf})
+	}
+	return r, nil
+}
+
+// WriteJSON writes the report as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteJSONFile writes the report to path ("-" means stdout).
+func (r *Report) WriteJSONFile(path string) error {
+	if path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("liveprof: %w", err)
+	}
+	err = r.WriteJSON(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// WriteText renders the full report as textchart tables: per service, the
+// Table 3 functionality drift then the Table 2 leaf drift.
+func (r *Report) WriteText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "live CPU attribution: %.1f%% of %.0fms profiled CPU carried service labels\n",
+		r.CoveragePct, float64(r.TotalCPUNanos)/1e6); err != nil {
+		return err
+	}
+	for _, sr := range r.Services {
+		if _, err := fmt.Fprintf(w, "\n[Table 3] "); err != nil {
+			return err
+		}
+		if err := sr.Functionality.WriteText(w); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "\n[Table 2] "); err != nil {
+			return err
+		}
+		if err := sr.Leaf.WriteText(w); err != nil {
+			return err
+		}
+	}
+	if len(r.Skipped) > 0 {
+		if _, err := fmt.Fprintf(w, "\nskipped labels without calibrated weights: %v\n", r.Skipped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

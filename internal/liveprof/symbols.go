@@ -1,0 +1,182 @@
+package liveprof
+
+import (
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// Symbol → leaf-frame mapping: the measured analog of the paper's leaf
+// function categorization (§2.2, Table 2). Strobelight tags each sampled
+// leaf function with a category; here real Go symbols from a parsed CPU
+// profile are mapped onto the repository's "domain.function" frame
+// convention so profiler.LeafTagger applies the exact same category rules
+// to measured profiles as to synthetic traces.
+//
+// The scan is leaf-first: the innermost frame with a known mapping defines
+// the leaf category, mirroring how a hardware PC sample attributes to the
+// function actually executing. Frames with no mapping (application logic,
+// test harness, runtime plumbing we don't classify) are skipped, and a
+// stack where nothing matches buckets to Miscellaneous — the paper's
+// category for non-tax cycles.
+
+// symRule maps symbols matching a prefix or substring to a leaf frame.
+type symRule struct {
+	prefix   string // match: symbol starts with prefix …
+	contains string // … or contains this substring (either may be empty)
+	frame    trace.Frame
+}
+
+// symRules is ordered: first match wins within a frame. More specific
+// rules precede broader ones (e.g. runtime hash helpers before the generic
+// crypto rules, math/rand before math).
+var symRules = []symRule{
+	// Memory: the Table 2 Memory leaf (Fig 3 functions).
+	{prefix: "runtime.memmove", frame: "mem.copy"},
+	{prefix: "runtime.typedmemmove", frame: "mem.copy"},
+	{prefix: "runtime.memclr", frame: "mem.set"},
+	{prefix: "runtime.memequal", frame: "mem.compare"},
+	{prefix: "runtime.cmpstring", frame: "mem.compare"},
+	{prefix: "runtime.mallocgc", frame: "mem.alloc"},
+	{prefix: "runtime.newobject", frame: "mem.alloc"},
+	{prefix: "runtime.makeslice", frame: "mem.alloc"},
+	{prefix: "runtime.growslice", frame: "mem.alloc"},
+	{prefix: "runtime.makemap", frame: "mem.alloc"},
+	{prefix: "runtime.rawstring", frame: "mem.alloc"},
+	{prefix: "runtime.mapassign", frame: "mem.alloc"},
+	{contains: "gcBgMarkWorker", frame: "mem.free"},
+	{contains: "gcDrain", frame: "mem.free"},
+	{contains: "gcAssist", frame: "mem.free"},
+	{prefix: "runtime.bgsweep", frame: "mem.free"},
+	{prefix: "runtime.sweepone", frame: "mem.free"},
+	{prefix: "runtime.(*mcentral)", frame: "mem.free"},
+	{prefix: "runtime.(*mheap)", frame: "mem.free"},
+	{prefix: "runtime.(*mcache)", frame: "mem.alloc"},
+
+	// Hashing — before crypto/AES rules so runtime.aeshash* (map hashing)
+	// lands here, and before the sync rules so hash/maphash isn't shadowed.
+	{prefix: "runtime.aeshash", frame: "hash.map"},
+	{prefix: "runtime.memhash", frame: "hash.map"},
+	{prefix: "runtime.strhash", frame: "hash.map"},
+	{contains: "sha256", frame: "hash.sha256"},
+	{contains: "sha512", frame: "hash.other"},
+	{contains: "sha1", frame: "hash.other"},
+	{contains: "md5", frame: "hash.other"},
+	{prefix: "hash/", frame: "hash.crc"},
+
+	// SSL: AES/CTR symmetric crypto on the IO path. Go ≥1.24 implements
+	// crypto/aes inside crypto/internal/fips140/aes, so match the package
+	// path segment rather than the façade package.
+	{contains: "/aes", frame: "ssl.aes"},
+	{prefix: "crypto/cipher", frame: "ssl.cipher"},
+	{prefix: "crypto/subtle", frame: "ssl.cipher"},
+	{prefix: "crypto/", frame: "ssl.cipher"},
+
+	// ZSTD (the paper's compression leaf; this repo's codec is DEFLATE).
+	{contains: "flate.(*decompressor)", frame: "zstd.decompress"},
+	{contains: "flate.(*huffmanDecoder)", frame: "zstd.decompress"},
+	{prefix: "compress/", frame: "zstd.compress"},
+
+	// Synchronization (Fig 6 functions).
+	{prefix: "sync/atomic.", frame: "sync.atomics"},
+	{contains: "internal/runtime/atomic", frame: "sync.atomics"},
+	{contains: "runtime/internal/atomic", frame: "sync.atomics"},
+	{prefix: "sync.", frame: "sync.mutex"},
+	{prefix: "runtime.lock", frame: "sync.mutex"},
+	{prefix: "runtime.unlock", frame: "sync.mutex"},
+	{prefix: "runtime.futex", frame: "sync.mutex"},
+	{prefix: "runtime.sema", frame: "sync.mutex"},
+	{prefix: "runtime.mutex", frame: "sync.mutex"},
+	{prefix: "runtime.chan", frame: "sync.mutex"},
+	{prefix: "runtime.send", frame: "sync.mutex"},
+	{prefix: "runtime.recv", frame: "sync.mutex"},
+	{prefix: "runtime.selectgo", frame: "sync.mutex"},
+	{prefix: "runtime.procyield", frame: "sync.spin"},
+	{prefix: "runtime.osyield", frame: "sync.spin"},
+	{prefix: "runtime.cas", frame: "sync.cas"},
+
+	// Math — rand is a library utility, not FP math, so it precedes.
+	{prefix: "math/rand", frame: "clib.stdalgo"},
+	{prefix: "math/bits", frame: "math.int"},
+	{prefix: "math.", frame: "math.fp"},
+
+	// Kernel-mediated work (Fig 5 families): syscalls, scheduling, network
+	// polling, timers.
+	{prefix: "syscall.", frame: "kernel.sys"},
+	{prefix: "internal/poll", frame: "kernel.net"},
+	{prefix: "runtime.netpoll", frame: "kernel.net"},
+	{prefix: "runtime.epoll", frame: "kernel.net"},
+	{prefix: "net.", frame: "kernel.net"},
+	{prefix: "runtime.schedule", frame: "kernel.sched"},
+	{prefix: "runtime.findRunnable", frame: "kernel.sched"},
+	{prefix: "runtime.findrunnable", frame: "kernel.sched"},
+	{prefix: "runtime.mcall", frame: "kernel.sched"},
+	{prefix: "runtime.park_m", frame: "kernel.sched"},
+	{prefix: "runtime.goschedImpl", frame: "kernel.sched"},
+	{prefix: "runtime.stealWork", frame: "kernel.sched"},
+	{prefix: "runtime.wakep", frame: "kernel.sched"},
+	{prefix: "runtime.startm", frame: "kernel.sched"},
+	{prefix: "runtime.usleep", frame: "kernel.sched"},
+	{prefix: "runtime.morestack", frame: "kernel.sched"},
+	{prefix: "runtime.newstack", frame: "kernel.sched"},
+	{prefix: "runtime.nanotime", frame: "kernel.event"},
+	{prefix: "runtime.walltime", frame: "kernel.event"},
+	{prefix: "time.now", frame: "kernel.event"},
+	{prefix: "time.Now", frame: "kernel.event"},
+	{prefix: "os.", frame: "kernel.sys"},
+
+	// C-library-equivalent standard library work (Fig 7 families).
+	{prefix: "sort.", frame: "clib.stdalgo"},
+	{prefix: "slices.", frame: "clib.stdalgo"},
+	{prefix: "maps.", frame: "clib.hashtable"},
+	{prefix: "container/", frame: "clib.trees"},
+	{prefix: "fmt.", frame: "clib.strings"},
+	{prefix: "strconv.", frame: "clib.strings"},
+	{prefix: "strings.", frame: "clib.strings"},
+	{prefix: "unicode", frame: "clib.strings"},
+	{prefix: "bytes.", frame: "clib.strings"},
+	{prefix: "encoding/", frame: "clib.stdalgo"},
+
+	// The repository's own kernels: when a sample lands in the wrapper
+	// itself (prologue, bounds checks) rather than the runtime/stdlib leaf
+	// it calls, attribute it to the kernel's category directly.
+	{prefix: "repro/internal/kernels.Copy", frame: "mem.copy"},
+	{prefix: "repro/internal/kernels.Set", frame: "mem.set"},
+	{prefix: "repro/internal/kernels.Compare", frame: "mem.compare"},
+	{prefix: "repro/internal/kernels.Hash", frame: "hash.sha256"},
+	{prefix: "repro/internal/kernels.Compress", frame: "zstd.compress"},
+	{prefix: "repro/internal/kernels.Decompress", frame: "zstd.decompress"},
+	{prefix: "repro/internal/kernels.(*Cipher)", frame: "ssl.aes"},
+	{prefix: "repro/internal/kernels.(*Arena).Alloc", frame: "mem.alloc"},
+	{prefix: "repro/internal/kernels.(*Arena).Free", frame: "mem.free"},
+}
+
+// MiscFrame is the frame assigned when no symbol in a stack maps to a
+// known leaf domain; the LeafTagger buckets it to Miscellaneous.
+const MiscFrame = trace.Frame("misc.app")
+
+// mapSymbol returns the leaf frame for one symbol and whether any rule
+// matched.
+func mapSymbol(sym string) (trace.Frame, bool) {
+	for _, r := range symRules {
+		if r.prefix != "" && strings.HasPrefix(sym, r.prefix) {
+			return r.frame, true
+		}
+		if r.contains != "" && strings.Contains(sym, r.contains) {
+			return r.frame, true
+		}
+	}
+	return "", false
+}
+
+// LeafFrame maps a resolved call stack (leaf-first, as pprofx returns it)
+// to the repository leaf frame of its innermost recognizable function,
+// falling back to MiscFrame when nothing matches.
+func LeafFrame(stack []string) trace.Frame {
+	for _, sym := range stack {
+		if f, ok := mapSymbol(sym); ok {
+			return f
+		}
+	}
+	return MiscFrame
+}

@@ -1,0 +1,586 @@
+// Package pprofx parses Go's gzipped-protobuf CPU profiles without any
+// dependency beyond the standard library. The runtime's profiler emits
+// profile.proto (the pprof wire format); this package decodes the subset
+// the repository's live-attribution pipeline needs — samples with resolved
+// function-name stacks, sample values, and pprof labels — using a hand-
+// rolled varint/field decoder instead of a protobuf code generator.
+//
+// profile.proto is a stable, append-only format, and the profiler only
+// reads it, so a ~300-line decoder is cheaper than a generated dependency
+// and keeps the repo's no-third-party-module rule intact. Unknown fields
+// are skipped, so profiles from newer runtimes still parse.
+package pprofx
+
+import (
+	"bytes"
+	"compress/gzip"
+	"fmt"
+	"io"
+)
+
+// ValueType names one sample value dimension, e.g. {Type: "cpu", Unit:
+// "nanoseconds"}.
+type ValueType struct {
+	Type string
+	Unit string
+}
+
+// Sample is one profile sample with its call stack resolved to function
+// names.
+type Sample struct {
+	// Stack holds function names leaf-first (Stack[0] is the sampled
+	// function; inline expansions appear as separate entries).
+	Stack []string
+	// Values holds one value per Profile.SampleTypes entry; for a CPU
+	// profile: [sample count, cpu nanoseconds].
+	Values []int64
+	// Labels holds the sample's string-valued pprof labels.
+	Labels map[string]string
+	// NumLabels holds the sample's numeric pprof labels.
+	NumLabels map[string]int64
+}
+
+// Profile is a decoded CPU (or other pprof-format) profile.
+type Profile struct {
+	SampleTypes   []ValueType
+	Samples       []Sample
+	PeriodType    ValueType
+	Period        int64
+	TimeNanos     int64
+	DurationNanos int64
+}
+
+// ValueIndex returns the index into Sample.Values for the named sample
+// type ("cpu", "samples", ...), or an error if the profile has no such
+// dimension.
+func (p *Profile) ValueIndex(typ string) (int, error) {
+	for i, vt := range p.SampleTypes {
+		if vt.Type == typ {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("pprofx: profile has no %q sample type", typ)
+}
+
+// Total sums the given value dimension across all samples.
+func (p *Profile) Total(valueIndex int) int64 {
+	var total int64
+	for _, s := range p.Samples {
+		if valueIndex < len(s.Values) {
+			total += s.Values[valueIndex]
+		}
+	}
+	return total
+}
+
+// Parse decodes a pprof profile. Gzipped input (what runtime/pprof writes)
+// is detected by magic number and decompressed; raw protobuf also parses.
+func Parse(data []byte) (*Profile, error) {
+	if len(data) >= 2 && data[0] == 0x1f && data[1] == 0x8b {
+		zr, err := gzip.NewReader(bytes.NewReader(data))
+		if err != nil {
+			return nil, fmt.Errorf("pprofx: gzip header: %w", err)
+		}
+		raw, err := io.ReadAll(zr)
+		if cerr := zr.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pprofx: decompress: %w", err)
+		}
+		data = raw
+	}
+	return parseUncompressed(data)
+}
+
+// Protobuf wire types.
+const (
+	wireVarint  = 0
+	wireFixed64 = 1
+	wireBytes   = 2
+	wireFixed32 = 5
+)
+
+// decoder walks one protobuf message body.
+type decoder struct {
+	data []byte
+	pos  int
+}
+
+func (d *decoder) done() bool { return d.pos >= len(d.data) }
+
+func (d *decoder) varint() (uint64, error) {
+	var v uint64
+	for shift := uint(0); shift < 64; shift += 7 {
+		if d.pos >= len(d.data) {
+			return 0, fmt.Errorf("pprofx: truncated varint at offset %d", d.pos)
+		}
+		b := d.data[d.pos]
+		d.pos++
+		v |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			return v, nil
+		}
+	}
+	return 0, fmt.Errorf("pprofx: varint longer than 10 bytes at offset %d", d.pos)
+}
+
+// field reads the next field tag, returning the field number and wire type.
+func (d *decoder) field() (num int, wire int, err error) {
+	tag, err := d.varint()
+	if err != nil {
+		return 0, 0, err
+	}
+	if tag>>3 == 0 {
+		return 0, 0, fmt.Errorf("pprofx: field number 0 at offset %d", d.pos)
+	}
+	return int(tag >> 3), int(tag & 7), nil
+}
+
+// bytes reads a length-delimited payload.
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.data)-d.pos) {
+		return nil, fmt.Errorf("pprofx: length %d exceeds remaining %d bytes", n, len(d.data)-d.pos)
+	}
+	out := d.data[d.pos : d.pos+int(n)]
+	d.pos += int(n)
+	return out, nil
+}
+
+// skip discards one field value of the given wire type.
+func (d *decoder) skip(wire int) error {
+	switch wire {
+	case wireVarint:
+		_, err := d.varint()
+		return err
+	case wireFixed64:
+		if len(d.data)-d.pos < 8 {
+			return fmt.Errorf("pprofx: truncated fixed64 at offset %d", d.pos)
+		}
+		d.pos += 8
+		return nil
+	case wireBytes:
+		_, err := d.bytes()
+		return err
+	case wireFixed32:
+		if len(d.data)-d.pos < 4 {
+			return fmt.Errorf("pprofx: truncated fixed32 at offset %d", d.pos)
+		}
+		d.pos += 4
+		return nil
+	default:
+		return fmt.Errorf("pprofx: unsupported wire type %d", wire)
+	}
+}
+
+// repeatedVarints decodes a repeated integer field that may be packed
+// (wireBytes) or unpacked (wireVarint), appending to dst.
+func (d *decoder) repeatedVarints(wire int, dst []uint64) ([]uint64, error) {
+	if wire == wireVarint {
+		v, err := d.varint()
+		if err != nil {
+			return dst, err
+		}
+		return append(dst, v), nil
+	}
+	if wire != wireBytes {
+		return dst, fmt.Errorf("pprofx: repeated int field has wire type %d", wire)
+	}
+	body, err := d.bytes()
+	if err != nil {
+		return dst, err
+	}
+	sub := decoder{data: body}
+	for !sub.done() {
+		v, err := sub.varint()
+		if err != nil {
+			return dst, err
+		}
+		dst = append(dst, v)
+	}
+	return dst, nil
+}
+
+// Raw per-message intermediates: samples reference locations, functions,
+// and the string table by ID/index, and the writer may emit those tables
+// after the samples, so resolution happens in a second pass.
+
+type rawValueType struct{ typ, unit int64 }
+
+type rawLabel struct{ key, str, num int64 }
+
+type rawSample struct {
+	locIDs []uint64
+	values []int64
+	labels []rawLabel
+}
+
+type rawLine struct{ functionID uint64 }
+
+type rawLocation struct {
+	id    uint64
+	lines []rawLine
+}
+
+type rawFunction struct {
+	id   uint64
+	name int64
+}
+
+func parseValueType(body []byte) (rawValueType, error) {
+	d := decoder{data: body}
+	var vt rawValueType
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return vt, err
+		}
+		switch num {
+		case 1:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.typ = int64(v)
+		case 2:
+			v, err := d.varint()
+			if err != nil {
+				return vt, err
+			}
+			vt.unit = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return vt, err
+			}
+		}
+	}
+	return vt, nil
+}
+
+func parseLabel(body []byte) (rawLabel, error) {
+	d := decoder{data: body}
+	var l rawLabel
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return l, err
+		}
+		switch num {
+		case 1, 2, 3:
+			v, err := d.varint()
+			if err != nil {
+				return l, err
+			}
+			switch num {
+			case 1:
+				l.key = int64(v)
+			case 2:
+				l.str = int64(v)
+			case 3:
+				l.num = int64(v)
+			}
+		default:
+			if err := d.skip(wire); err != nil {
+				return l, err
+			}
+		}
+	}
+	return l, nil
+}
+
+func parseSample(body []byte) (rawSample, error) {
+	d := decoder{data: body}
+	var s rawSample
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return s, err
+		}
+		switch num {
+		case 1: // location_id, repeated uint64
+			if s.locIDs, err = d.repeatedVarints(wire, s.locIDs); err != nil {
+				return s, err
+			}
+		case 2: // value, repeated int64
+			var vals []uint64
+			if vals, err = d.repeatedVarints(wire, nil); err != nil {
+				return s, err
+			}
+			for _, v := range vals {
+				s.values = append(s.values, int64(v))
+			}
+		case 3: // label, repeated Label
+			body, err := d.bytes()
+			if err != nil {
+				return s, err
+			}
+			l, err := parseLabel(body)
+			if err != nil {
+				return s, err
+			}
+			s.labels = append(s.labels, l)
+		default:
+			if err := d.skip(wire); err != nil {
+				return s, err
+			}
+		}
+	}
+	return s, nil
+}
+
+func parseLocation(body []byte) (rawLocation, error) {
+	d := decoder{data: body}
+	var loc rawLocation
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return loc, err
+		}
+		switch num {
+		case 1: // id
+			if loc.id, err = d.varint(); err != nil {
+				return loc, err
+			}
+		case 4: // line, repeated Line
+			body, err := d.bytes()
+			if err != nil {
+				return loc, err
+			}
+			ld := decoder{data: body}
+			var line rawLine
+			for !ld.done() {
+				lnum, lwire, err := ld.field()
+				if err != nil {
+					return loc, err
+				}
+				if lnum == 1 {
+					if line.functionID, err = ld.varint(); err != nil {
+						return loc, err
+					}
+				} else if err := ld.skip(lwire); err != nil {
+					return loc, err
+				}
+			}
+			loc.lines = append(loc.lines, line)
+		default:
+			if err := d.skip(wire); err != nil {
+				return loc, err
+			}
+		}
+	}
+	return loc, nil
+}
+
+func parseFunction(body []byte) (rawFunction, error) {
+	d := decoder{data: body}
+	var fn rawFunction
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return fn, err
+		}
+		switch num {
+		case 1: // id
+			if fn.id, err = d.varint(); err != nil {
+				return fn, err
+			}
+		case 2: // name, string table index
+			v, err := d.varint()
+			if err != nil {
+				return fn, err
+			}
+			fn.name = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return fn, err
+			}
+		}
+	}
+	return fn, nil
+}
+
+func parseUncompressed(data []byte) (*Profile, error) {
+	d := decoder{data: data}
+	var (
+		sampleTypes []rawValueType
+		samples     []rawSample
+		locations   []rawLocation
+		functions   []rawFunction
+		strings     []string
+		periodType  rawValueType
+		p           = &Profile{}
+	)
+	for !d.done() {
+		num, wire, err := d.field()
+		if err != nil {
+			return nil, err
+		}
+		switch num {
+		case 1: // sample_type
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			vt, err := parseValueType(body)
+			if err != nil {
+				return nil, err
+			}
+			sampleTypes = append(sampleTypes, vt)
+		case 2: // sample
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			s, err := parseSample(body)
+			if err != nil {
+				return nil, err
+			}
+			samples = append(samples, s)
+		case 4: // location
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			loc, err := parseLocation(body)
+			if err != nil {
+				return nil, err
+			}
+			locations = append(locations, loc)
+		case 5: // function
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			fn, err := parseFunction(body)
+			if err != nil {
+				return nil, err
+			}
+			functions = append(functions, fn)
+		case 6: // string_table
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			strings = append(strings, string(body))
+		case 9: // time_nanos
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.TimeNanos = int64(v)
+		case 10: // duration_nanos
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.DurationNanos = int64(v)
+		case 11: // period_type
+			body, err := d.bytes()
+			if err != nil {
+				return nil, err
+			}
+			if periodType, err = parseValueType(body); err != nil {
+				return nil, err
+			}
+		case 12: // period
+			v, err := d.varint()
+			if err != nil {
+				return nil, err
+			}
+			p.Period = int64(v)
+		default:
+			if err := d.skip(wire); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(strings) == 0 {
+		return nil, fmt.Errorf("pprofx: profile has no string table")
+	}
+
+	str := func(idx int64) (string, error) {
+		if idx < 0 || idx >= int64(len(strings)) {
+			return "", fmt.Errorf("pprofx: string index %d out of range (table size %d)", idx, len(strings))
+		}
+		return strings[idx], nil
+	}
+
+	var err error
+	if p.PeriodType.Type, err = str(periodType.typ); err != nil {
+		return nil, err
+	}
+	if p.PeriodType.Unit, err = str(periodType.unit); err != nil {
+		return nil, err
+	}
+	p.SampleTypes = make([]ValueType, len(sampleTypes))
+	for i, vt := range sampleTypes {
+		if p.SampleTypes[i].Type, err = str(vt.typ); err != nil {
+			return nil, err
+		}
+		if p.SampleTypes[i].Unit, err = str(vt.unit); err != nil {
+			return nil, err
+		}
+	}
+
+	funcNames := make(map[uint64]string, len(functions))
+	for _, fn := range functions {
+		name, err := str(fn.name)
+		if err != nil {
+			return nil, err
+		}
+		funcNames[fn.id] = name
+	}
+	// A location expands to one frame per line (inlining), leaf-first as
+	// profile.proto specifies.
+	locFrames := make(map[uint64][]string, len(locations))
+	for _, loc := range locations {
+		frames := make([]string, 0, len(loc.lines))
+		for _, line := range loc.lines {
+			name, ok := funcNames[line.functionID]
+			if !ok {
+				return nil, fmt.Errorf("pprofx: location %d references unknown function %d", loc.id, line.functionID)
+			}
+			frames = append(frames, name)
+		}
+		locFrames[loc.id] = frames
+	}
+
+	p.Samples = make([]Sample, 0, len(samples))
+	for _, rs := range samples {
+		s := Sample{Values: rs.values}
+		for _, id := range rs.locIDs {
+			frames, ok := locFrames[id]
+			if !ok {
+				return nil, fmt.Errorf("pprofx: sample references unknown location %d", id)
+			}
+			s.Stack = append(s.Stack, frames...)
+		}
+		for _, l := range rs.labels {
+			key, err := str(l.key)
+			if err != nil {
+				return nil, err
+			}
+			if l.str != 0 {
+				val, err := str(l.str)
+				if err != nil {
+					return nil, err
+				}
+				if s.Labels == nil {
+					s.Labels = make(map[string]string)
+				}
+				s.Labels[key] = val
+			} else {
+				if s.NumLabels == nil {
+					s.NumLabels = make(map[string]int64)
+				}
+				s.NumLabels[key] = l.num
+			}
+		}
+		p.Samples = append(p.Samples, s)
+	}
+	return p, nil
+}

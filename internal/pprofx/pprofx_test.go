@@ -1,0 +1,276 @@
+package pprofx
+
+import (
+	"bytes"
+	"compress/gzip"
+	"context"
+	"runtime/pprof"
+	"strings"
+	"testing"
+	"time"
+)
+
+// spin burns CPU until deadline with a data dependency the compiler keeps.
+//
+//go:noinline
+func spin(deadline time.Time, sink *uint64) {
+	for time.Now().Before(deadline) {
+		for i := 0; i < 1<<14; i++ {
+			*sink = *sink*2654435761 + uint64(i)
+		}
+	}
+}
+
+func TestParseRealCPUProfile(t *testing.T) {
+	var buf bytes.Buffer
+	if err := pprof.StartCPUProfile(&buf); err != nil {
+		t.Skipf("cannot start CPU profile (already active?): %v", err)
+	}
+	var sink uint64
+	pprof.Do(context.Background(), pprof.Labels("service", "pprofx-test", "functionality", "io"),
+		func(context.Context) {
+			spin(time.Now().Add(400*time.Millisecond), &sink)
+		})
+	pprof.StopCPUProfile()
+	_ = sink
+
+	p, err := Parse(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(p.SampleTypes) == 0 || len(p.Samples) == 0 {
+		t.Fatalf("parsed profile empty: %d sample types, %d samples", len(p.SampleTypes), len(p.Samples))
+	}
+	cpuIdx, err := p.ValueIndex("cpu")
+	if err != nil {
+		t.Fatalf("ValueIndex(cpu): %v (types %v)", err, p.SampleTypes)
+	}
+	if p.Total(cpuIdx) <= 0 {
+		t.Fatal("profile has zero total cpu time")
+	}
+	if p.PeriodType.Type != "cpu" || p.Period <= 0 {
+		t.Errorf("period = %d %+v, want positive cpu period", p.Period, p.PeriodType)
+	}
+
+	var labeled, sawSpin bool
+	for _, s := range p.Samples {
+		if len(s.Stack) == 0 {
+			t.Fatal("sample with empty stack")
+		}
+		if s.Labels["service"] == "pprofx-test" && s.Labels["functionality"] == "io" {
+			labeled = true
+			for _, f := range s.Stack {
+				if strings.Contains(f, "pprofx.spin") {
+					sawSpin = true
+				}
+			}
+		}
+	}
+	if !labeled {
+		t.Fatal("no sample carried the pprof labels set around the busy loop")
+	}
+	if !sawSpin {
+		t.Fatal("no labeled sample resolved a stack through pprofx.spin")
+	}
+}
+
+// --- synthetic profile construction -------------------------------------
+
+func appendVarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+func appendTag(b []byte, num, wire int) []byte {
+	return appendVarint(b, uint64(num)<<3|uint64(wire))
+}
+
+func appendBytesField(b []byte, num int, body []byte) []byte {
+	b = appendTag(b, num, wireBytes)
+	b = appendVarint(b, uint64(len(body)))
+	return append(b, body...)
+}
+
+func appendVarintField(b []byte, num int, v uint64) []byte {
+	return appendVarint(appendTag(b, num, wireVarint), v)
+}
+
+func valueType(typ, unit uint64) []byte {
+	return appendVarintField(appendVarintField(nil, 1, typ), 2, unit)
+}
+
+// syntheticProfile builds a two-sample profile exercising packed and
+// unpacked repeated fields, inline line expansion, string and numeric
+// labels, and unknown fields.
+func syntheticProfile() []byte {
+	// String table: index 0 must be "".
+	table := []string{"", "samples", "count", "cpu", "nanoseconds",
+		"main.leaf", "main.mid", "main.root", "service", "web", "weight"}
+
+	var p []byte
+	p = appendBytesField(p, 1, valueType(1, 2)) // samples/count
+	p = appendBytesField(p, 1, valueType(3, 4)) // cpu/nanoseconds
+
+	// Sample 1: packed location ids [1 2], packed values [3 30], label
+	// service=web, numeric label weight=7.
+	var s1 []byte
+	s1 = appendBytesField(s1, 1, appendVarint(appendVarint(nil, 1), 2))
+	s1 = appendBytesField(s1, 2, appendVarint(appendVarint(nil, 3), 30))
+	var lbl []byte
+	lbl = appendVarintField(lbl, 1, 8) // key "service"
+	lbl = appendVarintField(lbl, 2, 9) // str "web"
+	s1 = appendBytesField(s1, 3, lbl)
+	var nlbl []byte
+	nlbl = appendVarintField(nlbl, 1, 10) // key "weight"
+	nlbl = appendVarintField(nlbl, 3, 7)  // num 7
+	s1 = appendBytesField(s1, 3, nlbl)
+	p = appendBytesField(p, 2, s1)
+
+	// Sample 2: unpacked repeated encoding of the same fields, no labels.
+	var s2 []byte
+	s2 = appendVarintField(s2, 1, 2)
+	s2 = appendVarintField(s2, 2, 1)
+	s2 = appendVarintField(s2, 2, 10)
+	s2 = appendVarintField(s2, 999, 42) // unknown field: must be skipped
+	p = appendBytesField(p, 2, s2)
+
+	// Location 1: two lines (leaf inline "main.leaf" then "main.mid").
+	var loc1 []byte
+	loc1 = appendVarintField(loc1, 1, 1)
+	loc1 = appendBytesField(loc1, 4, appendVarintField(nil, 1, 1))
+	loc1 = appendBytesField(loc1, 4, appendVarintField(nil, 1, 2))
+	p = appendBytesField(p, 4, loc1)
+	// Location 2: "main.root".
+	var loc2 []byte
+	loc2 = appendVarintField(loc2, 1, 2)
+	loc2 = appendBytesField(loc2, 4, appendVarintField(nil, 1, 3))
+	p = appendBytesField(p, 4, loc2)
+
+	// Functions.
+	fn := func(id, name uint64) []byte {
+		return appendVarintField(appendVarintField(nil, 1, id), 2, name)
+	}
+	p = appendBytesField(p, 5, fn(1, 5)) // main.leaf
+	p = appendBytesField(p, 5, fn(2, 6)) // main.mid
+	p = appendBytesField(p, 5, fn(3, 7)) // main.root
+
+	for _, s := range table {
+		p = appendBytesField(p, 6, []byte(s))
+	}
+	p = appendVarintField(p, 9, 1234)            // time_nanos
+	p = appendVarintField(p, 10, 5678)           // duration_nanos
+	p = appendBytesField(p, 11, valueType(3, 4)) // period type cpu/ns
+	p = appendVarintField(p, 12, 10000000)       // period
+	return p
+}
+
+func TestParseSynthetic(t *testing.T) {
+	p, err := Parse(syntheticProfile())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	wantTypes := []ValueType{{"samples", "count"}, {"cpu", "nanoseconds"}}
+	if len(p.SampleTypes) != 2 || p.SampleTypes[0] != wantTypes[0] || p.SampleTypes[1] != wantTypes[1] {
+		t.Fatalf("SampleTypes = %v, want %v", p.SampleTypes, wantTypes)
+	}
+	if p.Period != 10000000 || p.PeriodType != (ValueType{"cpu", "nanoseconds"}) {
+		t.Errorf("period = %d %+v", p.Period, p.PeriodType)
+	}
+	if p.TimeNanos != 1234 || p.DurationNanos != 5678 {
+		t.Errorf("time/duration = %d/%d, want 1234/5678", p.TimeNanos, p.DurationNanos)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("got %d samples, want 2", len(p.Samples))
+	}
+
+	s1 := p.Samples[0]
+	wantStack := []string{"main.leaf", "main.mid", "main.root"}
+	if len(s1.Stack) != 3 || s1.Stack[0] != wantStack[0] || s1.Stack[1] != wantStack[1] || s1.Stack[2] != wantStack[2] {
+		t.Errorf("sample 1 stack = %v, want %v", s1.Stack, wantStack)
+	}
+	if len(s1.Values) != 2 || s1.Values[0] != 3 || s1.Values[1] != 30 {
+		t.Errorf("sample 1 values = %v, want [3 30]", s1.Values)
+	}
+	if s1.Labels["service"] != "web" {
+		t.Errorf("sample 1 labels = %v, want service=web", s1.Labels)
+	}
+	if s1.NumLabels["weight"] != 7 {
+		t.Errorf("sample 1 num labels = %v, want weight=7", s1.NumLabels)
+	}
+
+	s2 := p.Samples[1]
+	if len(s2.Stack) != 1 || s2.Stack[0] != "main.root" {
+		t.Errorf("sample 2 stack = %v, want [main.root]", s2.Stack)
+	}
+	if len(s2.Values) != 2 || s2.Values[0] != 1 || s2.Values[1] != 10 {
+		t.Errorf("sample 2 values = %v, want [1 10]", s2.Values)
+	}
+	if s2.Labels != nil || s2.NumLabels != nil {
+		t.Errorf("sample 2 has labels %v / %v, want none", s2.Labels, s2.NumLabels)
+	}
+
+	cpuIdx, err := p.ValueIndex("cpu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Total(cpuIdx); got != 40 {
+		t.Errorf("Total(cpu) = %d, want 40", got)
+	}
+	if _, err := p.ValueIndex("wall"); err == nil {
+		t.Error("ValueIndex(wall) should fail")
+	}
+}
+
+func TestParseGzipRoundTrip(t *testing.T) {
+	raw := syntheticProfile()
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	if _, err := zw.Write(raw); err != nil {
+		t.Fatal(err)
+	}
+	if err := zw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	p, err := Parse(gz.Bytes())
+	if err != nil {
+		t.Fatalf("Parse(gzipped): %v", err)
+	}
+	if len(p.Samples) != 2 {
+		t.Fatalf("gzipped parse: %d samples, want 2", len(p.Samples))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string][]byte{
+		"empty input":         {},
+		"truncated varint":    {0x80},
+		"field number zero":   {0x00},
+		"truncated gzip":      {0x1f, 0x8b, 0x08},
+		"length overrun":      appendVarint(appendTag(nil, 2, wireBytes), 100),
+		"no string table":     appendVarintField(nil, 12, 1),
+		"bad string index":    appendBytesField(appendBytesField(nil, 6, nil), 1, valueType(99, 0)),
+		"unknown location id": appendBytesField(appendBytesField(nil, 6, nil), 2, appendVarintField(nil, 1, 77)),
+		"unknown function id": appendBytesField(appendBytesField(nil, 6, nil), 4,
+			appendBytesField(appendVarintField(nil, 1, 1), 4, appendVarintField(nil, 1, 9))),
+	}
+	for name, data := range cases {
+		if _, err := Parse(data); err == nil {
+			t.Errorf("%s: Parse succeeded, want error", name)
+		}
+	}
+}
+
+func TestParseSkipsFixedWidthFields(t *testing.T) {
+	var p []byte
+	p = appendBytesField(p, 6, nil) // string table [""]
+	p = appendTag(p, 50, wireFixed64)
+	p = append(p, 1, 2, 3, 4, 5, 6, 7, 8)
+	p = appendTag(p, 51, wireFixed32)
+	p = append(p, 1, 2, 3, 4)
+	if _, err := Parse(p); err != nil {
+		t.Fatalf("Parse with fixed-width unknown fields: %v", err)
+	}
+}

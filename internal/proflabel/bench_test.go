@@ -1,0 +1,77 @@
+package proflabel_test
+
+import (
+	"context"
+	"crypto/sha256"
+	"testing"
+
+	"repro/internal/proflabel"
+)
+
+// benchPayload is sized so one region invocation costs on the order of a
+// microsecond — the scale of the Exercise/rpc stage regions the labels
+// wrap — making the measured Do overhead a realistic per-region ratio.
+var benchPayload = func() []byte {
+	b := make([]byte, 4096)
+	for i := range b {
+		b[i] = byte(i * 131)
+	}
+	return b
+}()
+
+var benchSink [32]byte
+
+// regionWork stands in for one labeled stage of the serving path.
+func regionWork(context.Context) {
+	benchSink = sha256.Sum256(benchPayload)
+}
+
+// BenchmarkRegionUninstrumented is the baseline: the stage body invoked
+// directly, no labeling wrapper at all.
+func BenchmarkRegionUninstrumented(b *testing.B) {
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		regionWork(ctx)
+	}
+}
+
+// BenchmarkRegionDisabled is the steady production state: the stage body
+// behind proflabel.Do with labeling off. scripts/bench_profile.sh gates
+// this at 0 allocs/op and within 3% of the uninstrumented baseline.
+func BenchmarkRegionDisabled(b *testing.B) {
+	wasEnabled := proflabel.Enabled()
+	proflabel.Disable()
+	defer func() {
+		if wasEnabled {
+			proflabel.Enable()
+		}
+	}()
+	set := proflabel.Labels(proflabel.KeyService, "bench", proflabel.KeyFunctionality, "app")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proflabel.Do(ctx, set, regionWork)
+	}
+}
+
+// BenchmarkRegionEnabled measures the collection-window state (labels
+// applied around every region). Informational: this cost is only paid
+// while a CPU profile is being scraped.
+func BenchmarkRegionEnabled(b *testing.B) {
+	wasEnabled := proflabel.Enabled()
+	proflabel.Enable()
+	defer func() {
+		if !wasEnabled {
+			proflabel.Disable()
+		}
+	}()
+	set := proflabel.Labels(proflabel.KeyService, "bench", proflabel.KeyFunctionality, "app")
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proflabel.Do(ctx, set, regionWork)
+	}
+}

@@ -1,0 +1,98 @@
+// Package proflabel gates runtime/pprof labels behind a process-wide
+// switch so the serving hot paths can carry CPU-attribution labels
+// (service, functionality, kernel) at zero cost when no profile is being
+// collected.
+//
+// The paper's Strobelight (§2.2) attributes every sampled cycle to a
+// microservice functionality by walking the stack to a marker frame. Go's
+// CPU profiler offers a cheaper, first-class mechanism: pprof labels
+// travel with the goroutine and are recorded into every sample. This
+// package is the repository's single point of control for them:
+//
+//   - Labels(...) precomputes an immutable label set at package-init time,
+//     so hot paths never rebuild label slices per call.
+//   - Do(ctx, set, f) applies the set around f via pprof.Do — but only
+//     while Enable() is in effect. Disabled, it is one atomic load and a
+//     direct call: no allocation, no label bookkeeping (the perf gate in
+//     scripts/bench_profile.sh pins this).
+//
+// Callers that need a dynamic label value (a service name picked at run
+// time) precompute the set once per run, outside the request loop, with
+// Labels or ServiceSet.
+//
+// Label keys are deliberately few and fixed — KeyService, KeyFunctionality,
+// KeyKernel — so internal/liveprof can bucket parsed profile samples
+// without a schema negotiation.
+package proflabel
+
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// Label keys recorded into CPU profiles. liveprof keys its attribution on
+// these exact strings.
+const (
+	KeyService       = "service"       // which fleet service the cycles belong to
+	KeyFunctionality = "functionality" // Table 3 bucketer marker key (io, ioprep, compression, ...)
+	KeyKernel        = "kernel"        // offloadable kernel family (compression, encryption, ...)
+)
+
+// enabled is the process-wide switch. Off by default: production paths pay
+// one atomic load per labeled region until a collector turns labels on.
+var enabled atomic.Bool
+
+// Enable turns labeling on. The CPU-profile collectors (internal/liveprof,
+// the /debug/pprof/profile endpoint wrapper) call this for the duration of
+// a collection window.
+func Enable() { enabled.Store(true) }
+
+// Disable turns labeling off again.
+func Disable() { enabled.Store(false) }
+
+// Enabled reports whether labeled regions currently apply their labels.
+func Enabled() bool { return enabled.Load() }
+
+// Set is a precomputed, immutable label set. The zero Set is valid and
+// labels nothing.
+type Set struct {
+	ls    pprof.LabelSet
+	empty bool
+}
+
+// Labels precomputes a label set from alternating key/value pairs. Build
+// sets at package init or run setup, never inside request loops.
+func Labels(kv ...string) Set {
+	if len(kv) == 0 {
+		return Set{empty: true}
+	}
+	return Set{ls: pprof.Labels(kv...)}
+}
+
+// Do runs f with the set's labels applied when labeling is enabled; when
+// disabled (the steady production state) it invokes f directly — one
+// atomic load, zero allocations. f always runs exactly once.
+func Do(ctx context.Context, set Set, f func(context.Context)) {
+	if !enabled.Load() || set.empty {
+		f(ctx)
+		return
+	}
+	pprof.Do(ctx, set.ls, f)
+}
+
+// serviceSets caches one label set per service name; fleet drivers and the
+// burner look sets up once per run, outside their request loops.
+var serviceSets sync.Map // string → Set
+
+// ServiceSet returns (building and caching on first use) the label set
+// {service=name}.
+func ServiceSet(name string) Set {
+	if s, ok := serviceSets.Load(name); ok {
+		return s.(Set)
+	}
+	s := Labels(KeyService, name)
+	serviceSets.Store(name, s)
+	return s
+}

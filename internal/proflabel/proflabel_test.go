@@ -1,0 +1,143 @@
+package proflabel
+
+import (
+	"context"
+	"runtime/pprof"
+	"testing"
+)
+
+// withClean disables labels and restores the prior state afterward, so
+// tests can toggle the global gate without ordering hazards.
+func withClean(t *testing.T, f func()) {
+	t.Helper()
+	was := Enabled()
+	Disable()
+	defer func() {
+		if was {
+			Enable()
+		} else {
+			Disable()
+		}
+	}()
+	f()
+}
+
+func TestDoRunsExactlyOnce(t *testing.T) {
+	withClean(t, func() {
+		set := Labels(KeyService, "svc")
+		for _, enabled := range []bool{false, true} {
+			if enabled {
+				Enable()
+			} else {
+				Disable()
+			}
+			calls := 0
+			//modelcheck:ignore ctxcheck — the literal exists to assert Do passes a non-nil ctx
+			Do(context.Background(), set, func(ctx context.Context) {
+				calls++
+				if ctx == nil {
+					t.Fatal("Do passed nil ctx")
+				}
+			})
+			if calls != 1 {
+				t.Fatalf("enabled=%v: Do ran f %d times, want 1", enabled, calls)
+			}
+		}
+	})
+}
+
+func TestDoAppliesLabelsOnlyWhenEnabled(t *testing.T) {
+	withClean(t, func() {
+		set := Labels(KeyService, "svc-a", KeyFunctionality, "io")
+
+		Do(context.Background(), set, func(ctx context.Context) {
+			if v, ok := pprof.Label(ctx, KeyService); ok {
+				t.Fatalf("disabled Do applied label %s=%q", KeyService, v)
+			}
+		})
+
+		Enable()
+		Do(context.Background(), set, func(ctx context.Context) {
+			if v, _ := pprof.Label(ctx, KeyService); v != "svc-a" {
+				t.Fatalf("label %s = %q, want svc-a", KeyService, v)
+			}
+			if v, _ := pprof.Label(ctx, KeyFunctionality); v != "io" {
+				t.Fatalf("label %s = %q, want io", KeyFunctionality, v)
+			}
+		})
+	})
+}
+
+func TestDoMergesWithOuterLabels(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		outer := ServiceSet("outer-svc")
+		inner := Labels(KeyFunctionality, "compression")
+		Do(context.Background(), outer, func(ctx context.Context) {
+			Do(ctx, inner, func(ctx context.Context) {
+				if v, _ := pprof.Label(ctx, KeyService); v != "outer-svc" {
+					t.Fatalf("outer label lost in nested Do: %s=%q", KeyService, v)
+				}
+				if v, _ := pprof.Label(ctx, KeyFunctionality); v != "compression" {
+					t.Fatalf("inner label missing: %s=%q", KeyFunctionality, v)
+				}
+			})
+		})
+	})
+}
+
+func TestEmptySetIsInert(t *testing.T) {
+	withClean(t, func() {
+		Enable()
+		calls := 0
+		Do(context.Background(), Labels(), func(context.Context) { calls++ })
+		if calls != 1 {
+			t.Fatalf("empty-set Do ran f %d times, want 1", calls)
+		}
+		var zero Set
+		Do(context.Background(), zero, func(context.Context) { calls++ })
+		if calls != 2 {
+			t.Fatalf("zero-value Do ran f %d times, want 2", calls)
+		}
+	})
+}
+
+func TestLabelsOddArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Labels with odd arity did not panic")
+		}
+	}()
+	Labels(KeyService)
+}
+
+func TestServiceSetCachesPerName(t *testing.T) {
+	ServiceSet("cache-test-svc")
+	if _, ok := serviceSets.Load("cache-test-svc"); !ok {
+		t.Error("ServiceSet did not cache the set for later lookups")
+	}
+	withClean(t, func() {
+		Enable()
+		Do(context.Background(), ServiceSet("other-svc"), func(ctx context.Context) {
+			if v, _ := pprof.Label(ctx, KeyService); v != "other-svc" {
+				t.Fatalf("ServiceSet label = %q, want other-svc", v)
+			}
+		})
+	})
+}
+
+func TestEnableDisableToggle(t *testing.T) {
+	withClean(t, func() {
+		if Enabled() {
+			t.Fatal("Enabled() true after Disable")
+		}
+		Enable()
+		if !Enabled() {
+			t.Fatal("Enabled() false after Enable")
+		}
+		Disable()
+		if Enabled() {
+			t.Fatal("Enabled() true after Disable")
+		}
+	})
+}

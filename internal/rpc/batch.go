@@ -175,7 +175,7 @@ func (c *Client) CallBatch(reqs []Message) ([]Message, []error, error) {
 		return nil, nil, err
 	}
 	env := Message{Method: BatchMethod, Payload: payload}
-	resp, err := c.exchange(env, ins, sp, obs)
+	resp, err := c.exchange(context.Background(), env, ins, sp, obs)
 	putBuf(payload) // the exchange serialized the envelope; it is dead
 	sp.End()
 	if err != nil {

@@ -2,13 +2,29 @@ package rpc
 
 import (
 	"compress/flate"
+	"context"
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
 	"time"
 
 	"repro/internal/kernels"
+	"repro/internal/proflabel"
 	"repro/internal/telemetry"
+)
+
+// CPU-attribution label sets for the pipeline stages, precomputed at init.
+// Each stage carries the Table 3 functionality marker key its cycles
+// belong to plus the kernel family it invokes, so a CPU profile collected
+// under proflabel.Enable attributes pipeline cycles exactly along the
+// paper's "data center tax" category boundaries. Encryption counts as
+// secure IO (the paper's SSL cycles sit on the I/O path).
+var (
+	plSerialize  = proflabel.Labels(proflabel.KeyFunctionality, "serialization", proflabel.KeyKernel, "serialization")
+	plCompress   = proflabel.Labels(proflabel.KeyFunctionality, "compression", proflabel.KeyKernel, "compression")
+	plEncrypt    = proflabel.Labels(proflabel.KeyFunctionality, "io", proflabel.KeyKernel, "encryption")
+	plDecompress = proflabel.Labels(proflabel.KeyFunctionality, "compression", proflabel.KeyKernel, "decompression")
+	plFrameIO    = proflabel.Labels(proflabel.KeyFunctionality, "io")
 )
 
 // Pipeline encodes messages through the full orchestration path the paper
@@ -111,6 +127,16 @@ func (p *Pipeline) Encode(m Message) ([]byte, error) { return p.EncodeSpan(m, ni
 // stage histograms (when Instrument was called). With neither attached it
 // is identical to Encode.
 func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
+	return p.EncodeCtx(context.Background(), m, sp)
+}
+
+// EncodeCtx is EncodeSpan with CPU-attribution labels: while profiling
+// labels are enabled (proflabel.Enable), each stage runs under its
+// functionality/kernel label set merged with any labels already on ctx
+// (e.g. the caller's service label), so sampled cycles attribute to the
+// exact tax category. Disabled — the steady state — each stage pays one
+// atomic load.
+func (p *Pipeline) EncodeCtx(ctx context.Context, m Message, sp *telemetry.Span) ([]byte, error) {
 	obs := p.mx != nil || sp != nil
 	var t0 time.Time
 
@@ -124,16 +150,20 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 	if obs {
 		t0 = time.Now()
 	}
-	size, err := wireSize(m)
-	if err != nil {
-		return nil, err
-	}
 	// Every intermediate below is pooled and owned by this call: each stage
 	// appends into a fresh pooled buffer and releases its input, so one
 	// message in steady state recycles the serialize, compress, and encrypt
 	// staging instead of allocating them (the paper's Table 2 allocation +
 	// memcpy taxes, removed from the harness's own hot path).
-	data, err := appendMessage(getBuf(size), m, flags)
+	var data []byte
+	var err error
+	proflabel.Do(ctx, plSerialize, func(context.Context) {
+		var size int
+		if size, err = wireSize(m); err != nil {
+			return
+		}
+		data, err = appendMessage(getBuf(size), m, flags)
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -147,13 +177,19 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 		if obs {
 			t0 = time.Now()
 		}
-		out, err := kernels.CompressAppend(getBuf(len(data)+64), data, p.compressLevel)
+		proflabel.Do(ctx, plCompress, func(context.Context) {
+			var out []byte
+			out, err = kernels.CompressAppend(getBuf(len(data)+64), data, p.compressLevel)
+			if err != nil {
+				return
+			}
+			putBuf(data)
+			data = out
+		})
 		if err != nil {
 			putBuf(data)
 			return nil, err
 		}
-		putBuf(data)
-		data = out
 		if obs {
 			observeStage(p.mx.stageHist(stageCompress), sp, "compress", t0)
 		}
@@ -167,16 +203,22 @@ func (p *Pipeline) EncodeSpan(m Message, sp *telemetry.Span) ([]byte, error) {
 		if obs {
 			t0 = time.Now()
 		}
-		iv := p.nextIV()
-		out := getBuf(len(iv) + len(data))[:len(iv)+len(data)]
-		copy(out, iv)
-		if err := p.cipher.EncryptTo(out[len(iv):], iv, data); err != nil {
+		proflabel.Do(ctx, plEncrypt, func(context.Context) {
+			iv := p.nextIV()
+			out := getBuf(len(iv) + len(data))[:len(iv)+len(data)]
+			copy(out, iv)
+			if err = p.cipher.EncryptTo(out[len(iv):], iv, data); err != nil {
+				putBuf(out)
+				return
+			}
+			p.stats.Encryptions++
+			putBuf(data)
+			data = out
+		})
+		if err != nil {
 			putBuf(data)
 			return nil, err
 		}
-		p.stats.Encryptions++
-		putBuf(data)
-		data = out
 		if obs {
 			observeStage(p.mx.stageHist(stageEncrypt), sp, "encrypt", t0)
 		}
@@ -192,6 +234,11 @@ func (p *Pipeline) Decode(data []byte) (Message, error) { return p.DecodeSpan(da
 
 // DecodeSpan is Decode with per-stage observability; see EncodeSpan.
 func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) {
+	return p.DecodeCtx(context.Background(), data, sp)
+}
+
+// DecodeCtx is DecodeSpan with CPU-attribution labels; see EncodeCtx.
+func (p *Pipeline) DecodeCtx(ctx context.Context, data []byte, sp *telemetry.Span) (Message, error) {
 	obs := p.mx != nil || sp != nil
 	var t0 time.Time
 
@@ -213,14 +260,20 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 		if obs {
 			t0 = time.Now()
 		}
-		iv, body := data[:16], data[16:]
-		dec := getBuf(len(body))[:len(body)]
-		if err := p.cipher.EncryptTo(dec, iv, body); err != nil { // CTR is symmetric
-			putBuf(dec)
+		var err error
+		proflabel.Do(ctx, plEncrypt, func(context.Context) {
+			iv, body := data[:16], data[16:]
+			dec := getBuf(len(body))[:len(body)]
+			if err = p.cipher.EncryptTo(dec, iv, body); err != nil { // CTR is symmetric
+				putBuf(dec)
+				return
+			}
+			p.stats.Decryptions++
+			owned, data = dec, dec
+		})
+		if err != nil {
 			return Message{}, err
 		}
-		p.stats.Decryptions++
-		owned, data = dec, dec
 		if obs {
 			observeStage(p.mx.stageHist(stageDecrypt), sp, "decrypt", t0)
 		}
@@ -229,14 +282,20 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 		if obs {
 			t0 = time.Now()
 		}
-		out, err := kernels.DecompressAppend(getBuf(2*len(data)), data)
+		var err error
+		proflabel.Do(ctx, plDecompress, func(context.Context) {
+			var out []byte
+			if out, err = kernels.DecompressAppend(getBuf(2*len(data)), data); err != nil {
+				return
+			}
+			release()
+			p.stats.Decompression++
+			owned, data = out, out
+		})
 		if err != nil {
 			release()
 			return Message{}, fmt.Errorf("%w: decompression failed: %v", ErrCorrupt, err)
 		}
-		release()
-		p.stats.Decompression++
-		owned, data = out, out
 		if obs {
 			observeStage(p.mx.stageHist(stageDecompress), sp, "decompress", t0)
 		}
@@ -244,7 +303,12 @@ func (p *Pipeline) DecodeSpan(data []byte, sp *telemetry.Span) (Message, error) 
 	if obs {
 		t0 = time.Now()
 	}
-	m, flags, err := unmarshalInterned(data, &p.methods)
+	var m Message
+	var flags byte
+	var err error
+	proflabel.Do(ctx, plSerialize, func(context.Context) {
+		m, flags, err = unmarshalInterned(data, &p.methods)
+	})
 	release() // the Message copied everything it keeps
 	if err != nil {
 		return Message{}, err

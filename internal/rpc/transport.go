@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/proflabel"
 	"repro/internal/telemetry"
 )
 
@@ -252,7 +253,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			return
 		}
 		frameLen := len(frame)
-		req, err := pipeline.Decode(frame)
+		req, err := pipeline.DecodeCtx(ctx, frame, nil)
 		putBuf(frame) // Decode copied the message out; the frame is dead
 		if err != nil {
 			return
@@ -265,7 +266,7 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		} else {
 			resp, sp = s.handleOne(ctx, req)
 		}
-		out, err := pipeline.EncodeSpan(resp, sp)
+		out, err := pipeline.EncodeCtx(ctx, resp, sp)
 		if req.Method == BatchMethod {
 			// The batch-envelope payload is pooled by handleBatch and was
 			// copied into the encoded frame (or is dead on error).
@@ -281,7 +282,10 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 			t0 = time.Now()
 		}
 		outLen := len(out)
-		werr := writeFrame(conn, out, &hdr)
+		var werr error
+		proflabel.Do(ctx, plFrameIO, func(context.Context) {
+			werr = writeFrame(conn, out, &hdr)
+		})
 		putBuf(out) // the frame write flushed; the encode buffer is dead
 		if obs {
 			var h *telemetry.Histogram
@@ -394,7 +398,7 @@ func NewClient(conn net.Conn, pipeline *Pipeline) (*Client, error) {
 // "error" header is surfaced as an error. It blocks until the server
 // responds or the connection breaks; use CallContext to bound the wait.
 func (c *Client) Call(req Message) (Message, error) {
-	return c.call(req)
+	return c.call(context.Background(), req)
 }
 
 // CallContext is Call with context deadline and cancellation support: the
@@ -421,7 +425,7 @@ func (c *Client) CallContext(ctx context.Context, req Message) (Message, error) 
 		})
 		defer stop()
 	}
-	resp, err := c.call(req)
+	resp, err := c.call(ctx, req)
 	if err != nil {
 		if ctxErr := ctx.Err(); ctxErr != nil {
 			return Message{}, fmt.Errorf("rpc: call aborted: %w", ctxErr)
@@ -439,8 +443,10 @@ func (c *Client) CallContext(ctx context.Context, req Message) (Message, error) 
 
 // call runs one request/response exchange, instrumented when telemetry is
 // attached. The uninstrumented path performs no extra work beyond nil
-// checks.
-func (c *Client) call(req Message) (Message, error) {
+// checks. ctx carries CPU-attribution labels into the pipeline stages (it
+// is not consulted for cancellation here — CallContext arms cancellation
+// via the connection deadline before delegating).
+func (c *Client) call(ctx context.Context, req Message) (Message, error) {
 	ins := c.ins
 	obs := ins.enabled()
 	var sp *telemetry.Span
@@ -456,7 +462,7 @@ func (c *Client) call(req Message) (Message, error) {
 		callStart = time.Now()
 	}
 
-	resp, err := c.exchange(req, ins, sp, obs)
+	resp, err := c.exchange(ctx, req, ins, sp, obs)
 
 	if obs {
 		if ins.Metrics != nil {
@@ -473,8 +479,8 @@ func (c *Client) call(req Message) (Message, error) {
 // exchange performs encode → frame-write → net-wait → decode. Pooled
 // buffer ownership: the encode output is released once the frame write
 // flushes, and the response frame once decode has copied the message out.
-func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span, obs bool) (Message, error) {
-	data, err := c.pipeline.EncodeSpan(req, sp)
+func (c *Client) exchange(ctx context.Context, req Message, ins *Instrumentation, sp *telemetry.Span, obs bool) (Message, error) {
+	data, err := c.pipeline.EncodeCtx(ctx, req, sp)
 	if err != nil {
 		return Message{}, err
 	}
@@ -484,7 +490,10 @@ func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span,
 		t0 = time.Now()
 	}
 	dataLen := len(data)
-	werr := writeFrame(c.conn, data, &c.hdr)
+	var werr error
+	proflabel.Do(ctx, plFrameIO, func(context.Context) {
+		werr = writeFrame(c.conn, data, &c.hdr)
+	})
 	putBuf(data) // the frame write flushed; the encode buffer is dead
 	if werr != nil {
 		return Message{}, werr
@@ -512,7 +521,7 @@ func (c *Client) exchange(req Message, ins *Instrumentation, sp *telemetry.Span,
 		observeStage(h, sp, "net-wait", t0)
 	}
 
-	resp, err := c.pipeline.DecodeSpan(frame, sp)
+	resp, err := c.pipeline.DecodeCtx(ctx, frame, sp)
 	putBuf(frame) // decode copied the message out; the frame is dead
 	if err != nil {
 		return Message{}, err

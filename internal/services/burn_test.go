@@ -1,0 +1,79 @@
+package services
+
+import (
+	"context"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/fleetdata"
+)
+
+func TestBurnSpendsProportionally(t *testing.T) {
+	s, err := New(fleetdata.Cache2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := BurnConfig{Duration: 300 * time.Millisecond, Seed: 7}
+	stats, err := s.Burn(context.Background(), cfg)
+	if err != nil {
+		t.Fatalf("Burn: %v", err)
+	}
+	if stats.Rounds < 1 {
+		t.Fatalf("Rounds = %d, want >= 1", stats.Rounds)
+	}
+
+	want := fleetdata.FunctionalityBreakdowns[fleetdata.Cache2]
+	for cat, share := range want {
+		if share > 0 && stats.Spent[cat] <= 0 {
+			t.Errorf("category %q (%.0f%%) got no burn time", cat, share)
+		}
+	}
+
+	// Wall-time budgeting means the measured shares should track the
+	// calibrated ones closely even on loaded machines; 6 points of slack
+	// absorbs slice-granularity rounding on the smallest categories.
+	got := stats.MeasuredShares()
+	for cat, share := range want {
+		if diff := math.Abs(got.Share(cat) - share); diff > 6 {
+			t.Errorf("category %q measured %.1f%%, calibrated %.1f%% (drift %.1f)",
+				cat, got.Share(cat), share, diff)
+		}
+	}
+}
+
+func TestBurnCancellation(t *testing.T) {
+	s, err := New(fleetdata.Web)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	t0 := time.Now()
+	if _, err := s.Burn(ctx, BurnConfig{Duration: 10 * time.Second}); err != nil {
+		t.Fatalf("cancelled Burn returned error: %v", err)
+	}
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("cancelled Burn ran %v, want near-immediate return", elapsed)
+	}
+}
+
+func TestBurnUnknownBreakdown(t *testing.T) {
+	s := &Service{Name: fleetdata.Service("NoSuch")}
+	if _, err := s.Burn(context.Background(), BurnConfig{Duration: time.Millisecond}); err == nil {
+		t.Fatal("Burn on a service without a breakdown did not error")
+	}
+}
+
+func TestMarkerForCoversAllCategories(t *testing.T) {
+	for _, name := range fleetdata.Services {
+		for cat := range fleetdata.FunctionalityBreakdowns[name] {
+			if MarkerFor(cat) == "" {
+				t.Errorf("no marker for category %q (service %s)", cat, name)
+			}
+		}
+	}
+	if MarkerFor("not-a-category") != "" {
+		t.Error("unknown category returned a marker")
+	}
+}

@@ -2,14 +2,28 @@ package services
 
 import (
 	"compress/flate"
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/dist"
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
+	"repro/internal/proflabel"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
+)
+
+// CPU-attribution label sets for the Exercise stages outside the rpc
+// pipeline (which labels its own stages): IO pre/post-processing around
+// the size-class allocator and payload staging, and the application-logic
+// stand-in around hashing. Precomputed so the request loop pays only the
+// proflabel gate when profiling is off.
+var (
+	lblIOPrepAlloc = proflabel.Labels(proflabel.KeyFunctionality, "ioprep", proflabel.KeyKernel, "allocation")
+	lblIOPrepCopy  = proflabel.Labels(proflabel.KeyFunctionality, "ioprep", proflabel.KeyKernel, "memory-copy")
+	lblAppHash     = proflabel.Labels(proflabel.KeyFunctionality, "app", proflabel.KeyKernel, "hashing")
+	lblIOPrepFree  = proflabel.Labels(proflabel.KeyFunctionality, "ioprep", proflabel.KeyKernel, "free")
 )
 
 // This file makes the synthetic fleet execute real work: each service can
@@ -126,64 +140,85 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 	staging := kernels.GetScratch(maxPayload)[:maxPayload]
 	defer kernels.PutScratch(staging)
 
+	// Each request runs under the service's CPU-attribution label (a no-op
+	// unless proflabel.Enable is in effect); the labeled ctx flows into the
+	// pipeline so stage labels merge with it.
+	baseCtx := context.Background()
+	svcLabels := proflabel.ServiceSet(string(s.Name))
+
+	var reqErr error
 	for i := 0; i < n; i++ {
-		size := sampler.Sample()
-		if size == 0 {
-			size = 1
-		}
-		if size > maxPayload {
-			size = maxPayload
-		}
+		proflabel.Do(baseCtx, svcLabels, func(ctx context.Context) {
+			size := sampler.Sample()
+			if size == 0 {
+				size = 1
+			}
+			if size > maxPayload {
+				size = maxPayload
+			}
 
-		// IO pre-processing: allocate a buffer through the size-class
-		// allocator and fill it with a realistic payload staged in the
-		// pooled buffer.
-		block, err := arena.Alloc(int(size))
-		if err != nil {
-			return ExerciseStats{}, err
-		}
-		payload := staging[:size]
-		kernels.FillCompressible(payload, seed+uint64(i))
-		block = block[:size]
-		stats.BytesCopied += uint64(kernels.Copy(block, payload))
-		stats.PayloadBytes += size
+			// IO pre-processing: allocate a buffer through the size-class
+			// allocator and fill it with a realistic payload staged in the
+			// pooled buffer.
+			var block []byte
+			proflabel.Do(ctx, lblIOPrepAlloc, func(context.Context) {
+				block, reqErr = arena.Alloc(int(size))
+			})
+			if reqErr != nil {
+				return
+			}
+			proflabel.Do(ctx, lblIOPrepCopy, func(context.Context) {
+				payload := staging[:size]
+				kernels.FillCompressible(payload, seed+uint64(i))
+				block = block[:size]
+				stats.BytesCopied += uint64(kernels.Copy(block, payload))
+			})
+			stats.PayloadBytes += size
 
-		// Orchestration: serialize (+compress/+encrypt) and decode on the
-		// "server" side.
-		msg := rpc.Message{
-			Method:  string(s.Name) + ".request",
-			Headers: map[string]string{"seq": fmt.Sprint(i)},
-			Payload: block,
-		}
-		sp := tracer.Start(string(s.Name) + ".request")
-		wire, err := sender.EncodeSpan(msg, sp)
-		if err != nil {
+			// Orchestration: serialize (+compress/+encrypt) and decode on the
+			// "server" side.
+			msg := rpc.Message{
+				Method:  string(s.Name) + ".request",
+				Headers: map[string]string{"seq": fmt.Sprint(i)},
+				Payload: block,
+			}
+			sp := tracer.Start(string(s.Name) + ".request")
+			wire, err := sender.EncodeCtx(ctx, msg, sp)
+			if err != nil {
+				sp.End()
+				reqErr = err
+				return
+			}
+			stats.WireBytes += uint64(len(wire))
+			decoded, err := receiver.DecodeCtx(ctx, wire, sp)
+			if err != nil {
+				sp.End()
+				reqErr = err
+				return
+			}
+
+			// Application logic stand-in: hash the payload (key-value digest).
+			var t0 time.Time
+			if sp != nil {
+				t0 = time.Now()
+			}
+			proflabel.Do(ctx, lblAppHash, func(context.Context) {
+				sum := kernels.Hash(decoded.Payload)
+				staging[0] = sum[0] // keep the hash live; overwritten by the next fill
+			})
+			if sp != nil {
+				sp.ChildDone("hash", t0, time.Since(t0))
+			}
+			stats.BytesHashed += uint64(len(decoded.Payload))
 			sp.End()
-			return ExerciseStats{}, err
-		}
-		stats.WireBytes += uint64(len(wire))
-		decoded, err := receiver.DecodeSpan(wire, sp)
-		if err != nil {
-			sp.End()
-			return ExerciseStats{}, err
-		}
 
-		// Application logic stand-in: hash the payload (key-value digest).
-		var t0 time.Time
-		if sp != nil {
-			t0 = time.Now()
-		}
-		sum := kernels.Hash(decoded.Payload)
-		if sp != nil {
-			sp.ChildDone("hash", t0, time.Since(t0))
-		}
-		stats.BytesHashed += uint64(len(decoded.Payload))
-		staging[0] = sum[0] // keep the hash live; overwritten by the next fill
-		sp.End()
-
-		// IO post-processing: return the buffer.
-		if err := arena.FreeSized(block, int(size)); err != nil {
-			return ExerciseStats{}, err
+			// IO post-processing: return the buffer.
+			proflabel.Do(ctx, lblIOPrepFree, func(context.Context) {
+				reqErr = arena.FreeSized(block, int(size))
+			})
+		})
+		if reqErr != nil {
+			return ExerciseStats{}, reqErr
 		}
 	}
 	stats.Pipeline = sender.Stats()

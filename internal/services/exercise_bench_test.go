@@ -1,0 +1,35 @@
+package services_test
+
+import (
+	"testing"
+
+	"repro/internal/fleetdata"
+	"repro/internal/proflabel"
+	"repro/internal/services"
+)
+
+// BenchmarkExerciseLabelsOff runs the full instrumented Exercise path with
+// labeling disabled — the steady production state. scripts/bench_profile.sh
+// records its ns/op and allocs/op in BENCH_profile.json so instrumentation
+// creep on the whole serving path shows up in the artifact history (the
+// region-level 0-alloc/3% gates live in internal/proflabel's benchmarks).
+func BenchmarkExerciseLabelsOff(b *testing.B) {
+	svc, err := services.New(fleetdata.Cache1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	wasEnabled := proflabel.Enabled()
+	proflabel.Disable()
+	defer func() {
+		if wasEnabled {
+			proflabel.Enable()
+		}
+	}()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := svc.Exercise(4, uint64(i)+1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

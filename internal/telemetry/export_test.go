@@ -1,0 +1,265 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// exportRegistry builds a registry with one of each instrument kind,
+// populated with known values.
+func exportRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	ctr, err := reg.Counter("requests_total", "requests handled")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctr.Add(7)
+	g, err := reg.Gauge("inflight", "requests in flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Set(-3)
+	h, err := reg.Histogram("latency_seconds", "request latency")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Record(float64(i) / 100)
+	}
+	return reg
+}
+
+func TestWritePrometheusShape(t *testing.T) {
+	var sb strings.Builder
+	if err := exportRegistry(t).WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+
+	for _, want := range []string{
+		"# HELP requests_total requests handled",
+		"# TYPE requests_total counter",
+		"requests_total 7",
+		"# HELP inflight requests in flight",
+		"# TYPE inflight gauge",
+		"inflight -3",
+		"# HELP latency_seconds request latency",
+		"# TYPE latency_seconds summary",
+		`latency_seconds{quantile="0.5"}`,
+		`latency_seconds{quantile="0.95"}`,
+		`latency_seconds{quantile="0.99"}`,
+		`latency_seconds{quantile="0.999"}`,
+		"latency_seconds_count 100",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// _sum of 0.01..1.00 is 50.5, rendered with %g.
+	if !strings.Contains(out, "latency_seconds_sum 50.5") {
+		t.Errorf("exposition sum line wrong:\n%s", out)
+	}
+	// Every non-comment line is "name value" or "name{labels} value".
+	for _, line := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestWriteChromeTraceJSON(t *testing.T) {
+	base := time.Unix(1700000000, 0)
+	spans := []SpanData{
+		{TraceID: 42, SpanID: 2, ParentID: 1, Name: "serialize", Process: "client",
+			Start: base.Add(5 * time.Microsecond), Duration: 10 * time.Microsecond},
+		{TraceID: 42, SpanID: 1, Name: "call", Process: "client",
+			Start: base, Duration: 30 * time.Microsecond},
+		{TraceID: 42, SpanID: 3, ParentID: 1, Name: "handle", Process: "server",
+			Start: base.Add(12 * time.Microsecond), Duration: 8 * time.Microsecond},
+	}
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, spans); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, sb.String())
+	}
+
+	// 3 span events + one process_name metadata event per distinct process.
+	var meta, complete int
+	pidByProcess := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			pidByProcess[ev.Args["name"]] = ev.Pid
+		case "X":
+			complete++
+		default:
+			t.Errorf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if meta != 2 || complete != 3 {
+		t.Fatalf("got %d metadata + %d complete events, want 2 + 3", meta, complete)
+	}
+	if pidByProcess["client"] == pidByProcess["server"] {
+		t.Errorf("client and server share pid %d", pidByProcess["client"])
+	}
+
+	// Events are emitted in start order regardless of input order, and a
+	// span's args carry its IDs in hex.
+	var xs []string
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			xs = append(xs, ev.Name)
+		}
+	}
+	if got := strings.Join(xs, ","); got != "call,serialize,handle" {
+		t.Errorf("span order = %s, want call,serialize,handle", got)
+	}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" && ev.Name == "serialize" {
+			if ev.Args["trace"] != "2a" || ev.Args["span"] != "2" || ev.Args["parent"] != "1" {
+				t.Errorf("serialize args = %v", ev.Args)
+			}
+			if ev.Dur != 10 {
+				t.Errorf("serialize dur = %g us, want 10", ev.Dur)
+			}
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteChromeTrace(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	var trace map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(sb.String()), &trace); err != nil {
+		t.Fatalf("empty trace is not valid JSON: %v", err)
+	}
+	if _, ok := trace["traceEvents"]; !ok {
+		t.Errorf("empty trace missing traceEvents key: %s", sb.String())
+	}
+}
+
+func TestHistogramTextBins(t *testing.T) {
+	reg := NewRegistry()
+	h, err := reg.Histogram("spread", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Record(0)
+	for i := 0; i < 64; i++ {
+		h.Record(1)
+	}
+	for i := 0; i < 16; i++ {
+		h.Record(1000)
+	}
+	out := HistogramText("spread", h.Snapshot(), 40)
+	if !strings.Contains(out, "spread: n=81") {
+		t.Errorf("header missing count:\n%s", out)
+	}
+	for _, want := range []string{"zero", "p50=", "p95=", "p99=", "p999="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// One bar per populated power-of-two bin: zero, ~1, ~1000.
+	if bars := strings.Count(out, "|"); bars < 3 {
+		t.Errorf("want >= 3 bars, got %d:\n%s", bars, out)
+	}
+}
+
+func TestHistogramTextEmpty(t *testing.T) {
+	reg := NewRegistry()
+	h, err := reg.Histogram("empty", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := HistogramText("empty", h.Snapshot(), 40)
+	if !strings.Contains(out, "n=0") {
+		t.Errorf("empty histogram header wrong:\n%s", out)
+	}
+	if strings.Contains(out, "|") {
+		t.Errorf("empty histogram should render no bars:\n%s", out)
+	}
+}
+
+func TestWriteMetricsFileRoundTrip(t *testing.T) {
+	reg := exportRegistry(t)
+	path := filepath.Join(t.TempDir(), "metrics.prom")
+	if err := WriteMetricsFile(path, reg); err != nil {
+		t.Fatal(err)
+	}
+	onDisk, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if string(onDisk) != sb.String() {
+		t.Errorf("file contents diverge from WritePrometheus:\nfile:\n%s\ndirect:\n%s", onDisk, sb.String())
+	}
+}
+
+func TestWriteFileErrors(t *testing.T) {
+	reg := exportRegistry(t)
+	missingDir := filepath.Join(t.TempDir(), "no", "such", "dir", "out.prom")
+	if err := WriteMetricsFile(missingDir, reg); err == nil {
+		t.Error("WriteMetricsFile into a missing directory should fail")
+	}
+	if err := WriteTraceFile(missingDir, nil); err == nil {
+		t.Error("WriteTraceFile into a missing directory should fail")
+	}
+	// A directory target fails at create time on write.
+	dir := t.TempDir()
+	if err := WriteMetricsFile(dir, reg); err == nil {
+		t.Error("WriteMetricsFile onto a directory should fail")
+	}
+}
+
+func TestWriteTraceFileRoundTrip(t *testing.T) {
+	tr := NewTracer("proc")
+	sp := tr.Start("op")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := WriteTraceFile(path, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) != 2 { // metadata + one span
+		t.Errorf("trace file has %d events, want 2", len(trace.TraceEvents))
+	}
+}

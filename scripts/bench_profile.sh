@@ -1,0 +1,91 @@
+#!/usr/bin/env bash
+# bench_profile.sh — zero-cost gate for the CPU-attribution labels, captured
+# as JSON.
+#
+# The serving paths (services.Exercise stages, rpc pipeline stages, fleet
+# workers) are wrapped in proflabel.Do regions so CPU profiles attribute
+# cycles to service/functionality/kernel. The contract is that this costs
+# nothing while no profile is being collected. This script pins it with the
+# region-level benchmarks in internal/proflabel:
+#
+#   - BenchmarkRegionUninstrumented  the stage body called directly
+#   - BenchmarkRegionDisabled        the same body behind proflabel.Do, off
+#   - BenchmarkRegionEnabled         labels applied (informational: paid
+#                                    only during a collection window)
+#
+# Gates (each benchmark runs BENCHCOUNT times, default 3; best run counts):
+#   1. BenchmarkRegionDisabled must report 0 allocs/op — the disabled path
+#      may not allocate, ever.
+#   2. BenchmarkRegionDisabled ns/op must stay within MAX_OVERHEAD_PCT
+#      (default 3%) of BenchmarkRegionUninstrumented.
+#
+# BenchmarkExerciseLabelsOff (internal/services) rides along informationally
+# so whole-path instrumentation creep shows in the artifact history.
+# Everything lands in BENCH_profile.json. Override the iteration budget with
+# BENCHTIME (default 0.3s; CI uses 1s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_profile.json}"
+max_overhead="${MAX_OVERHEAD_PCT:-3}"
+benchtime="${BENCHTIME:-0.3s}"
+benchcount="${BENCHCOUNT:-3}"
+
+raw="$(go test -run '^$' -bench '^BenchmarkRegion(Uninstrumented|Disabled|Enabled)$' \
+    -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/proflabel)
+$(go test -run '^$' -bench '^BenchmarkExerciseLabelsOff$' \
+    -benchmem -benchtime "$benchtime" ./internal/services)"
+echo "$raw"
+
+echo "$raw" | awk -v max_overhead="$max_overhead" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (nsop == "") next
+    if (!(name in best) || nsop + 0 < best[name] + 0) {
+        best[name] = nsop
+        bytes[name] = bop
+    }
+    # Allocations must hold on every run, not just the best one.
+    if (!(name in allocs) || aop + 0 > allocs[name] + 0) allocs[name] = aop
+    seen[name] = 1
+}
+END {
+    for (n in seen) required++
+    if (!seen["BenchmarkRegionUninstrumented"] || !seen["BenchmarkRegionDisabled"]) {
+        print "missing region benchmarks in output" > "/dev/stderr"; exit 1
+    }
+    base = best["BenchmarkRegionUninstrumented"] + 0
+    disabled = best["BenchmarkRegionDisabled"] + 0
+    overhead = base > 0 ? (disabled - base) / base * 100 : 0
+    printf "[\n"
+    n = 0
+    for (name in seen) {
+        printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+            (n++ ? ",\n" : ""), name, best[name], bytes[name] == "" ? "null" : bytes[name],
+            allocs[name] == "" ? "null" : allocs[name]
+    }
+    printf ",\n  {\"name\": \"label_overhead_gate\", \"overhead_pct\": %.3f, \"max_overhead_pct\": %s, \"disabled_allocs_per_op\": %s}\n]\n",
+        overhead, max_overhead, allocs["BenchmarkRegionDisabled"]
+    printf "disabled-label region: %.3f%% overhead vs uninstrumented (budget %s%%), %s allocs/op (budget 0)\n",
+        overhead, max_overhead, allocs["BenchmarkRegionDisabled"] > "/dev/stderr"
+    if (allocs["BenchmarkRegionDisabled"] + 0 != 0) {
+        printf "FATAL: disabled-label path allocates %s/op; the off switch must be allocation-free\n",
+            allocs["BenchmarkRegionDisabled"] > "/dev/stderr"
+        exit 1
+    }
+    if (overhead > max_overhead + 0) {
+        printf "FATAL: disabled-label path is %.3f%% slower than uninstrumented, budget %s%%\n",
+            overhead, max_overhead > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"

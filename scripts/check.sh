@@ -6,7 +6,7 @@
 #   2. go vet ./...              (stock static analysis)
 #   3. modelcheck ./...          (domain-aware suite: floatcmp, errdrop,
 #                                 paramvalidate, seedhygiene, lockcheck,
-#                                 shadow)
+#                                 shadow, ctxcheck)
 #   4. modelcheck self-test      (the suite must still flag a known-bad file)
 #   5. go test -race ./...       (unit + integration tests under the race
 #                                 detector; covers the concurrent rpc/sim
@@ -40,6 +40,7 @@ cat > "$selftest/bad.go" <<'EOF'
 package selftest
 
 import (
+	"context"
 	"math/rand"
 	"os"
 	"sync"
@@ -51,6 +52,10 @@ func Bad(a, b float64) bool {
 	mu.Lock()
 	os.Remove("x")
 	return a == b && rand.Float64() > 0.5
+}
+
+func BadCtx(ctx context.Context) {
+	mu.Unlock()
 }
 EOF
 if go run ./cmd/modelcheck -C "$selftest" ./... > /dev/null 2>&1; then
