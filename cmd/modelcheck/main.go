@@ -11,7 +11,8 @@
 //	modelcheck -list                 # describe the analyzers
 //	modelcheck -run floatcmp ./...   # a subset of the suite
 //	modelcheck -json ./...           # machine-readable findings
-//	modelcheck -tests ./...          # include in-package _test.go files
+//	modelcheck -sarif ./...          # SARIF 2.1.0 for code-scanning upload
+//	modelcheck -tests ./...          # include _test.go files and external test packages
 package main
 
 import (
@@ -25,12 +26,13 @@ import (
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as a JSON array")
-		list    = flag.Bool("list", false, "list analyzers and exit")
-		run     = flag.String("run", "", "comma-separated analyzer subset (default: all)")
-		tests   = flag.Bool("tests", false, "also analyze in-package _test.go files")
-		dir     = flag.String("C", ".", "directory inside the module to analyze from")
-		nocache = flag.Bool("nocache", false, "bypass the .modelcheck-cache export-data cache and type-check the stdlib from source")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array")
+		sarifOut = flag.Bool("sarif", false, "emit findings as a SARIF 2.1.0 log")
+		list     = flag.Bool("list", false, "list analyzers and exit")
+		run      = flag.String("run", "", "comma-separated analyzer subset (default: all)")
+		tests    = flag.Bool("tests", false, "also analyze _test.go files and external test packages")
+		dir      = flag.String("C", ".", "directory inside the module to analyze from")
+		nocache  = flag.Bool("nocache", false, "bypass the .modelcheck-cache caches (export data and call-graph summaries)")
 	)
 	flag.Parse()
 
@@ -53,9 +55,22 @@ func main() {
 		fatal(fmt.Errorf("modelcheck: no packages match %v", flag.Args()))
 	}
 
-	findings := analysis.RunAnalyzers(pkgs, analyzers)
+	// The summary cache lives next to the export cache under the module
+	// root; -nocache (or an unresolvable root) recomputes the fixpoint.
+	root := ""
+	if !*nocache {
+		//modelcheck:ignore errdrop — no module root just means no summary cache; BuildModuleCached recomputes
+		root, _ = analysis.ModuleRoot(*dir)
+	}
+	mod := analysis.BuildModuleCached(pkgs, root)
+	findings := analysis.RunAnalyzersWithModule(pkgs, analyzers, mod)
 
-	if *jsonOut {
+	switch {
+	case *sarifOut:
+		if err := analysis.WriteSARIF(os.Stdout, analyzers, findings); err != nil {
+			fatal(err)
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if findings == nil {
@@ -64,7 +79,7 @@ func main() {
 		if err := enc.Encode(findings); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		for _, f := range findings {
 			fmt.Println(f)
 		}

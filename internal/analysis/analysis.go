@@ -7,10 +7,19 @@
 // structs must be validated before they reach the model, randomness must
 // flow through the seeded generator in internal/dist so characterization
 // runs are reproducible, the concurrent rpc/sim layers must follow
-// strict lock discipline, and code that accepts a context.Context must
-// actually honor cancellation. Each invariant is encoded as an Analyzer; the
-// cmd/modelcheck runner loads every package in the module, type-checks it,
-// and reports findings with file:line positions.
+// strict lock discipline, pooled buffers on the zero-alloc hot path must
+// obey their get/put ownership contract, and code that accepts a
+// context.Context must actually honor cancellation. Each invariant is
+// encoded as an Analyzer; the cmd/modelcheck runner loads every package in
+// the module, type-checks it, and reports findings with file:line
+// positions.
+//
+// Analyzers come in two tiers. The syntax-level checks walk one function
+// at a time. The flow-sensitive checks (lockcheck's release rule,
+// poolcheck, paramvalidate's helper chasing) run on the shared dataflow
+// layer: a basic-block CFG per function body (cfg.go) and a module-wide
+// call graph with per-function summaries (callgraph.go), which
+// RunAnalyzers builds once per run and hands to every pass via Pass.Mod.
 //
 // Deliberate exceptions are annotated in source with a directive comment:
 //
@@ -66,6 +75,13 @@ type Pass struct {
 	Info    *types.Info
 	PkgPath string
 
+	// Mod is the module-wide call graph and function summaries
+	// (callgraph.go), shared by every pass of one RunAnalyzers call so
+	// flow-sensitive analyzers can resolve cross-function behavior. Nil
+	// when an analyzer is driven outside RunAnalyzers; SummaryOf/NodeOf
+	// degrade to "unknown callee" on a nil Module.
+	Mod *Module
+
 	analyzer string
 	findings []Finding
 }
@@ -101,6 +117,7 @@ func All() []*Analyzer {
 		LockCheck,
 		Shadow,
 		CtxCheck,
+		PoolCheck,
 	}
 }
 
@@ -228,8 +245,15 @@ func (s ignoreSet) suppressed(f Finding) bool {
 
 // RunAnalyzers applies each analyzer to each loaded package, filters
 // findings through the ignore directives, and returns the survivors sorted
-// by position.
+// by position. The module call graph and summaries are built in-memory;
+// RunAnalyzersWithModule accepts a prebuilt (possibly cache-backed) one.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunAnalyzersWithModule(pkgs, analyzers, BuildModule(pkgs))
+}
+
+// RunAnalyzersWithModule is RunAnalyzers with a caller-supplied Module,
+// letting cmd/modelcheck reuse cached call-graph summaries.
+func RunAnalyzersWithModule(pkgs []*Package, analyzers []*Analyzer, mod *Module) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		ignores := buildIgnores(pkg.Fset, pkg.Files)
@@ -240,6 +264,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) []Finding {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				PkgPath:  pkg.Path,
+				Mod:      mod,
 				analyzer: a.Name,
 			}
 			a.Run(pass)

@@ -8,8 +8,8 @@ import (
 
 func TestByName(t *testing.T) {
 	all, err := ByName("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 7", len(all), err)
+	if err != nil || len(all) != 8 {
+		t.Fatalf("ByName(\"\") = %d analyzers, err %v; want the full suite of 8", len(all), err)
 	}
 	subset, err := ByName("floatcmp, lockcheck")
 	if err != nil || len(subset) != 2 || subset[0].Name != "floatcmp" || subset[1].Name != "lockcheck" {

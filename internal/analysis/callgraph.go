@@ -1,0 +1,569 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Module-wide static call graph with per-function dataflow summaries.
+//
+// The graph covers every function and method declared in the loaded
+// packages; call edges are static (a call through an interface value or a
+// function-typed variable resolves to no node and is treated as unknown).
+// Each declared function carries a FuncSummary — a handful of boolean
+// facts the flow-sensitive analyzers consume instead of re-deriving
+// callee behavior at every call site:
+//
+//   - paramvalidate asks "does calling f validate the params struct I
+//     pass it?" (ValidatesParams) and "does f hand me back a params
+//     struct that still needs validating?" (WatchedResults minus
+//     ValidatedResults), which is how helper constructors like
+//     experiments.caseStudyParams are chased without annotations;
+//   - lockcheck asks "does calling f release this lock on every
+//     non-panic path?" (ReleasesLocks, receiver-relative);
+//   - poolcheck asks "does f take ownership of the pooled buffer I pass
+//     it?" (TakesOwnership).
+//
+// Summaries are interprocedural: a function that forwards its parameter
+// to a validating callee validates it too. They are computed by a
+// monotone fixpoint — every flow bit starts false/absent and only flips
+// on — iterated in deterministic declaration order until stable, so the
+// result is independent of map iteration order. Because the fixpoint is
+// a whole-module property, the summary cache (summarycache.go) is
+// invalidated whole-module too: any edited file rebuilds every summary.
+
+// CallNode is one declared function or method in the module.
+type CallNode struct {
+	Func *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+
+	Calls    []*CallNode // unique static callees declared in the module
+	CalledBy []*CallNode // inverse edges
+}
+
+// CallGraph indexes the module's declared functions.
+type CallGraph struct {
+	Nodes map[*types.Func]*CallNode
+	order []*CallNode // deterministic: package load order, then file, then declaration
+}
+
+// FuncSummary is the analyzer-facing digest of one function. Slice fields
+// are indexed by parameter or result position; lock names are canonical
+// receiver-relative text ("·.mu" for a field of the receiver, "mu" for a
+// package-level mutex in the function's own package).
+type FuncSummary struct {
+	// ValidatesParams[i]: the i-th parameter is a watched params struct
+	// and every caller may rely on this function validating it (directly
+	// via Validate(), by forwarding it to a validating callee, or by
+	// embedding it in a watched literal whose Validate cascades).
+	ValidatesParams []bool `json:"validates_params,omitempty"`
+	// WatchedResults[i]: the i-th result is a watched params struct.
+	WatchedResults []bool `json:"watched_results,omitempty"`
+	// ValidatedResults[i]: the i-th result is watched AND every return
+	// statement yields an already-validated value for it, so callers need
+	// not validate again.
+	ValidatedResults []bool `json:"validated_results,omitempty"`
+	// TakesOwnership[i]: the i-th parameter is a byte slice the function
+	// releases to the buffer pool (or forwards to a callee that does);
+	// after passing a pooled buffer here the caller must not touch it.
+	TakesOwnership []bool `json:"takes_ownership,omitempty"`
+	// ReleasesLocks: locks this function releases on every non-panic
+	// path without acquiring them (unlock-helper shape).
+	ReleasesLocks []string `json:"releases_locks,omitempty"`
+	// AcquiresLocks: locks this function acquires and still holds on some
+	// path to return (lock-helper shape).
+	AcquiresLocks []string `json:"acquires_locks,omitempty"`
+}
+
+// empty reports whether the summary carries no facts (the common case;
+// kept out of the cache file to keep it small).
+func (s *FuncSummary) empty() bool {
+	anyTrue := func(bs []bool) bool {
+		for _, b := range bs {
+			if b {
+				return true
+			}
+		}
+		return false
+	}
+	return !anyTrue(s.ValidatesParams) && !anyTrue(s.WatchedResults) &&
+		!anyTrue(s.ValidatedResults) && !anyTrue(s.TakesOwnership) &&
+		len(s.ReleasesLocks) == 0 && len(s.AcquiresLocks) == 0
+}
+
+// Module bundles the call graph and its summaries for one analyzer run.
+type Module struct {
+	Graph *CallGraph
+
+	summaries map[*types.Func]*FuncSummary
+
+	// FromCache records whether the summaries were loaded from the
+	// on-disk summary cache rather than recomputed.
+	FromCache bool
+}
+
+// NodeOf returns the call-graph node for a declared function, or nil for
+// functions outside the loaded packages.
+func (m *Module) NodeOf(fn *types.Func) *CallNode {
+	if m == nil || fn == nil {
+		return nil
+	}
+	return m.Graph.Nodes[fn]
+}
+
+// SummaryOf returns the summary for a declared function, or nil for
+// functions outside the loaded packages.
+func (m *Module) SummaryOf(fn *types.Func) *FuncSummary {
+	if m == nil || fn == nil {
+		return nil
+	}
+	return m.summaries[fn]
+}
+
+// BuildModule constructs the call graph over the loaded packages and
+// computes all function summaries in-memory. BuildModuleCached
+// (summarycache.go) is the disk-backed variant cmd/modelcheck uses.
+func BuildModule(pkgs []*Package) *Module {
+	m := newModuleGraph(pkgs)
+	m.computeSummaries()
+	return m
+}
+
+// newModuleGraph builds nodes and static call edges (always fresh — the
+// AST walk is cheap; only the summary fixpoint is worth caching).
+func newModuleGraph(pkgs []*Package) *Module {
+	g := &CallGraph{Nodes: map[*types.Func]*CallNode{}}
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &CallNode{Func: fn, Decl: fd, Pkg: pkg}
+				g.Nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+	for _, n := range g.order {
+		if n.Decl.Body == nil {
+			continue
+		}
+		seen := map[*CallNode]bool{}
+		ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+			call, ok := node.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := staticCallee(n.Pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if target, ok := g.Nodes[callee]; ok && !seen[target] {
+				seen[target] = true
+				n.Calls = append(n.Calls, target)
+				target.CalledBy = append(target.CalledBy, n)
+			}
+			return true
+		})
+	}
+	return &Module{Graph: g, summaries: map[*types.Func]*FuncSummary{}}
+}
+
+// funcSig returns a function's signature. (types.Func.Signature() does the
+// same but needs go1.23+, above this module's declared minimum.)
+func funcSig(fn *types.Func) *types.Signature {
+	return fn.Type().(*types.Signature)
+}
+
+// staticCallee resolves a call expression to the *types.Func it statically
+// invokes, or nil for calls through function values, interface methods
+// with no static target, built-ins, and conversions.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// --- summary computation --------------------------------------------------
+
+// maxSummaryIterations bounds the fixpoint; every iteration must flip at
+// least one bit to continue, and call-chain depth in this module is far
+// below this.
+const maxSummaryIterations = 16
+
+func (m *Module) computeSummaries() {
+	for _, n := range m.Graph.order {
+		m.summaries[n.Func] = m.seedSummary(n)
+	}
+	for iter := 0; iter < maxSummaryIterations; iter++ {
+		changed := false
+		for _, n := range m.Graph.order {
+			if n.Decl.Body == nil {
+				continue
+			}
+			if m.refineSummary(n) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// seedSummary derives the summary facts that do not depend on other
+// summaries: signature shapes and the intraprocedural lock helpers.
+func (m *Module) seedSummary(n *CallNode) *FuncSummary {
+	sig := funcSig(n.Func)
+	s := &FuncSummary{}
+	if nr := sig.Results().Len(); nr > 0 {
+		s.WatchedResults = make([]bool, nr)
+		s.ValidatedResults = make([]bool, nr)
+		for i := 0; i < nr; i++ {
+			s.WatchedResults[i] = isWatchedStruct(sig.Results().At(i).Type())
+		}
+	}
+	if np := sig.Params().Len(); np > 0 {
+		s.ValidatesParams = make([]bool, np)
+		s.TakesOwnership = make([]bool, np)
+	}
+	if n.Decl.Body != nil {
+		s.ReleasesLocks, s.AcquiresLocks = lockSummary(n)
+	}
+	return s
+}
+
+// recvName returns the declared receiver identifier of a method, or "".
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// canonLockName rewrites a lock's receiver text relative to the method
+// receiver: with receiver s, "s.mu" becomes "·.mu" so call sites can
+// substitute their own receiver expression back in.
+func canonLockName(recv, text string) string {
+	if recv != "" && (text == recv || strings.HasPrefix(text, recv+".")) {
+		return "·" + strings.TrimPrefix(text, recv)
+	}
+	return text
+}
+
+// lockSummary classifies a function as a lock helper: locks it releases
+// on all non-panic paths without acquiring (ReleasesLocks) and locks it
+// acquires without ever releasing (AcquiresLocks). Function literals are
+// excluded — what a closure does happens when the closure runs, not when
+// this function does.
+func lockSummary(n *CallNode) (releases, acquires []string) {
+	info := n.Pkg.Info
+	fset := n.Pkg.Fset
+	recv := recvName(n.Decl)
+	type counts struct{ locks, unlocks int }
+	byName := map[string]*counts{}
+	var names []string // deterministic order of first appearance
+	forEachTopLevelCall(n.Decl.Body, func(call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || !isSyncLockSelector(info, sel) {
+			return
+		}
+		name := canonLockName(recv, exprText(fset, sel.X))
+		c := byName[name]
+		if c == nil {
+			c = &counts{}
+			byName[name] = c
+			names = append(names, name)
+		}
+		switch sel.Sel.Name {
+		case "Lock", "RLock":
+			if !deferred {
+				c.locks++
+			}
+		case "Unlock", "RUnlock":
+			c.unlocks++
+		}
+	})
+	var cfg *CFG
+	for _, name := range names {
+		c := byName[name]
+		switch {
+		case c.locks == 0 && c.unlocks > 0:
+			if cfg == nil {
+				cfg = NewCFG(fset, n.Decl.Body, info)
+			}
+			if !cfg.EscapesWithout(cfg.Entry, 0, func(s ast.Stmt) bool {
+				return stmtUnlocks(info, fset, recv, s, name)
+			}) {
+				releases = append(releases, name)
+			}
+		case c.locks > 0 && c.unlocks == 0:
+			acquires = append(acquires, name)
+		}
+	}
+	return releases, acquires
+}
+
+// stmtUnlocks reports whether s is an Unlock/RUnlock (immediate or
+// deferred) of the canonical lock name.
+func stmtUnlocks(info *types.Info, fset *token.FileSet, recv string, s ast.Stmt, name string) bool {
+	var call *ast.CallExpr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	case *ast.DeferStmt:
+		call = s.Call
+	}
+	if call == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Unlock" && sel.Sel.Name != "RUnlock") {
+		return false
+	}
+	return isSyncLockSelector(info, sel) && canonLockName(recv, exprText(fset, sel.X)) == name
+}
+
+// forEachTopLevelCall visits every call that executes as part of this
+// body's own control flow — expression statements, defers, and calls
+// nested in other expressions — but not calls inside function literals.
+func forEachTopLevelCall(body *ast.BlockStmt, f func(call *ast.CallExpr, deferred bool)) {
+	deferredCalls := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			deferredCalls[n.Call] = true
+		case *ast.CallExpr:
+			f(n, deferredCalls[n])
+		}
+		return true
+	})
+}
+
+// refineSummary recomputes the interprocedural facts for one function
+// against the current summaries of its callees; returns whether anything
+// changed. All facts are monotone (false→true only), so iteration
+// converges.
+func (m *Module) refineSummary(n *CallNode) bool {
+	s := m.summaries[n.Func]
+	info := n.Pkg.Info
+	sig := funcSig(n.Func)
+	changed := false
+
+	paramIdx := map[types.Object]int{}
+	for i := 0; i < sig.Params().Len(); i++ {
+		paramIdx[sig.Params().At(i)] = i
+	}
+	paramOf := func(e ast.Expr) (int, bool) {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		id, ok := e.(*ast.Ident)
+		if !ok {
+			return 0, false
+		}
+		i, ok := paramIdx[info.Uses[id]]
+		return i, ok
+	}
+	set := func(bs []bool, i int) {
+		if i < len(bs) && !bs[i] {
+			bs[i] = true
+			changed = true
+		}
+	}
+
+	// ValidatesParams and TakesOwnership: scan every call and watched
+	// literal for parameters in validated/owned positions. Closures are
+	// included on the benefit-of-the-doubt principle the analyzers share:
+	// a validation that happens inside a local closure still happens.
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" {
+				if i, ok := paramOf(sel.X); ok && watchedParam(sig, i) {
+					set(s.ValidatesParams, i)
+				}
+			}
+			if isPoolPutCall(info, node) && len(node.Args) == 1 {
+				if i, ok := paramOf(node.Args[0]); ok {
+					set(s.TakesOwnership, i)
+				}
+			}
+			callee := staticCallee(info, node)
+			cs := m.SummaryOf(callee)
+			for j, arg := range node.Args {
+				i, ok := paramOf(arg)
+				if !ok {
+					continue
+				}
+				if watchedParam(sig, i) {
+					if callee != nil && callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path()) {
+						// Param-package entry points validate by rule 1.
+						set(s.ValidatesParams, i)
+					} else if cs != nil && j < len(cs.ValidatesParams) && cs.ValidatesParams[j] {
+						set(s.ValidatesParams, i)
+					}
+				}
+				if cs != nil && j < len(cs.TakesOwnership) && cs.TakesOwnership[j] {
+					set(s.TakesOwnership, i)
+				}
+			}
+		case *ast.CompositeLit:
+			if !isWatchedStruct(info.TypeOf(node)) {
+				return true
+			}
+			for _, elt := range node.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if i, ok := paramOf(v); ok && watchedParam(sig, i) {
+					set(s.ValidatesParams, i)
+				}
+			}
+		}
+		return true
+	})
+
+	// ValidatedResults: result i is validated when every return statement
+	// (of this body, not of nested closures) yields a validated value in
+	// position i.
+	for i := 0; i < sig.Results().Len(); i++ {
+		if !s.WatchedResults[i] || s.ValidatedResults[i] {
+			continue
+		}
+		returns := collectReturns(n.Decl.Body)
+		if len(returns) == 0 {
+			continue
+		}
+		all := true
+		for _, ret := range returns {
+			if len(ret.Results) != sig.Results().Len() || !m.validatedExpr(n, ret.Results[i], i) {
+				all = false
+				break
+			}
+		}
+		if all {
+			s.ValidatedResults[i] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// watchedParam reports whether parameter i has a watched params-struct
+// type.
+func watchedParam(sig *types.Signature, i int) bool {
+	return i < sig.Params().Len() && isWatchedStruct(sig.Params().At(i).Type())
+}
+
+// collectReturns gathers the return statements belonging to body itself,
+// skipping nested function literals.
+func collectReturns(body *ast.BlockStmt) []*ast.ReturnStmt {
+	var out []*ast.ReturnStmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			out = append(out, n)
+		}
+		return true
+	})
+	return out
+}
+
+// validatedExpr reports whether a returned expression carries an
+// already-validated watched value: the result of a param-package or
+// summary-validated call, or a local variable that provably reaches a
+// Validate() call (or validating callee) in this body.
+func (m *Module) validatedExpr(n *CallNode, e ast.Expr, resultIdx int) bool {
+	info := n.Pkg.Info
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CallExpr:
+		callee := staticCallee(info, e)
+		if callee == nil {
+			return false
+		}
+		if callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path()) {
+			return true
+		}
+		if cs := m.SummaryOf(callee); cs != nil {
+			// Single-value context: this call's first result feeds result
+			// resultIdx of the enclosing function.
+			return len(cs.ValidatedResults) > 0 && cs.ValidatedResults[0]
+		}
+		return false
+	case *ast.Ident:
+		obj := info.Uses[e]
+		if obj == nil {
+			return false
+		}
+		return m.objValidated(n, obj)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return m.validatedExpr(n, e.X, resultIdx)
+		}
+	}
+	return false
+}
+
+// objValidated reports whether the body calls obj.Validate() or passes
+// obj (or &obj) into a validating call.
+func (m *Module) objValidated(n *CallNode, obj types.Object) bool {
+	info := n.Pkg.Info
+	isObj := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if u, ok := e.(*ast.UnaryExpr); ok && u.Op == token.AND {
+			e = ast.Unparen(u.X)
+		}
+		id, ok := e.(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	found := false
+	ast.Inspect(n.Decl.Body, func(node ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := node.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Validate" && isObj(sel.X) {
+			found = true
+			return false
+		}
+		callee := staticCallee(info, call)
+		cs := m.SummaryOf(callee)
+		paramPkg := callee != nil && callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path())
+		for j, arg := range call.Args {
+			if !isObj(arg) {
+				continue
+			}
+			if paramPkg || (cs != nil && j < len(cs.ValidatesParams) && cs.ValidatesParams[j]) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

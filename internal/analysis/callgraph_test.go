@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildTestModule loads a throwaway module and builds its call graph plus
+// summaries, returning the module and a by-name lookup over declared
+// functions (methods are keyed "Type.Method").
+func buildTestModule(t *testing.T, files map[string]string) (*Module, map[string]*CallNode) {
+	t.Helper()
+	pkgs := loadTempModule(t, files)
+	m := BuildModule(pkgs)
+	byName := map[string]*CallNode{}
+	for _, n := range m.Graph.order {
+		name := n.Func.Name()
+		if sig := funcSig(n.Func); sig.Recv() != nil {
+			// "*fixturemod/pkg.S" or "fixturemod/pkg.S" → "S"
+			s := sig.Recv().Type().String()
+			if i := strings.LastIndexByte(s, '.'); i >= 0 {
+				s = s[i+1:]
+			}
+			name = s + "." + name
+		}
+		byName[name] = n
+	}
+	return m, byName
+}
+
+func TestCallGraphEdges(t *testing.T) {
+	_, byName := buildTestModule(t, map[string]string{
+		"internal/a/a.go": `package a
+func Leaf() int { return 1 }
+func Mid() int  { return Leaf() + Leaf() }
+`,
+		"internal/b/b.go": `package b
+import "fixturemod/internal/a"
+func Top() int {
+	f := a.Leaf // function value: no static edge
+	return a.Mid() + f()
+}
+`,
+	})
+	leaf, mid, top := byName["Leaf"], byName["Mid"], byName["Top"]
+	if leaf == nil || mid == nil || top == nil {
+		t.Fatalf("missing nodes: %v %v %v", leaf, mid, top)
+	}
+	if len(mid.Calls) != 1 || mid.Calls[0] != leaf {
+		t.Fatalf("Mid.Calls = %v, want [Leaf] exactly once despite two call sites", mid.Calls)
+	}
+	if len(top.Calls) != 1 || top.Calls[0] != mid {
+		t.Fatalf("Top.Calls = %v, want [Mid] only — the function-value use of Leaf is not a static edge", top.Calls)
+	}
+	if len(leaf.CalledBy) != 1 || leaf.CalledBy[0] != mid {
+		t.Fatalf("Leaf.CalledBy = %v, want [Mid]", leaf.CalledBy)
+	}
+}
+
+const summaryCoreFixture = `package core
+import "errors"
+type Params struct{ C float64 }
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("bad")
+	}
+	return nil
+}
+func New(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C, nil
+}
+`
+
+func TestSummaryValidatesParamsChain(t *testing.T) {
+	m, byName := buildTestModule(t, map[string]string{
+		"internal/core/core.go": summaryCoreFixture,
+		"app/app.go": `package app
+import "fixturemod/internal/core"
+func direct(p core.Params) error { return p.Validate() }
+func forward(p core.Params) error { return direct(p) }
+func twice(p core.Params) error { return forward(p) }
+func reads(p core.Params) float64 { return p.C }
+`,
+	})
+	for _, name := range []string{"direct", "forward", "twice"} {
+		s := m.SummaryOf(byName[name].Func)
+		if s == nil || len(s.ValidatesParams) != 1 || !s.ValidatesParams[0] {
+			t.Fatalf("%s: ValidatesParams = %+v, want [true] via the call chain", name, s)
+		}
+	}
+	if s := m.SummaryOf(byName["reads"].Func); s.ValidatesParams[0] {
+		t.Fatalf("reads merely uses the struct; ValidatesParams should stay false")
+	}
+}
+
+func TestSummaryValidatedResults(t *testing.T) {
+	m, byName := buildTestModule(t, map[string]string{
+		"internal/core/core.go": summaryCoreFixture,
+		"app/app.go": `package app
+import "fixturemod/internal/core"
+func raw() core.Params {
+	return core.Params{C: 1}
+}
+func checked() core.Params {
+	p := core.Params{C: 1}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+func rechecked() core.Params {
+	return checked()
+}
+`,
+	})
+	raw := m.SummaryOf(byName["raw"].Func)
+	if !raw.WatchedResults[0] || raw.ValidatedResults[0] {
+		t.Fatalf("raw: watched=%v validated=%v, want watched unvalidated result", raw.WatchedResults, raw.ValidatedResults)
+	}
+	for _, name := range []string{"checked", "rechecked"} {
+		s := m.SummaryOf(byName[name].Func)
+		if !s.ValidatedResults[0] {
+			t.Fatalf("%s: ValidatedResults = %v, want [true]", name, s.ValidatedResults)
+		}
+	}
+}
+
+func TestSummaryTakesOwnershipChain(t *testing.T) {
+	m, byName := buildTestModule(t, map[string]string{
+		"internal/rpc/pool.go": `package rpc
+func getBuf(n int) []byte { return make([]byte, 0, n) }
+func putBuf(b []byte)     {}
+func sink(b []byte)       { putBuf(b) }
+func relay(b []byte)      { sink(b) }
+func peek(b []byte) int   { return len(b) }
+`,
+	})
+	for _, name := range []string{"sink", "relay"} {
+		s := m.SummaryOf(byName[name].Func)
+		if s == nil || len(s.TakesOwnership) != 1 || !s.TakesOwnership[0] {
+			t.Fatalf("%s: TakesOwnership = %+v, want [true]", name, s)
+		}
+	}
+	if s := m.SummaryOf(byName["peek"].Func); s.TakesOwnership[0] {
+		t.Fatalf("peek only reads the buffer; TakesOwnership should stay false")
+	}
+}
+
+func TestSummaryLockHelpers(t *testing.T) {
+	m, byName := buildTestModule(t, map[string]string{
+		"internal/s/s.go": `package s
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func (s *S) release()    { s.mu.Unlock() }
+func (s *S) acquire()    { s.mu.Lock() }
+func (s *S) releaseIf(b bool) {
+	if b {
+		s.mu.Unlock()
+	}
+}
+var gmu sync.Mutex
+func globalRelease() { gmu.Unlock() }
+`,
+	})
+	rel := m.SummaryOf(byName["S.release"].Func)
+	if len(rel.ReleasesLocks) != 1 || rel.ReleasesLocks[0] != "·.mu" {
+		t.Fatalf("release: ReleasesLocks = %v, want [·.mu] (receiver-canonical)", rel.ReleasesLocks)
+	}
+	acq := m.SummaryOf(byName["S.acquire"].Func)
+	if len(acq.AcquiresLocks) != 1 || acq.AcquiresLocks[0] != "·.mu" {
+		t.Fatalf("acquire: AcquiresLocks = %v, want [·.mu]", acq.AcquiresLocks)
+	}
+	// A conditional unlock does not release on every path, so it must not
+	// count as a release helper.
+	relIf := m.SummaryOf(byName["S.releaseIf"].Func)
+	if len(relIf.ReleasesLocks) != 0 {
+		t.Fatalf("releaseIf: ReleasesLocks = %v, want none — the false branch holds the lock", relIf.ReleasesLocks)
+	}
+	grel := m.SummaryOf(byName["globalRelease"].Func)
+	if len(grel.ReleasesLocks) != 1 || grel.ReleasesLocks[0] != "gmu" {
+		t.Fatalf("globalRelease: ReleasesLocks = %v, want [gmu]", grel.ReleasesLocks)
+	}
+}

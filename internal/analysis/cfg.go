@@ -1,0 +1,696 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Control-flow graphs for function bodies. Every flow-sensitive analyzer in
+// this package (lockcheck's release checking, poolcheck's buffer-ownership
+// tracking) and the call-graph summary computation (callgraph.go) run over
+// the same basic-block CFG built here, so the path semantics they agree on
+// are defined in exactly one place:
+//
+//   - blocks hold only simple statements (assignments, calls, defers,
+//     returns, sends, incdec, declarations). Control constructs are
+//     decomposed into blocks and edges: if/for/range/switch/type-switch/
+//     select, break/continue with labels, goto, and fallthrough all become
+//     explicit edges;
+//   - conditions and switch tags appear in their block as fabricated
+//     *ast.ExprStmt wrappers, and a range clause as a fabricated
+//     *ast.AssignStmt, so expression-scanning analyses see every evaluated
+//     expression exactly once, at its true position;
+//   - `return` edges to the single Exit block; `panic`, `os.Exit`,
+//     `runtime.Goexit`, `log.Fatal*`, and `(*testing.common).Fatal*`-style
+//     calls terminate their block with no successors (Term == TermPanic),
+//     so "on all paths" analyses naturally exclude panicking paths;
+//   - defer is modeled in-path: the *ast.DeferStmt sits in its block, and
+//     each analysis decides what registering the action means (lockcheck
+//     treats a reached `defer mu.Unlock()` as an exit-edge release,
+//     poolcheck treats `defer putBuf(b)` as a pending release that still
+//     permits reads until exit).
+//
+// The builder never prunes: statements after a terminator land in fresh
+// blocks with no predecessors, which keeps goto-into-dead-code working and
+// lets Dominators report unreachability (idom == nil) instead of the
+// builder guessing.
+
+// BlockKind distinguishes the structural role of a block.
+type BlockKind uint8
+
+const (
+	BlockBody  BlockKind = iota // ordinary basic block
+	BlockEntry                  // function entry (also holds leading statements)
+	BlockExit                   // the single normal-return exit; always empty
+)
+
+// TermKind records how a block's control flow ends when it has no
+// successors by design rather than by fallthrough.
+type TermKind uint8
+
+const (
+	TermNone  TermKind = iota // flows to its successors
+	TermPanic                 // ends in panic/os.Exit/Goexit/t.Fatal — path dies
+)
+
+// Block is one basic block: a maximal run of simple statements with a
+// single entry and a single exit point.
+type Block struct {
+	Index int
+	Kind  BlockKind
+	Term  TermKind
+	Stmts []ast.Stmt
+	Succs []*Block
+	Preds []*Block
+}
+
+// CFG is the control-flow graph of one function or function-literal body.
+type CFG struct {
+	Fset   *token.FileSet
+	Entry  *Block
+	Exit   *Block
+	Blocks []*Block
+}
+
+// cfgBuilder carries the construction state.
+type cfgBuilder struct {
+	cfg    *CFG
+	info   *types.Info
+	cur    *Block // nil after a terminator until the next statement starts a dead block
+	labels map[string]*Block
+	brk    []breakEntry
+}
+
+// breakEntry is one enclosing breakable construct; cont is nil for
+// switch/select (continue skips them).
+type breakEntry struct {
+	label string
+	brk   *Block
+	cont  *Block
+}
+
+// NewCFG builds the control-flow graph of body. info may be nil (fixture
+// parsing without type information); terminator detection then degrades to
+// recognizing only the builtin panic by name.
+func NewCFG(fset *token.FileSet, body *ast.BlockStmt, info *types.Info) *CFG {
+	c := &CFG{Fset: fset}
+	b := &cfgBuilder{cfg: c, info: info, labels: map[string]*Block{}}
+	c.Entry = b.newBlock(BlockEntry)
+	c.Exit = b.newBlock(BlockExit)
+	b.cur = c.Entry
+	for _, s := range body.List {
+		b.stmt(s, "")
+	}
+	b.jump(c.Exit) // falling off the end is an implicit return
+	return c
+}
+
+func (b *cfgBuilder) newBlock(kind BlockKind) *Block {
+	blk := &Block{Index: len(b.cfg.Blocks), Kind: kind}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+// edge adds from → to.
+func edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// jump ends the current block with an edge to target (no-op after a
+// terminator).
+func (b *cfgBuilder) jump(target *Block) {
+	if b.cur != nil {
+		edge(b.cur, target)
+	}
+	b.cur = nil
+}
+
+// ensure returns the current block, starting a fresh (dead) one if the
+// previous statement terminated control flow.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock(BlockBody)
+	}
+	return b.cur
+}
+
+// add appends a simple statement to the current block.
+func (b *cfgBuilder) add(s ast.Stmt) { b.ensure().Stmts = append(b.ensure().Stmts, s) }
+
+// wrap fabricates an ExprStmt carrying a condition or tag expression so
+// block scanners see it at its real position.
+func wrap(e ast.Expr) ast.Stmt { return &ast.ExprStmt{X: e} }
+
+// labelBlock returns (creating on demand) the block a label names, for
+// goto targets and labeled statements.
+func (b *cfgBuilder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock(BlockBody)
+	b.labels[name] = blk
+	return blk
+}
+
+// findBreak resolves a break target; empty label means innermost.
+func (b *cfgBuilder) findBreak(label string) *Block {
+	for i := len(b.brk) - 1; i >= 0; i-- {
+		if label == "" || b.brk[i].label == label {
+			return b.brk[i].brk
+		}
+	}
+	return nil
+}
+
+// findContinue resolves a continue target; empty label means the innermost
+// loop (entries with nil cont are switches/selects and are skipped).
+func (b *cfgBuilder) findContinue(label string) *Block {
+	for i := len(b.brk) - 1; i >= 0; i-- {
+		if b.brk[i].cont == nil {
+			continue
+		}
+		if label == "" || b.brk[i].label == label {
+			return b.brk[i].cont
+		}
+	}
+	return nil
+}
+
+// stmt translates one statement. label is the name of the LabeledStmt
+// directly wrapping s, consumed by loops/switches/selects for labeled
+// break/continue.
+func (b *cfgBuilder) stmt(s ast.Stmt, label string) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, inner := range s.List {
+			b.stmt(inner, "")
+		}
+	case *ast.EmptyStmt:
+	case *ast.LabeledStmt:
+		lbl := b.labelBlock(s.Label.Name)
+		b.jump(lbl)
+		b.cur = lbl
+		b.stmt(s.Stmt, s.Label.Name)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.cfg.Exit)
+	case *ast.BranchStmt:
+		switch s.Tok {
+		case token.BREAK:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if t := b.findBreak(lbl); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil // malformed; sever the path rather than mislink
+			}
+		case token.CONTINUE:
+			lbl := ""
+			if s.Label != nil {
+				lbl = s.Label.Name
+			}
+			if t := b.findContinue(lbl); t != nil {
+				b.jump(t)
+			} else {
+				b.cur = nil
+			}
+		case token.GOTO:
+			b.jump(b.labelBlock(s.Label.Name))
+		case token.FALLTHROUGH:
+			// Linked by the switch builder (it sees the trailing
+			// fallthrough); nothing to do here.
+		}
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && isTerminatorCall(call, b.info) {
+			b.ensure().Term = TermPanic
+			b.cur = nil
+		}
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(wrap(s.Cond))
+		cond := b.ensure()
+		b.cur = nil
+		then := b.newBlock(BlockBody)
+		edge(cond, then)
+		b.cur = then
+		b.stmt(s.Body, "")
+		thenEnd := b.cur
+		var elseEnd *Block
+		hasElse := s.Else != nil
+		if hasElse {
+			elseB := b.newBlock(BlockBody)
+			edge(cond, elseB)
+			b.cur = elseB
+			b.stmt(s.Else, "")
+			elseEnd = b.cur
+		}
+		join := b.newBlock(BlockBody)
+		if thenEnd != nil {
+			edge(thenEnd, join)
+		}
+		if hasElse {
+			if elseEnd != nil {
+				edge(elseEnd, join)
+			}
+		} else {
+			edge(cond, join)
+		}
+		b.cur = join
+	case *ast.ForStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		head := b.newBlock(BlockBody)
+		b.jump(head)
+		if s.Cond != nil {
+			head.Stmts = append(head.Stmts, wrap(s.Cond))
+		}
+		join := b.newBlock(BlockBody)
+		if s.Cond != nil {
+			edge(head, join)
+		}
+		cont := head
+		var post *Block
+		if s.Post != nil {
+			post = b.newBlock(BlockBody)
+			cont = post
+		}
+		body := b.newBlock(BlockBody)
+		edge(head, body)
+		b.brk = append(b.brk, breakEntry{label: label, brk: join, cont: cont})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.brk = b.brk[:len(b.brk)-1]
+		if post != nil {
+			b.jump(post)
+			b.cur = post
+			b.stmt(s.Post, "")
+			b.jump(head)
+		} else {
+			b.jump(head)
+		}
+		b.cur = join
+	case *ast.RangeStmt:
+		head := b.newBlock(BlockBody)
+		b.jump(head)
+		head.Stmts = append(head.Stmts, rangeClauseStmt(s))
+		join := b.newBlock(BlockBody)
+		edge(head, join)
+		body := b.newBlock(BlockBody)
+		edge(head, body)
+		b.brk = append(b.brk, breakEntry{label: label, brk: join, cont: head})
+		b.cur = body
+		b.stmt(s.Body, "")
+		b.brk = b.brk[:len(b.brk)-1]
+		b.jump(head)
+		b.cur = join
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		if s.Tag != nil {
+			b.add(wrap(s.Tag))
+		}
+		b.buildSwitchBody(s.Body, label, func(cc *ast.CaseClause, blk *Block) {
+			for _, e := range cc.List {
+				blk.Stmts = append(blk.Stmts, wrap(e))
+			}
+		}, true)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init, "")
+		}
+		b.add(s.Assign)
+		b.buildSwitchBody(s.Body, label, nil, false)
+	case *ast.SelectStmt:
+		entry := b.ensure()
+		b.cur = nil
+		join := b.newBlock(BlockBody)
+		b.brk = append(b.brk, breakEntry{label: label, brk: join, cont: nil})
+		for _, clause := range s.Body.List {
+			cc := clause.(*ast.CommClause)
+			caseB := b.newBlock(BlockBody)
+			edge(entry, caseB)
+			if cc.Comm != nil {
+				caseB.Stmts = append(caseB.Stmts, cc.Comm)
+			}
+			b.cur = caseB
+			for _, inner := range cc.Body {
+				b.stmt(inner, "")
+			}
+			b.jump(join)
+		}
+		b.brk = b.brk[:len(b.brk)-1]
+		// select{} blocks forever: entry keeps no successors and join
+		// stays unreachable.
+		b.cur = join
+	case *ast.GoStmt, *ast.DeferStmt, *ast.AssignStmt, *ast.DeclStmt,
+		*ast.IncDecStmt, *ast.SendStmt:
+		b.add(s)
+	default:
+		// Future statement kinds: record them so analyses at least see the
+		// node, and keep linear flow.
+		b.add(s)
+	}
+}
+
+// buildSwitchBody lays out the case blocks of a switch or type switch.
+// caseExprs (when non-nil) records the clause's comparison expressions in
+// its block; allowFallthrough links a trailing fallthrough to the next
+// clause's block.
+func (b *cfgBuilder) buildSwitchBody(body *ast.BlockStmt, label string,
+	caseExprs func(*ast.CaseClause, *Block), allowFallthrough bool) {
+	entry := b.ensure()
+	b.cur = nil
+	join := b.newBlock(BlockBody)
+	clauses := make([]*ast.CaseClause, 0, len(body.List))
+	for _, s := range body.List {
+		clauses = append(clauses, s.(*ast.CaseClause))
+	}
+	blocks := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		blocks[i] = b.newBlock(BlockBody)
+		edge(entry, blocks[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+		if caseExprs != nil {
+			caseExprs(cc, blocks[i])
+		}
+	}
+	if !hasDefault {
+		edge(entry, join)
+	}
+	b.brk = append(b.brk, breakEntry{label: label, brk: join, cont: nil})
+	for i, cc := range clauses {
+		stmts := cc.Body
+		fallsThrough := false
+		if allowFallthrough && len(stmts) > 0 {
+			if br, ok := stmts[len(stmts)-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fallsThrough = true
+				stmts = stmts[:len(stmts)-1]
+			}
+		}
+		b.cur = blocks[i]
+		for _, inner := range stmts {
+			b.stmt(inner, "")
+		}
+		if fallsThrough && i+1 < len(blocks) {
+			b.jump(blocks[i+1])
+		} else {
+			b.jump(join)
+		}
+	}
+	b.brk = b.brk[:len(b.brk)-1]
+	b.cur = join
+}
+
+// rangeClauseStmt fabricates the per-iteration assignment a range clause
+// performs, so expression scanners see the key/value targets and the
+// ranged operand. A bare `for range ch` degrades to an ExprStmt.
+func rangeClauseStmt(s *ast.RangeStmt) ast.Stmt {
+	var lhs []ast.Expr
+	if s.Key != nil {
+		lhs = append(lhs, s.Key)
+	}
+	if s.Value != nil {
+		lhs = append(lhs, s.Value)
+	}
+	if len(lhs) == 0 {
+		return wrap(s.X)
+	}
+	return &ast.AssignStmt{Lhs: lhs, TokPos: s.TokPos, Tok: s.Tok, Rhs: []ast.Expr{s.X}}
+}
+
+// terminatorFuncs are package-level functions that never return.
+var terminatorFuncs = map[string]bool{
+	"os.Exit":        true,
+	"runtime.Goexit": true,
+	"log.Fatal":      true,
+	"log.Fatalf":     true,
+	"log.Fatalln":    true,
+}
+
+// terminatorTestMethods are the testing.T/B/F methods that stop the test
+// goroutine (all are promoted from testing.common).
+var terminatorTestMethods = map[string]bool{
+	"Fatal": true, "Fatalf": true, "FailNow": true,
+	"Skip": true, "Skipf": true, "SkipNow": true,
+}
+
+// isTerminatorCall reports whether the call never returns control to the
+// following statement.
+func isTerminatorCall(call *ast.CallExpr, info *types.Info) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fun.Name != "panic" {
+			return false
+		}
+		if info == nil {
+			return true
+		}
+		obj := info.Uses[fun]
+		return obj == nil || obj == types.Universe.Lookup("panic")
+	case *ast.SelectorExpr:
+		if info == nil {
+			return false
+		}
+		fn, ok := info.Uses[fun.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return false
+		}
+		switch fn.Pkg().Path() {
+		case "os", "runtime", "log":
+			return terminatorFuncs[fn.Pkg().Name()+"."+fn.Name()]
+		case "testing":
+			return terminatorTestMethods[fn.Name()]
+		}
+	}
+	return false
+}
+
+// --- dominators -----------------------------------------------------------
+
+// Dominators returns the immediate-dominator tree as a slice indexed by
+// Block.Index: idom[i] is the immediate dominator of block i, nil for the
+// entry block and for blocks unreachable from it. Algorithm: the iterative
+// RPO dataflow of Cooper, Harvey & Kennedy ("A Simple, Fast Dominance
+// Algorithm").
+func (c *CFG) Dominators() []*Block {
+	return dominatorsOf(c.Blocks, c.Entry, func(b *Block) []*Block { return b.Preds },
+		func(b *Block) []*Block { return b.Succs })
+}
+
+// PostDominators returns the immediate post-dominator tree: ipdom[i] is
+// nil for the exit roots themselves (the Exit block, panic-terminated
+// blocks, and stuck blocks with no successors) and for blocks from which
+// no exit is reachable. Multiple exit roots are joined under an implicit
+// virtual root, so two blocks whose only common post-dominator is "the
+// function ends somehow" report ipdom == the virtual root's stand-in, nil.
+func (c *CFG) PostDominators() []*Block {
+	// Reverse the graph under a virtual root that fans into every exit.
+	virtual := &Block{Index: len(c.Blocks)}
+	all := append(append([]*Block{}, c.Blocks...), virtual)
+	roots := []*Block{}
+	for _, b := range c.Blocks {
+		if len(b.Succs) == 0 {
+			roots = append(roots, b)
+		}
+	}
+	succsOf := func(b *Block) []*Block { // reversed: preds, plus virtual→roots
+		if b == virtual {
+			return roots
+		}
+		return b.Preds
+	}
+	predsOf := func(b *Block) []*Block {
+		if b == virtual {
+			return nil
+		}
+		preds := append([]*Block{}, b.Succs...)
+		for _, r := range roots {
+			if r == b {
+				preds = append(preds, virtual)
+				break
+			}
+		}
+		return preds
+	}
+	idom := dominatorsOf(all, virtual, predsOf, succsOf)
+	out := make([]*Block, len(c.Blocks))
+	for i, d := range idom[:len(c.Blocks)] {
+		if d != virtual {
+			out[i] = d
+		}
+	}
+	return out
+}
+
+// dominatorsOf runs the CHK iterative algorithm from root over an
+// arbitrary edge orientation.
+func dominatorsOf(blocks []*Block, root *Block, predsOf, succsOf func(*Block) []*Block) []*Block {
+	// Reverse postorder from root.
+	index := map[*Block]int{}
+	for i, b := range blocks {
+		index[b] = i
+	}
+	var order []*Block
+	seen := make([]bool, len(blocks))
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		seen[index[b]] = true
+		for _, s := range succsOf(b) {
+			if !seen[index[s]] {
+				dfs(s)
+			}
+		}
+		order = append(order, b)
+	}
+	dfs(root)
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+	rpo := map[*Block]int{}
+	for i, b := range order {
+		rpo[b] = i
+	}
+
+	idom := make([]*Block, len(blocks))
+	idom[index[root]] = root
+	intersect := func(a, b *Block) *Block {
+		for a != b {
+			for rpo[a] > rpo[b] {
+				a = idom[index[a]]
+			}
+			for rpo[b] > rpo[a] {
+				b = idom[index[b]]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range order {
+			if b == root {
+				continue
+			}
+			var newIdom *Block
+			for _, p := range predsOf(b) {
+				if idom[index[p]] == nil {
+					continue // predecessor not yet reached
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != nil && idom[index[b]] != newIdom {
+				idom[index[b]] = newIdom
+				changed = true
+			}
+		}
+	}
+	out := make([]*Block, len(blocks))
+	copy(out, idom)
+	out[index[root]] = nil // the root has no immediate dominator
+	return out
+}
+
+// EscapesWithout reports whether some path starting at block start
+// (considering only statements from index from onward) reaches the Exit
+// block without passing a statement for which release returns true. Paths
+// that die in panic-terminated or stuck blocks never "escape": a panic
+// unwinds through defers and a blocked-forever select never returns, so
+// neither can leak a resource to a caller. This is the shared primitive
+// behind lockcheck's "released on every non-panic path" and the call-graph
+// "releases lock on all paths" summary bit.
+func (c *CFG) EscapesWithout(start *Block, from int, release func(ast.Stmt) bool) bool {
+	visited := map[*Block]bool{}
+	var walk func(b *Block, idx int) bool
+	walk = func(b *Block, idx int) bool {
+		for _, s := range b.Stmts[idx:] {
+			if release(s) {
+				return false
+			}
+		}
+		if b == c.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !visited[s] {
+				visited[s] = true
+				if walk(s, 0) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	return walk(start, from)
+}
+
+// --- debug rendering ------------------------------------------------------
+
+// String renders the CFG compactly for golden tests: one line per block
+// with its kind, the source lines of its statements, and its successors.
+//
+//	b0 entry [3 4] => b2
+//	b2 [5] => b1 b3
+//	b1 exit
+func (c *CFG) String() string {
+	var sb strings.Builder
+	for _, b := range c.Blocks {
+		fmt.Fprintf(&sb, "b%d", b.Index)
+		switch b.Kind {
+		case BlockEntry:
+			sb.WriteString(" entry")
+		case BlockExit:
+			sb.WriteString(" exit")
+		}
+		if b.Term == TermPanic {
+			sb.WriteString(" panic")
+		}
+		if len(b.Stmts) > 0 {
+			lines := make([]string, len(b.Stmts))
+			for i, s := range b.Stmts {
+				lines[i] = fmt.Sprintf("%d", c.Fset.Position(s.Pos()).Line)
+			}
+			fmt.Fprintf(&sb, " [%s]", strings.Join(lines, " "))
+		}
+		if len(b.Succs) > 0 {
+			parts := make([]string, len(b.Succs))
+			for i, s := range b.Succs {
+				parts[i] = fmt.Sprintf("b%d", s.Index)
+			}
+			fmt.Fprintf(&sb, " => %s", strings.Join(parts, " "))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// DomString renders the immediate-dominator tree for golden tests:
+// "b2<-b0 b3<-b2" sorted by block index; unreachable blocks are omitted.
+func (c *CFG) DomString() string {
+	idom := c.Dominators()
+	var parts []string
+	for i, d := range idom {
+		if d != nil {
+			parts = append(parts, fmt.Sprintf("b%d<-b%d", i, d.Index))
+		}
+	}
+	sort.Strings(parts) // already ordered by index for <10 blocks; sort for stability beyond
+	return strings.Join(parts, " ")
+}

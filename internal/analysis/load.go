@@ -28,9 +28,20 @@ type Package struct {
 type LoadConfig struct {
 	// Dir is any directory inside the module; the loader ascends to go.mod.
 	Dir string
-	// IncludeTests adds in-package _test.go files. External test packages
-	// (package foo_test) are never loaded; they exist to exercise the
-	// public API and routinely make deliberate exact comparisons.
+	// IncludeTests adds _test.go files: in-package test files join their
+	// package, and external test packages (package foo_test) are loaded as
+	// their own packages under the import path "<pkg>_test".
+	//
+	// Directive-density policy: test packages meet the same analyzer bar
+	// as production code, and the pressure valve is the same one —
+	// //modelcheck:ignore with a written justification. Tests legitimately
+	// do things the analyzers dislike (exact float comparisons against
+	// golden values, fixed seeds, deliberately invalid params), so some
+	// directive density in test files is expected; what is not acceptable
+	// is a bare directive without a reason, or ignoring whole files. If a
+	// test file accumulates so many directives that they drown out the
+	// code, the analyzer's test exemptions (see floatcmp's golden-value
+	// rule) should grow instead.
 	IncludeTests bool
 	// NoCache disables the on-disk export-data cache (.modelcheck-cache/)
 	// and type-checks the standard library from source instead. The cache
@@ -161,6 +172,14 @@ var (
 	sourceImp  = importer.ForCompiler(sourceFset, "source", nil)
 )
 
+// ModuleRoot resolves the module root directory enclosing dir — the
+// directory callers hand to BuildModuleCached so the summary cache lands
+// next to the export cache.
+func ModuleRoot(dir string) (string, error) {
+	root, _, err := findModule(dir)
+	return root, err
+}
+
 // findModule ascends from dir to the enclosing go.mod and returns the
 // module root and module path.
 func findModule(dir string) (root, modPath string, err error) {
@@ -223,10 +242,6 @@ func discover(fset *token.FileSet, root, modPath string, includeTests bool) (map
 		if err != nil {
 			return fmt.Errorf("analysis: parsing %s: %w", path, err)
 		}
-		if strings.HasSuffix(f.Name.Name, "_test") {
-			// External test packages are out of scope (see LoadConfig).
-			return nil
-		}
 		rel, err := filepath.Rel(root, filepath.Dir(path))
 		if err != nil {
 			return err
@@ -234,6 +249,12 @@ func discover(fset *token.FileSet, root, modPath string, includeTests bool) (map
 		importPath := modPath
 		if rel != "." {
 			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		if strings.HasSuffix(f.Name.Name, "_test") {
+			// An external test package lives in the same directory as the
+			// package under test but is a distinct package; give it a
+			// distinct node under the go-tool's "<pkg>_test" naming.
+			importPath += "_test"
 		}
 		node := nodes[importPath]
 		if node == nil {

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"go/ast"
 	"go/printer"
+	"go/token"
 	"go/types"
+	"strings"
 )
 
 // LockCheck enforces lock discipline in the concurrent layers:
@@ -12,19 +14,22 @@ import (
 //   - sync primitives (Mutex, RWMutex, WaitGroup, Once, Cond) must never be
 //     copied: not passed or returned by value, not copy-assigned, not bound
 //     by value in a range clause;
-//   - a Lock()/RLock() must be released: either the very next statement is
-//     the matching `defer Unlock()`, or a matching explicit Unlock exists
-//     somewhere in the same function (the common lock-compute-unlock
-//     pattern); a Lock with no release in its function is a leak;
+//   - a Lock()/RLock() must be released on every non-panic path: the check
+//     walks the function's control-flow graph (cfg.go) from the acquire,
+//     and any path that reaches a return without the matching Unlock —
+//     immediate, deferred, performed by a closure the path registers, or
+//     performed by a callee whose call-graph summary (callgraph.go) says
+//     it releases the lock on all paths — is a finding. An early return
+//     between Lock and Unlock is exactly such a path;
 //   - `defer mu.Lock()` is flagged outright — it acquires at function exit
 //     and deadlocks the next caller.
 //
-// The release check is intentionally function-scoped: it catches forgotten
-// unlocks, not early-return leaks between Lock and Unlock (that remains a
-// go-test -race / review concern; see ROADMAP).
+// Panicking paths are exempt by construction: panic terminators have no
+// CFG successors, matching the convention that a panic unwinds through
+// the deferred unlocks or tears down the process.
 var LockCheck = &Analyzer{
 	Name: "lockcheck",
-	Doc:  "flags copied sync primitives and Lock() calls with no release in the same function",
+	Doc:  "flags copied sync primitives and locks not released on every non-panic path",
 	Run:  runLockCheck,
 }
 
@@ -37,12 +42,21 @@ func runLockCheck(pass *Pass) {
 			}
 			checkLockCopies(pass, fn)
 			if fn.Body != nil {
-				checkLockRelease(pass, fn)
+				checkLockRelease(pass, fn.Body)
 			}
 		}
 	}
 	for _, file := range pass.Files {
 		checkFuncLitSignatures(pass, file)
+		// Each function literal gets its own path analysis: its body is
+		// its own control-flow universe, released (or not) on its own
+		// schedule.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkLockRelease(pass, lit.Body)
+			}
+			return true
+		})
 	}
 }
 
@@ -169,110 +183,139 @@ func isValueRead(e ast.Expr) bool {
 
 // --- release discipline ---------------------------------------------------
 
-// lockOp is one Lock/Unlock-family call found in a function body.
-type lockOp struct {
-	call     *ast.CallExpr
-	recv     string // canonical receiver text, e.g. "s.mu"
-	name     string // Lock, RLock, Unlock, RUnlock
-	deferred bool
-	block    *ast.BlockStmt
-	index    int // statement index within block (-1 if not a direct statement)
-}
-
-// checkLockRelease enforces the Lock/Unlock pairing rules for one function.
-func checkLockRelease(pass *Pass, fn *ast.FuncDecl) {
-	ops := collectLockOps(pass, fn.Body)
-	for _, op := range ops {
-		if op.deferred && (op.name == "Lock" || op.name == "RLock") {
-			pass.Reportf(op.call, SeverityError,
-				"defer %s.%s() acquires the lock at function exit; this deadlocks the next user", op.recv, op.name)
-			continue
+// checkLockRelease enforces path-sensitive Lock/Unlock pairing for one
+// function or function-literal body.
+func checkLockRelease(pass *Pass, body *ast.BlockStmt) {
+	cfg := NewCFG(pass.Fset, body, pass.Info)
+	type lockSite struct {
+		call  *ast.CallExpr
+		recv  string // canonical receiver text, e.g. "s.mu"
+		name  string // Lock or RLock
+		block *Block
+		index int
+	}
+	var sites []lockSite
+	for _, b := range cfg.Blocks {
+		for i, s := range b.Stmts {
+			var call *ast.CallExpr
+			deferred := false
+			switch s := s.(type) {
+			case *ast.ExprStmt:
+				call, _ = ast.Unparen(s.X).(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call, deferred = s.Call, true
+			}
+			if call == nil {
+				continue
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || !isSyncLockSelector(pass.Info, sel) {
+				continue
+			}
+			// TryLock/TryRLock hold the lock only on one branch of their
+			// result; their pairing is not checked.
+			if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+				continue
+			}
+			recv := exprText(pass.Fset, sel.X)
+			if deferred {
+				pass.Reportf(call, SeverityError,
+					"defer %s.%s() acquires the lock at function exit; this deadlocks the next user", recv, sel.Sel.Name)
+				continue
+			}
+			sites = append(sites, lockSite{call: call, recv: recv, name: sel.Sel.Name, block: b, index: i})
 		}
-		if op.deferred || (op.name != "Lock" && op.name != "RLock") {
-			continue
-		}
+	}
+	for _, site := range sites {
 		want := "Unlock"
-		if op.name == "RLock" {
+		if site.name == "RLock" {
 			want = "RUnlock"
 		}
-		if nextStmtIsDeferredUnlock(pass, op, want, ops) {
-			continue
+		escapes := cfg.EscapesWithout(site.block, site.index+1, func(s ast.Stmt) bool {
+			return stmtReleasesLock(pass, s, site.recv, want)
+		})
+		if escapes {
+			pass.Reportf(site.call, SeverityError,
+				"%s.%s() is not released on every path: a return is reachable with the lock still held; call %s.%s() (or defer it) before returning",
+				site.recv, site.name, site.recv, want)
 		}
-		if anyExplicitUnlock(op, want, ops) {
-			continue
-		}
-		pass.Reportf(op.call, SeverityError,
-			"%s.%s() has no matching %s in this function; the lock leaks on every path", op.recv, op.name, want)
 	}
 }
 
-// collectLockOps finds all mutex method calls in the body, recording where
-// each sits so sibling statements can be examined.
-func collectLockOps(pass *Pass, body *ast.BlockStmt) []lockOp {
-	var ops []lockOp
-	seen := map[*ast.CallExpr]bool{}
-	record := func(call *ast.CallExpr, deferred bool, block *ast.BlockStmt, index int) {
-		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-		if !ok || seen[call] {
-			return
-		}
-		name := sel.Sel.Name
-		switch name {
-		case "Lock", "RLock", "Unlock", "RUnlock", "TryLock", "TryRLock":
-		default:
-			return
-		}
-		if !isSyncLockMethod(pass, sel) {
-			return
-		}
-		seen[call] = true
-		ops = append(ops, lockOp{
-			call: call, recv: exprText(pass, sel.X), name: name,
-			deferred: deferred, block: block, index: index,
-		})
+// stmtReleasesLock reports whether executing s releases recv's lock: a
+// direct or deferred matching unlock, a closure this statement registers
+// or launches that performs the unlock (ownership handed to the closure),
+// or a call to a module function whose summary releases the lock on all
+// of its own paths.
+func stmtReleasesLock(pass *Pass, s ast.Stmt, recv, want string) bool {
+	var direct *ast.CallExpr
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		direct, _ = ast.Unparen(s.X).(*ast.CallExpr)
+	case *ast.DeferStmt:
+		direct = s.Call
 	}
-	var walkBlocks func(n ast.Node)
-	walkBlocks = func(n ast.Node) {
-		ast.Inspect(n, func(m ast.Node) bool {
-			block, ok := m.(*ast.BlockStmt)
-			if !ok {
+	if direct != nil && unlockMatches(pass, direct, recv, want) {
+		return true
+	}
+	released := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if released {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && unlockMatches(pass, call, recv, want) {
+					released = true
+				}
+				return !released
+			})
+			return false
+		case *ast.CallExpr:
+			sum := pass.Mod.SummaryOf(staticCallee(pass.Info, n))
+			if sum == nil {
 				return true
 			}
-			for i, stmt := range block.List {
-				switch s := stmt.(type) {
-				case *ast.ExprStmt:
-					if call, ok := s.X.(*ast.CallExpr); ok {
-						record(call, false, block, i)
+			for _, ln := range sum.ReleasesLocks {
+				text := ln
+				if strings.HasPrefix(ln, "·") {
+					// Receiver-relative name: substitute this call's
+					// receiver expression.
+					sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr)
+					if !ok {
+						continue
 					}
-				case *ast.DeferStmt:
-					record(s.Call, true, block, i)
+					text = exprText(pass.Fset, sel.X) + strings.TrimPrefix(ln, "·")
+				}
+				if text == recv {
+					released = true
+					return false
 				}
 			}
-			return true
-		})
-	}
-	walkBlocks(body)
-	// Sweep for lock calls in other positions (e.g. inside expressions or
-	// go statements) so pairing still sees them.
-	ast.Inspect(body, func(n ast.Node) bool {
-		if call, ok := n.(*ast.CallExpr); ok {
-			record(call, false, nil, -1)
 		}
 		return true
 	})
-	return ops
+	return released
 }
 
-// isSyncLockMethod reports whether the selector resolves to a sync package
-// lock method (covers embedded mutexes and sync.Locker values).
-func isSyncLockMethod(pass *Pass, sel *ast.SelectorExpr) bool {
-	if s, ok := pass.Info.Selections[sel]; ok {
+// unlockMatches reports whether call is recv.want() for the tracked lock.
+func unlockMatches(pass *Pass, call *ast.CallExpr, recv, want string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == want && isSyncLockSelector(pass.Info, sel) &&
+		exprText(pass.Fset, sel.X) == recv
+}
+
+// isSyncLockSelector reports whether the selector resolves to a sync
+// package lock method (covers embedded mutexes and sync.Locker values).
+func isSyncLockSelector(info *types.Info, sel *ast.SelectorExpr) bool {
+	if s, ok := info.Selections[sel]; ok {
 		if fn, ok := s.Obj().(*types.Func); ok {
 			return fn.Pkg() != nil && fn.Pkg().Path() == "sync"
 		}
 	}
 	// Fallback: receiver type is (pointer to) a sync primitive.
-	t := pass.Info.TypeOf(sel.X)
+	t := info.TypeOf(sel.X)
 	if ptr, ok := t.(*types.Pointer); ok {
 		t = ptr.Elem()
 	}
@@ -283,38 +326,11 @@ func isSyncLockMethod(pass *Pass, sel *ast.SelectorExpr) bool {
 	return false
 }
 
-// nextStmtIsDeferredUnlock reports whether the statement directly after the
-// Lock is `defer recv.want()`.
-func nextStmtIsDeferredUnlock(pass *Pass, op lockOp, want string, ops []lockOp) bool {
-	if op.block == nil || op.index < 0 || op.index+1 >= len(op.block.List) {
-		return false
-	}
-	next, ok := op.block.List[op.index+1].(*ast.DeferStmt)
-	if !ok {
-		return false
-	}
-	sel, ok := ast.Unparen(next.Call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return false
-	}
-	return sel.Sel.Name == want && exprText(pass, sel.X) == op.recv
-}
-
-// anyExplicitUnlock reports whether some op releases the same receiver.
-func anyExplicitUnlock(op lockOp, want string, ops []lockOp) bool {
-	for _, other := range ops {
-		if other.name == want && other.recv == op.recv {
-			return true
-		}
-	}
-	return false
-}
-
 // exprText canonicalizes a receiver expression for matching Lock/Unlock
-// pairs.
-func exprText(pass *Pass, e ast.Expr) string {
+// pairs (and pool-buffer owners) by printing it back to source text.
+func exprText(fset *token.FileSet, e ast.Expr) string {
 	var buf bytes.Buffer
-	if err := printer.Fprint(&buf, pass.Fset, e); err != nil {
+	if err := printer.Fprint(&buf, fset, e); err != nil {
 		return ""
 	}
 	return buf.String()

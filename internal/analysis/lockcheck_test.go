@@ -158,3 +158,165 @@ func f() {
 		})
 	}
 }
+
+// TestLockCheckPathSensitive exercises the CFG-driven release rule: paths,
+// not mere presence of an Unlock somewhere in the function, decide whether
+// a lock leaks. The first case is exactly what the old function-scoped
+// heuristic could not see.
+func TestLockCheckPathSensitive(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []int
+	}{
+		{
+			name: "early return between Lock and Unlock leaks",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f(stop bool) int {
+	mu.Lock() // line 6: flagged — the stop path returns while holding mu
+	if stop {
+		return 0
+	}
+	v := n
+	mu.Unlock()
+	return v
+}
+`,
+			want: []int{6},
+		},
+		{
+			name: "unlock on every branch is fine",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f(stop bool) int {
+	mu.Lock()
+	if stop {
+		mu.Unlock()
+		return 0
+	}
+	v := n
+	mu.Unlock()
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "panic path is exempt",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f(stop bool) int {
+	mu.Lock()
+	if stop {
+		panic("stop")
+	}
+	v := n
+	mu.Unlock()
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "break out of loop skips unlock",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		mu.Lock() // line 8: flagged — break exits the loop with mu held
+		if x < 0 {
+			break
+		}
+		total += n + x
+		mu.Unlock()
+	}
+	return total
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "RLock released by Unlock is not a release",
+			src: `package fixture
+import "sync"
+var mu sync.RWMutex
+var n int
+func f() int {
+	mu.RLock() // line 6: flagged — RLock needs RUnlock
+	v := n
+	mu.Unlock()
+	return v
+}
+`,
+			want: []int{6},
+		},
+		{
+			name: "release helper resolved through call-graph summary",
+			src: `package fixture
+import "sync"
+type S struct {
+	mu sync.Mutex
+	n  int
+}
+func (s *S) done() { s.mu.Unlock() }
+func (s *S) Get() int {
+	s.mu.Lock()
+	v := s.n
+	s.done()
+	return v
+}
+`,
+			want: nil,
+		},
+		{
+			name: "unlock handed to a launched closure",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+func f(work func()) {
+	mu.Lock()
+	go func() {
+		work()
+		mu.Unlock()
+	}()
+}
+`,
+			want: nil,
+		},
+		{
+			name: "function literal body is checked on its own",
+			src: `package fixture
+import "sync"
+var mu sync.Mutex
+var n int
+func f(stop bool) func() int {
+	return func() int {
+		mu.Lock() // line 7: flagged — early return inside the literal
+		if stop {
+			return 0
+		}
+		v := n
+		mu.Unlock()
+		return v
+	}
+}
+`,
+			want: []int{7},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sameLines(t, runOnSource(t, LockCheck, "fixture.go", tc.src), tc.want...)
+		})
+	}
+}

@@ -22,13 +22,19 @@ var paramPackages = []string{"internal/core", "internal/config"}
 //  2. Everywhere else, a composite literal of a watched type must reach a
 //     Validate() call on some local path: directly, via the variable it is
 //     assigned to, by being passed into a core/config call (rule 1
-//     guarantees those validate), or by being embedded in another watched
-//     literal whose Validate cascades. Literals that are returned are the
-//     caller's responsibility.
+//     guarantees those validate), into a call whose call-graph summary
+//     says it validates that argument, or by being embedded in another
+//     watched literal whose Validate cascades. Literals that are returned
+//     are the caller's responsibility — and the caller is checked: a
+//     variable assigned from a helper constructor whose summary returns an
+//     unvalidated watched struct (e.g. experiments.caseStudyParams) is
+//     held to the same reach-a-Validate rule as an inline literal.
 //
-// The check is function-scoped and flow-insensitive by design: it will not
-// chase a struct across function boundaries, but combined with rule 1 it
-// pins the invariant where it matters — the model entry points.
+// Cross-function behavior comes from the call-graph summaries
+// (callgraph.go): "does f validate its i-th argument" and "does f return
+// an already-validated struct" are summary bits, so helpers are chased
+// without annotations while unresolvable (external) callees keep the
+// benefit of the doubt.
 var ParamValidate = &Analyzer{
 	Name: "paramvalidate",
 	Doc:  "flags parameter structs that can reach the model without a Validate() call",
@@ -123,7 +129,9 @@ func checkEntryPoint(pass *Pass, fn *ast.FuncDecl) {
 
 // paramHandled reports whether the watched parameter obj is validated in
 // body: p.Validate() is called, p (or &p, or a direct copy of p) is passed
-// as a call argument, or p is embedded in another watched literal.
+// to a call that validates it — a callee whose summary validates that
+// argument position, or an unresolvable callee given the benefit of the
+// doubt — or p is embedded in another watched literal.
 func paramHandled(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
 	// Track direct copies: q := p.
 	tracked := map[types.Object]bool{obj: true}
@@ -169,11 +177,23 @@ func paramHandled(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
 					return false
 				}
 			}
-			for _, arg := range node.Args {
-				if usesTracked(arg) {
-					handled = true
-					return false
+			sum := pass.Mod.SummaryOf(staticCallee(pass.Info, node))
+			for j, arg := range node.Args {
+				if !usesTracked(arg) {
+					continue
 				}
+				if sum != nil {
+					// Resolvable module callee: forwarding counts only if
+					// its summary validates this argument position.
+					if j < len(sum.ValidatesParams) && sum.ValidatesParams[j] {
+						handled = true
+						return false
+					}
+					continue
+				}
+				// External or unresolvable callee: benefit of the doubt.
+				handled = true
+				return false
 			}
 		case *ast.CompositeLit:
 			if isWatchedStruct(pass.Info.TypeOf(node)) {
@@ -305,12 +325,67 @@ func checkConstructions(pass *Pass, fn *ast.FuncDecl) {
 		return true
 	})
 
-	// Second pass: resolve variables holding watched literals.
+	// Helper constructors: a variable assigned from a call whose summary
+	// returns a watched struct that is NOT already validated is as suspect
+	// as an inline literal, and resolved the same way.
+	type pendingCall struct {
+		call *ast.CallExpr
+		obj  types.Object
+		name string // callee label for the diagnostic
+	}
+	var callPendings []pendingCall
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(assign.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := staticCallee(pass.Info, call)
+		sum := pass.Mod.SummaryOf(callee)
+		if sum == nil {
+			return true
+		}
+		// Param-package constructors are rule 1's territory: they hand out
+		// validated (or error-rejected) values.
+		if callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path()) {
+			return true
+		}
+		for i, lhs := range assign.Lhs {
+			if i >= len(sum.WatchedResults) || !sum.WatchedResults[i] || sum.ValidatedResults[i] {
+				continue
+			}
+			id, ok := lhs.(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.Info.Defs[id]
+			if obj == nil {
+				obj = pass.Info.Uses[id]
+			}
+			if obj != nil {
+				callPendings = append(callPendings, pendingCall{call: call, obj: obj, name: callee.Name()})
+			}
+		}
+		return true
+	})
+
+	// Second pass: resolve variables holding watched literals or
+	// unvalidated helper-constructor results.
 	for _, p := range pendings {
 		if !variableValidated(pass, fn.Body, p.obj) {
 			pass.Reportf(p.lit, SeverityError,
 				"%s assigned to %s but no path in this function calls %s.Validate() or hands it to a core/config entry point",
 				litName(pass, p.lit), p.obj.Name(), p.obj.Name())
+		}
+	}
+	for _, p := range callPendings {
+		if !variableValidated(pass, fn.Body, p.obj) {
+			pass.Reportf(p.call, SeverityError,
+				"%s returns an unvalidated parameter struct assigned to %s; no path in this function calls %s.Validate() or hands it to a validating call",
+				p.name, p.obj.Name(), p.obj.Name())
 		}
 	}
 }
@@ -333,13 +408,34 @@ func insideWatchedLiteral(pass *Pass, parentOf map[ast.Node]ast.Node, n ast.Node
 
 // callReachesValidation reports whether passing the literal to this call
 // satisfies the contract: the callee lives in a param package (rule 1 makes
-// those validate) or is itself named Validate.
+// those validate) or its call-graph summary validates the argument
+// position the literal occupies.
 func callReachesValidation(pass *Pass, call *ast.CallExpr, lit *ast.CompositeLit) bool {
 	obj := calleeObject(pass, call)
 	if obj == nil || obj.Pkg() == nil {
 		return false
 	}
-	return isParamPkgPath(obj.Pkg().Path())
+	if isParamPkgPath(obj.Pkg().Path()) {
+		return true
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sum := pass.Mod.SummaryOf(fn)
+	if sum == nil {
+		return false
+	}
+	for j, arg := range call.Args {
+		e := ast.Unparen(arg)
+		if u, ok := e.(*ast.UnaryExpr); ok {
+			e = ast.Unparen(u.X)
+		}
+		if e == ast.Expr(lit) {
+			return j < len(sum.ValidatesParams) && sum.ValidatesParams[j]
+		}
+	}
+	return false
 }
 
 // variableValidated reports whether the variable obj reaches validation
@@ -371,15 +467,22 @@ func variableValidated(pass *Pass, body *ast.BlockStmt, obj types.Object) bool {
 				}
 			}
 			callee := calleeObject(pass, node)
-			calleeValidates := callee != nil && callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path())
-			if calleeValidates {
-				for _, arg := range node.Args {
-					if usesObj(arg) {
-						validated = true
-						return false
-					}
+			paramPkg := callee != nil && callee.Pkg() != nil && isParamPkgPath(callee.Pkg().Path())
+			var sum *FuncSummary
+			if fn, ok := callee.(*types.Func); ok {
+				sum = pass.Mod.SummaryOf(fn)
+			}
+			for j, arg := range node.Args {
+				if !usesObj(arg) {
+					continue
 				}
-				// Method call on the variable itself, e.g. cfg.Apply().
+				if paramPkg || (sum != nil && j < len(sum.ValidatesParams) && sum.ValidatesParams[j]) {
+					validated = true
+					return false
+				}
+			}
+			// Method call on the variable itself, e.g. cfg.Apply().
+			if paramPkg {
 				if sel, ok := ast.Unparen(node.Fun).(*ast.SelectorExpr); ok && usesObj(sel.X) {
 					validated = true
 					return false

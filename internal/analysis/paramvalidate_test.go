@@ -206,3 +206,111 @@ func Run() float64 {
 		})
 	}
 }
+
+// TestParamValidateHelperConstructors exercises the cross-function half of
+// the analyzer: a helper that returns a Params literal moves the validation
+// obligation to its call sites, resolved through call-graph summaries
+// rather than per-function syntax.
+func TestParamValidateHelperConstructors(t *testing.T) {
+	cases := []struct {
+		name     string
+		consumer string
+		want     []int // finding lines within app/app.go
+	}{
+		{
+			name: "unvalidated helper result used raw is flagged at the call",
+			consumer: `package app
+import "fixturemod/internal/core"
+func defaults() core.Params {
+	return core.Params{C: 2.5e9, Alpha: 0.1}
+}
+func Run() float64 {
+	p := defaults() // line 7: flagged — no path validates p
+	return p.C * 2
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "helper result handed to a validating entry point is fine",
+			consumer: `package app
+import "fixturemod/internal/core"
+func defaults() core.Params {
+	return core.Params{C: 2.5e9, Alpha: 0.1}
+}
+func Run() (float64, error) {
+	p := defaults()
+	return core.New(p)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "helper result validated explicitly is fine",
+			consumer: `package app
+import "fixturemod/internal/core"
+func defaults() core.Params {
+	return core.Params{C: 2.5e9, Alpha: 0.1}
+}
+func Run() (float64, error) {
+	p := defaults()
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C, nil
+}
+`,
+			want: nil,
+		},
+		{
+			name: "helper that validates before returning clears its callers",
+			consumer: `package app
+import "fixturemod/internal/core"
+func checked() core.Params {
+	p := core.Params{C: 2.5e9, Alpha: 0.1}
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return p
+}
+func Run() float64 {
+	p := checked()
+	return p.C * 2
+}
+`,
+			want: nil,
+		},
+		{
+			name: "validation chased through an intermediate helper",
+			consumer: `package app
+import "fixturemod/internal/core"
+func defaults() core.Params {
+	return core.Params{C: 2.5e9, Alpha: 0.1}
+}
+func runModel(p core.Params) (float64, error) {
+	return core.New(p)
+}
+func Run() (float64, error) {
+	p := defaults()
+	return runModel(p)
+}
+`,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkgs := loadTempModule(t, map[string]string{
+				"internal/core/core.go": coreFixture,
+				"app/app.go":            tc.consumer,
+			})
+			var appFindings []Finding
+			for _, f := range RunAnalyzers(pkgs, []*Analyzer{ParamValidate}) {
+				if pkgPathHasSuffix(f.File, "app/app.go") {
+					appFindings = append(appFindings, f)
+				}
+			}
+			sameLines(t, appFindings, tc.want...)
+		})
+	}
+}

@@ -1,0 +1,418 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// PoolCheck enforces the ownership rules of the pooled-buffer layers
+// (internal/rpc's getBuf/putBuf and internal/kernels' GetScratch/
+// PutScratch) that the zero-allocation hot path depends on:
+//
+//   - a buffer obtained from the pool must reach a put or an
+//     ownership-transferring operation (return, channel send, alias or
+//     field store, go/defer handoff, or a call whose summary says it puts
+//     the buffer) on every non-panic path — a silent drop re-allocates on
+//     the paper's µs-scale serving path and skews the overhead
+//     measurements calibrated against it;
+//   - no use after put: once a buffer is back in the pool another
+//     goroutine may own it;
+//   - no double put: putting twice hands the same buffer to two owners.
+//
+// The check is flow-sensitive (it walks the function's CFG, cfg.go) and
+// deliberately local: it tracks only variables directly assigned from a
+// pool get in the same function or literal body. Buffers that pass
+// through append-style helpers (`data, err = f(getBuf(n), ...)`) or are
+// captured by closures transfer ownership to code this analyzer does not
+// second-guess — those idioms are the hot path's own (see
+// internal/rpc/pipeline.go) and remain the API comments' responsibility.
+var PoolCheck = &Analyzer{
+	Name: "poolcheck",
+	Doc:  "flags pool buffers that leak, are used after put, or are put twice",
+	Run:  runPoolCheck,
+}
+
+// poolGetFuncs / poolPutFuncs name the pool entry points, matched by
+// function name plus declaring-package path suffix (suffix matching keeps
+// fixtures and the real module on the same rule).
+var (
+	poolGetFuncs = map[string]string{"getBuf": "internal/rpc", "GetScratch": "internal/kernels"}
+	poolPutFuncs = map[string]string{"putBuf": "internal/rpc", "PutScratch": "internal/kernels"}
+)
+
+func isPoolCall(info *types.Info, call *ast.CallExpr, table map[string]string) bool {
+	fn := staticCallee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return false
+	}
+	suffix, ok := table[fn.Name()]
+	return ok && pkgPathHasSuffix(fn.Pkg().Path(), suffix)
+}
+
+// isPoolGetCall reports whether call obtains a buffer from a pool.
+func isPoolGetCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPoolCall(info, call, poolGetFuncs)
+}
+
+// isPoolPutCall reports whether call returns a buffer to a pool.
+func isPoolPutCall(info *types.Info, call *ast.CallExpr) bool {
+	return isPoolCall(info, call, poolPutFuncs)
+}
+
+func runPoolCheck(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+				checkPoolBody(pass, fn.Body)
+			}
+		}
+		// Each function literal is its own body: gets inside it are
+		// tracked against its control flow, not the enclosing function's.
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok {
+				checkPoolBody(pass, lit.Body)
+			}
+			return true
+		})
+	}
+}
+
+// poolState is the tracked buffer's condition along one path.
+type poolState uint8
+
+const (
+	psLive     poolState = iota // owned, not yet released
+	psPending                   // a defer put is registered; release happens at exit
+	psReleased                  // put back in the pool
+)
+
+// poolEvent classifies what one statement does to the tracked variable.
+type poolEvent uint8
+
+const (
+	evNone      poolEvent = iota
+	evRead                // uses the buffer's contents
+	evPut                 // immediate put
+	evDeferPut            // registers a deferred put
+	evReget               // reassigned from a fresh pool get
+	evOverwrite           // reassigned from anything else (old buffer dropped)
+	evTransfer            // ownership leaves this variable (return/send/alias/…)
+)
+
+// getSite is one tracked `v := getBuf(n)` statement.
+type getSite struct {
+	obj   types.Object
+	stmt  ast.Stmt
+	call  *ast.CallExpr
+	block *Block
+	index int
+}
+
+func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
+	// Variables touched by nested closures escape this body's control
+	// flow; tracking them would second-guess the closure.
+	closureTouched := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		ast.Inspect(lit.Body, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok {
+				if obj := pass.Info.Uses[id]; obj != nil {
+					closureTouched[obj] = true
+				}
+			}
+			return true
+		})
+		return false
+	})
+
+	cfg := NewCFG(pass.Fset, body, pass.Info)
+	var sites []getSite
+	for _, b := range cfg.Blocks {
+		for i, s := range b.Stmts {
+			obj, call := trackedGet(pass.Info, s)
+			if obj == nil || closureTouched[obj] {
+				continue
+			}
+			sites = append(sites, getSite{obj: obj, stmt: s, call: call, block: b, index: i})
+		}
+	}
+	for _, site := range sites {
+		checkGetSite(pass, cfg, site)
+	}
+}
+
+// trackedGet recognizes `v := getBuf(n)` / `v = GetScratch(n)[:n]` forms
+// where v is a plain local identifier, returning the variable and the get
+// call.
+func trackedGet(info *types.Info, s ast.Stmt) (types.Object, *ast.CallExpr) {
+	assign, ok := s.(*ast.AssignStmt)
+	if !ok || len(assign.Lhs) != len(assign.Rhs) {
+		return nil, nil
+	}
+	for i, rhs := range assign.Rhs {
+		call := getCallOf(info, rhs)
+		if call == nil {
+			continue
+		}
+		id, ok := assign.Lhs[i].(*ast.Ident)
+		if !ok || id.Name == "_" {
+			continue
+		}
+		obj := info.Defs[id]
+		if obj == nil {
+			obj = info.Uses[id]
+		}
+		if obj != nil {
+			return obj, call
+		}
+	}
+	return nil, nil
+}
+
+// getCallOf unwraps a pool-get expression: the call itself or a slicing
+// of it.
+func getCallOf(info *types.Info, e ast.Expr) *ast.CallExpr {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || !isPoolGetCall(info, call) {
+		return nil
+	}
+	return call
+}
+
+// checkGetSite runs the ownership state machine forward from one get.
+func checkGetSite(pass *Pass, cfg *CFG, site getSite) {
+	var (
+		leaked   bool
+		reported = map[token.Pos]bool{} // dedupe use/double-put across paths
+	)
+	report := func(n ast.Node, format string, args ...interface{}) {
+		if !reported[n.Pos()] {
+			reported[n.Pos()] = true
+			pass.Reportf(n, SeverityError, format, args...)
+		}
+	}
+	visited := map[*Block]uint8{}
+	var walk func(b *Block, from int, st poolState)
+	walk = func(b *Block, from int, st poolState) {
+		for _, s := range b.Stmts[from:] {
+			switch classifyPoolStmt(pass, site.obj, s) {
+			case evRead:
+				if st == psReleased {
+					report(s, "%s is used after being returned to the pool; the pool may already have reissued it", site.obj.Name())
+				}
+			case evPut:
+				if st != psLive {
+					report(s, "%s is returned to the pool twice on some path; two future gets would share one buffer", site.obj.Name())
+				}
+				st = psReleased
+			case evDeferPut:
+				if st != psLive {
+					report(s, "%s is returned to the pool twice on some path; two future gets would share one buffer", site.obj.Name())
+				}
+				st = psPending
+			case evReget:
+				// A fresh get starts its own tracked epoch; the old buffer
+				// leaks unless released or covered by a pending defer put
+				// (whose argument was evaluated at registration).
+				if st == psLive {
+					leaked = true
+				}
+				return
+			case evOverwrite:
+				if st == psLive {
+					leaked = true
+				}
+				return
+			case evTransfer:
+				if st == psReleased {
+					report(s, "%s is handed off after being returned to the pool; the new owner would share it with a future get", site.obj.Name())
+				}
+				return // ownership left this variable; path is done
+			}
+		}
+		if b == cfg.Exit {
+			if st == psLive {
+				leaked = true
+			}
+			return
+		}
+		for _, succ := range b.Succs {
+			bit := uint8(1) << st
+			if visited[succ]&bit == 0 {
+				visited[succ] |= bit
+				walk(succ, 0, st)
+			}
+		}
+	}
+	walk(site.block, site.index+1, psLive)
+	if leaked {
+		pass.Reportf(site.call, SeverityError,
+			"pooled buffer %s does not reach a put or an ownership transfer on every non-panic path; the pool loses it and the hot path re-allocates", site.obj.Name())
+	}
+}
+
+// classifyPoolStmt decides what statement s does to the tracked variable.
+func classifyPoolStmt(pass *Pass, obj types.Object, s ast.Stmt) poolEvent {
+	info := pass.Info
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && (info.Uses[id] == obj || info.Defs[id] == obj)
+	}
+	mentions := func(n ast.Node) bool {
+		found := false
+		ast.Inspect(n, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	putOf := func(call *ast.CallExpr) bool {
+		return isPoolPutCall(info, call) && len(call.Args) == 1 && isObj(call.Args[0])
+	}
+
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok && putOf(call) {
+			return evPut
+		}
+	case *ast.DeferStmt:
+		if putOf(s.Call) {
+			return evDeferPut
+		}
+		if mentions(s) {
+			return evTransfer // deferred handoff runs after this analysis can see
+		}
+		return evNone
+	case *ast.GoStmt:
+		if mentions(s) {
+			return evTransfer // concurrent owner
+		}
+		return evNone
+	case *ast.ReturnStmt:
+		// Returning the buffer (or a reslice of it) hands it to the
+		// caller; returning a value computed FROM it is just a read.
+		for _, res := range s.Results {
+			if aliasOf(isObj, res) {
+				return evTransfer
+			}
+		}
+	case *ast.SendStmt:
+		if aliasOf(isObj, s.Value) {
+			return evTransfer
+		}
+	case *ast.AssignStmt:
+		// Assignment TO the variable: classify by what replaces it.
+		for i, lhs := range s.Lhs {
+			if !isObj(lhs) {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Lhs) == len(s.Rhs) {
+				rhs = s.Rhs[i]
+			} else if len(s.Rhs) == 1 {
+				rhs = s.Rhs[0]
+			}
+			if rhs != nil && getCallOf(info, rhs) != nil {
+				return evReget
+			}
+			for _, r := range s.Rhs {
+				if mentions(r) {
+					return evRead // self-append style: `v = append(v, …)` retains ownership
+				}
+			}
+			return evOverwrite
+		}
+		// Assignment FROM the variable: a whole-value alias (plain ident
+		// or a slicing of it) moves ownership; element/derived reads do
+		// not.
+		for _, r := range s.Rhs {
+			if aliasOf(isObj, r) {
+				return evTransfer
+			}
+		}
+	}
+	// Everything else: a store into a composite, a call argument, an
+	// expression read. Composite literals and ownership-taking callees
+	// transfer; plain reads do not.
+	result := evNone
+	ast.Inspect(s, func(n ast.Node) bool {
+		if result == evTransfer {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if isObj(v) {
+					result = evTransfer
+					return false
+				}
+			}
+		case *ast.CallExpr:
+			for j, arg := range n.Args {
+				if !isObj(arg) {
+					continue
+				}
+				switch callee := calleeOf(info, n).(type) {
+				case *types.Builtin:
+					result = evRead
+				case *types.Func:
+					if sum := pass.Mod.SummaryOf(callee); sum != nil &&
+						j < len(sum.TakesOwnership) && sum.TakesOwnership[j] {
+						result = evTransfer
+						return false
+					}
+					result = evRead
+				default:
+					// Function value or unresolvable callee: assume it
+					// takes the buffer rather than cry leak later.
+					result = evTransfer
+					return false
+				}
+			}
+		case *ast.Ident:
+			if result == evNone && info.Uses[n] == obj {
+				result = evRead
+			}
+		}
+		return true
+	})
+	return result
+}
+
+// aliasOf reports whether e is the tracked buffer itself or a reslicing
+// of it — the shapes that carry ownership when assigned, returned, or
+// sent.
+func aliasOf(isObj func(ast.Expr) bool, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	return isObj(e)
+}
+
+// calleeOf resolves a call's target object (function, builtin, or nil).
+func calleeOf(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}

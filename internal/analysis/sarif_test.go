@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestWriteSARIF(t *testing.T) {
+	findings := []Finding{
+		{Analyzer: "floatcmp", File: "internal/core/model.go", Line: 42, Column: 9,
+			Severity: SeverityError, Message: "float equality"},
+		{Analyzer: "lockcheck", File: "internal/rpc/server.go", Line: 7, Column: 2,
+			Severity: SeverityWarning, Message: "lock not released"},
+	}
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), findings); err != nil {
+		t.Fatal(err)
+	}
+
+	// The log must be valid JSON with the fixed SARIF envelope.
+	var log map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if log["version"] != "2.1.0" {
+		t.Fatalf("version = %v, want 2.1.0", log["version"])
+	}
+	runs := log["runs"].([]any)
+	if len(runs) != 1 {
+		t.Fatalf("want exactly one run, got %d", len(runs))
+	}
+	run := runs[0].(map[string]any)
+	driver := run["tool"].(map[string]any)["driver"].(map[string]any)
+	if driver["name"] != "modelcheck" {
+		t.Fatalf("driver name = %v", driver["name"])
+	}
+	rules := driver["rules"].([]any)
+	if len(rules) != len(All()) {
+		t.Fatalf("rules = %d, want one per analyzer (%d) even with sparse findings", len(rules), len(All()))
+	}
+	results := run["results"].([]any)
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	first := results[0].(map[string]any)
+	if first["ruleId"] != "floatcmp" || first["level"] != "error" {
+		t.Fatalf("first result = %v", first)
+	}
+	loc := first["locations"].([]any)[0].(map[string]any)["physicalLocation"].(map[string]any)
+	if uri := loc["artifactLocation"].(map[string]any)["uri"]; uri != "internal/core/model.go" {
+		t.Fatalf("uri = %v", uri)
+	}
+	region := loc["region"].(map[string]any)
+	if region["startLine"].(float64) != 42 || region["startColumn"].(float64) != 9 {
+		t.Fatalf("region = %v", region)
+	}
+	// ruleIndex must point back at the matching rule.
+	idx := int(first["ruleIndex"].(float64))
+	if rules[idx].(map[string]any)["id"] != "floatcmp" {
+		t.Fatalf("ruleIndex %d does not resolve to floatcmp", idx)
+	}
+}
+
+func TestWriteSARIFEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSARIF(&buf, All(), nil); err != nil {
+		t.Fatal(err)
+	}
+	// An empty run still carries the rules and an empty (not null) results
+	// array — code-scanning rejects null.
+	if !strings.Contains(buf.String(), `"results": []`) {
+		t.Fatalf("empty findings must encode as an empty results array:\n%s", buf.String())
+	}
+	var log sarifLog
+	if err := json.Unmarshal(buf.Bytes(), &log); err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) != len(All()) {
+		t.Fatal("rules missing from empty run")
+	}
+}

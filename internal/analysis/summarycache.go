@@ -1,0 +1,148 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+)
+
+// Summary cache. Function summaries are a whole-module fixpoint
+// (callgraph.go): a summary can depend on any other function in the
+// module, so there is no sound per-package or per-function invalidation —
+// the cache is keyed on the Go version plus the exact set and content
+// hashes of every analyzed source file, and any mismatch recomputes
+// everything. That is still a win because the fixpoint plus its CFG
+// builds dominate warm-cache runs once type-checking is served from the
+// export cache (cache.go), and "any edit rebuilds all summaries" is the
+// same all-or-nothing contract the export cache already uses.
+//
+// Summaries are stored by types.Func.FullName(). Only non-empty summaries
+// are written: absence is recoverable, because a function whose final
+// summary is empty has an empty seed too (facts are monotone), so the
+// loader re-seeds missing functions from their signature and body alone.
+// Multiple init functions share one FullName; their keys are dropped at
+// write time and re-seeded at load time for the same reason.
+
+// summaryCacheName is the summaries index inside the cache directory.
+const summaryCacheName = "summaries.json"
+
+// summaryCacheFile is the on-disk shape of the summary cache.
+type summaryCacheFile struct {
+	GoVersion string                  `json:"go_version"`
+	Files     map[string]string       `json:"files"`     // root-relative path → sha256
+	Summaries map[string]*FuncSummary `json:"summaries"` // types.Func.FullName → non-empty summary
+}
+
+// BuildModuleCached is the disk-backed BuildModule: when the cache under
+// root is valid for the current Go version and source files it loads
+// summaries instead of running the interprocedural fixpoint; otherwise it
+// computes them and refreshes the cache. Cache trouble of any kind (an
+// unreadable file, a foreign root) silently degrades to a fresh compute.
+func BuildModuleCached(pkgs []*Package, root string) *Module {
+	if root == "" {
+		return BuildModule(pkgs)
+	}
+	files, err := moduleFileHashes(pkgs, root)
+	if err != nil {
+		return BuildModule(pkgs)
+	}
+	cachePath := filepath.Join(root, cacheDirName, summaryCacheName)
+	if cached := loadSummaryCache(cachePath, files); cached != nil {
+		m := newModuleGraph(pkgs)
+		for _, n := range m.Graph.order {
+			if s, ok := cached.Summaries[n.Func.FullName()]; ok && s != nil {
+				m.summaries[n.Func] = s
+			} else {
+				m.summaries[n.Func] = m.seedSummary(n)
+			}
+		}
+		m.FromCache = true
+		return m
+	}
+	m := BuildModule(pkgs)
+	writeSummaryCache(cachePath, files, m)
+	return m
+}
+
+// moduleFileHashes hashes every source file of the loaded packages,
+// keyed by root-relative path.
+func moduleFileHashes(pkgs []*Package, root string) (map[string]string, error) {
+	files := map[string]string{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.File(f.Pos()).Name()
+			rel, err := filepath.Rel(root, name)
+			if err != nil {
+				rel = name
+			}
+			if _, done := files[rel]; done {
+				continue
+			}
+			sum, err := fileSHA256(name)
+			if err != nil {
+				return nil, err
+			}
+			files[rel] = sum
+		}
+	}
+	return files, nil
+}
+
+// loadSummaryCache reads the cache and returns it only if it is valid for
+// the current Go version and exactly the given file set.
+func loadSummaryCache(path string, files map[string]string) *summaryCacheFile {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var c summaryCacheFile
+	if err := json.Unmarshal(data, &c); err != nil {
+		return nil
+	}
+	if c.GoVersion != runtime.Version() || len(c.Files) != len(files) {
+		return nil
+	}
+	for rel, sum := range files {
+		if c.Files[rel] != sum {
+			return nil
+		}
+	}
+	return &c
+}
+
+// writeSummaryCache persists the non-empty summaries. Write failures are
+// ignored — the cache is an optimization, not a requirement.
+func writeSummaryCache(path string, files map[string]string, m *Module) {
+	c := &summaryCacheFile{
+		GoVersion: runtime.Version(),
+		Files:     files,
+		Summaries: map[string]*FuncSummary{},
+	}
+	dup := map[string]bool{}
+	for _, n := range m.Graph.order {
+		name := n.Func.FullName()
+		if _, seen := c.Summaries[name]; seen {
+			dup[name] = true
+			continue
+		}
+		if s := m.summaries[n.Func]; s != nil && !s.empty() {
+			c.Summaries[name] = s
+		} else {
+			c.Summaries[name] = nil // placeholder so duplicates are detected
+		}
+	}
+	for name, s := range c.Summaries {
+		if dup[name] || s == nil {
+			delete(c.Summaries, name)
+		}
+	}
+	data, err := json.MarshalIndent(c, "", "  ")
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return
+	}
+	_ = os.WriteFile(path, data, 0o644) //modelcheck:ignore errdrop — a failed cache write only costs the next run a recompute
+}

@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// summaryCacheFixture is a two-package module with enough cross-function
+// structure to make cached and computed summaries distinguishable from
+// blanks: a validating chain and an ownership chain.
+func summaryCacheFixture() map[string]string {
+	return map[string]string{
+		"internal/core/core.go": summaryCoreFixture,
+		"app/app.go": `package app
+import "fixturemod/internal/core"
+func helper(p core.Params) error { return p.Validate() }
+func chained(p core.Params) error { return helper(p) }
+func getBuf(n int) []byte { return make([]byte, 0, n) }
+func putBuf(b []byte)     {}
+func sink(b []byte)       { putBuf(b) }
+`,
+	}
+}
+
+// loadFixtureAt loads an already-materialized fixture module.
+func loadFixtureAt(t *testing.T, dir string) []*Package {
+	t.Helper()
+	pkgs, err := Load(LoadConfig{Dir: dir}, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	return pkgs
+}
+
+func chainedValidates(t *testing.T, m *Module) bool {
+	t.Helper()
+	for _, n := range m.Graph.order {
+		if n.Func.Name() == "chained" {
+			s := m.SummaryOf(n.Func)
+			return s != nil && len(s.ValidatesParams) == 1 && s.ValidatesParams[0]
+		}
+	}
+	t.Fatal("chained not found in call graph")
+	return false
+}
+
+func TestSummaryCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	writeFixtureModule(t, dir, summaryCacheFixture())
+
+	m1 := BuildModuleCached(loadFixtureAt(t, dir), dir)
+	if m1.FromCache {
+		t.Fatal("first build must compute, not hit the cache")
+	}
+	if !chainedValidates(t, m1) {
+		t.Fatal("computed summaries lost the validation chain")
+	}
+	if _, err := os.Stat(filepath.Join(dir, cacheDirName, summaryCacheName)); err != nil {
+		t.Fatalf("summary cache not written: %v", err)
+	}
+
+	m2 := BuildModuleCached(loadFixtureAt(t, dir), dir)
+	if !m2.FromCache {
+		t.Fatal("unchanged module must hit the cache")
+	}
+	if !chainedValidates(t, m2) {
+		t.Fatal("cached summaries lost the validation chain")
+	}
+}
+
+func TestSummaryCacheInvalidation(t *testing.T) {
+	dir := t.TempDir()
+	files := summaryCacheFixture()
+	writeFixtureModule(t, dir, files)
+	BuildModuleCached(loadFixtureAt(t, dir), dir)
+
+	t.Run("edited function body recomputes", func(t *testing.T) {
+		edited := strings.Replace(files["app/app.go"],
+			"func chained(p core.Params) error { return helper(p) }",
+			"func chained(p core.Params) error { _ = p.C; return helper(p) }", 1)
+		if err := os.WriteFile(filepath.Join(dir, "app/app.go"), []byte(edited), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		m := BuildModuleCached(loadFixtureAt(t, dir), dir)
+		if m.FromCache {
+			t.Fatal("edited file must invalidate the summary cache")
+		}
+		if !chainedValidates(t, m) {
+			t.Fatal("recomputed summaries lost the validation chain")
+		}
+		// And the refreshed cache covers the new content.
+		if m2 := BuildModuleCached(loadFixtureAt(t, dir), dir); !m2.FromCache {
+			t.Fatal("cache not refreshed after recompute")
+		}
+	})
+
+	t.Run("go version bump recomputes", func(t *testing.T) {
+		path := filepath.Join(dir, cacheDirName, summaryCacheName)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c summaryCacheFile
+		if err := json.Unmarshal(data, &c); err != nil {
+			t.Fatal(err)
+		}
+		c.GoVersion = "go0.0-from-another-toolchain"
+		tampered, err := json.Marshal(&c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, tampered, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if m := BuildModuleCached(loadFixtureAt(t, dir), dir); m.FromCache {
+			t.Fatal("stale toolchain version must invalidate the summary cache")
+		}
+	})
+}
+
+// TestSummaryCacheDrivesAnalyzersIdentically: findings must not depend on
+// whether the module came from cache or from a fresh fixpoint.
+func TestSummaryCacheDrivesAnalyzersIdentically(t *testing.T) {
+	dir := t.TempDir()
+	files := summaryCacheFixture()
+	files["app/bad.go"] = `package app
+import "fixturemod/internal/core"
+func Bad() float64 {
+	p := core.Params{C: -1} // flagged by paramvalidate
+	return p.C * 2
+}
+`
+	writeFixtureModule(t, dir, files)
+
+	pkgsFresh := loadFixtureAt(t, dir)
+	fresh := BuildModuleCached(pkgsFresh, dir)
+	pkgsCached := loadFixtureAt(t, dir)
+	cached := BuildModuleCached(pkgsCached, dir)
+	if fresh.FromCache || !cached.FromCache {
+		t.Fatalf("cache states: fresh=%v cached=%v", fresh.FromCache, cached.FromCache)
+	}
+	freshFindings := RunAnalyzersWithModule(pkgsFresh, All(), fresh)
+	cachedFindings := RunAnalyzersWithModule(pkgsCached, All(), cached)
+	if len(freshFindings) == 0 {
+		t.Fatal("fixture should produce at least one finding")
+	}
+	if len(freshFindings) != len(cachedFindings) {
+		t.Fatalf("fresh=%v cached=%v", freshFindings, cachedFindings)
+	}
+	for i := range freshFindings {
+		if freshFindings[i].Line != cachedFindings[i].Line ||
+			freshFindings[i].Analyzer != cachedFindings[i].Analyzer {
+			t.Fatalf("finding %d differs: fresh=%v cached=%v", i, freshFindings[i], cachedFindings[i])
+		}
+	}
+}

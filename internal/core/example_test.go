@@ -30,8 +30,8 @@ func ExampleModel_LatencyReduction() {
 		C: 2.3e9, Alpha: 0.15, N: 9629, L: 2300, O1: 5750, A: 27,
 	})
 	for _, th := range []core.Threading{core.Sync, core.SyncOS} {
-		s, _ := m.Speedup(th)
-		l, _ := m.LatencyReduction(th, core.OffChip)
+		s, _ := m.Speedup(th)                        //modelcheck:ignore errdrop — example brevity; Sync and Sync-OS are valid for this config
+		l, _ := m.LatencyReduction(th, core.OffChip) //modelcheck:ignore errdrop — example brevity; Sync and Sync-OS are valid for this config
 		fmt.Printf("%s: throughput %+.1f%% latency %+.1f%%\n",
 			th, (s-1)*100, (l-1)*100)
 	}

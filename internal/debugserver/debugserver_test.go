@@ -36,7 +36,7 @@ func get(t *testing.T, c *http.Client, url string) (int, string) {
 		t.Fatalf("GET %s: %v", url, err)
 	}
 	body, err := io.ReadAll(resp.Body)
-	resp.Body.Close()
+	resp.Body.Close() //modelcheck:ignore errdrop — test cleanup; read errors already surfaced by ReadAll
 	if err != nil {
 		t.Fatalf("GET %s: read body: %v", url, err)
 	}
@@ -128,7 +128,7 @@ func TestDashboard(t *testing.T) {
 	ctr.Inc()
 	s := startServer(t, debugserver.Config{
 		Registry:  reg,
-		Dashboard: func(w io.Writer) { fmt.Fprintln(w, "fleet: 8 services") },
+		Dashboard: func(w io.Writer) { fmt.Fprintln(w, "fleet: 8 services") }, //modelcheck:ignore errdrop — write errors surface through the HTTP response
 	})
 	code, body := get(t, client(t), s.URL()+"/")
 	if code != http.StatusOK {
@@ -235,7 +235,7 @@ func TestShutdownUnblocksInFlightAndLeaksNoGoroutines(t *testing.T) {
 			resp, err := c.Get(s.URL() + "/debug/pprof/profile?seconds=60")
 			if err == nil {
 				io.Copy(io.Discard, resp.Body) //modelcheck:ignore errdrop — draining a cancelled scrape
-				resp.Body.Close()
+				resp.Body.Close()              //modelcheck:ignore errdrop — draining a cancelled scrape
 			}
 			close(scrapeDone)
 		}()

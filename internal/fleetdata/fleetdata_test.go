@@ -374,11 +374,17 @@ func TestApplicationsReproduce(t *testing.T) {
 func TestEffectiveParamsScaling(t *testing.T) {
 	app := Applications[1] // off-chip Sync compression, n=9629 of 15008
 	eff := app.EffectiveParams()
+	if err := eff.Validate(); err != nil {
+		t.Fatalf("EffectiveParams must produce a valid model config: %v", err)
+	}
 	want := 0.15 * 9629 / 15008
 	if math.Abs(eff.Alpha-want) > 1e-12 {
 		t.Errorf("effective α = %v, want %v", eff.Alpha, want)
 	}
 	onchip := Applications[0].EffectiveParams()
+	if err := onchip.Validate(); err != nil {
+		t.Fatalf("EffectiveParams must produce a valid model config: %v", err)
+	}
 	if onchip.Alpha != 0.15 {
 		t.Errorf("on-chip α must stay unscaled, got %v", onchip.Alpha)
 	}

@@ -227,7 +227,7 @@ func TestBuildReportJSONAndText(t *testing.T) {
 	if err := json.Unmarshal(raw, &back); err != nil {
 		t.Fatalf("report JSON does not round-trip: %v", err)
 	}
-	if back.CoveragePct != r.CoveragePct || len(back.Services) != 1 {
+	if back.CoveragePct != r.CoveragePct || len(back.Services) != 1 { //modelcheck:ignore floatcmp — JSON round-trip must reproduce the value bit-exactly
 		t.Fatalf("round-tripped report mismatch: %+v", back)
 	}
 
@@ -303,7 +303,7 @@ func TestLiveAttributionEndToEnd(t *testing.T) {
 		}
 		if !d.TopMatch {
 			var text bytes.Buffer
-			_ = d.WriteText(&text)
+			_ = d.WriteText(&text) //modelcheck:ignore errdrop — bytes.Buffer writes cannot fail
 			t.Errorf("%s: measured top-3 does not rank the calibrated top-3:\n%s", name, text.String())
 		}
 	}

@@ -6,12 +6,19 @@
 #   2. go vet ./...              (stock static analysis)
 #   3. modelcheck ./...          (domain-aware suite: floatcmp, errdrop,
 #                                 paramvalidate, seedhygiene, lockcheck,
-#                                 shadow, ctxcheck)
-#   4. modelcheck self-test      (the suite must still flag a known-bad file)
-#   5. go test -race ./...       (unit + integration tests under the race
+#                                 shadow, ctxcheck, poolcheck)
+#   4. modelcheck self-test      (the suite must still flag known-bad
+#                                 fixtures: a syntax-level file plus a
+#                                 multi-package module exercising the
+#                                 flow-sensitive analyzers)
+#   5. modelcheck timing         (the warm-cache whole-module run — export
+#                                 data + call-graph summaries cached —
+#                                 must finish under 2 s)
+#   6. SARIF artifact            (modelcheck.sarif for code-scanning upload)
+#   7. go test -race ./...       (unit + integration tests under the race
 #                                 detector; covers the concurrent rpc/sim
 #                                 layers)
-#   6. fuzz smoke                (each internal/rpc fuzz target runs for a
+#   8. fuzz smoke                (each internal/rpc fuzz target runs for a
 #                                 short -fuzztime beyond its checked-in
 #                                 corpus; FUZZTIME overrides, default 3s)
 #
@@ -25,12 +32,17 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+MODELCHECK="$workdir/modelcheck"
+go build -o "$MODELCHECK" ./cmd/modelcheck
+
 echo "==> modelcheck ./..."
-go run ./cmd/modelcheck ./...
+"$MODELCHECK" ./...
 
 echo "==> modelcheck self-test (must flag a known-bad fixture)"
-selftest="$(mktemp -d)"
-trap 'rm -rf "$selftest"' EXIT
+selftest="$workdir/selftest"
+mkdir -p "$selftest"
 cat > "$selftest/go.mod" <<'EOF'
 module selftest
 
@@ -58,11 +70,137 @@ func BadCtx(ctx context.Context) {
 	mu.Unlock()
 }
 EOF
-if go run ./cmd/modelcheck -C "$selftest" ./... > /dev/null 2>&1; then
+if "$MODELCHECK" -C "$selftest" ./... > /dev/null 2>&1; then
     echo "FATAL: modelcheck exited 0 on a fixture with known findings" >&2
     exit 1
 fi
 echo "    ok: suite flags the bad fixture"
+
+echo "==> modelcheck flow-sensitive self-test (CFG + call-graph findings)"
+flowtest="$workdir/flowtest"
+mkdir -p "$flowtest/internal/core" "$flowtest/internal/rpc" "$flowtest/app"
+cat > "$flowtest/go.mod" <<'EOF'
+module selftestflow
+
+go 1.22
+EOF
+cat > "$flowtest/internal/core/core.go" <<'EOF'
+package core
+
+import "errors"
+
+type Params struct{ C float64 }
+
+func (p Params) Validate() error {
+	if p.C <= 0 {
+		return errors.New("core: C must be positive")
+	}
+	return nil
+}
+
+func New(p Params) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	return p.C, nil
+}
+EOF
+cat > "$flowtest/internal/rpc/pool.go" <<'EOF'
+package rpc
+
+import "sync"
+
+func getBuf(n int) []byte { return make([]byte, 0, n) }
+func putBuf(b []byte)     {}
+func use(b []byte) int    { return len(b) }
+
+var mu sync.Mutex
+
+// LeakEarly: the early return drops the buffer — poolcheck finding.
+func LeakEarly(stop bool) int {
+	b := getBuf(64)
+	if stop {
+		return 0
+	}
+	n := use(b)
+	putBuf(b)
+	return n
+}
+
+// UseAfterPut: b is read after going back to the pool — poolcheck finding.
+func UseAfterPut() int {
+	b := getBuf(64)
+	putBuf(b)
+	return use(b)
+}
+
+// LockLeak: the early return holds mu — a lockcheck finding the old
+// function-scoped heuristic could not see (an Unlock exists in the body).
+func LockLeak(stop bool) int {
+	mu.Lock()
+	if stop {
+		return 0
+	}
+	mu.Unlock()
+	return 1
+}
+EOF
+cat > "$flowtest/app/app.go" <<'EOF'
+package app
+
+import "selftestflow/internal/core"
+
+// defaults is a helper constructor; callers inherit the validation debt.
+func defaults() core.Params {
+	return core.Params{C: 2.5e9}
+}
+
+// BadRun uses the helper's result raw — paramvalidate finding, resolved
+// through the call-graph summary of defaults, not an annotation.
+func BadRun() float64 {
+	p := defaults()
+	return p.C * 2
+}
+
+// GoodRun hands the same result to a validating entry point — clean.
+func GoodRun() (float64, error) {
+	p := defaults()
+	return core.New(p)
+}
+EOF
+flowout="$("$MODELCHECK" -C "$flowtest" -json ./... 2>/dev/null || true)"
+flowcount() { grep -c "\"analyzer\": \"$1\"" <<<"$flowout" || true; }
+if [ "$(flowcount poolcheck)" -ne 2 ]; then
+    echo "FATAL: poolcheck found $(flowcount poolcheck) finding(s) in the flow fixture, want 2 (missing put + use-after-put)" >&2
+    echo "$flowout" >&2
+    exit 1
+fi
+if [ "$(flowcount lockcheck)" -ne 1 ]; then
+    echo "FATAL: lockcheck found $(flowcount lockcheck) finding(s) in the flow fixture, want 1 (early return holding the lock)" >&2
+    echo "$flowout" >&2
+    exit 1
+fi
+if [ "$(flowcount paramvalidate)" -ne 1 ]; then
+    echo "FATAL: paramvalidate found $(flowcount paramvalidate) finding(s) in the flow fixture, want 1 (helper-constructor result used raw)" >&2
+    echo "$flowout" >&2
+    exit 1
+fi
+echo "    ok: poolcheck x2, lockcheck x1, paramvalidate x1 — and the validating caller stays clean"
+
+echo "==> modelcheck warm-cache timing (< 2s for the whole module)"
+start_ns=$(date +%s%N)
+"$MODELCHECK" ./... > /dev/null
+end_ns=$(date +%s%N)
+elapsed_ms=$(( (end_ns - start_ns) / 1000000 ))
+if [ "$elapsed_ms" -ge 2000 ]; then
+    echo "FATAL: warm modelcheck run took ${elapsed_ms}ms, budget is 2000ms" >&2
+    exit 1
+fi
+echo "    ok: ${elapsed_ms}ms"
+
+echo "==> SARIF artifact (modelcheck.sarif)"
+"$MODELCHECK" -sarif ./... > modelcheck.sarif
+echo "    ok: $(wc -c < modelcheck.sarif) bytes"
 
 echo "==> go test -race ./..."
 go test -race ./...
