@@ -7,9 +7,18 @@
 //	abtest -case aesni
 //	abtest -case encryption -requests 2000 -trials 5
 //	abtest -case inference
+//
+// With -replay it instead pairs two real client stacks on one recorded
+// trace: the same request stream — byte-identical arrivals, payloads, and
+// timestamps — is issued open-loop through an unbatched sequential client
+// and through the coalescing rpc.Batcher, against the same in-process
+// echo server, so any latency difference is the client stack's alone:
+//
+//	abtest -replay testdata/scenarios/retry-storm.trace -dilate 0.1
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +27,7 @@ import (
 	"repro/internal/abtest"
 	"repro/internal/core"
 	"repro/internal/fleetdata"
+	"repro/internal/record"
 	"repro/internal/sim"
 	"repro/internal/textchart"
 )
@@ -27,9 +37,18 @@ func main() {
 	requests := flag.Int("requests", 1000, "requests per simulation trial")
 	trials := flag.Int("trials", 3, "paired A/B trials")
 	batch := flag.Float64("batch", 1, "rpc batch factor b >= 1: replay the case study with fixed per-offload costs amortized across b requests")
+	replayPath := flag.String("replay", "", "recorded trace: A/B the batched vs unbatched RPC client on byte-identical arrivals")
+	dilate := flag.Float64("dilate", 1, "time dilation for -replay: >1 stretches recorded gaps, <1 compresses them")
+	maxBatch := flag.Int("max-batch", 8, "batcher coalescing bound for the batched arm (with -replay)")
 	flag.Parse()
 	if err := core.ValidateBatch(*batch); err != nil {
 		fatal(err)
+	}
+	if *replayPath != "" {
+		if err := runTraceAB(*replayPath, *dilate, *maxBatch); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	var cs *fleetdata.CaseStudy
@@ -118,6 +137,39 @@ func main() {
 	tb.AddRowf("Offloads per second", comp.OffloadsPerSecond)
 	tb.AddRowf("Mean accelerator queue (cycles)", comp.MeanQueueDelay)
 	fmt.Print(tb.Render())
+}
+
+// runTraceAB replays one recorded trace through both RPC client stacks
+// and prints the paired comparison.
+func runTraceAB(path string, dilate float64, maxBatch int) error {
+	tr, err := record.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := record.ReplayAB(context.Background(), tr, record.ABConfig{Dilate: dilate, MaxBatch: maxBatch})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Trace A/B: %s — %d events, %s recorded span, dilation %g, batcher bound %d\n",
+		path, res.Events, tr.Duration(), dilate, maxBatch)
+	fmt.Println("Both arms replay byte-identical arrivals; only the client stack differs.")
+	fmt.Println()
+	tb := textchart.NewTable("Metric", "Unbatched", "Batched")
+	row := func(label string, f func(record.ABArm) float64) {
+		tb.AddRowf(label, f(res.Unbatched), f(res.Batched))
+	}
+	row("Requests issued", func(a record.ABArm) float64 { return float64(a.Stats.Issued) })
+	row("Errors", func(a record.ABArm) float64 { return float64(a.Stats.Errors) })
+	row("Replay wall time (s)", func(a record.ABArm) float64 { return a.Stats.Duration.Seconds() })
+	row("Max issue lag (ms)", func(a record.ABArm) float64 { return float64(a.Stats.MaxLagNanos) / 1e6 })
+	row("Mean latency (ms)", func(a record.ABArm) float64 { return a.Latency.Mean() / 1e6 })
+	row("p50 latency (ms)", func(a record.ABArm) float64 { return a.Latency.Quantile(0.5) / 1e6 })
+	row("p99 latency (ms)", func(a record.ABArm) float64 { return a.Latency.Quantile(0.99) / 1e6 })
+	fmt.Print(tb.Render())
+	if um, bm := res.Unbatched.Latency.Mean(), res.Batched.Latency.Mean(); bm > 0 {
+		fmt.Printf("\nMean-latency ratio (unbatched/batched): %.3gx\n", um/bm)
+	}
+	return nil
 }
 
 func fatal(err error) {

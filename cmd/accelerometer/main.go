@@ -32,6 +32,16 @@
 //
 //	accelerometer -live -live-services Cache1,Cache2 -drift-json drift.json
 //
+// With -record the fleet run additionally captures its request stream in
+// the flight recorder and writes a binary trace file; -replay drives a
+// recorded trace back through the simulator, and -replay-rpc issues it
+// open-loop through the real RPC stack (an in-process echo server) at the
+// recorded timestamps, optionally time-dilated:
+//
+//	accelerometer -fleet -record run.trace
+//	accelerometer -replay run.trace
+//	accelerometer -replay-rpc run.trace -dilate 0.1
+//
 // Any mode accepts -debug-addr to expose the observability endpoint
 // (/metrics, /healthz, /debug/pprof/*, and a plain-text dashboard at /)
 // for the duration of the run:
@@ -44,6 +54,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"os"
 	"strconv"
 	"strings"
@@ -56,6 +67,8 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/liveprof"
 	"repro/internal/pprofx"
+	"repro/internal/record"
+	"repro/internal/rpc"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -88,7 +101,19 @@ func main() {
 	liveHz := flag.Int("live-hz", 500, "CPU profile sampling rate in Hz (with -live; 0 = runtime default)")
 	driftJSON := flag.String("drift-json", "", "write the measured-vs-calibrated drift report as JSON to this file (\"-\" for stdout; with -live)")
 	profileOut := flag.String("profile-out", "", "write the raw collected CPU profile to this file (with -live)")
+	recordPath := flag.String("record", "", "with -fleet: capture the request stream in the flight recorder and write a binary trace here")
+	replayPath := flag.String("replay", "", "replay a recorded trace deterministically through the simulator")
+	replayRPCPath := flag.String("replay-rpc", "", "replay a recorded trace open-loop through the real RPC stack (in-process echo server)")
+	dilate := flag.Float64("dilate", 1, "time dilation for replay: >1 stretches recorded gaps, <1 compresses them")
 	flag.Parse()
+
+	var rec *record.Recorder
+	if *recordPath != "" {
+		if !*fleetMode {
+			fatal(fmt.Errorf("-record requires -fleet (the recorder hooks the fleet's request stream)"))
+		}
+		rec = record.NewRecorder(record.DefaultCapacity)
+	}
 
 	// The debug endpoint is opt-in and mode-independent: it serves the
 	// run's registry when one exists and shuts down gracefully when the
@@ -96,7 +121,7 @@ func main() {
 	var dbgReg *telemetry.Registry
 	if *debugAddr != "" {
 		dbgReg = telemetry.NewRegistry()
-		dbg, err := debugserver.Start(debugserver.Config{Addr: *debugAddr, Registry: dbgReg})
+		dbg, err := debugserver.Start(debugserver.Config{Addr: *debugAddr, Registry: dbgReg, Recorder: rec})
 		if err != nil {
 			fatal(err)
 		}
@@ -110,6 +135,18 @@ func main() {
 		}()
 	}
 
+	if *replayPath != "" {
+		if err := runReplaySim(*replayPath, *dilate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *replayRPCPath != "" {
+		if err := runReplayRPC(*replayRPCPath, *dilate); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *liveMode {
 		if err := runLive(*liveServices, *liveDuration, *liveHz, *seed, *driftJSON, *profileOut); err != nil {
 			fatal(err)
@@ -117,7 +154,7 @@ func main() {
 		return
 	}
 	if *fleetMode {
-		if err := runFleet(*shards, *workers, *batch, *fleetRequests, *seed, *metricsOut, dbgReg); err != nil {
+		if err := runFleet(*shards, *workers, *batch, *fleetRequests, *seed, *metricsOut, dbgReg, rec, *recordPath); err != nil {
 			fatal(err)
 		}
 		return
@@ -310,8 +347,9 @@ func runLive(svcList string, duration time.Duration, hz int, seed uint64, driftJ
 	return nil
 }
 
-// runFleet drives the sharded synthetic-fleet simulation.
-func runFleet(shards, workers int, batch float64, requests int, seed uint64, metricsOut string, reg *telemetry.Registry) error {
+// runFleet drives the sharded synthetic-fleet simulation, optionally
+// capturing the request stream into a trace file via the flight recorder.
+func runFleet(shards, workers int, batch float64, requests int, seed uint64, metricsOut string, reg *telemetry.Registry, rec *record.Recorder, recordPath string) error {
 	if reg == nil && metricsOut != "" {
 		reg = telemetry.NewRegistry()
 	}
@@ -330,10 +368,20 @@ func runFleet(shards, workers int, batch float64, requests int, seed uint64, met
 			Servers:   2,
 		},
 		Telemetry: reg,
+		Recorder:  rec,
 	}
 	r, err := fleet.Run(cfg)
 	if err != nil {
 		return err
+	}
+	if rec != nil {
+		n, err := rec.WriteFile(recordPath)
+		if err != nil {
+			return err
+		}
+		st := rec.State()
+		fmt.Fprintf(os.Stderr, "accelerometer: recorded %d events (%d dropped) to %s (%d bytes)\n",
+			st.Total, st.Dropped, recordPath, n)
 	}
 	fmt.Printf("Sharded fleet simulation: %d services, %d shards, batch b=%g, seed %d\n\n",
 		len(r.Services), r.Shards, r.Batch, seed)
@@ -349,6 +397,83 @@ func runFleet(shards, workers int, batch float64, requests int, seed uint64, met
 	if metricsOut != "" {
 		return telemetry.WriteMetricsFile(metricsOut, reg)
 	}
+	return nil
+}
+
+// runReplaySim replays a recorded trace deterministically through the
+// simulator: each recorded service becomes one simulated server driven by
+// the trace's explicit arrival schedule instead of a Poisson process.
+func runReplaySim(path string, dilate float64) error {
+	tr, err := record.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := record.ReplaySim(tr, record.SimReplayConfig{Dilate: dilate})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Trace replay (sim): %s — %d events, %d services, %s recorded span, dilation %g\n\n",
+		path, len(tr.Events), len(tr.Services), tr.Duration(), dilate)
+	tb := textchart.NewTable("Service", "Requests", "QPS", "p50 cycles", "p99 cycles", "Offloads")
+	for _, sr := range res.PerService {
+		tb.AddRowf(sr.Service, sr.Requests,
+			sr.Result.ThroughputQPS, sr.Result.P50Latency, sr.Result.P99Latency, sr.Result.Offloads)
+	}
+	fmt.Print(tb.Render())
+	a := res.Aggregate
+	fmt.Printf("\nReplay aggregate: %d requests, %.4g QPS, p50 %.4g / p95 %.4g / p99 %.4g cycles, %d offloads\n",
+		a.Completed, a.ThroughputQPS, a.P50Latency, a.P95Latency, a.P99Latency, a.Offloads)
+	return nil
+}
+
+// runReplayRPC replays a recorded trace open-loop through the real RPC
+// stack: requests are issued against an in-process echo server at the
+// recorded (dilated) timestamps with the recorded payload sizes.
+func runReplayRPC(path string, dilate float64) error {
+	tr, err := record.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	echo := func(_ context.Context, req rpc.Message) (rpc.Message, error) {
+		return rpc.Message{Method: req.Method, Payload: req.Payload}, nil
+	}
+	srv, err := rpc.NewServer(echo, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //modelcheck:ignore errdrop — in-process teardown after the replay completed
+	serveCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serveCtx, serverConn)
+	client, err := rpc.NewClient(clientConn, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close() //modelcheck:ignore errdrop — pipe close on teardown
+
+	reg := telemetry.NewRegistry()
+	hist, err := reg.Histogram("replay_latency_nanos", "per-call replay latency in nanoseconds")
+	if err != nil {
+		return err
+	}
+	stats, err := record.ReplayRPC(context.Background(), tr,
+		record.SerializeCalls(client.CallContext),
+		record.RPCReplayConfig{Dilate: dilate, Latency: hist})
+	if err != nil {
+		return err
+	}
+	snap := hist.Snapshot()
+	fmt.Printf("Trace replay (rpc): %s — %d events, %s recorded span, dilation %g\n\n",
+		path, len(tr.Events), tr.Duration(), dilate)
+	tb := textchart.NewTable("Metric", "Value")
+	tb.AddRowf("Requests issued", stats.Issued)
+	tb.AddRowf("Errors", stats.Errors)
+	tb.AddRowf("Replay wall time", stats.Duration.Seconds())
+	tb.AddRowf("Max issue lag (ms)", float64(stats.MaxLagNanos)/1e6)
+	tb.AddRowf("p50 latency (ms)", snap.Quantile(0.5)/1e6)
+	tb.AddRowf("p99 latency (ms)", snap.Quantile(0.99)/1e6)
+	fmt.Print(tb.Render())
 	return nil
 }
 

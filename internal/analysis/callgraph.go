@@ -24,7 +24,9 @@ import (
 //   - lockcheck asks "does calling f release this lock on every
 //     non-panic path?" (ReleasesLocks, receiver-relative);
 //   - poolcheck asks "does f take ownership of the pooled buffer I pass
-//     it?" (TakesOwnership).
+//     it?" (TakesOwnership) and "does f hand me back a pooled buffer it
+//     got on my behalf?" (ReturnsPooled), which is how getBufN-style
+//     helpers extend ownership tracking to their call sites.
 //
 // Summaries are interprocedural: a function that forwards its parameter
 // to a validating callee validates it too. They are computed by a
@@ -70,6 +72,14 @@ type FuncSummary struct {
 	// releases to the buffer pool (or forwards to a callee that does);
 	// after passing a pooled buffer here the caller must not touch it.
 	TakesOwnership []bool `json:"takes_ownership,omitempty"`
+	// ReturnsPooled[i]: the i-th result is a pool-owned buffer on EVERY
+	// return path — the function gets from the pool on the caller's
+	// behalf (directly or through a ReturnsPooled callee), so the call
+	// site inherits ownership exactly as if it had called the pool
+	// itself. Helpers with conditional or error-path returns ("return
+	// nil, err") never earn the bit, so poolcheck only tracks results
+	// that are unconditionally pooled.
+	ReturnsPooled []bool `json:"returns_pooled,omitempty"`
 	// ReleasesLocks: locks this function releases on every non-panic
 	// path without acquiring them (unlock-helper shape).
 	ReleasesLocks []string `json:"releases_locks,omitempty"`
@@ -91,6 +101,7 @@ func (s *FuncSummary) empty() bool {
 	}
 	return !anyTrue(s.ValidatesParams) && !anyTrue(s.WatchedResults) &&
 		!anyTrue(s.ValidatedResults) && !anyTrue(s.TakesOwnership) &&
+		!anyTrue(s.ReturnsPooled) &&
 		len(s.ReleasesLocks) == 0 && len(s.AcquiresLocks) == 0
 }
 
@@ -234,6 +245,7 @@ func (m *Module) seedSummary(n *CallNode) *FuncSummary {
 	if nr := sig.Results().Len(); nr > 0 {
 		s.WatchedResults = make([]bool, nr)
 		s.ValidatedResults = make([]bool, nr)
+		s.ReturnsPooled = make([]bool, nr)
 		for i := 0; i < nr; i++ {
 			s.WatchedResults[i] = isWatchedStruct(sig.Results().At(i).Type())
 		}
@@ -466,7 +478,58 @@ func (m *Module) refineSummary(n *CallNode) bool {
 			changed = true
 		}
 	}
+
+	// ReturnsPooled: result i is pool-owned when every return statement
+	// (of this body, not of nested closures) yields a pool get — or a
+	// ReturnsPooled callee's result — in position i. A single
+	// non-pooled return (the nil of an error path, a make fallback)
+	// keeps the bit off.
+	for i := 0; i < sig.Results().Len(); i++ {
+		if s.ReturnsPooled[i] {
+			continue
+		}
+		returns := collectReturns(n.Decl.Body)
+		if len(returns) == 0 {
+			continue
+		}
+		all := true
+		for _, ret := range returns {
+			if len(ret.Results) != sig.Results().Len() || !m.pooledExpr(n, ret.Results[i]) {
+				all = false
+				break
+			}
+		}
+		if all {
+			s.ReturnsPooled[i] = true
+			changed = true
+		}
+	}
 	return changed
+}
+
+// pooledExpr reports whether a returned expression hands the caller a
+// pool-owned buffer: a pool get call (optionally resliced, the
+// `getBuf(n)[:n]` shape) or a call to a single-result callee whose
+// summary marks its result pooled.
+func (m *Module) pooledExpr(n *CallNode, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if sl, ok := e.(*ast.SliceExpr); ok {
+		e = ast.Unparen(sl.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if isPoolGetCall(n.Pkg.Info, call) {
+		return true
+	}
+	callee := staticCallee(n.Pkg.Info, call)
+	if callee == nil {
+		return false
+	}
+	cs := m.SummaryOf(callee)
+	return cs != nil && funcSig(callee).Results().Len() == 1 &&
+		len(cs.ReturnsPooled) == 1 && cs.ReturnsPooled[0]
 }
 
 // watchedParam reports whether parameter i has a watched params-struct

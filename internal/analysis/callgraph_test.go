@@ -149,6 +149,42 @@ func peek(b []byte) int   { return len(b) }
 	}
 }
 
+func TestSummaryReturnsPooled(t *testing.T) {
+	m, byName := buildTestModule(t, map[string]string{
+		"internal/rpc/pool.go": `package rpc
+import "errors"
+func getBuf(n int) []byte { return make([]byte, 0, n) }
+func putBuf(b []byte)     {}
+func getBufN(n int) []byte { return getBuf(n)[:n] }
+func viaHelper(n int) []byte { return getBufN(n) }
+func maybe(n int) []byte {
+	if n > 1024 {
+		return make([]byte, n)
+	}
+	return getBuf(n)
+}
+func framed(n int) ([]byte, error) {
+	if n < 0 {
+		return nil, errors.New("bad size")
+	}
+	return getBuf(n), nil
+}
+`,
+	})
+	for _, name := range []string{"getBufN", "viaHelper"} {
+		s := m.SummaryOf(byName[name].Func)
+		if s == nil || len(s.ReturnsPooled) != 1 || !s.ReturnsPooled[0] {
+			t.Fatalf("%s: ReturnsPooled = %+v, want [true]", name, s)
+		}
+	}
+	if s := m.SummaryOf(byName["maybe"].Func); s.ReturnsPooled[0] {
+		t.Fatal("maybe has a non-pooled return path; ReturnsPooled should stay false")
+	}
+	if s := m.SummaryOf(byName["framed"].Func); s.ReturnsPooled[0] || s.ReturnsPooled[1] {
+		t.Fatalf("framed: the error path returns nil; ReturnsPooled = %v, want all false", s.ReturnsPooled)
+	}
+}
+
 func TestSummaryLockHelpers(t *testing.T) {
 	m, byName := buildTestModule(t, map[string]string{
 		"internal/s/s.go": `package s

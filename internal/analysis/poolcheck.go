@@ -22,7 +22,11 @@ import (
 //
 // The check is flow-sensitive (it walks the function's CFG, cfg.go) and
 // deliberately local: it tracks only variables directly assigned from a
-// pool get in the same function or literal body. Buffers that pass
+// pool get in the same function or literal body. "Pool get" is resolved
+// interprocedurally: besides the literal entry points, a call to a
+// single-result helper whose summary says it returns a pooled buffer on
+// every path (FuncSummary.ReturnsPooled — getBufN in internal/rpc is
+// the canonical case) starts a tracked epoch too. Buffers that pass
 // through append-style helpers (`data, err = f(getBuf(n), ...)`) or are
 // captured by closures transfer ownership to code this analyzer does not
 // second-guess — those idioms are the hot path's own (see
@@ -133,7 +137,7 @@ func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
 	var sites []getSite
 	for _, b := range cfg.Blocks {
 		for i, s := range b.Stmts {
-			obj, call := trackedGet(pass.Info, s)
+			obj, call := trackedGet(pass, s)
 			if obj == nil || closureTouched[obj] {
 				continue
 			}
@@ -145,16 +149,18 @@ func checkPoolBody(pass *Pass, body *ast.BlockStmt) {
 	}
 }
 
-// trackedGet recognizes `v := getBuf(n)` / `v = GetScratch(n)[:n]` forms
-// where v is a plain local identifier, returning the variable and the get
-// call.
-func trackedGet(info *types.Info, s ast.Stmt) (types.Object, *ast.CallExpr) {
+// trackedGet recognizes `v := getBuf(n)` / `v = GetScratch(n)[:n]` /
+// `v := getBufN(n)` forms — direct pool gets or summary-resolved get
+// helpers — where v is a plain local identifier, returning the variable
+// and the get call.
+func trackedGet(pass *Pass, s ast.Stmt) (types.Object, *ast.CallExpr) {
+	info := pass.Info
 	assign, ok := s.(*ast.AssignStmt)
 	if !ok || len(assign.Lhs) != len(assign.Rhs) {
 		return nil, nil
 	}
 	for i, rhs := range assign.Rhs {
-		call := getCallOf(info, rhs)
+		call := getCallOf(pass, rhs)
 		if call == nil {
 			continue
 		}
@@ -173,18 +179,33 @@ func trackedGet(info *types.Info, s ast.Stmt) (types.Object, *ast.CallExpr) {
 	return nil, nil
 }
 
-// getCallOf unwraps a pool-get expression: the call itself or a slicing
-// of it.
-func getCallOf(info *types.Info, e ast.Expr) *ast.CallExpr {
+// getCallOf unwraps a pool-get expression: a direct pool-get call, a
+// call to a summary-resolved get helper, or a slicing of either.
+func getCallOf(pass *Pass, e ast.Expr) *ast.CallExpr {
 	e = ast.Unparen(e)
 	if sl, ok := e.(*ast.SliceExpr); ok {
 		e = ast.Unparen(sl.X)
 	}
 	call, ok := e.(*ast.CallExpr)
-	if !ok || !isPoolGetCall(info, call) {
+	if !ok || (!isPoolGetCall(pass.Info, call) && !isSummaryGetCall(pass, call)) {
 		return nil
 	}
 	return call
+}
+
+// isSummaryGetCall reports whether call invokes a module function whose
+// summary marks its single result as pooled on every path (the getBufN
+// shape): the call site owns the result exactly as if it had called the
+// pool directly. Multi-result helpers (`buf, err := readFrame(...)`)
+// never qualify — their error-path results keep ReturnsPooled off.
+func isSummaryGetCall(pass *Pass, call *ast.CallExpr) bool {
+	callee := staticCallee(pass.Info, call)
+	if callee == nil {
+		return false
+	}
+	cs := pass.Mod.SummaryOf(callee)
+	return cs != nil && funcSig(callee).Results().Len() == 1 &&
+		len(cs.ReturnsPooled) == 1 && cs.ReturnsPooled[0]
 }
 
 // checkGetSite runs the ownership state machine forward from one get.
@@ -322,7 +343,7 @@ func classifyPoolStmt(pass *Pass, obj types.Object, s ast.Stmt) poolEvent {
 			} else if len(s.Rhs) == 1 {
 				rhs = s.Rhs[0]
 			}
-			if rhs != nil && getCallOf(info, rhs) != nil {
+			if rhs != nil && getCallOf(pass, rhs) != nil {
 				return evReget
 			}
 			for _, r := range s.Rhs {

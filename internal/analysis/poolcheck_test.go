@@ -183,6 +183,83 @@ func f() {
 			want: nil,
 		},
 		{
+			name: "helper get leaks at the call site via summary",
+			src: poolFixturePrelude + `func getBufN(n int) []byte { return getBuf(n)[:n] }
+func f() int {
+	b := getBufN(64) // line 7: flagged — the helper got it on f's behalf
+	return use(b)
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "helper get with a put is clean",
+			src: poolFixturePrelude + `func getBufN(n int) []byte { return getBuf(n)[:n] }
+func f() int {
+	b := getBufN(64)
+	n := use(b)
+	putBuf(b)
+	return n
+}
+`,
+			want: nil,
+		},
+		{
+			name: "chained helper gets resolve through the fixpoint",
+			src: poolFixturePrelude + `func g1(n int) []byte { return getBuf(n) }
+func g2(n int) []byte { return g1(n)[:0] }
+func f(stop bool) {
+	b := g2(64) // line 8: flagged — the stop path drops b
+	if stop {
+		return
+	}
+	putBuf(b)
+}
+`,
+			want: []int{8},
+		},
+		{
+			name: "helper re-get leaks the first buffer",
+			src: poolFixturePrelude + `func getBufN(n int) []byte { return getBuf(n)[:n] }
+func f() {
+	b := getBuf(64) // line 7: flagged — replaced by the helper's buffer
+	b = getBufN(128)
+	putBuf(b)
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "conditionally pooled helper is not tracked",
+			src: poolFixturePrelude + `func maybe(n int) []byte {
+	if n > 1024 {
+		return make([]byte, n)
+	}
+	return getBuf(n)
+}
+func f() int {
+	b := maybe(64)
+	return use(b)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "multi-result helper is not tracked",
+			src: poolFixturePrelude + `func framed(ok bool) ([]byte, error) {
+	if !ok {
+		return nil, nil
+	}
+	return getBuf(64), nil
+}
+func f() int {
+	b, _ := framed(true)
+	return use(b)
+}
+`,
+			want: nil,
+		},
+		{
 			name: "ignore directive suppresses",
 			src: poolFixturePrelude + `func f() int {
 	b := getBuf(64) //modelcheck:ignore poolcheck — released by the caller via Close

@@ -27,8 +27,16 @@ import (
 // summaryCacheName is the summaries index inside the cache directory.
 const summaryCacheName = "summaries.json"
 
+// summaryCacheFormat versions the FuncSummary wire shape. Bump it when a
+// summary field is added: source hashes cannot see analyzer changes, so
+// without the bump a cache written by an older binary would load
+// summaries that silently lack the new facts.
+// 2: added ReturnsPooled.
+const summaryCacheFormat = 2
+
 // summaryCacheFile is the on-disk shape of the summary cache.
 type summaryCacheFile struct {
+	Format    int                     `json:"format"`
 	GoVersion string                  `json:"go_version"`
 	Files     map[string]string       `json:"files"`     // root-relative path → sha256
 	Summaries map[string]*FuncSummary `json:"summaries"` // types.Func.FullName → non-empty summary
@@ -100,7 +108,7 @@ func loadSummaryCache(path string, files map[string]string) *summaryCacheFile {
 	if err := json.Unmarshal(data, &c); err != nil {
 		return nil
 	}
-	if c.GoVersion != runtime.Version() || len(c.Files) != len(files) {
+	if c.Format != summaryCacheFormat || c.GoVersion != runtime.Version() || len(c.Files) != len(files) {
 		return nil
 	}
 	for rel, sum := range files {
@@ -115,6 +123,7 @@ func loadSummaryCache(path string, files map[string]string) *summaryCacheFile {
 // ignored — the cache is an optimization, not a requirement.
 func writeSummaryCache(path string, files map[string]string, m *Module) {
 	c := &summaryCacheFile{
+		Format:    summaryCacheFormat,
 		GoVersion: runtime.Version(),
 		Files:     files,
 		Summaries: map[string]*FuncSummary{},

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"repro/internal/proflabel"
+	"repro/internal/record"
 	"repro/internal/telemetry"
 )
 
@@ -43,6 +44,10 @@ type Config struct {
 	// Dashboard, when set, appends workload-specific lines to the
 	// plain-text dashboard at /.
 	Dashboard func(w io.Writer)
+	// Recorder, when set, adds the flight recorder's status to the
+	// dashboard: ring occupancy, drop count, and the last anomaly-dump
+	// path. A nil recorder renders as "off".
+	Recorder *record.Recorder
 }
 
 // Server is a running debug endpoint.
@@ -205,6 +210,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		float64(ms.HeapInuse)/(1<<20), ms.NumGC)
 	fmt.Fprintf(&out, "labels       enabled=%v\n", proflabel.Enabled())
 	fmt.Fprintf(&out, "requests     %d served by this endpoint\n", s.served.Load())
+	writeRecorderStatus(&out, s.cfg.Recorder)
 	fmt.Fprintf(&out, "\nendpoints: /metrics /healthz /debug/pprof/\n")
 
 	if s.cfg.Registry != nil {
@@ -219,6 +225,26 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 		s.cfg.Dashboard(&out)
 	}
 	io.WriteString(w, out.String()) //modelcheck:ignore errdrop — client disconnects are not actionable here
+}
+
+// writeRecorderStatus renders the flight recorder's state as dashboard
+// lines: off when no recorder is attached, otherwise ring occupancy and
+// the most recent anomaly dump (path, size, and any dump failure). The
+// builder keeps the writes infallible, like the rest of the dashboard.
+func writeRecorderStatus(w *strings.Builder, rec *record.Recorder) {
+	st := rec.State()
+	if !st.Recording {
+		fmt.Fprintf(w, "recorder     off\n")
+		return
+	}
+	fmt.Fprintf(w, "recorder     on: %d/%d events buffered (~%.1f KiB), %d total, %d dropped, %d services\n",
+		st.Buffered, st.Capacity, float64(st.ApproxBytes)/(1<<10), st.Total, st.Dropped, st.Services)
+	if st.LastDumpPath != "" {
+		fmt.Fprintf(w, "recorder     last dump %s (%d bytes)\n", st.LastDumpPath, st.LastDumpBytes)
+	}
+	if st.LastErr != nil {
+		fmt.Fprintf(w, "recorder     last dump error: %v\n", st.LastErr)
+	}
 }
 
 // metricNames extracts the distinct metric names from a Prometheus text

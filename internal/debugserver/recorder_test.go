@@ -1,0 +1,60 @@
+package debugserver_test
+
+import (
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/debugserver"
+	"repro/internal/record"
+)
+
+// The dashboard reports the flight recorder as off when none is wired.
+func TestDashboardRecorderOff(t *testing.T) {
+	s := startServer(t, debugserver.Config{})
+	code, body := get(t, client(t), s.URL()+"/")
+	if code != http.StatusOK {
+		t.Fatalf("/ = %d", code)
+	}
+	if !strings.Contains(body, "recorder     off") {
+		t.Errorf("dashboard missing disabled-recorder line:\n%s", body)
+	}
+}
+
+// With a recorder wired, the dashboard shows ring occupancy, totals,
+// drops, and — after a dump — the last anomaly-dump path and any dump
+// failure.
+func TestDashboardRecorderStatus(t *testing.T) {
+	rec := record.NewRecorder(4)
+	for i := 0; i < 6; i++ {
+		rec.RecordAt(int64(i)*1000, "cache1", 64, 64, record.OutcomeOK)
+	}
+	dump := filepath.Join(t.TempDir(), "anomaly-000.trace")
+	if _, err := rec.WriteFile(dump); err != nil {
+		t.Fatal(err)
+	}
+	s := startServer(t, debugserver.Config{Recorder: rec})
+	code, body := get(t, client(t), s.URL()+"/")
+	if code != http.StatusOK {
+		t.Fatalf("/ = %d", code)
+	}
+	for _, want := range []string{
+		"recorder     on: 4/4 events buffered",
+		"6 total, 2 dropped, 1 services",
+		"last dump " + dump,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("dashboard missing %q:\n%s", want, body)
+		}
+	}
+
+	// A failed dump surfaces on the dashboard too.
+	if _, err := rec.WriteFile(filepath.Join(t.TempDir(), "no", "dir.trace")); err == nil {
+		t.Fatal("unwritable dump path: want error")
+	}
+	_, body = get(t, client(t), s.URL()+"/")
+	if !strings.Contains(body, "last dump error:") {
+		t.Errorf("dashboard missing dump error:\n%s", body)
+	}
+}

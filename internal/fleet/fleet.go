@@ -30,6 +30,7 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
 	"repro/internal/proflabel"
+	"repro/internal/record"
 	"repro/internal/services"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -91,6 +92,15 @@ type Config struct {
 	// fleet_requests_total, fleet_offloads_total, and
 	// fleet_service_latency_cycles (per-service mean latencies).
 	Telemetry *telemetry.Registry
+
+	// Recorder, when non-nil, captures every completed request (arrival
+	// time converted from simulated cycles to nanoseconds, service name,
+	// per-request kernel bytes, mean offload granularity) into the
+	// flight recorder, from which a trace can be replayed through
+	// record.ReplaySim on byte-identical arrivals. Nil disables
+	// recording; the run's Result is identical either way because sim
+	// observers are read-only.
+	Recorder *record.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -251,12 +261,35 @@ func Run(cfg Config) (*Result, error) {
 					errs[shard] = err
 					return
 				}
+				// With a recorder attached, every completed request lands in
+				// the flight recorder: arrival in wall-equivalent nanoseconds,
+				// the request's total kernel bytes as payload, and the mean
+				// invocation size as offload granularity g. Observers are
+				// read-only, so the Result is identical with or without one.
+				var observer func(sim.ObservedRequest)
+				if cfg.Recorder != nil {
+					name := string(j.svc.Name)
+					observer = func(o sim.ObservedRequest) {
+						req := wl.Request(o.Index)
+						var total uint64
+						for _, inv := range req.Kernels {
+							total += inv.Bytes
+						}
+						g := total
+						if len(req.Kernels) > 0 {
+							g = total / uint64(len(req.Kernels))
+						}
+						cfg.Recorder.RecordAt(record.CyclesToNanos(o.Arrival, cfg.HostHz),
+							name, total, g, record.OutcomeOK)
+					}
+				}
 				s, err := sim.New(sim.Config{
 					Cores:    cfg.Cores,
 					Threads:  cfg.Threads,
 					HostHz:   cfg.HostHz,
 					Requests: cfg.RequestsPerService,
 					Accel:    accel,
+					Observer: observer,
 				}, wl)
 				if err != nil {
 					errs[shard] = err

@@ -1,0 +1,132 @@
+package fleet
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+)
+
+// recordingConfig is sized so the full run fits the recorder ring with
+// room to spare (8 services x 40 requests).
+func recordingConfig() Config {
+	return Config{Seed: 42, RequestsPerService: 40, Shards: 4}
+}
+
+// Attaching a recorder never changes the fleet result — the sim
+// observer is read-only — and the captured trace holds exactly one
+// event per completed request, for every service, regardless of shard
+// scheduling.
+func TestFleetRecorderDoesNotPerturb(t *testing.T) {
+	plain, err := Run(recordingConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record.NewRecorder(1 << 12)
+	cfg := recordingConfig()
+	cfg.Recorder = rec
+	recorded, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(plain, recorded) {
+		t.Error("attaching a recorder changed the fleet result")
+	}
+
+	tr := rec.Snapshot()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := len(tr.Events), plain.Aggregate.Completed; got != want {
+		t.Errorf("recorded %d events for %d completed requests", got, want)
+	}
+	if got, want := len(tr.Services), len(FleetServices); got != want {
+		t.Errorf("recorded %d services, want %d", got, want)
+	}
+	for _, e := range tr.Events {
+		if e.PayloadBytes == 0 || e.Granularity == 0 || e.Granularity > e.PayloadBytes {
+			t.Fatalf("implausible event %+v", e)
+		}
+	}
+}
+
+// The recorded trace is deterministic: two identical runs, even with
+// different shard counts (hence different worker interleavings),
+// canonicalize to byte-identical trace files.
+func TestFleetRecordingDeterministic(t *testing.T) {
+	encode := func(shards int) []byte {
+		rec := record.NewRecorder(1 << 12)
+		cfg := recordingConfig()
+		cfg.Shards = shards
+		cfg.Recorder = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		data, err := rec.Snapshot().Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	a := encode(4)
+	b := encode(4)
+	if !bytes.Equal(a, b) {
+		t.Error("same config recorded different traces")
+	}
+	c := encode(8)
+	if !bytes.Equal(a, c) {
+		t.Error("shard count leaked into the recorded trace")
+	}
+}
+
+// benchmarkFleet runs the full sharded fleet loop with or without a
+// recorder attached; bench_record.sh gates the recorder's overhead on the
+// delta between the two.
+func benchmarkFleet(b *testing.B, rec *record.Recorder) {
+	cfg := recordingConfig()
+	cfg.Recorder = rec
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFleetRecorderOff(b *testing.B) { benchmarkFleet(b, nil) }
+
+func BenchmarkFleetRecorderOn(b *testing.B) { benchmarkFleet(b, record.NewRecorder(1<<14)) }
+
+// A fleet-recorded trace replays through the simulator deterministically
+// end to end: record -> encode -> decode -> ReplaySim twice agree.
+func TestFleetRecordReplayRoundTrip(t *testing.T) {
+	rec := record.NewRecorder(1 << 12)
+	cfg := recordingConfig()
+	cfg.Recorder = rec
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Snapshot().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := record.Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := record.ReplaySim(tr, record.SimReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := record.ReplaySim(tr, record.SimReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("replaying the fleet trace twice diverged")
+	}
+	if a.Aggregate.Completed != len(tr.Events) {
+		t.Errorf("replay completed %d of %d recorded events", a.Aggregate.Completed, len(tr.Events))
+	}
+}

@@ -1,0 +1,243 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Binary trace format ("ACRT", version 1):
+//
+//	magic   [4]byte  "ACRT"
+//	version byte     1
+//	uvarint          service count
+//	  per service:   uvarint name length, then the name bytes
+//	uvarint          event count
+//	  per event:     uvarint arrival delta (nanoseconds since the
+//	                 previous event; the first is absolute)
+//	                 uvarint service index
+//	                 uvarint payload bytes
+//	                 uvarint granularity g
+//	                 byte    outcome
+//
+// Delta-encoded varint arrivals make the common case — microsecond
+// inter-arrivals — two to three bytes per timestamp, so a trace costs
+// roughly 6–10 bytes per request. The decoder treats its input as
+// untrusted: every count is bounded by what the remaining bytes could
+// possibly hold, and indices, outcomes, and timestamp sums are checked
+// before use.
+
+const (
+	magic   = "ACRT"
+	version = 1
+
+	// maxServices bounds the service table; real deployments intern a
+	// handful of names, so anything larger is a corrupt or hostile file.
+	maxServices = 1 << 16
+	// maxServiceName bounds one interned name's length.
+	maxServiceName = 256
+
+	// headerOverhead approximates the fixed encoding cost (magic,
+	// version, two counts) for State's size estimate.
+	headerOverhead = 4 + 1 + 2*binary.MaxVarintLen64
+	// approxEventBytes is the per-event cost State assumes: short deltas
+	// and indices dominate real traces.
+	approxEventBytes = 10
+	// minEventBytes is the smallest possible encoded event (four
+	// single-byte varints plus the outcome byte); it bounds how many
+	// events a decoder may pre-allocate for a given input length.
+	minEventBytes = 5
+)
+
+// uvarintLen returns the encoded length of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
+// Encode serializes the trace. The trace must Validate; events need not
+// be canonical, only sorted by arrival (which Validate enforces), so
+// Encode(Decode(data)) succeeds for any accepted input.
+func (t *Trace) Encode() ([]byte, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	size := headerOverhead
+	for _, s := range t.Services {
+		size += uvarintLen(uint64(len(s))) + len(s)
+	}
+	size += len(t.Events) * (4*binary.MaxVarintLen64 + 1) / 2 // guess; append grows if short
+	buf := make([]byte, 0, size)
+	buf = append(buf, magic...)
+	buf = append(buf, version)
+	buf = binary.AppendUvarint(buf, uint64(len(t.Services)))
+	for _, s := range t.Services {
+		buf = binary.AppendUvarint(buf, uint64(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(t.Events)))
+	prev := int64(0)
+	for i := range t.Events {
+		e := &t.Events[i]
+		buf = binary.AppendUvarint(buf, uint64(e.ArrivalNanos-prev))
+		prev = e.ArrivalNanos
+		buf = binary.AppendUvarint(buf, uint64(e.Service))
+		buf = binary.AppendUvarint(buf, e.PayloadBytes)
+		buf = binary.AppendUvarint(buf, e.Granularity)
+		buf = append(buf, byte(e.Outcome))
+	}
+	return buf, nil
+}
+
+// decodeState walks an untrusted byte slice.
+type decodeState struct {
+	data []byte
+	off  int
+}
+
+func (d *decodeState) remaining() int { return len(d.data) - d.off }
+
+func (d *decodeState) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		return 0, fmt.Errorf("record: truncated or overlong varint reading %s at offset %d", what, d.off)
+	}
+	d.off += n
+	return v, nil
+}
+
+func (d *decodeState) bytes(n int, what string) ([]byte, error) {
+	if n < 0 || n > d.remaining() {
+		return nil, fmt.Errorf("record: %s of %d bytes exceeds the %d remaining", what, n, d.remaining())
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+// Decode parses an encoded trace. The input is untrusted: counts are
+// bounded by the input length, indices and outcomes are validated, and
+// arrival sums are checked for overflow, so no input can cause a panic
+// or an allocation disproportionate to its size.
+func Decode(data []byte) (*Trace, error) {
+	d := &decodeState{data: data}
+	hdr, err := d.bytes(len(magic)+1, "header")
+	if err != nil {
+		return nil, err
+	}
+	if string(hdr[:len(magic)]) != magic {
+		return nil, fmt.Errorf("record: bad magic %q", hdr[:len(magic)])
+	}
+	if hdr[len(magic)] != version {
+		return nil, fmt.Errorf("record: unsupported trace version %d (want %d)", hdr[len(magic)], version)
+	}
+
+	nServices, err := d.uvarint("service count")
+	if err != nil {
+		return nil, err
+	}
+	if nServices > maxServices || nServices > uint64(d.remaining()) {
+		return nil, fmt.Errorf("record: service count %d is implausible for a %d-byte input", nServices, len(data))
+	}
+	t := &Trace{Services: make([]string, 0, nServices)}
+	seen := make(map[string]bool, nServices)
+	for i := uint64(0); i < nServices; i++ {
+		nameLen, err := d.uvarint("service name length")
+		if err != nil {
+			return nil, err
+		}
+		if nameLen == 0 || nameLen > maxServiceName {
+			return nil, fmt.Errorf("record: service %d name length %d outside [1, %d]", i, nameLen, maxServiceName)
+		}
+		name, err := d.bytes(int(nameLen), "service name")
+		if err != nil {
+			return nil, err
+		}
+		s := string(name)
+		if seen[s] {
+			return nil, fmt.Errorf("record: duplicate service name %q", s)
+		}
+		seen[s] = true
+		t.Services = append(t.Services, s)
+	}
+
+	nEvents, err := d.uvarint("event count")
+	if err != nil {
+		return nil, err
+	}
+	if nEvents > uint64(d.remaining()/minEventBytes) {
+		return nil, fmt.Errorf("record: event count %d exceeds what %d remaining bytes can hold", nEvents, d.remaining())
+	}
+	t.Events = make([]Event, 0, nEvents)
+	arrival := int64(0)
+	for i := uint64(0); i < nEvents; i++ {
+		delta, err := d.uvarint("arrival delta")
+		if err != nil {
+			return nil, err
+		}
+		if delta > math.MaxInt64 || arrival > math.MaxInt64-int64(delta) {
+			return nil, fmt.Errorf("record: event %d arrival overflows the nanosecond clock", i)
+		}
+		arrival += int64(delta)
+		svc, err := d.uvarint("service index")
+		if err != nil {
+			return nil, err
+		}
+		if svc >= nServices {
+			return nil, fmt.Errorf("record: event %d references service %d of %d", i, svc, nServices)
+		}
+		payload, err := d.uvarint("payload bytes")
+		if err != nil {
+			return nil, err
+		}
+		gran, err := d.uvarint("granularity")
+		if err != nil {
+			return nil, err
+		}
+		ob, err := d.bytes(1, "outcome")
+		if err != nil {
+			return nil, err
+		}
+		outcome := Outcome(ob[0])
+		if !outcome.Valid() {
+			return nil, fmt.Errorf("record: event %d has unknown outcome %d", i, ob[0])
+		}
+		t.Events = append(t.Events, Event{
+			ArrivalNanos: arrival,
+			Service:      uint32(svc),
+			PayloadBytes: payload,
+			Granularity:  gran,
+			Outcome:      outcome,
+		})
+	}
+	if d.remaining() != 0 {
+		return nil, fmt.Errorf("record: %d trailing bytes after the last event", d.remaining())
+	}
+	return t, nil
+}
+
+// WriteFile encodes the trace to path, returning the byte count written.
+func (t *Trace) WriteFile(path string) (int, error) {
+	data, err := t.Encode()
+	if err != nil {
+		return 0, err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, fmt.Errorf("record: %w", err)
+	}
+	return len(data), nil
+}
+
+// ReadFile reads and decodes the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("record: %w", err)
+	}
+	return Decode(data)
+}

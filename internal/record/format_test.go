@@ -1,0 +1,182 @@
+package record
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testTrace() *Trace {
+	return &Trace{
+		Services: []string{"cache1", "feed1", "web1"},
+		Events: []Event{
+			{ArrivalNanos: 0, Service: 2, PayloadBytes: 512, Granularity: 128, Outcome: OutcomeOK},
+			{ArrivalNanos: 1500, Service: 0, PayloadBytes: 64, Granularity: 64, Outcome: OutcomeOK},
+			{ArrivalNanos: 1500, Service: 1, PayloadBytes: 4096, Granularity: 1024, Outcome: OutcomeError},
+			{ArrivalNanos: 90000, Service: 0, PayloadBytes: 64, Granularity: 64, Outcome: OutcomeRetry},
+		},
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tr := testTrace()
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, tr) {
+		t.Errorf("round trip changed trace:\n got %+v\nwant %+v", got, tr)
+	}
+	// Encoding is deterministic: a second encode is byte-identical.
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, data) {
+		t.Error("re-encode is not a fixed point")
+	}
+}
+
+func TestEncodeEmptyTrace(t *testing.T) {
+	var tr Trace
+	data, err := tr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Services) != 0 || len(got.Events) != 0 {
+		t.Errorf("empty round trip = %+v", got)
+	}
+}
+
+func TestEncodeRejectsInvalid(t *testing.T) {
+	tr := &Trace{Services: []string{"a"}, Events: []Event{{Service: 3}}}
+	if _, err := tr.Encode(); err == nil {
+		t.Fatal("invalid trace encoded")
+	}
+}
+
+// Hostile inputs: every structural violation is rejected with an error,
+// never a panic or an outsized allocation.
+func TestDecodeRejectsHostileInputs(t *testing.T) {
+	valid, err := testTrace().Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	truncHeader := valid[:3]
+	badMagic := append([]byte("NOPE"), valid[4:]...)
+	badVersion := append([]byte(magic), 99)
+
+	hugeServices := append([]byte(magic+"\x01"), binary.AppendUvarint(nil, 1<<40)...)
+	emptyName := append([]byte(magic+"\x01"), 1, 0)
+	longName := append([]byte(magic+"\x01"), binary.AppendUvarint([]byte{1}, maxServiceName+1)...)
+	dupName := append([]byte(magic+"\x01"), 2, 1, 'a', 1, 'a')
+
+	hugeEvents := append([]byte(magic+"\x01"), 0)
+	hugeEvents = append(hugeEvents, binary.AppendUvarint(nil, 1<<50)...)
+
+	badService := append([]byte(magic+"\x01"), 1, 1, 'a', 1 /*events*/, 0 /*delta*/, 7 /*svc out of range*/, 0, 0, 0)
+	badOutcome := append([]byte(magic+"\x01"), 1, 1, 'a', 1, 0, 0, 0, 0, 200)
+	overflow := append([]byte(magic+"\x01"), 1, 1, 'a', 2)
+	overflow = append(overflow, binary.AppendUvarint(nil, 1<<63-1)...)
+	overflow = append(overflow, 0, 0, 0, byte(OutcomeOK))
+	overflow = append(overflow, binary.AppendUvarint(nil, 1<<62)...)
+	overflow = append(overflow, 0, 0, 0, byte(OutcomeOK))
+	trailing := append(append([]byte(nil), valid...), 0xEE)
+
+	cases := map[string][]byte{
+		"empty":            nil,
+		"truncated header": truncHeader,
+		"bad magic":        badMagic,
+		"bad version":      badVersion,
+		"huge service cnt": hugeServices,
+		"empty name":       emptyName,
+		"name too long":    longName,
+		"duplicate name":   dupName,
+		"huge event count": hugeEvents,
+		"service oob":      badService,
+		"bad outcome":      badOutcome,
+		"arrival overflow": overflow,
+		"trailing bytes":   trailing,
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: accepted %x", name, data)
+		}
+	}
+}
+
+func TestDecodeErrorsAreDescriptive(t *testing.T) {
+	_, err := Decode([]byte("ACR"))
+	if err == nil || !strings.Contains(err.Error(), "record:") {
+		t.Errorf("error %v lacks package prefix", err)
+	}
+}
+
+func TestUvarintLen(t *testing.T) {
+	for _, v := range []uint64{0, 1, 127, 128, 16383, 16384, 1 << 42, 1<<64 - 1} {
+		if got, want := uvarintLen(v), len(binary.AppendUvarint(nil, v)); got != want {
+			t.Errorf("uvarintLen(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+// FuzzDecodeTrace drives the decoder with arbitrary bytes: any accepted
+// input must validate, re-encode, and decode back to the same trace,
+// and no input may panic or allocate disproportionately.
+func FuzzDecodeTrace(f *testing.F) {
+	mustEncode := func(tr *Trace) []byte {
+		data, err := tr.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return data
+	}
+	// Valid shapes: empty, single-event, the multi-service fixture, and
+	// each synthesized scenario (small, to keep the corpus light).
+	f.Add(mustEncode(&Trace{}))
+	f.Add(mustEncode(&Trace{Services: []string{"cache1"}, Events: []Event{{PayloadBytes: 64, Granularity: 64}}}))
+	f.Add(mustEncode(testTrace()))
+	for _, sc := range Scenarios {
+		tr, err := Synthesize(sc, 42, 32)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(mustEncode(tr))
+	}
+	// Hostile shapes: truncation, oversized counts, junk.
+	f.Add([]byte(magic))
+	f.Add([]byte(magic + "\x01"))
+	f.Add(append([]byte(magic+"\x01"), binary.AppendUvarint(nil, 1<<40)...))
+	f.Add([]byte("not a trace at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid trace: %v", err)
+		}
+		re, err := tr.Encode()
+		if err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		tr2, err := Decode(re)
+		if err != nil {
+			t.Fatalf("decoding re-encoded trace: %v", err)
+		}
+		if !reflect.DeepEqual(tr2, tr) {
+			t.Errorf("round trip changed trace:\n got %+v\nwant %+v", tr2, tr)
+		}
+	})
+}

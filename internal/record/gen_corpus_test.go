@@ -1,0 +1,68 @@
+package record
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGenerateSeedCorpus (re)generates the checked-in seed corpus for
+// FuzzDecodeTrace when RECORD_GEN_CORPUS=1 is set:
+//
+//	RECORD_GEN_CORPUS=1 go test ./internal/record -run TestGenerateSeedCorpus
+//
+// Keeping the generator next to the corpus means a format change
+// regenerates the seeds instead of silently orphaning them. Without the
+// env var the test verifies the corpus is present and well-formed.
+func TestGenerateSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDecodeTrace")
+	mustEncode := func(tr *Trace) []byte {
+		data, err := tr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	mustSynth := func(sc string) []byte {
+		tr, err := Synthesize(sc, 42, 32)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return mustEncode(tr)
+	}
+	seeds := map[string][]byte{
+		"empty_trace":   mustEncode(&Trace{}),
+		"single_event":  mustEncode(&Trace{Services: []string{"cache1"}, Events: []Event{{PayloadBytes: 64, Granularity: 64}}}),
+		"multi_service": mustEncode(testTrace()),
+		"steady_small":  mustSynth("steady"),
+		"diurnal_small": mustSynth("diurnal-burst"),
+		"storm_small":   mustSynth("retry-storm"),
+		"bad_magic":     []byte("NOPE\x01"),
+		"bare_header":   []byte(magic + "\x01"),
+		"huge_services": append([]byte(magic+"\x01"), binary.AppendUvarint(nil, 1<<40)...),
+		"junk_text":     []byte("not a trace at all"),
+	}
+	if os.Getenv("RECORD_GEN_CORPUS") != "1" {
+		for name := range seeds {
+			data, err := os.ReadFile(filepath.Join(dir, name))
+			if err != nil {
+				t.Fatalf("seed corpus missing (regenerate with RECORD_GEN_CORPUS=1): %v", err)
+			}
+			if len(data) == 0 || string(data[:15]) != "go test fuzz v1" {
+				t.Errorf("seed %s is not in go fuzz corpus format", name)
+			}
+		}
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range seeds {
+		body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", data)
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package record implements the workload flight recorder: a low-overhead
+// capture of a live run's request stream (arrival time, service, payload
+// size, offload granularity, outcome) into a compact versioned binary
+// trace, plus deterministic replay of such traces through the simulator
+// (see replay.go) and the real RPC serving path.
+//
+// The paper's acceleration estimates are only as good as the workload
+// model driving them; recording the offered stream of a real run and
+// replaying it bit-for-bit lets the model and the serving stack be
+// compared on identical arrivals instead of independently drawn ones.
+//
+// The recorder follows the repository's nil-gating discipline: every
+// method is safe on a nil *Recorder and the disabled path is a single nil
+// check — 0 allocs/op, cheap enough to leave in the hot path permanently.
+package record
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Outcome classifies how a recorded request finished.
+type Outcome uint8
+
+const (
+	// OutcomeOK marks a request that completed successfully.
+	OutcomeOK Outcome = iota
+	// OutcomeError marks a request that failed (transport error, server
+	// error response, deadline exceeded).
+	OutcomeError
+	// OutcomeRetry marks a request that was a retry of an earlier failed
+	// request — the signature shape of a retry storm.
+	OutcomeRetry
+
+	outcomeCount
+)
+
+// Valid reports whether o is a known outcome value.
+func (o Outcome) Valid() bool { return o < outcomeCount }
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeError:
+		return "error"
+	case OutcomeRetry:
+		return "retry"
+	}
+	return fmt.Sprintf("outcome(%d)", uint8(o))
+}
+
+// Event is one recorded request. Arrival times are nanoseconds from the
+// start of the recording; on disk they are delta-encoded, so a Trace's
+// events are always sorted by ArrivalNanos.
+type Event struct {
+	// ArrivalNanos is the request's arrival, in nanoseconds since the
+	// recording began.
+	ArrivalNanos int64
+	// Service indexes into the owning Trace's Services table.
+	Service uint32
+	// PayloadBytes is the request payload size.
+	PayloadBytes uint64
+	// Granularity is the offload granularity g in bytes — the unit the
+	// paper's acceleration model keys every break-even decision on.
+	Granularity uint64
+	// Outcome is how the request finished.
+	Outcome Outcome
+}
+
+// Trace is a recorded request stream: an interned service-name table and
+// the events referencing it.
+type Trace struct {
+	Services []string
+	Events   []Event
+}
+
+// Validate checks the invariants Encode relies on: service names
+// non-empty and unique, events sorted by arrival with non-negative
+// times, service indices in range, and outcomes known.
+func (t *Trace) Validate() error {
+	seen := make(map[string]bool, len(t.Services))
+	for i, s := range t.Services {
+		if s == "" {
+			return fmt.Errorf("record: service %d has an empty name", i)
+		}
+		if len(s) > maxServiceName {
+			return fmt.Errorf("record: service name %.20q... exceeds %d bytes", s, maxServiceName)
+		}
+		if seen[s] {
+			return fmt.Errorf("record: duplicate service name %q", s)
+		}
+		seen[s] = true
+	}
+	prev := int64(0)
+	for i := range t.Events {
+		e := &t.Events[i]
+		if e.ArrivalNanos < 0 {
+			return fmt.Errorf("record: event %d arrival %d is negative", i, e.ArrivalNanos)
+		}
+		if e.ArrivalNanos < prev {
+			return fmt.Errorf("record: event %d arrival %d precedes event %d (%d)", i, e.ArrivalNanos, i-1, prev)
+		}
+		prev = e.ArrivalNanos
+		if int(e.Service) >= len(t.Services) {
+			return fmt.Errorf("record: event %d references service %d of %d", i, e.Service, len(t.Services))
+		}
+		if !e.Outcome.Valid() {
+			return fmt.Errorf("record: event %d has unknown outcome %d", i, e.Outcome)
+		}
+	}
+	return nil
+}
+
+// Duration returns the arrival time of the last event — the length of
+// the recorded stream.
+func (t *Trace) Duration() time.Duration {
+	if len(t.Events) == 0 {
+		return 0
+	}
+	return time.Duration(t.Events[len(t.Events)-1].ArrivalNanos)
+}
+
+// Canonicalize rewrites the trace into its unique canonical form:
+// services sorted by name (event indices remapped to match) and events
+// sorted by (arrival, service, payload, granularity, outcome). Two
+// recordings of the same request multiset canonicalize to byte-identical
+// encodings regardless of the interning or completion order the run
+// happened to produce.
+func (t *Trace) Canonicalize() {
+	perm := make([]int, len(t.Services))
+	for i := range perm {
+		perm[i] = i
+	}
+	sort.Slice(perm, func(a, b int) bool { return t.Services[perm[a]] < t.Services[perm[b]] })
+	remap := make([]uint32, len(t.Services))
+	sorted := make([]string, len(t.Services))
+	for newIdx, oldIdx := range perm {
+		remap[oldIdx] = uint32(newIdx)
+		sorted[newIdx] = t.Services[oldIdx]
+	}
+	t.Services = sorted
+	for i := range t.Events {
+		if int(t.Events[i].Service) < len(remap) {
+			t.Events[i].Service = remap[t.Events[i].Service]
+		}
+	}
+	sort.Slice(t.Events, func(a, b int) bool {
+		x, y := &t.Events[a], &t.Events[b]
+		if x.ArrivalNanos != y.ArrivalNanos {
+			return x.ArrivalNanos < y.ArrivalNanos
+		}
+		if x.Service != y.Service {
+			return x.Service < y.Service
+		}
+		if x.PayloadBytes != y.PayloadBytes {
+			return x.PayloadBytes < y.PayloadBytes
+		}
+		if x.Granularity != y.Granularity {
+			return x.Granularity < y.Granularity
+		}
+		return x.Outcome < y.Outcome
+	})
+}
+
+// ServiceEvents returns the trace's events grouped per service, in
+// service-table order; arrival order is preserved within each group.
+func (t *Trace) ServiceEvents() [][]Event {
+	groups := make([][]Event, len(t.Services))
+	for _, e := range t.Events {
+		if int(e.Service) < len(groups) {
+			groups[e.Service] = append(groups[e.Service], e)
+		}
+	}
+	return groups
+}
+
+// DefaultCapacity is the ring size NewRecorder uses when the caller
+// passes capacity <= 0: enough for several seconds of a busy run while
+// staying a few megabytes.
+const DefaultCapacity = 1 << 16
+
+// Recorder captures events into a fixed-capacity ring buffer. When the
+// ring is full the oldest events are overwritten (and counted as
+// dropped) — the recorder is a flight recorder, not an unbounded log,
+// so an anomaly dump always holds the most recent window.
+//
+// All methods are safe on a nil receiver; a nil *Recorder is the
+// disabled state.
+type Recorder struct {
+	start time.Time
+
+	mu       sync.Mutex
+	services map[string]uint32
+	names    []string
+	ring     []Event
+	head     int    // next write position
+	buffered int    // events currently held (<= cap)
+	total    uint64 // events ever recorded
+	dropped  uint64 // events overwritten by ring wraparound
+
+	lastDumpPath  string
+	lastDumpBytes int
+	lastErr       error
+}
+
+// NewRecorder returns a recorder with the given ring capacity
+// (DefaultCapacity if capacity <= 0). The arrival clock starts now.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Recorder{
+		start:    time.Now(),
+		services: make(map[string]uint32, 16),
+		ring:     make([]Event, capacity),
+	}
+}
+
+// Record captures one live request, stamping it with the wall-clock
+// offset from the recorder's start. No-op on a nil recorder.
+func (r *Recorder) Record(service string, payloadBytes, granularity uint64, outcome Outcome) {
+	if r == nil {
+		return
+	}
+	r.RecordAt(int64(time.Since(r.start)), service, payloadBytes, granularity, outcome)
+}
+
+// RecordAt captures one request at an explicit arrival offset — the
+// entry point for simulated time, where the caller converts cycles to
+// nanoseconds itself. No-op on a nil recorder; negative arrivals clamp
+// to zero so a replayed trace can never fail to re-encode.
+func (r *Recorder) RecordAt(arrivalNanos int64, service string, payloadBytes, granularity uint64, outcome Outcome) {
+	if r == nil {
+		return
+	}
+	if arrivalNanos < 0 {
+		arrivalNanos = 0
+	}
+	if !outcome.Valid() {
+		outcome = OutcomeError
+	}
+	r.mu.Lock()
+	idx, ok := r.services[service]
+	if !ok {
+		idx = uint32(len(r.names))
+		r.services[service] = idx
+		r.names = append(r.names, service)
+	}
+	r.ring[r.head] = Event{
+		ArrivalNanos: arrivalNanos,
+		Service:      idx,
+		PayloadBytes: payloadBytes,
+		Granularity:  granularity,
+		Outcome:      outcome,
+	}
+	r.head++
+	if r.head == len(r.ring) {
+		r.head = 0
+	}
+	if r.buffered < len(r.ring) {
+		r.buffered++
+	} else {
+		r.dropped++
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot copies the buffered events out as a canonical Trace. The
+// recorder keeps running; a snapshot never clears the ring.
+func (r *Recorder) Snapshot() *Trace {
+	if r == nil {
+		return &Trace{}
+	}
+	r.mu.Lock()
+	t := &Trace{
+		Services: append([]string(nil), r.names...),
+		Events:   make([]Event, 0, r.buffered),
+	}
+	// Oldest first: the ring's logical start is head-buffered (mod cap).
+	start := r.head - r.buffered
+	if start < 0 {
+		start += len(r.ring)
+	}
+	for i := 0; i < r.buffered; i++ {
+		t.Events = append(t.Events, r.ring[(start+i)%len(r.ring)])
+	}
+	r.mu.Unlock()
+	t.Canonicalize()
+	return t
+}
+
+// State describes the recorder for dashboards and debug endpoints.
+type State struct {
+	Recording bool
+	Capacity  int
+	Buffered  int    // events currently in the ring
+	Total     uint64 // events ever recorded
+	Dropped   uint64 // events lost to ring wraparound
+	Services  int    // distinct services interned
+	// ApproxBytes estimates the encoded size of the buffered window.
+	ApproxBytes int
+	// LastDumpPath and LastDumpBytes describe the most recent WriteFile
+	// (anomaly dump or explicit save); empty/zero when none has happened.
+	LastDumpPath  string
+	LastDumpBytes int
+	// LastErr is the most recent dump failure, nil when healthy.
+	LastErr error
+}
+
+// State returns the recorder's current state; the zero State (with
+// Recording false) on a nil recorder.
+func (r *Recorder) State() State {
+	if r == nil {
+		return State{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	approx := headerOverhead
+	for _, n := range r.names {
+		approx += uvarintLen(uint64(len(n))) + len(n)
+	}
+	approx += r.buffered * approxEventBytes
+	return State{
+		Recording:     true,
+		Capacity:      len(r.ring),
+		Buffered:      r.buffered,
+		Total:         r.total,
+		Dropped:       r.dropped,
+		Services:      len(r.names),
+		ApproxBytes:   approx,
+		LastDumpPath:  r.lastDumpPath,
+		LastDumpBytes: r.lastDumpBytes,
+		LastErr:       r.lastErr,
+	}
+}
+
+// WriteFile snapshots the ring and writes the encoded trace to path,
+// recording the dump in the state surfaced by State. Returns the number
+// of bytes written.
+func (r *Recorder) WriteFile(path string) (int, error) {
+	if r == nil {
+		return 0, fmt.Errorf("record: recorder is disabled")
+	}
+	n, err := r.Snapshot().WriteFile(path)
+	r.mu.Lock()
+	if err != nil {
+		r.lastErr = err
+	} else {
+		r.lastDumpPath = path
+		r.lastDumpBytes = n
+		r.lastErr = nil
+	}
+	r.mu.Unlock()
+	return n, err
+}
+
+// CyclesToNanos converts a simulator timestamp (cycles at hostHz) to the
+// recorder's nanosecond arrival clock, saturating instead of
+// overflowing.
+func CyclesToNanos(cycles, hostHz float64) int64 {
+	if hostHz <= 0 {
+		return 0
+	}
+	ns := cycles / hostHz * 1e9
+	if ns >= math.MaxInt64 {
+		return math.MaxInt64
+	}
+	if ns < 0 {
+		return 0
+	}
+	return int64(ns)
+}

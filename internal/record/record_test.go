@@ -1,0 +1,278 @@
+package record
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestOutcomeString(t *testing.T) {
+	cases := map[Outcome]string{
+		OutcomeOK:    "ok",
+		OutcomeError: "error",
+		OutcomeRetry: "retry",
+		Outcome(9):   "outcome(9)",
+	}
+	for o, want := range cases {
+		if got := o.String(); got != want {
+			t.Errorf("Outcome(%d).String() = %q, want %q", o, got, want)
+		}
+	}
+	if Outcome(200).Valid() {
+		t.Error("Outcome(200) reported valid")
+	}
+}
+
+func TestTraceValidate(t *testing.T) {
+	good := Trace{
+		Services: []string{"cache1", "web1"},
+		Events: []Event{
+			{ArrivalNanos: 0, Service: 1},
+			{ArrivalNanos: 0, Service: 0},
+			{ArrivalNanos: 50, Service: 1, PayloadBytes: 9, Granularity: 3, Outcome: OutcomeRetry},
+		},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good trace: %v", err)
+	}
+	bad := []Trace{
+		{Services: []string{""}},
+		{Services: []string{"a", "a"}},
+		{Services: []string{"a"}, Events: []Event{{ArrivalNanos: -1}}},
+		{Services: []string{"a"}, Events: []Event{{ArrivalNanos: 5}, {ArrivalNanos: 4}}},
+		{Services: []string{"a"}, Events: []Event{{Service: 1}}},
+		{Services: []string{"a"}, Events: []Event{{Outcome: outcomeCount}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d: want error", i)
+		}
+	}
+}
+
+// Canonicalize produces one unique form: the same event multiset
+// recorded under different interning orders and completion orders
+// encodes byte-identically.
+func TestCanonicalizeIsOrderInsensitive(t *testing.T) {
+	a := &Trace{
+		Services: []string{"web1", "cache1"},
+		Events: []Event{
+			{ArrivalNanos: 100, Service: 0, PayloadBytes: 7},
+			{ArrivalNanos: 100, Service: 1, PayloadBytes: 3},
+			{ArrivalNanos: 40, Service: 1},
+		},
+	}
+	b := &Trace{
+		Services: []string{"cache1", "web1"},
+		Events: []Event{
+			{ArrivalNanos: 40, Service: 0},
+			{ArrivalNanos: 100, Service: 0, PayloadBytes: 3},
+			{ArrivalNanos: 100, Service: 1, PayloadBytes: 7},
+		},
+	}
+	a.Canonicalize()
+	b.Canonicalize()
+	ea, err := a.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eb, err := b.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ea, eb) {
+		t.Errorf("canonical encodings differ:\n a: %x\n b: %x", ea, eb)
+	}
+	if a.Services[0] != "cache1" || a.Services[1] != "web1" {
+		t.Errorf("services not sorted: %v", a.Services)
+	}
+}
+
+func TestTraceDuration(t *testing.T) {
+	var empty Trace
+	if d := empty.Duration(); d != 0 {
+		t.Errorf("empty trace duration = %v", d)
+	}
+	tr := Trace{Services: []string{"a"}, Events: []Event{{ArrivalNanos: 10}, {ArrivalNanos: 2500}}}
+	if d := tr.Duration(); d != 2500*time.Nanosecond {
+		t.Errorf("duration = %v, want 2.5us", d)
+	}
+}
+
+func TestServiceEvents(t *testing.T) {
+	tr := Trace{
+		Services: []string{"a", "b"},
+		Events: []Event{
+			{ArrivalNanos: 1, Service: 0},
+			{ArrivalNanos: 2, Service: 1},
+			{ArrivalNanos: 3, Service: 0},
+		},
+	}
+	groups := tr.ServiceEvents()
+	if len(groups) != 2 || len(groups[0]) != 2 || len(groups[1]) != 1 {
+		t.Fatalf("groups = %v", groups)
+	}
+	if groups[0][1].ArrivalNanos != 3 {
+		t.Errorf("arrival order not preserved within group: %v", groups[0])
+	}
+}
+
+// A nil recorder is the disabled state: every method is a no-op or
+// returns the zero value, and nothing panics.
+func TestNilRecorder(t *testing.T) {
+	var r *Recorder
+	r.Record("cache1", 1, 1, OutcomeOK)
+	r.RecordAt(5, "cache1", 1, 1, OutcomeOK)
+	if s := r.State(); s.Recording {
+		t.Error("nil recorder reports Recording")
+	}
+	if tr := r.Snapshot(); len(tr.Events) != 0 {
+		t.Error("nil recorder snapshot has events")
+	}
+	if _, err := r.WriteFile(filepath.Join(t.TempDir(), "x.trace")); err == nil {
+		t.Error("nil recorder WriteFile: want error")
+	}
+}
+
+func TestRecorderSnapshotCanonical(t *testing.T) {
+	r := NewRecorder(16)
+	r.RecordAt(300, "web1", 10, 5, OutcomeOK)
+	r.RecordAt(100, "cache1", 20, 20, OutcomeError)
+	r.RecordAt(200, "web1", 30, 15, OutcomeOK)
+	tr := r.Snapshot()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if want := []string{"cache1", "web1"}; !reflect.DeepEqual(tr.Services, want) {
+		t.Errorf("services = %v, want %v", tr.Services, want)
+	}
+	arrivals := []int64{tr.Events[0].ArrivalNanos, tr.Events[1].ArrivalNanos, tr.Events[2].ArrivalNanos}
+	if !reflect.DeepEqual(arrivals, []int64{100, 200, 300}) {
+		t.Errorf("arrivals = %v, want sorted", arrivals)
+	}
+	st := r.State()
+	if !st.Recording || st.Total != 3 || st.Buffered != 3 || st.Dropped != 0 || st.Services != 2 {
+		t.Errorf("state = %+v", st)
+	}
+	if st.ApproxBytes <= 0 {
+		t.Errorf("approx bytes = %d", st.ApproxBytes)
+	}
+}
+
+// The ring keeps the newest events and counts overwrites as drops.
+func TestRecorderRingWraps(t *testing.T) {
+	r := NewRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.RecordAt(int64(i*1000), "svc", uint64(i), 1, OutcomeOK)
+	}
+	st := r.State()
+	if st.Total != 10 || st.Buffered != 4 || st.Dropped != 6 {
+		t.Fatalf("state = %+v, want total 10 / buffered 4 / dropped 6", st)
+	}
+	tr := r.Snapshot()
+	if len(tr.Events) != 4 {
+		t.Fatalf("snapshot has %d events", len(tr.Events))
+	}
+	for i, e := range tr.Events {
+		if want := uint64(6 + i); e.PayloadBytes != want {
+			t.Errorf("event %d payload = %d, want %d (newest window)", i, e.PayloadBytes, want)
+		}
+	}
+}
+
+func TestRecorderNegativeArrivalClamps(t *testing.T) {
+	r := NewRecorder(4)
+	r.RecordAt(-5, "svc", 1, 1, OutcomeOK)
+	r.RecordAt(3, "svc", 1, 1, Outcome(77)) // unknown outcome coerced
+	tr := r.Snapshot()
+	if tr.Events[0].ArrivalNanos != 0 {
+		t.Errorf("negative arrival not clamped: %d", tr.Events[0].ArrivalNanos)
+	}
+	if tr.Events[1].Outcome != OutcomeError {
+		t.Errorf("unknown outcome recorded as %v", tr.Events[1].Outcome)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Errorf("recorded trace must always validate: %v", err)
+	}
+}
+
+func TestRecorderWriteFile(t *testing.T) {
+	r := NewRecorder(8)
+	r.Record("cache1", 64, 64, OutcomeOK)
+	path := filepath.Join(t.TempDir(), "dump.trace")
+	n, err := r.WriteFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n <= 0 {
+		t.Fatalf("wrote %d bytes", n)
+	}
+	st := r.State()
+	if st.LastDumpPath != path || st.LastDumpBytes != n || st.LastErr != nil {
+		t.Errorf("state after dump = %+v", st)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 || got.Services[0] != "cache1" {
+		t.Errorf("round-tripped dump = %+v", got)
+	}
+
+	if _, err := r.WriteFile(filepath.Join(t.TempDir(), "no", "such", "dir.trace")); err == nil {
+		t.Fatal("unwritable path: want error")
+	}
+	if st := r.State(); st.LastErr == nil {
+		t.Error("dump failure not surfaced in state")
+	}
+}
+
+func TestCyclesToNanos(t *testing.T) {
+	if got := CyclesToNanos(2e9, 1e9); got != 2_000_000_000 {
+		t.Errorf("2e9 cycles at 1GHz = %dns", got)
+	}
+	if got := CyclesToNanos(100, 0); got != 0 {
+		t.Errorf("zero hz = %d", got)
+	}
+	if got := CyclesToNanos(-5, 1e9); got != 0 {
+		t.Errorf("negative cycles = %d", got)
+	}
+	if got := CyclesToNanos(1e30, 1); got != 1<<63-1 {
+		t.Errorf("overflow not saturated: %d", got)
+	}
+}
+
+// The disabled (nil) path and the enabled steady-state path both stay
+// allocation-free, so the hooks can live in hot loops.
+func TestRecordAllocs(t *testing.T) {
+	var nilRec *Recorder
+	if n := testing.AllocsPerRun(100, func() {
+		nilRec.Record("cache1", 64, 64, OutcomeOK)
+	}); n != 0 {
+		t.Errorf("nil recorder: %v allocs/op", n)
+	}
+	r := NewRecorder(1 << 10)
+	r.Record("cache1", 1, 1, OutcomeOK) // intern outside the measured loop
+	if n := testing.AllocsPerRun(100, func() {
+		r.Record("cache1", 64, 64, OutcomeOK)
+	}); n != 0 {
+		t.Errorf("live recorder steady state: %v allocs/op", n)
+	}
+}
+
+func BenchmarkRecordDisabled(b *testing.B) {
+	var r *Recorder
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record("cache1", 64, 64, OutcomeOK)
+	}
+}
+
+func BenchmarkRecordEnabled(b *testing.B) {
+	r := NewRecorder(1 << 16)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record("cache1", 64, 64, OutcomeOK)
+	}
+}

@@ -1,0 +1,138 @@
+package record
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dist"
+)
+
+// Scenario synthesis: the checked-in testdata/scenarios traces are
+// generated here, deterministically from a seed, so the golden replay
+// aggregates are reproducible and the scenarios carry recognizable
+// shapes from production incident reviews:
+//
+//   - steady: stationary Poisson traffic across three services — the
+//     baseline every A/B starts from.
+//   - diurnal-burst: a compressed diurnal cycle (sinusoidal rate) with a
+//     short 4x burst at the peak, the shape capacity planning worries
+//     about.
+//   - retry-storm: steady traffic where a mid-trace failure window turns
+//     responses into errors and each error spawns tightly-spaced retries
+//     — the classic metastable amplification shape.
+
+// Scenarios lists the named scenarios Synthesize accepts, in the order
+// documentation and CLI help present them.
+var Scenarios = []string{"steady", "diurnal-burst", "retry-storm"}
+
+// synthServices are the service names synthetic traces intern, drawn
+// from the paper's service taxonomy (Table 1 tiers).
+var synthServices = []string{"cache1", "feed1", "web1"}
+
+// Synthesize generates the named scenario deterministically from seed.
+// The returned trace is canonical, so re-synthesizing with the same
+// arguments yields byte-identical encodings.
+func Synthesize(scenario string, seed uint64, events int) (*Trace, error) {
+	if events <= 0 {
+		events = 4096
+	}
+	switch scenario {
+	case "steady":
+		return synthSteady(seed, events), nil
+	case "diurnal-burst":
+		return synthDiurnal(seed, events), nil
+	case "retry-storm":
+		return synthRetryStorm(seed, events), nil
+	}
+	return nil, fmt.Errorf("record: unknown scenario %q (have %v)", scenario, Scenarios)
+}
+
+// synthEvent draws the non-temporal fields: a service, a payload in the
+// 64B–16KiB range the paper's offload CDFs cover, and a granularity at
+// or below the payload.
+func synthEvent(r *dist.Rand, arrival int64, outcome Outcome) Event {
+	svc := uint32(r.Intn(len(synthServices)))
+	payload := uint64(64) << r.Intn(9) // 64B .. 16KiB, log-uniform
+	payload += r.Uint64n(payload)      // jitter within the octave
+	gran := payload / (1 << r.Intn(4)) // offload granularity <= payload
+	return Event{
+		ArrivalNanos: arrival,
+		Service:      svc,
+		PayloadBytes: payload,
+		Granularity:  gran,
+		Outcome:      outcome,
+	}
+}
+
+func finish(t *Trace) *Trace {
+	t.Services = append([]string(nil), synthServices...)
+	t.Canonicalize()
+	return t
+}
+
+// synthSteady draws stationary Poisson arrivals at ~50k req/s.
+func synthSteady(seed uint64, events int) *Trace {
+	r := dist.NewRand(seed)
+	const meanGapNanos = 20_000 // 50k req/s
+	t := &Trace{}
+	arrival := int64(0)
+	for i := 0; i < events; i++ {
+		arrival += int64(r.ExpFloat64() * meanGapNanos)
+		t.Events = append(t.Events, synthEvent(r, arrival, OutcomeOK))
+	}
+	return finish(t)
+}
+
+// synthDiurnal modulates the arrival rate sinusoidally over the trace
+// (one compressed "day"), with a 4x burst in the middle fifth.
+func synthDiurnal(seed uint64, events int) *Trace {
+	r := dist.NewRand(seed)
+	const baseGapNanos = 25_000
+	t := &Trace{}
+	arrival := int64(0)
+	for i := 0; i < events; i++ {
+		phase := float64(i) / float64(events)
+		// Rate swings 0.5x..1.5x over the cycle; the burst window runs
+		// 4x on top of it.
+		rate := 1 + 0.5*math.Sin(2*math.Pi*phase)
+		if phase > 0.4 && phase < 0.6 {
+			rate *= 4
+		}
+		arrival += int64(r.ExpFloat64() * baseGapNanos / rate)
+		t.Events = append(t.Events, synthEvent(r, arrival, OutcomeOK))
+	}
+	return finish(t)
+}
+
+// synthRetryStorm runs steady traffic, fails the middle third, and has
+// every failure spawn 1–3 retries a few hundred microseconds later —
+// roughly tripling the offered load exactly when the system is sickest.
+func synthRetryStorm(seed uint64, events int) *Trace {
+	r := dist.NewRand(seed)
+	const meanGapNanos = 30_000
+	t := &Trace{}
+	arrival := int64(0)
+	for i := 0; i < events; i++ {
+		arrival += int64(r.ExpFloat64() * meanGapNanos)
+		inStorm := i > events/3 && i < 2*events/3
+		if !inStorm {
+			t.Events = append(t.Events, synthEvent(r, arrival, OutcomeOK))
+			continue
+		}
+		failed := synthEvent(r, arrival, OutcomeError)
+		t.Events = append(t.Events, failed)
+		for retry := 1 + r.Intn(3); retry > 0; retry-- {
+			gap := int64(100_000 + r.Uint64n(400_000)) // 100–500us backoff
+			re := failed
+			re.ArrivalNanos += gap * int64(retry)
+			re.Outcome = OutcomeRetry
+			t.Events = append(t.Events, re)
+		}
+	}
+	// Retries land out of order relative to later primaries; restore
+	// arrival order before canonicalizing (Canonicalize sorts too, but
+	// being explicit documents why the stream is momentarily unsorted).
+	sort.Slice(t.Events, func(a, b int) bool { return t.Events[a].ArrivalNanos < t.Events[b].ArrivalNanos })
+	return finish(t)
+}

@@ -1,0 +1,114 @@
+package record
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestSynthesizeUnknownScenario(t *testing.T) {
+	if _, err := Synthesize("full-moon", 1, 10); err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+}
+
+// Every scenario yields a valid, canonical, deterministic trace.
+func TestSynthesizeScenarios(t *testing.T) {
+	for _, sc := range Scenarios {
+		tr, err := Synthesize(sc, 7, 512)
+		if err != nil {
+			t.Fatalf("%s: %v", sc, err)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("%s: invalid trace: %v", sc, err)
+		}
+		if len(tr.Events) < 512 {
+			t.Errorf("%s: %d events, want >= 512", sc, len(tr.Events))
+		}
+		for i, e := range tr.Events {
+			if e.Granularity > e.PayloadBytes {
+				t.Errorf("%s event %d: granularity %d > payload %d", sc, i, e.Granularity, e.PayloadBytes)
+			}
+		}
+		a, err := tr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr2, err := Synthesize(sc, 7, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := tr2.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same seed produced different traces", sc)
+		}
+		other, err := Synthesize(sc, 8, 512)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := other.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: different seeds produced identical traces", sc)
+		}
+	}
+}
+
+// The retry storm's signature: retries exist, they cluster in the storm
+// window, and the offered load there exceeds the steady sections.
+func TestRetryStormShape(t *testing.T) {
+	tr, err := Synthesize("retry-storm", 3, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retries, errors int
+	for _, e := range tr.Events {
+		switch e.Outcome {
+		case OutcomeRetry:
+			retries++
+		case OutcomeError:
+			errors++
+		}
+	}
+	if errors == 0 || retries == 0 {
+		t.Fatalf("storm has %d errors, %d retries", errors, retries)
+	}
+	if retries < errors {
+		t.Errorf("each error should spawn >= 1 retry: %d errors, %d retries", errors, retries)
+	}
+	// The storm window's event density must exceed the calm sections'.
+	dur := int64(tr.Duration())
+	third := dur / 3
+	var calm, storm int
+	for _, e := range tr.Events {
+		if e.ArrivalNanos > third && e.ArrivalNanos < 2*third {
+			storm++
+		} else {
+			calm++
+		}
+	}
+	if storm <= calm/2 {
+		t.Errorf("storm window not denser: %d storm vs %d calm events", storm, calm)
+	}
+}
+
+func TestDiurnalBurstShape(t *testing.T) {
+	tr, err := Synthesize("diurnal-burst", 3, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle fifth runs at ~4x: its mean inter-arrival gap must be
+	// well under the overall mean.
+	n := len(tr.Events)
+	mid := tr.Events[n*2/5 : n*3/5]
+	midSpan := mid[len(mid)-1].ArrivalNanos - mid[0].ArrivalNanos
+	midGap := float64(midSpan) / float64(len(mid)-1)
+	allGap := float64(tr.Duration()) / float64(n-1)
+	if midGap >= allGap/2 {
+		t.Errorf("burst window mean gap %.0fns not < half the overall %.0fns", midGap, allGap)
+	}
+}

@@ -1,0 +1,205 @@
+package record
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Trigger watches telemetry for anomalies and dumps the recorder's ring
+// to disk when one fires, so the flight recorder's last window of
+// traffic — the requests that led into the anomaly — survives for
+// offline replay. Two signals are supported, each optional:
+//
+//   - rolling p99: each poll diffs the latency histogram against the
+//     previous poll's snapshot (telemetry.HistogramSnapshot.Delta) and
+//     fires when the window's p99 crosses P99Threshold.
+//   - error rate: fires when the error counter grows by at least
+//     ErrorThreshold within one poll interval.
+//
+// Dumps are rate-limited to one per CooldownPolls polls and capped at
+// MaxDumps per trigger lifetime, so a sustained incident cannot fill
+// the disk with near-identical windows.
+type TriggerConfig struct {
+	// Recorder is the ring to dump. Required.
+	Recorder *Recorder
+	// Dir receives anomaly-NNN.trace dumps. Required.
+	Dir string
+
+	// Latency is the histogram whose rolling p99 is watched; nil
+	// disables the latency signal.
+	Latency *telemetry.Histogram
+	// P99Threshold is the rolling-window p99 (in the histogram's unit)
+	// at or above which the latency signal fires; <= 0 disables it.
+	P99Threshold float64
+	// MinWindowCount is the smallest rolling-window sample count the
+	// latency signal trusts (default 10): a one-sample window's p99 is
+	// noise, not an anomaly.
+	MinWindowCount uint64
+
+	// Errors is the counter whose growth is watched; nil disables the
+	// error signal.
+	Errors *telemetry.Counter
+	// ErrorThreshold is the per-interval error growth at or above which
+	// the error signal fires; 0 disables it.
+	ErrorThreshold uint64
+
+	// Interval is the poll period (default 1s).
+	Interval time.Duration
+	// MaxDumps caps dumps per trigger lifetime (default 16).
+	MaxDumps int
+	// CooldownPolls is how many polls must pass after a dump before the
+	// next one may fire (default 5).
+	CooldownPolls int
+}
+
+func (c *TriggerConfig) validate() error {
+	if c.Recorder == nil {
+		return fmt.Errorf("record: trigger needs a recorder")
+	}
+	if c.Dir == "" {
+		return fmt.Errorf("record: trigger needs a dump directory")
+	}
+	latencyArmed := c.Latency != nil && c.P99Threshold > 0
+	errorsArmed := c.Errors != nil && c.ErrorThreshold > 0
+	if !latencyArmed && !errorsArmed {
+		return fmt.Errorf("record: trigger has no armed signal (set Latency+P99Threshold or Errors+ErrorThreshold)")
+	}
+	return nil
+}
+
+// Trigger is a running anomaly watcher; create one with StartTrigger.
+type Trigger struct {
+	cfg      TriggerConfig
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+
+	mu        sync.Mutex
+	prevLat   telemetry.HistogramSnapshot
+	prevErrs  uint64
+	cooldown  int
+	dumps     []string
+	lastErr   error
+	polls     uint64
+	firstPoll bool
+}
+
+// StartTrigger validates cfg, creates the dump directory, and starts
+// the polling goroutine. Stop the returned trigger to shut it down.
+func StartTrigger(cfg TriggerConfig) (*Trigger, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Interval <= 0 {
+		cfg.Interval = time.Second
+	}
+	if cfg.MaxDumps <= 0 {
+		cfg.MaxDumps = 16
+	}
+	if cfg.CooldownPolls <= 0 {
+		cfg.CooldownPolls = 5
+	}
+	if cfg.MinWindowCount == 0 {
+		cfg.MinWindowCount = 10
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("record: trigger dump dir: %w", err)
+	}
+	t := &Trigger{
+		cfg:       cfg,
+		stop:      make(chan struct{}),
+		done:      make(chan struct{}),
+		firstPoll: true,
+	}
+	go t.loop()
+	return t, nil
+}
+
+func (t *Trigger) loop() {
+	defer close(t.done)
+	ticker := time.NewTicker(t.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-t.stop:
+			return
+		case <-ticker.C:
+			t.Poll()
+		}
+	}
+}
+
+// Poll runs one detection cycle immediately. The background loop calls
+// it on every tick; tests call it directly to stay off the wall clock.
+// It returns the dump path when this poll fired, "" otherwise.
+func (t *Trigger) Poll() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.polls++
+
+	var reasons []string
+	if t.cfg.Latency != nil && t.cfg.P99Threshold > 0 {
+		snap := t.cfg.Latency.Snapshot()
+		if !t.firstPoll {
+			win := snap.Delta(t.prevLat)
+			if win.Count >= t.cfg.MinWindowCount && win.Quantile(0.99) >= t.cfg.P99Threshold {
+				reasons = append(reasons, fmt.Sprintf("p99 %.3g >= %.3g over %d samples",
+					win.Quantile(0.99), t.cfg.P99Threshold, win.Count))
+			}
+		}
+		t.prevLat = snap
+	}
+	if t.cfg.Errors != nil && t.cfg.ErrorThreshold > 0 {
+		v := t.cfg.Errors.Value()
+		if !t.firstPoll && v-t.prevErrs >= t.cfg.ErrorThreshold {
+			reasons = append(reasons, fmt.Sprintf("errors +%d >= %d", v-t.prevErrs, t.cfg.ErrorThreshold))
+		}
+		t.prevErrs = v
+	}
+	t.firstPoll = false
+
+	if t.cooldown > 0 {
+		t.cooldown--
+		return ""
+	}
+	if len(reasons) == 0 || len(t.dumps) >= t.cfg.MaxDumps {
+		return ""
+	}
+	path := filepath.Join(t.cfg.Dir, fmt.Sprintf("anomaly-%03d.trace", len(t.dumps)))
+	if _, err := t.cfg.Recorder.WriteFile(path); err != nil {
+		t.lastErr = err
+		return ""
+	}
+	t.dumps = append(t.dumps, path)
+	t.cooldown = t.cfg.CooldownPolls
+	return path
+}
+
+// Dumps returns the paths written so far, oldest first.
+func (t *Trigger) Dumps() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.dumps...)
+}
+
+// Err returns the most recent dump failure, nil when healthy.
+func (t *Trigger) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.lastErr
+}
+
+// Stop shuts the polling goroutine down and waits for it to exit.
+// Safe to call on a nil trigger and idempotent.
+func (t *Trigger) Stop() {
+	if t == nil {
+		return
+	}
+	t.stopOnce.Do(func() { close(t.stop) })
+	<-t.done
+}

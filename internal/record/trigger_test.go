@@ -1,0 +1,188 @@
+package record
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func TestTriggerConfigValidation(t *testing.T) {
+	rec := NewRecorder(16)
+	h := telemetry.NewHistogram("lat", "")
+	bad := []TriggerConfig{
+		{},
+		{Recorder: rec},                                 // no dir
+		{Recorder: rec, Dir: t.TempDir()},               // no armed signal
+		{Dir: t.TempDir(), Latency: h, P99Threshold: 1}, // no recorder
+		{Recorder: rec, Dir: t.TempDir(), Latency: h},   // histogram but no threshold
+	}
+	for i, cfg := range bad {
+		if _, err := StartTrigger(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// The latency signal fires on the rolling window's p99, not the
+// cumulative distribution: a long healthy history must not mask a
+// sudden regression.
+func TestTriggerFiresOnRollingP99(t *testing.T) {
+	rec := NewRecorder(64)
+	rec.Record("cache1", 64, 64, OutcomeOK)
+	h := telemetry.NewHistogram("lat", "")
+	dir := t.TempDir()
+	trg, err := StartTrigger(TriggerConfig{
+		Recorder: rec, Dir: dir,
+		Latency: h, P99Threshold: 1e6,
+		Interval: time.Hour, // polls driven manually
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trg.Stop()
+
+	// A long fast history.
+	for i := 0; i < 5000; i++ {
+		h.Record(100)
+	}
+	if p := trg.Poll(); p != "" {
+		t.Fatalf("first poll (baseline) fired: %s", p)
+	}
+	if p := trg.Poll(); p != "" {
+		t.Fatalf("healthy window fired: %s", p)
+	}
+	// A slow window — far too few samples to move the cumulative p99.
+	for i := 0; i < 50; i++ {
+		h.Record(5e6)
+	}
+	p := trg.Poll()
+	if p == "" {
+		t.Fatal("slow window did not fire")
+	}
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("dump missing: %v", err)
+	}
+	got, err := ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Events) != 1 {
+		t.Errorf("dump has %d events", len(got.Events))
+	}
+	if st := rec.State(); st.LastDumpPath != p {
+		t.Errorf("recorder state last dump = %q, want %q", st.LastDumpPath, p)
+	}
+}
+
+// Tiny windows are noise: below MinWindowCount the latency signal
+// stays quiet no matter how slow the samples are.
+func TestTriggerIgnoresTinyWindows(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record("cache1", 1, 1, OutcomeOK)
+	h := telemetry.NewHistogram("lat", "")
+	trg, err := StartTrigger(TriggerConfig{
+		Recorder: rec, Dir: t.TempDir(),
+		Latency: h, P99Threshold: 1, MinWindowCount: 10,
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trg.Stop()
+	trg.Poll()
+	h.Record(1e9)
+	if p := trg.Poll(); p != "" {
+		t.Fatalf("single-sample window fired: %s", p)
+	}
+}
+
+// The error signal fires on per-interval growth, respects the cooldown,
+// and dump filenames increment.
+func TestTriggerErrorSignalAndCooldown(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record("web1", 1, 1, OutcomeError)
+	errs := &telemetry.Counter{}
+	trg, err := StartTrigger(TriggerConfig{
+		Recorder: rec, Dir: t.TempDir(),
+		Errors: errs, ErrorThreshold: 10,
+		Interval: time.Hour, CooldownPolls: 2, MaxDumps: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trg.Stop()
+
+	trg.Poll() // baseline
+	errs.Add(5)
+	if p := trg.Poll(); p != "" {
+		t.Fatalf("+5 errors fired below threshold: %s", p)
+	}
+	errs.Add(10)
+	first := trg.Poll()
+	if first == "" {
+		t.Fatal("+10 errors did not fire")
+	}
+	if filepath.Base(first) != "anomaly-000.trace" {
+		t.Errorf("first dump named %s", filepath.Base(first))
+	}
+	// Cooldown: the next two anomalous polls stay quiet.
+	for i := 0; i < 2; i++ {
+		errs.Add(100)
+		if p := trg.Poll(); p != "" {
+			t.Fatalf("poll during cooldown fired: %s", p)
+		}
+	}
+	errs.Add(100)
+	second := trg.Poll()
+	if second == "" {
+		t.Fatal("post-cooldown anomaly did not fire")
+	}
+	if filepath.Base(second) != "anomaly-001.trace" {
+		t.Errorf("second dump named %s", filepath.Base(second))
+	}
+	// MaxDumps reached: no further dumps even past cooldown.
+	for i := 0; i < 5; i++ {
+		errs.Add(100)
+		if p := trg.Poll(); p != "" {
+			t.Fatalf("dump beyond MaxDumps: %s", p)
+		}
+	}
+	if d := trg.Dumps(); len(d) != 2 {
+		t.Errorf("Dumps() = %v", d)
+	}
+	if trg.Err() != nil {
+		t.Errorf("unexpected trigger error: %v", trg.Err())
+	}
+}
+
+// The background loop polls on its own and Stop is idempotent (and
+// nil-safe).
+func TestTriggerLoopAndStop(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record("web1", 1, 1, OutcomeOK)
+	errs := &telemetry.Counter{}
+	trg, err := StartTrigger(TriggerConfig{
+		Recorder: rec, Dir: t.TempDir(),
+		Errors: errs, ErrorThreshold: 1,
+		Interval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs.Add(100)
+	deadline := time.Now().Add(5 * time.Second)
+	for len(trg.Dumps()) == 0 && time.Now().Before(deadline) {
+		errs.Add(100)
+		time.Sleep(5 * time.Millisecond)
+	}
+	if len(trg.Dumps()) == 0 {
+		t.Fatal("background loop never fired")
+	}
+	trg.Stop()
+	trg.Stop()
+	var nilTrg *Trigger
+	nilTrg.Stop()
+}

@@ -82,6 +82,14 @@ func getBuf(n int) []byte {
 	return make([]byte, 0, 1<<(minPoolShift+cls))
 }
 
+// getBufN returns a length-n pooled buffer — getBuf(n) resliced to n for
+// the fill-in-place paths (frame reads, in-place crypto) that address the
+// full length immediately. Ownership is getBuf's: the caller holds the
+// buffer exclusively until it calls putBuf.
+func getBufN(n int) []byte {
+	return getBuf(n)[:n]
+}
+
 // putBuf returns a buffer to its size class. The buffer must not be used
 // after this call. Undersized or oversized buffers are dropped (the GC
 // reclaims them), so any []byte — pooled origin or not — is acceptable.

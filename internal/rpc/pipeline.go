@@ -205,7 +205,7 @@ func (p *Pipeline) EncodeCtx(ctx context.Context, m Message, sp *telemetry.Span)
 		}
 		proflabel.Do(ctx, plEncrypt, func(context.Context) {
 			iv := p.nextIV()
-			out := getBuf(len(iv) + len(data))[:len(iv)+len(data)]
+			out := getBufN(len(iv) + len(data))
 			copy(out, iv)
 			if err = p.cipher.EncryptTo(out[len(iv):], iv, data); err != nil {
 				putBuf(out)
@@ -263,7 +263,7 @@ func (p *Pipeline) DecodeCtx(ctx context.Context, data []byte, sp *telemetry.Spa
 		var err error
 		proflabel.Do(ctx, plEncrypt, func(context.Context) {
 			iv, body := data[:16], data[16:]
-			dec := getBuf(len(body))[:len(body)]
+			dec := getBufN(len(body))
 			if err = p.cipher.EncryptTo(dec, iv, body); err != nil { // CTR is symmetric
 				putBuf(dec)
 				return

@@ -63,7 +63,7 @@ func readFrame(r io.Reader, hdr *[4]byte) ([]byte, error) {
 	if n > maxFrame {
 		return nil, fmt.Errorf("rpc: frame length %d exceeds %d", n, maxFrame)
 	}
-	buf := getBuf(int(n))[:n]
+	buf := getBufN(int(n))
 	if _, err := io.ReadFull(r, buf); err != nil {
 		putBuf(buf)
 		return nil, fmt.Errorf("rpc: read frame body: %w", err)

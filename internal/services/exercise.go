@@ -10,6 +10,7 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/kernels"
 	"repro/internal/proflabel"
+	"repro/internal/record"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
@@ -87,6 +88,15 @@ func (s *Service) Exercise(n int, seed uint64) (ExerciseStats, error) {
 // span with child spans per pipeline stage. Either may be nil; with both
 // nil it is Exercise.
 func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Registry, tracer *telemetry.Tracer) (ExerciseStats, error) {
+	return s.ExerciseRecorded(n, seed, reg, tracer, nil)
+}
+
+// ExerciseRecorded is ExerciseInstrumented with an optional flight
+// recorder: each request is captured with its live arrival time, payload
+// size, and copy granularity, so a run's request stream can be replayed
+// later. A nil recorder costs one nil check inside Record — the loop
+// itself carries no recording branches.
+func (s *Service) ExerciseRecorded(n int, seed uint64, reg *telemetry.Registry, tracer *telemetry.Tracer, rec *record.Recorder) (ExerciseStats, error) {
 	if n <= 0 {
 		return ExerciseStats{}, fmt.Errorf("services: request count %d, want > 0", n)
 	}
@@ -148,6 +158,7 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 
 	var reqErr error
 	for i := 0; i < n; i++ {
+		var reqSize uint64
 		proflabel.Do(baseCtx, svcLabels, func(ctx context.Context) {
 			size := sampler.Sample()
 			if size == 0 {
@@ -174,6 +185,7 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 				stats.BytesCopied += uint64(kernels.Copy(block, payload))
 			})
 			stats.PayloadBytes += size
+			reqSize = size
 
 			// Orchestration: serialize (+compress/+encrypt) and decode on the
 			// "server" side.
@@ -217,6 +229,11 @@ func (s *Service) ExerciseInstrumented(n int, seed uint64, reg *telemetry.Regist
 				reqErr = arena.FreeSized(block, int(size))
 			})
 		})
+		outcome := record.OutcomeOK
+		if reqErr != nil {
+			outcome = record.OutcomeError
+		}
+		rec.Record(string(s.Name), reqSize, reqSize, outcome)
 		if reqErr != nil {
 			return ExerciseStats{}, reqErr
 		}

@@ -1,0 +1,59 @@
+package services
+
+import (
+	"testing"
+
+	"repro/internal/fleetdata"
+	"repro/internal/record"
+)
+
+// ExerciseRecorded captures one event per request with the service's
+// name and the request's payload size, and a nil recorder changes
+// nothing about the run.
+func TestExerciseRecorded(t *testing.T) {
+	svc, err := New(fleetdata.Cache1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 25
+	plain, err := svc.Exercise(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := record.NewRecorder(64)
+	svc2, err := New(fleetdata.Cache1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recorded, err := svc2.ExerciseRecorded(n, 7, nil, nil, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.PayloadBytes != recorded.PayloadBytes || plain.BytesHashed != recorded.BytesHashed {
+		t.Errorf("recording changed the run: %+v vs %+v", plain, recorded)
+	}
+
+	tr := rec.Snapshot()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) != n {
+		t.Fatalf("recorded %d events for %d requests", len(tr.Events), n)
+	}
+	if len(tr.Services) != 1 || tr.Services[0] != string(fleetdata.Cache1) {
+		t.Fatalf("services = %v", tr.Services)
+	}
+	var total uint64
+	for _, e := range tr.Events {
+		if e.Outcome != record.OutcomeOK {
+			t.Errorf("event outcome = %v", e.Outcome)
+		}
+		if e.PayloadBytes == 0 {
+			t.Error("zero payload recorded")
+		}
+		total += e.PayloadBytes
+	}
+	if total != recorded.PayloadBytes {
+		t.Errorf("recorded %d payload bytes, stats say %d", total, recorded.PayloadBytes)
+	}
+}

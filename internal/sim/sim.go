@@ -74,19 +74,52 @@ func (a Accel) Validate() error {
 // Arrivals configures open-loop request arrivals. When nil, the simulator
 // runs closed-loop: every thread processes requests back to back (peak
 // load, the paper's measurement condition). With Arrivals set, requests
-// arrive as a Poisson process and per-request latency includes the time a
-// request waits for a free thread — enabling tail-latency-vs-load studies.
+// arrive open-loop — either as a Poisson process (RatePerSec) or on an
+// explicit recorded schedule (Times) — and per-request latency includes
+// the time a request waits for a free thread, enabling
+// tail-latency-vs-load studies and deterministic trace replay.
 type Arrivals struct {
 	RatePerSec float64 // offered load λ in requests per second
 	Seed       uint64  // interarrival randomness seed
+
+	// Times, when non-empty, is an explicit arrival schedule in host
+	// cycles: request i arrives at Times[i]. It overrides the Poisson
+	// process (RatePerSec and Seed are ignored), which is how
+	// internal/record replays a captured request stream through the
+	// simulator on byte-identical arrivals. The schedule must be
+	// non-negative and non-decreasing and cover every request of the run
+	// (len(Times) >= Config.Requests; New enforces the length).
+	Times []float64
 }
 
 // Validate checks the arrival process.
 func (a Arrivals) Validate() error {
+	if len(a.Times) > 0 {
+		prev := 0.0
+		for i, t := range a.Times {
+			if !(t >= prev) || math.IsInf(t, 0) { // also rejects NaN
+				return fmt.Errorf("sim: arrival schedule not non-decreasing at index %d (%v after %v)", i, t, prev)
+			}
+			prev = t
+		}
+		return nil
+	}
 	if !(a.RatePerSec > 0) || math.IsInf(a.RatePerSec, 0) {
 		return fmt.Errorf("sim: arrival rate = %v, want finite > 0", a.RatePerSec)
 	}
 	return nil
+}
+
+// ObservedRequest is the per-request completion record handed to a
+// Config.Observer: the workload index plus the request's timeline in host
+// cycles. For closed-loop runs Arrival equals Start (the moment a thread
+// picked the request up); for open-loop runs Arrival is the offered
+// arrival time and Start-Arrival is the wait for a free thread.
+type ObservedRequest struct {
+	Index   int     // workload request index
+	Arrival float64 // arrival time, cycles (latency clock start)
+	Start   float64 // first cycle of processing
+	End     float64 // completion time, cycles
 }
 
 // Config configures one simulation run.
@@ -98,6 +131,13 @@ type Config struct {
 	Accel         *Accel    // nil simulates the unaccelerated baseline
 	Requests      int       // requests to complete before stopping
 	Arrivals      *Arrivals // nil = closed loop at peak load
+
+	// Observer, when non-nil, is called once per completed request, in
+	// completion order as the event loop advances. Observers only read the
+	// completion record — the simulator never lets them mutate its state —
+	// so attaching one never changes a run's Result. internal/record's
+	// flight recorder hooks in here; the disabled path is one nil check.
+	Observer func(ObservedRequest)
 
 	// Telemetry, when non-nil, registers the run's instruments there:
 	// sim_request_latency_cycles (histogram), sim_queue_delay_cycles
@@ -231,6 +271,7 @@ type thread struct {
 	segCursor int     // next kernel invocation within the request
 	inFlight  bool    // a request is underway (reqStart valid)
 	reqStart  float64 // latency-clock start of the current request
+	procStart float64 // first processing cycle (= reqStart when closed-loop)
 	arrival   float64 // open-loop arrival time of the current request
 	asyncDone float64 // latest async offload completion for this request
 	woke      bool    // just woken from an offload block (owes a switch-in)
@@ -303,15 +344,24 @@ func New(cfg Config, wl Workload) (*Sim, error) {
 		s.accelFree = make([]float64, cfg.Accel.Servers)
 	}
 	if cfg.Arrivals != nil {
-		// Pre-draw the Poisson arrival times so paired A/B runs see the
-		// same offered stream.
-		rng := dist.NewRand(cfg.Arrivals.Seed)
-		cyclesPerArrival := cfg.HostHz / cfg.Arrivals.RatePerSec
-		s.arrivalTimes = make([]float64, cfg.Requests)
-		at := 0.0
-		for i := range s.arrivalTimes {
-			at += rng.ExpFloat64() * cyclesPerArrival
-			s.arrivalTimes[i] = at
+		if times := cfg.Arrivals.Times; len(times) > 0 {
+			// Explicit schedule (trace replay): copy so a caller mutating
+			// its slice cannot perturb the run.
+			if len(times) < cfg.Requests {
+				return nil, fmt.Errorf("sim: arrival schedule covers %d requests, run needs %d", len(times), cfg.Requests)
+			}
+			s.arrivalTimes = append([]float64(nil), times[:cfg.Requests]...)
+		} else {
+			// Pre-draw the Poisson arrival times so paired A/B runs see the
+			// same offered stream.
+			rng := dist.NewRand(cfg.Arrivals.Seed)
+			cyclesPerArrival := cfg.HostHz / cfg.Arrivals.RatePerSec
+			s.arrivalTimes = make([]float64, cfg.Requests)
+			at := 0.0
+			for i := range s.arrivalTimes {
+				at += rng.ExpFloat64() * cyclesPerArrival
+				s.arrivalTimes[i] = at
+			}
 		}
 	}
 	return s, nil
@@ -442,6 +492,7 @@ func (s *Sim) runOnCore(coreID int, th *thread) {
 	if !th.inFlight {
 		th.inFlight = true
 		th.reqStart = now
+		th.procStart = now
 		if s.arrivalTimes != nil {
 			// The latency clock starts at arrival, including any wait for
 			// a free thread.
@@ -496,6 +547,14 @@ func (s *Sim) runOnCore(coreID int, th *thread) {
 	}
 	s.completed++
 	s.latHist.Record(end - th.reqStart)
+	if s.cfg.Observer != nil {
+		s.cfg.Observer(ObservedRequest{
+			Index:   th.reqIndex,
+			Arrival: th.reqStart,
+			Start:   th.procStart,
+			End:     end,
+		})
+	}
 
 	if s.assignNextRequest(th) {
 		// Yield to the event loop between requests so concurrent cores

@@ -1,0 +1,82 @@
+package telemetry
+
+import (
+	"math"
+	"testing"
+)
+
+// Delta of two snapshots of the same histogram describes exactly the
+// window's observations: counts and sums subtract and quantiles track the
+// window, not the cumulative distribution.
+func TestSnapshotDelta(t *testing.T) {
+	h := NewHistogram("w", "")
+	for i := 0; i < 1000; i++ {
+		h.Record(10) // old regime: fast
+	}
+	prev := h.Snapshot()
+	for i := 0; i < 100; i++ {
+		h.Record(1e6) // new regime: slow
+	}
+	d := h.Snapshot().Delta(prev)
+
+	if d.Count != 100 {
+		t.Fatalf("delta count = %d, want 100", d.Count)
+	}
+	if got, want := d.Sum, 100*1e6; math.Abs(got-want) > 1 {
+		t.Errorf("delta sum = %v, want %v", got, want)
+	}
+	// The cumulative p99 is still dominated by the 1000 fast samples; the
+	// window p99 must report the slow regime.
+	if q := d.Quantile(0.99); q < 1e6/(1+2*QuantileRelError) || q > 1e6*(1+2*QuantileRelError) {
+		t.Errorf("window p99 = %v, want ~1e6", q)
+	}
+	if cum := h.Snapshot().Quantile(0.5); cum > 100 {
+		t.Errorf("cumulative p50 = %v, should still be fast", cum)
+	}
+}
+
+func TestSnapshotDeltaEmptyWindow(t *testing.T) {
+	h := NewHistogram("w", "")
+	h.Record(5)
+	snap := h.Snapshot()
+	d := snap.Delta(snap)
+	if d.Count != 0 || len(d.Buckets) != 0 {
+		t.Fatalf("empty window delta = %+v", d)
+	}
+	if q := d.Quantile(0.99); q != 0 {
+		t.Errorf("empty window quantile = %v, want 0", q)
+	}
+}
+
+func TestSnapshotDeltaZeroBucket(t *testing.T) {
+	h := NewHistogram("w", "")
+	h.Record(7)
+	prev := h.Snapshot()
+	h.Record(0)
+	h.Record(-3) // clamps to the zero bucket
+	d := h.Snapshot().Delta(prev)
+	if d.Count != 2 {
+		t.Fatalf("delta count = %d, want 2", d.Count)
+	}
+	if q := d.Quantile(0.5); q != 0 {
+		t.Errorf("window median = %v, want 0 (both window samples are zeros)", q)
+	}
+}
+
+// A delta against a snapshot from a different histogram must not produce
+// negative counts.
+func TestSnapshotDeltaClampsShrunkBuckets(t *testing.T) {
+	a := NewHistogram("a", "")
+	b := NewHistogram("b", "")
+	a.Record(1)
+	for i := 0; i < 10; i++ {
+		b.Record(1)
+		b.Record(1e9)
+	}
+	d := a.Snapshot().Delta(b.Snapshot())
+	for _, bk := range d.Buckets {
+		if bk.Count > a.Snapshot().Count {
+			t.Errorf("bucket %+v exceeds source count", bk)
+		}
+	}
+}

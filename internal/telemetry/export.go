@@ -29,9 +29,40 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
+// escapeHelp escapes HELP text per the Prometheus exposition format:
+// backslash and newline are the two characters with escape syntax there.
+// Unescaped, a newline smuggled into help text would let one metric inject
+// arbitrary exposition lines (fake samples, broken TYPE headers) into the
+// scrape.
+func escapeHelp(help string) string {
+	if !strings.ContainsAny(help, "\\\n") {
+		return help
+	}
+	var sb strings.Builder
+	sb.Grow(len(help) + 8)
+	for _, r := range help {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
+		}
+	}
+	return sb.String()
+}
+
 func writeHeader(w io.Writer, name, help, kind string) error {
+	// Registry-created instruments are validated at registration, but
+	// standalone instruments (NewHistogram) reach this writer with whatever
+	// name they were built with; a hostile name would be interpolated raw
+	// into the exposition. Refuse rather than emit a corrupt scrape.
+	if !metricName.MatchString(name) {
+		return fmt.Errorf("telemetry: metric name %q is not a valid exposition name", name)
+	}
 	if help != "" {
-		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, help); err != nil {
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n", name, escapeHelp(help)); err != nil {
 			return err
 		}
 	}

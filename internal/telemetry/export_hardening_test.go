@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// Regression tests for exposition-format hardening: metric names and help
+// text are attacker-influenced when instruments are created from external
+// input (a recorded trace's service names, say), and used to be
+// interpolated raw into the # HELP/# TYPE lines.
+
+// A hostile metric name must not reach the exposition: a newline in the
+// name would inject arbitrary lines (fake samples, forged TYPE headers)
+// into everything scraping /metrics.
+func TestWritePrometheusRejectsHostileName(t *testing.T) {
+	hostile := NewHistogram("evil\nfake_metric{job=\"x\"} 1\n# TYPE smuggled counter", "h")
+	hostile.Record(1)
+	var sb strings.Builder
+	if err := hostile.writeProm(&sb); err == nil {
+		t.Fatalf("hostile metric name accepted; exposition:\n%s", sb.String())
+	}
+	if strings.Contains(sb.String(), "smuggled") {
+		t.Fatalf("hostile name leaked into the exposition:\n%s", sb.String())
+	}
+}
+
+// Help text with newlines and backslashes must be escaped per the
+// exposition format, not emitted raw.
+func TestWritePrometheusEscapesHelp(t *testing.T) {
+	r := NewRegistry()
+	c, err := r.Counter("ok_metric", "line one\nline two \\ backslash")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	want := `# HELP ok_metric line one\nline two \\ backslash`
+	if !strings.Contains(out, want) {
+		t.Errorf("help not escaped:\n%s", out)
+	}
+	// Exactly the expected lines: HELP, TYPE, sample — no injected extras.
+	if got := strings.Count(out, "\n"); got != 3 {
+		t.Errorf("exposition has %d lines, want 3:\n%s", got, out)
+	}
+}
+
+func TestEscapeHelpPassthrough(t *testing.T) {
+	const plain = "requests served by this endpoint"
+	if got := escapeHelp(plain); got != plain {
+		t.Errorf("escapeHelp(%q) = %q", plain, got)
+	}
+}

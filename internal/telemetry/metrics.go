@@ -252,6 +252,63 @@ func (s HistogramSnapshot) Merge(o HistogramSnapshot) HistogramSnapshot {
 	return out
 }
 
+// Delta returns the observations recorded between prev and s, where prev
+// is an earlier snapshot of the same histogram: counts, sums, and
+// per-bucket totals subtract, so quantiles of the delta describe only the
+// window between the two snapshots (a rolling p99, for the anomaly
+// triggers in internal/record). The window's exact Min/Max are not
+// recoverable from cumulative snapshots, so the delta's extrema are the
+// tightest bucket bounds of its populated buckets — Quantile estimates
+// keep the standard QuantileRelError bound. Buckets that shrank (prev is
+// not an earlier snapshot of the same histogram) clamp to zero.
+func (s HistogramSnapshot) Delta(prev HistogramSnapshot) HistogramSnapshot {
+	out := HistogramSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+	if s.Count > prev.Count {
+		out.Count = s.Count - prev.Count
+	}
+	if s.Sum > prev.Sum {
+		out.Sum = s.Sum - prev.Sum
+	}
+	// Both bucket lists are sorted ascending by Lo (zero bucket first);
+	// walk them like sorted lists, subtracting matching buckets.
+	i, j := 0, 0
+	emit := func(b Bucket) {
+		out.Buckets = append(out.Buckets, b)
+		//modelcheck:ignore floatcmp — the zero bucket is tagged by exact sentinel bounds
+		if b.Lo == 0 && b.Hi == 0 {
+			out.Min = 0
+			if out.Max < 0 {
+				out.Max = 0
+			}
+			return
+		}
+		if b.Lo < out.Min {
+			out.Min = b.Lo
+		}
+		if b.Hi > out.Max {
+			out.Max = b.Hi
+		}
+	}
+	for i < len(s.Buckets) {
+		a := s.Buckets[i]
+		//modelcheck:ignore floatcmp — bucket bounds are exact powers of two shared by construction
+		for j < len(prev.Buckets) && prev.Buckets[j].Lo < a.Lo {
+			j++
+		}
+		//modelcheck:ignore floatcmp — bucket bounds are exact powers of two shared by construction
+		if j < len(prev.Buckets) && prev.Buckets[j].Lo == a.Lo {
+			if a.Count > prev.Buckets[j].Count {
+				emit(Bucket{Lo: a.Lo, Hi: a.Hi, Count: a.Count - prev.Buckets[j].Count})
+			}
+			j++
+		} else if a.Count > 0 {
+			emit(a)
+		}
+		i++
+	}
+	return out
+}
+
 // Mean returns the exact sample mean, or 0 when empty.
 func (s HistogramSnapshot) Mean() float64 {
 	if s.Count == 0 {

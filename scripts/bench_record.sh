@@ -1,0 +1,88 @@
+#!/usr/bin/env bash
+# bench_record.sh — overhead gate for the workload flight recorder,
+# captured as JSON.
+#
+# The recorder hooks the fleet's sim observer and the services exercise
+# loop behind the same one-nil-check discipline as telemetry/proflabel:
+# off must be free, on must stay cheap enough to leave running. This
+# script pins both with:
+#
+#   - BenchmarkFleetRecorderOff  the full sharded fleet loop, no recorder
+#   - BenchmarkFleetRecorderOn   the same loop with a ring recorder attached
+#   - BenchmarkRecordDisabled    one Record call on a nil recorder
+#   - BenchmarkRecordEnabled     one Record call into the ring
+#
+# Gates (each fleet benchmark runs BENCHCOUNT times, default 3; best run
+# counts):
+#   1. BenchmarkFleetRecorderOn ns/op must stay within MAX_OVERHEAD_PCT
+#      (default 5%) of BenchmarkFleetRecorderOff.
+#   2. BenchmarkRecordDisabled must report 0 allocs/op — a nil recorder
+#      may not allocate, ever.
+#
+# Everything lands in BENCH_record.json. Override the iteration budget
+# with BENCHTIME (default 0.3s; CI uses 1s).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_record.json}"
+max_overhead="${MAX_OVERHEAD_PCT:-5}"
+benchtime="${BENCHTIME:-0.3s}"
+benchcount="${BENCHCOUNT:-3}"
+
+raw="$(go test -run '^$' -bench '^BenchmarkFleetRecorder(Off|On)$' \
+    -benchmem -benchtime "$benchtime" -count "$benchcount" ./internal/fleet)
+$(go test -run '^$' -bench '^BenchmarkRecord(Disabled|Enabled)$' \
+    -benchmem -benchtime "$benchtime" ./internal/record)"
+echo "$raw"
+
+echo "$raw" | awk -v max_overhead="$max_overhead" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = ""
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    if (nsop == "") next
+    if (!(name in best) || nsop + 0 < best[name] + 0) {
+        best[name] = nsop
+        bytes[name] = bop
+    }
+    # Allocations must hold on every run, not just the best one.
+    if (!(name in allocs) || aop + 0 > allocs[name] + 0) allocs[name] = aop
+    seen[name] = 1
+}
+END {
+    if (!seen["BenchmarkFleetRecorderOff"] || !seen["BenchmarkFleetRecorderOn"]) {
+        print "missing fleet recorder benchmarks in output" > "/dev/stderr"; exit 1
+    }
+    off = best["BenchmarkFleetRecorderOff"] + 0
+    on = best["BenchmarkFleetRecorderOn"] + 0
+    overhead = off > 0 ? (on - off) / off * 100 : 0
+    printf "[\n"
+    n = 0
+    for (name in seen) {
+        printf "%s  {\"name\": \"%s\", \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+            (n++ ? ",\n" : ""), name, best[name], bytes[name] == "" ? "null" : bytes[name],
+            allocs[name] == "" ? "null" : allocs[name]
+    }
+    printf ",\n  {\"name\": \"recorder_overhead_gate\", \"overhead_pct\": %.3f, \"max_overhead_pct\": %s, \"disabled_allocs_per_op\": %s}\n]\n",
+        overhead, max_overhead, allocs["BenchmarkRecordDisabled"]
+    printf "recorder-on fleet loop: %.3f%% overhead vs recorder-off (budget %s%%), nil-recorder %s allocs/op (budget 0)\n",
+        overhead, max_overhead, allocs["BenchmarkRecordDisabled"] > "/dev/stderr"
+    if (allocs["BenchmarkRecordDisabled"] + 0 != 0) {
+        printf "FATAL: nil-recorder Record allocates %s/op; the off switch must be allocation-free\n",
+            allocs["BenchmarkRecordDisabled"] > "/dev/stderr"
+        exit 1
+    }
+    if (overhead > max_overhead + 0) {
+        printf "FATAL: recorder-on fleet loop is %.3f%% slower than recorder-off, budget %s%%\n",
+            overhead, max_overhead > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"

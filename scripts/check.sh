@@ -18,7 +18,7 @@
 #   7. go test -race ./...       (unit + integration tests under the race
 #                                 detector; covers the concurrent rpc/sim
 #                                 layers)
-#   8. fuzz smoke                (each internal/rpc fuzz target runs for a
+#   8. fuzz smoke                (each rpc + record fuzz target runs for a
 #                                 short -fuzztime beyond its checked-in
 #                                 corpus; FUZZTIME overrides, default 3s)
 #
@@ -144,6 +144,25 @@ func LockLeak(stop bool) int {
 	mu.Unlock()
 	return 1
 }
+
+// getBuf64 gets from the pool on the caller's behalf; the summary
+// fixpoint marks its result pooled (ReturnsPooled).
+func getBuf64() []byte { return getBuf(64)[:0] }
+
+// LeakViaHelper drops the helper-obtained buffer — a poolcheck finding
+// resolved through the ReturnsPooled summary bit, not a direct get.
+func LeakViaHelper() int {
+	b := getBuf64()
+	return use(b)
+}
+
+// GoodViaHelper releases the helper-obtained buffer — clean.
+func GoodViaHelper() int {
+	b := getBuf64()
+	n := use(b)
+	putBuf(b)
+	return n
+}
 EOF
 cat > "$flowtest/app/app.go" <<'EOF'
 package app
@@ -170,8 +189,8 @@ func GoodRun() (float64, error) {
 EOF
 flowout="$("$MODELCHECK" -C "$flowtest" -json ./... 2>/dev/null || true)"
 flowcount() { grep -c "\"analyzer\": \"$1\"" <<<"$flowout" || true; }
-if [ "$(flowcount poolcheck)" -ne 2 ]; then
-    echo "FATAL: poolcheck found $(flowcount poolcheck) finding(s) in the flow fixture, want 2 (missing put + use-after-put)" >&2
+if [ "$(flowcount poolcheck)" -ne 3 ]; then
+    echo "FATAL: poolcheck found $(flowcount poolcheck) finding(s) in the flow fixture, want 3 (missing put + use-after-put + helper-get leak)" >&2
     echo "$flowout" >&2
     exit 1
 fi
@@ -185,7 +204,7 @@ if [ "$(flowcount paramvalidate)" -ne 1 ]; then
     echo "$flowout" >&2
     exit 1
 fi
-echo "    ok: poolcheck x2, lockcheck x1, paramvalidate x1 — and the validating caller stays clean"
+echo "    ok: poolcheck x3, lockcheck x1, paramvalidate x1 — and the validating callers stay clean"
 
 echo "==> modelcheck warm-cache timing (< 2s for the whole module)"
 start_ns=$(date +%s%N)
@@ -205,10 +224,15 @@ echo "    ok: $(wc -c < modelcheck.sarif) bytes"
 echo "==> go test -race ./..."
 go test -race ./...
 
-echo "==> fuzz smoke (internal/rpc, ${FUZZTIME:-3s} per target)"
-for target in FuzzReadFrame FuzzCodecRoundTrip FuzzBatchPayloadRoundTrip; do
-    echo "    fuzzing $target"
-    go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME:-3s}" ./internal/rpc > /dev/null
-done
+echo "==> fuzz smoke (${FUZZTIME:-3s} per target)"
+fuzz_smoke() {
+    local pkg="$1"; shift
+    for target in "$@"; do
+        echo "    fuzzing $pkg $target"
+        go test -run '^$' -fuzz "^${target}\$" -fuzztime "${FUZZTIME:-3s}" "$pkg" > /dev/null
+    done
+}
+fuzz_smoke ./internal/rpc FuzzReadFrame FuzzCodecRoundTrip FuzzBatchPayloadRoundTrip
+fuzz_smoke ./internal/record FuzzDecodeTrace
 
 echo "==> all gates green"
