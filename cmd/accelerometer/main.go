@@ -42,6 +42,18 @@
 //	accelerometer -replay run.trace
 //	accelerometer -replay-rpc run.trace -dilate 0.1
 //
+// With -topology the binary drives a multi-tier service topology from a
+// spec file: every node is a real RPC server on loopback, parents issue
+// mid-request downstream calls per the fan-out spec, and an open-loop
+// generator injects arrivals at the roots (synthetic -topo-qps schedule
+// or a recorded trace via -topo-trace). The per-tier latency table with
+// hop-by-hop tail amplification is printed alongside the composed
+// Accelerometer model's predicted end-to-end latency reduction:
+//
+//	accelerometer -topology testdata/topologies/web.topo -topo-qps 200
+//	accelerometer -topology web.topo -topo-trace run.trace -dilate 2
+//	accelerometer -topology web.topo -topo-accel 8,10,10 -topo-accelerated
+//
 // Any mode accepts -debug-addr to expose the observability endpoint
 // (/metrics, /healthz, /debug/pprof/*, and a plain-text dashboard at /)
 // for the duration of the run:
@@ -73,6 +85,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/telemetry"
 	"repro/internal/textchart"
+	"repro/internal/topology"
 )
 
 // sweepParams maps -sweep names to model parameters.
@@ -105,6 +118,13 @@ func main() {
 	replayPath := flag.String("replay", "", "replay a recorded trace deterministically through the simulator")
 	replayRPCPath := flag.String("replay-rpc", "", "replay a recorded trace open-loop through the real RPC stack (in-process echo server)")
 	dilate := flag.Float64("dilate", 1, "time dilation for replay: >1 stretches recorded gaps, <1 compresses them")
+	topoSpec := flag.String("topology", "", "drive a multi-tier service topology from this spec file (every node a real RPC server on loopback)")
+	topoQPS := flag.Float64("topo-qps", 100, "open-loop arrival rate at the topology roots (with -topology)")
+	topoRequests := flag.Int("topo-requests", 500, "arrivals to inject (with -topology)")
+	topoPoisson := flag.Bool("topo-poisson", false, "draw Poisson inter-arrival gaps instead of uniform spacing (with -topology; seeded by -seed)")
+	topoTrace := flag.String("topo-trace", "", "drive the topology from a recorded trace instead of the synthetic schedule (with -topology; honors -dilate)")
+	topoAccel := flag.String("topo-accel", "8,10,10", "A,O0,L acceleration parameters for the composed-model prediction (with -topology)")
+	topoAccelerated := flag.Bool("topo-accelerated", false, "run the live nodes at the -topo-accel offload cost instead of the baseline (with -topology)")
 	flag.Parse()
 
 	var rec *record.Recorder
@@ -115,13 +135,33 @@ func main() {
 		rec = record.NewRecorder(record.DefaultCapacity)
 	}
 
+	// The topology runner is constructed before the debug endpoint comes
+	// up so its registry and live per-tier report are served for the whole
+	// run, not just after the generator finishes.
+	var topo *topologyRun
+	if *topoSpec != "" {
+		var err error
+		if topo, err = newTopologyRun(*topoSpec, *topoAccel, *topoAccelerated); err != nil {
+			fatal(err)
+		}
+	}
+
 	// The debug endpoint is opt-in and mode-independent: it serves the
 	// run's registry when one exists and shuts down gracefully when the
 	// chosen mode returns.
 	var dbgReg *telemetry.Registry
 	if *debugAddr != "" {
 		dbgReg = telemetry.NewRegistry()
-		dbg, err := debugserver.Start(debugserver.Config{Addr: *debugAddr, Registry: dbgReg, Recorder: rec})
+		dcfg := debugserver.Config{Addr: *debugAddr, Registry: dbgReg, Recorder: rec}
+		if topo != nil {
+			// Topology mode serves the runner's own registry so the
+			// per-tier histograms appear on /metrics, plus the live
+			// per-tier report on the dashboard.
+			dbgReg = topo.reg
+			dcfg.Registry = topo.reg
+			dcfg.Topology = topo.runner
+		}
+		dbg, err := debugserver.Start(dcfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -143,6 +183,21 @@ func main() {
 	}
 	if *replayRPCPath != "" {
 		if err := runReplayRPC(*replayRPCPath, *dilate); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if topo != nil {
+		load := topology.LoadConfig{QPS: *topoQPS, Requests: *topoRequests, Poisson: *topoPoisson, Seed: *seed}
+		if *topoTrace != "" {
+			tr, err := record.ReadFile(*topoTrace)
+			if err != nil {
+				fatal(err)
+			}
+			load.Trace = tr
+			load.Dilate = *dilate
+		}
+		if err := topo.run(load, *metricsOut); err != nil {
 			fatal(err)
 		}
 		return
@@ -474,6 +529,108 @@ func runReplayRPC(path string, dilate float64) error {
 	tb.AddRowf("p50 latency (ms)", snap.Quantile(0.5)/1e6)
 	tb.AddRowf("p99 latency (ms)", snap.Quantile(0.99)/1e6)
 	fmt.Print(tb.Render())
+	return nil
+}
+
+// topologyRun bundles the -topology mode's long-lived pieces: the parsed
+// graph, the live runner, its registry (served on -debug-addr and written
+// by -metrics-out), and the acceleration parameters for the composed
+// model.
+type topologyRun struct {
+	graph  *topology.Graph
+	runner *topology.Runner
+	accel  topology.AccelConfig
+	reg    *telemetry.Registry
+}
+
+// parseAccelSpec parses the -topo-accel "A,O0,L" triple.
+func parseAccelSpec(s string) (topology.AccelConfig, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		return topology.AccelConfig{}, fmt.Errorf("-topo-accel wants \"A,O0,L\", got %q", s)
+	}
+	var vals [3]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return topology.AccelConfig{}, fmt.Errorf("-topo-accel element %d: %v", i+1, err)
+		}
+		vals[i] = v
+	}
+	return topology.AccelConfig{A: vals[0], O0: vals[1], L: vals[2]}, nil
+}
+
+func newTopologyRun(specPath, accelSpec string, accelerated bool) (*topologyRun, error) {
+	g, err := topology.ParseSpecFile(specPath)
+	if err != nil {
+		return nil, err
+	}
+	accel, err := parseAccelSpec(accelSpec)
+	if err != nil {
+		return nil, err
+	}
+	reg := telemetry.NewRegistry()
+	rcfg := topology.RunnerConfig{Registry: reg}
+	if accelerated {
+		rcfg.Accel = &accel
+	}
+	r, err := topology.NewRunner(g, rcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &topologyRun{graph: g, runner: r, accel: accel, reg: reg}, nil
+}
+
+// run starts the topology's servers, injects the open-loop arrival
+// stream, and prints the measured per-tier table next to the composed
+// Accelerometer model's prediction for the same graph.
+func (t *topologyRun) run(load topology.LoadConfig, metricsOut string) error {
+	ctx := context.Background()
+	if err := t.runner.Start(ctx); err != nil {
+		return err
+	}
+	defer t.runner.Close() //modelcheck:ignore errdrop — idempotent repeat of the explicit Close below
+	stats, err := t.runner.RunOpenLoop(ctx, load)
+	if err != nil {
+		return err
+	}
+	if err := t.runner.ServeErr(); err != nil {
+		return err
+	}
+	if err := t.runner.Close(); err != nil {
+		return err
+	}
+	rep := t.runner.Report()
+	fmt.Printf("Topology %s: %d tiers, %d issued, %d errors, %s wall time, max lag %.3g ms\n\n",
+		rep.Name, len(rep.Tiers), stats.Issued, stats.Errors,
+		stats.Duration.Round(time.Millisecond), float64(stats.MaxLagNanos)/1e6)
+	tb := textchart.NewTable("Node", "Depth", "Requests", "Errors", "p50 ms", "p99 ms", "Tail amp")
+	for _, ts := range rep.Tiers {
+		tb.AddRow(ts.Node, strconv.Itoa(ts.Depth),
+			strconv.FormatUint(ts.Requests, 10), strconv.FormatUint(ts.Errors, 10),
+			fmt.Sprintf("%.4g", ts.P50Nanos/1e6), fmt.Sprintf("%.4g", ts.P99Nanos/1e6),
+			fmt.Sprintf("%.2fx", ts.Amplification))
+	}
+	fmt.Print(tb.Render())
+	fmt.Printf("\nEnd to end: %d requests, p50 %.4g ms, p99 %.4g ms\n",
+		rep.E2ERequests, rep.E2EP50Nanos/1e6, rep.E2EP99Nanos/1e6)
+
+	p, err := topology.Predict(t.graph, t.accel)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nComposed model (A=%g, o0=%g, L=%g):\n\n", t.accel.A, t.accel.O0, t.accel.L)
+	mt := textchart.NewTable("Node", "alpha", "Latency reduction")
+	for _, np := range p.PerNode {
+		mt.AddRow(np.Node, fmt.Sprintf("%.3f", np.Alpha), fmt.Sprintf("%.3fx", np.Reduction))
+	}
+	fmt.Print(mt.Render())
+	fmt.Printf("\nCritical path %s: predicted e2e latency reduction %.3fx (%.4g -> %.4g units)\n",
+		strings.Join(p.CriticalPath, " -> "), p.E2EReduction, p.BaselineUnits, p.AccelUnits)
+
+	if metricsOut != "" {
+		return telemetry.WriteMetricsFile(metricsOut, t.reg)
+	}
 	return nil
 }
 

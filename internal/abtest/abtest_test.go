@@ -101,7 +101,7 @@ func TestComparisonDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Speedup != b.Speedup || a.BaselineQPS != b.BaselineQPS {
+	if a.Speedup != b.Speedup || a.BaselineQPS != b.BaselineQPS { //modelcheck:ignore floatcmp — determinism check: identical runs must agree bit-exactly
 		t.Error("A/B runs are not reproducible")
 	}
 }

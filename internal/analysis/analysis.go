@@ -291,6 +291,14 @@ func RunAnalyzersWithModule(pkgs []*Package, analyzers []*Analyzer, mod *Module)
 	return findings
 }
 
+// inTestFile reports whether the node lies in a _test.go file. Several
+// analyzers carry documented test-file exemption rules (floatcmp's
+// golden-value rule, errdrop's teardown rule) so `modelcheck -tests`
+// can gate test code without blanket annotations.
+func inTestFile(pass *Pass, n ast.Node) bool {
+	return strings.HasSuffix(pass.Fset.Position(n.Pos()).Filename, "_test.go")
+}
+
 // errorType is the universe error interface, used by analyzers to spot
 // error-typed results.
 var errorType = types.Universe.Lookup("error").Type()

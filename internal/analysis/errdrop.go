@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 )
 
@@ -12,6 +13,18 @@ import (
 // writes to strings.Builder and bytes.Buffer (documented to never return a
 // non-nil error), fmt printing to stdout/stderr, and `defer x.Close()` on
 // read paths where the error has nowhere to go.
+//
+// Test files carry the documented teardown rule, in two parts. First,
+// bare error-returning calls inside a function literal passed to
+// testing's Cleanup are legal: `t.Cleanup(func() { client.Close() })` is
+// the canonical teardown idiom and the error has nowhere useful to go —
+// the test already passed or failed on its own assertions. Second, the
+// blank identifier is accepted as a visible, deliberate discard in
+// _test.go files (`v, _ := f()`, `_ = f()`): the test asserts on the
+// value it kept, dedicated failure-case tests cover the error path, and
+// an unhandled failure still surfaces through those assertions.
+// Invisible discards — a bare `client.Close()` statement in a test body
+// — stay flagged: nothing marks them as deliberate.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "flags discarded error returns from non-allowlisted calls",
@@ -20,11 +33,17 @@ var ErrDrop = &Analyzer{
 
 func runErrDrop(pass *Pass) {
 	for _, file := range pass.Files {
+		var cleanups []posSpan
+		if inTestFile(pass, file) {
+			cleanups = cleanupSpans(pass, file)
+		}
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.ExprStmt:
 				if call, ok := node.X.(*ast.CallExpr); ok {
-					checkDroppedCall(pass, call, false)
+					if !inSpans(cleanups, call.Pos()) {
+						checkDroppedCall(pass, call, false)
+					}
 				}
 			case *ast.DeferStmt:
 				checkDroppedCall(pass, node.Call, true)
@@ -38,6 +57,44 @@ func runErrDrop(pass *Pass) {
 			return true
 		})
 	}
+}
+
+// posSpan is a half-open source range.
+type posSpan struct{ from, to token.Pos }
+
+func inSpans(spans []posSpan, p token.Pos) bool {
+	for _, s := range spans {
+		if s.from <= p && p < s.to {
+			return true
+		}
+	}
+	return false
+}
+
+// cleanupSpans collects the source ranges of function literals passed to
+// testing's Cleanup (on *testing.T, *testing.B, *testing.F, or the
+// testing.TB interface) — the teardown bodies the test-file rule exempts.
+func cleanupSpans(pass *Pass, file *ast.File) []posSpan {
+	var spans []posSpan
+	ast.Inspect(file, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Cleanup" {
+			return true
+		}
+		obj, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+		if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "testing" {
+			return true
+		}
+		if fl, ok := call.Args[0].(*ast.FuncLit); ok {
+			spans = append(spans, posSpan{fl.Pos(), fl.End()})
+		}
+		return true
+	})
+	return spans
 }
 
 // checkDroppedCall flags a call statement whose results include an error.
@@ -54,7 +111,12 @@ func checkDroppedCall(pass *Pass, call *ast.CallExpr, deferred bool) {
 }
 
 // checkBlankAssign flags blank identifiers that swallow an error value.
+// Test files are exempt: there the blank identifier is the documented
+// visible-discard idiom (see the analyzer doc).
 func checkBlankAssign(pass *Pass, assign *ast.AssignStmt) {
+	if inTestFile(pass, assign) {
+		return
+	}
 	// Form 1: x, _ := f() — one call, several results.
 	if len(assign.Rhs) == 1 && len(assign.Lhs) > 1 {
 		call, ok := assign.Rhs[0].(*ast.CallExpr)

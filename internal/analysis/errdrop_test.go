@@ -5,6 +5,7 @@ import "testing"
 func TestErrDrop(t *testing.T) {
 	cases := []struct {
 		name string
+		file string // defaults to fixture.go; use fixture_test.go for the teardown rule
 		src  string
 		want []int
 	}{
@@ -121,10 +122,82 @@ func f() {
 `,
 			want: nil,
 		},
+		{
+			name: "teardown rule: Cleanup function literals are exempt in tests",
+			file: "fixture_test.go",
+			src: `package fixture
+import (
+	"os"
+	"testing"
+)
+func TestX(t *testing.T) {
+	t.Cleanup(func() { os.Remove("x") })
+}
+`,
+			want: nil,
+		},
+		{
+			name: "teardown rule: blank discards are the visible idiom in tests",
+			file: "fixture_test.go",
+			src: `package fixture
+import (
+	"os"
+	"testing"
+)
+func TestX(t *testing.T) {
+	_ = os.Remove("x")
+	wd, _ := os.Getwd()
+	t.Log(wd)
+}
+`,
+			want: nil,
+		},
+		{
+			name: "teardown rule: invisible discards stay flagged in tests",
+			file: "fixture_test.go",
+			src: `package fixture
+import (
+	"os"
+	"testing"
+)
+func TestX(t *testing.T) {
+	os.Remove("x") // line 7: flagged — nothing marks this as deliberate
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "teardown rule: a non-testing Cleanup gets no exemption",
+			file: "fixture_test.go",
+			src: `package fixture
+import "os"
+type reaper struct{}
+func (reaper) Cleanup(f func()) { f() }
+func setup() {
+	var r reaper
+	r.Cleanup(func() { os.Remove("x") }) // line 7: flagged — not testing.TB
+}
+`,
+			want: []int{7},
+		},
+		{
+			name: "teardown rule does not apply outside test files",
+			src: `package fixture
+import "os"
+func f() {
+	_ = os.Remove("x") // line 4: flagged — non-test file
+}
+`,
+			want: []int{4},
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			sameLines(t, runOnSource(t, ErrDrop, "fixture.go", tc.src), tc.want...)
+			file := tc.file
+			if file == "" {
+				file = "fixture.go"
+			}
+			sameLines(t, runOnSource(t, ErrDrop, file, tc.src), tc.want...)
 		})
 	}
 }

@@ -72,6 +72,46 @@ func AlmostEqual(a, b, eps float64) bool { return a == b }
 			want: nil,
 		},
 		{
+			name: "golden-value rule: test files may pin against a constant",
+			file: "fixture_test.go",
+			src: `package fixture
+func share() float64 { return 0.64 }
+func check() bool {
+	return share() == 0.64
+}
+`,
+			want: nil,
+		},
+		{
+			name: "golden-value rule: constant on the left works too",
+			file: "fixture_test.go",
+			src: `package fixture
+func share() float64 { return 0.64 }
+var ok = 0.64 != share()
+`,
+			want: nil,
+		},
+		{
+			name: "computed comparisons stay flagged in test files",
+			file: "fixture_test.go",
+			src: `package fixture
+func share() float64 { return 0.64 }
+func check() bool {
+	return share() == share()*2 // line 4: flagged — both sides computed
+}
+`,
+			want: []int{4},
+		},
+		{
+			name: "golden-value rule does not apply outside test files",
+			file: "fixture.go",
+			src: `package fixture
+func share() float64 { return 0.64 }
+var ok = share() == 0.64 // line 3: flagged — non-test file
+`,
+			want: []int{3},
+		},
+		{
 			name: "trailing ignore directive suppresses",
 			file: "fixture.go",
 			src: `package fixture

@@ -163,7 +163,7 @@ func TestFromProjection(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if plan.Speedup != pr.Speedup || plan.OffloadsPerServer != pr.Params.N {
+	if plan.Speedup != pr.Speedup || plan.OffloadsPerServer != pr.Params.N { //modelcheck:ignore floatcmp — fields are copied, not recomputed; identity is the contract
 		t.Errorf("plan = %+v", plan)
 	}
 	if plan.ServiceCycles <= 0 {

@@ -20,10 +20,10 @@ func TestBatchedAmortizesFixedOverheads(t *testing.T) {
 		t.Fatal(err)
 	}
 	p, bp := m.Params(), b.Params()
-	if bp.O0 != p.O0/4 || bp.L != p.L/4 || bp.Q != p.Q/4 || bp.O1 != p.O1/4 {
+	if bp.O0 != p.O0/4 || bp.L != p.L/4 || bp.Q != p.Q/4 || bp.O1 != p.O1/4 { //modelcheck:ignore floatcmp — batching divides exactly; same fp ops on both sides
 		t.Errorf("batched params = %+v, want fixed costs at 1/4 of %+v", bp, p)
 	}
-	if bp.C != p.C || bp.Alpha != p.Alpha || bp.N != p.N || bp.A != p.A {
+	if bp.C != p.C || bp.Alpha != p.Alpha || bp.N != p.N || bp.A != p.A { //modelcheck:ignore floatcmp — untouched fields must be copied bit-exactly
 		t.Errorf("batching must not touch C/Alpha/N/A: %+v vs %+v", bp, p)
 	}
 }
@@ -43,7 +43,7 @@ func TestBatchFactorOneIsIdentity(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if got != want {
+		if got != want { //modelcheck:ignore floatcmp — k=1 batching must reproduce the unbatched params exactly
 			t.Errorf("%v: Batched(1) speedup %v != unbatched %v", th, got, want)
 		}
 	}

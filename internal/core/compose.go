@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// ComposeLatencyReductions chains per-stage latency reductions through a
+// serial pipeline of stages — the multi-tier generalization of the
+// single-service equations. Stage i contributes weight w_i of the
+// unaccelerated end-to-end latency (the weights must be positive and sum
+// to 1) and is accelerated by latency reduction r_i = C_i/CL_i, so the
+// accelerated end-to-end latency is Σ w_i/r_i of the baseline and the
+// composed reduction is the weighted harmonic mean
+//
+//	R = 1 / Σ_i (w_i / r_i)
+//
+// With every r_i = r this collapses to r; a stage with weight 0.5 and
+// r_i = ∞ caps R at 2 — Amdahl's law across tiers instead of within one
+// service. internal/topology uses this along the dependency graph's
+// critical path to predict end-to-end p99 shift from per-tier models.
+func ComposeLatencyReductions(weights, reductions []float64) (float64, error) {
+	if len(weights) == 0 || len(weights) != len(reductions) {
+		return 0, fmt.Errorf("core: compose: %d weights vs %d reductions", len(weights), len(reductions))
+	}
+	wsum, inv := 0.0, 0.0
+	for i, w := range weights {
+		r := reductions[i]
+		if math.IsNaN(w) || w <= 0 {
+			return 0, fmt.Errorf("core: compose: weight[%d] = %v, want > 0", i, w)
+		}
+		if math.IsNaN(r) || r <= 0 {
+			return 0, fmt.Errorf("core: compose: reduction[%d] = %v, want > 0", i, r)
+		}
+		wsum += w
+		inv += w / r
+	}
+	if math.Abs(wsum-1) > 1e-9 {
+		return 0, fmt.Errorf("core: compose: weights sum to %v, want 1", wsum)
+	}
+	return 1 / inv, nil
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComposeLatencyReductions(t *testing.T) {
+	cases := []struct {
+		name       string
+		weights    []float64
+		reductions []float64
+		want       float64
+	}{
+		// Every stage accelerated equally: the composition collapses to
+		// that same reduction regardless of the weights.
+		{"uniform", []float64{0.25, 0.25, 0.5}, []float64{3, 3, 3}, 3},
+		// Hand-computed harmonic mean: 1/(0.4/2 + 0.6/3) = 2.5.
+		{"mixed", []float64{0.4, 0.6}, []float64{2, 3}, 2.5},
+		// One stage untouched (r=1) holding half the latency caps the
+		// end-to-end reduction at 2 even with the other stage infinitely
+		// fast — Amdahl's law across tiers.
+		{"amdahl cap", []float64{0.5, 0.5}, []float64{1, 1e12}, 2},
+		{"single stage", []float64{1}, []float64{4.2}, 4.2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ComposeLatencyReductions(tc.weights, tc.reductions)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tc.want)/tc.want > 1e-9 {
+				t.Fatalf("composed reduction = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestComposeLatencyReductionsRejects(t *testing.T) {
+	cases := []struct {
+		name       string
+		weights    []float64
+		reductions []float64
+	}{
+		{"empty", nil, nil},
+		{"length mismatch", []float64{0.5, 0.5}, []float64{2}},
+		{"zero weight", []float64{0, 1}, []float64{2, 2}},
+		{"negative weight", []float64{-0.5, 1.5}, []float64{2, 2}},
+		{"nan weight", []float64{math.NaN(), 1}, []float64{2, 2}},
+		{"zero reduction", []float64{0.5, 0.5}, []float64{0, 2}},
+		{"nan reduction", []float64{0.5, 0.5}, []float64{math.NaN(), 2}},
+		{"weights sum short", []float64{0.3, 0.3}, []float64{2, 2}},
+		{"weights sum over", []float64{0.7, 0.7}, []float64{2, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got, err := ComposeLatencyReductions(tc.weights, tc.reductions); err == nil {
+				t.Fatalf("accepted invalid input, returned %v", got)
+			}
+		})
+	}
+}

@@ -119,7 +119,7 @@ func TestProjectUnselective(t *testing.T) {
 		t.Errorf("unselective projection filtered: fraction=%v breakEven=%v",
 			pr.OffloadedFraction, pr.BreakEvenG)
 	}
-	if pr.Params.N != w.Invocation {
+	if pr.Params.N != w.Invocation { //modelcheck:ignore floatcmp — N is copied from the workload, not derived
 		t.Errorf("unselective N = %v, want %v", pr.Params.N, w.Invocation)
 	}
 }

@@ -138,7 +138,7 @@ func TestSpeedupUnderLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	ui, _ := ideal.Speedup(Sync)
-	if li != ui {
+	if li != ui { //modelcheck:ignore floatcmp — Q=0 must reproduce the ideal model exactly, same arithmetic path
 		t.Errorf("ideal accelerator loaded %v != unloaded %v", li, ui)
 	}
 }

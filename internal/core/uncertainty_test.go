@@ -47,7 +47,7 @@ func TestMonteCarloZeroJitter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if math.Abs(res.Mean-res.Point) > 1e-12 || res.P5 != res.Point || res.P95 != res.Point {
+	if math.Abs(res.Mean-res.Point) > 1e-12 || res.P5 != res.Point || res.P95 != res.Point { //modelcheck:ignore floatcmp — zero-width distribution collapses to the point estimate exactly
 		t.Errorf("zero jitter must collapse to the point estimate: %+v", res)
 	}
 	if res.RiskBelowOne != 0 {

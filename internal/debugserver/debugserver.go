@@ -28,6 +28,7 @@ import (
 	"repro/internal/proflabel"
 	"repro/internal/record"
 	"repro/internal/telemetry"
+	"repro/internal/topology"
 )
 
 // Config configures a debug server.
@@ -48,6 +49,10 @@ type Config struct {
 	// dashboard: ring occupancy, drop count, and the last anomaly-dump
 	// path. A nil recorder renders as "off".
 	Recorder *record.Recorder
+	// Topology, when set, adds the multi-tier topology runner's live
+	// state to the dashboard: per-tier request counts, latency quantiles,
+	// and hop-by-hop tail amplification. A nil runner renders as "off".
+	Topology *topology.Runner
 }
 
 // Server is a running debug endpoint.
@@ -211,6 +216,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&out, "labels       enabled=%v\n", proflabel.Enabled())
 	fmt.Fprintf(&out, "requests     %d served by this endpoint\n", s.served.Load())
 	writeRecorderStatus(&out, s.cfg.Recorder)
+	writeTopologyStatus(&out, s.cfg.Topology)
 	fmt.Fprintf(&out, "\nendpoints: /metrics /healthz /debug/pprof/\n")
 
 	if s.cfg.Registry != nil {
@@ -244,6 +250,24 @@ func writeRecorderStatus(w *strings.Builder, rec *record.Recorder) {
 	}
 	if st.LastErr != nil {
 		fmt.Fprintf(w, "recorder     last dump error: %v\n", st.LastErr)
+	}
+}
+
+// writeTopologyStatus renders the topology runner's per-tier state as
+// dashboard lines: one summary line plus one line per tier ordered root
+// to leaves, each with its latency quantiles and the tail-amplification
+// ratio against its slowest child.
+func writeTopologyStatus(w *strings.Builder, r *topology.Runner) {
+	if r == nil {
+		fmt.Fprintf(w, "topology     off\n")
+		return
+	}
+	rep := r.Report()
+	fmt.Fprintf(w, "topology     %s: %d tiers, %d e2e requests (p50 %.3gms, p99 %.3gms)\n",
+		rep.Name, len(rep.Tiers), rep.E2ERequests, rep.E2EP50Nanos/1e6, rep.E2EP99Nanos/1e6)
+	for _, ts := range rep.Tiers {
+		fmt.Fprintf(w, "topology     %-10s depth=%d requests=%d errors=%d p50=%.3gms p99=%.3gms amp=%.2fx\n",
+			ts.Node, ts.Depth, ts.Requests, ts.Errors, ts.P50Nanos/1e6, ts.P99Nanos/1e6, ts.Amplification)
 	}
 }
 

@@ -36,7 +36,7 @@ func TestProfileWriteReadRoundTrip(t *testing.T) {
 	origShares := p.LeafBreakdown(NewLeafTagger())
 	backShares := back.LeafBreakdown(NewLeafTagger())
 	for _, s := range origShares {
-		if got := ShareOf(backShares, s.Category); got != s.Percent {
+		if got := ShareOf(backShares, s.Category); got != s.Percent { //modelcheck:ignore floatcmp — serialize/deserialize round-trip must be lossless
 			t.Errorf("%s share = %v, want %v", s.Category, got, s.Percent)
 		}
 	}

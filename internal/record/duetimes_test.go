@@ -1,0 +1,49 @@
+package record
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDueTimes pins the shared arrival schedule both ReplayRPC and the
+// topology load generator consume: one entry per event, arrival offsets
+// scaled by the dilation factor, with non-positive or NaN dilations
+// meaning recorded speed.
+func TestDueTimes(t *testing.T) {
+	tr := &Trace{
+		Services: []string{"a"},
+		Events: []Event{
+			{ArrivalNanos: 0},
+			{ArrivalNanos: 1_000_000},
+			{ArrivalNanos: 3_000_000},
+		},
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	recorded := []time.Duration{0, time.Millisecond, 3 * time.Millisecond}
+	for _, dilate := range []float64{1, 0, -2} {
+		got := tr.DueTimes(dilate)
+		if len(got) != len(recorded) {
+			t.Fatalf("dilate %v: %d entries, want %d", dilate, len(got), len(recorded))
+		}
+		for i := range got {
+			if got[i] != recorded[i] {
+				t.Fatalf("dilate %v: due[%d] = %v, want %v", dilate, i, got[i], recorded[i])
+			}
+		}
+	}
+
+	half := tr.DueTimes(0.5)
+	want := []time.Duration{0, 500 * time.Microsecond, 1500 * time.Microsecond}
+	for i := range half {
+		if half[i] != want[i] {
+			t.Fatalf("dilate 0.5: due[%d] = %v, want %v", i, half[i], want[i])
+		}
+	}
+
+	if got := (&Trace{}).DueTimes(1); len(got) != 0 {
+		t.Fatalf("empty trace due times = %v, want none", got)
+	}
+}

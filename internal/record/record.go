@@ -124,6 +124,22 @@ func (t *Trace) Duration() time.Duration {
 	return time.Duration(t.Events[len(t.Events)-1].ArrivalNanos)
 }
 
+// DueTimes returns each event's arrival offset from the start of the
+// trace with inter-arrival gaps dilated by dilate (values ≤ 0 or NaN
+// mean 1 — replay at recorded speed). This is the shared arrival
+// schedule of every open-loop consumer: ReplayRPC and the topology load
+// generator both issue event i at DueTimes[i] after their start.
+func (t *Trace) DueTimes(dilate float64) []time.Duration {
+	if !(dilate > 0) {
+		dilate = 1
+	}
+	due := make([]time.Duration, len(t.Events))
+	for i := range t.Events {
+		due[i] = time.Duration(float64(t.Events[i].ArrivalNanos) * dilate)
+	}
+	return due
+}
+
 // Canonicalize rewrites the trace into its unique canonical form:
 // services sorted by name (event indices remapped to match) and events
 // sorted by (arrival, service, payload, granularity, outcome). Two

@@ -262,10 +262,11 @@ func ReplayRPC(ctx context.Context, t *Trace, call CallFunc, cfg RPCReplayConfig
 	var mu sync.Mutex
 	errs := 0
 
+	dueTimes := t.DueTimes(cfg.Dilate)
 	start := time.Now()
 	for i := range t.Events {
 		e := &t.Events[i]
-		due := time.Duration(float64(e.ArrivalNanos) * cfg.Dilate)
+		due := dueTimes[i]
 		if lag := time.Since(start) - due; lag > 0 && int64(lag) > stats.MaxLagNanos {
 			stats.MaxLagNanos = int64(lag)
 		} else if lag < 0 {

@@ -14,8 +14,8 @@ func TestTriggerConfigValidation(t *testing.T) {
 	h := telemetry.NewHistogram("lat", "")
 	bad := []TriggerConfig{
 		{},
-		{Recorder: rec},                                 // no dir
-		{Recorder: rec, Dir: t.TempDir()},               // no armed signal
+		{Recorder: rec},                   // no dir
+		{Recorder: rec, Dir: t.TempDir()}, // no armed signal
 		{Dir: t.TempDir(), Latency: h, P99Threshold: 1}, // no recorder
 		{Recorder: rec, Dir: t.TempDir(), Latency: h},   // histogram but no threshold
 	}

@@ -1,0 +1,96 @@
+package rpc
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrPoolClosed is returned by ClientPool.CallContext after Close.
+var ErrPoolClosed = errors.New("rpc: client pool closed")
+
+// ClientPool multiplexes concurrent callers over a fixed set of
+// clients, each on its own connection. A single Client is deliberately
+// not safe for concurrent use (see Call); the pool is the documented
+// alternative for callers that need mid-request fan-out without the
+// Batcher's coalescing latency — the topology driver issues every
+// downstream edge's calls through one.
+//
+// CallContext checks a client out (blocking while all are busy, so the
+// pool also bounds per-edge concurrency), runs the call, and returns it.
+// A client whose call failed is still returned: the error surfaces to
+// the caller and subsequent calls on a broken connection fail fast.
+type ClientPool struct {
+	free    chan *Client
+	clients []*Client
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// NewClientPool dials size clients and pools them. On any dial error the
+// already-dialed clients are closed and the error returned.
+func NewClientPool(size int, dial func() (*Client, error)) (*ClientPool, error) {
+	if size <= 0 {
+		return nil, errors.New("rpc: client pool size must be positive")
+	}
+	if dial == nil {
+		return nil, errors.New("rpc: nil dial function")
+	}
+	p := &ClientPool{free: make(chan *Client, size)}
+	for i := 0; i < size; i++ {
+		c, err := dial()
+		if err != nil {
+			_ = p.Close() //modelcheck:ignore errdrop — the dial error is primary; unwind is best-effort
+			return nil, err
+		}
+		if c == nil {
+			_ = p.Close() //modelcheck:ignore errdrop — the dial error is primary; unwind is best-effort
+			return nil, errors.New("rpc: dial returned nil client")
+		}
+		p.clients = append(p.clients, c)
+		p.free <- c
+	}
+	return p, nil
+}
+
+// Size returns the number of pooled clients.
+func (p *ClientPool) Size() int { return len(p.clients) }
+
+// CallContext checks out a client, performs the call, and returns the
+// client to the pool. It blocks while every client is checked out,
+// honoring ctx while waiting and during the call itself.
+func (p *ClientPool) CallContext(ctx context.Context, req Message) (Message, error) {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return Message{}, ErrPoolClosed
+	}
+	select {
+	case c := <-p.free:
+		defer func() { p.free <- c }()
+		return c.CallContext(ctx, req)
+	case <-ctx.Done():
+		return Message{}, ctx.Err()
+	}
+}
+
+// Close closes every pooled client, unblocking any in-flight calls with
+// a connection error. Close is idempotent; the first error wins.
+func (p *ClientPool) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	p.mu.Unlock()
+	var first error
+	for _, c := range p.clients {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

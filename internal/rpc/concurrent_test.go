@@ -113,7 +113,7 @@ func TestServerCloseSemantics(t *testing.T) {
 	if _, err := client.Call(Message{Method: "ping"}); err != nil {
 		t.Fatalf("warm-up call: %v", err)
 	}
-	client.Close()
+	_ = client.Close()
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}
@@ -145,7 +145,7 @@ func TestServerDropsCorruptConnection(t *testing.T) {
 	if _, err := clientConn.Read(buf); err == nil {
 		t.Error("expected connection to be dropped after corrupt frame")
 	}
-	clientConn.Close()
+	_ = clientConn.Close()
 }
 
 // Hammering Close while clients are still connecting must never race the
@@ -183,7 +183,7 @@ func TestServerCloseDuringConnectStorm(t *testing.T) {
 					}
 					client, err := NewClient(conn, nil)
 					if err != nil {
-						conn.Close()
+						_ = conn.Close()
 						return
 					}
 					// A connection can land in the accept backlog right as
@@ -195,7 +195,7 @@ func TestServerCloseDuringConnectStorm(t *testing.T) {
 					_, callErr := client.CallContext(ctx, Message{Method: "ping"})
 					_ = callErr //modelcheck:ignore errdrop — failures expected once Close lands
 					cancel()
-					client.Close()
+					_ = client.Close()
 				}
 			}()
 		}

@@ -45,7 +45,7 @@ func startEchoServer(t *testing.T, handler Handler, ins *Instrumentation, opts .
 		t.Fatal(err)
 	}
 	return client, func() {
-		client.Close()
+		_ = client.Close()
 		if err := srv.Close(); err != nil {
 			t.Errorf("server close: %v", err)
 		}

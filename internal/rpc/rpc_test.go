@@ -356,7 +356,7 @@ func TestClientServerEncryptedOverTCP(t *testing.T) {
 			t.Fatalf("call %d payload mismatch", i)
 		}
 	}
-	client.Close()
+	_ = client.Close()
 	if err := srv.Close(); err != nil {
 		t.Fatalf("Close: %v", err)
 	}

@@ -1,0 +1,34 @@
+package services
+
+import (
+	"fmt"
+
+	"repro/internal/fleetdata"
+)
+
+// OffloadableCategories are the Table 3 functionality categories the
+// paper's §6 case studies actually accelerate: compression (the zstd
+// offload), serialization/deserialization (the Thrift study), and
+// prediction/ranking (remote inference). A topology node named after a
+// characterized service uses their combined share as its default
+// offloadable fraction α.
+var OffloadableCategories = []string{
+	fleetdata.FuncCompression,
+	fleetdata.FuncSerialization,
+	fleetdata.FuncPrediction,
+}
+
+// OffloadableShare returns the fraction (0..1) of the service's CPU
+// cycles spent in OffloadableCategories, per the Fig 9 functionality
+// breakdown.
+func OffloadableShare(svc fleetdata.Service) (float64, error) {
+	b, ok := fleetdata.FunctionalityBreakdowns[svc]
+	if !ok {
+		return 0, fmt.Errorf("services: no functionality breakdown for %q", svc)
+	}
+	sum := 0.0
+	for _, cat := range OffloadableCategories {
+		sum += b.Share(cat)
+	}
+	return sum / 100, nil
+}

@@ -1,0 +1,48 @@
+package services
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/fleetdata"
+)
+
+// TestOffloadableShare pins each characterized service's default
+// offloadable fraction to the sum of its compression, serialization,
+// and prediction shares from the Fig 9 functionality breakdown — the α
+// a topology node inherits when its spec omits work=/kernel=.
+func TestOffloadableShare(t *testing.T) {
+	for _, svc := range fleetdata.Services {
+		got, err := OffloadableShare(svc)
+		if err != nil {
+			t.Fatalf("%s: %v", svc, err)
+		}
+		b := fleetdata.FunctionalityBreakdowns[svc]
+		want := (b.Share(fleetdata.FuncCompression) +
+			b.Share(fleetdata.FuncSerialization) +
+			b.Share(fleetdata.FuncPrediction)) / 100
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: share = %v, want %v", svc, got, want)
+		}
+		if got <= 0 || got >= 1 {
+			t.Fatalf("%s: share %v outside (0,1)", svc, got)
+		}
+	}
+	// Spot-check the ranking services against the published numbers:
+	// Ads1 = 3+9+52 = 64%, Ads2 = 2+8+58 = 68%.
+	for svc, want := range map[fleetdata.Service]float64{
+		fleetdata.Ads1: 0.64,
+		fleetdata.Ads2: 0.68,
+	} {
+		got, err := OffloadableShare(svc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: share = %v, want %v", svc, got, want)
+		}
+	}
+	if _, err := OffloadableShare(fleetdata.Service("NotAService")); err == nil {
+		t.Fatal("accepted uncharacterized service")
+	}
+}

@@ -64,12 +64,12 @@ func TestMergeResultsCombines(t *testing.T) {
 	if m.Offloads != a.Offloads+b.Offloads {
 		t.Errorf("Offloads = %d, want %d", m.Offloads, a.Offloads+b.Offloads)
 	}
-	if m.ThroughputQPS != a.ThroughputQPS+b.ThroughputQPS {
+	if m.ThroughputQPS != a.ThroughputQPS+b.ThroughputQPS { //modelcheck:ignore floatcmp — merge sums the parts with the same fp additions
 		t.Errorf("ThroughputQPS = %v, want sum %v", m.ThroughputQPS, a.ThroughputQPS+b.ThroughputQPS)
 	}
 	if want := a.ElapsedCycles; b.ElapsedCycles > want {
 		want = b.ElapsedCycles
-	} else if m.ElapsedCycles != want {
+	} else if m.ElapsedCycles != want { //modelcheck:ignore floatcmp — elapsed is a max, not an accumulation
 		t.Errorf("ElapsedCycles = %v, want max %v", m.ElapsedCycles, want)
 	}
 	if m.LatencyHistogram.Count != a.LatencyHistogram.Count+b.LatencyHistogram.Count {
@@ -90,7 +90,7 @@ func TestMergeResultsCombines(t *testing.T) {
 	// Mean is exact: weighted by counts.
 	wantMean := (a.LatencyHistogram.Sum + b.LatencyHistogram.Sum) /
 		float64(a.LatencyHistogram.Count+b.LatencyHistogram.Count)
-	if m.MeanLatency != wantMean {
+	if m.MeanLatency != wantMean { //modelcheck:ignore floatcmp — recomputed from the same sums in the same order
 		t.Errorf("MeanLatency = %v, want %v", m.MeanLatency, wantMean)
 	}
 }

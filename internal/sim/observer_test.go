@@ -76,10 +76,10 @@ func TestExplicitScheduleHonored(t *testing.T) {
 		if o.Index != i {
 			t.Errorf("observation %d: index = %d", i, o.Index)
 		}
-		if o.Arrival != times[i] || o.Start != times[i] {
+		if o.Arrival != times[i] || o.Start != times[i] { //modelcheck:ignore floatcmp — virtual time is exact integer arithmetic
 			t.Errorf("request %d: arrival/start = %v/%v, want %v", i, o.Arrival, o.Start, times[i])
 		}
-		if o.End != times[i]+10000 {
+		if o.End != times[i]+10000 { //modelcheck:ignore floatcmp — virtual time is exact integer arithmetic
 			t.Errorf("request %d: end = %v, want %v", i, o.End, times[i]+10000)
 		}
 	}
@@ -111,7 +111,7 @@ func TestObserverSeparatesArrivalFromStart(t *testing.T) {
 	if second.Start != 10000 {
 		t.Errorf("second start = %v, want 10000 (after first drains)", second.Start)
 	}
-	if got, want := second.End-second.Arrival, 19000.0; got != want {
+	if got, want := second.End-second.Arrival, 19000.0; got != want { //modelcheck:ignore floatcmp — virtual time is exact integer arithmetic
 		t.Errorf("second latency = %v, want %v (9k wait + 10k service)", got, want)
 	}
 }
@@ -135,7 +135,7 @@ func TestObserverClosedLoop(t *testing.T) {
 	}
 	indices := map[int]bool{}
 	for _, o := range seen {
-		if o.Arrival != o.Start {
+		if o.Arrival != o.Start { //modelcheck:ignore floatcmp — unqueued request starts at its exact arrival tick
 			t.Errorf("closed loop: arrival %v != start %v", o.Arrival, o.Start)
 		}
 		if o.End < o.Start {

@@ -105,7 +105,7 @@ func TestOpenLoopDeterministicArrivals(t *testing.T) {
 	wl := UniformWorkload{NonKernelCycles: 5000}
 	a := runSim(t, openLoopConfig(50000, nil), wl)
 	b := runSim(t, openLoopConfig(50000, nil), wl)
-	if a.MeanLatency != b.MeanLatency || a.ElapsedCycles != b.ElapsedCycles {
+	if a.MeanLatency != b.MeanLatency || a.ElapsedCycles != b.ElapsedCycles { //modelcheck:ignore floatcmp — determinism check: same seed must agree bit-exactly
 		t.Error("same seed produced different open-loop runs")
 	}
 }

@@ -25,14 +25,14 @@ func TestSnapshotMergeEqualsCombinedRecording(t *testing.T) {
 	}
 	got := a.Snapshot().Merge(b.Snapshot())
 	want := all.Snapshot()
-	if got.Count != want.Count || got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max {
+	if got.Count != want.Count || got.Sum != want.Sum || got.Min != want.Min || got.Max != want.Max { //modelcheck:ignore floatcmp — merge must be indistinguishable from combined recording, bit-exactly
 		t.Errorf("merged scalars = %+v, want %+v", got, want)
 	}
 	if !reflect.DeepEqual(got.Buckets, want.Buckets) {
 		t.Errorf("merged buckets:\n got %+v\nwant %+v", got.Buckets, want.Buckets)
 	}
 	for _, q := range []float64{0, 0.25, 0.5, 0.9, 0.99, 1} {
-		if gq, wq := got.Quantile(q), want.Quantile(q); gq != wq {
+		if gq, wq := got.Quantile(q), want.Quantile(q); gq != wq { //modelcheck:ignore floatcmp — identical buckets must yield identical quantiles
 			t.Errorf("q=%v: merged %v != combined %v", q, gq, wq)
 		}
 	}
@@ -60,6 +60,116 @@ func TestSnapshotMergeEmpty(t *testing.T) {
 	}
 }
 
+// clampSample maps an arbitrary quick-generated float64 onto a finite
+// non-negative observation: values near ±MaxFloat64 would overflow the
+// histogram's running sum (Inf−Inf = NaN breaks any round-trip
+// property) without exercising anything the bucketing cares about.
+func clampSample(v float64) float64 {
+	v = math.Abs(v)
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case math.IsInf(v, 1):
+		return 1e12
+	case v > 1e12:
+		return math.Mod(v, 1e12)
+	}
+	return v
+}
+
+// Property: merging any number of per-tier snapshots is exactly the
+// histogram of the concatenated sample streams — bucket-identical, and
+// therefore quantile-identical within the documented bucket resolution.
+// This is what lets the topology driver aggregate per-node histograms
+// into fleet rollups without re-observing a single sample.
+func TestSnapshotMergeConcatenationProperty(t *testing.T) {
+	f := func(tiers [][]float64) bool {
+		all := NewHistogram("all", "")
+		merged := HistogramSnapshot{Min: math.Inf(1), Max: math.Inf(-1)}
+		n := 0
+		for i, samples := range tiers {
+			h := NewHistogram("tier", "")
+			for _, v := range samples {
+				v = clampSample(v)
+				h.Record(v)
+				all.Record(v)
+				n++
+			}
+			// Alternate merge direction so the property covers both
+			// accumulate-into and merge-onto orders.
+			if i%2 == 0 {
+				merged = merged.Merge(h.Snapshot())
+			} else {
+				merged = h.Snapshot().Merge(merged)
+			}
+		}
+		want := all.Snapshot()
+		if merged.Count != uint64(n) || merged.Count != want.Count {
+			return false
+		}
+		if n > 0 && (merged.Min != want.Min || merged.Max != want.Max) { //modelcheck:ignore floatcmp — extrema are tracked values, not computed; identity is the contract
+			return false
+		}
+		if !reflect.DeepEqual(merged.Buckets, want.Buckets) {
+			return false
+		}
+		for _, q := range []float64{0, 0.5, 0.9, 0.99, 1} {
+			mq, wq := merged.Quantile(q), want.Quantile(q)
+			if math.Abs(mq-wq) > QuantileRelError*math.Max(mq, wq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Delta and Merge are inverses over a window. Snapshot s1,
+// record more, snapshot s2: the window s2.Delta(s1) merged back onto s1
+// reconstructs s2's counts, sum, and buckets exactly, and the window's
+// own quantiles stay within bucket resolution of a histogram holding
+// only the window's samples. (Extrema are excluded: Delta documents that
+// a window's Min/Max are recovered from bucket bounds, not tracked.)
+func TestSnapshotDeltaMergeRoundTripProperty(t *testing.T) {
+	f := func(first, second []float64) bool {
+		h := NewHistogram("h", "")
+		windowOnly := NewHistogram("w", "")
+		for _, v := range first {
+			h.Record(clampSample(v))
+		}
+		s1 := h.Snapshot()
+		for _, v := range second {
+			h.Record(clampSample(v))
+			windowOnly.Record(clampSample(v))
+		}
+		s2 := h.Snapshot()
+		window := s2.Delta(s1)
+		if window.Count != uint64(len(second)) {
+			return false
+		}
+		back := s1.Merge(window)
+		if back.Count != s2.Count || !reflect.DeepEqual(back.Buckets, s2.Buckets) {
+			return false
+		}
+		if math.Abs(back.Sum-s2.Sum) > 1e-9*math.Max(1, math.Abs(s2.Sum)) {
+			return false
+		}
+		wantW := windowOnly.Snapshot()
+		for _, q := range []float64{0.5, 0.99} {
+			gq, wq := window.Quantile(q), wantW.Quantile(q)
+			if math.Abs(gq-wq) > 2*QuantileRelError*math.Max(gq, wq) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
 // Property: merge is commutative on everything but float summation order,
 // and the merged count always equals the sum of parts.
 func TestSnapshotMergeCommutativeProperty(t *testing.T) {
@@ -77,7 +187,7 @@ func TestSnapshotMergeCommutativeProperty(t *testing.T) {
 		if ab.Count != uint64(len(xs)+len(ys)) {
 			return false
 		}
-		if ab.Count != ba.Count || ab.Min != ba.Min || ab.Max != ba.Max {
+		if ab.Count != ba.Count || ab.Min != ba.Min || ab.Max != ba.Max { //modelcheck:ignore floatcmp — commutativity on tracked extrema is exact
 			return false
 		}
 		return reflect.DeepEqual(ab.Buckets, ba.Buckets)

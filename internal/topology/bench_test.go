@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"context"
+	"net"
+	"testing"
+
+	"repro/internal/rpc"
+)
+
+// benchUnits is the spin cost per request in both benchmark arms — large
+// enough that the work dominates and the comparison measures the
+// topology driver's per-request overhead, small enough for a fast gate.
+const benchUnits = 20
+
+// benchPayload matches the generator's default synthetic payload size.
+const benchPayload = 256
+
+// BenchmarkFlatRPCCall is the flat-fleet baseline: the same spin work
+// behind a single rpc.Server on loopback, called directly by one client
+// with no topology driver in the path. scripts/bench_topology.sh gates
+// BenchmarkTopologyCall's per-request overhead against this.
+func BenchmarkFlatRPCCall(b *testing.B) {
+	iters := int64(benchUnits * DefaultUnitIters)
+	srv, err := rpc.NewServer(func(_ context.Context, req rpc.Message) (rpc.Message, error) {
+		spinIters(iters)
+		return rpc.Message{Method: req.Method, Payload: []byte{1}}, nil
+	}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go srv.Serve(ctx, lis)            //modelcheck:ignore errdrop — Serve's error is the normal shutdown path
+	b.Cleanup(func() { srv.Close() }) // errors swallowed per the teardown rule
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := rpc.NewClient(conn, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() }) // errors swallowed per the teardown rule
+	payload := make([]byte, benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.CallContext(ctx, rpc.Message{Method: "flat.req", Payload: payload}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTopologyCall drives the identical spin work through a
+// single-node graph: same RPC stack and loopback hop as the flat arm,
+// plus everything the topology driver adds per request — client-pool
+// checkout, per-node and end-to-end histogram records, depth bookkeeping.
+func BenchmarkTopologyCall(b *testing.B) {
+	g, err := ParseSpec("topology bench\nnode Solo work=20\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRunner(g, RunnerConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := r.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() }) // errors swallowed per the teardown rule
+	payload := make([]byte, benchPayload)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Call(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

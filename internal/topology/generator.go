@@ -1,0 +1,207 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/record"
+)
+
+// LoadConfig shapes an open-loop arrival stream injected at the graph's
+// roots. Arrivals come from one of two sources:
+//
+//   - QPS + Requests: a synthetic schedule at the given rate — uniform
+//     spacing by default, seeded-Poisson inter-arrivals with Poisson.
+//   - Trace: a recorded request stream (internal/record); each event's
+//     dilated arrival offset and payload size drive one injection, so a
+//     production recording exercises the whole topology.
+type LoadConfig struct {
+	// QPS is the offered arrival rate (synthetic mode).
+	QPS float64
+	// Requests is how many arrivals to inject (synthetic mode).
+	Requests int
+	// Poisson draws exponential inter-arrival gaps (seeded) instead of
+	// uniform spacing.
+	Poisson bool
+	// Seed feeds the Poisson draw (default 1).
+	Seed uint64
+	// Trace, when non-nil, replaces the synthetic schedule with the
+	// recorded one (QPS/Requests/Poisson are then ignored).
+	Trace *record.Trace
+	// Dilate stretches (>1) or compresses (<1) the trace's recorded
+	// gaps; 0 means 1.
+	Dilate float64
+	// MaxInFlight bounds concurrent injections (default 256). At the
+	// bound the generator blocks — arrivals fall behind schedule rather
+	// than piling up unbounded goroutines; MaxLagNanos reports it.
+	MaxInFlight int
+	// PayloadBytes sizes synthetic request payloads (default 256).
+	PayloadBytes int
+	// Recorder, when non-nil, captures the injected stream (one event
+	// per root per arrival, with the request's outcome) so a live run
+	// can be re-driven later through Trace.
+	Recorder *record.Recorder
+}
+
+// LoadStats summarizes one open-loop run.
+type LoadStats struct {
+	Issued   int
+	Errors   int
+	Duration time.Duration
+	// MaxLagNanos is the worst observed scheduling lag — how far behind
+	// the schedule an arrival was actually injected. Large lag means
+	// the generator (or MaxInFlight), not the offered process, shaped
+	// the arrivals.
+	MaxLagNanos int64
+}
+
+// schedule computes the arrival offsets and per-arrival payload sizes.
+func (cfg *LoadConfig) schedule() ([]time.Duration, []uint64, error) {
+	if cfg.Trace != nil {
+		if err := cfg.Trace.Validate(); err != nil {
+			return nil, nil, err
+		}
+		if len(cfg.Trace.Events) == 0 {
+			return nil, nil, fmt.Errorf("topology: trace has no events")
+		}
+		if cfg.Dilate < 0 {
+			return nil, nil, fmt.Errorf("topology: negative time dilation %v", cfg.Dilate)
+		}
+		due := cfg.Trace.DueTimes(cfg.Dilate)
+		sizes := make([]uint64, len(cfg.Trace.Events))
+		for i := range cfg.Trace.Events {
+			sizes[i] = cfg.Trace.Events[i].PayloadBytes
+		}
+		return due, sizes, nil
+	}
+	if !(cfg.QPS > 0) {
+		return nil, nil, fmt.Errorf("topology: QPS must be positive, got %v", cfg.QPS)
+	}
+	if cfg.Requests <= 0 {
+		return nil, nil, fmt.Errorf("topology: Requests must be positive, got %d", cfg.Requests)
+	}
+	payload := uint64(256)
+	if cfg.PayloadBytes > 0 {
+		payload = uint64(cfg.PayloadBytes)
+	}
+	gap := float64(time.Second) / cfg.QPS
+	due := make([]time.Duration, cfg.Requests)
+	sizes := make([]uint64, cfg.Requests)
+	if cfg.Poisson {
+		seed := cfg.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		rng := dist.NewRand(seed)
+		at := 0.0
+		for i := range due {
+			at += rng.ExpFloat64() * gap
+			due[i] = time.Duration(at)
+			sizes[i] = payload
+		}
+	} else {
+		for i := range due {
+			due[i] = time.Duration(float64(i) * gap)
+			sizes[i] = payload
+		}
+	}
+	return due, sizes, nil
+}
+
+// RunOpenLoop injects the configured arrival stream at the topology's
+// roots: each arrival is one Runner.Call issued at its scheduled offset,
+// open-loop — a slow request delays nothing behind it, up to
+// MaxInFlight. Latency lands in the runner's e2e and per-node
+// histograms. Cancelling ctx stops the injection between arrivals and
+// waits for in-flight requests.
+func (r *Runner) RunOpenLoop(ctx context.Context, cfg LoadConfig) (LoadStats, error) {
+	var stats LoadStats
+	due, sizes, err := cfg.schedule()
+	if err != nil {
+		return stats, err
+	}
+	if len(r.roots) == 0 {
+		return stats, fmt.Errorf("topology: runner not started")
+	}
+	maxInFlight := cfg.MaxInFlight
+	if maxInFlight <= 0 {
+		maxInFlight = 256
+	}
+
+	// One zero-filled backing array serves every payload size.
+	const payloadCap = 1 << 20
+	var maxPayload uint64
+	for _, s := range sizes {
+		if s > maxPayload {
+			maxPayload = s
+		}
+	}
+	if maxPayload > payloadCap {
+		maxPayload = payloadCap
+	}
+	backing := make([]byte, maxPayload)
+
+	sem := make(chan struct{}, maxInFlight)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	errs := 0
+
+	start := time.Now()
+	for i := range due {
+		if lag := time.Since(start) - due[i]; lag > 0 && int64(lag) > stats.MaxLagNanos {
+			stats.MaxLagNanos = int64(lag)
+		} else if lag < 0 {
+			timer := time.NewTimer(-lag)
+			select {
+			case <-timer.C:
+			case <-ctx.Done():
+				timer.Stop()
+				wg.Wait()
+				stats.Errors = errs
+				stats.Duration = time.Since(start)
+				return stats, ctx.Err()
+			}
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			wg.Wait()
+			stats.Errors = errs
+			stats.Duration = time.Since(start)
+			return stats, ctx.Err()
+		}
+		size := sizes[i]
+		if size > maxPayload {
+			size = maxPayload
+		}
+		arrival := int64(due[i])
+		stats.Issued++
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			_, err := r.Call(ctx, backing[:size])
+			if err != nil {
+				mu.Lock()
+				errs++
+				mu.Unlock()
+			}
+			if cfg.Recorder != nil {
+				outcome := record.OutcomeOK
+				if err != nil {
+					outcome = record.OutcomeError
+				}
+				for _, root := range r.graph.Roots() {
+					cfg.Recorder.RecordAt(arrival, root, size, size, outcome)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	stats.Errors = errs
+	stats.Duration = time.Since(start)
+	return stats, nil
+}

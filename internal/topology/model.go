@@ -1,0 +1,151 @@
+package topology
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+)
+
+// AccelConfig is the uniform acceleration applied to every node's kernel
+// portion, in the same spin units the graph counts work in: the kernel
+// runs A× faster on the accelerator at a per-invocation cost of O0
+// (preparation) + L (interface) units on the host — the Sync/OffChip
+// design from the paper, matching the repository's single-service
+// measured-vs-model test.
+type AccelConfig struct {
+	A  float64 // accelerator speedup on the kernel units
+	O0 float64 // offload preparation, in work units
+	L  float64 // interface cost, in work units
+}
+
+func (a AccelConfig) validate() error {
+	if math.IsNaN(a.A) || a.A <= 1 {
+		return fmt.Errorf("topology: accelerator speedup A = %v, want > 1", a.A)
+	}
+	if math.IsNaN(a.O0) || a.O0 < 0 || math.IsNaN(a.L) || a.L < 0 {
+		return fmt.Errorf("topology: offload costs O0 = %v, L = %v, want >= 0", a.O0, a.L)
+	}
+	return nil
+}
+
+// AcceleratedUnits is the node's per-request cost under a: the kernel
+// portion shrinks A× and the request pays the offload overheads.
+func (a AccelConfig) AcceleratedUnits(n *Node) float64 {
+	return n.Work + a.O0 + a.L + n.Kernel/a.A
+}
+
+// NodePrediction is one node's single-service model evaluation.
+type NodePrediction struct {
+	Node  string
+	Alpha float64
+	// Reduction is the node's own latency reduction C/CL from
+	// core.Model (Sync threading, off-chip strategy).
+	Reduction float64
+}
+
+// Prediction is the composed Accelerometer model for a graph: per-node
+// latency reductions chained along the critical call path.
+type Prediction struct {
+	PerNode []NodePrediction // graph declaration order
+
+	// BaselineUnits and AccelUnits are the end-to-end critical-path
+	// costs (a parent's cost plus the slowest child subtree, maximized
+	// over roots) before and after acceleration.
+	BaselineUnits float64
+	AccelUnits    float64
+	// CriticalPath is the baseline critical path, root first.
+	CriticalPath []string
+	// PathWeights are each critical-path node's share of BaselineUnits —
+	// the weights core.ComposeLatencyReductions chains the per-node
+	// reductions with.
+	PathWeights []float64
+	// E2EReduction = BaselineUnits / AccelUnits: the predicted
+	// end-to-end latency reduction an unloaded open-loop run should
+	// measure at every quantile (the whole latency distribution scales
+	// when service times scale).
+	E2EReduction float64
+}
+
+// Predict evaluates the composed model. Per node it builds core.Params
+// (C = Work+Kernel, α = Kernel/C, n = 1) and takes the Sync/OffChip
+// latency reduction; end to end it walks the graph's critical path —
+// fan-out children run concurrently, so a parent's latency is its own
+// cost plus the max over child subtrees — and composes the per-node
+// reductions with core.ComposeLatencyReductions over the path weights.
+func Predict(g *Graph, a AccelConfig) (*Prediction, error) {
+	if g == nil || len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: predict: empty graph")
+	}
+	if err := a.validate(); err != nil {
+		return nil, err
+	}
+	p := &Prediction{}
+	for _, n := range g.Nodes {
+		m, err := core.New(core.Params{
+			C:     n.TotalUnits(),
+			Alpha: n.Alpha(),
+			N:     1,
+			O0:    a.O0,
+			L:     a.L,
+			A:     a.A,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("topology: node %s: %w", n.Name, err)
+		}
+		r, err := m.LatencyReduction(core.Sync, core.OffChip)
+		if err != nil {
+			return nil, fmt.Errorf("topology: node %s: %w", n.Name, err)
+		}
+		p.PerNode = append(p.PerNode, NodePrediction{Node: n.Name, Alpha: n.Alpha(), Reduction: r})
+	}
+
+	// Critical-path costs, maximized over roots (arrivals hit every
+	// root concurrently, so end-to-end latency is the slowest root).
+	var pathOf func(name string, cost func(*Node) float64) (float64, []string)
+	pathOf = func(name string, cost func(*Node) float64) (float64, []string) {
+		n := g.Node(name)
+		best, bestPath := 0.0, []string(nil)
+		for _, c := range n.Children {
+			u, cp := pathOf(c, cost)
+			if u > best {
+				best, bestPath = u, cp
+			}
+		}
+		return cost(n) + best, append([]string{name}, bestPath...)
+	}
+	baseCost := func(n *Node) float64 { return n.TotalUnits() }
+	accelCost := a.AcceleratedUnits
+	for _, r := range g.Roots() {
+		if u, path := pathOf(r, baseCost); u > p.BaselineUnits {
+			p.BaselineUnits, p.CriticalPath = u, path
+		}
+		if u, _ := pathOf(r, accelCost); u > p.AccelUnits {
+			p.AccelUnits = u
+		}
+	}
+	p.E2EReduction = p.BaselineUnits / p.AccelUnits
+	for _, name := range p.CriticalPath {
+		p.PathWeights = append(p.PathWeights, g.Node(name).TotalUnits()/p.BaselineUnits)
+	}
+	return p, nil
+}
+
+// ComposedPathReduction chains the per-node reductions along the
+// baseline critical path with core.ComposeLatencyReductions. When the
+// accelerated critical path follows the same nodes (uniform
+// acceleration usually preserves it), this equals E2EReduction exactly —
+// the model_test pins that identity; when acceleration shifts the
+// critical path onto different nodes the serial composition is an upper
+// bound and E2EReduction is the honest prediction.
+func (p *Prediction) ComposedPathReduction() (float64, error) {
+	byNode := make(map[string]float64, len(p.PerNode))
+	for _, np := range p.PerNode {
+		byNode[np.Node] = np.Reduction
+	}
+	reductions := make([]float64, len(p.CriticalPath))
+	for i, name := range p.CriticalPath {
+		reductions[i] = byNode[name]
+	}
+	return core.ComposeLatencyReductions(p.PathWeights, reductions)
+}

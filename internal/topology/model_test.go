@@ -1,0 +1,127 @@
+package topology
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dist"
+)
+
+// testAccel is the acceleration every model/sim/runner test applies:
+// the same A/o0/L shape as the repository's single-service
+// measured-vs-model test.
+var testAccel = AccelConfig{A: 8, O0: 10, L: 10}
+
+func TestPredictWebFeedCache(t *testing.T) {
+	g, err := ParseSpec(webSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(g, testAccel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Baseline critical path: Web(100) + Feed(150) + Cache(200) = 450.
+	if p.BaselineUnits != 450 {
+		t.Fatalf("baseline units = %v, want 450", p.BaselineUnits)
+	}
+	// Accelerated: 40+10+10+60/8 + 30+10+10+120/8 + 20+10+10+180/8 = 195.
+	if p.AccelUnits != 195 {
+		t.Fatalf("accel units = %v, want 195", p.AccelUnits)
+	}
+	if want := 450.0 / 195.0; p.E2EReduction != want { //modelcheck:ignore floatcmp — exact ratio of exactly-summed unit counts
+		t.Fatalf("e2e reduction = %v, want %v", p.E2EReduction, want)
+	}
+	if len(p.CriticalPath) != 3 || p.CriticalPath[0] != "Web" {
+		t.Fatalf("critical path = %v", p.CriticalPath)
+	}
+	// Per-node reduction is TotalUnits/AcceleratedUnits — e.g. Cache1:
+	// 200 / 62.5 = 3.2.
+	for _, np := range p.PerNode {
+		n := g.Node(np.Node)
+		want := n.TotalUnits() / testAccel.AcceleratedUnits(n)
+		if !dist.WithinRel(np.Reduction, want, 1e-12) {
+			t.Fatalf("%s reduction = %v, want %v", np.Node, np.Reduction, want)
+		}
+	}
+}
+
+// TestComposedPathReductionMatchesRecursive pins the identity between
+// the two composition routes: the recursive critical-path walk and
+// core.ComposeLatencyReductions over the path weights must agree when
+// uniform acceleration preserves the critical path.
+func TestComposedPathReductionMatchesRecursive(t *testing.T) {
+	for _, spec := range []string{
+		webSpec,
+		"topology chain\nnode A work=10 kernel=90 -> B\nnode B work=50 kernel=50 -> C\nnode C work=90 kernel=10\n",
+	} {
+		g, err := ParseSpec(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Predict(g, testAccel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		composed, err := p.ComposedPathReduction()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dist.WithinRel(composed, p.E2EReduction, 1e-9) {
+			t.Fatalf("%s: composed %v vs recursive %v", g.Name, composed, p.E2EReduction)
+		}
+		// Path weights are shares of the baseline critical path.
+		sum := 0.0
+		for _, w := range p.PathWeights {
+			sum += w
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Fatalf("%s: path weights sum to %v", g.Name, sum)
+		}
+	}
+}
+
+// TestPredictMultiRoot pins the max-over-roots rule: end-to-end latency
+// follows the slowest root subtree.
+func TestPredictMultiRoot(t *testing.T) {
+	g, err := ParseSpec(`topology two
+node A work=10 kernel=10
+node B work=100 kernel=300 -> C
+node C work=50 kernel=50
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Roots()) != 2 {
+		t.Fatalf("roots = %v", g.Roots())
+	}
+	p, err := Predict(g, testAccel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.BaselineUnits != 500 {
+		t.Fatalf("baseline = %v, want 500 (B+C)", p.BaselineUnits)
+	}
+	if p.CriticalPath[0] != "B" {
+		t.Fatalf("critical path = %v, want to start at B", p.CriticalPath)
+	}
+}
+
+func TestPredictRejects(t *testing.T) {
+	g, err := ParseSpec(webSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Predict(nil, testAccel); err == nil {
+		t.Fatal("Predict accepted a nil graph")
+	}
+	for _, bad := range []AccelConfig{
+		{A: 1, O0: 10, L: 10},
+		{A: 8, O0: -1, L: 10},
+		{A: 8, O0: 10, L: math.NaN()},
+	} {
+		if _, err := Predict(g, bad); err == nil {
+			t.Fatalf("Predict accepted %+v", bad)
+		}
+	}
+}

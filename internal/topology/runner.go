@@ -1,0 +1,461 @@
+package topology
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rpc"
+	"repro/internal/telemetry"
+)
+
+// DefaultUnitIters is the xorshift iteration count per spin unit —
+// identical to the single-service measured-vs-model test so unit counts
+// mean the same thing in both.
+const DefaultUnitIters = 5000
+
+// RunnerConfig shapes a live topology run.
+type RunnerConfig struct {
+	// Accel, when non-nil, replaces every node's kernel cost with the
+	// modeled offload cost (work + O0 + L + kernel/A spin units) — the
+	// accelerated arm of an A/B against a baseline Runner.
+	Accel *AccelConfig
+	// PoolSize is the number of pooled clients per graph edge
+	// (default 4); it bounds each edge's concurrent downstream calls.
+	PoolSize int
+	// UseBatcher coalesces each edge's downstream calls through an
+	// rpc.Batcher over a single connection instead of a client pool.
+	UseBatcher bool
+	// CallTimeout bounds each downstream call (default 10s).
+	CallTimeout time.Duration
+	// UnitIters is the spin cost of one work unit (default
+	// DefaultUnitIters); tests shrink it to keep runs fast.
+	UnitIters int
+	// Registry, when non-nil, registers per-node latency histograms
+	// (topo_<node>_latency_nanos), error counters and the end-to-end
+	// histogram (topo_e2e_latency_nanos) for -metrics-out / -debug-addr
+	// export. Without it the Runner keeps standalone histograms.
+	Registry *telemetry.Registry
+}
+
+func (c *RunnerConfig) setDefaults() {
+	if c.PoolSize <= 0 {
+		c.PoolSize = 4
+	}
+	if c.CallTimeout <= 0 {
+		c.CallTimeout = 10 * time.Second
+	}
+	if c.UnitIters <= 0 {
+		c.UnitIters = DefaultUnitIters
+	}
+}
+
+// edgeCaller is one graph edge's downstream transport: a ClientPool by
+// default, or a Batcher over one connection with UseBatcher.
+type edgeCaller interface {
+	CallContext(ctx context.Context, req rpc.Message) (rpc.Message, error)
+	Close() error
+}
+
+// batcherCaller adapts a Batcher plus its underlying client to edgeCaller.
+type batcherCaller struct {
+	b *rpc.Batcher
+	c *rpc.Client
+}
+
+func (bc *batcherCaller) CallContext(ctx context.Context, req rpc.Message) (rpc.Message, error) {
+	return bc.b.CallContext(ctx, req)
+}
+
+func (bc *batcherCaller) Close() error {
+	err := bc.b.Close()
+	if cerr := bc.c.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// nodeRuntime is one live node: a real rpc.Server on loopback plus the
+// edge callers for its children.
+type nodeRuntime struct {
+	node  *Node
+	depth int
+	iters int64 // local spin cost per request
+
+	lis   net.Listener
+	srv   *rpc.Server
+	edges []edgeCaller // index-aligned with node.Children
+
+	latency *telemetry.Histogram
+	errors  *telemetry.Counter
+
+	runner *Runner
+}
+
+// Runner drives a Graph as live rpc.Servers on loopback.
+type Runner struct {
+	graph *Graph
+	cfg   RunnerConfig
+
+	nodes  []*nodeRuntime // graph declaration order
+	byName map[string]*nodeRuntime
+	roots  []edgeCaller // index-aligned with graph.Roots()
+	e2e    *telemetry.Histogram
+
+	serveErrs chan error
+	closeOnce sync.Once
+	closeErr  error
+	started   bool
+}
+
+// NewRunner validates the configuration against the graph. Call Start
+// to bring the servers up.
+func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
+	if g == nil || len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: runner: empty graph")
+	}
+	if cfg.Accel != nil {
+		if err := cfg.Accel.validate(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.setDefaults()
+	r := &Runner{
+		graph:     g,
+		cfg:       cfg,
+		byName:    make(map[string]*nodeRuntime, len(g.Nodes)),
+		serveErrs: make(chan error, len(g.Nodes)),
+	}
+	var err error
+	if r.e2e, err = r.histogram("topo_e2e_latency_nanos",
+		"end-to-end topology request latency in nanoseconds"); err != nil {
+		return nil, err
+	}
+	for _, n := range g.Nodes {
+		units := n.TotalUnits()
+		if cfg.Accel != nil {
+			units = cfg.Accel.AcceleratedUnits(n)
+		}
+		nr := &nodeRuntime{
+			node:   n,
+			depth:  g.Depth(n.Name),
+			iters:  int64(units * float64(cfg.UnitIters)),
+			runner: r,
+		}
+		if nr.latency, err = r.histogram("topo_"+metricName(n.Name)+"_latency_nanos",
+			"per-request latency at node "+n.Name+" in nanoseconds"); err != nil {
+			return nil, err
+		}
+		if cfg.Registry != nil {
+			if nr.errors, err = cfg.Registry.Counter("topo_"+metricName(n.Name)+"_errors_total",
+				"failed requests at node "+n.Name); err != nil {
+				return nil, err
+			}
+		} else {
+			nr.errors = &telemetry.Counter{}
+		}
+		r.nodes = append(r.nodes, nr)
+		r.byName[n.Name] = nr
+	}
+	return r, nil
+}
+
+func (r *Runner) histogram(name, help string) (*telemetry.Histogram, error) {
+	if r.cfg.Registry != nil {
+		return r.cfg.Registry.Histogram(name, help)
+	}
+	return telemetry.NewHistogram(name, help), nil
+}
+
+// metricName lowers a node name into the Prometheus charset.
+func metricName(node string) string {
+	return strings.ToLower(strings.ReplaceAll(node, "-", "_"))
+}
+
+// Graph returns the topology under the runner.
+func (r *Runner) Graph() *Graph { return r.graph }
+
+// Start brings every node's server up on its own loopback listener,
+// then dials the graph's edges (child servers must be accepting before
+// parents connect). Cancelling ctx force-closes all connections; use
+// Close for a graceful drain.
+func (r *Runner) Start(ctx context.Context) error {
+	if r.started {
+		return fmt.Errorf("topology: runner already started")
+	}
+	r.started = true
+	for _, nr := range r.nodes {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the listen error is reported
+			return fmt.Errorf("topology: node %s: %w", nr.node.Name, err)
+		}
+		nr.lis = lis
+		srv, err := rpc.NewServer(nr.handle, nil)
+		if err != nil {
+			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the server error is reported
+			return fmt.Errorf("topology: node %s: %w", nr.node.Name, err)
+		}
+		nr.srv = srv
+		go func(nr *nodeRuntime) {
+			if err := nr.srv.Serve(ctx, nr.lis); err != nil && ctx.Err() == nil {
+				select {
+				case r.serveErrs <- fmt.Errorf("topology: node %s: %w", nr.node.Name, err):
+				default:
+				}
+			}
+		}(nr)
+	}
+	for _, nr := range r.nodes {
+		for _, child := range nr.node.Children {
+			ec, err := r.dialEdge(r.byName[child])
+			if err != nil {
+				r.Close() //modelcheck:ignore errdrop — best-effort unwind, the dial error is reported
+				return fmt.Errorf("topology: edge %s -> %s: %w", nr.node.Name, child, err)
+			}
+			nr.edges = append(nr.edges, ec)
+		}
+	}
+	for _, root := range r.graph.Roots() {
+		ec, err := r.dialEdge(r.byName[root])
+		if err != nil {
+			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the dial error is reported
+			return fmt.Errorf("topology: root %s: %w", root, err)
+		}
+		r.roots = append(r.roots, ec)
+	}
+	return nil
+}
+
+// dialEdge connects an upstream caller to a node's listener.
+func (r *Runner) dialEdge(target *nodeRuntime) (edgeCaller, error) {
+	addr := target.lis.Addr().String()
+	dial := func() (*rpc.Client, error) {
+		conn, err := net.Dial("tcp", addr)
+		if err != nil {
+			return nil, err
+		}
+		return rpc.NewClient(conn, nil)
+	}
+	if r.cfg.UseBatcher {
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		b, err := rpc.NewBatcher(c, rpc.BatcherConfig{})
+		if err != nil {
+			c.Close() //modelcheck:ignore errdrop — best-effort unwind, the batcher error is reported
+			return nil, err
+		}
+		return &batcherCaller{b: b, c: c}, nil
+	}
+	return rpc.NewClientPool(r.cfg.PoolSize, dial)
+}
+
+// handle is every node's rpc.Handler: burn the node's local spin cost,
+// then fan out to all children concurrently and wait for each response.
+// Per-node latency (handler entry to return, i.e. including the whole
+// downstream subtree) is recorded on success.
+func (nr *nodeRuntime) handle(ctx context.Context, req rpc.Message) (rpc.Message, error) {
+	start := time.Now()
+	spinIters(nr.iters)
+	if len(nr.edges) > 0 {
+		errc := make(chan error, len(nr.edges))
+		for i := range nr.edges {
+			go func(i int) {
+				cctx, cancel := context.WithTimeout(ctx, nr.runner.cfg.CallTimeout)
+				defer cancel()
+				_, err := nr.edges[i].CallContext(cctx, rpc.Message{
+					Method:  nr.node.Children[i] + ".req",
+					Payload: req.Payload,
+				})
+				errc <- err
+			}(i)
+		}
+		var firstErr error
+		for range nr.edges {
+			if err := <-errc; err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+		if firstErr != nil {
+			nr.errors.Inc()
+			return rpc.Message{}, fmt.Errorf("%s: downstream: %w", nr.node.Name, firstErr)
+		}
+	}
+	nr.latency.Record(float64(time.Since(start)))
+	return rpc.Message{Method: req.Method, Payload: []byte{1}}, nil
+}
+
+// Call injects one request at every root concurrently and waits for all
+// of them; the slowest root defines the request's end-to-end latency,
+// which is recorded in the e2e histogram on success.
+func (r *Runner) Call(ctx context.Context, payload []byte) (time.Duration, error) {
+	if len(r.roots) == 0 {
+		return 0, fmt.Errorf("topology: runner not started")
+	}
+	start := time.Now()
+	errc := make(chan error, len(r.roots))
+	for i := range r.roots {
+		go func(i int) {
+			cctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
+			defer cancel()
+			_, err := r.roots[i].CallContext(cctx, rpc.Message{
+				Method:  r.graph.Roots()[i] + ".req",
+				Payload: payload,
+			})
+			errc <- err
+		}(i)
+	}
+	var firstErr error
+	for range r.roots {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	elapsed := time.Since(start)
+	if firstErr != nil {
+		return elapsed, firstErr
+	}
+	r.e2e.Record(float64(elapsed))
+	return elapsed, nil
+}
+
+// E2ESnapshot returns the end-to-end latency histogram's current state;
+// the measured-vs-model test windows it with Delta to exclude warmup.
+func (r *Runner) E2ESnapshot() telemetry.HistogramSnapshot { return r.e2e.Snapshot() }
+
+// ServeErr reports the first background Serve failure, if any.
+func (r *Runner) ServeErr() error {
+	select {
+	case err := <-r.serveErrs:
+		return err
+	default:
+		return nil
+	}
+}
+
+// Close tears the topology down: root injectors first, then every
+// edge's clients (draining in-flight downstream calls with connection
+// errors), then the servers. Close is idempotent and safe to call
+// concurrently; repeat calls return the first result.
+func (r *Runner) Close() error {
+	r.closeOnce.Do(func() {
+		var first error
+		keep := func(err error) {
+			if err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, ec := range r.roots {
+			keep(ec.Close())
+		}
+		for _, nr := range r.nodes {
+			for _, ec := range nr.edges {
+				keep(ec.Close())
+			}
+		}
+		for _, nr := range r.nodes {
+			if nr.srv != nil {
+				keep(nr.srv.Close())
+			}
+			if nr.lis != nil {
+				// Server.Close already closed the listener on the normal
+				// path; this covers unwinding a partially-started node.
+				nr.lis.Close() //modelcheck:ignore errdrop — second close of an already-closed listener
+			}
+		}
+		r.closeErr = first
+	})
+	return r.closeErr
+}
+
+// TierStat is one node's measured latency distribution plus its tail
+// amplification relative to its children.
+type TierStat struct {
+	Node     string  `json:"node"`
+	Depth    int     `json:"depth"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Nanos float64 `json:"p50_nanos"`
+	P99Nanos float64 `json:"p99_nanos"`
+	// Amplification is this node's p99 over the largest child p99 — how
+	// much the tail grew across this hop (1 for leaves).
+	Amplification float64 `json:"amplification"`
+}
+
+// Report is a point-in-time view of the running topology.
+type Report struct {
+	Name  string     `json:"name"`
+	Tiers []TierStat `json:"tiers"` // sorted by (depth, name)
+	// E2E summarizes the injected requests' end-to-end latency.
+	E2ERequests uint64  `json:"e2e_requests"`
+	E2EP50Nanos float64 `json:"e2e_p50_nanos"`
+	E2EP99Nanos float64 `json:"e2e_p99_nanos"`
+}
+
+// Report snapshots every node's histogram and computes hop-by-hop tail
+// amplification. Safe to call while the generator is running; the debug
+// server's topology panel renders it live.
+func (r *Runner) Report() Report {
+	rep := Report{Name: r.graph.Name}
+	snaps := make(map[string]telemetry.HistogramSnapshot, len(r.nodes))
+	for _, nr := range r.nodes {
+		snaps[nr.node.Name] = nr.latency.Snapshot()
+	}
+	for _, nr := range r.nodes {
+		s := snaps[nr.node.Name]
+		ts := TierStat{
+			Node:          nr.node.Name,
+			Depth:         nr.depth,
+			Requests:      s.Count,
+			Errors:        nr.errors.Value(),
+			P50Nanos:      s.Quantile(0.5),
+			P99Nanos:      s.Quantile(0.99),
+			Amplification: 1,
+		}
+		maxChild := 0.0
+		for _, c := range nr.node.Children {
+			if p := snaps[c].Quantile(0.99); p > maxChild {
+				maxChild = p
+			}
+		}
+		if maxChild > 0 {
+			ts.Amplification = ts.P99Nanos / maxChild
+		}
+		rep.Tiers = append(rep.Tiers, ts)
+	}
+	sort.Slice(rep.Tiers, func(i, j int) bool {
+		if rep.Tiers[i].Depth != rep.Tiers[j].Depth {
+			return rep.Tiers[i].Depth < rep.Tiers[j].Depth
+		}
+		return rep.Tiers[i].Node < rep.Tiers[j].Node
+	})
+	e2e := r.e2e.Snapshot()
+	rep.E2ERequests = e2e.Count
+	rep.E2EP50Nanos = e2e.Quantile(0.5)
+	rep.E2EP99Nanos = e2e.Quantile(0.99)
+	return rep
+}
+
+// spinSink defeats dead-code elimination of the spin loop; handlers on
+// different nodes spin concurrently, hence the atomic.
+var spinSink atomic.Uint64
+
+// spinIters burns a deterministic amount of CPU: the same xorshift loop
+// the repository's single-service measured-vs-model test uses, so spin
+// units are directly comparable.
+func spinIters(n int64) {
+	x := uint64(2463534242)
+	for i := int64(0); i < n; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	spinSink.Add(x)
+}

@@ -1,0 +1,248 @@
+package topology
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/record"
+)
+
+// Simulate replays a recorded trace through the graph in virtual time,
+// fully deterministically — the regression-test twin of the live
+// Runner, the way record.ReplaySim twins record.ReplayRPC. Each trace
+// event is one arrival injected at every root at its recorded
+// timestamp; a node burns its per-request cost on one of Workers
+// virtual workers (FIFO by arrival, least-loaded worker first), then
+// its children's calls arrive concurrently; a call completes when its
+// local work and every child's call have completed. Per-node and
+// end-to-end latency distributions come out as exact order statistics
+// over the sampled latencies, so golden aggregates are byte-identical
+// across runs.
+
+// SimConfig shapes a virtual-time topology replay.
+type SimConfig struct {
+	// Workers bounds each node's concurrent local executions
+	// (default 2); queueing beyond it is what amplifies the tail.
+	Workers int
+	// UnitNanos converts one spin unit to virtual nanoseconds
+	// (default 1000).
+	UnitNanos float64
+	// Accel, when non-nil, accelerates every node exactly as
+	// RunnerConfig.Accel does.
+	Accel *AccelConfig
+}
+
+func (c *SimConfig) setDefaults() {
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if !(c.UnitNanos > 0) {
+		c.UnitNanos = 1000
+	}
+}
+
+// NodeAggregate is one node's simulated latency distribution (exact
+// nearest-rank order statistics, in virtual nanoseconds).
+type NodeAggregate struct {
+	Node      string  `json:"node"`
+	Depth     int     `json:"depth"`
+	Requests  int     `json:"requests"`
+	MeanNanos float64 `json:"mean_nanos"`
+	P50Nanos  float64 `json:"p50_nanos"`
+	P99Nanos  float64 `json:"p99_nanos"`
+	MaxNanos  float64 `json:"max_nanos"`
+}
+
+// SimResult is a full virtual-time replay: per-node aggregates in graph
+// declaration order plus the end-to-end distribution over arrivals.
+type SimResult struct {
+	PerNode []NodeAggregate `json:"per_node"`
+	E2E     NodeAggregate   `json:"e2e"`
+}
+
+// simCall is one in-flight call at a node (or the virtual source
+// spanning all roots when node is nil).
+type simCall struct {
+	node        *simNode
+	arrival     float64
+	localFinish float64
+	pending     int // outstanding child calls
+	childMax    float64
+	parent      *simCall
+}
+
+// simNode is a node's virtual execution state.
+type simNode struct {
+	node     *Node
+	children []*simNode
+	workers  []float64 // each worker's busy-until time
+	units    float64   // local cost per request, in spin units
+	samples  []float64
+}
+
+// simEvent is a scheduled call arrival.
+type simEvent struct {
+	at   float64
+	seq  int64
+	call *simCall
+}
+
+type simHeap []simEvent
+
+func (h simHeap) Len() int { return len(h) }
+func (h simHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at { //modelcheck:ignore floatcmp — heap tie-break needs exact equality, seq breaks ties
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h simHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *simHeap) Push(x any)   { *h = append(*h, x.(simEvent)) }
+func (h *simHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Simulate replays the trace through the graph. The trace is purely an
+// arrival source: each event injects one request at every root at its
+// recorded arrival time (services and payloads are ignored — the graph
+// defines the work).
+func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
+	if g == nil || len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: simulate: empty graph")
+	}
+	if t == nil || len(t.Events) == 0 {
+		return nil, fmt.Errorf("topology: simulate: empty trace")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Accel != nil {
+		if err := cfg.Accel.validate(); err != nil {
+			return nil, err
+		}
+	}
+	cfg.setDefaults()
+
+	byName := make(map[string]*simNode, len(g.Nodes))
+	var order []*simNode
+	for _, n := range g.Nodes {
+		units := n.TotalUnits()
+		if cfg.Accel != nil {
+			units = cfg.Accel.AcceleratedUnits(n)
+		}
+		sn := &simNode{node: n, workers: make([]float64, cfg.Workers), units: units}
+		byName[n.Name] = sn
+		order = append(order, sn)
+	}
+	for _, sn := range order {
+		for _, c := range sn.node.Children {
+			sn.children = append(sn.children, byName[c])
+		}
+	}
+	var roots []*simNode
+	for _, name := range g.Roots() {
+		roots = append(roots, byName[name])
+	}
+
+	var events simHeap
+	var seq int64
+	push := func(at float64, c *simCall) {
+		heap.Push(&events, simEvent{at: at, seq: seq, call: c})
+		seq++
+	}
+
+	e2e := make([]float64, 0, len(t.Events))
+	var finish func(c *simCall, at float64)
+	finish = func(c *simCall, at float64) {
+		if c.node != nil {
+			c.node.samples = append(c.node.samples, at-c.arrival)
+		} else {
+			e2e = append(e2e, at-c.arrival)
+		}
+		if p := c.parent; p != nil {
+			if at > p.childMax {
+				p.childMax = at
+			}
+			p.pending--
+			if p.pending == 0 {
+				done := p.localFinish
+				if p.childMax > done {
+					done = p.childMax
+				}
+				finish(p, done)
+			}
+		}
+	}
+
+	// The virtual source fans each arrival out to every root with zero
+	// local cost, so the end-to-end latency is the slowest root subtree
+	// — exactly Runner.Call's semantics.
+	for _, e := range t.Events {
+		at := float64(e.ArrivalNanos)
+		src := &simCall{arrival: at, localFinish: at, pending: len(roots)}
+		for _, root := range roots {
+			push(at, &simCall{node: root, arrival: at, parent: src})
+		}
+	}
+
+	for events.Len() > 0 {
+		ev := heap.Pop(&events).(simEvent)
+		c := ev.call
+		sn := c.node
+		// Least-loaded worker, lowest index on ties: FIFO by arrival
+		// because the heap pops arrivals in order per node.
+		w := 0
+		for i := 1; i < len(sn.workers); i++ {
+			if sn.workers[i] < sn.workers[w] {
+				w = i
+			}
+		}
+		start := c.arrival
+		if sn.workers[w] > start {
+			start = sn.workers[w]
+		}
+		c.localFinish = start + sn.units*cfg.UnitNanos
+		sn.workers[w] = c.localFinish
+		if len(sn.children) == 0 {
+			finish(c, c.localFinish)
+			continue
+		}
+		c.pending = len(sn.children)
+		for _, child := range sn.children {
+			push(c.localFinish, &simCall{node: child, arrival: c.localFinish, parent: c})
+		}
+	}
+
+	res := &SimResult{}
+	for _, sn := range order {
+		res.PerNode = append(res.PerNode, aggregate(sn.node.Name, g.Depth(sn.node.Name), sn.samples))
+	}
+	res.E2E = aggregate("e2e", 0, e2e)
+	return res, nil
+}
+
+// aggregate computes exact nearest-rank order statistics over samples.
+func aggregate(name string, depth int, samples []float64) NodeAggregate {
+	a := NodeAggregate{Node: name, Depth: depth, Requests: len(samples)}
+	if len(samples) == 0 {
+		return a
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, s := range sorted {
+		sum += s
+	}
+	rank := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	a.MeanNanos = sum / float64(len(sorted))
+	a.P50Nanos = rank(0.5)
+	a.P99Nanos = rank(0.99)
+	a.MaxNanos = sorted[len(sorted)-1]
+	return a
+}

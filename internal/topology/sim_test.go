@@ -1,0 +1,155 @@
+package topology
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/record"
+)
+
+// arrivalTrace builds a minimal trace whose events arrive at the given
+// offsets (nanoseconds) — the sim uses traces purely as arrival sources.
+func arrivalTrace(t *testing.T, arrivals ...int64) *record.Trace {
+	t.Helper()
+	tr := &record.Trace{Services: []string{"gen"}}
+	for _, at := range arrivals {
+		tr.Events = append(tr.Events, record.Event{ArrivalNanos: at, PayloadBytes: 64, Granularity: 64})
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimulateUnloadedChain pins exact virtual latencies: with one
+// arrival and no queueing, every node's latency is its own units plus
+// its subtree's, scaled by UnitNanos.
+func TestSimulateUnloadedChain(t *testing.T) {
+	g, err := ParseSpec("topology c\nnode A work=10 kernel=0 -> B\nnode B work=20 kernel=0 -> C\nnode C work=30 kernel=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, arrivalTrace(t, 0), SimConfig{UnitNanos: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]float64{"A": 6000, "B": 5000, "C": 3000} // subtree units × 100
+	for _, na := range res.PerNode {
+		if na.Requests != 1 || na.P50Nanos != want[na.Node] { //modelcheck:ignore floatcmp — virtual time is exact integer arithmetic
+			t.Fatalf("%s: %+v, want latency %v", na.Node, na, want[na.Node])
+		}
+	}
+	if res.E2E.P99Nanos != 6000 || res.E2E.Requests != 1 {
+		t.Fatalf("e2e = %+v", res.E2E)
+	}
+}
+
+// TestSimulateFanOutTakesMax pins concurrent fan-out: the parent waits
+// for its slowest child, not the sum.
+func TestSimulateFanOutTakesMax(t *testing.T) {
+	g, err := ParseSpec("topology f\nnode P work=10 kernel=0 -> S F\nnode S work=5 kernel=0\nnode F work=50 kernel=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, arrivalTrace(t, 0), SimConfig{UnitNanos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.E2E.MaxNanos != 60 { // 10 + max(5, 50)
+		t.Fatalf("e2e = %+v, want 60", res.E2E)
+	}
+}
+
+// TestSimulateQueueing pins worker contention: two simultaneous
+// arrivals at a single-worker node serialize, so the second waits.
+func TestSimulateQueueing(t *testing.T) {
+	g, err := ParseSpec("topology q\nnode A work=10 kernel=0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Simulate(g, arrivalTrace(t, 0, 0), SimConfig{Workers: 1, UnitNanos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := res.PerNode[0]
+	if a.Requests != 2 || a.P50Nanos != 10 || a.MaxNanos != 20 {
+		t.Fatalf("A = %+v, want latencies 10 and 20", a)
+	}
+	// With two workers the same arrivals run in parallel.
+	res, err = Simulate(g, arrivalTrace(t, 0, 0), SimConfig{Workers: 2, UnitNanos: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a := res.PerNode[0]; a.MaxNanos != 10 {
+		t.Fatalf("A = %+v, want both latencies 10", a)
+	}
+}
+
+// TestSimulateAccelMatchesPrediction pins the sim against the composed
+// model on an unloaded graph: the per-arrival latency ratio between a
+// baseline and an accelerated replay is exactly the predicted
+// end-to-end reduction (no queueing, so service times alone decide).
+func TestSimulateAccelMatchesPrediction(t *testing.T) {
+	g, err := ParseSpec(webSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Arrivals far apart: no queueing at 1µs/unit.
+	tr := arrivalTrace(t, 0, 10_000_000, 20_000_000)
+	base, err := Simulate(g, tr, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel, err := Simulate(g, tr, SimConfig{Accel: &testAccel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Predict(g, testAccel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := base.E2E.P50Nanos / accel.E2E.P50Nanos
+	if !dist.WithinRel(got, p.E2EReduction, 1e-9) {
+		t.Fatalf("sim reduction %v vs predicted %v", got, p.E2EReduction)
+	}
+}
+
+// TestSimulateDeterministic: byte-identical aggregates across runs.
+func TestSimulateDeterministic(t *testing.T) {
+	g, err := ParseSpecFile(specDir + "/two-tier.topo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := record.Synthesize("retry-storm", 99, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Simulate(g, tr, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Simulate(g, tr, SimConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two simulations of the same trace diverged")
+	}
+}
+
+func TestSimulateRejects(t *testing.T) {
+	g, err := ParseSpec("topology t\nnode A work=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Simulate(nil, arrivalTrace(t, 0), SimConfig{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	if _, err := Simulate(g, nil, SimConfig{}); err == nil {
+		t.Fatal("accepted nil trace")
+	}
+	if _, err := Simulate(g, arrivalTrace(t, 0), SimConfig{Accel: &AccelConfig{A: 0.5}}); err == nil {
+		t.Fatal("accepted invalid accel")
+	}
+}

@@ -1,0 +1,154 @@
+package topology
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// Topology shutdown soak: the multi-tier twin of the rpc package's
+// batcher connect-storm test. Concurrent callers drive the three-tier
+// graph while random context cancellations land mid-request at every
+// depth — some cancel before the root handler runs, some while a
+// mid-tier fan-out is in flight — and then the whole runner is torn
+// down while traffic may still be draining. Run under -race (as
+// scripts/check.sh does) this is the topology driver's data-race
+// canary. Invariants:
+//
+//   - every call either succeeds or fails with an error — no hangs
+//     (the test itself would time out);
+//   - Close is idempotent and never double-closes a server, pool, or
+//     listener (a double close would surface as an error or panic);
+//   - after teardown the goroutine count settles back to baseline: no
+//     leaked handler fan-out goroutines, pool waiters, or serve loops.
+func TestTopologySoakCancellations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		r := startRunner(t, webSpec, fastConfig(nil))
+
+		const (
+			goroutines   = 8
+			callsPerGoro = 25
+		)
+		var succeeded, failed atomic.Int64
+		var wg sync.WaitGroup
+		for g := 0; g < goroutines; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				rng := rand.New(rand.NewSource(int64(g))) //modelcheck:ignore seedhygiene — deterministic per-goroutine stream for reproducibility
+				for i := 0; i < callsPerGoro; i++ {
+					ctx := context.Background()
+					cancel := context.CancelFunc(func() {})
+					if rng.Intn(2) == 0 {
+						// A deadline in the same range as a request's
+						// multi-hop latency: cancellations land at
+						// every tier, including mid-fan-out.
+						ctx, cancel = context.WithTimeout(ctx, time.Duration(rng.Intn(2000))*time.Microsecond)
+					}
+					if _, err := r.Call(ctx, []byte{byte(g), byte(i)}); err != nil {
+						failed.Add(1)
+					} else {
+						succeeded.Add(1)
+					}
+					cancel()
+				}
+			}(g)
+		}
+		wg.Wait()
+
+		total := int64(goroutines * callsPerGoro)
+		if got := succeeded.Load() + failed.Load(); got != total {
+			t.Errorf("accounted for %d calls, want %d", got, total)
+		}
+		if succeeded.Load() == 0 {
+			t.Error("no call survived; cancellation rate swamped the soak")
+		}
+		t.Logf("soak: %d succeeded, %d cancelled/failed", succeeded.Load(), failed.Load())
+		if err := r.ServeErr(); err != nil {
+			t.Errorf("serve error during soak: %v", err)
+		}
+
+		// Tear down explicitly (Cleanup will Close again — the second
+		// Close must be an idempotent no-op, not a double close).
+		if err := r.Close(); err != nil {
+			t.Fatalf("close: %v", err)
+		}
+		if err := r.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+	}()
+
+	// Goroutine-leak delta: poll until the count settles back to
+	// baseline (small slack for runtime background goroutines).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestTopologySoakCloseUnderLoad closes the runner while an open-loop
+// generator is still issuing: in-flight and not-yet-issued requests must
+// resolve as errors (or successes), never hang, and teardown must stay
+// leak-free.
+func TestTopologySoakCloseUnderLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	baseline := runtime.NumGoroutine()
+
+	func() {
+		r := startRunner(t, webSpec, fastConfig(nil))
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		done := make(chan error, 1)
+		go func() {
+			_, err := r.RunOpenLoop(ctx, LoadConfig{QPS: 2000, Requests: 4000})
+			done <- err
+		}()
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+		if err := r.Close(); err != nil {
+			t.Fatalf("close under load: %v", err)
+		}
+		select {
+		case <-done:
+			// Cancellation mid-run may or may not surface as an error
+			// depending on how many requests had already resolved; the
+			// invariant is that the generator returns at all.
+		case <-time.After(10 * time.Second):
+			t.Fatal("open-loop generator hung after Close")
+		}
+	}()
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

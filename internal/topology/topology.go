@@ -1,0 +1,349 @@
+// Package topology turns the fleet's eight independent service loops
+// into a composable serving system: a declarative service-dependency
+// graph (in the spirit of the pces "computational pattern" DSL) drives
+// real rpc.Servers on loopback, upstream handlers issue mid-request
+// downstream calls per the graph's fan-out spec, and per-tier telemetry
+// histograms capture how tail latency amplifies hop by hop.
+//
+// The same graph feeds three consumers:
+//
+//   - Runner (runner.go): every node is a live rpc.Server; an open-loop
+//     generator (generator.go) injects arrivals at the roots.
+//   - Simulate (sim.go): a deterministic virtual-time replay of a
+//     recorded trace through the graph, for golden regression tests.
+//   - Predict (model.go): the composed Accelerometer model — per-node
+//     latency reduction from core.Model chained along the graph's
+//     critical path — validated against the measured end-to-end p99.
+//
+// Work is counted in abstract spin units exactly like the repository's
+// measured-vs-model test: a node's request costs Work non-kernel units
+// plus Kernel offloadable units, so core.Params maps directly
+// (C = Work+Kernel, α = Kernel/C).
+package topology
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/fleetdata"
+	"repro/internal/services"
+)
+
+// DefaultNodeUnits is the total per-request work (in spin units) given
+// to a node whose spec line omits work=/kernel= attributes. Such nodes
+// must be named after a characterized service (fleetdata.Services); the
+// kernel share is then the service's measured offloadable fraction
+// (services.OffloadableShare), so example graphs can say just
+// "node Feed1 -> Cache1" and inherit the paper's Table 3 split.
+const DefaultNodeUnits = 100
+
+// Node is one service instance in the dependency graph.
+type Node struct {
+	// Name identifies the node; downstream RPC methods are Name + ".req".
+	Name string
+	// Work is the per-request non-kernel cost in spin units.
+	Work float64
+	// Kernel is the per-request offloadable kernel cost in spin units.
+	Kernel float64
+	// Children are downstream nodes called mid-request, concurrently
+	// (fan-out); the request completes when every child responds.
+	Children []string
+}
+
+// TotalUnits is the node's unaccelerated per-request cost.
+func (n *Node) TotalUnits() float64 { return n.Work + n.Kernel }
+
+// Alpha is the node's offloadable fraction Kernel/(Work+Kernel).
+func (n *Node) Alpha() float64 {
+	t := n.TotalUnits()
+	if t <= 0 {
+		return 0
+	}
+	return n.Kernel / t
+}
+
+// Graph is a validated service-dependency DAG.
+type Graph struct {
+	// Name is the topology's declared name.
+	Name string
+	// Nodes in declaration order.
+	Nodes []*Node
+
+	byName map[string]*Node
+	depth  map[string]int
+	roots  []string
+}
+
+// Node returns the named node, or nil.
+func (g *Graph) Node(name string) *Node { return g.byName[name] }
+
+// Roots returns the entry nodes (no parents), in declaration order.
+// Arrivals are injected at every root.
+func (g *Graph) Roots() []string { return g.roots }
+
+// Depth returns the node's tier: 0 for roots, else 1 + the maximum
+// parent depth (the longest call path from any root).
+func (g *Graph) Depth(name string) int { return g.depth[name] }
+
+// MaxDepth returns the deepest tier index.
+func (g *Graph) MaxDepth() int {
+	max := 0
+	for _, d := range g.depth {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// Tiers groups node names by Depth, each tier sorted by name — the
+// shape reports and the debug panel render.
+func (g *Graph) Tiers() [][]string {
+	tiers := make([][]string, g.MaxDepth()+1)
+	for _, n := range g.Nodes {
+		d := g.depth[n.Name]
+		tiers[d] = append(tiers[d], n.Name)
+	}
+	for _, t := range tiers {
+		sort.Strings(t)
+	}
+	return tiers
+}
+
+// validNodeName matches spec node identifiers.
+func validNodeName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// ParseSpec parses the declarative topology format:
+//
+//	# comment
+//	topology web-feed-cache
+//	node Web  work=40 kernel=60 -> Feed1 Feed2
+//	node Feed1 -> Cache1
+//	node Cache1 work=20 kernel=180
+//
+// One "topology <name>" line, then one "node" line per service. The
+// optional work=/kernel= attributes give the per-request cost in spin
+// units; a node that omits both must be named after a characterized
+// service (case-insensitively) and inherits DefaultNodeUnits split by
+// the service's measured offloadable share. "-> A B" lists downstream
+// children. The graph must be a DAG with at least one root.
+func ParseSpec(src string) (*Graph, error) {
+	g := &Graph{byName: make(map[string]*Node)}
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "topology":
+			if g.Name != "" {
+				return nil, specErr(lineNo, "duplicate topology line")
+			}
+			if len(fields) != 2 {
+				return nil, specErr(lineNo, "want: topology <name>")
+			}
+			g.Name = fields[1]
+		case "node":
+			n, err := parseNodeLine(fields[1:])
+			if err != nil {
+				return nil, specErr(lineNo, "%v", err)
+			}
+			if _, dup := g.byName[n.Name]; dup {
+				return nil, specErr(lineNo, "duplicate node %q", n.Name)
+			}
+			g.byName[n.Name] = n
+			g.Nodes = append(g.Nodes, n)
+		default:
+			return nil, specErr(lineNo, "unknown directive %q", fields[0])
+		}
+	}
+	if g.Name == "" {
+		return nil, fmt.Errorf("topology: spec has no topology line")
+	}
+	if len(g.Nodes) == 0 {
+		return nil, fmt.Errorf("topology: spec %q has no nodes", g.Name)
+	}
+	if err := g.finish(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseSpecFile reads and parses a .topo spec from disk.
+func ParseSpecFile(path string) (*Graph, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("topology: %w", err)
+	}
+	g, err := ParseSpec(string(data))
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return g, nil
+}
+
+func specErr(lineNo int, format string, args ...any) error {
+	return fmt.Errorf("topology: line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+}
+
+// parseNodeLine parses "Name [work=N] [kernel=N] [-> Child...]".
+func parseNodeLine(fields []string) (*Node, error) {
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("want: node <name> [work=N] [kernel=N] [-> child...]")
+	}
+	n := &Node{Name: fields[0], Work: math.NaN(), Kernel: math.NaN()}
+	if !validNodeName(n.Name) {
+		return nil, fmt.Errorf("invalid node name %q", n.Name)
+	}
+	rest := fields[1:]
+	for len(rest) > 0 && rest[0] != "->" {
+		key, val, ok := strings.Cut(rest[0], "=")
+		if !ok {
+			return nil, fmt.Errorf("node %s: bad attribute %q", n.Name, rest[0])
+		}
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil || !(v >= 0) || v > 1e9 {
+			return nil, fmt.Errorf("node %s: %s must be a number in [0, 1e9], got %q", n.Name, key, val)
+		}
+		switch key {
+		case "work":
+			n.Work = v
+		case "kernel":
+			n.Kernel = v
+		default:
+			return nil, fmt.Errorf("node %s: unknown attribute %q", n.Name, key)
+		}
+		rest = rest[1:]
+	}
+	if len(rest) > 0 { // "-> child..."
+		if len(rest) == 1 {
+			return nil, fmt.Errorf("node %s: -> lists no children", n.Name)
+		}
+		for _, c := range rest[1:] {
+			if !validNodeName(c) {
+				return nil, fmt.Errorf("node %s: invalid child name %q", n.Name, c)
+			}
+			n.Children = append(n.Children, c)
+		}
+	}
+	if math.IsNaN(n.Work) && math.IsNaN(n.Kernel) {
+		share, err := characterizedShare(n.Name)
+		if err != nil {
+			return nil, fmt.Errorf("node %s: no work=/kernel= attributes and %v", n.Name, err)
+		}
+		n.Kernel = math.Round(DefaultNodeUnits * share)
+		n.Work = DefaultNodeUnits - n.Kernel
+	} else {
+		if math.IsNaN(n.Work) {
+			n.Work = 0
+		}
+		if math.IsNaN(n.Kernel) {
+			n.Kernel = 0
+		}
+	}
+	if n.TotalUnits() <= 0 {
+		return nil, fmt.Errorf("node %s: work+kernel must be positive", n.Name)
+	}
+	return n, nil
+}
+
+// characterizedShare resolves a node name to a characterized service's
+// offloadable cycle share, case-insensitively.
+func characterizedShare(name string) (float64, error) {
+	for _, svc := range fleetdata.Services {
+		if strings.EqualFold(string(svc), name) {
+			return services.OffloadableShare(svc)
+		}
+	}
+	return 0, fmt.Errorf("%q is not a characterized service (give explicit work=/kernel=)", name)
+}
+
+// finish validates edges, rejects cycles, and computes roots and depths.
+func (g *Graph) finish() error {
+	hasParent := make(map[string]bool)
+	for _, n := range g.Nodes {
+		seen := make(map[string]bool)
+		for _, c := range n.Children {
+			if g.byName[c] == nil {
+				return fmt.Errorf("topology %s: node %s calls undeclared node %q", g.Name, n.Name, c)
+			}
+			if c == n.Name {
+				return fmt.Errorf("topology %s: node %s calls itself", g.Name, n.Name)
+			}
+			if seen[c] {
+				return fmt.Errorf("topology %s: node %s lists child %s twice", g.Name, n.Name, c)
+			}
+			seen[c] = true
+			hasParent[c] = true
+		}
+	}
+	for _, n := range g.Nodes {
+		if !hasParent[n.Name] {
+			g.roots = append(g.roots, n.Name)
+		}
+	}
+	if len(g.roots) == 0 {
+		return fmt.Errorf("topology %s: no root (every node has a parent — the graph is cyclic)", g.Name)
+	}
+	// Longest-path depth from the roots; the DFS also proves acyclicity.
+	g.depth = make(map[string]int, len(g.Nodes))
+	state := make(map[string]int, len(g.Nodes)) // 0 unvisited, 1 on stack, 2 done
+	var walk func(name string, d int) error
+	walk = func(name string, d int) error {
+		if state[name] == 1 {
+			return fmt.Errorf("topology %s: cycle through node %s", g.Name, name)
+		}
+		if cur, ok := g.depth[name]; ok {
+			if d <= cur && state[name] == 2 {
+				return nil
+			}
+			if d > cur {
+				g.depth[name] = d
+			}
+		} else {
+			g.depth[name] = d
+		}
+		state[name] = 1
+		for _, c := range g.byName[name].Children {
+			if err := walk(c, d+1); err != nil {
+				return err
+			}
+		}
+		state[name] = 2
+		return nil
+	}
+	for _, r := range g.roots {
+		if err := walk(r, 0); err != nil {
+			return err
+		}
+	}
+	// A node reachable from no root can only sit on a cycle detached
+	// from every root; the roots check above already rejected that, but
+	// guard against disconnected cyclic islands explicitly.
+	for _, n := range g.Nodes {
+		if _, ok := g.depth[n.Name]; !ok && state[n.Name] == 0 {
+			return fmt.Errorf("topology %s: node %s is unreachable from any root (cyclic island)", g.Name, n.Name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,164 @@
+package topology
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/fleetdata"
+	"repro/internal/services"
+)
+
+// specDir points at the checked-in example graphs.
+var specDir = filepath.Join("..", "..", "testdata", "topologies")
+
+const webSpec = `
+# three tiers
+topology web-feed-cache
+node Web    work=40 kernel=60  -> Feed1 Feed2
+node Feed1  work=30 kernel=120 -> Cache1
+node Feed2  work=30 kernel=120 -> Cache2
+node Cache1 work=20 kernel=180
+node Cache2 work=20 kernel=180
+`
+
+func TestParseSpec(t *testing.T) {
+	g, err := ParseSpec(webSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "web-feed-cache" {
+		t.Fatalf("name = %q", g.Name)
+	}
+	if len(g.Nodes) != 5 {
+		t.Fatalf("nodes = %d, want 5", len(g.Nodes))
+	}
+	if got := g.Roots(); !reflect.DeepEqual(got, []string{"Web"}) {
+		t.Fatalf("roots = %v", got)
+	}
+	web := g.Node("Web")
+	if web == nil || web.Work != 40 || web.Kernel != 60 {
+		t.Fatalf("Web = %+v", web)
+	}
+	if !reflect.DeepEqual(web.Children, []string{"Feed1", "Feed2"}) {
+		t.Fatalf("Web children = %v", web.Children)
+	}
+	if d := g.Depth("Cache2"); d != 2 {
+		t.Fatalf("Depth(Cache2) = %d, want 2", d)
+	}
+	if d := g.MaxDepth(); d != 2 {
+		t.Fatalf("MaxDepth = %d, want 2", d)
+	}
+	wantTiers := [][]string{{"Web"}, {"Feed1", "Feed2"}, {"Cache1", "Cache2"}}
+	if got := g.Tiers(); !reflect.DeepEqual(got, wantTiers) {
+		t.Fatalf("tiers = %v, want %v", got, wantTiers)
+	}
+	if a := g.Node("Cache1").Alpha(); a != 0.9 {
+		t.Fatalf("Cache1 alpha = %v, want 0.9", a)
+	}
+}
+
+// TestParseSpecCharacterizedDefaults pins the fleetdata-derived split: a
+// node named after a characterized service with no attributes gets
+// DefaultNodeUnits split by its measured offloadable share.
+func TestParseSpecCharacterizedDefaults(t *testing.T) {
+	g, err := ParseSpec("topology t\nnode Ads1 -> Cache9\nnode Cache9 work=70 kernel=30\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	share, err := services.OffloadableShare(fleetdata.Ads1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ads := g.Node("Ads1")
+	if ads.TotalUnits() != DefaultNodeUnits {
+		t.Fatalf("Ads1 total = %v, want %v", ads.TotalUnits(), float64(DefaultNodeUnits))
+	}
+	// Fig 9 shares are integer percentages, so the derived kernel units
+	// are exact.
+	if want := share * DefaultNodeUnits; ads.Kernel != want { //modelcheck:ignore floatcmp — the parser computes this exact product
+		t.Fatalf("Ads1 kernel = %v, want %v", ads.Kernel, want)
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantErr string
+	}{
+		{"no topology line", "node A work=1\n", "no topology line"},
+		{"no nodes", "topology t\n", "has no nodes"},
+		{"dup topology", "topology a\ntopology b\nnode A work=1\n", "duplicate topology"},
+		{"dup node", "topology t\nnode A work=1\nnode A work=1\n", "duplicate node"},
+		{"bad directive", "topology t\nedge A B\n", "unknown directive"},
+		{"bad attr", "topology t\nnode A cost=3\n", "unknown attribute"},
+		{"bad number", "topology t\nnode A work=banana\n", "must be a number"},
+		{"zero cost", "topology t\nnode A work=0 kernel=0\n", "must be positive"},
+		{"uncharacterized default", "topology t\nnode Mystery\n", "not a characterized service"},
+		{"undeclared child", "topology t\nnode A work=1 -> B\n", "undeclared node"},
+		{"self call", "topology t\nnode A work=1 -> A\n", "calls itself"},
+		{"dup child", "topology t\nnode A work=1 -> B B\nnode B work=1\n", "twice"},
+		{"empty children", "topology t\nnode A work=1 ->\n", "no children"},
+		{"cycle", "topology t\nnode A work=1 -> B\nnode B work=1 -> C\nnode C work=1 -> A\n", "no root"},
+		{"cyclic island", "topology t\nnode A work=1\nnode B work=1 -> C\nnode C work=1 -> B\n", "cyclic island"},
+		{"bad name", "topology t\nnode A/B work=1\n", "invalid node name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.src)
+			if err == nil {
+				t.Fatalf("ParseSpec accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestParseSpecFiles parses every checked-in example graph and pins
+// their key shapes.
+func TestParseSpecFiles(t *testing.T) {
+	g, err := ParseSpecFile(filepath.Join(specDir, "web-feed-cache.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDepth() != 2 || len(g.Nodes) != 5 {
+		t.Fatalf("web-feed-cache: depth %d nodes %d, want 2/5", g.MaxDepth(), len(g.Nodes))
+	}
+	g, err = ParseSpecFile(filepath.Join(specDir, "ads-chain.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDepth() != 2 || len(g.Roots()) != 1 || g.Roots()[0] != "Ads1" {
+		t.Fatalf("ads-chain: depth %d roots %v", g.MaxDepth(), g.Roots())
+	}
+	g, err = ParseSpecFile(filepath.Join(specDir, "two-tier.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.MaxDepth() != 1 || len(g.Nodes) != 3 {
+		t.Fatalf("two-tier: depth %d nodes %d, want 1/3", g.MaxDepth(), len(g.Nodes))
+	}
+	if _, err := ParseSpecFile(filepath.Join(specDir, "nope.topo")); err == nil {
+		t.Fatal("ParseSpecFile accepted a missing file")
+	}
+}
+
+// TestDiamondDepth pins longest-path depth on a diamond: the join node
+// sits below the deepest parent.
+func TestDiamondDepth(t *testing.T) {
+	g, err := ParseSpec(`topology d
+node A work=1 -> B C
+node B work=1 -> D
+node C work=1 -> E
+node E work=1 -> D
+node D work=1
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := g.Depth("D"); d != 3 {
+		t.Fatalf("Depth(D) = %d, want 3 (longest path A->C->E->D)", d)
+	}
+}

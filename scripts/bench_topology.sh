@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# bench_topology.sh — topology-driver overhead vs the flat RPC fleet,
+# captured as JSON.
+#
+# Runs the matched benchmark pair from internal/topology/bench_test.go:
+# identical spin work behind a plain rpc.Server (flat arm) and behind a
+# single-node topology Runner (driver arm — client-pool checkout plus
+# per-node and end-to-end histogram records on top of the same loopback
+# hop). Writes BENCH_topology.json with ns/op, B/op, and allocs/op for
+# each plus the derived per-request overhead. Fails if the driver costs
+# more than MAX_TOPO_OVERHEAD_PCT (default 10) percent over flat — the
+# telemetry layer must stay cheap enough to leave in the measured path.
+# Override the iteration budget with BENCHTIME (default 300x; use e.g.
+# BENCHTIME=2s locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_topology.json}"
+max="${MAX_TOPO_OVERHEAD_PCT:-10}"
+raw="$(go test -run '^$' -bench '^Benchmark(FlatRPCCall|TopologyCall)$' \
+    -benchmem -benchtime "${BENCHTIME:-300x}" ./internal/topology/)"
+echo "$raw"
+
+echo "$raw" | awk -v max="$max" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    ns[name] = nsop
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, nsop, bop, aop
+}
+BEGIN { print "[" }
+END {
+    if (n != 2) { print "expected 2 benchmark lines, parsed " n > "/dev/stderr"; exit 1 }
+    flat = ns["BenchmarkFlatRPCCall"]
+    topo = ns["BenchmarkTopologyCall"]
+    if (flat == "" || topo == "" || flat + 0 == 0) {
+        print "missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    overhead = (topo - flat) / flat * 100
+    printf ",\n  {\"name\": \"topology_overhead_pct\", \"value\": %.3f, \"max_allowed\": %s}\n]\n",
+        overhead, max
+    printf "topology driver overhead: %.2f%% (ceiling %s%%)\n", overhead, max > "/dev/stderr"
+    if (overhead > max + 0) {
+        printf "FATAL: topology per-request overhead %.2f%% above the %s%% ceiling\n", overhead, max > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"

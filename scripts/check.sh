@@ -4,13 +4,17 @@
 # Runs, in order:
 #   1. go build ./...            (everything compiles)
 #   2. go vet ./...              (stock static analysis)
-#   3. modelcheck ./...          (domain-aware suite: floatcmp, errdrop,
+#   3. modelcheck -tests ./...   (domain-aware suite: floatcmp, errdrop,
 #                                 paramvalidate, seedhygiene, lockcheck,
-#                                 shadow, ctxcheck, poolcheck)
+#                                 shadow, ctxcheck, poolcheck — including
+#                                 _test.go files, which are covered by the
+#                                 documented golden-value and teardown
+#                                 exemption rules rather than annotations)
 #   4. modelcheck self-test      (the suite must still flag known-bad
-#                                 fixtures: a syntax-level file plus a
-#                                 multi-package module exercising the
-#                                 flow-sensitive analyzers)
+#                                 fixtures: a syntax-level file, a test
+#                                 file proving the test exemptions stay
+#                                 narrow, plus a multi-package module
+#                                 exercising the flow-sensitive analyzers)
 #   5. modelcheck timing         (the warm-cache whole-module run — export
 #                                 data + call-graph summaries cached —
 #                                 must finish under 2 s)
@@ -37,8 +41,8 @@ trap 'rm -rf "$workdir"' EXIT
 MODELCHECK="$workdir/modelcheck"
 go build -o "$MODELCHECK" ./cmd/modelcheck
 
-echo "==> modelcheck ./..."
-"$MODELCHECK" ./...
+echo "==> modelcheck -tests ./..."
+"$MODELCHECK" -tests ./...
 
 echo "==> modelcheck self-test (must flag a known-bad fixture)"
 selftest="$workdir/selftest"
@@ -75,6 +79,44 @@ if "$MODELCHECK" -C "$selftest" ./... > /dev/null 2>&1; then
     exit 1
 fi
 echo "    ok: suite flags the bad fixture"
+
+echo "==> modelcheck test-exemption self-test (rules stay narrow)"
+cat > "$selftest/bad_test.go" <<'FIXEOF'
+package selftest
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTeardownAndGolden carries two exempted findings (a golden-value
+// float pin, a Cleanup teardown) and two still-flagged ones (a
+// computed-vs-computed float comparison, an invisible error discard).
+func TestTeardownAndGolden(t *testing.T) {
+	got := float64(len(os.Args)) * 0.5
+	if got == 1.5 { // exempt: golden-value pin against a constant
+		t.Log("golden")
+	}
+	if got == got*3 { // line 16: flagged even in a test file
+		t.Log("computed")
+	}
+	t.Cleanup(func() { os.Remove("x") }) // exempt: teardown rule
+	os.Remove("y")                       // line 20: flagged - invisible discard
+}
+FIXEOF
+testout="$("$MODELCHECK" -C "$selftest" -tests -json ./... 2>/dev/null || true)"
+badtest_findings=$(grep -c "bad_test.go" <<<"$testout" || true)
+if [ "$badtest_findings" -ne 2 ]; then
+    echo "FATAL: bad_test.go produced $badtest_findings finding(s), want exactly 2 (golden-value and teardown exemptions must hold; computed comparison and invisible discard must stay flagged)" >&2
+    echo "$testout" >&2
+    exit 1
+fi
+if ! grep -q '"line": 16' <<<"$testout" || ! grep -q '"line": 20' <<<"$testout"; then
+    echo "FATAL: bad_test.go findings are not the expected ones (want the computed float comparison on line 16 and the invisible discard on line 20)" >&2
+    echo "$testout" >&2
+    exit 1
+fi
+echo "    ok: test exemptions hold and the still-bad test findings survive"
 
 echo "==> modelcheck flow-sensitive self-test (CFG + call-graph findings)"
 flowtest="$workdir/flowtest"

@@ -1,31 +1,39 @@
 #!/usr/bin/env bash
-# coverage.sh — statement-coverage floor for the rpc package.
+# coverage.sh — statement-coverage floors for the measured-path packages.
 #
-# The batching/fuzz/soak PR measured internal/rpc at 88.6% statement
-# coverage before it landed; this gate fails if coverage ever drops below
-# that pre-PR baseline, so new rpc surface area must arrive with tests.
-# Raise the floor (never lower it) when coverage durably improves.
+# Each floor is the package's coverage when its gate landed, so new
+# surface area must arrive with tests; raise a floor (never lower it)
+# when coverage durably improves:
 #
-# Usage: scripts/coverage.sh            (gate internal/rpc)
-#        RPC_COVER_MIN=90 scripts/coverage.sh   (override the floor)
+#   internal/rpc       88.6%  (batching/fuzz/soak PR)
+#   internal/topology  80.0%  (multi-tier topology PR; measured 91.7%,
+#                              floored lower because the non-short
+#                              measured-vs-model test exercises a chunk
+#                              of runner.go only on full runs)
+#
+# Usage: scripts/coverage.sh
+#        RPC_COVER_MIN=90 TOPOLOGY_COVER_MIN=85 scripts/coverage.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-floor="${RPC_COVER_MIN:-88.6}"
-
-out="$(go test -count=1 -cover ./internal/rpc/)"
-echo "$out"
-
-pct="$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')"
-if [ -z "$pct" ]; then
-    echo "FATAL: could not parse coverage percentage from go test output" >&2
-    exit 1
-fi
-
-awk -v pct="$pct" -v floor="$floor" 'BEGIN {
-    if (pct + 0 < floor + 0) {
-        printf "FATAL: internal/rpc coverage %.1f%% below the %.1f%% floor\n", pct, floor > "/dev/stderr"
+gate() {
+    local pkg="$1" floor="$2"
+    local out pct
+    out="$(go test -count=1 -cover "./$pkg/")"
+    echo "$out"
+    pct="$(echo "$out" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*')"
+    if [ -z "$pct" ]; then
+        echo "FATAL: could not parse coverage percentage for $pkg" >&2
         exit 1
-    }
-    printf "internal/rpc coverage %.1f%% >= %.1f%% floor\n", pct, floor
-}'
+    fi
+    awk -v pkg="$pkg" -v pct="$pct" -v floor="$floor" 'BEGIN {
+        if (pct + 0 < floor + 0) {
+            printf "FATAL: %s coverage %.1f%% below the %.1f%% floor\n", pkg, pct, floor > "/dev/stderr"
+            exit 1
+        }
+        printf "%s coverage %.1f%% >= %.1f%% floor\n", pkg, pct, floor
+    }'
+}
+
+gate internal/rpc "${RPC_COVER_MIN:-88.6}"
+gate internal/topology "${TOPOLOGY_COVER_MIN:-80}"

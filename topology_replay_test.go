@@ -1,0 +1,106 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/topology"
+)
+
+// Topology regression tests over the scenario library: every checked-in
+// trace (testdata/scenarios/*.trace — steady, diurnal-burst,
+// retry-storm) replays through the two-tier example graph in virtual
+// time, and the per-tier aggregates must match the golden file
+// byte-for-byte. The simulator is exact order statistics over a
+// deterministic event heap, so two runs are identical and the golden
+// file regenerates reproducibly on any machine:
+//
+//	UPDATE_SCENARIOS=1 go test -run TestTopologyScenarioGolden .
+
+const topologyGoldenDir = "testdata/topologies"
+
+// topologyScenarioConfig is the fixed virtual-time substrate the golden
+// aggregates are recorded under. Two workers per node, so the
+// retry-storm's bursts queue and amplify the simulated tail the same
+// way every run.
+func topologyScenarioConfig(accel *topology.AccelConfig) topology.SimConfig {
+	return topology.SimConfig{Workers: 2, UnitNanos: 1000, Accel: accel}
+}
+
+// topologyScenarioGolden is one scenario's expected per-tier aggregates:
+// a baseline arm and an accelerated arm over identical arrivals.
+type topologyScenarioGolden struct {
+	Baseline *topology.SimResult `json:"baseline"`
+	Accel    *topology.SimResult `json:"accel"`
+}
+
+func TestTopologyScenarioGolden(t *testing.T) {
+	g, err := topology.ParseSpecFile(filepath.Join(topologyGoldenDir, "two-tier.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	accel := &topology.AccelConfig{A: 8, O0: 10, L: 10}
+
+	got := map[string]topologyScenarioGolden{}
+	for _, name := range record.Scenarios {
+		tr, err := record.ReadFile(scenarioTracePath(name))
+		if err != nil {
+			t.Fatalf("%v (run with UPDATE_SCENARIOS=1 to generate)", err)
+		}
+		base, err := topology.Simulate(g, tr, topologyScenarioConfig(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := topology.Simulate(g, tr, topologyScenarioConfig(nil))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(base, again) {
+			t.Fatalf("%s: two simulations of the same trace diverged", name)
+		}
+		acc, err := topology.Simulate(g, tr, topologyScenarioConfig(accel))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sanity invariants that hold for any trace before comparing
+		// bytes: every tier saw every arrival, and acceleration can only
+		// help the end-to-end median under identical arrivals.
+		for _, pn := range base.PerNode {
+			if pn.Requests != len(tr.Events) {
+				t.Fatalf("%s: tier %s saw %d requests, want %d", name, pn.Node, pn.Requests, len(tr.Events))
+			}
+		}
+		if acc.E2E.P50Nanos >= base.E2E.P50Nanos {
+			t.Fatalf("%s: accelerated p50 %v did not beat baseline %v", name, acc.E2E.P50Nanos, base.E2E.P50Nanos)
+		}
+		got[name] = topologyScenarioGolden{Baseline: base, Accel: acc}
+	}
+
+	goldenPath := filepath.Join(topologyGoldenDir, "golden.json")
+	if updateScenarios() {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SCENARIOS=1 to generate)", err)
+	}
+	want := map[string]topologyScenarioGolden{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("topology aggregates diverge from %s\ngot:  %+v\nwant: %+v\n(regenerate with UPDATE_SCENARIOS=1 if the simulator changed deliberately)", goldenPath, got, want)
+	}
+}
