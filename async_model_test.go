@@ -1,0 +1,269 @@
+package main
+
+import (
+	"context"
+	"math"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/rpc"
+)
+
+// The async counterpart of measured_model_test.go: drive the
+// completion-queue serving path with a known split of synthetic work
+// units and check both async equations against wall-clock measurements.
+//
+//	baseline     = nk + k units, inline on an engine worker
+//	async host   = nk + o0 + L units, then park; the device covers k/A
+//	               units of wall time while the worker serves others
+//	null         = 0 units inline — pure stack overhead, subtracted
+//
+// Throughput at high in-flight count validates equation (6) for the
+// AsyncSameThread design (the worker is only charged the host share);
+// serial p50 latency validates equation (8) (the request still waits out
+// the device's k/A on its own critical path). Constants are shared with
+// the sync measured-vs-model test so the unit system is identical.
+
+// asyncSpinSink defeats dead-code elimination; engine workers spin
+// concurrently, hence the atomic (unlike measured_model_test's serial
+// spin).
+var asyncSpinSink atomic.Uint64
+
+// asyncSpin burns the same deterministic per-unit cost as spin().
+func asyncSpin(units int) {
+	x := uint64(2463534242)
+	for i := 0; i < units*5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	asyncSpinSink.Add(x)
+}
+
+// calibrateUnit returns the measured wall time of one spin unit (the
+// minimum over a few trials, so scheduler preemption inflates nothing).
+func calibrateUnit() time.Duration {
+	const units = 200
+	best := time.Duration(math.MaxInt64)
+	for trial := 0; trial < 3; trial++ {
+		start := time.Now()
+		asyncSpin(units)
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	return best / units
+}
+
+// asyncModelResume echoes the parked request once the device completes;
+// package-level so parking allocates no closure.
+var asyncModelResume rpc.ResumeFunc = func(_ context.Context, ac *rpc.AsyncCall) (rpc.Message, error) {
+	req := ac.Request()
+	return rpc.Message{Method: req.Method, Payload: req.Payload}, nil
+}
+
+// startAsyncMeasureServer serves one measurement arm: hostUnits of spin
+// on the engine worker, then either an inline response or a park for
+// devLatency. Returns a mux client wired to it.
+func startAsyncMeasureServer(t *testing.T, hostUnits int, park bool, devLatency time.Duration, workers int) *rpc.MuxClient {
+	t.Helper()
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{Latency: devLatency})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() }) // errors swallowed per the teardown rule
+	eng, err := rpc.NewEngine(rpc.EngineConfig{Workers: workers, Queue: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() }) // errors swallowed per the teardown rule
+	h := func(_ context.Context, req rpc.Message, ac *rpc.AsyncCall) (rpc.Message, error) {
+		asyncSpin(hostUnits)
+		if !park {
+			return rpc.Message{Method: req.Method, Payload: req.Payload}, nil
+		}
+		if err := ac.Park(dev, 1, asyncModelResume); err != nil {
+			return rpc.Message{}, err
+		}
+		return rpc.Message{}, nil
+	}
+	srv, err := rpc.NewAsyncServer(h, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis) //modelcheck:ignore errdrop — Serve's error is the normal shutdown path
+	t.Cleanup(func() { srv.Close() })       // errors swallowed per the teardown rule
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := rpc.NewMuxClient(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() }) // errors swallowed per the teardown rule
+	return client
+}
+
+// measureSecsPerReq pushes calls through the client keeping window in
+// flight and returns mean wall seconds per request.
+func measureSecsPerReq(t *testing.T, client *rpc.MuxClient, calls, window int) float64 {
+	t.Helper()
+	ctx := context.Background()
+	req := rpc.Message{Method: "work", Payload: []byte("x")}
+	for i := 0; i < 3; i++ { // warm up scheduler and pools
+		if _, err := client.CallContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	wg.Add(calls)
+	cb := func(_ rpc.Message, err error) {
+		if err != nil {
+			failures.Add(1)
+		}
+		<-sem
+		wg.Done()
+	}
+	start := time.Now()
+	for i := 0; i < calls; i++ {
+		sem <- struct{}{}
+		if err := client.Go(ctx, req, cb); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("%d of %d calls failed", f, calls)
+	}
+	return elapsed.Seconds() / float64(calls)
+}
+
+// measureP50Serial runs calls serial round trips and returns the p50
+// client-observed latency in seconds.
+func measureP50Serial(t *testing.T, client *rpc.MuxClient, calls int) float64 {
+	t.Helper()
+	ctx := context.Background()
+	req := rpc.Message{Method: "work", Payload: []byte("x")}
+	for i := 0; i < 3; i++ {
+		if _, err := client.CallContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	durs := make([]float64, calls)
+	for i := 0; i < calls; i++ {
+		start := time.Now()
+		if _, err := client.CallContext(ctx, req); err != nil {
+			t.Fatal(err)
+		}
+		durs[i] = time.Since(start).Seconds()
+	}
+	sort.Float64s(durs)
+	return durs[calls/2]
+}
+
+// asyncModel builds the core model over the shared spin-unit constants.
+func asyncModel(t *testing.T) *core.Model {
+	t.Helper()
+	total := float64(spinNonKernel + spinKernel)
+	return core.MustNew(core.Params{
+		C:     total,
+		Alpha: float64(spinKernel) / total,
+		N:     1,
+		O0:    spinO0,
+		L:     spinL,
+		A:     spinA,
+	})
+}
+
+// TestAsyncMeasuredSpeedupMatchesModel: at in-flight count far above the
+// worker pool, the parked arm's throughput over the inline baseline must
+// match equation (6) — the worker is charged nk + o0 + L per request and
+// the device's k/A overlaps entirely.
+func TestAsyncMeasuredSpeedupMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive measurement")
+	}
+	const (
+		calls   = 200
+		window  = 64
+		workers = 4
+	)
+	predicted, err := asyncModel(t).Speedup(core.AsyncSameThread)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devLatency := calibrateUnit() * spinKernel / spinA
+	hostAsync := spinNonKernel + spinO0 + spinL
+	tNull := measureSecsPerReq(t, startAsyncMeasureServer(t, 0, false, 0, workers), calls, window)
+	tBase := measureSecsPerReq(t, startAsyncMeasureServer(t, spinNonKernel+spinKernel, false, 0, workers), calls, window)
+	tAsync := measureSecsPerReq(t, startAsyncMeasureServer(t, hostAsync, true, devLatency, workers), calls, window)
+
+	if tBase <= tNull || tAsync <= tNull {
+		t.Fatalf("handler work does not dominate stack overhead: null=%.3gs base=%.3gs async=%.3gs",
+			tNull, tBase, tAsync)
+	}
+	measured := (tBase - tNull) / (tAsync - tNull)
+	relErr := math.Abs(measured-predicted) / predicted
+	t.Logf("per-req null=%.4gs base=%.4gs async=%.4gs; measured speedup %.3fx, eqn (6) predicts %.3fx (rel err %.1f%%)",
+		tNull, tBase, tAsync, measured, predicted, relErr*100)
+	if relErr > 0.35 {
+		t.Errorf("measured async speedup %.3fx disagrees with eqn (6) prediction %.3fx (rel err %.1f%% > 35%%)",
+			measured, predicted, relErr*100)
+	}
+}
+
+// TestAsyncMeasuredLatencyReductionMatchesModel: at concurrency 1 the
+// parked request still waits out the device's k/A on its own critical
+// path, so the p50 shift must match equation (8), not (6).
+func TestAsyncMeasuredLatencyReductionMatchesModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive measurement")
+	}
+	const (
+		calls   = 40
+		workers = 4
+		// The park/resume path adds a fixed wakeup cost (device timer,
+		// completion enqueue) that equation (8) does not model; scaling
+		// every unit count shrinks it relative to the measured work.
+		// Predictions are unchanged — the model depends only on ratios.
+		scale = 3
+	)
+	predicted, err := asyncModel(t).LatencyReduction(core.AsyncSameThread, core.OffChip)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devLatency := calibrateUnit() * scale * spinKernel / spinA
+	hostAsync := scale * (spinNonKernel + spinO0 + spinL)
+	p50Null := measureP50Serial(t, startAsyncMeasureServer(t, 0, false, 0, workers), calls)
+	p50Base := measureP50Serial(t, startAsyncMeasureServer(t, scale*(spinNonKernel+spinKernel), false, 0, workers), calls)
+	p50Async := measureP50Serial(t, startAsyncMeasureServer(t, hostAsync, true, devLatency, workers), calls)
+
+	if p50Base <= p50Null || p50Async <= p50Null {
+		t.Fatalf("handler work does not dominate stack overhead: null=%.3gs base=%.3gs async=%.3gs",
+			p50Null, p50Base, p50Async)
+	}
+	measured := (p50Base - p50Null) / (p50Async - p50Null)
+	relErr := math.Abs(measured-predicted) / predicted
+	t.Logf("p50 null=%.4gs base=%.4gs async=%.4gs; measured reduction %.3fx, eqn (8) predicts %.3fx (rel err %.1f%%)",
+		p50Null, p50Base, p50Async, measured, predicted, relErr*100)
+	if relErr > 0.35 {
+		t.Errorf("measured async latency reduction %.3fx disagrees with eqn (8) prediction %.3fx (rel err %.1f%% > 35%%)",
+			measured, predicted, relErr*100)
+	}
+}

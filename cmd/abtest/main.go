@@ -15,6 +15,13 @@
 // echo server, so any latency difference is the client stack's alone:
 //
 //	abtest -replay testdata/scenarios/retry-storm.trace -dilate 0.1
+//
+// With -replay -async the arms contrast serving threading designs instead
+// of client stacks: the same trace drives a completion-queue server twice
+// — once with handlers that block an engine worker for the whole offload
+// (Sync), once with handlers that park the continuation (AsyncSameThread):
+//
+//	abtest -replay testdata/scenarios/retry-storm.trace -async -dilate 0.1 -workers 4
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/abtest"
 	"repro/internal/core"
@@ -40,12 +48,21 @@ func main() {
 	replayPath := flag.String("replay", "", "recorded trace: A/B the batched vs unbatched RPC client on byte-identical arrivals")
 	dilate := flag.Float64("dilate", 1, "time dilation for -replay: >1 stretches recorded gaps, <1 compresses them")
 	maxBatch := flag.Int("max-batch", 8, "batcher coalescing bound for the batched arm (with -replay)")
+	asyncServe := flag.Bool("async", false, "with -replay: A/B sync vs async serving (blocking vs parked offloads) instead of client stacks")
+	workers := flag.Int("workers", 4, "engine worker pool per serving arm (with -replay -async)")
+	offloadLatency := flag.Duration("offload-latency", 0, "simulated accelerator latency per offload (with -replay -async; default 1ms)")
 	flag.Parse()
 	if err := core.ValidateBatch(*batch); err != nil {
 		fatal(err)
 	}
 	if *replayPath != "" {
-		if err := runTraceAB(*replayPath, *dilate, *maxBatch); err != nil {
+		var err error
+		if *asyncServe {
+			err = runServingAB(*replayPath, *dilate, *workers, *offloadLatency)
+		} else {
+			err = runTraceAB(*replayPath, *dilate, *maxBatch)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -168,6 +185,44 @@ func runTraceAB(path string, dilate float64, maxBatch int) error {
 	fmt.Print(tb.Render())
 	if um, bm := res.Unbatched.Latency.Mean(), res.Batched.Latency.Mean(); bm > 0 {
 		fmt.Printf("\nMean-latency ratio (unbatched/batched): %.3gx\n", um/bm)
+	}
+	return nil
+}
+
+// runServingAB replays one recorded trace through the sync and async
+// serving arms and prints the paired comparison.
+func runServingAB(path string, dilate float64, workers int, offloadLatency time.Duration) error {
+	tr, err := record.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := record.ReplayServingAB(context.Background(), tr, record.ServingABConfig{
+		Dilate:         dilate,
+		Workers:        workers,
+		OffloadLatency: offloadLatency,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("Serving A/B: %s — %d events, %s recorded span, dilation %g, %d engine workers\n",
+		path, res.Events, tr.Duration(), dilate, workers)
+	fmt.Println("Both arms replay byte-identical arrivals through the same engine pool;")
+	fmt.Println("only the threading design at the offload point differs.")
+	fmt.Println()
+	tb := textchart.NewTable("Metric", "Sync (blocking)", "Async (parked)")
+	row := func(label string, f func(record.ABArm) float64) {
+		tb.AddRowf(label, f(res.Sync), f(res.Async))
+	}
+	row("Requests issued", func(a record.ABArm) float64 { return float64(a.Stats.Issued) })
+	row("Errors", func(a record.ABArm) float64 { return float64(a.Stats.Errors) })
+	row("Replay wall time (s)", func(a record.ABArm) float64 { return a.Stats.Duration.Seconds() })
+	row("Max issue lag (ms)", func(a record.ABArm) float64 { return float64(a.Stats.MaxLagNanos) / 1e6 })
+	row("Mean latency (ms)", func(a record.ABArm) float64 { return a.Latency.Mean() / 1e6 })
+	row("p50 latency (ms)", func(a record.ABArm) float64 { return a.Latency.Quantile(0.5) / 1e6 })
+	row("p99 latency (ms)", func(a record.ABArm) float64 { return a.Latency.Quantile(0.99) / 1e6 })
+	fmt.Print(tb.Render())
+	if sp, ap := res.Sync.Latency.Quantile(0.99), res.Async.Latency.Quantile(0.99); ap > 0 {
+		fmt.Printf("\np99 ratio (sync/async): %.3gx\n", sp/ap)
 	}
 	return nil
 }

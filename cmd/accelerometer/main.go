@@ -54,6 +54,18 @@
 //	accelerometer -topology web.topo -topo-trace run.trace -dilate 2
 //	accelerometer -topology web.topo -topo-accel 8,10,10 -topo-accelerated
 //
+// With -async the serving path switches threading designs: offload points
+// park their continuation on a completion-queue engine instead of holding
+// a thread, so a small fixed worker pool drives arbitrarily many in-flight
+// offloads (the paper's AsyncSameThread design). It applies to -replay-rpc
+// (one engine-backed echo server with a simulated accelerator; the
+// engine's gauges appear on /metrics and the dashboard) and to -topology
+// (every node serves through its own engine and per-node accelerator at
+// the -topo-accel offload parameters):
+//
+//	accelerometer -replay-rpc run.trace -async -async-workers 8 -debug-addr localhost:6060
+//	accelerometer -topology web.topo -topo-accel 8,10,10 -async
+//
 // Any mode accepts -debug-addr to expose the observability endpoint
 // (/metrics, /healthz, /debug/pprof/*, and a plain-text dashboard at /)
 // for the duration of the run:
@@ -77,6 +89,7 @@ import (
 	"repro/internal/debugserver"
 	"repro/internal/fleet"
 	"repro/internal/fleetdata"
+	"repro/internal/kernels"
 	"repro/internal/liveprof"
 	"repro/internal/pprofx"
 	"repro/internal/record"
@@ -125,6 +138,9 @@ func main() {
 	topoTrace := flag.String("topo-trace", "", "drive the topology from a recorded trace instead of the synthetic schedule (with -topology; honors -dilate)")
 	topoAccel := flag.String("topo-accel", "8,10,10", "A,O0,L acceleration parameters for the composed-model prediction (with -topology)")
 	topoAccelerated := flag.Bool("topo-accelerated", false, "run the live nodes at the -topo-accel offload cost instead of the baseline (with -topology)")
+	asyncServe := flag.Bool("async", false, "serve offload points through the completion-queue engine (parked continuations) instead of blocking a thread (with -replay-rpc or -topology)")
+	asyncWorkers := flag.Int("async-workers", 4, "completion-queue engine worker pool size (with -async)")
+	offloadLatency := flag.Duration("offload-latency", time.Millisecond, "simulated accelerator latency per offload (with -replay-rpc -async)")
 	flag.Parse()
 
 	var rec *record.Recorder
@@ -141,9 +157,21 @@ func main() {
 	var topo *topologyRun
 	if *topoSpec != "" {
 		var err error
-		if topo, err = newTopologyRun(*topoSpec, *topoAccel, *topoAccelerated); err != nil {
+		if topo, err = newTopologyRun(*topoSpec, *topoAccel, *topoAccelerated, *asyncServe, *asyncWorkers); err != nil {
 			fatal(err)
 		}
+	}
+
+	// The -replay-rpc -async engine is constructed before the debug
+	// endpoint so its gauges register on /metrics and its counters feed
+	// the dashboard's async panel for the whole replay.
+	var asyncEng *rpc.Engine
+	if *asyncServe && *replayRPCPath != "" {
+		var err error
+		if asyncEng, err = rpc.NewEngine(rpc.EngineConfig{Workers: *asyncWorkers}); err != nil {
+			fatal(err)
+		}
+		defer asyncEng.Close() //modelcheck:ignore errdrop — process teardown after the replay completed
 	}
 
 	// The debug endpoint is opt-in and mode-independent: it serves the
@@ -160,6 +188,15 @@ func main() {
 			dbgReg = topo.reg
 			dcfg.Registry = topo.reg
 			dcfg.Topology = topo.runner
+			if *asyncServe {
+				dcfg.Async = topo.runner.AsyncStats
+			}
+		}
+		if asyncEng != nil {
+			if err := asyncEng.Instrument(dbgReg); err != nil {
+				fatal(err)
+			}
+			dcfg.Async = asyncEng.Stats
 		}
 		dbg, err := debugserver.Start(dcfg)
 		if err != nil {
@@ -182,7 +219,13 @@ func main() {
 		return
 	}
 	if *replayRPCPath != "" {
-		if err := runReplayRPC(*replayRPCPath, *dilate); err != nil {
+		var err error
+		if *asyncServe {
+			err = runReplayRPCAsync(*replayRPCPath, *dilate, *offloadLatency, asyncEng)
+		} else {
+			err = runReplayRPC(*replayRPCPath, *dilate)
+		}
+		if err != nil {
 			fatal(err)
 		}
 		return
@@ -532,6 +575,77 @@ func runReplayRPC(path string, dilate float64) error {
 	return nil
 }
 
+// replayEchoResume acknowledges a completed replay offload from the
+// pooled request state; package-level so parking allocates no closure.
+var replayEchoResume rpc.ResumeFunc = func(_ context.Context, ac *rpc.AsyncCall) (rpc.Message, error) {
+	req := ac.Request()
+	return rpc.Message{Method: req.Method, Payload: req.Payload}, nil
+}
+
+// runReplayRPCAsync replays a recorded trace open-loop against an
+// engine-backed echo server: every request parks on a simulated
+// accelerator for -offload-latency and a fixed worker pool drives all
+// in-flight offloads — the AsyncSameThread serving path under a real
+// recorded arrival process.
+func runReplayRPCAsync(path string, dilate float64, offloadLatency time.Duration, eng *rpc.Engine) error {
+	tr, err := record.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{Latency: offloadLatency})
+	if err != nil {
+		return err
+	}
+	defer dev.Close() //modelcheck:ignore errdrop — in-process teardown after the replay completed
+	park := func(_ context.Context, req rpc.Message, ac *rpc.AsyncCall) (rpc.Message, error) {
+		if err := ac.Park(dev, uint64(len(req.Payload)), replayEchoResume); err != nil {
+			return rpc.Message{}, err
+		}
+		return rpc.Message{}, nil
+	}
+	srv, err := rpc.NewAsyncServer(park, eng, nil)
+	if err != nil {
+		return err
+	}
+	defer srv.Close() //modelcheck:ignore errdrop — in-process teardown after the replay completed
+	serveCtx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	clientConn, serverConn := net.Pipe()
+	go srv.ServeConn(serveCtx, serverConn)
+	client, err := rpc.NewMuxClient(clientConn, nil)
+	if err != nil {
+		return err
+	}
+	defer client.Close() //modelcheck:ignore errdrop — pipe close on teardown
+
+	reg := telemetry.NewRegistry()
+	hist, err := reg.Histogram("replay_latency_nanos", "per-call replay latency in nanoseconds")
+	if err != nil {
+		return err
+	}
+	stats, err := record.ReplayRPC(context.Background(), tr,
+		client.CallContext,
+		record.RPCReplayConfig{Dilate: dilate, Latency: hist})
+	if err != nil {
+		return err
+	}
+	snap := hist.Snapshot()
+	es := eng.Stats()
+	fmt.Printf("Trace replay (rpc, async serving): %s — %d events, %s recorded span, dilation %g, %d engine workers, offload latency %s\n\n",
+		path, len(tr.Events), tr.Duration(), dilate, es.Workers, offloadLatency)
+	tb := textchart.NewTable("Metric", "Value")
+	tb.AddRowf("Requests issued", stats.Issued)
+	tb.AddRowf("Errors", stats.Errors)
+	tb.AddRowf("Replay wall time", stats.Duration.Seconds())
+	tb.AddRowf("Max issue lag (ms)", float64(stats.MaxLagNanos)/1e6)
+	tb.AddRowf("p50 latency (ms)", snap.Quantile(0.5)/1e6)
+	tb.AddRowf("p99 latency (ms)", snap.Quantile(0.99)/1e6)
+	tb.AddRowf("Engine served", es.Served)
+	tb.AddRowf("Engine errors", es.Errors)
+	fmt.Print(tb.Render())
+	return nil
+}
+
 // topologyRun bundles the -topology mode's long-lived pieces: the parsed
 // graph, the live runner, its registry (served on -debug-addr and written
 // by -metrics-out), and the acceleration parameters for the composed
@@ -560,7 +674,7 @@ func parseAccelSpec(s string) (topology.AccelConfig, error) {
 	return topology.AccelConfig{A: vals[0], O0: vals[1], L: vals[2]}, nil
 }
 
-func newTopologyRun(specPath, accelSpec string, accelerated bool) (*topologyRun, error) {
+func newTopologyRun(specPath, accelSpec string, accelerated, async bool, asyncWorkers int) (*topologyRun, error) {
 	g, err := topology.ParseSpecFile(specPath)
 	if err != nil {
 		return nil, err
@@ -571,8 +685,12 @@ func newTopologyRun(specPath, accelSpec string, accelerated bool) (*topologyRun,
 	}
 	reg := telemetry.NewRegistry()
 	rcfg := topology.RunnerConfig{Registry: reg}
-	if accelerated {
+	if accelerated || async {
 		rcfg.Accel = &accel
+	}
+	if async {
+		rcfg.Async = true
+		rcfg.AsyncWorkers = asyncWorkers
 	}
 	r, err := topology.NewRunner(g, rcfg)
 	if err != nil {

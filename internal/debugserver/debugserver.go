@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/proflabel"
 	"repro/internal/record"
+	"repro/internal/rpc"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -53,6 +54,12 @@ type Config struct {
 	// state to the dashboard: per-tier request counts, latency quantiles,
 	// and hop-by-hop tail amplification. A nil runner renders as "off".
 	Topology *topology.Runner
+	// Async, when set, adds the completion-queue serving path's live
+	// counters to the dashboard: in-flight offloads, parked
+	// continuations, queue depth, served and errored requests. The
+	// callback shape fits both a single rpc.Engine's Stats and a
+	// topology Runner's aggregated AsyncStats. Nil renders as "off".
+	Async func() rpc.EngineStats
 }
 
 // Server is a running debug endpoint.
@@ -217,6 +224,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintf(&out, "requests     %d served by this endpoint\n", s.served.Load())
 	writeRecorderStatus(&out, s.cfg.Recorder)
 	writeTopologyStatus(&out, s.cfg.Topology)
+	writeAsyncStatus(&out, s.cfg.Async)
 	fmt.Fprintf(&out, "\nendpoints: /metrics /healthz /debug/pprof/\n")
 
 	if s.cfg.Registry != nil {
@@ -269,6 +277,18 @@ func writeTopologyStatus(w *strings.Builder, r *topology.Runner) {
 		fmt.Fprintf(w, "topology     %-10s depth=%d requests=%d errors=%d p50=%.3gms p99=%.3gms amp=%.2fx\n",
 			ts.Node, ts.Depth, ts.Requests, ts.Errors, ts.P50Nanos/1e6, ts.P99Nanos/1e6, ts.Amplification)
 	}
+}
+
+// writeAsyncStatus renders the completion-queue serving path's live
+// counters as a dashboard line: off when no engine is attached.
+func writeAsyncStatus(w *strings.Builder, stats func() rpc.EngineStats) {
+	if stats == nil {
+		fmt.Fprintf(w, "async        off\n")
+		return
+	}
+	st := stats()
+	fmt.Fprintf(w, "async        %d workers: %d in-flight offloads, %d parked, queue depth %d, %d served, %d errors\n",
+		st.Workers, st.InFlight, st.Parked, st.QueueDepth, st.Served, st.Errors)
 }
 
 // metricNames extracts the distinct metric names from a Prometheus text

@@ -16,6 +16,7 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/pprofx"
 	"repro/internal/proflabel"
+	"repro/internal/rpc"
 	"repro/internal/services"
 	"repro/internal/telemetry"
 )
@@ -285,5 +286,24 @@ func TestShutdownIdempotent(t *testing.T) {
 	}
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("second Shutdown: %v", err)
+	}
+}
+
+// TestDashboardAsyncPanel: the completion-queue serving path's counters
+// render on the dashboard when an engine stats source is attached, and
+// the panel reads "off" otherwise.
+func TestDashboardAsyncPanel(t *testing.T) {
+	s := startServer(t, debugserver.Config{})
+	if _, body := get(t, client(t), s.URL()+"/"); !strings.Contains(body, "async        off") {
+		t.Errorf("dashboard without an engine should show the async panel off:\n%s", body)
+	}
+
+	stats := rpc.EngineStats{Workers: 4, InFlight: 7, Parked: 9, QueueDepth: 2, Served: 123, Errors: 1}
+	s2 := startServer(t, debugserver.Config{Async: func() rpc.EngineStats { return stats }})
+	_, body := get(t, client(t), s2.URL()+"/")
+	for _, want := range []string{"4 workers", "7 in-flight offloads", "9 parked", "queue depth 2", "123 served", "1 errors"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("async panel missing %q:\n%s", want, body)
+		}
 	}
 }

@@ -1,0 +1,345 @@
+package kernels
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// SimAccel simulates an off-chip accelerator behind a submit/complete
+// doorbell. Submit enqueues a job that finishes after the configured
+// offload latency L plus a throughput term proportional to the job's
+// granularity g (bytes), and a single dispatcher goroutine delivers
+// completions in due order. This is the device half of the paper's Async
+// threading designs (§4): the host parks the request at submit time and a
+// completion queue resumes it, so an in-flight offload costs no host
+// thread — only a heap entry here.
+//
+// The dispatcher holds one timer for the whole device rather than one per
+// job, so six-figure in-flight counts (the async soak) cost O(log n) per
+// submit and no timer churn.
+
+// ErrAccelClosed is returned by Submit after Close, and delivered to the
+// Completer of every job still pending when Close runs.
+var ErrAccelClosed = errors.New("kernels: accelerator closed")
+
+// Completer receives a job's completion. Complete is invoked exactly once
+// per accepted Submit, from the device's dispatcher goroutine (or from
+// Close/Flush for drained jobs): it must not block for long, or it stalls
+// every later completion behind it — hand off to a queue, as rpc.Engine
+// does.
+type Completer interface {
+	Complete(err error)
+}
+
+// CompleterFunc adapts a function to the Completer interface.
+type CompleterFunc func(err error)
+
+// Complete invokes f.
+func (f CompleterFunc) Complete(err error) { f(err) }
+
+// SimAccelConfig configures a simulated accelerator.
+type SimAccelConfig struct {
+	// Latency is the fixed per-job offload latency (the model's L term:
+	// dispatch + device turnaround). Zero means jobs complete as soon as
+	// the dispatcher runs.
+	Latency time.Duration
+	// BytesPerSec, when positive, adds a granularity term: a job of g
+	// bytes takes g/BytesPerSec on top of Latency. Zero models a device
+	// fast enough that transfer time is folded into Latency.
+	BytesPerSec float64
+}
+
+func (c SimAccelConfig) validate() error {
+	if c.Latency < 0 {
+		return fmt.Errorf("kernels: negative accelerator latency %v", c.Latency)
+	}
+	if c.BytesPerSec < 0 || math.IsNaN(c.BytesPerSec) || math.IsInf(c.BytesPerSec, 0) {
+		return fmt.Errorf("kernels: invalid accelerator throughput %v", c.BytesPerSec)
+	}
+	return nil
+}
+
+// accelJob is one in-flight offload: due is nanoseconds since the device
+// started, seq breaks ties so equal deadlines complete in submit order.
+type accelJob struct {
+	due int64
+	seq uint64
+	ctx context.Context
+	c   Completer
+}
+
+// SimAccelStats is a point-in-time snapshot of device counters.
+type SimAccelStats struct {
+	Submitted uint64 // jobs accepted by Submit
+	Completed uint64 // completions delivered (including cancelled/closed)
+	Errors    uint64 // completions delivered with a non-nil error
+	InFlight  int    // jobs submitted but not yet completed
+}
+
+// SimAccel is a simulated accelerator. All methods are safe for concurrent
+// use.
+type SimAccel struct {
+	cfg   SimAccelConfig
+	start time.Time
+
+	mu        sync.Mutex
+	jobs      accelHeap
+	seq       uint64
+	closed    bool
+	submitted uint64
+	completed uint64
+	errs      uint64
+
+	wake chan struct{} // signals the dispatcher that the head job changed
+	quit chan struct{} // closed by Close; dispatcher exits
+	done chan struct{} // closed by the dispatcher on exit
+}
+
+// NewSimAccel starts a simulated accelerator and its dispatcher goroutine.
+func NewSimAccel(cfg SimAccelConfig) (*SimAccel, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	d := &SimAccel{
+		cfg:   cfg,
+		start: time.Now(),
+		wake:  make(chan struct{}, 1),
+		quit:  make(chan struct{}),
+		done:  make(chan struct{}),
+	}
+	go d.run()
+	return d, nil
+}
+
+// delay returns the simulated device time for a job of g bytes.
+func (d *SimAccel) delay(g uint64) time.Duration {
+	delay := d.cfg.Latency
+	if d.cfg.BytesPerSec > 0 {
+		delay += time.Duration(float64(g) / d.cfg.BytesPerSec * float64(time.Second))
+	}
+	return delay
+}
+
+// Submit enqueues one offload of g bytes. The Completer fires exactly once
+// when the simulated device finishes: with nil on success, with ctx's
+// error if ctx was cancelled while the job was in flight, or with
+// ErrAccelClosed if the device closed first. A context already cancelled
+// at submit time is rejected synchronously (the Completer never fires) so
+// callers can keep ownership of the request state on the error path.
+func (d *SimAccel) Submit(ctx context.Context, g uint64, c Completer) error {
+	if c == nil {
+		return errors.New("kernels: nil completer")
+	}
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("kernels: offload rejected: %w", err)
+		}
+	}
+	due := time.Since(d.start) + d.delay(g)
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return ErrAccelClosed
+	}
+	d.seq++
+	d.jobs.push(accelJob{due: int64(due), seq: d.seq, ctx: ctx, c: c})
+	d.submitted++
+	first := d.jobs[0].seq == d.seq
+	d.mu.Unlock()
+	if first {
+		// Only a new head deadline can move the dispatcher's wake-up
+		// earlier; later deadlines are discovered when the timer fires.
+		select {
+		case d.wake <- struct{}{}:
+		default:
+		}
+	}
+	return nil
+}
+
+// run is the dispatcher: it sleeps until the earliest deadline, pops every
+// due job, and delivers completions outside the lock.
+func (d *SimAccel) run() {
+	defer close(d.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	var batch []accelJob // dispatcher-owned scratch, reused across rounds
+	for {
+		now := int64(time.Since(d.start))
+		batch = batch[:0]
+		d.mu.Lock()
+		for len(d.jobs) > 0 && d.jobs[0].due <= now {
+			batch = append(batch, d.jobs.pop())
+		}
+		var wait time.Duration
+		hasNext := len(d.jobs) > 0
+		if hasNext {
+			wait = time.Duration(d.jobs[0].due - now)
+		}
+		d.mu.Unlock()
+
+		for i := range batch {
+			d.complete(batch[i])
+			batch[i] = accelJob{} // drop ctx/completer references
+		}
+
+		if hasNext {
+			timer.Reset(wait)
+			select {
+			case <-timer.C:
+			case <-d.wake:
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-d.quit:
+				return
+			}
+		} else {
+			select {
+			case <-d.wake:
+			case <-d.quit:
+				return
+			}
+		}
+	}
+}
+
+// complete delivers one completion. A context cancelled mid-offload
+// surfaces here: the device finished, but the requester is gone, so the
+// continuation is resumed with the context's error instead of a result.
+func (d *SimAccel) complete(j accelJob) {
+	var err error
+	if j.ctx != nil {
+		err = j.ctx.Err()
+	}
+	d.mu.Lock()
+	d.completed++
+	if err != nil {
+		d.errs++
+	}
+	d.mu.Unlock()
+	j.c.Complete(err)
+}
+
+// Flush immediately completes every pending job (honoring each job's
+// context state) without waiting for its deadline — the drain doorbell.
+// Soak tests park six-figure job counts behind a long latency and release
+// them in one shot; shutdown paths can use it to resume every parked
+// continuation before closing.
+func (d *SimAccel) Flush() {
+	d.mu.Lock()
+	pending := make([]accelJob, len(d.jobs))
+	for i := range pending {
+		pending[i] = d.jobs.pop()
+	}
+	d.mu.Unlock()
+	for i := range pending {
+		d.complete(pending[i])
+	}
+}
+
+// Close stops the device: the dispatcher exits, every still-pending job's
+// Completer fires with ErrAccelClosed, and later Submits are rejected.
+// Close is idempotent and safe to call concurrently with Submit.
+func (d *SimAccel) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		<-d.done
+		return nil
+	}
+	d.closed = true
+	pending := make([]accelJob, len(d.jobs))
+	for i := range pending {
+		pending[i] = d.jobs.pop()
+	}
+	d.mu.Unlock()
+	close(d.quit)
+	<-d.done
+	for _, j := range pending {
+		d.mu.Lock()
+		d.completed++
+		d.errs++
+		d.mu.Unlock()
+		j.c.Complete(ErrAccelClosed)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the device counters.
+func (d *SimAccel) Stats() SimAccelStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return SimAccelStats{
+		Submitted: d.submitted,
+		Completed: d.completed,
+		Errors:    d.errs,
+		InFlight:  len(d.jobs),
+	}
+}
+
+// InFlight returns the number of submitted-but-not-completed jobs.
+func (d *SimAccel) InFlight() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.jobs)
+}
+
+// accelHeap is a hand-rolled min-heap ordered by (due, seq). container/heap
+// would box every job through an interface; at soak scale (100k pending
+// jobs) the direct version keeps Submit allocation-free after the backing
+// array warms up.
+type accelHeap []accelJob
+
+func (h accelHeap) less(i, j int) bool {
+	if h[i].due != h[j].due {
+		return h[i].due < h[j].due
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *accelHeap) push(j accelJob) {
+	*h = append(*h, j)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *accelHeap) pop() accelJob {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = accelJob{} // release references held by the vacated slot
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && old[:n].less(l, smallest) {
+			smallest = l
+		}
+		if r < n && old[:n].less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		old[i], old[smallest] = old[smallest], old[i]
+		i = smallest
+	}
+	return top
+}

@@ -1,0 +1,269 @@
+package kernels
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitCompleter records a single completion and signals it on a channel.
+type waitCompleter struct {
+	ch chan error
+}
+
+func newWaitCompleter() *waitCompleter {
+	return &waitCompleter{ch: make(chan error, 1)}
+}
+
+func (w *waitCompleter) Complete(err error) { w.ch <- err }
+
+func (w *waitCompleter) wait(t *testing.T) error {
+	t.Helper()
+	select {
+	case err := <-w.ch:
+		return err
+	case <-time.After(5 * time.Second):
+		t.Fatal("completion never delivered")
+		return nil
+	}
+}
+
+func TestSimAccelCompletesAfterLatency(t *testing.T) {
+	d, err := NewSimAccel(SimAccelConfig{Latency: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	start := time.Now()
+	c := newWaitCompleter()
+	if err := d.Submit(context.Background(), 0, c); err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if err := c.wait(t); err != nil {
+		t.Fatalf("completion error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 2*time.Millisecond {
+		t.Fatalf("completed after %v, want >= 2ms", elapsed)
+	}
+	st := d.Stats()
+	if st.Submitted != 1 || st.Completed != 1 || st.Errors != 0 || st.InFlight != 0 {
+		t.Fatalf("stats = %+v, want 1 submitted/completed, 0 errors/in-flight", st)
+	}
+}
+
+func TestSimAccelGranularityTerm(t *testing.T) {
+	// 1 MiB/s: a 4 KiB job owes ~4ms of transfer on top of zero latency.
+	d, err := NewSimAccel(SimAccelConfig{BytesPerSec: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	start := time.Now()
+	c := newWaitCompleter()
+	if err := d.Submit(context.Background(), 4<<10, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.wait(t); err != nil {
+		t.Fatalf("completion error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed < 3*time.Millisecond {
+		t.Fatalf("4 KiB at 1 MiB/s completed after %v, want >= ~4ms", elapsed)
+	}
+}
+
+func TestSimAccelCompletionOrder(t *testing.T) {
+	// A later submit with a shorter deadline must complete first: the
+	// second job's deadline precedes the already-waiting first job's.
+	d, err := NewSimAccel(SimAccelConfig{BytesPerSec: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	wg.Add(2)
+	record := func(id int) Completer {
+		return CompleterFunc(func(err error) {
+			defer wg.Done()
+			if err != nil {
+				t.Errorf("job %d: %v", id, err)
+			}
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+		})
+	}
+	if err := d.Submit(context.Background(), 8<<10, record(1)); err != nil { // ~8ms
+		t.Fatal(err)
+	}
+	if err := d.Submit(context.Background(), 1<<10, record(2)); err != nil { // ~1ms
+		t.Fatal(err)
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("completion order = %v, want [2 1]", order)
+	}
+}
+
+func TestSimAccelSubmitRejectsCancelledContext(t *testing.T) {
+	d, err := NewSimAccel(SimAccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := newWaitCompleter()
+	err = d.Submit(ctx, 0, c)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with cancelled ctx = %v, want context.Canceled", err)
+	}
+	select {
+	case <-c.ch:
+		t.Fatal("completer fired for a rejected submit")
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func TestSimAccelCancelledMidOffload(t *testing.T) {
+	// Cancel the context while the job is in flight: the device still
+	// finishes, but the completion carries the context's error.
+	d, err := NewSimAccel(SimAccelConfig{Latency: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	c := newWaitCompleter()
+	if err := d.Submit(ctx, 0, c); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	if err := c.wait(t); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-offload cancellation delivered %v, want context.Canceled", err)
+	}
+	if st := d.Stats(); st.Errors != 1 {
+		t.Fatalf("stats.Errors = %d, want 1", st.Errors)
+	}
+}
+
+func TestSimAccelCloseCompletesPending(t *testing.T) {
+	d, err := NewSimAccel(SimAccelConfig{Latency: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 16
+	completers := make([]*waitCompleter, n)
+	for i := range completers {
+		completers[i] = newWaitCompleter()
+		if err := d.Submit(context.Background(), 0, completers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := d.InFlight(); got != n {
+		t.Fatalf("InFlight = %d, want %d", got, n)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i, c := range completers {
+		if err := c.wait(t); !errors.Is(err, ErrAccelClosed) {
+			t.Fatalf("job %d completion = %v, want ErrAccelClosed", i, err)
+		}
+	}
+	// Submit after Close is rejected synchronously.
+	if err := d.Submit(context.Background(), 0, newWaitCompleter()); !errors.Is(err, ErrAccelClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrAccelClosed", err)
+	}
+	// Idempotent.
+	if err := d.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+func TestSimAccelFlush(t *testing.T) {
+	d, err := NewSimAccel(SimAccelConfig{Latency: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const n = 64
+	completers := make([]*waitCompleter, n)
+	for i := range completers {
+		completers[i] = newWaitCompleter()
+		if err := d.Submit(context.Background(), 0, completers[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d.Flush()
+	for i, c := range completers {
+		if err := c.wait(t); err != nil {
+			t.Fatalf("flushed job %d completion = %v, want nil", i, err)
+		}
+	}
+	if got := d.InFlight(); got != 0 {
+		t.Fatalf("InFlight after Flush = %d, want 0", got)
+	}
+}
+
+func TestSimAccelNilCompleter(t *testing.T) {
+	d, err := NewSimAccel(SimAccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if err := d.Submit(context.Background(), 0, nil); err == nil {
+		t.Fatal("Submit with nil completer succeeded")
+	}
+}
+
+func TestSimAccelConfigValidation(t *testing.T) {
+	if _, err := NewSimAccel(SimAccelConfig{Latency: -time.Second}); err == nil {
+		t.Fatal("negative latency accepted")
+	}
+	if _, err := NewSimAccel(SimAccelConfig{BytesPerSec: -1}); err == nil {
+		t.Fatal("negative throughput accepted")
+	}
+}
+
+func TestSimAccelManyInFlight(t *testing.T) {
+	// A pile of pending jobs all drain, in deadline order, without a
+	// dispatcher wake per submit.
+	d, err := NewSimAccel(SimAccelConfig{Latency: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	const n = 2000
+	var wg sync.WaitGroup
+	wg.Add(n)
+	var mu sync.Mutex
+	failures := 0
+	for i := 0; i < n; i++ {
+		err := d.Submit(context.Background(), 0, CompleterFunc(func(err error) {
+			defer wg.Done()
+			if err != nil {
+				mu.Lock()
+				failures++
+				mu.Unlock()
+			}
+		}))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if failures != 0 {
+		t.Fatalf("%d of %d completions failed", failures, n)
+	}
+	if st := d.Stats(); st.Submitted != n || st.Completed != n {
+		t.Fatalf("stats = %+v, want %d submitted and completed", st, n)
+	}
+}

@@ -1,0 +1,159 @@
+package rpc
+
+import (
+	"context"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+)
+
+// Benchmarks behind scripts/bench_async.sh → BENCH_async.json:
+//
+//   - BenchmarkAsyncParkResume: allocs/op for one full park/resume round
+//     trip (client call + server pre-stage + device + continuation +
+//     response). The allocs/op floor is the pooled-continuation gate.
+//   - BenchmarkServingAsyncHighInflight vs
+//     BenchmarkServingBlockingHighInflight: the same engine worker pool
+//     (8), the same device latency, 256 calls in flight. The blocking arm
+//     occupies a worker for the whole offload (the paper's Sync threading
+//     design on a bounded pool); the async arm parks. Throughput ratio is
+//     the gate: async must beat blocking once in-flight count exceeds the
+//     worker pool.
+
+// benchAsyncEnv starts an engine-backed server with handler h and returns
+// a mux client; cleanup is registered on b.
+func benchAsyncEnv(b *testing.B, h AsyncHandler, workers int) *MuxClient {
+	b.Helper()
+	eng, err := NewEngine(EngineConfig{Workers: workers, Queue: 4096})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { eng.Close() }) // errors swallowed per the teardown rule
+	srv, err := NewAsyncServer(h, eng, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis) //modelcheck:ignore errdrop — Serve's error is the normal shutdown path
+	b.Cleanup(func() { srv.Close() })       // errors swallowed per the teardown rule
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		b.Fatal(err)
+	}
+	client, err := NewMuxClient(conn, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { client.Close() }) // errors swallowed per the teardown rule
+	return client
+}
+
+// driveInFlight pushes b.N calls through client keeping `window` in
+// flight, using the callback API so the driver itself stays at two
+// goroutines regardless of the window.
+func driveInFlight(b *testing.B, client *MuxClient, window int, payload []byte) {
+	b.Helper()
+	sem := make(chan struct{}, window)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	wg.Add(b.N)
+	ctx := context.Background()
+	req := Message{Method: "bench", Payload: payload}
+	cb := func(_ Message, err error) {
+		if err != nil {
+			failures.Add(1)
+		}
+		<-sem
+		wg.Done()
+	}
+	for i := 0; i < b.N; i++ {
+		sem <- struct{}{}
+		if err := client.Go(ctx, req, cb); err != nil {
+			b.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if f := failures.Load(); f != 0 {
+		b.Fatalf("%d of %d calls failed", f, b.N)
+	}
+}
+
+// BenchmarkAsyncParkResume measures one serial park/resume round trip;
+// its allocs/op is the pooled-continuation CI gate.
+func BenchmarkAsyncParkResume(b *testing.B) {
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{}) // zero latency: pure path cost
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dev.Close() }) // errors swallowed per the teardown rule
+	client := benchAsyncEnv(b, parkingHandler(dev), 2)
+	payload := []byte("park-resume-payload")
+	ctx := context.Background()
+	req := Message{Method: "bench", Payload: payload}
+	if _, err := client.CallContext(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := client.CallContext(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+const (
+	benchOffloadLatency = 200 * time.Microsecond
+	benchInFlight       = 256
+	benchWorkers        = 8
+)
+
+// BenchmarkServingAsyncHighInflight: workers park; in-flight offloads are
+// limited by the window, not the pool.
+func BenchmarkServingAsyncHighInflight(b *testing.B) {
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{Latency: benchOffloadLatency})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dev.Close() }) // errors swallowed per the teardown rule
+	client := benchAsyncEnv(b, parkingHandler(dev), benchWorkers)
+	if _, err := client.CallContext(context.Background(), Message{Method: "warm", Payload: []byte("w")}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	driveInFlight(b, client, benchInFlight, []byte("hi"))
+}
+
+// BenchmarkServingBlockingHighInflight: the identical stack, but the
+// handler waits out the offload on the worker (Sync threading design), so
+// at most `workers` offloads make progress regardless of the window.
+func BenchmarkServingBlockingHighInflight(b *testing.B) {
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{Latency: benchOffloadLatency})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { dev.Close() }) // errors swallowed per the teardown rule
+	h := func(ctx context.Context, req Message, _ *AsyncCall) (Message, error) {
+		done := make(chan error, 1)
+		if err := dev.Submit(ctx, uint64(len(req.Payload)), kernels.CompleterFunc(func(err error) { done <- err })); err != nil {
+			return Message{}, err
+		}
+		if err := <-done; err != nil {
+			return Message{}, err
+		}
+		return Message{Method: req.Method, Payload: req.Payload}, nil
+	}
+	client := benchAsyncEnv(b, h, benchWorkers)
+	if _, err := client.CallContext(context.Background(), Message{Method: "warm", Payload: []byte("w")}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	driveInFlight(b, client, benchInFlight, []byte("hi"))
+}

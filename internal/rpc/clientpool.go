@@ -69,6 +69,18 @@ func (p *ClientPool) CallContext(ctx context.Context, req Message) (Message, err
 	}
 	select {
 	case c := <-p.free:
+		// Re-check under mu: Close may have won the race between the
+		// closed check above and this checkout, leaving c a stale client
+		// whose connection is already shut. Returning it would surface a
+		// confusing transport error (or worse, a call on a recycled
+		// connection) instead of the pool's terminal state.
+		p.mu.Lock()
+		closed = p.closed
+		p.mu.Unlock()
+		if closed {
+			p.free <- c // keep the pool drainable for other racers
+			return Message{}, ErrPoolClosed
+		}
 		defer func() { p.free <- c }()
 		return c.CallContext(ctx, req)
 	case <-ctx.Done():

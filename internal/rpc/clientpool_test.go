@@ -190,3 +190,53 @@ func TestClientPoolConstructorErrors(t *testing.T) {
 		t.Fatal("accepted nil client from dial")
 	}
 }
+
+// TestClientPoolCheckoutCloseRace pins the checkout-vs-Close window
+// deterministically: a caller passes the closed check, then blocks on the
+// free channel because every client is checked out; Close runs; a client
+// is returned. The checkout that then wins the free channel has lost the
+// race to Close and must report ErrPoolClosed — not issue a call on the
+// stale, already-closed client.
+func TestClientPoolCheckoutCloseRace(t *testing.T) {
+	addr := startPoolServer(t, nil, nil)
+	p := dialPool(t, addr, 1)
+
+	// Check the only client out by hand, so CallContext must wait.
+	var held *Client
+	select {
+	case held = <-p.free:
+	default:
+		t.Fatal("pool unexpectedly empty")
+	}
+
+	type result struct {
+		err error
+	}
+	done := make(chan result, 1)
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		_, err := p.CallContext(context.Background(), Message{Method: "late"})
+		done <- result{err: err}
+	}()
+	<-started
+	// Give the goroutine time to pass the closed check and block on free.
+	// (If it has not blocked yet the test still exercises the same window:
+	// Close completes before the checkout either way.)
+	time.Sleep(10 * time.Millisecond)
+
+	if err := p.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	p.free <- held // simulate the in-flight holder returning its client
+
+	r := <-done
+	if !errors.Is(r.err, ErrPoolClosed) {
+		t.Fatalf("checkout that lost the race to Close = %v, want ErrPoolClosed", r.err)
+	}
+	// The client handed back stays available for draining; later callers
+	// keep failing fast.
+	if _, err := p.CallContext(context.Background(), Message{}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("call after Close = %v, want ErrPoolClosed", err)
+	}
+}

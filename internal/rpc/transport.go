@@ -82,6 +82,9 @@ type Handler func(ctx context.Context, req Message) (Message, error)
 // settings must match the client's).
 type Server struct {
 	handler     Handler
+	asyncH      AsyncHandler // async mode: requests dispatched to eng
+	eng         *Engine
+	spawn       bool // blocking mode: one goroutine per in-flight request
 	newPipeline func() (*Pipeline, error)
 	ins         *Instrumentation
 
@@ -108,6 +111,45 @@ func NewServer(handler Handler, newPipeline func() (*Pipeline, error)) (*Server,
 		newPipeline = func() (*Pipeline, error) { return NewPipeline() }
 	}
 	return &Server{handler: handler, newPipeline: newPipeline}, nil
+}
+
+// NewAsyncServer returns a server that dispatches every request to eng's
+// completion-queue worker pool: handler runs the host-side stage, may
+// park the request on an accelerator (AsyncCall.Park), and a completion
+// worker writes the response whenever it is ready — out of order with
+// respect to other requests on the same connection. Responses echo the
+// request's HeaderCID so a MuxClient can run many calls in flight on one
+// connection; clients that issue one call at a time need no changes.
+// Batch envelopes are not accepted in this mode (the engine is itself the
+// concurrency layer).
+func NewAsyncServer(handler AsyncHandler, eng *Engine, newPipeline func() (*Pipeline, error)) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil async handler")
+	}
+	if eng == nil {
+		return nil, errors.New("rpc: nil engine")
+	}
+	if newPipeline == nil {
+		newPipeline = func() (*Pipeline, error) { return NewPipeline() }
+	}
+	return &Server{asyncH: handler, eng: eng, newPipeline: newPipeline}, nil
+}
+
+// NewConcurrentServer returns a server that runs handler on a fresh
+// goroutine per request — the paper's blocking Sync threading design at
+// high concurrency: N in-flight requests cost N goroutines, each blocked
+// for the full offload latency. It exists as the measured baseline the
+// async engine is compared against (async_model_test.go, BENCH_async);
+// responses are serialized through the same connection writer and echo
+// HeaderCID, so the same MuxClient drives both modes.
+func NewConcurrentServer(handler Handler, newPipeline func() (*Pipeline, error)) (*Server, error) {
+	if handler == nil {
+		return nil, errors.New("rpc: nil handler")
+	}
+	if newPipeline == nil {
+		newPipeline = func() (*Pipeline, error) { return NewPipeline() }
+	}
+	return &Server{handler: handler, spawn: true, newPipeline: newPipeline}, nil
 }
 
 // Serve accepts connections until the listener closes, the server is
@@ -246,6 +288,24 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 	if ins != nil {
 		pipeline.Instrument(ins.Metrics)
 	}
+	// Async and concurrent modes complete responses out of order on other
+	// goroutines, so they get a dedicated mutex-guarded writer with its own
+	// encode pipeline (Pipeline is not safe for concurrent encode+decode;
+	// the read loop keeps `pipeline` for decode only). reqWG tracks
+	// spawned blocking handlers so a graceful close drains them.
+	var cw *connWriter
+	var reqWG sync.WaitGroup
+	if s.eng != nil || s.spawn {
+		encPipe, err := s.newPipeline()
+		if err != nil {
+			return
+		}
+		if ins != nil {
+			encPipe.Instrument(ins.Metrics)
+		}
+		cw = &connWriter{conn: conn, enc: encPipe}
+		defer reqWG.Wait()
+	}
 	var hdr [4]byte // frame-header scratch, reused across the connection
 	for {
 		frame, err := readFrame(conn, &hdr)
@@ -257,6 +317,13 @@ func (s *Server) serveConn(ctx context.Context, conn net.Conn) {
 		putBuf(frame) // Decode copied the message out; the frame is dead
 		if err != nil {
 			return
+		}
+		if cw != nil {
+			if ins.enabled() && ins.Metrics != nil {
+				ins.Metrics.BytesRecv.Add(uint64(frameLen))
+			}
+			s.serveOneAsync(ctx, cw, req, &reqWG)
+			continue
 		}
 
 		var resp Message
@@ -337,6 +404,43 @@ func (s *Server) handleOne(ctx context.Context, req Message) (Message, *telemetr
 		}
 	}
 	return resp, sp
+}
+
+// serveOneAsync routes one decoded request in async or concurrent mode.
+// Engine mode hands the request to the completion-queue workers (blocking
+// only on queue backpressure); concurrent mode spawns the blocking
+// handler on its own goroutine. Both respond through cw, echoing the
+// caller's correlation id so responses may complete out of order.
+func (s *Server) serveOneAsync(ctx context.Context, cw *connWriter, req Message, reqWG *sync.WaitGroup) {
+	if req.Method == BatchMethod {
+		resp := Message{
+			Method:  BatchMethod,
+			Headers: map[string]string{"error": "rpc: batch envelope not supported in async mode"},
+		}
+		if cid := req.Headers[HeaderCID]; cid != "" {
+			resp.Headers[HeaderCID] = cid
+		}
+		//modelcheck:ignore errdrop — a failed error-response write is terminal for the conn, surfaced by the read loop
+		_ = cw.respond(ctx, resp, nil)
+		return
+	}
+	if s.eng != nil {
+		s.eng.dispatch(ctx, s.asyncH, cw, req, s.ins)
+		return
+	}
+	reqWG.Add(1)
+	go func() {
+		defer reqWG.Done()
+		resp, sp := s.handleOne(ctx, req)
+		if cid := req.Headers[HeaderCID]; cid != "" {
+			if resp.Headers == nil {
+				resp.Headers = make(map[string]string, 1)
+			}
+			resp.Headers[HeaderCID] = cid
+		}
+		//modelcheck:ignore errdrop — a failed response write is terminal for the conn, surfaced by the read loop
+		_ = cw.respond(ctx, resp, sp)
+	}()
 }
 
 // Close stops accepting and waits for in-flight connections to finish.

@@ -1,0 +1,65 @@
+package services
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/rpc"
+)
+
+// Async serving variants of the characterized services: the request's
+// bytes are split by the service's Fig 9 functionality breakdown — the
+// non-offloadable share is processed on the engine worker (hashing as the
+// application stand-in, as elsewhere in this package), and the
+// offloadable share (compression + serialization + prediction, the §6
+// case-study categories) is submitted to an accelerator while the request
+// parks. The continuation produces the response digest, so a client can
+// verify the async path did exactly the work the sync path would have.
+
+// asyncResume is the shared continuation for every service handler: it
+// digests the full payload from the pooled request state. Package-level
+// so parking allocates no closure.
+var asyncResume rpc.ResumeFunc = func(ctx context.Context, ac *rpc.AsyncCall) (rpc.Message, error) {
+	req := ac.Request()
+	var sum [32]byte
+	kernels.Labeled(ctx, kernels.Hashing, func() {
+		sum = kernels.Hash(req.Payload)
+	})
+	return rpc.Message{Method: req.Method, Payload: sum[:]}, nil
+}
+
+// AsyncOffloadHandler builds the async serving handler for svc: the
+// offloadable fraction α of each request's bytes (OffloadableShare, from
+// the Fig 9 breakdown) rides the accelerator; the rest is digested on the
+// worker before parking. Requests small enough that α rounds to zero
+// bytes respond inline without touching the device.
+func AsyncOffloadHandler(svc fleetdata.Service, dev rpc.Offloader) (rpc.AsyncHandler, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("services: nil offload device for %s", svc)
+	}
+	share, err := OffloadableShare(svc)
+	if err != nil {
+		return nil, err
+	}
+	return func(ctx context.Context, req rpc.Message, ac *rpc.AsyncCall) (rpc.Message, error) {
+		n := len(req.Payload)
+		offBytes := int(float64(n) * share)
+		// Host-side stage: the service's non-offloadable share.
+		kernels.Labeled(ctx, kernels.Hashing, func() {
+			_ = kernels.Hash(req.Payload[:n-offBytes])
+		})
+		if offBytes == 0 {
+			var sum [32]byte
+			kernels.Labeled(ctx, kernels.Hashing, func() {
+				sum = kernels.Hash(req.Payload)
+			})
+			return rpc.Message{Method: req.Method, Payload: sum[:]}, nil
+		}
+		if err := ac.Park(dev, uint64(offBytes), asyncResume); err != nil {
+			return rpc.Message{}, err
+		}
+		return rpc.Message{}, nil
+	}, nil
+}

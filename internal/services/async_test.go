@@ -1,0 +1,131 @@
+package services
+
+import (
+	"bytes"
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/fleetdata"
+	"repro/internal/kernels"
+	"repro/internal/rpc"
+)
+
+// startServiceAsync serves svc's async handler on a loopback listener and
+// returns a mux client plus the backing device and engine for stats.
+func startServiceAsync(t *testing.T, svc fleetdata.Service) (*rpc.MuxClient, *kernels.SimAccel, *rpc.Engine) {
+	t.Helper()
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{Latency: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { dev.Close() }) // errors swallowed per the teardown rule
+	eng, err := rpc.NewEngine(rpc.EngineConfig{Workers: 2, Queue: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { eng.Close() }) // errors swallowed per the teardown rule
+	h, err := AsyncOffloadHandler(svc, dev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := rpc.NewAsyncServer(h, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis) //modelcheck:ignore errdrop — Serve's error is the normal shutdown path
+	t.Cleanup(func() { srv.Close() })       // errors swallowed per the teardown rule
+	conn, err := net.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client, err := rpc.NewMuxClient(conn, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() }) // errors swallowed per the teardown rule
+	return client, dev, eng
+}
+
+// TestAsyncOffloadHandlerDigest: for every characterized service, the
+// async path's response is the digest of the full payload — identical
+// work to a sync handler — and services with a nonzero offloadable share
+// actually ride the device.
+func TestAsyncOffloadHandlerDigest(t *testing.T) {
+	payload := bytes.Repeat([]byte("accelerometer-"), 64)
+	want := kernels.Hash(payload)
+	for _, svc := range fleetdata.Services {
+		svc := svc
+		t.Run(string(svc), func(t *testing.T) {
+			client, dev, _ := startServiceAsync(t, svc)
+			resp, err := client.CallContext(context.Background(), rpc.Message{Method: "serve", Payload: payload})
+			if err != nil {
+				t.Fatalf("call: %v", err)
+			}
+			if !bytes.Equal(resp.Payload, want[:]) {
+				t.Fatalf("digest mismatch: got %x want %x", resp.Payload, want)
+			}
+			share, err := OffloadableShare(svc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			st := dev.Stats()
+			if share > 0 && st.Submitted == 0 {
+				t.Fatalf("%s has offloadable share %.2f but device saw no submissions", svc, share)
+			}
+			if share == 0 && st.Submitted != 0 {
+				t.Fatalf("%s has no offloadable share but device saw %d submissions", svc, st.Submitted)
+			}
+		})
+	}
+}
+
+// TestAsyncOffloadHandlerTinyPayload: a payload whose offloadable share
+// rounds to zero bytes responds inline without touching the device.
+func TestAsyncOffloadHandlerTinyPayload(t *testing.T) {
+	client, dev, _ := startServiceAsync(t, fleetdata.Web)
+	payload := []byte("x") // any share < 1 rounds to 0 offloaded bytes
+	want := kernels.Hash(payload)
+	resp, err := client.CallContext(context.Background(), rpc.Message{Method: "serve", Payload: payload})
+	if err != nil {
+		t.Fatalf("call: %v", err)
+	}
+	if !bytes.Equal(resp.Payload, want[:]) {
+		t.Fatalf("digest mismatch: got %x want %x", resp.Payload, want)
+	}
+	if st := dev.Stats(); st.Submitted != 0 {
+		t.Fatalf("tiny payload should not offload, device saw %d submissions", st.Submitted)
+	}
+}
+
+// TestAsyncOffloadHandlerDeviceClosed: a closed device surfaces as a
+// remote error rather than a hang.
+func TestAsyncOffloadHandlerDeviceClosed(t *testing.T) {
+	client, dev, _ := startServiceAsync(t, fleetdata.Web)
+	_ = dev.Close() // closed on purpose mid-test to exercise the error path
+	payload := bytes.Repeat([]byte("p"), 4096)
+	_, err := client.CallContext(context.Background(), rpc.Message{Method: "serve", Payload: payload})
+	if err == nil {
+		t.Fatal("want error from closed device, got success")
+	}
+}
+
+// TestAsyncOffloadHandlerValidation covers the constructor error paths.
+func TestAsyncOffloadHandlerValidation(t *testing.T) {
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close() // errors swallowed per the teardown rule
+	if _, err := AsyncOffloadHandler(fleetdata.Web, nil); err == nil {
+		t.Fatal("want error for nil device")
+	}
+	if _, err := AsyncOffloadHandler(fleetdata.Service("nope"), dev); err == nil {
+		t.Fatal("want error for unknown service")
+	}
+}

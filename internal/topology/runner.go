@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/kernels"
 	"repro/internal/rpc"
 	"repro/internal/telemetry"
 )
@@ -36,6 +37,18 @@ type RunnerConfig struct {
 	// UnitIters is the spin cost of one work unit (default
 	// DefaultUnitIters); tests shrink it to keep runs fast.
 	UnitIters int
+	// Async serves every node through a completion-queue engine backed
+	// by a per-node simulated accelerator: the handler burns the host
+	// share (Work + O0 spin units) on an engine worker, parks while the
+	// device covers the offload's wall time (L + Kernel/A units), and
+	// the pooled continuation fans out to children — the paper's
+	// AsyncSameThread threading design, instead of Accel's sync arm
+	// where the whole accelerated cost stays on the serving thread.
+	// Requires Accel.
+	Async bool
+	// AsyncWorkers bounds each node's completion-queue engine pool
+	// (default 4). Only meaningful with Async.
+	AsyncWorkers int
 	// Registry, when non-nil, registers per-node latency histograms
 	// (topo_<node>_latency_nanos), error counters and the end-to-end
 	// histogram (topo_e2e_latency_nanos) for -metrics-out / -debug-addr
@@ -52,6 +65,9 @@ func (c *RunnerConfig) setDefaults() {
 	}
 	if c.UnitIters <= 0 {
 		c.UnitIters = DefaultUnitIters
+	}
+	if c.AsyncWorkers <= 0 {
+		c.AsyncWorkers = 4
 	}
 }
 
@@ -85,7 +101,14 @@ func (bc *batcherCaller) Close() error {
 type nodeRuntime struct {
 	node  *Node
 	depth int
-	iters int64 // local spin cost per request
+	iters int64 // local spin cost per request (host share under Async)
+
+	// Async mode: the node's simulated accelerator covers devIters
+	// worth of wall time per request while the continuation parks.
+	devIters int64
+	dev      *kernels.SimAccel
+	eng      *rpc.Engine
+	resumeFn rpc.ResumeFunc // bound once so parking allocates no closure
 
 	lis   net.Listener
 	srv   *rpc.Server
@@ -124,6 +147,12 @@ func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
 			return nil, err
 		}
 	}
+	if cfg.Async && cfg.Accel == nil {
+		return nil, fmt.Errorf("topology: runner: Async requires Accel (the offload parameters)")
+	}
+	if cfg.Async && cfg.UseBatcher {
+		return nil, fmt.Errorf("topology: runner: Async and UseBatcher are mutually exclusive (async servers do not accept batch frames)")
+	}
 	cfg.setDefaults()
 	r := &Runner{
 		graph:     g,
@@ -138,15 +167,25 @@ func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
 	}
 	for _, n := range g.Nodes {
 		units := n.TotalUnits()
+		var devUnits float64
 		if cfg.Accel != nil {
 			units = cfg.Accel.AcceleratedUnits(n)
+			if cfg.Async {
+				// Split the accelerated cost: Work + O0 stays on the
+				// engine worker, L + Kernel/A elapses on the device
+				// while the continuation is parked.
+				devUnits = cfg.Accel.L + n.Kernel/cfg.Accel.A
+				units -= devUnits
+			}
 		}
 		nr := &nodeRuntime{
-			node:   n,
-			depth:  g.Depth(n.Name),
-			iters:  int64(units * float64(cfg.UnitIters)),
-			runner: r,
+			node:     n,
+			depth:    g.Depth(n.Name),
+			iters:    int64(units * float64(cfg.UnitIters)),
+			devIters: int64(devUnits * float64(cfg.UnitIters)),
+			runner:   r,
 		}
+		nr.resumeFn = nr.resumeAsync
 		if nr.latency, err = r.histogram("topo_"+metricName(n.Name)+"_latency_nanos",
 			"per-request latency at node "+n.Name+" in nanoseconds"); err != nil {
 			return nil, err
@@ -189,6 +228,10 @@ func (r *Runner) Start(ctx context.Context) error {
 		return fmt.Errorf("topology: runner already started")
 	}
 	r.started = true
+	var perIter float64 // calibrated nanoseconds per spin iteration
+	if r.cfg.Async {
+		perIter = calibrateSpinNanos()
+	}
 	for _, nr := range r.nodes {
 		lis, err := net.Listen("tcp", "127.0.0.1:0")
 		if err != nil {
@@ -196,7 +239,12 @@ func (r *Runner) Start(ctx context.Context) error {
 			return fmt.Errorf("topology: node %s: %w", nr.node.Name, err)
 		}
 		nr.lis = lis
-		srv, err := rpc.NewServer(nr.handle, nil)
+		var srv *rpc.Server
+		if r.cfg.Async {
+			srv, err = nr.startAsync(perIter)
+		} else {
+			srv, err = rpc.NewServer(nr.handle, nil)
+		}
 		if err != nil {
 			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the server error is reported
 			return fmt.Errorf("topology: node %s: %w", nr.node.Name, err)
@@ -264,32 +312,98 @@ func (r *Runner) dialEdge(target *nodeRuntime) (edgeCaller, error) {
 func (nr *nodeRuntime) handle(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	start := time.Now()
 	spinIters(nr.iters)
-	if len(nr.edges) > 0 {
-		errc := make(chan error, len(nr.edges))
-		for i := range nr.edges {
-			go func(i int) {
-				cctx, cancel := context.WithTimeout(ctx, nr.runner.cfg.CallTimeout)
-				defer cancel()
-				_, err := nr.edges[i].CallContext(cctx, rpc.Message{
-					Method:  nr.node.Children[i] + ".req",
-					Payload: req.Payload,
-				})
-				errc <- err
-			}(i)
-		}
-		var firstErr error
-		for range nr.edges {
-			if err := <-errc; err != nil && firstErr == nil {
-				firstErr = err
-			}
-		}
-		if firstErr != nil {
-			nr.errors.Inc()
-			return rpc.Message{}, fmt.Errorf("%s: downstream: %w", nr.node.Name, firstErr)
-		}
+	if err := nr.fanOut(ctx, req); err != nil {
+		nr.errors.Inc()
+		return rpc.Message{}, err
 	}
 	nr.latency.Record(float64(time.Since(start)))
 	return rpc.Message{Method: req.Method, Payload: []byte{1}}, nil
+}
+
+// fanOut issues req to every child concurrently and waits for all of
+// them, returning the first failure.
+func (nr *nodeRuntime) fanOut(ctx context.Context, req rpc.Message) error {
+	if len(nr.edges) == 0 {
+		return nil
+	}
+	errc := make(chan error, len(nr.edges))
+	for i := range nr.edges {
+		go func(i int) {
+			cctx, cancel := context.WithTimeout(ctx, nr.runner.cfg.CallTimeout)
+			defer cancel()
+			_, err := nr.edges[i].CallContext(cctx, rpc.Message{
+				Method:  nr.node.Children[i] + ".req",
+				Payload: req.Payload,
+			})
+			errc <- err
+		}(i)
+	}
+	var firstErr error
+	for range nr.edges {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return fmt.Errorf("%s: downstream: %w", nr.node.Name, firstErr)
+	}
+	return nil
+}
+
+// startAsync stands up the node's accelerator, completion-queue engine
+// and async server. perIter converts calibrated spin units into the
+// device's wall-time latency.
+func (nr *nodeRuntime) startAsync(perIter float64) (*rpc.Server, error) {
+	dev, err := kernels.NewSimAccel(kernels.SimAccelConfig{
+		Latency: time.Duration(perIter * float64(nr.devIters)),
+	})
+	if err != nil {
+		return nil, err
+	}
+	eng, err := rpc.NewEngine(rpc.EngineConfig{Workers: nr.runner.cfg.AsyncWorkers})
+	if err != nil {
+		dev.Close() //modelcheck:ignore errdrop — best-effort unwind, the engine error is reported
+		return nil, err
+	}
+	nr.dev, nr.eng = dev, eng
+	return rpc.NewAsyncServer(nr.handleAsync, eng, nil)
+}
+
+// handleAsync burns the host share of the node's cost, then parks the
+// request on the node's device for the offload's wall time. Nodes whose
+// device time rounds to zero still park: the engine round trip is the
+// per-offload overhead the async model charges.
+func (nr *nodeRuntime) handleAsync(_ context.Context, req rpc.Message, ac *rpc.AsyncCall) (rpc.Message, error) {
+	ac.Scratch = uint64(time.Now().UnixNano())
+	spinIters(nr.iters)
+	if err := ac.Park(nr.dev, uint64(nr.devIters), nr.resumeFn); err != nil {
+		nr.errors.Inc()
+		return rpc.Message{}, err
+	}
+	return rpc.Message{}, nil
+}
+
+// resumeAsync is the parked continuation: the device has covered the
+// offload latency, so fan out to the children and respond. Latency is
+// recorded from handler entry (stashed in Scratch) so sync and async
+// tiers report the same quantity.
+func (nr *nodeRuntime) resumeAsync(ctx context.Context, ac *rpc.AsyncCall) (rpc.Message, error) {
+	req := ac.Request()
+	if err := nr.fanOut(ctx, req); err != nil {
+		nr.errors.Inc()
+		return rpc.Message{}, err
+	}
+	nr.latency.Record(float64(time.Now().UnixNano() - int64(ac.Scratch)))
+	return rpc.Message{Method: req.Method, Payload: []byte{1}}, nil
+}
+
+// calibrateSpinNanos times the spin loop so device latencies line up
+// with what the same units would cost on the host.
+func calibrateSpinNanos() float64 {
+	const n = 1 << 21
+	start := time.Now()
+	spinIters(n)
+	return float64(time.Since(start)) / float64(n)
 }
 
 // Call injects one request at every root concurrently and waits for all
@@ -330,6 +444,26 @@ func (r *Runner) Call(ctx context.Context, payload []byte) (time.Duration, error
 // the measured-vs-model test windows it with Delta to exclude warmup.
 func (r *Runner) E2ESnapshot() telemetry.HistogramSnapshot { return r.e2e.Snapshot() }
 
+// AsyncStats sums every node engine's counters — the live view behind
+// the debug server's async panel. Zero value when the runner is not in
+// Async mode (or not started).
+func (r *Runner) AsyncStats() rpc.EngineStats {
+	var total rpc.EngineStats
+	for _, nr := range r.nodes {
+		if nr.eng == nil {
+			continue
+		}
+		s := nr.eng.Stats()
+		total.Workers += s.Workers
+		total.InFlight += s.InFlight
+		total.Parked += s.Parked
+		total.QueueDepth += s.QueueDepth
+		total.Served += s.Served
+		total.Errors += s.Errors
+	}
+	return total
+}
+
 // ServeErr reports the first background Serve failure, if any.
 func (r *Runner) ServeErr() error {
 	select {
@@ -363,6 +497,12 @@ func (r *Runner) Close() error {
 		for _, nr := range r.nodes {
 			if nr.srv != nil {
 				keep(nr.srv.Close())
+			}
+			if nr.eng != nil {
+				keep(nr.eng.Close())
+			}
+			if nr.dev != nil {
+				keep(nr.dev.Close())
 			}
 			if nr.lis != nil {
 				// Server.Close already closed the listener on the normal

@@ -232,3 +232,63 @@ func TestPoissonSchedule(t *testing.T) {
 		t.Fatalf("seeding broken: same=%v diff=%v", same, diff)
 	}
 }
+
+// TestRunnerAsyncArm drives the topology with every node serving through
+// a completion-queue engine: requests park on per-node simulated
+// accelerators, continuations fan out, and the report matches the sync
+// arm's shape (every tier sees every request).
+func TestRunnerAsyncArm(t *testing.T) {
+	cfg := fastConfig(telemetry.NewRegistry())
+	cfg.Accel = &testAccel
+	cfg.Async = true
+	cfg.AsyncWorkers = 2
+	r := startRunner(t, webSpec, cfg)
+	stats, err := r.RunOpenLoop(context.Background(), LoadConfig{QPS: 500, Requests: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Issued != 30 || stats.Errors != 0 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	if err := r.ServeErr(); err != nil {
+		t.Fatal(err)
+	}
+	rep := r.Report()
+	if len(rep.Tiers) != 5 || rep.E2ERequests != 30 {
+		t.Fatalf("report = %+v", rep)
+	}
+	for _, ts := range rep.Tiers {
+		if ts.Requests != 30 || ts.Errors != 0 {
+			t.Fatalf("tier %s: %+v, want 30 requests", ts.Node, ts)
+		}
+	}
+	// Every request parked exactly once per node: 5 nodes x 30 requests.
+	as := r.AsyncStats()
+	if as.Served != 150 || as.Errors != 0 {
+		t.Fatalf("async stats = %+v, want 150 served", as)
+	}
+	if as.Parked != 0 || as.InFlight != 0 {
+		t.Fatalf("async stats = %+v, want drained", as)
+	}
+	if as.Workers != 5*2 {
+		t.Fatalf("async stats workers = %d, want 10", as.Workers)
+	}
+}
+
+// TestRunnerAsyncValidation covers the async-mode constructor errors.
+func TestRunnerAsyncValidation(t *testing.T) {
+	g, err := ParseSpec("topology one\nnode Solo work=1 kernel=1\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fastConfig(nil)
+	cfg.Async = true
+	if _, err := NewRunner(g, cfg); err == nil {
+		t.Fatal("Async without Accel succeeded")
+	}
+	cfg.Accel = &testAccel
+	cfg.UseBatcher = true
+	if _, err := NewRunner(g, cfg); err == nil {
+		t.Fatal("Async with UseBatcher succeeded")
+	}
+}

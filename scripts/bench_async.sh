@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# bench_async.sh — completion-queue serving path gates, captured as JSON.
+#
+# Three gates on the async offload engine (internal/rpc/async.go):
+#
+#   1. Pooled continuation: BenchmarkAsyncParkResume (one full client ->
+#      park -> device -> resume -> response round trip) must stay within
+#      MAX_PARK_ALLOCS allocs/op (default 24; measured ~14) — growth means
+#      parked state stopped being pooled.
+#   2. Threading-design contrast: with 256 calls in flight on an 8-worker
+#      pool and the same device latency, the async (parked) arm's ns/op
+#      must beat the blocking arm by at least MIN_ASYNC_RATIO x (default
+#      2; measured ~15x) — the entire point of equation (6).
+#   3. Goroutine ceiling: the 100k-in-flight soak (ASYNC_SOAK_N
+#      overridable) re-runs standalone; it fails itself if the goroutine
+#      peak grows with the offload count or parked allocations blow the
+#      budget.
+#
+# Writes BENCH_async.json. Override the iteration budget with BENCHTIME
+# (default 500x; use e.g. BENCHTIME=2s locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_async.json}"
+max_park_allocs="${MAX_PARK_ALLOCS:-24}"
+min_ratio="${MIN_ASYNC_RATIO:-2}"
+raw="$(go test -run '^$' \
+    -bench '^(BenchmarkAsyncParkResume|BenchmarkServingAsyncHighInflight|BenchmarkServingBlockingHighInflight)$' \
+    -benchmem -benchtime "${BENCHTIME:-500x}" ./internal/rpc/)"
+echo "$raw"
+
+echo "$raw" | awk -v max_allocs="$max_park_allocs" -v min_ratio="$min_ratio" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    ns[name] = nsop
+    allocs[name] = aop
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, nsop, bop, aop
+}
+BEGIN { print "[" }
+END {
+    if (n != 3) { print "expected 3 benchmark lines, parsed " n > "/dev/stderr"; exit 1 }
+    park = allocs["BenchmarkAsyncParkResume"]
+    async = ns["BenchmarkServingAsyncHighInflight"]
+    blocking = ns["BenchmarkServingBlockingHighInflight"]
+    if (park == "null" || async == "null" || blocking == "null" || async + 0 == 0) {
+        print "missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    ratio = blocking / async
+    printf ",\n  {\"name\": \"park_resume_allocs_budget\", \"allocs_per_op\": %s, \"max_allowed\": %s}",
+        park, max_allocs
+    printf ",\n  {\"name\": \"async_vs_blocking_throughput_ratio\", \"value\": %.3f, \"min_required\": %s}\n]\n",
+        ratio, min_ratio
+    printf "park/resume round trip: %s allocs/op (budget %s)\n", park, max_allocs > "/dev/stderr"
+    printf "async vs blocking at 256 in flight: %.2fx (floor %sx)\n", ratio, min_ratio > "/dev/stderr"
+    fail = 0
+    if (park + 0 > max_allocs + 0) {
+        printf "FATAL: park/resume allocates %s/op, budget is %s/op — continuation no longer pooled?\n",
+            park, max_allocs > "/dev/stderr"
+        fail = 1
+    }
+    if (ratio < min_ratio + 0) {
+        printf "FATAL: async arm only %.2fx faster than blocking, floor is %sx\n",
+            ratio, min_ratio > "/dev/stderr"
+        fail = 1
+    }
+    exit fail
+}
+' > "$out"
+
+echo "==> 100k-in-flight soak (goroutine ceiling + parked alloc budget)"
+ASYNC_SOAK_N="${ASYNC_SOAK_N:-100000}" \
+    go test -run '^TestAsyncSoak100kInFlight$' -count=1 -v ./internal/rpc/ | grep -E 'parked|ok|FAIL'
+
+echo "wrote $out"

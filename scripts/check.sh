@@ -25,6 +25,12 @@
 #   8. fuzz smoke                (each rpc + record fuzz target runs for a
 #                                 short -fuzztime beyond its checked-in
 #                                 corpus; FUZZTIME overrides, default 3s)
+#   9. async serving gates       (scripts/bench_async.sh: pooled park/
+#                                 resume alloc budget, async >= 2x blocking
+#                                 throughput at high in-flight counts, and
+#                                 the 100k-in-flight goroutine-ceiling
+#                                 soak; quick 500x iteration budget here,
+#                                 CI re-runs it at BENCHTIME=2s)
 #
 # Any failure exits non-zero. CI runs exactly this script (.github/workflows/ci.yml).
 set -euo pipefail
@@ -276,5 +282,8 @@ fuzz_smoke() {
 }
 fuzz_smoke ./internal/rpc FuzzReadFrame FuzzCodecRoundTrip FuzzBatchPayloadRoundTrip
 fuzz_smoke ./internal/record FuzzDecodeTrace
+
+echo "==> async serving gates (bench_async.sh)"
+./scripts/bench_async.sh
 
 echo "==> all gates green"
