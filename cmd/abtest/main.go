@@ -22,6 +22,13 @@
 // (Sync), once with handlers that park the continuation (AsyncSameThread):
 //
 //	abtest -replay testdata/scenarios/retry-storm.trace -async -dilate 0.1 -workers 4
+//
+// Adding -explain traces both serving arms and prints the tail-tax
+// attribution per arm — where each quantile's nanoseconds went (queueing
+// vs device wait vs handler work) — so the p99 ratio comes with its
+// mechanism attached:
+//
+//	abtest -replay testdata/scenarios/retry-storm.trace -async -explain -dilate 0.1
 package main
 
 import (
@@ -37,6 +44,7 @@ import (
 	"repro/internal/fleetdata"
 	"repro/internal/record"
 	"repro/internal/sim"
+	"repro/internal/tailtrace"
 	"repro/internal/textchart"
 )
 
@@ -51,6 +59,7 @@ func main() {
 	asyncServe := flag.Bool("async", false, "with -replay: A/B sync vs async serving (blocking vs parked offloads) instead of client stacks")
 	workers := flag.Int("workers", 4, "engine worker pool per serving arm (with -replay -async)")
 	offloadLatency := flag.Duration("offload-latency", 0, "simulated accelerator latency per offload (with -replay -async; default 1ms)")
+	explain := flag.Bool("explain", false, "with -replay -async: trace both arms and print the per-quantile tail-tax attribution delta")
 	flag.Parse()
 	if err := core.ValidateBatch(*batch); err != nil {
 		fatal(err)
@@ -58,7 +67,7 @@ func main() {
 	if *replayPath != "" {
 		var err error
 		if *asyncServe {
-			err = runServingAB(*replayPath, *dilate, *workers, *offloadLatency)
+			err = runServingAB(*replayPath, *dilate, *workers, *offloadLatency, *explain)
 		} else {
 			err = runTraceAB(*replayPath, *dilate, *maxBatch)
 		}
@@ -191,7 +200,7 @@ func runTraceAB(path string, dilate float64, maxBatch int) error {
 
 // runServingAB replays one recorded trace through the sync and async
 // serving arms and prints the paired comparison.
-func runServingAB(path string, dilate float64, workers int, offloadLatency time.Duration) error {
+func runServingAB(path string, dilate float64, workers int, offloadLatency time.Duration, explain bool) error {
 	tr, err := record.ReadFile(path)
 	if err != nil {
 		return err
@@ -200,6 +209,7 @@ func runServingAB(path string, dilate float64, workers int, offloadLatency time.
 		Dilate:         dilate,
 		Workers:        workers,
 		OffloadLatency: offloadLatency,
+		Trace:          explain,
 	})
 	if err != nil {
 		return err
@@ -224,7 +234,75 @@ func runServingAB(path string, dilate float64, workers int, offloadLatency time.
 	if sp, ap := res.Sync.Latency.Quantile(0.99), res.Async.Latency.Quantile(0.99); ap > 0 {
 		fmt.Printf("\np99 ratio (sync/async): %.3gx\n", sp/ap)
 	}
+	if explain {
+		explainServingAB(res)
+	}
 	return nil
+}
+
+// explainServingAB prints each arm's tail-tax attribution and the
+// per-category p99 delta — the mechanism behind the headline ratio. In
+// the sync arm an offload's wall time is buried inside the handler span
+// (the worker is blocked, so it reads as work) and the backlog shows up
+// as queue-wait; the async arm splits the same nanoseconds into explicit
+// device (park) and queue (resume) time, and the queue column collapses
+// because parked requests stop occupying workers.
+func explainServingAB(res *record.ServingABResult) {
+	arms := []struct {
+		name string
+		arm  record.ABArm
+	}{{"sync", res.Sync}, {"async", res.Async}}
+	reports := make(map[string]*tailtrace.Report, len(arms))
+	for _, a := range arms {
+		fmt.Printf("\n[%s arm] ", a.name)
+		rep := tailtrace.Analyze(a.arm.Spans, tailtrace.Options{})
+		reports[a.name] = rep
+		var sb strings.Builder
+		rep.RenderText(&sb)
+		fmt.Print(sb.String())
+	}
+	sync, async := reports["sync"], reports["async"]
+	syncP99, okS := p99Row(sync)
+	asyncP99, okA := p99Row(async)
+	if !okS || !okA {
+		return
+	}
+	fmt.Println("\nWhy async won (p99 request, per category):")
+	dt := textchart.NewTable("Category", "Sync (ms)", "Async (ms)", "Delta (ms)")
+	cats := append([]string(nil), sync.Categories...)
+	for _, c := range async.Categories {
+		seen := false
+		for _, have := range cats {
+			if have == c {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			cats = append(cats, c)
+		}
+	}
+	for _, c := range cats {
+		s, a := syncP99.ByCategory[c]/1e6, asyncP99.ByCategory[c]/1e6
+		dt.AddRow(c, fmt.Sprintf("%.3f", s), fmt.Sprintf("%.3f", a), fmt.Sprintf("%+.3f", a-s))
+	}
+	dt.AddRow("total", fmt.Sprintf("%.3f", syncP99.TotalNanos/1e6),
+		fmt.Sprintf("%.3f", asyncP99.TotalNanos/1e6),
+		fmt.Sprintf("%+.3f", (asyncP99.TotalNanos-syncP99.TotalNanos)/1e6))
+	fmt.Print(dt.Render())
+}
+
+// p99Row pulls the p99 slice out of a report.
+func p99Row(rep *tailtrace.Report) (tailtrace.TaxRow, bool) {
+	if rep == nil {
+		return tailtrace.TaxRow{}, false
+	}
+	for _, row := range rep.Rows {
+		if row.Label == "p99" {
+			return row, true
+		}
+	}
+	return tailtrace.TaxRow{}, false
 }
 
 func fatal(err error) {

@@ -96,6 +96,7 @@ import (
 	"repro/internal/rpc"
 	"repro/internal/services"
 	"repro/internal/sim"
+	"repro/internal/tailtrace"
 	"repro/internal/telemetry"
 	"repro/internal/textchart"
 	"repro/internal/topology"
@@ -138,6 +139,9 @@ func main() {
 	topoTrace := flag.String("topo-trace", "", "drive the topology from a recorded trace instead of the synthetic schedule (with -topology; honors -dilate)")
 	topoAccel := flag.String("topo-accel", "8,10,10", "A,O0,L acceleration parameters for the composed-model prediction (with -topology)")
 	topoAccelerated := flag.Bool("topo-accelerated", false, "run the live nodes at the -topo-accel offload cost instead of the baseline (with -topology)")
+	tailTrace := flag.Bool("tail-trace", false, "collect request-centric spans across every tier and print the quantile-sliced tail-tax attribution (with -topology)")
+	tailSample := flag.Int("tail-sample", 1, "keep 1 in N traces with -tail-trace (deterministic head sampling by trace ID)")
+	tailExemplars := flag.Int("tail-exemplars", 3, "slowest requests retained as exemplars with -tail-trace; -trace-out exports their spans as a Chrome trace")
 	asyncServe := flag.Bool("async", false, "serve offload points through the completion-queue engine (parked continuations) instead of blocking a thread (with -replay-rpc or -topology)")
 	asyncWorkers := flag.Int("async-workers", 4, "completion-queue engine worker pool size (with -async)")
 	offloadLatency := flag.Duration("offload-latency", time.Millisecond, "simulated accelerator latency per offload (with -replay-rpc -async)")
@@ -157,7 +161,7 @@ func main() {
 	var topo *topologyRun
 	if *topoSpec != "" {
 		var err error
-		if topo, err = newTopologyRun(*topoSpec, *topoAccel, *topoAccelerated, *asyncServe, *asyncWorkers); err != nil {
+		if topo, err = newTopologyRun(*topoSpec, *topoAccel, *topoAccelerated, *asyncServe, *asyncWorkers, *tailTrace, *tailSample); err != nil {
 			fatal(err)
 		}
 	}
@@ -190,6 +194,9 @@ func main() {
 			dcfg.Topology = topo.runner
 			if *asyncServe {
 				dcfg.Async = topo.runner.AsyncStats
+			}
+			if topo.runner.Tracing() {
+				dcfg.TailSpans = topo.runner.Spans
 			}
 		}
 		if asyncEng != nil {
@@ -240,7 +247,7 @@ func main() {
 			load.Trace = tr
 			load.Dilate = *dilate
 		}
-		if err := topo.run(load, *metricsOut); err != nil {
+		if err := topo.run(load, *metricsOut, *traceOut, *tailExemplars); err != nil {
 			fatal(err)
 		}
 		return
@@ -674,7 +681,7 @@ func parseAccelSpec(s string) (topology.AccelConfig, error) {
 	return topology.AccelConfig{A: vals[0], O0: vals[1], L: vals[2]}, nil
 }
 
-func newTopologyRun(specPath, accelSpec string, accelerated, async bool, asyncWorkers int) (*topologyRun, error) {
+func newTopologyRun(specPath, accelSpec string, accelerated, async bool, asyncWorkers int, tailTrace bool, tailSample int) (*topologyRun, error) {
 	g, err := topology.ParseSpecFile(specPath)
 	if err != nil {
 		return nil, err
@@ -692,6 +699,10 @@ func newTopologyRun(specPath, accelSpec string, accelerated, async bool, asyncWo
 		rcfg.Async = true
 		rcfg.AsyncWorkers = asyncWorkers
 	}
+	if tailTrace {
+		rcfg.Trace = true
+		rcfg.TraceSampleRate = tailSample
+	}
 	r, err := topology.NewRunner(g, rcfg)
 	if err != nil {
 		return nil, err
@@ -701,8 +712,11 @@ func newTopologyRun(specPath, accelSpec string, accelerated, async bool, asyncWo
 
 // run starts the topology's servers, injects the open-loop arrival
 // stream, and prints the measured per-tier table next to the composed
-// Accelerometer model's prediction for the same graph.
-func (t *topologyRun) run(load topology.LoadConfig, metricsOut string) error {
+// Accelerometer model's prediction for the same graph. With -tail-trace
+// it also prints the quantile-sliced critical-path attribution, the
+// predicted-vs-measured path composition, and (with -trace-out) exports
+// the slowest requests' trace trees.
+func (t *topologyRun) run(load topology.LoadConfig, metricsOut, traceOut string, exemplars int) error {
 	ctx := context.Background()
 	if err := t.runner.Start(ctx); err != nil {
 		return err
@@ -746,8 +760,55 @@ func (t *topologyRun) run(load topology.LoadConfig, metricsOut string) error {
 	fmt.Printf("\nCritical path %s: predicted e2e latency reduction %.3fx (%.4g -> %.4g units)\n",
 		strings.Join(p.CriticalPath, " -> "), p.E2EReduction, p.BaselineUnits, p.AccelUnits)
 
+	if t.runner.Tracing() {
+		if err := t.printTailTax(p, traceOut, exemplars); err != nil {
+			return err
+		}
+	}
+
 	if metricsOut != "" {
 		return telemetry.WriteMetricsFile(metricsOut, t.reg)
+	}
+	return nil
+}
+
+// printTailTax analyzes the run's collected spans into the tail-tax
+// report: where each latency quantile's nanoseconds went, how the
+// measured critical-path composition compares with the composed model's
+// prediction, and which requests were slowest.
+func (t *topologyRun) printTailTax(p *topology.Prediction, traceOut string, exemplars int) error {
+	rep := tailtrace.Analyze(t.runner.Spans(), tailtrace.Options{Exemplars: exemplars})
+	ts := t.runner.TraceStats()
+	fmt.Printf("\n")
+	var sb strings.Builder
+	rep.RenderText(&sb)
+	sb.WriteString("\n")
+	tailtrace.RenderModelDiff(&sb, rep.CompareModel(p.CriticalPath, p.PathWeights))
+	fmt.Print(sb.String())
+	if ts.Dropped > 0 || ts.SampledOut > 0 {
+		fmt.Printf("(%d spans evicted, %d traces sampled out)\n", ts.Dropped, ts.SampledOut)
+	}
+	if len(rep.Exemplars) > 0 {
+		fmt.Printf("\nSlowest requests:\n")
+		for _, ex := range rep.Exemplars {
+			fmt.Printf("  trace %016x  %10.3f ms", ex.TraceID, float64(ex.Total)/1e6)
+			for _, c := range rep.Categories {
+				if d := ex.Tax.ByCategory[c]; d > 0 {
+					fmt.Printf("  %s %.3f", c, float64(d)/1e6)
+				}
+			}
+			fmt.Println()
+		}
+	}
+	if traceOut != "" {
+		var spans []telemetry.SpanData
+		for _, ex := range rep.Exemplars {
+			spans = append(spans, ex.Spans...)
+		}
+		if err := telemetry.WriteTraceFile(traceOut, spans); err != nil {
+			return err
+		}
+		fmt.Printf("\nwrote %d exemplar spans to %s\n", len(spans), traceOut)
 	}
 	return nil
 }

@@ -28,6 +28,7 @@ import (
 	"repro/internal/proflabel"
 	"repro/internal/record"
 	"repro/internal/rpc"
+	"repro/internal/tailtrace"
 	"repro/internal/telemetry"
 	"repro/internal/topology"
 )
@@ -60,6 +61,14 @@ type Config struct {
 	// callback shape fits both a single rpc.Engine's Stats and a
 	// topology Runner's aggregated AsyncStats. Nil renders as "off".
 	Async func() rpc.EngineStats
+	// TailSpans, when set, adds the tail-tax attribution panel to the
+	// dashboard: the callback's spans (typically a traced topology
+	// Runner's Spans) are assembled into per-request trace trees and the
+	// quantile-sliced critical-path attribution is rendered live. Nil
+	// renders as "off". The analysis runs per dashboard request, so
+	// scraping this page costs O(spans) — acceptable for a human-paced
+	// debug endpoint.
+	TailSpans func() []telemetry.SpanData
 }
 
 // Server is a running debug endpoint.
@@ -225,6 +234,7 @@ func (s *Server) handleDashboard(w http.ResponseWriter, r *http.Request) {
 	writeRecorderStatus(&out, s.cfg.Recorder)
 	writeTopologyStatus(&out, s.cfg.Topology)
 	writeAsyncStatus(&out, s.cfg.Async)
+	writeTailTraceStatus(&out, s.cfg.TailSpans)
 	fmt.Fprintf(&out, "\nendpoints: /metrics /healthz /debug/pprof/\n")
 
 	if s.cfg.Registry != nil {
@@ -289,6 +299,26 @@ func writeAsyncStatus(w *strings.Builder, stats func() rpc.EngineStats) {
 	st := stats()
 	fmt.Fprintf(w, "async        %d workers: %d in-flight offloads, %d parked, queue depth %d, %d served, %d errors\n",
 		st.Workers, st.InFlight, st.Parked, st.QueueDepth, st.Served, st.Errors)
+}
+
+// writeTailTraceStatus renders the live tail-tax attribution: one line
+// per latency slice (mean/p50/p99/p999) with each category's share of
+// that slice's critical path, prefixed like the other panels.
+func writeTailTraceStatus(w *strings.Builder, spans func() []telemetry.SpanData) {
+	if spans == nil {
+		fmt.Fprintf(w, "tailtrace    off\n")
+		return
+	}
+	rep := tailtrace.Analyze(spans(), tailtrace.Options{})
+	if rep.Requests == 0 {
+		fmt.Fprintf(w, "tailtrace    on: no complete traces yet\n")
+		return
+	}
+	var sb strings.Builder
+	rep.RenderText(&sb)
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		fmt.Fprintf(w, "tailtrace    %s\n", strings.TrimRight(line, " "))
+	}
 }
 
 // metricNames extracts the distinct metric names from a Prometheus text

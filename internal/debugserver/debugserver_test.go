@@ -307,3 +307,26 @@ func TestDashboardAsyncPanel(t *testing.T) {
 		}
 	}
 }
+
+// TestDashboardTailTracePanel: the tail-tax attribution table renders on
+// the dashboard when a span source is attached, and the panel reads
+// "off" otherwise.
+func TestDashboardTailTracePanel(t *testing.T) {
+	s := startServer(t, debugserver.Config{})
+	if _, body := get(t, client(t), s.URL()+"/"); !strings.Contains(body, "tailtrace    off") {
+		t.Errorf("dashboard without a span source should show the tailtrace panel off:\n%s", body)
+	}
+
+	ts := func(n int64) time.Time { return time.Unix(0, n) }
+	spans := []telemetry.SpanData{
+		{TraceID: 1, SpanID: 1, Name: "topo.request", Process: "client", Start: ts(0), Duration: 100},
+		{TraceID: 1, SpanID: 2, ParentID: 1, Name: "topo.work", Process: "Front", Category: telemetry.CatWork, Start: ts(10), Duration: 80},
+	}
+	s2 := startServer(t, debugserver.Config{TailSpans: func() []telemetry.SpanData { return spans }})
+	_, body := get(t, client(t), s2.URL()+"/")
+	for _, want := range []string{"tailtrace    tail-tax attribution: 1 requests", "tailtrace      mean", "tailtrace      p99", "work"} {
+		if !strings.Contains(body, want) {
+			t.Errorf("tailtrace panel missing %q:\n%s", want, body)
+		}
+	}
+}

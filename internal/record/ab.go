@@ -39,6 +39,9 @@ type ABConfig struct {
 type ABArm struct {
 	Stats   RPCReplayStats
 	Latency telemetry.HistogramSnapshot // per-call wall latency, nanoseconds
+	// Spans holds the arm's server-side span trees when the replay ran
+	// with tracing (ServingABConfig.Trace); nil otherwise.
+	Spans []telemetry.SpanData
 }
 
 // ABResult pairs the two arms of one replay.

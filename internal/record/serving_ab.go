@@ -37,6 +37,11 @@ type ServingABConfig struct {
 	// OffloadLatency is the simulated accelerator's fixed latency L
 	// (default 1ms).
 	OffloadLatency time.Duration
+	// Trace attaches a per-arm tracer to each arm's server, collecting
+	// one span tree per replayed request (queue-wait, handler, park-wait
+	// and resume-wait children) in ABArm.Spans — the raw material for
+	// the explain mode's attribution delta between the two designs.
+	Trace bool
 }
 
 // ServingABResult pairs the two serving arms of one replay.
@@ -125,6 +130,11 @@ func runServingArm(ctx context.Context, tr *Trace, cfg ServingABConfig, name str
 		return ABArm{}, err
 	}
 	defer srv.Close() //modelcheck:ignore errdrop — arm teardown; conns are closed below
+	var tracer *telemetry.Tracer
+	if cfg.Trace {
+		tracer = telemetry.NewTracer(name)
+		srv.Instrument(&rpc.Instrumentation{Tracer: tracer})
+	}
 	// net.Pipe, like the batching A/B in ab.go: an in-process transport
 	// keeps kernel TCP out of the measurement — a loopback retransmit
 	// (200 ms RTO) head-of-line blocks the single multiplexed connection
@@ -150,5 +160,9 @@ func runServingArm(ctx context.Context, tr *Trace, cfg ServingABConfig, name str
 		MaxInFlight: cfg.MaxInFlight,
 		Latency:     hist,
 	})
-	return ABArm{Stats: stats, Latency: hist.Snapshot()}, err
+	arm := ABArm{Stats: stats, Latency: hist.Snapshot()}
+	if tracer != nil {
+		arm.Spans = tracer.Spans()
+	}
+	return arm, err
 }

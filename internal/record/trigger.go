@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/tailtrace"
 	"repro/internal/telemetry"
 )
 
@@ -48,6 +49,13 @@ type TriggerConfig struct {
 	// the error signal fires; 0 disables it.
 	ErrorThreshold uint64
 
+	// Spans, when non-nil, is sampled whenever a dump fires: the slowest
+	// request among the returned spans is written alongside the ring as
+	// anomaly-NNN.spans.json (a Chrome trace of that request's tree) so
+	// the offending request — not just the traffic window around it —
+	// survives for offline inspection.
+	Spans func() []telemetry.SpanData
+
 	// Interval is the poll period (default 1s).
 	Interval time.Duration
 	// MaxDumps caps dumps per trigger lifetime (default 16).
@@ -84,6 +92,7 @@ type Trigger struct {
 	prevErrs  uint64
 	cooldown  int
 	dumps     []string
+	spanDumps []string
 	lastErr   error
 	polls     uint64
 	firstPoll bool
@@ -175,9 +184,38 @@ func (t *Trigger) Poll() string {
 		t.lastErr = err
 		return ""
 	}
+	if t.cfg.Spans != nil {
+		if err := t.dumpSlowestTrace(fmt.Sprintf("anomaly-%03d.spans.json", len(t.dumps))); err != nil {
+			t.lastErr = err // the ring dump above still counts
+		}
+	}
 	t.dumps = append(t.dumps, path)
 	t.cooldown = t.cfg.CooldownPolls
 	return path
+}
+
+// dumpSlowestTrace writes the slowest request's trace tree — the
+// exemplar most likely to be the anomaly the signals reacted to — as a
+// Chrome trace next to the ring dump.
+func (t *Trigger) dumpSlowestTrace(name string) error {
+	rep := tailtrace.Analyze(t.cfg.Spans(), tailtrace.Options{Exemplars: 1})
+	if len(rep.Exemplars) == 0 {
+		return nil
+	}
+	path := filepath.Join(t.cfg.Dir, name)
+	if err := telemetry.WriteTraceFile(path, rep.Exemplars[0].Spans); err != nil {
+		return err
+	}
+	t.spanDumps = append(t.spanDumps, path)
+	return nil
+}
+
+// SpanDumps returns the trace-tree dump paths written so far, oldest
+// first.
+func (t *Trigger) SpanDumps() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]string(nil), t.spanDumps...)
 }
 
 // Dumps returns the paths written so far, oldest first.

@@ -3,6 +3,7 @@ package record
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -185,4 +186,53 @@ func TestTriggerLoopAndStop(t *testing.T) {
 	trg.Stop()
 	var nilTrg *Trigger
 	nilTrg.Stop()
+}
+
+// A firing trigger with a Spans source also dumps the slowest request's
+// trace tree as a Chrome trace next to the ring.
+func TestTriggerDumpsSlowestTraceTree(t *testing.T) {
+	rec := NewRecorder(16)
+	rec.Record("web1", 1, 1, OutcomeError)
+	errs := &telemetry.Counter{}
+	dir := t.TempDir()
+	base := time.Unix(0, 0)
+	spans := []telemetry.SpanData{
+		{TraceID: 1, SpanID: 1, Name: "topo.request", Process: "client", Start: base, Duration: 100},
+		{TraceID: 2, SpanID: 2, Name: "topo.request", Process: "client", Start: base, Duration: 900},
+		{TraceID: 2, SpanID: 3, ParentID: 2, Name: "handler", Process: "leaf", Category: telemetry.CatWork, Start: base.Add(100), Duration: 700},
+	}
+	trg, err := StartTrigger(TriggerConfig{
+		Recorder: rec, Dir: dir,
+		Errors: errs, ErrorThreshold: 1,
+		Spans:    func() []telemetry.SpanData { return spans },
+		Interval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer trg.Stop()
+
+	trg.Poll() // baseline
+	errs.Add(5)
+	if p := trg.Poll(); p == "" {
+		t.Fatal("error burst did not fire")
+	}
+	dumps := trg.SpanDumps()
+	if len(dumps) != 1 || filepath.Base(dumps[0]) != "anomaly-000.spans.json" {
+		t.Fatalf("SpanDumps() = %v", dumps)
+	}
+	data, err := os.ReadFile(dumps[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the slowest trace (ID 2) is dumped, spans intact.
+	if !strings.Contains(string(data), `"handler"`) {
+		t.Errorf("span dump missing slowest trace's spans:\n%s", data)
+	}
+	if strings.Count(string(data), "topo.request") != 1 {
+		t.Errorf("span dump should hold exactly the slowest request:\n%s", data)
+	}
+	if trg.Err() != nil {
+		t.Errorf("trigger error: %v", trg.Err())
+	}
 }

@@ -88,6 +88,14 @@ type AsyncCall struct {
 	sp    *telemetry.Span
 	state int32
 
+	// Wait timestamps: enqT is stamped at each enqueue (dispatch and
+	// Complete), parkT when the worker hands the call to the device,
+	// doneT when the device doorbell fires. They feed the queue-wait /
+	// park-wait child spans and the engine's cumulative wait counters.
+	enqT  time.Time
+	parkT time.Time
+	doneT time.Time
+
 	// Armed offload (set by Park, consumed by the engine worker).
 	dev    Offloader
 	g      uint64
@@ -106,6 +114,11 @@ func (ac *AsyncCall) Request() Message { return ac.req }
 
 // Context returns the connection's serve context.
 func (ac *AsyncCall) Context() context.Context { return ac.ctx }
+
+// Span returns the request's server-side span (nil when the server is
+// uninstrumented), so handlers and resume functions can hang work and
+// downstream-call children off the request's trace.
+func (ac *AsyncCall) Span() *telemetry.Span { return ac.sp }
 
 // Park arms an offload of g bytes on dev: after the handler returns, the
 // engine submits the work and parks this call; resume runs on a
@@ -133,6 +146,7 @@ func (ac *AsyncCall) Park(dev Offloader, g uint64, resume ResumeFunc) error {
 func (ac *AsyncCall) Complete(err error) {
 	e := ac.eng
 	ac.offErr = err
+	ac.doneT = time.Now()
 	ac.state = stateResumed
 	e.inFlight.Add(-1)
 	e.enqueue(ac)
@@ -158,6 +172,15 @@ type EngineStats struct {
 	QueueDepth int64  // calls waiting for a worker
 	Served     uint64 // requests fully served through the engine
 	Errors     uint64 // handler/offload/resume errors surfaced to clients
+
+	// QueueWaitNanos accumulates time calls spent waiting for an engine
+	// worker — submit→pickup for new requests plus completion→resume for
+	// parked ones. Invisible in per-stage histograms, this is the
+	// queueing share the tail-tax report attributes.
+	QueueWaitNanos uint64
+	// ParkWaitNanos accumulates park→completion device time: wall time
+	// the accelerator covered while no host thread was held.
+	ParkWaitNanos uint64
 }
 
 // Engine is the completion-queue core: a bounded work queue feeding a
@@ -179,11 +202,13 @@ type Engine struct {
 	cmu    sync.RWMutex
 	closed bool
 
-	inFlight *telemetry.Gauge
-	parked   *telemetry.Gauge
-	qDepth   *telemetry.Gauge
-	served   *telemetry.Counter
-	errors   *telemetry.Counter
+	inFlight  *telemetry.Gauge
+	parked    *telemetry.Gauge
+	qDepth    *telemetry.Gauge
+	served    *telemetry.Counter
+	errors    *telemetry.Counter
+	queueWait *telemetry.Counter // nanoseconds waiting for a worker
+	parkWait  *telemetry.Counter // nanoseconds parked on a device
 }
 
 // NewEngine starts a completion-queue engine with cfg.Workers workers.
@@ -198,14 +223,16 @@ func NewEngine(cfg EngineConfig) (*Engine, error) {
 		cfg.Queue = 1024
 	}
 	e := &Engine{
-		workers:  cfg.Workers,
-		q:        make(chan *AsyncCall, cfg.Queue),
-		quit:     make(chan struct{}),
-		inFlight: &telemetry.Gauge{},
-		parked:   &telemetry.Gauge{},
-		qDepth:   &telemetry.Gauge{},
-		served:   &telemetry.Counter{},
-		errors:   &telemetry.Counter{},
+		workers:   cfg.Workers,
+		q:         make(chan *AsyncCall, cfg.Queue),
+		quit:      make(chan struct{}),
+		inFlight:  &telemetry.Gauge{},
+		parked:    &telemetry.Gauge{},
+		qDepth:    &telemetry.Gauge{},
+		served:    &telemetry.Counter{},
+		errors:    &telemetry.Counter{},
+		queueWait: &telemetry.Counter{},
+		parkWait:  &telemetry.Counter{},
 	}
 	e.calls.New = func() any { return new(AsyncCall) }
 	e.wg.Add(cfg.Workers)
@@ -238,6 +265,12 @@ func (e *Engine) Instrument(reg *telemetry.Registry) error {
 	if e.errors, err = reg.Counter("async_errors_total", "async requests that surfaced an error to the client"); err != nil {
 		return err
 	}
+	if e.queueWait, err = reg.Counter("async_queue_wait_nanos_total", "cumulative nanoseconds calls waited for an engine worker"); err != nil {
+		return err
+	}
+	if e.parkWait, err = reg.Counter("async_park_wait_nanos_total", "cumulative park-to-completion nanoseconds covered by the device"); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -250,6 +283,9 @@ func (e *Engine) Stats() EngineStats {
 		QueueDepth: e.qDepth.Value(),
 		Served:     e.served.Value(),
 		Errors:     e.errors.Value(),
+
+		QueueWaitNanos: e.queueWait.Value(),
+		ParkWaitNanos:  e.parkWait.Value(),
 	}
 }
 
@@ -310,6 +346,7 @@ func (e *Engine) dispatch(ctx context.Context, h AsyncHandler, cw *connWriter, r
 	if ins.enabled() && ins.Tracer != nil {
 		traceID, parentID := traceContext(req)
 		ac.sp = ins.Tracer.Join("rpc.AsyncServer/"+req.Method, traceID, parentID, time.Now())
+		ac.sp.SetCategory(telemetry.CatRPC)
 	}
 	e.enqueue(ac)
 }
@@ -327,6 +364,7 @@ func (e *Engine) enqueue(ac *AsyncCall) {
 		e.failClosed(ac)
 		return
 	}
+	ac.enqT = time.Now() // before the send: a worker may pick it up immediately
 	e.q <- ac
 	e.qDepth.Add(1)
 	e.cmu.RUnlock()
@@ -358,7 +396,17 @@ func (e *Engine) worker() {
 // (submitting its armed offload, if any), or the resume for a completed
 // offload.
 func (e *Engine) process(ac *AsyncCall) {
+	pickup := time.Now()
+	queueWait := pickup.Sub(ac.enqT)
+	e.queueWait.Add(uint64(queueWait))
 	if ac.state == stateResumed {
+		// The pickup closes two waits: park→completion on the device,
+		// then completion→resume back in the engine queue.
+		e.parkWait.Add(uint64(ac.doneT.Sub(ac.parkT)))
+		if ac.sp != nil {
+			ac.sp.ChildDoneCat("park-wait", telemetry.CatDevice, ac.parkT, ac.doneT.Sub(ac.parkT))
+			ac.sp.ChildDoneCat("resume-wait", telemetry.CatQueue, ac.doneT, queueWait)
+		}
 		e.parked.Add(-1)
 		if ac.offErr != nil {
 			e.finish(ac, Message{}, fmt.Errorf("rpc: offload failed: %w", ac.offErr))
@@ -369,7 +417,13 @@ func (e *Engine) process(ac *AsyncCall) {
 		return
 	}
 
+	if ac.sp != nil {
+		ac.sp.ChildDoneCat("queue-wait", telemetry.CatQueue, ac.enqT, queueWait)
+	}
 	resp, err := ac.h(ac.ctx, ac.req, ac)
+	if ac.sp != nil {
+		ac.sp.ChildDoneCat("handler", telemetry.CatWork, pickup, time.Since(pickup))
+	}
 	if err != nil || ac.dev == nil {
 		ac.dev = nil
 		e.finish(ac, resp, err)
@@ -382,6 +436,7 @@ func (e *Engine) process(ac *AsyncCall) {
 	// may already be running on another worker.
 	dev := ac.dev
 	ac.dev = nil
+	ac.parkT = time.Now()
 	e.parked.Add(1)
 	e.inFlight.Add(1)
 	if serr := dev.Submit(ac.ctx, ac.g, ac); serr != nil {

@@ -501,3 +501,68 @@ func TestEngineConfigValidation(t *testing.T) {
 		t.Fatal("nil handler accepted")
 	}
 }
+
+// TestAsyncTracedWaits drives the park/resume path with a tracer attached
+// and checks the engine's wait instrumentation end to end: the handler
+// sees its request span via ac.Span() (and a live ac.Context()), the
+// tracer records the queue-wait / park-wait / resume-wait / handler child
+// spans with their tail-tax categories, and EngineStats accumulates both
+// cumulative wait counters.
+func TestAsyncTracedWaits(t *testing.T) {
+	dev := newTestAccel(t, kernels.SimAccelConfig{Latency: 2 * time.Millisecond})
+	eng := newTestEngine(t, EngineConfig{Workers: 2})
+
+	sawSpan := make(chan bool, 1)
+	h := func(_ context.Context, _ Message, ac *AsyncCall) (Message, error) {
+		select {
+		case sawSpan <- ac.Span() != nil && ac.Context() != nil:
+		default:
+		}
+		if err := ac.Park(dev, uint64(len(ac.Request().Payload)), echoResume); err != nil {
+			return Message{}, err
+		}
+		return Message{}, nil
+	}
+	srv, err := NewAsyncServer(h, eng, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tracer := telemetry.NewTracer("async-test")
+	srv.Instrument(&Instrumentation{Tracer: tracer})
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(context.Background(), lis) //modelcheck:ignore errdrop — Serve's error is the normal shutdown path
+	t.Cleanup(func() { srv.Close() })       // errors swallowed per the teardown rule
+	c := dialMux(t, lis.Addr().String())
+
+	if _, err := c.CallContext(context.Background(), Message{Method: "traced", Payload: []byte("pp")}); err != nil {
+		t.Fatal(err)
+	}
+	if ok := <-sawSpan; !ok {
+		t.Fatal("handler saw a nil ac.Span() or ac.Context() on an instrumented server")
+	}
+
+	cats := map[string]string{}
+	for _, sp := range tracer.Spans() {
+		cats[sp.Name] = sp.Category
+	}
+	for name, wantCat := range map[string]string{
+		"queue-wait":  telemetry.CatQueue,
+		"park-wait":   telemetry.CatDevice,
+		"resume-wait": telemetry.CatQueue,
+		"handler":     telemetry.CatWork,
+	} {
+		if got, ok := cats[name]; !ok || got != wantCat {
+			t.Errorf("span %q: category %q (recorded %v), want %q", name, got, ok, wantCat)
+		}
+	}
+	st := eng.Stats()
+	if st.QueueWaitNanos == 0 {
+		t.Error("EngineStats.QueueWaitNanos = 0 after a served request")
+	}
+	if st.ParkWaitNanos < uint64(time.Millisecond) {
+		t.Errorf("EngineStats.ParkWaitNanos = %d, want >= the 2ms device latency's order", st.ParkWaitNanos)
+	}
+}

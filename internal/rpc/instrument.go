@@ -142,12 +142,37 @@ func (ins *Instrumentation) enabled() bool {
 	return ins != nil && (ins.Tracer != nil || ins.Metrics != nil)
 }
 
+// stageCategory maps an instrumented stage name to its tail-tax
+// attribution bucket: the codec stages are the rpc tax proper, frame and
+// network time are transport, and the handler is service work.
+func stageCategory(name string) string {
+	switch name {
+	case "frame-write", "net-wait":
+		return telemetry.CatTransport
+	case "handler":
+		return telemetry.CatWork
+	default:
+		return telemetry.CatRPC
+	}
+}
+
 // observeStage records one timed stage into a histogram (nil-safe) and as
-// a completed child span (nil-safe).
+// a completed, category-stamped child span (nil-safe).
 func observeStage(h *telemetry.Histogram, sp *telemetry.Span, name string, start time.Time) {
 	d := time.Since(start)
 	h.Record(d.Seconds())
-	sp.ChildDone(name, start, d)
+	sp.ChildDoneCat(name, stageCategory(name), start, d)
+}
+
+// WithTraceContext returns a copy of m whose headers carry sp's trace and
+// span IDs, so an instrumented downstream Client joins sp's trace with sp
+// as the parent — the linkage topology handlers plant on mid-request
+// fan-out. A nil span returns m unchanged.
+func WithTraceContext(m Message, sp *telemetry.Span) Message {
+	if sp == nil {
+		return m
+	}
+	return withTraceContext(m, sp)
 }
 
 // withTraceContext returns a copy of m whose headers carry sp's trace and

@@ -1,0 +1,20 @@
+package rpc
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkStageDisabled measures the uninstrumented pipeline's per-stage
+// cost: observeStage with a nil histogram and a nil span — exactly what
+// every stage pays when no Instrumentation is attached. The contract in
+// this file's package comment ("one nil check and no allocations") is a
+// CI gate: scripts/bench_tailtrace.sh fails if this path ever allocates.
+func BenchmarkStageDisabled(b *testing.B) {
+	start := time.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		observeStage(nil, nil, "serialize", start)
+	}
+}

@@ -386,6 +386,10 @@ func (s *Server) handleOne(ctx context.Context, req Message) (Message, *telemetr
 		if ins.Tracer != nil {
 			traceID, parentID := traceContext(req)
 			sp = ins.Tracer.Join("rpc.Server/"+req.Method, traceID, parentID, time.Now())
+			sp.SetCategory(telemetry.CatRPC)
+			// The handler sees its own span so it can hang work and
+			// downstream-call children off this request's trace.
+			ctx = telemetry.ContextWithSpan(ctx, sp)
 		}
 		t0 = time.Now()
 	}
@@ -557,7 +561,15 @@ func (c *Client) call(ctx context.Context, req Message) (Message, error) {
 	var callStart time.Time
 	if obs {
 		if ins.Tracer != nil {
-			sp = ins.Tracer.Start("rpc.Call/" + req.Method)
+			// A request already carrying trace context (planted by a
+			// handler issuing a mid-request downstream call) continues
+			// that trace; a bare request roots a fresh one. Either way
+			// this call's own span becomes the downstream parent.
+			if traceID, parentID := traceContext(req); traceID != 0 {
+				sp = ins.Tracer.Join("rpc.Call/"+req.Method, traceID, parentID, time.Now())
+			} else {
+				sp = ins.Tracer.Start("rpc.Call/" + req.Method)
+			}
 			req = withTraceContext(req, sp)
 		}
 		if ins.Metrics != nil {

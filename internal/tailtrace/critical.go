@@ -1,0 +1,190 @@
+package tailtrace
+
+import (
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// CatOther buckets critical-path time inside spans this package cannot
+// classify (application spans with no category stamp and an unknown name).
+const CatOther = "other"
+
+// CategoryOrder is the canonical column order for reports: the request's
+// useful work first, then the tax buckets in pipeline order.
+var CategoryOrder = []string{
+	telemetry.CatWork,
+	telemetry.CatRPC,
+	telemetry.CatTransport,
+	telemetry.CatQueue,
+	telemetry.CatDevice,
+	CatOther,
+}
+
+// Classify maps a span to its attribution category. Spans stamped at
+// creation (pipeline stages, engine waits) carry their category; for the
+// rest the span name decides. Unstamped rpc.Call/rpc.Server envelope
+// spans classify as rpc tax: any of their self-time not covered by a
+// stage child is dispatch bookkeeping. The topology injector's root span
+// classifies as queueing — its self-time is time the request spent
+// scheduled but not yet inside any tier's instrumented window.
+func Classify(d telemetry.SpanData) string {
+	if d.Category != "" {
+		return d.Category
+	}
+	switch d.Name {
+	case "serialize", "compress", "encrypt", "decrypt", "decompress", "deserialize":
+		return telemetry.CatRPC
+	case "frame-write", "net-wait":
+		return telemetry.CatTransport
+	case "handler", "topo.work":
+		return telemetry.CatWork
+	case "queue-wait", "resume-wait":
+		return telemetry.CatQueue
+	case "park-wait":
+		return telemetry.CatDevice
+	case "topo.request":
+		return telemetry.CatQueue
+	}
+	if strings.HasPrefix(d.Name, "rpc.Call/") || strings.HasPrefix(d.Name, "rpc.Server/") || strings.HasPrefix(d.Name, "rpc.AsyncServer/") {
+		return telemetry.CatRPC
+	}
+	return CatOther
+}
+
+// Segment is one critical-path interval, attributed to the span that owns
+// it. SelfTime marks intervals carved out of a parent between (or around)
+// its children — the "gaps" — as opposed to a leaf span's whole window.
+type Segment struct {
+	Start    time.Time
+	Duration time.Duration
+	Category string
+	Name     string // owning span's name
+	Process  string // owning span's process (tier)
+	SelfTime bool
+}
+
+// CriticalPath walks t's tree backward from the root's end and returns
+// the contiguous segments that cover exactly the root's window — the
+// single chain of spans the request's latency actually waited on.
+//
+// At each span the walk repeatedly picks, among children overlapping the
+// remaining window, the one whose (clamped) end reaches furthest toward
+// the cursor; ties break toward the longer child, then the smaller span
+// ID, so fan-out ties resolve deterministically. Children are clamped to
+// the parent's window: a clock-skewed child that appears to outlive its
+// parent cannot leak time, so the segments always sum to the root span's
+// duration exactly. Time between a child's end and the cursor is emitted
+// as the parent's self-time, classified by the parent's category — a gap
+// inside net-wait is transport, inside queue-wait is queueing, inside the
+// injector root is scheduling/queueing. Segments return in chronological
+// order.
+func CriticalPath(t *Tree) []Segment {
+	if t == nil || t.Root == nil {
+		return nil
+	}
+	var segs []Segment
+	walk(t.Root, t.Root.Start(), t.Root.End(), &segs)
+	// The walk emits back-to-front; flip to chronological.
+	for i, j := 0, len(segs)-1; i < j; i, j = i+1, j-1 {
+		segs[i], segs[j] = segs[j], segs[i]
+	}
+	return segs
+}
+
+// walk appends n's critical-path segments within [winStart, winEnd],
+// latest first.
+func walk(n *Node, winStart, winEnd time.Time, segs *[]Segment) {
+	if !winEnd.After(winStart) {
+		return
+	}
+	cat := Classify(n.Data)
+	remaining := make([]*Node, len(n.Children))
+	copy(remaining, n.Children)
+	cursor := winEnd
+	for cursor.After(winStart) {
+		pick := -1
+		var pickStart, pickEnd time.Time
+		for i, c := range remaining {
+			if c == nil {
+				continue
+			}
+			cs, ce := clamp(c.Start(), c.End(), winStart, cursor)
+			if !ce.After(cs) {
+				continue
+			}
+			if pick < 0 || better(cs, ce, pickStart, pickEnd, c, remaining[pick]) {
+				pick, pickStart, pickEnd = i, cs, ce
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		if cursor.After(pickEnd) {
+			emit(segs, n, pickEnd, cursor, cat, true)
+		}
+		walk(remaining[pick], pickStart, pickEnd, segs)
+		cursor = pickStart
+		remaining[pick] = nil
+	}
+	if cursor.After(winStart) {
+		emit(segs, n, winStart, cursor, cat, len(n.Children) > 0)
+	}
+}
+
+// better reports whether candidate c (clamped to [cs,ce]) beats the
+// current pick (clamped to [ps,pe]): furthest clamped end wins, then the
+// longer clamped interval, then the smaller span ID.
+func better(cs, ce, ps, pe time.Time, c, p *Node) bool {
+	if !ce.Equal(pe) {
+		return ce.After(pe)
+	}
+	if dc, dp := ce.Sub(cs), pe.Sub(ps); dc != dp {
+		return dc > dp
+	}
+	return c.Data.SpanID < p.Data.SpanID
+}
+
+func clamp(start, end, lo, hi time.Time) (time.Time, time.Time) {
+	if start.Before(lo) {
+		start = lo
+	}
+	if end.After(hi) {
+		end = hi
+	}
+	return start, end
+}
+
+func emit(segs *[]Segment, owner *Node, start, end time.Time, cat string, self bool) {
+	*segs = append(*segs, Segment{
+		Start:    start,
+		Duration: end.Sub(start),
+		Category: cat,
+		Name:     owner.Data.Name,
+		Process:  owner.Data.Process,
+		SelfTime: self,
+	})
+}
+
+// sortCategories returns the keys of m in canonical report order, with
+// unknown categories appended alphabetically.
+func sortCategories(m map[string]time.Duration) []string {
+	seen := make(map[string]bool, len(m))
+	var out []string
+	for _, c := range CategoryOrder {
+		if _, ok := m[c]; ok {
+			out = append(out, c)
+			seen[c] = true
+		}
+	}
+	var extra []string
+	for c := range m {
+		if !seen[c] {
+			extra = append(extra, c)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

@@ -1,0 +1,177 @@
+package tailtrace_test
+
+import (
+	"context"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/tailtrace"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// runTraced drives requests through a live traced topology and returns
+// the collected spans.
+func runTraced(t *testing.T, specPath string, cfg topology.RunnerConfig, requests int) []telemetry.SpanData {
+	t.Helper()
+	src, err := os.ReadFile(specPath)
+	if err != nil {
+		t.Fatalf("read spec: %v", err)
+	}
+	g, err := topology.ParseSpec(string(src))
+	if err != nil {
+		t.Fatalf("parse spec: %v", err)
+	}
+	cfg.Trace = true
+	cfg.UnitIters = 200 // keep the spin cheap; the tree shape is what matters
+	r, err := topology.NewRunner(g, cfg)
+	if err != nil {
+		t.Fatalf("NewRunner: %v", err)
+	}
+	ctx := context.Background()
+	if err := r.Start(ctx); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer r.Close()
+	payload := make([]byte, 64)
+	for i := 0; i < requests; i++ {
+		if _, err := r.Call(ctx, payload); err != nil {
+			t.Fatalf("Call %d: %v", i, err)
+		}
+	}
+	return r.Spans()
+}
+
+// TestLiveAttributionSumsToRootSpan is the acceptance check from the
+// issue: on the ads-chain and two-tier topologies, every request's
+// critical-path attribution must sum to within 2% of the measured
+// end-to-end span, and every tier must contribute spans to the tree.
+func TestLiveAttributionSumsToRootSpan(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live topology run")
+	}
+	cases := []struct {
+		name string
+		spec string
+		cfg  topology.RunnerConfig
+		// tiers must all appear on the critical path (chains); anyOf
+		// requires at least one (parallel fan-out puts only the
+		// slower sibling on the path, and which leaf that is depends
+		// on scheduling).
+		tiers []string
+		anyOf []string
+	}{
+		{
+			name:  "two-tier",
+			spec:  "../../testdata/topologies/two-tier.topo",
+			tiers: []string{"client", "Front"},
+			anyOf: []string{"Leaf1", "Leaf2"},
+		},
+		{
+			name:  "ads-chain",
+			spec:  "../../testdata/topologies/ads-chain.topo",
+			tiers: []string{"client", "Ads1", "Ads2", "Cache3"},
+		},
+		{
+			name: "two-tier-async",
+			spec: "../../testdata/topologies/two-tier.topo",
+			cfg: topology.RunnerConfig{
+				Accel: &topology.AccelConfig{A: 8, O0: 10, L: 10},
+				Async: true,
+			},
+			tiers: []string{"client", "Front"},
+			anyOf: []string{"Leaf1", "Leaf2"},
+		},
+	}
+	const requests = 30
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			spans := runTraced(t, tc.spec, tc.cfg, requests)
+			trees := tailtrace.Assemble(spans)
+			if len(trees) != requests {
+				t.Fatalf("assembled %d trees, want %d", len(trees), requests)
+			}
+			for _, tree := range trees {
+				if tree.Rootless {
+					t.Errorf("trace %x lost its root span", tree.TraceID)
+				}
+				if tree.Root.Data.Name != "topo.request" {
+					t.Errorf("trace %x root = %q, want topo.request", tree.TraceID, tree.Root.Data.Name)
+				}
+				tax := tailtrace.Attribute(tree)
+				var sum time.Duration
+				for _, d := range tax.ByCategory {
+					sum += d
+				}
+				e2e := tree.Root.Data.Duration
+				if diff := sum - e2e; diff < -e2e/50 || diff > e2e/50 {
+					t.Errorf("trace %x: attribution sums to %v, e2e span %v (>2%% off)", tree.TraceID, sum, e2e)
+				}
+				if tax.ByCategory[telemetry.CatWork] <= 0 {
+					t.Errorf("trace %x: no work on the critical path: %v", tree.TraceID, tax.ByCategory)
+				}
+			}
+			rep := tailtrace.Analyze(spans, tailtrace.Options{Exemplars: 1})
+			if rep.Requests != requests {
+				t.Fatalf("Analyze saw %d requests, want %d", rep.Requests, requests)
+			}
+			for _, tier := range tc.tiers {
+				if rep.TierShares[tier] <= 0 {
+					t.Errorf("tier %q absent from critical path shares: %v", tier, rep.TierShares)
+				}
+			}
+			if len(tc.anyOf) > 0 {
+				found := false
+				for _, tier := range tc.anyOf {
+					if rep.TierShares[tier] > 0 {
+						found = true
+					}
+				}
+				if !found {
+					t.Errorf("no leaf tier of %v on the critical path: %v", tc.anyOf, rep.TierShares)
+				}
+			}
+			if tc.cfg.Async {
+				// The async arm must surface explicit queue/device time.
+				var queued, device float64
+				for _, row := range rep.Rows {
+					queued += row.ByCategory[telemetry.CatQueue]
+					device += row.ByCategory[telemetry.CatDevice]
+				}
+				if queued <= 0 {
+					t.Error("async run shows no queue time on any slice")
+				}
+				if device <= 0 {
+					t.Error("async run shows no device (park) time on any slice")
+				}
+			}
+		})
+	}
+}
+
+// TestLiveSampledRun checks that head sampling keeps whole traces: every
+// surviving tree still assembles completely (rooted, all tiers present).
+func TestLiveSampledRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live topology run")
+	}
+	spans := runTraced(t, "../../testdata/topologies/two-tier.topo",
+		topology.RunnerConfig{TraceSampleRate: 4}, 40)
+	trees := tailtrace.Assemble(spans)
+	if len(trees) == 0 || len(trees) >= 40 {
+		t.Fatalf("sampling kept %d of 40 traces, want a strict subset (>0)", len(trees))
+	}
+	for _, tree := range trees {
+		if tree.Rootless {
+			t.Errorf("sampled trace %x lost its root", tree.TraceID)
+		}
+		tax := tailtrace.Attribute(tree)
+		// client, Front, and at least one leaf (only the slower fan-out
+		// sibling lands on the critical path).
+		if len(tax.ByProcess) < 3 {
+			t.Errorf("sampled trace %x spans %d processes, want client+Front+leaf: %v",
+				tree.TraceID, len(tax.ByProcess), tax.ByProcess)
+		}
+	}
+}

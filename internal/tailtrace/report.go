@@ -1,0 +1,310 @@
+package tailtrace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// RequestTax is one request's critical-path attribution. ByCategory and
+// ByProcess each partition the root span's duration: every critical-path
+// nanosecond lands in exactly one category and one process.
+type RequestTax struct {
+	TraceID    uint64
+	Total      time.Duration
+	ByCategory map[string]time.Duration
+	ByProcess  map[string]time.Duration
+	Rootless   bool
+	Orphans    int
+}
+
+// Attribute extracts t's critical path and sums it by category and by
+// process (tier).
+func Attribute(t *Tree) RequestTax {
+	rt := RequestTax{
+		TraceID:    t.TraceID,
+		Total:      t.Root.Data.Duration,
+		ByCategory: make(map[string]time.Duration),
+		ByProcess:  make(map[string]time.Duration),
+		Rootless:   t.Rootless,
+	}
+	for _, s := range CriticalPath(t) {
+		rt.ByCategory[s.Category] += s.Duration
+		rt.ByProcess[s.Process] += s.Duration
+	}
+	var count func(n *Node)
+	count = func(n *Node) {
+		if n.Orphan {
+			rt.Orphans++
+		}
+		for _, c := range n.Children {
+			count(c)
+		}
+	}
+	count(t.Root)
+	return rt
+}
+
+// TaxRow is one slice of the tail-tax table: the attribution of a single
+// exemplar request at a latency quantile, or the mean across all
+// requests. Values are nanoseconds (float so the mean row is exact).
+type TaxRow struct {
+	Label      string             `json:"label"`
+	TraceID    uint64             `json:"trace_id,omitempty"`
+	TotalNanos float64            `json:"total_nanos"`
+	ByCategory map[string]float64 `json:"by_category"`
+}
+
+// Share returns the row's fraction in category c, 0..1.
+func (r TaxRow) Share(c string) float64 {
+	if r.TotalNanos <= 0 {
+		return 0
+	}
+	return r.ByCategory[c] / r.TotalNanos
+}
+
+// Exemplar is one of the slowest requests, with its raw spans for Chrome
+// trace export and its attribution for the explain path.
+type Exemplar struct {
+	TraceID uint64
+	Total   time.Duration
+	Tax     RequestTax
+	Spans   []telemetry.SpanData
+	Tree    *Tree
+}
+
+// Report is the aggregated tail-tax attribution over one run.
+type Report struct {
+	Requests   int      `json:"requests"`
+	Categories []string `json:"categories"`
+	// Rows holds the mean plus one row per requested quantile, slowest
+	// last.
+	Rows []TaxRow `json:"rows"`
+	// TierShares is each process's share of total critical-path time
+	// across all requests, 0..1.
+	TierShares map[string]float64 `json:"tier_shares"`
+	// Rootless and Orphans count assembly degradations: trees whose root
+	// span was missing, and spans whose parent was missing.
+	Rootless int `json:"rootless,omitempty"`
+	Orphans  int `json:"orphans,omitempty"`
+
+	Exemplars []Exemplar `json:"-"`
+}
+
+// Options configures Analyze.
+type Options struct {
+	// Quantiles for the per-slice rows; default p50, p99, p999.
+	Quantiles []float64
+	// Exemplars is how many slowest requests to retain with full spans
+	// (default 0).
+	Exemplars int
+}
+
+var defaultQuantiles = []float64{0.5, 0.99, 0.999}
+
+// Analyze assembles spans into trees, attributes each request's critical
+// path, and aggregates the tail-tax report: a mean row plus, for each
+// quantile, the attribution of the request sitting at that latency rank
+// (nearest-rank, matching the simulator's order statistics). Slicing by
+// exemplar rather than averaging a bucket keeps the row a real request —
+// its categories sum to its total — which is what makes "the p999 is 60%
+// queueing" an actionable statement.
+func Analyze(spans []telemetry.SpanData, opt Options) *Report {
+	qs := opt.Quantiles
+	if len(qs) == 0 {
+		qs = defaultQuantiles
+	}
+	trees := Assemble(spans)
+	rep := &Report{Requests: len(trees), TierShares: make(map[string]float64)}
+	if len(trees) == 0 {
+		return rep
+	}
+	taxes := make([]RequestTax, len(trees))
+	for i, t := range trees {
+		taxes[i] = Attribute(t)
+		if taxes[i].Rootless {
+			rep.Rootless++
+		}
+		rep.Orphans += taxes[i].Orphans
+	}
+	order := make([]int, len(taxes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		ti, tj := taxes[order[i]], taxes[order[j]]
+		if ti.Total != tj.Total {
+			return ti.Total < tj.Total
+		}
+		return ti.TraceID < tj.TraceID
+	})
+
+	// Category universe and tier shares over all requests.
+	catSum := make(map[string]time.Duration)
+	var totalSum time.Duration
+	procSum := make(map[string]time.Duration)
+	for _, tx := range taxes {
+		totalSum += tx.Total
+		for c, d := range tx.ByCategory {
+			catSum[c] += d
+		}
+		for p, d := range tx.ByProcess {
+			procSum[p] += d
+		}
+	}
+	rep.Categories = sortCategories(catSum)
+	if totalSum > 0 {
+		for p, d := range procSum {
+			rep.TierShares[p] = float64(d) / float64(totalSum)
+		}
+	}
+
+	mean := TaxRow{Label: "mean", ByCategory: make(map[string]float64)}
+	n := float64(len(taxes))
+	mean.TotalNanos = float64(totalSum) / n
+	for c, d := range catSum {
+		mean.ByCategory[c] = float64(d) / n
+	}
+	rep.Rows = append(rep.Rows, mean)
+	for _, q := range qs {
+		tx := taxes[order[nearestRank(len(order), q)]]
+		row := TaxRow{
+			Label:      quantileLabel(q),
+			TraceID:    tx.TraceID,
+			TotalNanos: float64(tx.Total),
+			ByCategory: make(map[string]float64, len(tx.ByCategory)),
+		}
+		for c, d := range tx.ByCategory {
+			row.ByCategory[c] = float64(d)
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+
+	if opt.Exemplars > 0 {
+		k := opt.Exemplars
+		if k > len(order) {
+			k = len(order)
+		}
+		for i := 0; i < k; i++ {
+			idx := order[len(order)-1-i]
+			rep.Exemplars = append(rep.Exemplars, Exemplar{
+				TraceID: taxes[idx].TraceID,
+				Total:   taxes[idx].Total,
+				Tax:     taxes[idx],
+				Spans:   trees[idx].Spans,
+				Tree:    trees[idx],
+			})
+		}
+	}
+	return rep
+}
+
+// nearestRank maps quantile q over n sorted samples to an index,
+// matching the topology simulator's order statistics.
+func nearestRank(n int, q float64) int {
+	if n == 0 {
+		return 0
+	}
+	idx := int(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}
+
+func quantileLabel(q float64) string {
+	s := fmt.Sprintf("%g", q*100)
+	return "p" + strings.ReplaceAll(s, ".", "")
+}
+
+// RenderText writes the tail-tax table: one line per slice, each category
+// as milliseconds and share of that slice's total. The interesting read
+// is vertical — a category whose share grows from p50 to p999 is where
+// the tail lives.
+func (r *Report) RenderText(w *strings.Builder) {
+	fmt.Fprintf(w, "tail-tax attribution: %d requests", r.Requests)
+	if r.Rootless > 0 || r.Orphans > 0 {
+		fmt.Fprintf(w, " (%d rootless, %d orphan spans)", r.Rootless, r.Orphans)
+	}
+	w.WriteString("\n")
+	if r.Requests == 0 {
+		return
+	}
+	width := 9
+	for _, c := range r.Categories {
+		if len(c)+7 > width {
+			width = len(c) + 7
+		}
+	}
+	fmt.Fprintf(w, "  %-6s %10s", "slice", "total(ms)")
+	for _, c := range r.Categories {
+		fmt.Fprintf(w, "  %*s", width, c)
+	}
+	w.WriteString("\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "  %-6s %10.3f", row.Label, row.TotalNanos/1e6)
+		for _, c := range r.Categories {
+			cell := fmt.Sprintf("%.3f %3.0f%%", row.ByCategory[c]/1e6, 100*row.Share(c))
+			fmt.Fprintf(w, "  %*s", width, cell)
+		}
+		w.WriteString("\n")
+	}
+}
+
+// TierDiff compares one tier's predicted share of the end-to-end
+// critical path against its measured share.
+type TierDiff struct {
+	Tier      string
+	Predicted float64 // 0..1; 0 for tiers off the predicted path
+	Measured  float64 // 0..1
+}
+
+// CompareModel diffs the measured per-tier critical-path composition
+// against a predicted path and its weights (topology.Predict's
+// CriticalPath/PathWeights, passed as plain slices to keep this package
+// below the topology layer). Tiers the model did not place on the path
+// but that show up in measurement — the injector process, typically —
+// appear with Predicted 0; the gap between the two columns is the tax
+// the analytical model does not see (rpc stages, queueing, transport).
+func (r *Report) CompareModel(path []string, weights []float64) []TierDiff {
+	pred := make(map[string]float64, len(path))
+	for i, p := range path {
+		if i < len(weights) {
+			pred[p] += weights[i]
+		}
+	}
+	names := make(map[string]bool, len(pred)+len(r.TierShares))
+	for p := range pred {
+		names[p] = true
+	}
+	for p := range r.TierShares {
+		names[p] = true
+	}
+	out := make([]TierDiff, 0, len(names))
+	for p := range names {
+		out = append(out, TierDiff{Tier: p, Predicted: pred[p], Measured: r.TierShares[p]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Predicted != out[j].Predicted { //modelcheck:ignore floatcmp — sort comparator tie-break, exact compare is the point
+			return out[i].Predicted > out[j].Predicted
+		}
+		return out[i].Tier < out[j].Tier
+	})
+	return out
+}
+
+// RenderModelDiff writes the predicted-vs-measured tier table.
+func RenderModelDiff(w *strings.Builder, diffs []TierDiff) {
+	fmt.Fprintf(w, "critical-path composition, predicted vs measured:\n")
+	fmt.Fprintf(w, "  %-12s %10s %10s %8s\n", "tier", "predicted", "measured", "delta")
+	for _, d := range diffs {
+		fmt.Fprintf(w, "  %-12s %9.1f%% %9.1f%% %+7.1f%%\n",
+			d.Tier, 100*d.Predicted, 100*d.Measured, 100*(d.Measured-d.Predicted))
+	}
+}

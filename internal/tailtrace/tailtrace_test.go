@@ -1,0 +1,330 @@
+package tailtrace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+func ts(n int64) time.Time { return time.Unix(0, n) }
+
+func span(trace, id, parent uint64, name, process, cat string, start, dur int64) telemetry.SpanData {
+	return telemetry.SpanData{
+		TraceID: trace, SpanID: id, ParentID: parent,
+		Name: name, Process: process, Category: cat,
+		Start: ts(start), Duration: time.Duration(dur),
+	}
+}
+
+// sumSegments verifies the critical path partitions the root window and
+// returns the per-category sums.
+func sumSegments(t *testing.T, tree *Tree) map[string]time.Duration {
+	t.Helper()
+	segs := CriticalPath(tree)
+	var total time.Duration
+	byCat := make(map[string]time.Duration)
+	cursor := tree.Root.Start()
+	for _, s := range segs {
+		if !s.Start.Equal(cursor) {
+			t.Fatalf("segment starts at %v, want contiguous at %v", s.Start, cursor)
+		}
+		if s.Duration <= 0 {
+			t.Fatalf("non-positive segment %+v", s)
+		}
+		cursor = s.Start.Add(s.Duration)
+		total += s.Duration
+		byCat[s.Category] += s.Duration
+	}
+	if !cursor.Equal(tree.Root.End()) {
+		t.Fatalf("critical path ends at %v, want root end %v", cursor, tree.Root.End())
+	}
+	if total != tree.Root.Data.Duration {
+		t.Fatalf("critical path sums to %v, want root duration %v", total, tree.Root.Data.Duration)
+	}
+	return byCat
+}
+
+func TestAssembleNestsByContainment(t *testing.T) {
+	// A client call whose net-wait window contains the remote server
+	// span, recorded as a flat child list (the server span's recorded
+	// parent is the rpc.Call span, not net-wait).
+	spans := []telemetry.SpanData{
+		span(1, 10, 0, "rpc.Call/m", "client", telemetry.CatRPC, 0, 100),
+		span(1, 11, 10, "serialize", "client", telemetry.CatRPC, 0, 10),
+		span(1, 12, 10, "net-wait", "client", telemetry.CatTransport, 10, 80),
+		span(1, 13, 10, "rpc.Server/m", "leaf", telemetry.CatRPC, 20, 50),
+		span(1, 14, 13, "handler", "leaf", telemetry.CatWork, 25, 40),
+	}
+	trees := Assemble(spans)
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want 1", len(trees))
+	}
+	root := trees[0].Root
+	if root.Data.SpanID != 10 || len(root.Children) != 2 {
+		t.Fatalf("root %d has %d children, want span 10 with 2", root.Data.SpanID, len(root.Children))
+	}
+	netWait := root.Children[1]
+	if netWait.Data.Name != "net-wait" || len(netWait.Children) != 1 || netWait.Children[0].Data.SpanID != 13 {
+		t.Fatalf("server span not nested under net-wait: %+v", netWait)
+	}
+}
+
+func TestCriticalPathAttribution(t *testing.T) {
+	spans := []telemetry.SpanData{
+		span(1, 10, 0, "rpc.Call/m", "client", telemetry.CatRPC, 0, 100),
+		span(1, 11, 10, "serialize", "client", telemetry.CatRPC, 0, 10),
+		span(1, 12, 10, "net-wait", "client", telemetry.CatTransport, 10, 80),
+		span(1, 13, 10, "rpc.Server/m", "leaf", telemetry.CatRPC, 20, 50),
+		span(1, 14, 13, "handler", "leaf", telemetry.CatWork, 25, 40),
+	}
+	tree := Assemble(spans)[0]
+	byCat := sumSegments(t, tree)
+	// handler 40 work; server self 25-25=10 rpc; net-wait gaps 20-10 in +
+	// 80+10-70 out... transport = (20-10)+(90-70)=30; call self 10..0 head
+	// serialize 10 rpc + tail (100-90)=10 rpc; server self = 5+5 = 10 rpc.
+	if got := byCat[telemetry.CatWork]; got != 40 {
+		t.Errorf("work = %v, want 40", got)
+	}
+	if got := byCat[telemetry.CatTransport]; got != 30 {
+		t.Errorf("transport = %v, want 30", got)
+	}
+	if got := byCat[telemetry.CatRPC]; got != 30 {
+		t.Errorf("rpc = %v, want 30", got)
+	}
+}
+
+func TestOrphanSpanPromoted(t *testing.T) {
+	// Span 20's parent 99 was evicted from the ring: it must still appear
+	// in the tree (flagged) and its work still lands in the attribution
+	// via containment under the root.
+	spans := []telemetry.SpanData{
+		span(2, 10, 0, "topo.request", "client", "", 0, 100),
+		span(2, 20, 99, "handler", "leaf", telemetry.CatWork, 30, 40),
+	}
+	trees := Assemble(spans)
+	tree := trees[0]
+	if tree.Rootless {
+		t.Fatal("tree marked rootless despite having a root")
+	}
+	if len(tree.Root.Children) != 1 {
+		t.Fatalf("orphan not attached to root: %d children", len(tree.Root.Children))
+	}
+	if !tree.Root.Children[0].Orphan {
+		t.Error("promoted span not flagged Orphan")
+	}
+	tax := Attribute(tree)
+	if tax.Orphans != 1 {
+		t.Errorf("Orphans = %d, want 1", tax.Orphans)
+	}
+	if got := tax.ByCategory[telemetry.CatWork]; got != 40 {
+		t.Errorf("orphan handler work = %v, want 40", got)
+	}
+	if got := tax.ByCategory[telemetry.CatQueue]; got != 60 {
+		t.Errorf("root self-time (queue) = %v, want 60", got)
+	}
+}
+
+func TestRootlessTree(t *testing.T) {
+	// The root span itself was dropped: the earliest span stands in.
+	spans := []telemetry.SpanData{
+		span(3, 20, 99, "rpc.Server/m", "leaf", "", 10, 80),
+		span(3, 21, 20, "handler", "leaf", telemetry.CatWork, 20, 60),
+	}
+	tree := Assemble(spans)[0]
+	if !tree.Rootless {
+		t.Fatal("tree not marked rootless")
+	}
+	if tree.Root.Data.SpanID != 20 {
+		t.Fatalf("stand-in root = %d, want earliest span 20", tree.Root.Data.SpanID)
+	}
+	sumSegments(t, tree)
+}
+
+func TestClockSkewedChildClamped(t *testing.T) {
+	// A child recorded on a skewed remote clock appears to end 30ns after
+	// its parent. The critical path must clamp it so attribution still
+	// sums exactly to the root duration.
+	spans := []telemetry.SpanData{
+		span(4, 10, 0, "rpc.Call/m", "client", telemetry.CatRPC, 0, 100),
+		span(4, 11, 10, "rpc.Server/m", "leaf", telemetry.CatWork, 50, 80), // ends at 130 > 100
+	}
+	tree := Assemble(spans)[0]
+	byCat := sumSegments(t, tree)
+	if got := byCat[telemetry.CatWork]; got != 50 {
+		t.Errorf("clamped child contributes %v, want 50", got)
+	}
+	if got := byCat[telemetry.CatRPC]; got != 50 {
+		t.Errorf("parent self-time = %v, want 50", got)
+	}
+
+	// Skew in the other direction: child starts before its parent.
+	spans = []telemetry.SpanData{
+		span(5, 10, 0, "rpc.Call/m", "client", telemetry.CatRPC, 50, 100),
+		span(5, 11, 10, "rpc.Server/m", "leaf", telemetry.CatWork, 20, 60), // starts 30ns early
+	}
+	tree = Assemble(spans)[0]
+	byCat = sumSegments(t, tree)
+	if got := byCat[telemetry.CatWork]; got != 30 {
+		t.Errorf("early child contributes %v, want 30", got)
+	}
+}
+
+func TestFanOutTieBreaks(t *testing.T) {
+	// Two parallel children with identical end times: the longer one wins
+	// the critical path. With identical durations too, the smaller span
+	// ID wins — repeated runs must agree.
+	// Real rpc.Call envelopes always have recorded stage children, which
+	// is what keeps them siblings (non-containers) under nesting.
+	spans := []telemetry.SpanData{
+		span(6, 10, 0, "topo.request", "client", "", 0, 100),
+		span(6, 11, 10, "rpc.Call/a", "client", "", 10, 90), // ends 100
+		span(6, 21, 11, "net-wait", "client", "", 15, 80),
+		span(6, 12, 10, "rpc.Call/b", "client", "", 40, 60), // ends 100 too, shorter
+		span(6, 22, 12, "net-wait", "client", "", 45, 50),
+	}
+	tree := Assemble(spans)[0]
+	if len(tree.Root.Children) != 2 {
+		t.Fatalf("parallel calls were nested: root has %d children, want 2", len(tree.Root.Children))
+	}
+	var procs []string
+	for _, s := range CriticalPath(tree) {
+		if s.Name == "rpc.Call/a" || s.Name == "rpc.Call/b" {
+			procs = append(procs, s.Name)
+		}
+	}
+	for _, n := range procs {
+		if n != "rpc.Call/a" {
+			t.Fatalf("critical path includes %v, want only the longer rpc.Call/a", procs)
+		}
+	}
+	if len(procs) == 0 {
+		t.Fatal("critical path never visited rpc.Call/a")
+	}
+
+	// Exact duplicates except span ID: smaller ID must win, every run.
+	spans = []telemetry.SpanData{
+		span(7, 10, 0, "topo.request", "client", "", 0, 100),
+		span(7, 12, 10, "rpc.Call/b", "client", "", 10, 90),
+		span(7, 11, 10, "rpc.Call/a", "client", "", 10, 90),
+	}
+	for i := 0; i < 5; i++ {
+		tree = Assemble(spans)[0]
+		found := ""
+		for _, s := range CriticalPath(tree) {
+			if !s.SelfTime {
+				found = s.Name
+			}
+		}
+		if found != "rpc.Call/a" {
+			t.Fatalf("run %d: tie broke to %q, want smaller span ID rpc.Call/a", i, found)
+		}
+	}
+}
+
+func TestSequentialFanOutWalksBothChildren(t *testing.T) {
+	// Staggered children: the walk hops from the later child back to the
+	// earlier one, with the gap between them charged to the parent.
+	spans := []telemetry.SpanData{
+		span(8, 10, 0, "topo.request", "client", "", 0, 100),
+		span(8, 11, 10, "rpc.Call/a", "client", "", 5, 40),  // ends 45
+		span(8, 12, 10, "rpc.Call/b", "client", "", 55, 40), // ends 95
+	}
+	tree := Assemble(spans)[0]
+	byCat := sumSegments(t, tree)
+	if got := byCat[telemetry.CatRPC]; got != 80 {
+		t.Errorf("rpc = %v, want both calls' 80", got)
+	}
+	// Gaps: [0,5) + [45,55) + [95,100) = 20, root self-time → queue.
+	if got := byCat[telemetry.CatQueue]; got != 20 {
+		t.Errorf("queue (root self) = %v, want 20", got)
+	}
+}
+
+func TestAnalyzeQuantileRows(t *testing.T) {
+	var spans []telemetry.SpanData
+	// 100 requests with total duration 100..10000; request i spends
+	// i*100-40 in work and 40 queueing at the root.
+	for i := uint64(1); i <= 100; i++ {
+		total := int64(i) * 100
+		spans = append(spans,
+			span(i, 1, 0, "topo.request", "client", "", 0, total),
+			span(i, 2, 1, "handler", "leaf", telemetry.CatWork, 20, total-40),
+		)
+	}
+	rep := Analyze(spans, Options{Exemplars: 3})
+	if rep.Requests != 100 {
+		t.Fatalf("Requests = %d, want 100", rep.Requests)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("rows = %d, want mean+p50+p99+p999", len(rep.Rows))
+	}
+	p50, p99, p999 := rep.Rows[1], rep.Rows[2], rep.Rows[3]
+	if p50.Label != "p50" || p50.TotalNanos != 5000 {
+		t.Errorf("p50 row = %+v, want total 5000", p50)
+	}
+	if p99.Label != "p99" || p99.TotalNanos != 9900 {
+		t.Errorf("p99 row = %+v, want total 9900", p99)
+	}
+	if p999.Label != "p999" || p999.TotalNanos != 10000 {
+		t.Errorf("p999 row = %+v, want total 10000", p999)
+	}
+	for _, row := range rep.Rows {
+		var sum float64
+		for _, v := range row.ByCategory {
+			sum += v
+		}
+		if sum != row.TotalNanos { //modelcheck:ignore floatcmp — the attribution is an exact partition; any drift is a bug
+			t.Errorf("row %s categories sum to %v, want %v", row.Label, sum, row.TotalNanos)
+		}
+	}
+	if len(rep.Exemplars) != 3 || rep.Exemplars[0].Total != 10000 || rep.Exemplars[2].Total != 9800 {
+		t.Fatalf("exemplars wrong: %+v", rep.Exemplars)
+	}
+	var sb strings.Builder
+	rep.RenderText(&sb)
+	out := sb.String()
+	for _, want := range []string{"100 requests", "p999", telemetry.CatWork, telemetry.CatQueue} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderText missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareModel(t *testing.T) {
+	spans := []telemetry.SpanData{
+		span(1, 1, 0, "topo.request", "client", "", 0, 100),
+		span(1, 2, 1, "handler", "front", telemetry.CatWork, 10, 30),
+		span(1, 3, 1, "handler", "leaf", telemetry.CatWork, 40, 50),
+	}
+	rep := Analyze(spans, Options{})
+	diffs := rep.CompareModel([]string{"front", "leaf"}, []float64{0.4, 0.6})
+	if len(diffs) != 3 {
+		t.Fatalf("diffs = %d, want front, leaf, client", len(diffs))
+	}
+	byTier := make(map[string]TierDiff)
+	for _, d := range diffs {
+		byTier[d.Tier] = d
+	}
+	if d := byTier["leaf"]; d.Predicted != 0.6 || d.Measured != 0.5 {
+		t.Errorf("leaf diff = %+v", d)
+	}
+	if d := byTier["client"]; d.Predicted != 0 || d.Measured != 0.2 {
+		t.Errorf("client diff = %+v (injector gaps should measure 0.2)", d)
+	}
+	var sb strings.Builder
+	RenderModelDiff(&sb, diffs)
+	if !strings.Contains(sb.String(), "client") {
+		t.Errorf("RenderModelDiff missing client row:\n%s", sb.String())
+	}
+}
+
+func TestEmptyAnalyze(t *testing.T) {
+	rep := Analyze(nil, Options{})
+	if rep.Requests != 0 || len(rep.Rows) != 0 {
+		t.Fatalf("empty analyze = %+v", rep)
+	}
+	var sb strings.Builder
+	rep.RenderText(&sb) // must not panic
+}

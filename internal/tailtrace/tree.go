@@ -1,0 +1,194 @@
+// Package tailtrace assembles the spans a multi-tier topology run
+// collects into per-request trace trees, extracts each request's
+// critical path through mid-request fan-out, and attributes every
+// critical-path nanosecond to an overhead category — the per-request
+// analogue of the paper's fleet-level cycle attribution (Tables 2/3).
+// Fleet breakdowns average away exactly what hyperscale operators
+// chase: *where the p99 goes*. This package answers that by slicing
+// the attribution by latency quantile (the "tail tax" report) and by
+// diffing the measured critical-path composition against the composed
+// model's prediction per tier.
+package tailtrace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Node is one span in an assembled trace tree.
+type Node struct {
+	Data     telemetry.SpanData
+	Children []*Node
+	// Orphan marks a span whose recorded parent is missing (evicted
+	// from a ring or lost to sampling skew); it is promoted to a child
+	// of the nearest containing span, or of the root.
+	Orphan bool
+	// container marks a recorded-leaf span — one nothing named as its
+	// parent. Only these absorb siblings during containment nesting:
+	// stage spans (net-wait, handler) are recorded leaves by
+	// construction, while envelope spans (rpc.Call, rpc.Server) carry
+	// their own recorded children, and nesting one parallel fan-out call
+	// under another that happens to contain its window would be wrong.
+	container bool
+}
+
+// Start and End bound the span's interval.
+func (n *Node) Start() time.Time { return n.Data.Start }
+func (n *Node) End() time.Time   { return n.Data.Start.Add(n.Data.Duration) }
+
+// Tree is one request's assembled spans.
+type Tree struct {
+	TraceID uint64
+	Root    *Node
+	// Rootless marks a tree whose true root span was never recorded
+	// (dropped or still open); the earliest-starting span stands in.
+	Rootless bool
+	// Spans are the tree's raw spans, for exemplar export.
+	Spans []telemetry.SpanData
+}
+
+// Assemble groups spans by trace ID and builds one tree per trace:
+// spans link to their recorded parent, orphans (missing parent) are
+// promoted to the root, and each sibling set is then containment-nested
+// — a span fully inside a sibling's interval becomes that sibling's
+// child. Containment nesting is what stitches the layers together:
+// a remote server span is recorded as a child of the client's rpc.Call
+// span, and nesting moves it inside the call's net-wait window where it
+// actually ran; likewise a handler's downstream rpc.Call spans move
+// inside the handler's own window. Trees are returned sorted by the
+// root's start time (ties: trace ID).
+func Assemble(spans []telemetry.SpanData) []*Tree {
+	byTrace := make(map[uint64][]telemetry.SpanData)
+	for _, sd := range spans {
+		byTrace[sd.TraceID] = append(byTrace[sd.TraceID], sd)
+	}
+	trees := make([]*Tree, 0, len(byTrace))
+	for id, group := range byTrace {
+		trees = append(trees, assembleOne(id, group))
+	}
+	sort.Slice(trees, func(i, j int) bool {
+		si, sj := trees[i].Root.Start(), trees[j].Root.Start()
+		if !si.Equal(sj) {
+			return si.Before(sj)
+		}
+		return trees[i].TraceID < trees[j].TraceID
+	})
+	return trees
+}
+
+func assembleOne(traceID uint64, spans []telemetry.SpanData) *Tree {
+	t := &Tree{TraceID: traceID, Spans: spans}
+	nodes := make(map[uint64]*Node, len(spans))
+	ordered := make([]*Node, 0, len(spans))
+	for _, sd := range spans {
+		n := &Node{Data: sd}
+		nodes[sd.SpanID] = n
+		ordered = append(ordered, n)
+	}
+	// Deterministic regardless of recording order.
+	sort.Slice(ordered, func(i, j int) bool {
+		si, sj := ordered[i].Data.Start, ordered[j].Data.Start
+		if !si.Equal(sj) {
+			return si.Before(sj)
+		}
+		if di, dj := ordered[i].Data.Duration, ordered[j].Data.Duration; di != dj {
+			return di > dj
+		}
+		return ordered[i].Data.SpanID < ordered[j].Data.SpanID
+	})
+
+	var root *Node
+	var orphans []*Node
+	for _, n := range ordered {
+		switch {
+		case n.Data.ParentID == 0:
+			if root == nil {
+				root = n
+			} else {
+				// A second root (ID collision or reused trace ID): treat
+				// as an orphan of the first.
+				n.Orphan = true
+				orphans = append(orphans, n)
+			}
+		case nodes[n.Data.ParentID] != nil && nodes[n.Data.ParentID] != n:
+			p := nodes[n.Data.ParentID]
+			p.Children = append(p.Children, n)
+		default:
+			n.Orphan = true
+			orphans = append(orphans, n)
+		}
+	}
+	for _, n := range ordered {
+		n.container = len(n.Children) == 0
+	}
+	if root == nil {
+		// The true root was dropped: the earliest, longest span stands in
+		// and the remaining orphans hang off it.
+		t.Rootless = true
+		root = orphans[0]
+		orphans = orphans[1:]
+	}
+	for _, o := range orphans {
+		root.Children = append(root.Children, o)
+	}
+	t.Root = root
+	nest(root)
+	return t
+}
+
+// nest containment-nests n's children — a child whose interval lies
+// strictly inside a recorded-leaf sibling's becomes that sibling's child
+// — then recurses. The classic bracket-matching pass: with siblings
+// sorted by (start asc, end desc), a stack of open container intervals
+// assigns each span to the innermost container still holding it. This is
+// what stitches tiers together: the remote rpc.Server span (a recorded
+// sibling of the local stage spans under rpc.Call) moves inside the
+// net-wait window where it actually ran, and a handler's downstream
+// rpc.Call spans move inside the handler stage span.
+func nest(n *Node) {
+	if len(n.Children) > 1 {
+		kids := n.Children
+		sort.Slice(kids, func(i, j int) bool {
+			si, sj := kids[i].Start(), kids[j].Start()
+			if !si.Equal(sj) {
+				return si.Before(sj)
+			}
+			if ei, ej := kids[i].End(), kids[j].End(); !ei.Equal(ej) {
+				return ei.After(ej)
+			}
+			return kids[i].Data.SpanID < kids[j].Data.SpanID
+		})
+		var keep []*Node
+		var stack []*Node
+		for _, k := range kids {
+			for len(stack) > 0 && !contains(stack[len(stack)-1], k) {
+				stack = stack[:len(stack)-1]
+			}
+			if len(stack) > 0 {
+				top := stack[len(stack)-1]
+				top.Children = append(top.Children, k)
+			} else {
+				keep = append(keep, k)
+			}
+			if k.container {
+				stack = append(stack, k)
+			}
+		}
+		n.Children = keep
+	}
+	for _, k := range n.Children {
+		nest(k)
+	}
+}
+
+// contains reports whether k's interval lies strictly inside outer's —
+// identical intervals stay siblings, so exact fan-out duplicates keep
+// their recorded parallelism.
+func contains(outer, k *Node) bool {
+	if k.Start().Before(outer.Start()) || k.End().After(outer.End()) {
+		return false
+	}
+	return !k.Start().Equal(outer.Start()) || !k.End().Equal(outer.End())
+}

@@ -6,6 +6,27 @@ import (
 	"time"
 )
 
+// Span categories: every critical-path nanosecond the tail-tax report
+// attributes lands in exactly one of these buckets. Instrumentation sites
+// stamp them on spans (SetCategory / ChildDoneCat); spans without an
+// explicit category are classified by name in internal/tailtrace.
+const (
+	// CatRPC is the data center tax proper: serialization, compression,
+	// encryption and their inverses, plus RPC bookkeeping.
+	CatRPC = "rpc"
+	// CatTransport is wire time: frame writes and the network + remote
+	// round trip seen from the client (net-wait).
+	CatTransport = "transport"
+	// CatWork is service work — the handler's own host computation.
+	CatWork = "work"
+	// CatDevice is offload device time: park → completion on an
+	// accelerator, during which no host thread is held.
+	CatDevice = "device"
+	// CatQueue is queueing: waiting for an engine worker (submit →
+	// pickup, completion → resume) or for fan-out scheduling.
+	CatQueue = "queue"
+)
+
 // SpanData is one completed span: a named, timed segment of a request,
 // linked to its trace and parent span. Spans cross process boundaries via
 // the trace/parent IDs carried in rpc.Message headers.
@@ -15,12 +36,17 @@ type SpanData struct {
 	ParentID uint64 // 0 for a root span
 	Name     string
 	Process  string // owning tracer's process label
+	Category string // tail-tax attribution bucket ("" = classify by name)
 	Start    time.Time
 	Duration time.Duration
 }
 
-// maxRetainedSpans bounds a tracer's buffer so an always-on tracer cannot
-// grow without limit; spans beyond the cap are counted in Dropped.
+// End returns the span's end time.
+func (d SpanData) End() time.Time { return d.Start.Add(d.Duration) }
+
+// maxRetainedSpans is the default ring capacity: an always-on tracer
+// retains the most recent spans up to this bound and evicts the oldest
+// beyond it (counted in Dropped).
 const maxRetainedSpans = 1 << 16
 
 // tracerSeq partitions span-ID space between tracers in one process so
@@ -30,24 +56,88 @@ var tracerSeq atomic.Uint64
 // Tracer collects completed spans for one process (or one side of an RPC
 // exchange). All methods are safe for concurrent use and are no-ops on a
 // nil tracer, so instrumented code paths need no enablement checks.
+//
+// Retention is a bounded ring: the newest spans win, evicted spans are
+// counted in Dropped. Head-based sampling (SetSampleRate) keeps 1-in-N
+// traces, decided by a deterministic hash of the trace ID so every tier
+// of a distributed request independently reaches the same keep/drop
+// verdict with no extra wire state.
 type Tracer struct {
-	process string
-	base    uint64
-	ids     atomic.Uint64
-	dropped atomic.Uint64
+	process    string
+	base       uint64
+	ids        atomic.Uint64
+	dropped    atomic.Uint64
+	sampledOut atomic.Uint64
+	sampleRate atomic.Int64
 
 	mu    sync.Mutex
-	spans []SpanData
+	cap   int
+	spans []SpanData // ring once len == cap
+	next  int        // ring write cursor (oldest element once wrapped)
+	wrap  bool       // the ring has evicted at least once
 }
 
 // NewTracer returns a tracer whose spans carry the given process label in
 // trace exports.
 func NewTracer(process string) *Tracer {
-	return &Tracer{process: process, base: tracerSeq.Add(1) << 40}
+	return &Tracer{process: process, base: tracerSeq.Add(1) << 40, cap: maxRetainedSpans}
+}
+
+// SetCapacity bounds the span ring to n (default maxRetainedSpans).
+// Call before recording; shrinking a live ring discards its contents.
+func (t *Tracer) SetCapacity(n int) {
+	if t == nil || n <= 0 {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < len(t.spans) {
+		t.spans, t.next, t.wrap = nil, 0, false
+	}
+	t.cap = n
+}
+
+// SetSampleRate keeps 1 in n traces (head-based): Start and Join hand out
+// non-recording spans for the others. n <= 1 records everything. The
+// keep/drop decision is a pure function of the trace ID, so tracers on
+// every tier of a request agree without coordination.
+func (t *Tracer) SetSampleRate(n int) {
+	if t == nil {
+		return
+	}
+	if n < 1 {
+		n = 1
+	}
+	t.sampleRate.Store(int64(n))
+}
+
+// sampleTrace reports whether traceID is kept at a 1-in-rate sampling.
+// splitmix64 finalizer: sequential IDs must not alias the modulus.
+func sampleTrace(traceID uint64, rate int64) bool {
+	if rate <= 1 {
+		return true
+	}
+	z := traceID + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return z%uint64(rate) == 0
 }
 
 // nextID mints a process-unique span ID.
 func (t *Tracer) nextID() uint64 { return t.base | t.ids.Add(1) }
+
+// span wraps data into a live span, applying the head-sampling verdict:
+// a sampled-out span keeps its IDs (so trace context still propagates to
+// downstream tiers, which reach the same verdict) but records nothing.
+func (t *Tracer) span(d SpanData) *Span {
+	s := &Span{tracer: t, data: d}
+	if !sampleTrace(d.TraceID, t.sampleRate.Load()) {
+		s.drop = true
+		t.sampledOut.Add(1)
+	}
+	return s
+}
 
 // Start begins a new root span (a fresh trace). Returns nil on a nil
 // tracer.
@@ -56,10 +146,7 @@ func (t *Tracer) Start(name string) *Span {
 		return nil
 	}
 	id := t.nextID()
-	return &Span{
-		tracer: t,
-		data:   SpanData{TraceID: id, SpanID: id, Name: name, Start: time.Now()},
-	}
+	return t.span(SpanData{TraceID: id, SpanID: id, Name: name, Start: time.Now()})
 }
 
 // Join begins a span that continues a remote trace: the server side of an
@@ -72,46 +159,62 @@ func (t *Tracer) Join(name string, traceID, parentID uint64, start time.Time) *S
 	if traceID == 0 {
 		traceID = t.nextID()
 	}
-	return &Span{
-		tracer: t,
-		data: SpanData{
-			TraceID: traceID, SpanID: t.nextID(), ParentID: parentID,
-			Name: name, Start: start,
-		},
-	}
+	return t.span(SpanData{
+		TraceID: traceID, SpanID: t.nextID(), ParentID: parentID,
+		Name: name, Start: start,
+	})
 }
 
-// record appends a completed span, dropping past the retention cap.
+// record appends a completed span, evicting the oldest past the ring
+// capacity.
 func (t *Tracer) record(d SpanData) {
 	d.Process = t.process
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.spans) >= maxRetainedSpans {
-		t.dropped.Add(1)
+	if len(t.spans) < t.cap {
+		t.spans = append(t.spans, d)
 		return
 	}
-	t.spans = append(t.spans, d)
+	t.spans[t.next] = d
+	t.next++
+	if t.next == len(t.spans) {
+		t.next = 0
+	}
+	t.wrap = true
+	t.dropped.Add(1)
 }
 
-// Spans returns a copy of the completed spans recorded so far; nil on a
-// nil tracer.
+// Spans returns a copy of the retained spans, oldest first; nil on a nil
+// tracer.
 func (t *Tracer) Spans() []SpanData {
 	if t == nil {
 		return nil
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := make([]SpanData, len(t.spans))
-	copy(out, t.spans)
-	return out
+	out := make([]SpanData, 0, len(t.spans))
+	if t.wrap {
+		out = append(out, t.spans[t.next:]...)
+		out = append(out, t.spans[:t.next]...)
+		return out
+	}
+	return append(out, t.spans...)
 }
 
-// Dropped reports spans discarded past the retention cap.
+// Dropped reports spans evicted from the ring to make room for newer ones.
 func (t *Tracer) Dropped() uint64 {
 	if t == nil {
 		return 0
 	}
 	return t.dropped.Load()
+}
+
+// SampledOut reports spans discarded by head-based sampling.
+func (t *Tracer) SampledOut() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.sampledOut.Load()
 }
 
 // Reset discards all recorded spans.
@@ -122,7 +225,9 @@ func (t *Tracer) Reset() {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.spans = t.spans[:0]
+	t.next, t.wrap = 0, false
 	t.dropped.Store(0)
+	t.sampledOut.Store(0)
 }
 
 // Span is an in-progress span. A nil *Span is a valid no-op sink, which is
@@ -130,6 +235,7 @@ func (t *Tracer) Reset() {
 // zero allocations.
 type Span struct {
 	tracer *Tracer
+	drop   bool // head-sampled out: propagate IDs, record nothing
 	data   SpanData
 }
 
@@ -149,6 +255,15 @@ func (s *Span) SpanID() uint64 {
 	return s.data.SpanID
 }
 
+// SetCategory stamps the tail-tax attribution bucket (one of the Cat*
+// constants). No-op on nil.
+func (s *Span) SetCategory(cat string) {
+	if s == nil {
+		return
+	}
+	s.data.Category = cat
+}
+
 // Child begins a nested span. Returns nil on a nil span.
 func (s *Span) Child(name string) *Span {
 	if s == nil {
@@ -156,6 +271,7 @@ func (s *Span) Child(name string) *Span {
 	}
 	return &Span{
 		tracer: s.tracer,
+		drop:   s.drop,
 		data: SpanData{
 			TraceID: s.data.TraceID, SpanID: s.tracer.nextID(), ParentID: s.data.SpanID,
 			Name: name, Start: time.Now(),
@@ -166,18 +282,23 @@ func (s *Span) Child(name string) *Span {
 // ChildDone records an already-completed nested span — used by pipeline
 // stages that time themselves with a single time.Now pair. No-op on nil.
 func (s *Span) ChildDone(name string, start time.Time, d time.Duration) {
-	if s == nil {
+	s.ChildDoneCat(name, "", start, d)
+}
+
+// ChildDoneCat is ChildDone with an explicit attribution category.
+func (s *Span) ChildDoneCat(name, cat string, start time.Time, d time.Duration) {
+	if s == nil || s.drop {
 		return
 	}
 	s.tracer.record(SpanData{
 		TraceID: s.data.TraceID, SpanID: s.tracer.nextID(), ParentID: s.data.SpanID,
-		Name: name, Start: start, Duration: d,
+		Name: name, Category: cat, Start: start, Duration: d,
 	})
 }
 
 // End completes the span and publishes it to the tracer. No-op on nil.
 func (s *Span) End() {
-	if s == nil {
+	if s == nil || s.drop {
 		return
 	}
 	s.data.Duration = time.Since(s.data.Start)

@@ -1,0 +1,23 @@
+package telemetry
+
+import "context"
+
+// spanKey is the context key carrying the request's server-side span.
+type spanKey struct{}
+
+// ContextWithSpan returns ctx carrying sp so a handler can hang child
+// spans (work, downstream calls) off its request's server span. A nil sp
+// returns ctx unchanged.
+func ContextWithSpan(ctx context.Context, sp *Span) context.Context {
+	if sp == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// SpanFromContext returns the span planted by ContextWithSpan; nil (the
+// no-op sink) when absent, so callers never need a presence check.
+func SpanFromContext(ctx context.Context) *Span {
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}

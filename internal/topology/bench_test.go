@@ -81,3 +81,43 @@ func BenchmarkTopologyCall(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkTopologyCallTraced is the tail-trace arm: the identical
+// single-node graph with the always-on tracer enabled, so every request
+// additionally records its span tree (topo.request envelope plus the RPC
+// stack's stage spans) into the bounded ring.
+// scripts/bench_tailtrace.sh gates its per-request overhead against
+// BenchmarkTopologyCall — tracing must stay cheap enough to leave on
+// while hunting a tail.
+//
+// The ring is bounded small and warmed before the timer so the loop
+// measures steady state — full ring, in-place overwrites — which is what
+// a long-running traced process pays per request, rather than the
+// one-time append-growth of a cold ring filling toward its capacity.
+func BenchmarkTopologyCallTraced(b *testing.B) {
+	g, err := ParseSpec("topology bench\nnode Solo work=20\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := NewRunner(g, RunnerConfig{Trace: true, TraceCapacity: 1 << 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := r.Start(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { r.Close() }) // errors swallowed per the teardown rule
+	payload := make([]byte, benchPayload)
+	for i := 0; i < 128; i++ { // ~20 spans per request: fills both rings
+		if _, err := r.Call(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Call(ctx, payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,21 @@ type RunnerConfig struct {
 	// histogram (topo_e2e_latency_nanos) for -metrics-out / -debug-addr
 	// export. Without it the Runner keeps standalone histograms.
 	Registry *telemetry.Registry
+	// Trace collects request-centric spans across every tier: each
+	// node's server and outgoing edges share a per-node tracer (span
+	// Process = node name), Runner.Call roots a synthetic topo.request
+	// span, and handlers plant trace context on mid-request fan-out so
+	// one request's spans from all tiers assemble into a single tree
+	// (internal/tailtrace). Incompatible with UseBatcher: batched
+	// exchanges carry no per-call trace context.
+	Trace bool
+	// TraceSampleRate keeps 1 in N traces when tracing (default 1 =
+	// all). The verdict is a deterministic hash of the trace ID, so
+	// every tier reaches the same keep/drop decision independently.
+	TraceSampleRate int
+	// TraceCapacity bounds each tier tracer's span ring (default 65536
+	// spans); the oldest spans are evicted first on long soaks.
+	TraceCapacity int
 }
 
 func (c *RunnerConfig) setDefaults() {
@@ -116,6 +131,7 @@ type nodeRuntime struct {
 
 	latency *telemetry.Histogram
 	errors  *telemetry.Counter
+	tracer  *telemetry.Tracer // per-node span sink (nil without Trace)
 
 	runner *Runner
 }
@@ -129,6 +145,7 @@ type Runner struct {
 	byName map[string]*nodeRuntime
 	roots  []edgeCaller // index-aligned with graph.Roots()
 	e2e    *telemetry.Histogram
+	tracer *telemetry.Tracer // the injector's span sink (nil without Trace)
 
 	serveErrs chan error
 	closeOnce sync.Once
@@ -153,12 +170,18 @@ func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
 	if cfg.Async && cfg.UseBatcher {
 		return nil, fmt.Errorf("topology: runner: Async and UseBatcher are mutually exclusive (async servers do not accept batch frames)")
 	}
+	if cfg.Trace && cfg.UseBatcher {
+		return nil, fmt.Errorf("topology: runner: Trace and UseBatcher are mutually exclusive (batched exchanges carry no per-call trace context)")
+	}
 	cfg.setDefaults()
 	r := &Runner{
 		graph:     g,
 		cfg:       cfg,
 		byName:    make(map[string]*nodeRuntime, len(g.Nodes)),
 		serveErrs: make(chan error, len(g.Nodes)),
+	}
+	if cfg.Trace {
+		r.tracer = cfg.newTracer("client")
 	}
 	var err error
 	if r.e2e, err = r.histogram("topo_e2e_latency_nanos",
@@ -186,6 +209,9 @@ func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
 			runner:   r,
 		}
 		nr.resumeFn = nr.resumeAsync
+		if cfg.Trace {
+			nr.tracer = cfg.newTracer(n.Name)
+		}
 		if nr.latency, err = r.histogram("topo_"+metricName(n.Name)+"_latency_nanos",
 			"per-request latency at node "+n.Name+" in nanoseconds"); err != nil {
 			return nil, err
@@ -202,6 +228,17 @@ func NewRunner(g *Graph, cfg RunnerConfig) (*Runner, error) {
 		r.byName[n.Name] = nr
 	}
 	return r, nil
+}
+
+// newTracer builds one tier's span sink at the configured ring capacity
+// and head-sampling rate.
+func (c *RunnerConfig) newTracer(process string) *telemetry.Tracer {
+	t := telemetry.NewTracer(process)
+	if c.TraceCapacity > 0 {
+		t.SetCapacity(c.TraceCapacity)
+	}
+	t.SetSampleRate(c.TraceSampleRate)
+	return t
 }
 
 func (r *Runner) histogram(name, help string) (*telemetry.Histogram, error) {
@@ -249,6 +286,9 @@ func (r *Runner) Start(ctx context.Context) error {
 			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the server error is reported
 			return fmt.Errorf("topology: node %s: %w", nr.node.Name, err)
 		}
+		if nr.tracer != nil {
+			srv.Instrument(&rpc.Instrumentation{Tracer: nr.tracer})
+		}
 		nr.srv = srv
 		go func(nr *nodeRuntime) {
 			if err := nr.srv.Serve(ctx, nr.lis); err != nil && ctx.Err() == nil {
@@ -261,7 +301,9 @@ func (r *Runner) Start(ctx context.Context) error {
 	}
 	for _, nr := range r.nodes {
 		for _, child := range nr.node.Children {
-			ec, err := r.dialEdge(r.byName[child])
+			// The edge's spans (rpc.Call and its stages) belong to the
+			// calling node's timeline, so the parent's tracer rides along.
+			ec, err := r.dialEdge(r.byName[child], nr.tracer)
 			if err != nil {
 				r.Close() //modelcheck:ignore errdrop — best-effort unwind, the dial error is reported
 				return fmt.Errorf("topology: edge %s -> %s: %w", nr.node.Name, child, err)
@@ -270,7 +312,7 @@ func (r *Runner) Start(ctx context.Context) error {
 		}
 	}
 	for _, root := range r.graph.Roots() {
-		ec, err := r.dialEdge(r.byName[root])
+		ec, err := r.dialEdge(r.byName[root], r.tracer)
 		if err != nil {
 			r.Close() //modelcheck:ignore errdrop — best-effort unwind, the dial error is reported
 			return fmt.Errorf("topology: root %s: %w", root, err)
@@ -280,15 +322,24 @@ func (r *Runner) Start(ctx context.Context) error {
 	return nil
 }
 
-// dialEdge connects an upstream caller to a node's listener.
-func (r *Runner) dialEdge(target *nodeRuntime) (edgeCaller, error) {
+// dialEdge connects an upstream caller to a node's listener; tracer
+// (optional) instruments every pooled client so each downstream call
+// produces a joined rpc.Call span on the caller's timeline.
+func (r *Runner) dialEdge(target *nodeRuntime, tracer *telemetry.Tracer) (edgeCaller, error) {
 	addr := target.lis.Addr().String()
 	dial := func() (*rpc.Client, error) {
 		conn, err := net.Dial("tcp", addr)
 		if err != nil {
 			return nil, err
 		}
-		return rpc.NewClient(conn, nil)
+		c, err := rpc.NewClient(conn, nil)
+		if err != nil {
+			return nil, err
+		}
+		if tracer != nil {
+			c.Instrument(&rpc.Instrumentation{Tracer: tracer})
+		}
+		return c, nil
 	}
 	if r.cfg.UseBatcher {
 		c, err := dial()
@@ -311,8 +362,10 @@ func (r *Runner) dialEdge(target *nodeRuntime) (edgeCaller, error) {
 // downstream subtree) is recorded on success.
 func (nr *nodeRuntime) handle(ctx context.Context, req rpc.Message) (rpc.Message, error) {
 	start := time.Now()
+	sp := telemetry.SpanFromContext(ctx) // the server span, when traced
 	spinIters(nr.iters)
-	if err := nr.fanOut(ctx, req); err != nil {
+	sp.ChildDoneCat("topo.work", telemetry.CatWork, start, time.Since(start))
+	if err := nr.fanOut(ctx, req, sp); err != nil {
 		nr.errors.Inc()
 		return rpc.Message{}, err
 	}
@@ -321,8 +374,10 @@ func (nr *nodeRuntime) handle(ctx context.Context, req rpc.Message) (rpc.Message
 }
 
 // fanOut issues req to every child concurrently and waits for all of
-// them, returning the first failure.
-func (nr *nodeRuntime) fanOut(ctx context.Context, req rpc.Message) error {
+// them, returning the first failure. sp (optional) is the node's
+// server-side span: its trace context rides the downstream requests so
+// each child tier joins the same trace.
+func (nr *nodeRuntime) fanOut(ctx context.Context, req rpc.Message, sp *telemetry.Span) error {
 	if len(nr.edges) == 0 {
 		return nil
 	}
@@ -331,10 +386,10 @@ func (nr *nodeRuntime) fanOut(ctx context.Context, req rpc.Message) error {
 		go func(i int) {
 			cctx, cancel := context.WithTimeout(ctx, nr.runner.cfg.CallTimeout)
 			defer cancel()
-			_, err := nr.edges[i].CallContext(cctx, rpc.Message{
+			_, err := nr.edges[i].CallContext(cctx, rpc.WithTraceContext(rpc.Message{
 				Method:  nr.node.Children[i] + ".req",
 				Payload: req.Payload,
-			})
+			}, sp))
 			errc <- err
 		}(i)
 	}
@@ -389,7 +444,7 @@ func (nr *nodeRuntime) handleAsync(_ context.Context, req rpc.Message, ac *rpc.A
 // tiers report the same quantity.
 func (nr *nodeRuntime) resumeAsync(ctx context.Context, ac *rpc.AsyncCall) (rpc.Message, error) {
 	req := ac.Request()
-	if err := nr.fanOut(ctx, req); err != nil {
+	if err := nr.fanOut(ctx, req, ac.Span()); err != nil {
 		nr.errors.Inc()
 		return rpc.Message{}, err
 	}
@@ -413,16 +468,20 @@ func (r *Runner) Call(ctx context.Context, payload []byte) (time.Duration, error
 	if len(r.roots) == 0 {
 		return 0, fmt.Errorf("topology: runner not started")
 	}
+	// The synthetic root span brackets the whole injection, so a traced
+	// request's critical-path attribution and its measured end-to-end
+	// latency are the same interval by construction.
+	sp := r.tracer.Start("topo.request")
 	start := time.Now()
 	errc := make(chan error, len(r.roots))
 	for i := range r.roots {
 		go func(i int) {
 			cctx, cancel := context.WithTimeout(ctx, r.cfg.CallTimeout)
 			defer cancel()
-			_, err := r.roots[i].CallContext(cctx, rpc.Message{
+			_, err := r.roots[i].CallContext(cctx, rpc.WithTraceContext(rpc.Message{
 				Method:  r.graph.Roots()[i] + ".req",
 				Payload: payload,
-			})
+			}, sp))
 			errc <- err
 		}(i)
 	}
@@ -433,6 +492,7 @@ func (r *Runner) Call(ctx context.Context, payload []byte) (time.Duration, error
 		}
 	}
 	elapsed := time.Since(start)
+	sp.End()
 	if firstErr != nil {
 		return elapsed, firstErr
 	}
@@ -460,8 +520,52 @@ func (r *Runner) AsyncStats() rpc.EngineStats {
 		total.QueueDepth += s.QueueDepth
 		total.Served += s.Served
 		total.Errors += s.Errors
+		total.QueueWaitNanos += s.QueueWaitNanos
+		total.ParkWaitNanos += s.ParkWaitNanos
 	}
 	return total
+}
+
+// Tracing reports whether the runner collects request spans.
+func (r *Runner) Tracing() bool { return r.tracer != nil }
+
+// Spans concatenates every tier's retained spans with the injector's —
+// the raw material internal/tailtrace assembles into per-request trace
+// trees. Nil when the runner is not tracing.
+func (r *Runner) Spans() []telemetry.SpanData {
+	if r.tracer == nil {
+		return nil
+	}
+	out := r.tracer.Spans()
+	for _, nr := range r.nodes {
+		out = append(out, nr.tracer.Spans()...)
+	}
+	return out
+}
+
+// TraceStats summarizes span retention across all tiers.
+type TraceStats struct {
+	Spans      int    // spans currently retained
+	Dropped    uint64 // spans evicted from the rings
+	SampledOut uint64 // spans discarded by head sampling
+}
+
+// TraceStats sums retention counters over the injector and every tier.
+func (r *Runner) TraceStats() TraceStats {
+	var ts TraceStats
+	tracers := []*telemetry.Tracer{r.tracer}
+	for _, nr := range r.nodes {
+		tracers = append(tracers, nr.tracer)
+	}
+	for _, t := range tracers {
+		if t == nil {
+			continue
+		}
+		ts.Spans += len(t.Spans())
+		ts.Dropped += t.Dropped()
+		ts.SampledOut += t.SampledOut()
+	}
+	return ts
 }
 
 // ServeErr reports the first background Serve failure, if any.

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"repro/internal/record"
+	"repro/internal/telemetry"
 )
 
 // Simulate replays a recorded trace through the graph in virtual time,
@@ -32,6 +34,15 @@ type SimConfig struct {
 	// Accel, when non-nil, accelerates every node exactly as
 	// RunnerConfig.Accel does.
 	Accel *AccelConfig
+	// EmitSpans additionally reconstructs every simulated request as a
+	// trace tree in virtual time: a topo.request root per arrival
+	// (process "client"), a server span per node call, and queue-wait /
+	// topo.work children splitting each call into the time it sat
+	// waiting for a worker and the time it burned. Trace and span IDs
+	// are assigned in deterministic event order, so the spans — and any
+	// tail-tax attribution over them — are byte-identical across runs
+	// and safe to pin in goldens.
+	EmitSpans bool
 }
 
 func (c *SimConfig) setDefaults() {
@@ -60,6 +71,10 @@ type NodeAggregate struct {
 type SimResult struct {
 	PerNode []NodeAggregate `json:"per_node"`
 	E2E     NodeAggregate   `json:"e2e"`
+	// Spans holds the reconstructed virtual-time trace trees when
+	// SimConfig.EmitSpans is set; excluded from JSON so existing golden
+	// aggregates stay byte-stable.
+	Spans []telemetry.SpanData `json:"-"`
 }
 
 // simCall is one in-flight call at a node (or the virtual source
@@ -67,10 +82,15 @@ type SimResult struct {
 type simCall struct {
 	node        *simNode
 	arrival     float64
+	start       float64 // worker pickup; queue wait is start-arrival
 	localFinish float64
 	pending     int // outstanding child calls
 	childMax    float64
 	parent      *simCall
+
+	// Span identity when SimConfig.EmitSpans is set.
+	traceID uint64
+	spanID  uint64
 }
 
 // simNode is a node's virtual execution state.
@@ -151,6 +171,55 @@ func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
 		seq++
 	}
 
+	var spanSeq uint64
+	nextSpanID := func() uint64 {
+		spanSeq++
+		return spanSeq
+	}
+	var spans []telemetry.SpanData
+	// emitSpans reconstructs c as virtual-time SpanData at completion:
+	// the virtual source becomes the topo.request root, a node call
+	// becomes a server span whose queue-wait/topo.work children
+	// partition its pre-fan-out window — the same shapes the live traced
+	// Runner records, so tailtrace analyzes both identically.
+	emitSpans := func(c *simCall, at float64) {
+		vt := func(nanos float64) time.Time { return time.Unix(0, int64(nanos)) }
+		if c.node == nil {
+			spans = append(spans, telemetry.SpanData{
+				TraceID: c.traceID, SpanID: c.spanID,
+				Name: "topo.request", Process: "client",
+				Start: vt(c.arrival), Duration: time.Duration(at - c.arrival),
+			})
+			return
+		}
+		parentID := uint64(0)
+		if c.parent != nil {
+			parentID = c.parent.spanID
+		}
+		spans = append(spans, telemetry.SpanData{
+			TraceID: c.traceID, SpanID: c.spanID, ParentID: parentID,
+			Name: "sim.node/" + c.node.node.Name, Process: c.node.node.Name,
+			Category: telemetry.CatRPC,
+			Start:    vt(c.arrival), Duration: time.Duration(at - c.arrival),
+		})
+		if c.start > c.arrival {
+			spans = append(spans, telemetry.SpanData{
+				TraceID: c.traceID, SpanID: nextSpanID(), ParentID: c.spanID,
+				Name: "queue-wait", Process: c.node.node.Name,
+				Category: telemetry.CatQueue,
+				Start:    vt(c.arrival), Duration: time.Duration(c.start - c.arrival),
+			})
+		}
+		if c.localFinish > c.start {
+			spans = append(spans, telemetry.SpanData{
+				TraceID: c.traceID, SpanID: nextSpanID(), ParentID: c.spanID,
+				Name: "topo.work", Process: c.node.node.Name,
+				Category: telemetry.CatWork,
+				Start:    vt(c.start), Duration: time.Duration(c.localFinish - c.start),
+			})
+		}
+	}
+
 	e2e := make([]float64, 0, len(t.Events))
 	var finish func(c *simCall, at float64)
 	finish = func(c *simCall, at float64) {
@@ -158,6 +227,9 @@ func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
 			c.node.samples = append(c.node.samples, at-c.arrival)
 		} else {
 			e2e = append(e2e, at-c.arrival)
+		}
+		if cfg.EmitSpans {
+			emitSpans(c, at)
 		}
 		if p := c.parent; p != nil {
 			if at > p.childMax {
@@ -177,11 +249,20 @@ func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
 	// The virtual source fans each arrival out to every root with zero
 	// local cost, so the end-to-end latency is the slowest root subtree
 	// — exactly Runner.Call's semantics.
-	for _, e := range t.Events {
+	for i, e := range t.Events {
 		at := float64(e.ArrivalNanos)
 		src := &simCall{arrival: at, localFinish: at, pending: len(roots)}
+		if cfg.EmitSpans {
+			src.traceID = uint64(i) + 1
+			src.spanID = nextSpanID()
+		}
 		for _, root := range roots {
-			push(at, &simCall{node: root, arrival: at, parent: src})
+			rc := &simCall{node: root, arrival: at, parent: src}
+			if cfg.EmitSpans {
+				rc.traceID = src.traceID
+				rc.spanID = nextSpanID()
+			}
+			push(at, rc)
 		}
 	}
 
@@ -201,6 +282,7 @@ func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
 		if sn.workers[w] > start {
 			start = sn.workers[w]
 		}
+		c.start = start
 		c.localFinish = start + sn.units*cfg.UnitNanos
 		sn.workers[w] = c.localFinish
 		if len(sn.children) == 0 {
@@ -209,11 +291,16 @@ func Simulate(g *Graph, t *record.Trace, cfg SimConfig) (*SimResult, error) {
 		}
 		c.pending = len(sn.children)
 		for _, child := range sn.children {
-			push(c.localFinish, &simCall{node: child, arrival: c.localFinish, parent: c})
+			cc := &simCall{node: child, arrival: c.localFinish, parent: c}
+			if cfg.EmitSpans {
+				cc.traceID = c.traceID
+				cc.spanID = nextSpanID()
+			}
+			push(c.localFinish, cc)
 		}
 	}
 
-	res := &SimResult{}
+	res := &SimResult{Spans: spans}
 	for _, sn := range order {
 		res.PerNode = append(res.PerNode, aggregate(sn.node.Name, g.Depth(sn.node.Name), sn.samples))
 	}

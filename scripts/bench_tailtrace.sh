@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# bench_tailtrace.sh — tail-trace instrumentation overhead, captured as
+# JSON.
+#
+# Runs the matched benchmark pair from internal/topology/bench_test.go:
+# identical spin work through a single-node topology Runner with the
+# tracer off (BenchmarkTopologyCall) and on (BenchmarkTopologyCallTraced
+# — every request additionally records its span tree into the bounded
+# ring), plus BenchmarkStageDisabled, the nil-Instrumentation per-stage
+# path that must stay allocation-free. Writes
+# BENCH_tailtrace.json with ns/op, B/op, and allocs/op for each plus the
+# derived tracing overhead. Fails if tracing costs more than
+# MAX_TRACE_OVERHEAD_PCT (default 5) percent per request, or if the
+# nil-gated path allocates — the whole point of always-on tracing is
+# that the off switch is free and the on switch is cheap.
+# Override the iteration budget with BENCHTIME (default 300x; use e.g.
+# BENCHTIME=2s locally for stable numbers).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-BENCH_tailtrace.json}"
+max="${MAX_TRACE_OVERHEAD_PCT:-5}"
+raw="$(go test -run '^$' -bench '^BenchmarkTopologyCall(Traced)?$' \
+    -benchmem -benchtime "${BENCHTIME:-300x}" ./internal/topology/
+go test -run '^$' -bench '^BenchmarkStageDisabled$' \
+    -benchmem -benchtime "${BENCHTIME:-300x}" ./internal/rpc/)"
+echo "$raw"
+
+echo "$raw" | awk -v max="$max" '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    nsop = bop = aop = "null"
+    for (i = 3; i <= NF; i++) {
+        if ($i == "ns/op") nsop = $(i - 1)
+        else if ($i == "B/op") bop = $(i - 1)
+        else if ($i == "allocs/op") aop = $(i - 1)
+    }
+    ns[name] = nsop
+    allocs[name] = aop
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s, \"ns_per_op\": %s, \"bytes_per_op\": %s, \"allocs_per_op\": %s}",
+        (n++ ? ",\n" : ""), name, $2, nsop, bop, aop
+}
+BEGIN { print "[" }
+END {
+    if (n != 3) { print "expected 3 benchmark lines, parsed " n > "/dev/stderr"; exit 1 }
+    plain = ns["BenchmarkTopologyCall"]
+    traced = ns["BenchmarkTopologyCallTraced"]
+    if (plain == "" || traced == "" || plain + 0 == 0) {
+        print "missing benchmark results" > "/dev/stderr"; exit 1
+    }
+    overhead = (traced - plain) / plain * 100
+    printf ",\n  {\"name\": \"tailtrace_overhead_pct\", \"value\": %.3f, \"max_allowed\": %s}\n]\n",
+        overhead, max
+    printf "tail-trace overhead: %.2f%% (ceiling %s%%)\n", overhead, max > "/dev/stderr"
+    if (allocs["BenchmarkStageDisabled"] + 0 != 0) {
+        printf "FATAL: nil-gated stage path allocates (%s allocs/op, want 0)\n", allocs["BenchmarkStageDisabled"] > "/dev/stderr"
+        exit 1
+    }
+    if (overhead > max + 0) {
+        printf "FATAL: tail-trace per-request overhead %.2f%% above the %s%% ceiling\n", overhead, max > "/dev/stderr"
+        exit 1
+    }
+}
+' > "$out"
+
+echo "wrote $out"

@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/record"
+	"repro/internal/tailtrace"
+	"repro/internal/telemetry"
+	"repro/internal/topology"
+)
+
+// Tail-tax regression: the retry-storm scenario replays through the
+// two-tier graph in virtual time with span emission on, and the
+// quantile-sliced critical-path attribution (mean/p50/p99/p999 split
+// into work vs queueing, plus per-tier shares) must match the golden
+// byte-for-byte for both the baseline and accelerated arms. The storm
+// is the scenario where the slices diverge: its bursts overrun the two
+// virtual workers, so the p99/p999 rows are dominated by queue time
+// that barely registers at p50 — the table is pinned precisely because
+// that divergence is the observation the tracing subsystem exists for.
+//
+//	UPDATE_SCENARIOS=1 go test -run TestTailTaxGolden .
+
+// tailTaxGolden is one arm's pinned attribution table.
+type tailTaxGolden struct {
+	Baseline *tailtrace.Report `json:"baseline"`
+	Accel    *tailtrace.Report `json:"accel"`
+}
+
+func tailTaxReport(t *testing.T, g *topology.Graph, tr *record.Trace, accel *topology.AccelConfig) *tailtrace.Report {
+	t.Helper()
+	cfg := topologyScenarioConfig(accel)
+	cfg.EmitSpans = true
+	res, err := topology.Simulate(g, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := topology.Simulate(g, tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Spans, again.Spans) {
+		t.Fatal("two simulations emitted different spans")
+	}
+	// Every emitted trace must assemble rooted and attribute exactly:
+	// the categories partition the root span with zero residue in
+	// virtual time.
+	trees := tailtrace.Assemble(res.Spans)
+	if len(trees) != len(tr.Events) {
+		t.Fatalf("assembled %d trees from %d arrivals", len(trees), len(tr.Events))
+	}
+	for _, tree := range trees {
+		if tree.Rootless {
+			t.Fatalf("trace %d lost its root", tree.TraceID)
+		}
+		tax := tailtrace.Attribute(tree)
+		var sum int64
+		for _, d := range tax.ByCategory {
+			sum += int64(d)
+		}
+		if sum != int64(tax.Total) {
+			t.Fatalf("trace %d: attribution %d != root %d", tree.TraceID, sum, int64(tax.Total))
+		}
+	}
+	return tailtrace.Analyze(res.Spans, tailtrace.Options{})
+}
+
+func TestTailTaxGolden(t *testing.T) {
+	g, err := topology.ParseSpecFile(filepath.Join(topologyGoldenDir, "two-tier.topo"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := record.ReadFile(scenarioTracePath("retry-storm"))
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SCENARIOS=1 to generate)", err)
+	}
+
+	got := tailTaxGolden{
+		Baseline: tailTaxReport(t, g, tr, nil),
+		Accel:    tailTaxReport(t, g, tr, &topology.AccelConfig{A: 8, O0: 10, L: 10}),
+	}
+
+	// Structural invariants before pinning bytes: the storm's tail must
+	// be queue-dominated relative to its median in the baseline arm.
+	var p50, p99 tailtrace.TaxRow
+	for _, row := range got.Baseline.Rows {
+		switch row.Label {
+		case "p50":
+			p50 = row
+		case "p99":
+			p99 = row
+		}
+	}
+	if p99.Share(telemetry.CatQueue) <= p50.Share(telemetry.CatQueue) {
+		t.Fatalf("retry-storm p99 queue share %.3f not above p50 %.3f — the tail tax table is not surfacing the storm",
+			p99.Share(telemetry.CatQueue), p50.Share(telemetry.CatQueue))
+	}
+
+	goldenPath := filepath.Join(topologyGoldenDir, "tailtax_golden.json")
+	if updateScenarios() {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("%v (run with UPDATE_SCENARIOS=1 to generate)", err)
+	}
+	want := tailTaxGolden{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("tail-tax table diverges from %s\ngot:  %+v\nwant: %+v\n(regenerate with UPDATE_SCENARIOS=1 if the attribution changed deliberately)", goldenPath, got, want)
+	}
+}
